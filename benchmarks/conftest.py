@@ -1,0 +1,59 @@
+"""Shared fixtures and reporting helpers for the benchmark harness.
+
+Every benchmark regenerates one artifact of the paper (a table, figure
+or section claim — see DESIGN.md's experiment index).  Since the paper's
+artifacts are architectural rather than numeric, each bench both times
+the operation (pytest-benchmark) and prints the reproduced rows/series
+so the run output documents the reproduction.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets import make_regression, make_sensor_series
+from repro.timeseries import make_supervised
+
+_capture_manager = None
+
+
+def pytest_configure(config):
+    global _capture_manager
+    _capture_manager = config.pluginmanager.getplugin("capturemanager")
+
+
+def report(*parts) -> None:
+    """Print with pytest capture suspended, so the reproduced tables
+    appear in every benchmark run (capture would otherwise swallow them
+    for passing tests)."""
+    line = " ".join(str(p) for p in parts)
+    if _capture_manager is not None:
+        with _capture_manager.global_and_fixture_disabled():
+            print(line)
+    else:
+        print(line)
+
+
+def print_table(title: str, headers, rows) -> None:
+    """Render a reproduction table into the benchmark output."""
+    widths = [
+        max(len(str(h)), *(len(str(r[i])) for r in rows))
+        for i, h in enumerate(headers)
+    ]
+    report(f"\n=== {title} ===")
+    report("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    for row in rows:
+        report("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+
+
+@pytest.fixture(scope="session")
+def regression_xy():
+    return make_regression(
+        n_samples=200, n_features=8, n_informative=5, noise=0.15,
+        random_state=0,
+    )
+
+
+@pytest.fixture(scope="session")
+def sensor_frames():
+    series = make_sensor_series(length=300, n_variables=2, random_state=0)
+    return make_supervised(series, history=10)

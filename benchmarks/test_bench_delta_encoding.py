@@ -1,0 +1,108 @@
+"""S1 — Section III: delta encoding bandwidth savings.
+
+"This delta may be considerably smaller than version 3 of o1.  If this
+is the case, then sending d(o1, 2, 3) ... will save considerable
+bandwidth over sending the entire copy of o1."
+
+Measures delta-vs-full bytes across an update-size sweep and runs the
+DESIGN.md delta-chain-depth ablation (how many d(o, k-i, k) the home
+store retains vs the hit rate of stale clients).
+"""
+
+import numpy as np
+import pytest
+
+from conftest import print_table, report
+from repro.distributed import (
+    DeltaResponse,
+    FullResponse,
+    HomeDataStore,
+    compute_delta,
+)
+from repro.distributed.objects import encode_payload
+
+ROWS, COLS = 2000, 10
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return np.random.default_rng(0).normal(size=(ROWS, COLS))
+
+
+def test_delta_computation_throughput(benchmark, dataset):
+    old = encode_payload(dataset)
+    updated = dataset.copy()
+    updated[:20] += 1.0
+    new = encode_payload(updated)
+    delta = benchmark(lambda: compute_delta("d", 1, 2, old, new))
+    assert delta.size < len(new)
+
+
+def test_bandwidth_sweep_update_size(benchmark, dataset):
+    """The headline series: delta bytes vs fraction of the object
+    touched."""
+    old = encode_payload(dataset)
+
+    def sweep():
+        rows = []
+        for touched in (1, 10, 100, 1000, ROWS):
+            updated = dataset.copy()
+            updated[:touched] += 1.0
+            new = encode_payload(updated)
+            delta = compute_delta("d", 1, 2, old, new)
+            rows.append((touched, len(new), delta.size))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_table(
+        "S1 reproduction — delta vs full transfer by update size "
+        f"(object: {ROWS}x{COLS} float64 dataset)",
+        ["rows touched", "full bytes", "delta bytes", "saved"],
+        [
+            [
+                touched,
+                f"{full:,}",
+                f"{delta:,}",
+                f"{1 - delta / full:.1%}",
+            ]
+            for touched, full, delta in rows
+        ],
+    )
+    # shape: savings decay as more of the object changes
+    savings = [1 - d / f for _, f, d in rows]
+    assert savings[0] > 0.99
+    assert savings == sorted(savings, reverse=True)
+    assert savings[-1] < 0.2
+
+
+@pytest.mark.parametrize("depth", [1, 2, 4, 8])
+def test_chain_depth_ablation(benchmark, dataset, depth):
+    """Ablation: a deeper delta chain serves staler clients with deltas;
+    beyond it they fall back to full copies."""
+
+    def serve_stale_clients():
+        store = HomeDataStore(history_depth=depth, delta_threshold=0.9)
+        data = dataset.copy()
+        store.put("o", data)
+        n_versions = 10
+        for i in range(1, n_versions):
+            data = data.copy()
+            data[i, 0] += 1.0
+            store.put("o", data)
+        current = store.current_version("o")
+        hits, total_bytes = 0, 0
+        for stale in range(1, current):
+            response = store.get("o", client_version=stale)
+            total_bytes += response.wire_size
+            if isinstance(response, DeltaResponse):
+                hits += 1
+        return hits, total_bytes, current - 1
+
+    hits, total_bytes, clients = benchmark.pedantic(
+        serve_stale_clients, rounds=1, iterations=1
+    )
+    report(
+        f"\nchain depth {depth}: {hits}/{clients} stale clients served by "
+        f"delta; {total_bytes:,} bytes total"
+    )
+    assert hits == min(depth, clients)

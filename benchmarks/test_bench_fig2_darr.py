@@ -1,0 +1,129 @@
+"""F2 — Fig. 2: cooperative analytics through the DARR.
+
+"clients can share the results with each other and not have to repeat
+calculations."  Measures total computations, redundancy avoided and wall
+time for M cooperating clients vs the same M clients working in
+isolation, plus the DESIGN.md sharing-granularity ablation (pipeline
+level vs pipeline+parameter level).
+"""
+
+import time
+
+import pytest
+
+from conftest import print_table, report
+from repro.core import GraphEvaluator, prepare_regression_graph
+from repro.darr import DARR, CooperativeEvaluator, run_cooperative_session
+from repro.distributed import SimulatedNetwork
+from repro.ml.model_selection import KFold
+
+
+def make_coops(n_clients, k_best=4, cv_folds=2):
+    net = SimulatedNetwork()
+    for i in range(n_clients):
+        net.register(f"client-{i}")
+    darr = DARR("darr", net)
+    coops = [
+        CooperativeEvaluator(
+            GraphEvaluator(
+                prepare_regression_graph(fast=True, k_best=k_best),
+                cv=KFold(cv_folds, random_state=0),
+                metric="rmse",
+            ),
+            darr,
+            f"client-{i}",
+        )
+        for i in range(n_clients)
+    ]
+    return net, darr, coops
+
+
+@pytest.mark.parametrize("n_clients", [1, 2, 4])
+def test_cooperative_session(benchmark, regression_xy, n_clients):
+    X, y = regression_xy
+
+    def session():
+        _, darr, coops = make_coops(n_clients)
+        run_cooperative_session(coops, X, y)
+        return darr, coops
+
+    darr, coops = benchmark.pedantic(session, rounds=1, iterations=1)
+    total_computed = sum(c.stats.computed for c in coops)
+    assert total_computed == 36  # each job computed exactly once
+    assert len(darr) == 36
+
+
+def test_with_vs_without_darr(benchmark, regression_xy):
+    """The headline Fig. 2 comparison."""
+    X, y = regression_xy
+    n_clients = 3
+
+    def cooperative():
+        _, darr, coops = make_coops(n_clients)
+        run_cooperative_session(coops, X, y)
+        return sum(c.stats.computed for c in coops), coops
+
+    started = time.perf_counter()
+    coop_computed, coops = benchmark.pedantic(
+        cooperative, rounds=1, iterations=1
+    )
+    coop_seconds = time.perf_counter() - started
+
+    # isolation: every client computes everything itself
+    started = time.perf_counter()
+    isolated_computed = 0
+    for i in range(n_clients):
+        evaluator = GraphEvaluator(
+            prepare_regression_graph(fast=True, k_best=4),
+            cv=KFold(2, random_state=0),
+            metric="rmse",
+        )
+        iso_report = evaluator.evaluate(X, y, refit_best=False)
+        isolated_computed += len(iso_report.results)
+    isolated_seconds = time.perf_counter() - started
+
+    print_table(
+        f"Fig. 2 reproduction — {n_clients} clients, 36-job graph",
+        ["mode", "computations", "wall time"],
+        [
+            ["without DARR (isolated)", isolated_computed, f"{isolated_seconds:.2f}s"],
+            ["with DARR (cooperative)", coop_computed, f"{coop_seconds:.2f}s"],
+        ],
+    )
+    saved = 1 - coop_computed / isolated_computed
+    report(f"computations avoided by cooperation: {saved:.0%}")
+    for coop in coops:
+        s = coop.stats
+        report(
+            f"  {coop.client}: computed {s.computed}, reused {s.reused} "
+            f"({s.redundancy_avoided:.0%} avoided)"
+        )
+    assert coop_computed == isolated_computed // n_clients
+
+
+def test_sharing_granularity_ablation(benchmark, regression_xy):
+    """DESIGN.md ablation: sharing at (pipeline, parameter) granularity
+    also deduplicates swept parameter settings, not just paths."""
+    X, y = regression_xy
+    grid = {"selectkbest__k": [2, 3, 4]}
+
+    def session():
+        _, darr, coops = make_coops(2)
+        run_cooperative_session(coops, X, y, param_grid=grid)
+        return darr, coops
+
+    darr, coops = benchmark.pedantic(session, rounds=1, iterations=1)
+    # 24 non-selectkbest jobs + 12 selectkbest paths x 3 settings = 60
+    expected_jobs = 24 + 12 * 3
+    total_computed = sum(c.stats.computed for c in coops)
+    print_table(
+        "Sharing-granularity ablation — parameter-level dedup",
+        ["quantity", "value"],
+        [
+            ["distinct (pipeline, params) jobs", expected_jobs],
+            ["computed across 2 clients", total_computed],
+            ["reused by second client", coops[1].stats.reused],
+        ],
+    )
+    assert total_computed == expected_jobs
+    assert len(darr) == expected_jobs

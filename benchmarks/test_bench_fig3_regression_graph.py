@@ -1,0 +1,51 @@
+"""F3 — Fig. 3 / Listing 1: the 36-pipeline regression graph.
+
+"The total number of Pipelines for our working example given in Figure 3
+is 36."  Enumerates the graph, verifies the count, benchmarks the full
+sweep, and prints the resulting leaderboard — the artifact Fig. 3's
+evaluation would produce.
+"""
+
+from conftest import print_table, report
+from repro.core import GraphEvaluator, prepare_regression_graph
+from repro.ml.model_selection import KFold
+
+
+def test_pipeline_enumeration(benchmark):
+    graph = prepare_regression_graph(fast=True, k_best=4)
+    pipelines = benchmark(graph.pipelines)
+    assert len(pipelines) == 36
+
+
+def test_full_graph_sweep(benchmark, regression_xy):
+    X, y = regression_xy
+    graph = prepare_regression_graph(fast=True, k_best=4)
+    evaluator = GraphEvaluator(
+        graph, cv=KFold(3, random_state=0), metric="rmse"
+    )
+    sweep = benchmark.pedantic(
+        lambda: evaluator.evaluate(X, y, refit_best=False),
+        rounds=2,
+        iterations=1,
+    )
+    assert len(sweep.results) == 36
+    ranked = sweep.ranked()
+    print_table(
+        "Fig. 3 reproduction — 36-pipeline regression graph sweep",
+        ["rank", "cv-RMSE", "std", "pipeline"],
+        [
+            [i + 1, f"{r.score:.4f}", f"{r.cv_result.std_score:.4f}", r.path]
+            for i, r in enumerate(ranked[:10])
+        ],
+    )
+    report(f"pipelines evaluated: {len(sweep.results)} (paper: 36)")
+    report(f"best path: {sweep.best_path}")
+
+
+def test_single_pipeline_evaluation(benchmark, regression_xy):
+    """Baseline unit: one (pipeline, 3-fold CV) job."""
+    X, y = regression_xy
+    graph = prepare_regression_graph(fast=True, k_best=4)
+    evaluator = GraphEvaluator(graph, cv=KFold(3, random_state=0))
+    job = next(evaluator.iter_jobs(X, y))
+    benchmark(lambda: evaluator.run_job(job, X, y))

@@ -1,0 +1,53 @@
+"""F5 — Fig. 5: pipeline training vs prediction operations.
+
+Training runs "fit & transform" on internal nodes and "fit" on the last
+node; prediction runs "transform" on internal nodes and "predict" on the
+trained model.  Benchmarks both operations on the sample pipeline of
+Fig. 5 (robustscaler -> Select-k -> MLPRegressor, our DNN).
+"""
+
+from conftest import print_table
+from repro.core import Pipeline
+from repro.ml.feature_selection import SelectKBest
+from repro.ml.preprocessing import RobustScaler
+from repro.nn import DNNRegressor
+
+
+def fig5_pipeline():
+    return Pipeline(
+        [
+            ("robustscaler", RobustScaler()),
+            ("select_k", SelectKBest(k=4)),
+            ("mlpregressor", DNNRegressor(epochs=8, random_state=0)),
+        ]
+    )
+
+
+def test_pipeline_fit(benchmark, regression_xy):
+    X, y = regression_xy
+    pipeline = fig5_pipeline()
+    benchmark.pedantic(lambda: pipeline.fit(X, y), rounds=3, iterations=1)
+
+
+def test_pipeline_predict(benchmark, regression_xy):
+    X, y = regression_xy
+    pipeline = fig5_pipeline().fit(X, y)
+    predictions = benchmark(lambda: pipeline.predict(X))
+    assert predictions.shape == (len(X),)
+    print_table(
+        "Fig. 5 reproduction — operations on the sample pipeline",
+        ["operation", "internal nodes", "final node"],
+        [
+            ["pipeline.fit", "fit & transform", "fit"],
+            ["pipeline.predict", "transform", "predict"],
+        ],
+    )
+
+
+def test_transform_prefix_only(benchmark, regression_xy):
+    """The transformer prefix alone (no estimator) — the data-refresh
+    path of Fig. 5's internal nodes."""
+    X, y = regression_xy
+    pipeline = fig5_pipeline().fit(X, y)
+    Z = benchmark(lambda: pipeline.transform(X))
+    assert Z.shape == (len(X), 4)

@@ -1,0 +1,106 @@
+"""Extension bench — budgeted search over the graph's job space.
+
+Paper Section III: "The total number of possible calculations for a data
+set is generally too large to exhaustively determine."  Compares the
+exhaustive sweep against randomized sampling and successive halving on
+(a) jobs executed and (b) quality of the selected pipeline.
+"""
+
+from conftest import print_table, report
+from repro.core import (
+    GraphEvaluator,
+    RandomizedGraphSearch,
+    SuccessiveHalvingSearch,
+    prepare_regression_graph,
+)
+from repro.ml.model_selection import KFold
+
+
+def make_evaluator():
+    graph = prepare_regression_graph(fast=True, k_best=4)
+    return GraphEvaluator(graph, cv=KFold(3, random_state=0), metric="rmse")
+
+
+def test_exhaustive_baseline(benchmark, regression_xy):
+    X, y = regression_xy
+    evaluator = make_evaluator()
+    sweep = benchmark.pedantic(
+        lambda: evaluator.evaluate(X, y, refit_best=False),
+        rounds=1,
+        iterations=1,
+    )
+    assert len(sweep.results) == 36
+
+
+def test_randomized_search(benchmark, regression_xy):
+    X, y = regression_xy
+    search = RandomizedGraphSearch(
+        make_evaluator(), n_iter=12, random_state=0
+    )
+    sweep = benchmark.pedantic(
+        lambda: search.evaluate(X, y, refit_best=False),
+        rounds=1,
+        iterations=1,
+    )
+    assert len(sweep.results) == 12
+
+
+def test_successive_halving(benchmark, regression_xy):
+    X, y = regression_xy
+    search = SuccessiveHalvingSearch(
+        make_evaluator(), folds=(2, 3, 5), eta=3.0
+    )
+    sweep = benchmark.pedantic(
+        lambda: search.evaluate(X, y, refit_best=False),
+        rounds=1,
+        iterations=1,
+    )
+    assert sweep.best_path is not None
+
+
+def test_strategy_comparison(benchmark, regression_xy):
+    """Budget vs quality across the three strategies."""
+    X, y = regression_xy
+
+    evaluator = make_evaluator()
+    exhaustive = evaluator.evaluate(X, y, refit_best=False)
+    randomized = RandomizedGraphSearch(
+        make_evaluator(), n_iter=12, random_state=0
+    ).evaluate(X, y, refit_best=False)
+    halving_search = SuccessiveHalvingSearch(
+        make_evaluator(), folds=(2, 3, 5), eta=3.0
+    )
+    halving = halving_search.evaluate(X, y, refit_best=False)
+    benchmark.pedantic(
+        lambda: RandomizedGraphSearch(
+            make_evaluator(), n_iter=6, random_state=1
+        ).evaluate(X, y, refit_best=False),
+        rounds=1,
+        iterations=1,
+    )
+
+    halving_fold_evals = sum(
+        r["candidates"] * r["folds"] for r in halving_search.rounds_
+    )
+    rows = [
+        ["exhaustive", 36, 36 * 3, f"{exhaustive.best_score:.4f}"],
+        ["randomized (12)", 12, 12 * 3, f"{randomized.best_score:.4f}"],
+        [
+            "successive halving",
+            halving_search.total_evaluations_,
+            halving_fold_evals,
+            f"{halving.best_score:.4f}",
+        ],
+    ]
+    print_table(
+        "Budgeted search — jobs executed vs selected-pipeline quality",
+        ["strategy", "jobs", "fold evaluations", "best cv-RMSE"],
+        rows,
+    )
+    # shape: budgeted strategies land within 25% of the exhaustive best
+    assert randomized.best_score <= exhaustive.best_score * 1.25
+    assert halving.best_score <= exhaustive.best_score * 1.25
+    report(
+        f"exhaustive best path: {exhaustive.best_path}; "
+        f"halving best path: {halving.best_path}"
+    )

@@ -1,0 +1,118 @@
+"""T1 — Table I: "Different steps in machine learning modeling".
+
+Reproduces the component inventory of Table I: every option the paper
+lists for feature selection (SelectKBest / information gain / entropy),
+feature normalization (MinMax / Standard), feature transformation (PCA /
+kernel-PCA / LDA), model training (random forest / neural net / linear
+regression), model evaluation (k-fold / Monte-Carlo) and model scoring
+(RMSE / MAPE) — timing each component's core operation on a common
+dataset.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import print_table
+from repro.ml.decomposition import LDA, PCA, KernelPCA
+from repro.ml.ensemble import RandomForestRegressor
+from repro.ml.feature_selection import SelectKBest
+from repro.ml.linear import LinearRegression
+from repro.ml.metrics import (
+    mean_absolute_percentage_error,
+    root_mean_squared_error,
+)
+from repro.ml.model_selection import KFold, MonteCarloSplit, cross_validate
+from repro.ml.preprocessing import MinMaxScaler, StandardScaler
+from repro.nn import DNNRegressor
+
+SELECTORS = [
+    ("SelectKBest(f_score)", SelectKBest(k=4, score_func="f_score")),
+    ("SelectKBest(information_gain)", SelectKBest(k=4, score_func="information_gain")),
+    ("SelectKBest(entropy)", SelectKBest(k=4, score_func="entropy")),
+]
+SCALERS = [
+    ("MinMaxScaler", MinMaxScaler()),
+    ("StandardScaler", StandardScaler()),
+]
+MODELS = [
+    ("RandomForest", RandomForestRegressor(n_estimators=15, random_state=0)),
+    ("NeuralNet(DNN)", DNNRegressor(epochs=10, random_state=0)),
+    ("LinearRegression", LinearRegression()),
+]
+
+
+@pytest.mark.parametrize("name,selector", SELECTORS, ids=[n for n, _ in SELECTORS])
+def test_feature_selection_step(benchmark, regression_xy, name, selector):
+    X, y = regression_xy
+    benchmark(lambda: selector.fit(X, y).transform(X))
+
+
+@pytest.mark.parametrize("name,scaler", SCALERS, ids=[n for n, _ in SCALERS])
+def test_feature_normalization_step(benchmark, regression_xy, name, scaler):
+    X, _ = regression_xy
+    benchmark(lambda: scaler.fit(X).transform(X))
+
+
+@pytest.mark.parametrize(
+    "name,transformer",
+    [
+        ("PCA", PCA(n_components=4)),
+        ("kernel-PCA", KernelPCA(n_components=4, gamma=0.2)),
+    ],
+    ids=["PCA", "kernel-PCA"],
+)
+def test_feature_transformation_step(benchmark, regression_xy, name, transformer):
+    X, _ = regression_xy
+    benchmark(lambda: transformer.fit(X).transform(X))
+
+
+def test_feature_transformation_lda(benchmark, regression_xy):
+    X, y = regression_xy
+    labels = (y > np.median(y)).astype(int)
+    benchmark(lambda: LDA().fit(X, labels).transform(X))
+
+
+@pytest.mark.parametrize("name,model", MODELS, ids=[n for n, _ in MODELS])
+def test_model_training_step(benchmark, regression_xy, name, model):
+    X, y = regression_xy
+    from repro.ml.base import clone
+
+    benchmark(lambda: clone(model).fit(X, y))
+
+
+@pytest.mark.parametrize(
+    "name,cv",
+    [
+        ("k-fold", KFold(5, random_state=0)),
+        ("monte-carlo", MonteCarloSplit(5, random_state=0)),
+    ],
+    ids=["k-fold", "monte-carlo"],
+)
+def test_model_evaluation_step(benchmark, regression_xy, name, cv):
+    X, y = regression_xy
+    benchmark(lambda: cross_validate(LinearRegression(), X, y, cv=cv))
+
+
+def test_model_scoring_step(benchmark, regression_xy):
+    X, y = regression_xy
+    predictions = LinearRegression().fit(X, y).predict(X)
+
+    def score():
+        return (
+            root_mean_squared_error(y, predictions),
+            mean_absolute_percentage_error(y, predictions),
+        )
+
+    rmse, mape = benchmark(score)
+    print_table(
+        "Table I reproduction — component inventory exercised",
+        ["step", "options exercised"],
+        [
+            ["Select Features", "SelectKBest / InformationGain / Entropy"],
+            ["Feature Normalization", "MinMax / StandardScaler"],
+            ["Feature Transformation", "PCA / kernel-PCA / LDA"],
+            ["Model Training", "RandomForest / DNN / LinearRegression"],
+            ["Model Evaluation", "k-fold / Monte-Carlo"],
+            ["Model Score", f"RMSE={rmse:.4f} / MAPE={mape:.2f}%"],
+        ],
+    )

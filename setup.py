@@ -1,0 +1,11 @@
+"""Shim for legacy editable installs.
+
+The offline environment lacks the ``wheel`` package that PEP 517 editable
+installs require; ``pip install -e . --no-use-pep517 --no-build-isolation``
+(or plain ``pip install -e .`` where wheel is available) both work.
+All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

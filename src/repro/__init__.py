@@ -1,0 +1,51 @@
+"""repro: cooperative data analytics with Transformer-Estimator Graphs.
+
+A from-scratch reproduction of "Providing Cooperative Data Analytics for
+Real Applications Using Machine Learning" (Iyengar et al., ICDCS 2019):
+
+* :mod:`repro.core` — Transformer-Estimator Graphs: staged option DAGs,
+  pipeline enumeration, cross-validated model selection.
+* :mod:`repro.ml` — the from-scratch ML substrate (scalers, selectors,
+  PCA/LDA, linear models, trees, forests, boosting, kNN, k-means,
+  splitters, metrics).
+* :mod:`repro.nn` — numpy neural nets (DNN, LSTM, CNN, WaveNet,
+  SeriesNet).
+* :mod:`repro.timeseries` — windowing transformers, statistical models
+  and the Fig. 11 time-series prediction graph.
+* :mod:`repro.distributed` — simulated network, versioned home data
+  stores, delta encoding, leases, change monitoring, scheduling and AI
+  web services.
+* :mod:`repro.darr` — the shared Data Analytics Results Repository and
+  cooperative evaluation.
+* :mod:`repro.templates` — FPA / RCA / Anomaly / Cohort solution
+  templates.
+* :mod:`repro.datasets` — synthetic tabular and heavy-industry data.
+"""
+
+from repro.core import (
+    GraphEvaluator,
+    Pipeline,
+    TransformerEstimatorGraph,
+    make_pipeline,
+    prepare_classification_graph,
+    prepare_regression_graph,
+)
+from repro.darr import DARR, CooperativeEvaluator
+from repro.timeseries import make_supervised
+from repro.timeseries.pipeline import build_time_series_graph
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "TransformerEstimatorGraph",
+    "Pipeline",
+    "make_pipeline",
+    "GraphEvaluator",
+    "prepare_regression_graph",
+    "prepare_classification_graph",
+    "build_time_series_graph",
+    "make_supervised",
+    "DARR",
+    "CooperativeEvaluator",
+    "__version__",
+]

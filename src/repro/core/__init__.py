@@ -1,0 +1,82 @@
+"""Transformer-Estimator Graphs: the paper's primary contribution.
+
+Build a staged graph of transformer/estimator options, enumerate every
+root-to-leaf pipeline, evaluate each under a cross-validation strategy
+and metric, and select the best path (paper Section IV).
+"""
+
+from repro.core.builders import (
+    prepare_classification_graph,
+    prepare_regression_graph,
+)
+from repro.core.declarative import (
+    OPTION_FACTORIES,
+    StructuredTaskOutcome,
+    resolve_option,
+    run_structured_task,
+)
+from repro.core.evaluation import (
+    EvaluationJob,
+    EvaluationReport,
+    GraphEvaluator,
+    PipelineResult,
+)
+from repro.core.graph import (
+    GraphValidationError,
+    Stage,
+    StageOption,
+    TransformerEstimatorGraph,
+)
+from repro.core.params import ParamGrid, applicable_grid, expand_grid
+from repro.core.registry import (
+    component_from_spec,
+    pipeline_from_spec,
+    register_component,
+    registered_components,
+)
+from repro.core.search import RandomizedGraphSearch, SuccessiveHalvingSearch
+from repro.core.pipeline import Pipeline, make_pipeline
+from repro.core.spec import (
+    component_spec,
+    computation_spec,
+    dataset_fingerprint,
+    pipeline_spec,
+    spec_key,
+)
+from repro.core.visualize import describe, to_ascii, to_dot
+
+__all__ = [
+    "TransformerEstimatorGraph",
+    "Stage",
+    "StageOption",
+    "GraphValidationError",
+    "Pipeline",
+    "make_pipeline",
+    "ParamGrid",
+    "applicable_grid",
+    "expand_grid",
+    "GraphEvaluator",
+    "RandomizedGraphSearch",
+    "SuccessiveHalvingSearch",
+    "EvaluationJob",
+    "EvaluationReport",
+    "PipelineResult",
+    "component_spec",
+    "pipeline_spec",
+    "computation_spec",
+    "spec_key",
+    "register_component",
+    "component_from_spec",
+    "pipeline_from_spec",
+    "registered_components",
+    "run_structured_task",
+    "StructuredTaskOutcome",
+    "resolve_option",
+    "OPTION_FACTORIES",
+    "dataset_fingerprint",
+    "prepare_regression_graph",
+    "prepare_classification_graph",
+    "describe",
+    "to_ascii",
+    "to_dot",
+]

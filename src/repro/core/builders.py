@@ -1,0 +1,100 @@
+"""Ready-made graph builders (paper Listing 1 and Table I).
+
+:func:`prepare_regression_graph` reproduces Listing 1 / Fig. 3 exactly:
+4 feature scalers x 3 feature selectors x 3 regression models = 36
+pipelines.  (The paper's ``MLPRegressor`` maps to our
+:class:`repro.nn.estimators.DNNRegressor`, the same multilayer-perceptron
+architecture.)  :func:`prepare_classification_graph` is the
+classification twin used by the solution templates.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.graph import TransformerEstimatorGraph
+from repro.ml.decomposition import PCA, Covariance
+from repro.ml.ensemble import RandomForestClassifier, RandomForestRegressor
+from repro.ml.feature_selection import SelectKBest
+from repro.ml.linear import LogisticRegression
+from repro.ml.preprocessing import (
+    MinMaxScaler,
+    NoOp,
+    RobustScaler,
+    StandardScaler,
+)
+from repro.ml.tree import DecisionTreeClassifier, DecisionTreeRegressor
+from repro.nn.estimators import DNNRegressor
+
+__all__ = ["prepare_regression_graph", "prepare_classification_graph"]
+
+
+def prepare_regression_graph(
+    k_best: int = 10,
+    n_components: Optional[int] = None,
+    random_state: Optional[int] = 0,
+    fast: bool = False,
+) -> TransformerEstimatorGraph:
+    """Listing 1's ``prepare_graph`` — the Fig. 3 regression graph.
+
+    Stages: feature scaling (MinMax / Standard / Robust / NoOp), feature
+    selection ([Covariance, PCA] / SelectKBest / NoOp), regression models
+    (DecisionTree / MLP-style DNN / RandomForest).  36 pipelines total.
+
+    ``fast=True`` shrinks the model budgets (forest size, DNN epochs) for
+    tests and benchmarks without changing the graph shape.
+    """
+    n_estimators = 10 if fast else 50
+    epochs = 10 if fast else 40
+    task = TransformerEstimatorGraph(name="regression_task")
+    task.add_feature_scalers(
+        [MinMaxScaler(), StandardScaler(), RobustScaler(), NoOp()]
+    )
+    task.add_feature_selector(
+        [
+            [Covariance(), PCA(n_components=n_components)],
+            SelectKBest(k=k_best),
+            NoOp(),
+        ]
+    )
+    task.add_regression_models(
+        [
+            DecisionTreeRegressor(max_depth=8, random_state=random_state),
+            DNNRegressor(
+                architecture="simple",
+                epochs=epochs,
+                random_state=random_state,
+            ),
+            RandomForestRegressor(
+                n_estimators=n_estimators, random_state=random_state
+            ),
+        ]
+    )
+    task.create_graph()
+    return task
+
+
+def prepare_classification_graph(
+    k_best: int = 10,
+    random_state: Optional[int] = 0,
+    fast: bool = False,
+) -> TransformerEstimatorGraph:
+    """Classification counterpart used by the FPA/anomaly templates:
+    same scaling/selection stages, classifier model stage."""
+    n_estimators = 10 if fast else 50
+    task = TransformerEstimatorGraph(name="classification_task")
+    task.add_feature_scalers(
+        [MinMaxScaler(), StandardScaler(), RobustScaler(), NoOp()]
+    )
+    task.add_feature_selector([SelectKBest(k=k_best), NoOp()])
+    task.add_classification_models(
+        [
+            DecisionTreeClassifier(max_depth=8, random_state=random_state),
+            RandomForestClassifier(
+                n_estimators=n_estimators, random_state=random_state
+            ),
+            LogisticRegression(class_weight="balanced"),
+        ]
+    )
+    task.create_graph()
+    return task

@@ -1,0 +1,320 @@
+"""Declarative structured analytics tasks (paper Section III).
+
+"Our system implements a pre-defined set of methods for various steps in
+data analytics, including data cleansing, outlier detection, data
+imputation, model training, and model testing.  Users can specify the
+options that they want for each step, as well as the input parameters
+and output results to collect.  The system will then run the appropriate
+data analytics calculations and optionally store the results in the data
+analytics results repository (DARR)."
+
+:func:`run_structured_task` is that interface: the task is a plain
+dictionary naming the options per step (no component imports needed —
+options are resolved through named factories), the system builds the
+Transformer-Estimator Graph, evaluates it, optionally publishes every
+result to a DARR, and reports the winner with a held-out test score.
+
+Example::
+
+    task = {
+        "task": "regression",
+        "steps": {
+            "imputation": ["mean"],
+            "scaling": ["standard", "minmax", "none"],
+            "feature_selection": [{"name": "select_k_best", "k": 4}, "none"],
+            "models": ["decision_tree", "random_forest", "linear"],
+        },
+        "cv": {"strategy": "kfold", "k": 5},
+        "metric": "rmse",
+        "test_size": 0.25,
+    }
+    outcome = run_structured_task(task, X, y)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.evaluation import EvaluationReport, GraphEvaluator
+from repro.core.graph import TransformerEstimatorGraph
+from repro.ml.model_selection.cross_validate import resolve_metric
+from repro.ml.model_selection.splits import resolve_splitter
+
+__all__ = [
+    "OPTION_FACTORIES",
+    "StructuredTaskOutcome",
+    "resolve_option",
+    "run_structured_task",
+]
+
+
+def _factories() -> Dict[str, Dict[str, Callable[..., Any]]]:
+    """Named option factories per step kind (lazy imports keep startup
+    light)."""
+    from repro.ml.cluster import DBSCAN, KMeans
+    from repro.ml.decomposition import LDA, PCA, Covariance, KernelPCA
+    from repro.ml.ensemble import (
+        GradientBoostingClassifier,
+        GradientBoostingRegressor,
+        RandomForestClassifier,
+        RandomForestRegressor,
+    )
+    from repro.ml.feature_selection import SelectKBest, VarianceThreshold
+    from repro.ml.linear import (
+        LinearRegression,
+        LogisticRegression,
+        RidgeRegression,
+    )
+    from repro.ml.neighbors import KNeighborsClassifier, KNeighborsRegressor
+    from repro.ml.preprocessing import (
+        IterativeImputer,
+        KBinsDiscretizer,
+        KNNImputer,
+        MatrixFactorizationImputer,
+        MinMaxScaler,
+        NoOp,
+        OneHotEncoder,
+        OutlierClipper,
+        PolynomialFeatures,
+        RobustScaler,
+        SimpleImputer,
+        StandardScaler,
+    )
+    from repro.ml.svm import LinearSVC, LinearSVR
+    from repro.ml.tree import DecisionTreeClassifier, DecisionTreeRegressor
+    from repro.nn.estimators import DNNRegressor
+
+    return {
+        "imputation": {
+            "mean": lambda **kw: SimpleImputer(strategy="mean", **kw),
+            "median": lambda **kw: SimpleImputer(strategy="median", **kw),
+            "mode": lambda **kw: SimpleImputer(strategy="mode", **kw),
+            "knn": KNNImputer,
+            "mice": IterativeImputer,
+            "matrix_factorization": MatrixFactorizationImputer,
+            "none": NoOp,
+        },
+        "outliers": {
+            "clip": OutlierClipper,
+            "none": NoOp,
+        },
+        "scaling": {
+            "standard": StandardScaler,
+            "minmax": MinMaxScaler,
+            "robust": RobustScaler,
+            "none": NoOp,
+        },
+        "feature_engineering": {
+            "polynomial": PolynomialFeatures,
+            "one_hot": OneHotEncoder,
+            "binning": KBinsDiscretizer,
+            "none": NoOp,
+        },
+        "feature_selection": {
+            "select_k_best": SelectKBest,
+            "variance_threshold": VarianceThreshold,
+            "pca": PCA,
+            "kernel_pca": KernelPCA,
+            "lda": LDA,
+            "covariance": Covariance,
+            "none": NoOp,
+        },
+        "models": {
+            # regression
+            "linear": LinearRegression,
+            "ridge": RidgeRegression,
+            "decision_tree": DecisionTreeRegressor,
+            "random_forest": RandomForestRegressor,
+            "gradient_boosting": GradientBoostingRegressor,
+            "knn": KNeighborsRegressor,
+            "neural_net": DNNRegressor,
+            "svr": LinearSVR,
+            # classification
+            "logistic": LogisticRegression,
+            "decision_tree_classifier": DecisionTreeClassifier,
+            "random_forest_classifier": RandomForestClassifier,
+            "gradient_boosting_classifier": GradientBoostingClassifier,
+            "knn_classifier": KNeighborsClassifier,
+            "svc": LinearSVC,
+            # clustering (for completeness)
+            "kmeans": KMeans,
+            "dbscan": DBSCAN,
+        },
+    }
+
+
+#: Public view of the named options per step.
+OPTION_FACTORIES: Dict[str, Dict[str, Callable[..., Any]]] = {}
+
+
+def _ensure_factories() -> Dict[str, Dict[str, Callable[..., Any]]]:
+    if not OPTION_FACTORIES:
+        OPTION_FACTORIES.update(_factories())
+    return OPTION_FACTORIES
+
+
+OptionSpec = Union[str, Mapping[str, Any]]
+
+
+def resolve_option(step: str, option: OptionSpec) -> Any:
+    """Build one component from a named option.
+
+    ``option`` is a name (``"standard"``) or a dict with ``"name"`` plus
+    constructor parameters (``{"name": "select_k_best", "k": 4}``).
+    """
+    factories = _ensure_factories()
+    if step not in factories:
+        raise KeyError(
+            f"unknown step {step!r}; steps: {sorted(factories)}"
+        )
+    if isinstance(option, str):
+        name, params = option, {}
+    else:
+        option = dict(option)
+        try:
+            name = option.pop("name")
+        except KeyError:
+            raise ValueError(
+                f"option dict for step {step!r} needs a 'name' key"
+            ) from None
+        params = option
+    try:
+        factory = factories[step][name]
+    except KeyError:
+        raise KeyError(
+            f"unknown option {name!r} for step {step!r}; available: "
+            f"{sorted(factories[step])}"
+        ) from None
+    return factory(**params)
+
+
+@dataclass
+class StructuredTaskOutcome:
+    """Everything a structured-task run produces."""
+
+    report: EvaluationReport
+    best_model: Any
+    best_path: Optional[str]
+    best_cv_score: Optional[float]
+    test_score: Optional[float]
+    metric: str
+    graph: TransformerEstimatorGraph
+    published: int = 0
+
+    def summary(self) -> Dict[str, Any]:
+        """One-dict digest of the run (paths, scores, DARR activity)."""
+        return {
+            "best_path": self.best_path,
+            "cv_score": self.best_cv_score,
+            "test_score": self.test_score,
+            "metric": self.metric,
+            "pipelines_evaluated": len(self.report.results),
+            "published_to_darr": self.published,
+        }
+
+
+_STEP_ORDER = (
+    "imputation",
+    "outliers",
+    "scaling",
+    "feature_engineering",
+    "feature_selection",
+    "models",
+)
+
+
+def run_structured_task(
+    task: Mapping[str, Any],
+    X: Any,
+    y: Any,
+    darr: Any = None,
+    client: str = "structured-task",
+) -> StructuredTaskOutcome:
+    """Run a declarative analytics task end to end.
+
+    Parameters
+    ----------
+    task:
+        Dict with ``"steps"`` (step name -> list of option specs; the
+        ``"models"`` step is required), optional ``"cv"``
+        (``{"strategy": ..., "k": ...}``), ``"metric"`` and
+        ``"test_size"`` (held-out fraction for final model testing; 0
+        disables the holdout).
+    darr:
+        Optional :class:`~repro.darr.repository.DARR`; every evaluated
+        result is published, and already-published results are reused —
+        the structured interface composes with cooperation unchanged.
+    """
+    steps: Mapping[str, Sequence[OptionSpec]] = task.get("steps") or {}
+    if "models" not in steps or not steps["models"]:
+        raise ValueError("task['steps'] must include a non-empty 'models' list")
+    unknown = set(steps) - set(_STEP_ORDER)
+    if unknown:
+        raise ValueError(
+            f"unknown steps {sorted(unknown)}; valid: {list(_STEP_ORDER)}"
+        )
+
+    graph = TransformerEstimatorGraph(name=task.get("name", "structured_task"))
+    for step in _STEP_ORDER:
+        options = steps.get(step)
+        if not options:
+            continue
+        components = [resolve_option(step, option) for option in options]
+        graph.add_stage(step, components)
+    graph.create_graph()
+
+    cv_spec = dict(task.get("cv") or {"strategy": "kfold", "k": 5})
+    strategy = cv_spec.pop("strategy", "kfold")
+    if "k" in cv_spec:
+        cv_spec["n_splits"] = cv_spec.pop("k")
+    cv = resolve_splitter(strategy, **cv_spec)
+    metric = task.get("metric", "rmse")
+    metric_name, metric_fn, _ = resolve_metric(metric)
+
+    # Optional held-out split for final model *testing* (paper: "Once a
+    # model has been trained, it has to be tested on data").
+    test_size = float(task.get("test_size", 0.0))
+    X = np.asarray(X, dtype=float)
+    y = np.asarray(y)
+    if test_size > 0.0:
+        if not test_size < 1.0:
+            raise ValueError("test_size must be in [0, 1)")
+        n_test = max(1, int(round(test_size * len(X))))
+        rng = np.random.default_rng(task.get("random_state", 0))
+        order = rng.permutation(len(X))
+        test_idx, train_idx = order[:n_test], order[n_test:]
+        X_train, y_train = X[train_idx], y[train_idx]
+        X_test, y_test = X[test_idx], y[test_idx]
+    else:
+        X_train, y_train = X, y
+        X_test = y_test = None
+
+    evaluator = GraphEvaluator(graph, cv=cv, metric=metric)
+    published = 0
+    if darr is not None:
+        from repro.darr.coordinator import CooperativeEvaluator
+
+        coop = CooperativeEvaluator(evaluator, darr, client)
+        report = coop.evaluate(X_train, y_train)
+        published = coop.stats.computed
+    else:
+        report = evaluator.evaluate(X_train, y_train)
+
+    test_score = None
+    if X_test is not None and report.best_model is not None:
+        test_score = float(
+            metric_fn(y_test, report.best_model.predict(X_test))
+        )
+    return StructuredTaskOutcome(
+        report=report,
+        best_model=report.best_model,
+        best_path=report.best_path,
+        best_cv_score=report.best_score,
+        test_score=test_score,
+        metric=metric_name,
+        graph=graph,
+        published=published,
+    )

@@ -1,0 +1,264 @@
+"""Model validation and selection over a Transformer-Estimator Graph.
+
+Paper Section IV-B: "Given a dataset D and a Transformer-Estimator Graph
+G, the objective of model validation and selection process is to identify
+a pipeline from the Transformer-Estimator Graph that performs reasonably
+well for a given dataset.  Basically, each pipeline in a Graph is
+evaluated for a given dataset D, and a path with good model performance
+is selected."
+
+:class:`GraphEvaluator` enumerates (pipeline x parameter-setting) jobs,
+scores each with the configured cross-validation strategy and metric, and
+returns an :class:`EvaluationReport` whose best entry is refitted on the
+full dataset.  Jobs are first-class (:class:`EvaluationJob`): the
+distributed scheduler fans them out across nodes and the DARR coordinator
+uses their spec keys to skip work other clients already did.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional
+
+import numpy as np
+
+from repro.core.graph import TransformerEstimatorGraph
+from repro.core.params import ParamGrid
+from repro.core.pipeline import Pipeline
+from repro.core.spec import computation_spec, dataset_fingerprint, spec_key
+from repro.ml.model_selection.cross_validate import (
+    CrossValidationResult,
+    cross_validate,
+    resolve_metric,
+)
+from repro.ml.model_selection.splits import KFold
+
+__all__ = ["EvaluationJob", "PipelineResult", "EvaluationReport", "GraphEvaluator"]
+
+
+@dataclass
+class EvaluationJob:
+    """One unit of evaluation work: a pipeline plus a parameter setting.
+
+    ``key`` is the canonical spec key — the identity under which the
+    result is stored in (and deduplicated by) the DARR.
+    """
+
+    pipeline: Pipeline
+    params: Dict[str, Any]
+    key: str
+    spec: Dict[str, Any]
+
+    @property
+    def path(self) -> str:
+        """Human-readable pipeline path of this job."""
+        return self.pipeline.path_string()
+
+    def configured_pipeline(self) -> Pipeline:
+        """A fresh pipeline clone with this job's parameters applied."""
+        clone = self.pipeline.clone()
+        if self.params:
+            clone.set_params(**self.params)
+        return clone
+
+
+@dataclass
+class PipelineResult:
+    """Outcome of one evaluation job."""
+
+    path: str
+    params: Dict[str, Any]
+    cv_result: CrossValidationResult
+    key: str
+    from_cache: bool = False
+
+    @property
+    def score(self) -> float:
+        return self.cv_result.mean_score
+
+    def summary(self) -> Dict[str, Any]:
+        """One-dict digest of this result."""
+        return {
+            "path": self.path,
+            "params": self.params,
+            "score": self.score,
+            "std": self.cv_result.std_score,
+            "metric": self.cv_result.metric,
+            "from_cache": self.from_cache,
+        }
+
+
+@dataclass
+class EvaluationReport:
+    """All results of a graph evaluation plus the selected winner."""
+
+    metric: str
+    greater_is_better: bool
+    results: List[PipelineResult] = field(default_factory=list)
+    best_model: Optional[Pipeline] = None
+    best_path: Optional[str] = None
+    best_params: Dict[str, Any] = field(default_factory=dict)
+    elapsed_seconds: float = 0.0
+
+    @property
+    def best_score(self) -> Optional[float]:
+        """Score of the winning result (None when nothing was run)."""
+        best = self.best_result()
+        return None if best is None else best.score
+
+    def best_result(self) -> Optional[PipelineResult]:
+        """The winning result under the report's metric direction."""
+        if not self.results:
+            return None
+        key: Callable[[PipelineResult], float] = lambda r: r.score
+        if self.greater_is_better:
+            return max(self.results, key=key)
+        return min(self.results, key=key)
+
+    def ranked(self) -> List[PipelineResult]:
+        """Results ordered best-first under the report's metric."""
+        return sorted(
+            self.results,
+            key=lambda r: r.score,
+            reverse=self.greater_is_better,
+        )
+
+    def leaderboard(self, top: int = 10) -> str:
+        """Formatted best-first table for human inspection."""
+        lines = [f"{'score':>12}  {'std':>8}  path / params"]
+        for result in self.ranked()[:top]:
+            params = f" {result.params}" if result.params else ""
+            lines.append(
+                f"{result.score:12.5f}  {result.cv_result.std_score:8.5f}"
+                f"  {result.path}{params}"
+            )
+        return "\n".join(lines)
+
+
+class GraphEvaluator:
+    """Evaluate every (pipeline, parameter-setting) of a graph.
+
+    Parameters
+    ----------
+    graph:
+        The :class:`TransformerEstimatorGraph` to sweep.
+    cv:
+        Splitter instance or ``None`` for 5-fold K-fold.
+    metric:
+        Metric name (see the registries in :mod:`repro.ml.metrics`) or a
+        callable.
+    job_filter:
+        Optional predicate over :class:`EvaluationJob`; jobs for which it
+        returns False are skipped.  This is the hook the cooperative
+        coordinator uses to avoid redundant work ("Clients can then use
+        previous results stored in the DARR ...  perform additional
+        calculations which do not overlap", Section III).
+    result_hook:
+        Optional callback invoked with each fresh
+        :class:`PipelineResult` — e.g. to publish into a DARR.
+    """
+
+    def __init__(
+        self,
+        graph: TransformerEstimatorGraph,
+        cv: Any = None,
+        metric: Any = "rmse",
+        job_filter: Optional[Callable[[EvaluationJob], bool]] = None,
+        result_hook: Optional[Callable[[PipelineResult], None]] = None,
+    ):
+        self.graph = graph
+        self.cv = cv if cv is not None else KFold(5, random_state=0)
+        metric_name, _, greater = resolve_metric(metric)
+        self.metric = metric
+        self.metric_name = metric_name
+        self.greater_is_better = greater
+        self.job_filter = job_filter
+        self.result_hook = result_hook
+
+    def iter_jobs(
+        self,
+        X: Any,
+        y: Any,
+        param_grid: Optional[Mapping[str, Any]] = None,
+    ) -> Iterator[EvaluationJob]:
+        """Enumerate all evaluation jobs for ``(X, y)``.
+
+        The dataset fingerprint is baked into each job's spec key, so the
+        same pipeline on different data is a different calculation.
+        """
+        fingerprint = dataset_fingerprint(X, y)
+        grid = ParamGrid(param_grid or {})
+        for pipeline in self.graph.pipelines():
+            applicable = grid.for_pipeline(pipeline)
+            for params in applicable.combinations():
+                spec = computation_spec(
+                    pipeline,
+                    params=params,
+                    cv=self.cv,
+                    metric=self.metric_name,
+                    dataset=fingerprint,
+                )
+                yield EvaluationJob(
+                    pipeline=pipeline,
+                    params=params,
+                    key=spec_key(spec),
+                    spec=spec,
+                )
+
+    def run_job(self, job: EvaluationJob, X: Any, y: Any) -> PipelineResult:
+        """Execute one job: configure, cross-validate, package."""
+        pipeline = job.configured_pipeline()
+        cv_result = cross_validate(
+            pipeline, X, y, cv=self.cv, metric=self.metric
+        )
+        result = PipelineResult(
+            path=job.path,
+            params=dict(job.params),
+            cv_result=cv_result,
+            key=job.key,
+        )
+        if self.result_hook is not None:
+            self.result_hook(result)
+        return result
+
+    def evaluate(
+        self,
+        X: Any,
+        y: Any,
+        param_grid: Optional[Mapping[str, Any]] = None,
+        refit_best: bool = True,
+        extra_results: Optional[List[PipelineResult]] = None,
+    ) -> EvaluationReport:
+        """Sweep the full graph and select the best pipeline.
+
+        ``extra_results`` lets callers merge results obtained elsewhere
+        (e.g. fetched from the DARR) into the selection.
+        """
+        started = time.perf_counter()
+        report = EvaluationReport(
+            metric=self.metric_name,
+            greater_is_better=self.greater_is_better,
+        )
+        jobs_by_key: Dict[str, EvaluationJob] = {}
+        for job in self.iter_jobs(X, y, param_grid):
+            jobs_by_key[job.key] = job
+            if self.job_filter is not None and not self.job_filter(job):
+                continue
+            report.results.append(self.run_job(job, X, y))
+        if extra_results:
+            seen = {result.key for result in report.results}
+            for result in extra_results:
+                if result.key not in seen:
+                    report.results.append(result)
+                    seen.add(result.key)
+        best = report.best_result()
+        if best is not None:
+            report.best_path = best.path
+            report.best_params = dict(best.params)
+            if refit_best and best.key in jobs_by_key:
+                model = jobs_by_key[best.key].configured_pipeline()
+                model.fit(np.asarray(X), np.asarray(y))
+                report.best_model = model
+        report.elapsed_seconds = time.perf_counter() - started
+        return report

@@ -1,0 +1,389 @@
+"""The Transformer-Estimator Graph (paper Section IV).
+
+"A Transformer-Estimator Graph, denoted as G(V, E), is a directed acyclic
+rooted graph (DAG) ...  Each vertex v_i in the graph represents a
+meaningful AI/ML operation to be performed on the in-coming data, and
+edge e_i in the graph represents data/function flow between vertices."
+
+A graph is a sequence of *stages*; each stage offers multiple *options*
+(a single component, or a chain of components as in Listing 1's
+``[Covariance(), PCA()]``).  Consecutive stages are fully connected by
+default; :meth:`TransformerEstimatorGraph.restrict_edges` installs the
+selective wiring the time-series graph of Fig. 11 needs
+("The CascadedWindows is connected to the TemporalDNNs, the
+FlatWindowing and TS-as-IID are connected to StandardDNNs and finally
+the TS-as-is is connected to Statistical models").
+
+Every root→leaf path is a :class:`repro.core.pipeline.Pipeline`; the
+Fig. 3 example (4 scalers x 3 selectors x 3 models) yields exactly 36.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+import networkx as nx
+
+from repro.ml.base import clone
+from repro.core.pipeline import Pipeline
+
+__all__ = ["StageOption", "Stage", "TransformerEstimatorGraph", "GraphValidationError"]
+
+ROOT = "Input"
+
+
+class GraphValidationError(ValueError):
+    """Raised when a graph is structurally unusable (empty stages, broken
+    wiring, missing estimator stage)."""
+
+
+@dataclass(frozen=True)
+class StageOption:
+    """One selectable option within a stage.
+
+    ``components`` is a tuple: usually one component, but chains such as
+    ``[Covariance(), PCA()]`` become a multi-component option that expands
+    to consecutive pipeline nodes.
+    """
+
+    name: str
+    components: Tuple[Any, ...]
+
+    def steps(self) -> List[Tuple[str, Any]]:
+        """Pipeline steps contributed by this option, cloned so pipelines
+        never share mutable component state with the graph template."""
+        if len(self.components) == 1:
+            return [(self.name, clone(self.components[0]))]
+        return [
+            (f"{self.name}.{i}_{type(c).__name__.lower()}", clone(c))
+            for i, c in enumerate(self.components)
+        ]
+
+    def label(self) -> str:
+        """Human-readable class-name label (``A+B`` for chains)."""
+        if len(self.components) == 1:
+            return type(self.components[0]).__name__
+        return "+".join(type(c).__name__ for c in self.components)
+
+
+@dataclass
+class Stage:
+    """A named stage holding its options in declaration order."""
+
+    name: str
+    options: List[StageOption] = field(default_factory=list)
+
+    def option_names(self) -> List[str]:
+        """Names of this stage's options, in declaration order."""
+        return [option.name for option in self.options]
+
+    def get_option(self, name: str) -> StageOption:
+        """Look up an option by name; raises ``KeyError`` with the valid
+        names on a miss."""
+        for option in self.options:
+            if option.name == name:
+                return option
+        raise KeyError(
+            f"stage {self.name!r} has no option {name!r}; "
+            f"options: {self.option_names()}"
+        )
+
+
+def _auto_option_name(components: Sequence[Any], taken: Set[str]) -> str:
+    if len(components) == 1:
+        base = type(components[0]).__name__.lower()
+    else:
+        base = "+".join(type(c).__name__.lower() for c in components)
+    name = base
+    suffix = 2
+    while name in taken:
+        name = f"{base}_{suffix}"
+        suffix += 1
+    return name
+
+
+class TransformerEstimatorGraph:
+    """A staged DAG of transformer/estimator options.
+
+    Typical construction follows Listing 1::
+
+        task = TransformerEstimatorGraph()
+        task.add_feature_scalers([MinMaxScaler(), StandardScaler(),
+                                  RobustScaler(), NoOp()])
+        task.add_feature_selector([[Covariance(), PCA()], SelectKBest(),
+                                   NoOp()])
+        task.add_regression_models([DecisionTreeRegressor(),
+                                    MLPRegressor(), RandomForestRegressor()])
+        task.create_graph()
+
+    Evaluation (Listing 2) lives on
+    :class:`repro.core.evaluation.GraphEvaluator`; the convenience
+    methods ``set_cross_validation`` / ``set_accuracy`` / ``execute`` on
+    this class delegate to it.
+    """
+
+    def __init__(self, name: str = "task"):
+        self.name = name
+        self.stages: List[Stage] = []
+        # (stage_index -> set of (src_option, dst_option)); absent means
+        # full mesh between stage i and stage i+1.
+        self._edges: Dict[int, Set[Tuple[str, str]]] = {}
+        self._option_names: Set[str] = set()
+        # Listing-2 evaluation settings
+        self._cv: Any = None
+        self._metric: Any = None
+
+    # -- construction -------------------------------------------------------
+    def add_stage(
+        self,
+        stage_name: str,
+        options: Sequence[Any],
+        option_names: Optional[Sequence[str]] = None,
+    ) -> "TransformerEstimatorGraph":
+        """Append a stage.
+
+        ``options`` items are components or lists of components (chains).
+        ``option_names`` overrides auto-generated names; names must be
+        unique across the whole graph because they are the
+        ``name__param`` handles.
+        """
+        if not options:
+            raise GraphValidationError(
+                f"stage {stage_name!r} needs at least one option"
+            )
+        if any(stage.name == stage_name for stage in self.stages):
+            raise GraphValidationError(f"duplicate stage name {stage_name!r}")
+        if option_names is not None and len(option_names) != len(options):
+            raise GraphValidationError(
+                "option_names must match options in length"
+            )
+        stage = Stage(stage_name)
+        for index, raw in enumerate(options):
+            components = tuple(raw) if isinstance(raw, (list, tuple)) else (raw,)
+            if not components:
+                raise GraphValidationError(
+                    f"stage {stage_name!r} option {index} is an empty chain"
+                )
+            if option_names is not None:
+                name = option_names[index]
+                if name in self._option_names:
+                    raise GraphValidationError(
+                        f"duplicate option name {name!r}"
+                    )
+            else:
+                name = _auto_option_name(components, self._option_names)
+            self._option_names.add(name)
+            stage.options.append(StageOption(name, components))
+        self.stages.append(stage)
+        return self
+
+    # Listing-1 convenience methods -----------------------------------------
+    def add_feature_scalers(self, scalers: Sequence[Any]) -> "TransformerEstimatorGraph":
+        """Listing 1: ``add_feature_scalers([...])``."""
+        return self.add_stage("feature_scaling", scalers)
+
+    def add_feature_selector(self, selectors: Sequence[Any]) -> "TransformerEstimatorGraph":
+        """Listing 1: ``add_feature_selector([...])``."""
+        return self.add_stage("feature_selection", selectors)
+
+    def add_feature_transformers(self, transformers: Sequence[Any]) -> "TransformerEstimatorGraph":
+        """Table I's feature-transformation stage (PCA/kernel-PCA/LDA)."""
+        return self.add_stage("feature_transformation", transformers)
+
+    def add_regression_models(self, models: Sequence[Any]) -> "TransformerEstimatorGraph":
+        """Listing 1: ``add_regression_models([...])``."""
+        return self.add_stage("regression_models", models)
+
+    def add_classification_models(self, models: Sequence[Any]) -> "TransformerEstimatorGraph":
+        """Classification twin of ``add_regression_models``."""
+        return self.add_stage("classification_models", models)
+
+    # -- wiring ---------------------------------------------------------------
+    def restrict_edges(
+        self,
+        from_stage: str,
+        to_stage: str,
+        pairs: Sequence[Tuple[str, str]],
+    ) -> "TransformerEstimatorGraph":
+        """Replace the default full mesh between two *adjacent* stages
+        with explicit ``(src_option, dst_option)`` pairs — the selective
+        wiring of Fig. 11."""
+        index = self._stage_index(from_stage)
+        if index + 1 >= len(self.stages) or self.stages[index + 1].name != to_stage:
+            raise GraphValidationError(
+                f"stages {from_stage!r} and {to_stage!r} are not adjacent"
+            )
+        src_names = set(self.stages[index].option_names())
+        dst_names = set(self.stages[index + 1].option_names())
+        validated: Set[Tuple[str, str]] = set()
+        for src, dst in pairs:
+            if src not in src_names:
+                raise GraphValidationError(
+                    f"unknown source option {src!r} in stage {from_stage!r}"
+                )
+            if dst not in dst_names:
+                raise GraphValidationError(
+                    f"unknown destination option {dst!r} in stage {to_stage!r}"
+                )
+            validated.add((src, dst))
+        if not validated:
+            raise GraphValidationError("pairs must not be empty")
+        self._edges[index] = validated
+        return self
+
+    def _stage_index(self, stage_name: str) -> int:
+        for index, stage in enumerate(self.stages):
+            if stage.name == stage_name:
+                return index
+        raise GraphValidationError(
+            f"unknown stage {stage_name!r}; stages: "
+            f"{[s.name for s in self.stages]}"
+        )
+
+    def _edge_pairs(self, index: int) -> Set[Tuple[str, str]]:
+        """Edges from stage ``index`` to ``index + 1`` (full mesh unless
+        restricted)."""
+        if index in self._edges:
+            return self._edges[index]
+        return {
+            (src.name, dst.name)
+            for src in self.stages[index].options
+            for dst in self.stages[index + 1].options
+        }
+
+    # -- validation & materialization ---------------------------------------
+    def validate(self) -> None:
+        """Check the graph is a usable rooted DAG: at least one stage,
+        a final estimator stage, and every option reachable-from-root and
+        co-reachable-to-a-leaf under the installed wiring."""
+        if not self.stages:
+            raise GraphValidationError("graph has no stages")
+        for option in self.stages[-1].options:
+            final = option.components[-1]
+            if not (hasattr(final, "fit") and hasattr(final, "predict")):
+                raise GraphValidationError(
+                    f"final-stage option {option.name!r} must end in an "
+                    "estimator (fit + predict)"
+                )
+        for stage in self.stages[:-1]:
+            for option in stage.options:
+                for component in option.components:
+                    if not (
+                        hasattr(component, "fit")
+                        and hasattr(component, "transform")
+                    ):
+                        raise GraphValidationError(
+                            f"option {option.name!r} in stage "
+                            f"{stage.name!r} must be a transformer "
+                            "(fit + transform)"
+                        )
+        # Reachability under restricted wiring.
+        reachable: Set[str] = set(self.stages[0].option_names())
+        for index in range(len(self.stages) - 1):
+            pairs = self._edge_pairs(index)
+            next_reachable = {
+                dst for src, dst in pairs if src in reachable
+            }
+            if not next_reachable:
+                raise GraphValidationError(
+                    f"no path crosses from stage "
+                    f"{self.stages[index].name!r} to "
+                    f"{self.stages[index + 1].name!r}"
+                )
+            reachable = next_reachable
+
+    def create_graph(self) -> nx.DiGraph:
+        """Materialize the DAG as a ``networkx.DiGraph`` rooted at
+        ``Input`` (Listing 1's final ``create_graph`` call, used for
+        visual inspection via :mod:`repro.core.visualize`)."""
+        self.validate()
+        graph = nx.DiGraph(name=self.name)
+        graph.add_node(ROOT, kind="root", stage=None)
+        for stage in self.stages:
+            for option in stage.options:
+                graph.add_node(
+                    option.name,
+                    kind="option",
+                    stage=stage.name,
+                    label=option.label(),
+                )
+        for option in self.stages[0].options:
+            graph.add_edge(ROOT, option.name)
+        for index in range(len(self.stages) - 1):
+            for src, dst in sorted(self._edge_pairs(index)):
+                graph.add_edge(src, dst)
+        if not nx.is_directed_acyclic_graph(graph):
+            raise GraphValidationError("graph contains a cycle")
+        return graph
+
+    # -- pipeline enumeration -------------------------------------------------
+    def iter_paths(self) -> Iterator[Tuple[StageOption, ...]]:
+        """Yield every root→leaf option path in deterministic order."""
+        self.validate()
+
+        def extend(index: int, prefix: Tuple[StageOption, ...]):
+            if index == len(self.stages):
+                yield prefix
+                return
+            if index == 0:
+                allowed = self.stages[0].option_names()
+            else:
+                pairs = self._edge_pairs(index - 1)
+                previous = prefix[-1].name
+                allowed = [dst for src, dst in sorted(pairs) if src == previous]
+            for name in allowed:
+                option = self.stages[index].get_option(name)
+                yield from extend(index + 1, prefix + (option,))
+
+        yield from extend(0, ())
+
+    def pipelines(self) -> List[Pipeline]:
+        """Every path as an independent, unfitted
+        :class:`~repro.core.pipeline.Pipeline`."""
+        result = []
+        for path in self.iter_paths():
+            steps: List[Tuple[str, Any]] = []
+            for option in path:
+                steps.extend(option.steps())
+            result.append(Pipeline(steps))
+        return result
+
+    @property
+    def n_pipelines(self) -> int:
+        """Total path count (36 for the paper's Fig. 3 example)."""
+        counts = {name: 1 for name in self.stages[-1].option_names()}
+        for index in range(len(self.stages) - 2, -1, -1):
+            pairs = self._edge_pairs(index)
+            new_counts = {name: 0 for name in self.stages[index].option_names()}
+            for src, dst in pairs:
+                new_counts[src] += counts.get(dst, 0)
+            counts = new_counts
+        return sum(counts.values())
+
+    # -- Listing 2 evaluation API ----------------------------------------------
+    def set_cross_validation(self, k: int = 10, strategy: str = "kfold", **kwargs) -> "TransformerEstimatorGraph":
+        """Listing 2: ``Task.set_cross_validation(k=10)``."""
+        from repro.ml.model_selection.splits import resolve_splitter
+
+        self._cv = resolve_splitter(strategy, n_splits=k, **kwargs)
+        return self
+
+    def set_accuracy(self, metric: str) -> "TransformerEstimatorGraph":
+        """Listing 2: ``Task.set_accuracy('f1-score')``."""
+        self._metric = metric
+        return self
+
+    def execute(self, X: Any, y: Any, param_grid: Optional[Dict] = None):
+        """Listing 2's "Execute Task": evaluate every pipeline and return
+        ``(model, best_score, best_path)`` where ``model`` is the winning
+        pipeline refitted on all of ``(X, y)``."""
+        from repro.core.evaluation import GraphEvaluator
+
+        evaluator = GraphEvaluator(
+            self,
+            cv=self._cv,
+            metric=self._metric or "rmse",
+        )
+        report = evaluator.evaluate(X, y, param_grid=param_grid)
+        return report.best_model, report.best_score, report.best_path

@@ -1,0 +1,89 @@
+"""Parameter grids using the ``name__param`` convention.
+
+"The name given to each node in the pipeline graph ... is a placeholder
+that enables users to supply external information (e.g. parameters) that
+can be used to control/change the node operation.  For example, if users
+want to try 'PCA()' with a different number of components, they can
+specify the value using 'pca__n_components'" (paper Section IV).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, Iterator, List, Mapping, Sequence
+
+from repro.core.pipeline import Pipeline
+
+__all__ = ["ParamGrid", "applicable_grid", "expand_grid"]
+
+
+class ParamGrid:
+    """A mapping ``{"node__param": [candidate values]}``.
+
+    :meth:`combinations` yields every cartesian setting;
+    :meth:`for_pipeline` filters to the entries whose node appears in a
+    given pipeline, so grids can be written once for the whole graph and
+    reused across paths (paths missing a node simply ignore that entry).
+    """
+
+    def __init__(self, grid: Mapping[str, Sequence[Any]]):
+        validated: Dict[str, List[Any]] = {}
+        for key, values in grid.items():
+            if "__" not in key:
+                raise ValueError(
+                    f"grid key {key!r} is not in <node>__<param> form"
+                )
+            values = list(values)
+            if not values:
+                raise ValueError(f"grid key {key!r} has no candidate values")
+            validated[key] = values
+        self.grid = validated
+
+    def __bool__(self) -> bool:
+        return bool(self.grid)
+
+    def __len__(self) -> int:
+        """Number of combinations in the full grid."""
+        total = 1
+        for values in self.grid.values():
+            total *= len(values)
+        return total if self.grid else 1
+
+    def node_names(self) -> List[str]:
+        """Distinct node names the grid addresses."""
+        return sorted({key.partition("__")[0] for key in self.grid})
+
+    def for_pipeline(self, pipeline: Pipeline) -> "ParamGrid":
+        """Restrict to entries whose node is a step of ``pipeline``."""
+        steps = set(pipeline.step_names)
+        return ParamGrid(
+            {
+                key: values
+                for key, values in self.grid.items()
+                if key.partition("__")[0] in steps
+            }
+        )
+
+    def combinations(self) -> Iterator[Dict[str, Any]]:
+        """Yield each parameter setting as a flat dict; the empty grid
+        yields one empty setting (i.e. defaults)."""
+        if not self.grid:
+            yield {}
+            return
+        keys = sorted(self.grid)
+        for values in itertools.product(*(self.grid[k] for k in keys)):
+            yield dict(zip(keys, values))
+
+
+def applicable_grid(
+    grid: Mapping[str, Sequence[Any]], pipeline: Pipeline
+) -> ParamGrid:
+    """Shorthand: wrap ``grid`` and restrict it to ``pipeline``."""
+    base = grid if isinstance(grid, ParamGrid) else ParamGrid(grid)
+    return base.for_pipeline(pipeline)
+
+
+def expand_grid(grid: Mapping[str, Sequence[Any]]) -> List[Dict[str, Any]]:
+    """Materialize every combination of ``grid``."""
+    base = grid if isinstance(grid, ParamGrid) else ParamGrid(grid)
+    return list(base.combinations())

@@ -1,0 +1,215 @@
+"""Machine-learning pipelines (paper Section IV-A, Fig. 5).
+
+"A Pipeline is a sequence of adjacent connected graph nodes that starts
+from root node v_root and ends at leaf node v_k."  Training passes data
+through the internal nodes with "fit & transform" and fits the final
+estimator; prediction passes data through "transform" operations and the
+trained estimator — exactly the two operations every pipeline must
+support for cross-validated graph evaluation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.ml.base import BaseComponent, NotFittedError, clone
+
+__all__ = ["Pipeline", "make_pipeline"]
+
+
+class Pipeline:
+    """An ordered chain of named components ending in an estimator.
+
+    Parameters
+    ----------
+    steps:
+        Sequence of ``(name, component)`` pairs.  All but the last must
+        be transformers (``fit``/``transform``); the last must be an
+        estimator (``fit``/``predict``).  Names must be unique — they are
+        the handles for the ``name__param`` convention.
+    """
+
+    def __init__(self, steps: Sequence[Tuple[str, Any]]):
+        steps = list(steps)
+        if not steps:
+            raise ValueError("a pipeline needs at least one step")
+        names = [name for name, _ in steps]
+        if len(set(names)) != len(names):
+            duplicates = sorted(
+                {name for name in names if names.count(name) > 1}
+            )
+            raise ValueError(f"duplicate step names: {duplicates}")
+        for name, component in steps[:-1]:
+            if not (hasattr(component, "fit") and hasattr(component, "transform")):
+                raise TypeError(
+                    f"intermediate step {name!r} must be a transformer "
+                    "(fit + transform)"
+                )
+        final_name, final = steps[-1]
+        if not (hasattr(final, "fit") and hasattr(final, "predict")):
+            raise TypeError(
+                f"final step {final_name!r} must be an estimator "
+                "(fit + predict)"
+            )
+        self.steps: List[Tuple[str, Any]] = steps
+        self.fitted_steps_: Optional[List[Tuple[str, Any]]] = None
+
+    # -- introspection ----------------------------------------------------
+    @property
+    def step_names(self) -> List[str]:
+        """Ordered node names of the pipeline's steps."""
+        return [name for name, _ in self.steps]
+
+    @property
+    def estimator(self) -> Any:
+        """The final (unfitted template) estimator."""
+        return self.steps[-1][1]
+
+    @property
+    def fitted_estimator(self) -> Any:
+        """The final estimator of the last ``fit``."""
+        if self.fitted_steps_ is None:
+            raise NotFittedError("pipeline is not fitted yet")
+        return self.fitted_steps_[-1][1]
+
+    def named_steps(self) -> Dict[str, Any]:
+        """Mapping of step name to (template) component."""
+        return dict(self.steps)
+
+    def path_string(self) -> str:
+        """Human-readable path, e.g.
+        ``Input -> robustscaler -> selectkbest -> decisiontree``."""
+        return " -> ".join(["Input"] + self.step_names)
+
+    def __repr__(self) -> str:
+        return f"Pipeline({self.path_string()})"
+
+    def __iter__(self) -> Iterator[Tuple[str, Any]]:
+        return iter(self.steps)
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    # -- parameters --------------------------------------------------------
+    def set_params(self, **params: Any) -> "Pipeline":
+        """Set node hyper-parameters via the ``name__param`` convention.
+
+        "The naming convention 'pca__n_components' (node name followed by
+        two underscore sign followed by attribute name) is adopted from
+        sklearn" (paper Section IV).
+        """
+        by_name = dict(self.steps)
+        for key, value in params.items():
+            if "__" not in key:
+                raise ValueError(
+                    f"parameter {key!r} is not in <node>__<param> form"
+                )
+            node, _, attribute = key.partition("__")
+            if node not in by_name:
+                raise ValueError(
+                    f"unknown node {node!r}; pipeline nodes: "
+                    f"{self.step_names}"
+                )
+            component = by_name[node]
+            if isinstance(component, BaseComponent):
+                component.set_params(**{attribute: value})
+            else:
+                if not hasattr(component, attribute):
+                    raise ValueError(
+                        f"{type(component).__name__} has no parameter "
+                        f"{attribute!r}"
+                    )
+                setattr(component, attribute, value)
+        return self
+
+    def get_params(self) -> Dict[str, Any]:
+        """All node parameters flattened to ``name__param`` keys."""
+        out: Dict[str, Any] = {}
+        for name, component in self.steps:
+            getter = getattr(component, "get_params", None)
+            if callable(getter):
+                for key, value in getter().items():
+                    out[f"{name}__{key}"] = value
+        return out
+
+    def clone(self) -> "Pipeline":
+        """Unfitted copy with cloned components (cross-validation folds
+        must never share fitted state)."""
+        return Pipeline(
+            [(name, clone(component)) for name, component in self.steps]
+        )
+
+    # -- training & prediction (paper Fig. 5) ------------------------------
+    def fit(self, X: Any, y: Any = None) -> "Pipeline":
+        """Training: internal nodes run "fit & transform", the last node
+        runs "fit"."""
+        fitted: List[Tuple[str, Any]] = []
+        data = X
+        for name, component in self.steps[:-1]:
+            node = clone(component)
+            data = node.fit_transform(data, y)
+            fitted.append((name, node))
+        final_name, final_component = self.steps[-1]
+        final = clone(final_component)
+        final.fit(data, y)
+        fitted.append((final_name, final))
+        self.fitted_steps_ = fitted
+        return self
+
+    def _transform_through(self, X: Any) -> Any:
+        if self.fitted_steps_ is None:
+            raise NotFittedError("pipeline is not fitted yet; call fit()")
+        data = X
+        for _, node in self.fitted_steps_[:-1]:
+            data = node.transform(data)
+        return data
+
+    def predict(self, X: Any) -> np.ndarray:
+        """Prediction: internal nodes run "transform", the trained final
+        node runs "predict"."""
+        data = self._transform_through(X)
+        return self.fitted_steps_[-1][1].predict(data)
+
+    def predict_proba(self, X: Any) -> np.ndarray:
+        """Probability predictions where the final estimator supports
+        them."""
+        data = self._transform_through(X)
+        final = self.fitted_steps_[-1][1]
+        if not hasattr(final, "predict_proba"):
+            raise AttributeError(
+                f"{type(final).__name__} does not implement predict_proba"
+            )
+        return final.predict_proba(data)
+
+    def transform(self, X: Any) -> Any:
+        """Run the fitted transformer prefix only (no estimator)."""
+        return self._transform_through(X)
+
+    def score(self, X: Any, y: Any) -> float:
+        """Delegate to the final estimator's default score."""
+        data = self._transform_through(X)
+        return self.fitted_steps_[-1][1].score(data, y)
+
+
+def _auto_name(component: Any, taken: set) -> str:
+    base = type(component).__name__.lower()
+    name = base
+    suffix = 2
+    while name in taken:
+        name = f"{base}_{suffix}"
+        suffix += 1
+    return name
+
+
+def make_pipeline(*components: Any) -> Pipeline:
+    """Build a pipeline with auto-generated node names (lower-cased class
+    names, deduplicated with ``_2``, ``_3`` …)."""
+    taken: set = set()
+    steps = []
+    for component in components:
+        name = _auto_name(component, taken)
+        taken.add(name)
+        steps.append((name, component))
+    return Pipeline(steps)

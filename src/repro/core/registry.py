@@ -1,0 +1,145 @@
+"""Component registry and pipeline rehydration from specs.
+
+The DARR shares results as canonical specs (paper Section III: results
+are stored "along with an explanation of how the results were
+achieved").  A consuming client that wants to *use* a shared winner —
+not just read its score — must rebuild the pipeline from its spec.
+This module maintains a registry of component classes by name and
+reconstructs components, pipelines and full computations from the spec
+documents produced by :mod:`repro.core.spec`.
+
+All built-in components register automatically; user components can be
+added with :func:`register_component`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping, Type
+
+from repro.core.pipeline import Pipeline
+
+__all__ = [
+    "register_component",
+    "resolve_component_class",
+    "component_from_spec",
+    "pipeline_from_spec",
+    "registered_components",
+]
+
+_REGISTRY: Dict[str, Type] = {}
+_BUILTINS_LOADED = False
+
+
+def register_component(cls: Type, name: str = None) -> Type:
+    """Register a component class for spec rehydration.
+
+    Usable as a decorator.  Re-registering the same class under the same
+    name is a no-op; a *different* class under an existing name raises.
+    """
+    key = name or cls.__name__
+    existing = _REGISTRY.get(key)
+    if existing is not None and existing is not cls:
+        raise ValueError(
+            f"component name {key!r} already registered to "
+            f"{existing.__module__}.{existing.__name__}"
+        )
+    _REGISTRY[key] = cls
+    return cls
+
+
+def registered_components() -> Dict[str, Type]:
+    """Snapshot of the registry (name -> class)."""
+    _ensure_builtins()
+    return dict(_REGISTRY)
+
+
+def resolve_component_class(name: str) -> Type:
+    """Look up a component class by spec class name."""
+    _ensure_builtins()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown component class {name!r}; register it with "
+            "repro.core.registry.register_component"
+        ) from None
+
+
+def _decode_param(value: Any) -> Any:
+    """Inverse of :func:`repro.core.spec._jsonable` for rebuildable
+    values; callable/repr placeholders raise (they are descriptive
+    only)."""
+    if isinstance(value, Mapping):
+        if "__ndarray__" in value:
+            import numpy as np
+
+            return np.asarray(value["__ndarray__"])
+        if "class" in value and "params" in value:
+            return component_from_spec(value)
+        if "__callable__" in value or "__repr__" in value:
+            raise ValueError(
+                f"parameter value {value} is not rehydratable (callable "
+                "or opaque repr); share named options instead"
+            )
+        return {k: _decode_param(v) for k, v in value.items()}
+    if isinstance(value, list):
+        return [_decode_param(v) for v in value]
+    return value
+
+
+def component_from_spec(spec: Mapping[str, Any]) -> Any:
+    """Instantiate a component from its spec document."""
+    cls = resolve_component_class(spec["class"])
+    params = {
+        name: _decode_param(value)
+        for name, value in spec.get("params", {}).items()
+    }
+    # Drop fitted-state attributes that are not constructor parameters
+    # (specs only ever contain constructor params, but be permissive).
+    return cls(**params)
+
+
+def pipeline_from_spec(spec: Mapping[str, Any]) -> Pipeline:
+    """Rebuild an unfitted :class:`Pipeline` from a pipeline spec (the
+    ``"pipeline"`` entry of a computation spec, or the spec itself)."""
+    if "pipeline" in spec:
+        spec = spec["pipeline"]
+    steps = [
+        (step["name"], component_from_spec(step))
+        for step in spec["steps"]
+    ]
+    return Pipeline(steps)
+
+
+def _ensure_builtins() -> None:
+    """Populate the registry with every built-in component (idempotent)."""
+    global _BUILTINS_LOADED
+    if _BUILTINS_LOADED:
+        return
+    from repro.ml import cluster, decomposition, ensemble, linear, neighbors
+    from repro.ml import feature_selection, preprocessing, tree
+    from repro.nn import estimators as nn_estimators
+    from repro.timeseries import models as ts_models
+    from repro.timeseries import windows as ts_windows
+
+    modules = [
+        preprocessing,
+        feature_selection,
+        decomposition,
+        linear,
+        tree,
+        ensemble,
+        neighbors,
+        cluster,
+        nn_estimators,
+        ts_models,
+        ts_windows,
+    ]
+    from repro.ml.base import BaseComponent
+
+    for module in modules:
+        for name in getattr(module, "__all__", []):
+            obj = getattr(module, name, None)
+            if isinstance(obj, type) and issubclass(obj, BaseComponent):
+                _REGISTRY.setdefault(name, obj)
+    _BUILTINS_LOADED = True

@@ -1,0 +1,216 @@
+"""Budgeted search strategies over Transformer-Estimator Graphs.
+
+Paper Section III: "The total number of possible calculations for a data
+set is generally too large to exhaustively determine.  This is
+particularly true given the large number of parameter settings."  The
+exhaustive sweep of :class:`~repro.core.evaluation.GraphEvaluator` is the
+baseline; this module adds two budget-aware strategies:
+
+* :class:`RandomizedGraphSearch` — evaluate a uniform random sample of
+  ``n_iter`` (pipeline, parameter-setting) jobs.
+* :class:`SuccessiveHalvingSearch` — evaluate all candidates under a
+  cheap cross-validation budget, keep the best ``1/eta`` fraction, and
+  re-evaluate survivors under successively larger budgets (more folds /
+  more data), so the full budget is spent only on promising paths.
+
+Both produce the same :class:`~repro.core.evaluation.EvaluationReport`
+as the exhaustive evaluator and publish through the same
+``result_hook``/``job_filter`` interfaces, so they compose with the DARR
+unchanged.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, List, Mapping, Optional
+
+import numpy as np
+
+from repro.core.evaluation import (
+    EvaluationJob,
+    EvaluationReport,
+    GraphEvaluator,
+)
+from repro.ml.model_selection.splits import KFold
+
+__all__ = ["RandomizedGraphSearch", "SuccessiveHalvingSearch"]
+
+
+class RandomizedGraphSearch:
+    """Evaluate a random sample of the graph's job space.
+
+    Parameters
+    ----------
+    evaluator:
+        The configured :class:`GraphEvaluator` (graph + CV + metric).
+    n_iter:
+        Number of jobs to sample (without replacement; clipped to the
+        job-space size).
+    random_state:
+        Sampling seed.
+    """
+
+    def __init__(
+        self,
+        evaluator: GraphEvaluator,
+        n_iter: int = 20,
+        random_state: Optional[int] = None,
+    ):
+        if n_iter < 1:
+            raise ValueError("n_iter must be >= 1")
+        self.evaluator = evaluator
+        self.n_iter = n_iter
+        self.random_state = random_state
+
+    def evaluate(
+        self,
+        X: Any,
+        y: Any,
+        param_grid: Optional[Mapping[str, Any]] = None,
+        refit_best: bool = True,
+    ) -> EvaluationReport:
+        started = time.perf_counter()
+        jobs = list(self.evaluator.iter_jobs(X, y, param_grid))
+        rng = np.random.default_rng(self.random_state)
+        k = min(self.n_iter, len(jobs))
+        chosen_indices = rng.choice(len(jobs), size=k, replace=False)
+        report = EvaluationReport(
+            metric=self.evaluator.metric_name,
+            greater_is_better=self.evaluator.greater_is_better,
+        )
+        jobs_by_key = {}
+        for index in sorted(chosen_indices):
+            job = jobs[index]
+            jobs_by_key[job.key] = job
+            if (
+                self.evaluator.job_filter is not None
+                and not self.evaluator.job_filter(job)
+            ):
+                continue
+            report.results.append(self.evaluator.run_job(job, X, y))
+        best = report.best_result()
+        if best is not None:
+            report.best_path = best.path
+            report.best_params = dict(best.params)
+            if refit_best and best.key in jobs_by_key:
+                model = jobs_by_key[best.key].configured_pipeline()
+                model.fit(np.asarray(X), np.asarray(y))
+                report.best_model = model
+        report.elapsed_seconds = time.perf_counter() - started
+        return report
+
+
+class SuccessiveHalvingSearch:
+    """Multi-round elimination over the graph's pipelines.
+
+    Round r evaluates the surviving candidates with ``folds[r]``-fold
+    cross validation (cheap first, expensive last) and keeps the best
+    ``ceil(n / eta)``.  The report carries the final-round results; the
+    per-round history is available as ``rounds_``.
+
+    Parameters
+    ----------
+    evaluator:
+        Configured evaluator; its ``cv`` is *ignored* — the schedule
+        below replaces it.
+    folds:
+        Cross-validation folds per round, ascending cost
+        (default ``(2, 3, 5)``).
+    eta:
+        Elimination factor per round.
+    """
+
+    def __init__(
+        self,
+        evaluator: GraphEvaluator,
+        folds: tuple = (2, 3, 5),
+        eta: float = 3.0,
+        random_state: Optional[int] = 0,
+    ):
+        if not folds:
+            raise ValueError("folds must be non-empty")
+        if any(f < 2 for f in folds):
+            raise ValueError("every round needs >= 2 folds")
+        if eta <= 1.0:
+            raise ValueError("eta must be > 1")
+        self.evaluator = evaluator
+        self.folds = tuple(folds)
+        self.eta = eta
+        self.random_state = random_state
+        self.rounds_: List[dict] = []
+
+    def evaluate(
+        self,
+        X: Any,
+        y: Any,
+        param_grid: Optional[Mapping[str, Any]] = None,
+        refit_best: bool = True,
+    ) -> EvaluationReport:
+        started = time.perf_counter()
+        survivors: List[EvaluationJob] = list(
+            self.evaluator.iter_jobs(X, y, param_grid)
+        )
+        self.rounds_ = []
+        final_results = []
+        greater = self.evaluator.greater_is_better
+        for round_index, n_folds in enumerate(self.folds):
+            round_evaluator = GraphEvaluator(
+                self.evaluator.graph,
+                cv=KFold(n_folds, random_state=self.random_state),
+                metric=self.evaluator.metric,
+                job_filter=self.evaluator.job_filter,
+                result_hook=self.evaluator.result_hook,
+            )
+            results = []
+            for job in survivors:
+                # Re-key the job under this round's CV so DARR entries
+                # from different budgets never collide.
+                round_job = next(
+                    j
+                    for j in round_evaluator.iter_jobs(X, y, param_grid)
+                    if j.path == job.path and j.params == job.params
+                )
+                results.append(
+                    (job, round_evaluator.run_job(round_job, X, y))
+                )
+            results.sort(
+                key=lambda pair: pair[1].score, reverse=greater
+            )
+            self.rounds_.append(
+                {
+                    "folds": n_folds,
+                    "candidates": len(survivors),
+                    "scores": [r.score for _, r in results],
+                }
+            )
+            final_results = results
+            if round_index < len(self.folds) - 1:
+                keep = max(1, int(np.ceil(len(results) / self.eta)))
+                survivors = [job for job, _ in results[:keep]]
+            if len(survivors) == 1:
+                break
+        report = EvaluationReport(
+            metric=self.evaluator.metric_name,
+            greater_is_better=greater,
+        )
+        report.results = [result for _, result in final_results]
+        best = report.best_result()
+        if best is not None:
+            report.best_path = best.path
+            report.best_params = dict(best.params)
+            if refit_best:
+                best_job = next(
+                    job
+                    for job, result in final_results
+                    if result.key == best.key
+                )
+                model = best_job.configured_pipeline()
+                model.fit(np.asarray(X), np.asarray(y))
+                report.best_model = model
+        report.elapsed_seconds = time.perf_counter() - started
+        return report
+
+    @property
+    def total_evaluations_(self) -> int:
+        """Jobs actually executed across all rounds."""
+        return sum(r["candidates"] for r in self.rounds_)

@@ -1,0 +1,131 @@
+"""Canonical, hashable computation specs.
+
+The DARR (paper Section III, Fig. 2) must "keep track of all analytics
+calculations that have been run for a particular data set" so clients
+"can ... perform additional calculations which do not overlap with those
+already stored".  That requires a *canonical identity* for a
+calculation: the pipeline structure, its parameter setting, the
+cross-validation strategy, the metric, and the dataset fingerprint.
+This module produces that identity as a JSON document plus a stable
+SHA-256 key.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Dict, Mapping, Optional
+
+import numpy as np
+
+from repro.core.pipeline import Pipeline
+
+__all__ = [
+    "component_spec",
+    "pipeline_spec",
+    "computation_spec",
+    "spec_key",
+    "dataset_fingerprint",
+]
+
+
+def _jsonable(value: Any) -> Any:
+    """Normalize a parameter value into a JSON-stable form."""
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        return round(value, 12)
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return round(float(value), 12)
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, np.ndarray):
+        return {"__ndarray__": _jsonable(value.tolist())}
+    if isinstance(value, Mapping):
+        return {str(k): _jsonable(v) for k, v in sorted(value.items())}
+    if hasattr(value, "get_params"):
+        return component_spec(value)
+    if callable(value):
+        return {"__callable__": getattr(value, "__name__", repr(value))}
+    return {"__repr__": repr(value)}
+
+
+def component_spec(component: Any) -> Dict[str, Any]:
+    """Spec of one component: class name + normalized parameters."""
+    params: Dict[str, Any] = {}
+    getter = getattr(component, "get_params", None)
+    if callable(getter):
+        params = {k: _jsonable(v) for k, v in sorted(getter().items())}
+    return {"class": type(component).__name__, "params": params}
+
+
+def pipeline_spec(pipeline: Pipeline) -> Dict[str, Any]:
+    """Spec of a pipeline: the ordered named steps."""
+    return {
+        "steps": [
+            {"name": name, **component_spec(component)}
+            for name, component in pipeline.steps
+        ]
+    }
+
+
+def dataset_fingerprint(X: Any, y: Any = None) -> str:
+    """Content fingerprint of a dataset (shape + value hash).
+
+    Clients cooperating through the DARR must agree on what "the same
+    data set" means; hashing the bytes of the arrays makes the agreement
+    exact — any update to the data yields a new fingerprint and therefore
+    a fresh set of calculations, which is precisely the recompute-on-
+    change behaviour of Section III.
+    """
+    digest = hashlib.sha256()
+    arr = np.ascontiguousarray(np.asarray(X, dtype=float))
+    digest.update(str(arr.shape).encode())
+    digest.update(arr.tobytes())
+    if y is not None:
+        y_arr = np.ascontiguousarray(np.asarray(y))
+        digest.update(str(y_arr.shape).encode())
+        digest.update(y_arr.tobytes())
+    return digest.hexdigest()[:32]
+
+
+def computation_spec(
+    pipeline: Pipeline,
+    params: Optional[Mapping[str, Any]] = None,
+    cv: Any = None,
+    metric: Optional[str] = None,
+    dataset: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Full identity of one analytics calculation.
+
+    ``dataset`` is a fingerprint from :func:`dataset_fingerprint`;
+    ``cv`` may be a splitter instance (specced by class + params) or a
+    plain string.
+    """
+    cv_spec: Any
+    if cv is None:
+        cv_spec = None
+    elif isinstance(cv, str):
+        cv_spec = cv
+    else:
+        cv_params = {
+            k: _jsonable(v)
+            for k, v in sorted(vars(cv).items())
+            if not k.startswith("_")
+        }
+        cv_spec = {"class": type(cv).__name__, "params": cv_params}
+    return {
+        "pipeline": pipeline_spec(pipeline),
+        "params": {k: _jsonable(v) for k, v in sorted((params or {}).items())},
+        "cv": cv_spec,
+        "metric": metric,
+        "dataset": dataset,
+    }
+
+
+def spec_key(spec: Mapping[str, Any]) -> str:
+    """Stable SHA-256 key of a spec document (the DARR index key)."""
+    encoded = json.dumps(spec, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(encoded.encode()).hexdigest()[:32]

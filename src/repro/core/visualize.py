@@ -1,0 +1,65 @@
+"""Graph rendering: DOT and ASCII views of a Transformer-Estimator Graph.
+
+Listing 1 ends with ``create_graph`` generating "a graph for visual
+inspection.  The output would be similar to Figure 3."  Matplotlib is not
+assumed; :func:`to_dot` emits Graphviz source and :func:`to_ascii` prints
+a stage-by-stage view with the wiring, which is enough to inspect graphs
+in a terminal or notebook.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.graph import ROOT, TransformerEstimatorGraph
+
+__all__ = ["to_dot", "to_ascii", "describe"]
+
+
+def to_dot(graph: TransformerEstimatorGraph) -> str:
+    """Graphviz DOT source for the graph (stages as ranked clusters)."""
+    g = graph.create_graph()
+    lines: List[str] = [
+        f'digraph "{graph.name}" {{',
+        "  rankdir=LR;",
+        '  node [shape=box, style=rounded];',
+        f'  "{ROOT}" [shape=ellipse];',
+    ]
+    for index, stage in enumerate(graph.stages):
+        lines.append(f"  subgraph cluster_{index} {{")
+        lines.append(f'    label="{stage.name}";')
+        for option in stage.options:
+            lines.append(f'    "{option.name}" [label="{option.label()}"];')
+        lines.append("  }")
+    for src, dst in sorted(g.edges()):
+        lines.append(f'  "{src}" -> "{dst}";')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def to_ascii(graph: TransformerEstimatorGraph) -> str:
+    """Terminal-friendly rendering: one block per stage with options and
+    non-default wiring annotations."""
+    graph.validate()
+    lines: List[str] = [f"TransformerEstimatorGraph {graph.name!r}"]
+    lines.append(f"[{ROOT}]")
+    for index, stage in enumerate(graph.stages):
+        lines.append("   |")
+        lines.append(f"   v  stage {index + 1}: {stage.name}")
+        for option in stage.options:
+            lines.append(f"     - {option.name} ({option.label()})")
+        if index < len(graph.stages) - 1 and index in graph._edges:
+            lines.append("     wiring ->")
+            for src, dst in sorted(graph._edges[index]):
+                lines.append(f"       {src} -> {dst}")
+    lines.append(f"paths: {graph.n_pipelines}")
+    return "\n".join(lines)
+
+
+def describe(graph: TransformerEstimatorGraph) -> str:
+    """One-line summary: stage sizes and the total path count."""
+    sizes = " x ".join(str(len(stage.options)) for stage in graph.stages)
+    return (
+        f"{graph.name}: {len(graph.stages)} stages ({sizes} options), "
+        f"{graph.n_pipelines} pipelines"
+    )

@@ -1,0 +1,30 @@
+"""Cooperative analytics: the Data Analytics Results Repository and the
+client coordination built on it (paper Section III, Fig. 2)."""
+
+from repro.core.spec import dataset_fingerprint
+from repro.darr.coordinator import (
+    CooperativeEvaluator,
+    CooperativeStats,
+    rebuild_best_pipeline,
+    run_cooperative_session,
+)
+from repro.darr.records import AnalyticsResult
+from repro.darr.repository import (
+    DARR,
+    DataAnalyticsResultsRepository,
+    load_repository,
+    save_repository,
+)
+
+__all__ = [
+    "DataAnalyticsResultsRepository",
+    "DARR",
+    "AnalyticsResult",
+    "CooperativeEvaluator",
+    "CooperativeStats",
+    "run_cooperative_session",
+    "rebuild_best_pipeline",
+    "save_repository",
+    "load_repository",
+    "dataset_fingerprint",
+]

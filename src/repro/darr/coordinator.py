@@ -1,0 +1,225 @@
+"""Cooperative graph evaluation through the DARR.
+
+"Our system allows multiple clients to cooperate on performing data
+analytics calculations on common data sets.  That way, the clients can
+share the results with each other and not have to repeat calculations"
+(paper Section III).
+
+:class:`CooperativeEvaluator` wraps a
+:class:`~repro.core.evaluation.GraphEvaluator` for one client: for every
+evaluation job it first consults the DARR (reuse), then claims the key
+(so concurrent clients skip it), computes, and publishes.
+:func:`run_cooperative_session` interleaves several clients over the same
+graph/dataset job-by-job — the deterministic stand-in for concurrent
+clients that the Fig. 2 benchmark measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from repro.core.evaluation import (
+    EvaluationJob,
+    EvaluationReport,
+    GraphEvaluator,
+    PipelineResult,
+)
+from repro.darr.records import AnalyticsResult
+from repro.darr.repository import DataAnalyticsResultsRepository
+
+__all__ = ["CooperativeStats", "CooperativeEvaluator", "run_cooperative_session"]
+
+
+@dataclass
+class CooperativeStats:
+    """Per-client work accounting for one cooperative evaluation."""
+
+    computed: int = 0
+    reused: int = 0
+    skipped_claimed: int = 0
+
+    @property
+    def total_jobs(self) -> int:
+        """Jobs this client handled (computed + reused + skipped)."""
+        return self.computed + self.reused + self.skipped_claimed
+
+    @property
+    def redundancy_avoided(self) -> float:
+        """Fraction of this client's jobs it did not have to compute."""
+        if self.total_jobs == 0:
+            return 0.0
+        return (self.reused + self.skipped_claimed) / self.total_jobs
+
+
+class CooperativeEvaluator:
+    """DARR-aware evaluation for one client.
+
+    Parameters
+    ----------
+    evaluator:
+        The local :class:`GraphEvaluator` (graph + CV + metric).
+    darr:
+        The shared repository.
+    client:
+        This client's name (used for claims, publication provenance and
+        network accounting).
+    """
+
+    def __init__(
+        self,
+        evaluator: GraphEvaluator,
+        darr: DataAnalyticsResultsRepository,
+        client: str,
+    ):
+        self.evaluator = evaluator
+        self.darr = darr
+        self.client = client
+        self.stats = CooperativeStats()
+
+    def process_job(
+        self, job: EvaluationJob, X: Any, y: Any
+    ) -> Optional[PipelineResult]:
+        """Handle one job cooperatively.
+
+        Returns the result (fresh or reused) or ``None`` when another
+        client holds the claim (the result will appear in the DARR
+        later).
+        """
+        cached = self.darr.fetch(job.key, self.client)
+        if cached is not None:
+            self.stats.reused += 1
+            return cached.to_pipeline_result()
+        if not self.darr.claim(job.key, self.client):
+            # Either someone published between fetch and claim (rare in
+            # the simulation) or another client is computing it.
+            cached = self.darr.fetch(job.key, self.client)
+            if cached is not None:
+                self.stats.reused += 1
+                return cached.to_pipeline_result()
+            self.stats.skipped_claimed += 1
+            return None
+        try:
+            result = self.evaluator.run_job(job, X, y)
+        except Exception:
+            self.darr.release_claim(job.key, self.client)
+            raise
+        self.stats.computed += 1
+        record = AnalyticsResult.from_pipeline_result(
+            result,
+            client=self.client,
+            spec=job.spec,
+            timestamp=self.darr._now(),
+        )
+        self.darr.publish(record, self.client)
+        return result
+
+    def evaluate(
+        self,
+        X: Any,
+        y: Any,
+        param_grid: Optional[Mapping[str, Any]] = None,
+        refit_best: bool = True,
+    ) -> EvaluationReport:
+        """Full cooperative sweep: DARR-check every job, compute only the
+        unclaimed remainder, and merge all completed results (including
+        other clients') into the selection."""
+        import time
+
+        started = time.perf_counter()
+        report = EvaluationReport(
+            metric=self.evaluator.metric_name,
+            greater_is_better=self.evaluator.greater_is_better,
+        )
+        jobs_by_key: Dict[str, EvaluationJob] = {}
+        dataset = None
+        for job in self.evaluator.iter_jobs(X, y, param_grid):
+            jobs_by_key[job.key] = job
+            dataset = job.spec.get("dataset")
+            result = self.process_job(job, X, y)
+            if result is not None:
+                report.results.append(result)
+        # Pick up results other clients published for jobs we skipped.
+        seen = {result.key for result in report.results}
+        if dataset is not None:
+            for key in self.darr.completed_keys(dataset):
+                if key in jobs_by_key and key not in seen:
+                    cached = self.darr.fetch(key, self.client)
+                    if cached is not None:
+                        report.results.append(cached.to_pipeline_result())
+                        seen.add(key)
+        best = report.best_result()
+        if best is not None:
+            report.best_path = best.path
+            report.best_params = dict(best.params)
+            if refit_best and best.key in jobs_by_key:
+                import numpy as np
+
+                model = jobs_by_key[best.key].configured_pipeline()
+                model.fit(np.asarray(X), np.asarray(y))
+                report.best_model = model
+        report.elapsed_seconds = time.perf_counter() - started
+        return report
+
+
+def run_cooperative_session(
+    evaluators: Sequence[CooperativeEvaluator],
+    X: Any,
+    y: Any,
+    param_grid: Optional[Mapping[str, Any]] = None,
+) -> List[List[Optional[PipelineResult]]]:
+    """Interleave several clients over the same job stream.
+
+    Each client enumerates its own jobs (identical keys since graph,
+    CV, metric and data agree); processing alternates client-by-client,
+    modeling concurrent clients racing on the DARR.  Returns the
+    per-client result lists.
+    """
+    if not evaluators:
+        raise ValueError("need at least one cooperative evaluator")
+    job_streams = [
+        list(coop.evaluator.iter_jobs(X, y, param_grid))
+        for coop in evaluators
+    ]
+    lengths = {len(stream) for stream in job_streams}
+    if len(lengths) != 1:
+        raise ValueError(
+            "clients disagree on the job set; graphs/CV/metric must match"
+        )
+    n_jobs = lengths.pop()
+    outputs: List[List[Optional[PipelineResult]]] = [
+        [] for _ in evaluators
+    ]
+    for index in range(n_jobs):
+        for c, coop in enumerate(evaluators):
+            outputs[c].append(
+                coop.process_job(job_streams[c][index], X, y)
+            )
+    return outputs
+
+
+def rebuild_best_pipeline(
+    darr: DataAnalyticsResultsRepository,
+    dataset: Optional[str] = None,
+    metric: Optional[str] = None,
+):
+    """Reconstruct the best shared pipeline from its DARR spec.
+
+    Returns an *unfitted* :class:`repro.core.pipeline.Pipeline` built via
+    the component registry, with the stored parameter setting applied —
+    a consuming client fits it on its own copy of the data.  Raises
+    ``LookupError`` when the repository has no matching results.
+    """
+    best = darr.best(dataset=dataset, metric=metric)
+    if best is None:
+        raise LookupError("no results in the repository match the query")
+    if not best.spec or "pipeline" not in best.spec:
+        raise LookupError(
+            f"result {best.key} carries no pipeline spec to rebuild from"
+        )
+    from repro.core.registry import pipeline_from_spec
+
+    pipeline = pipeline_from_spec(best.spec)
+    if best.params:
+        pipeline.set_params(**best.params)
+    return pipeline

@@ -1,0 +1,103 @@
+"""Analytics result records stored in the DARR.
+
+"Clients can place their data analytics results, along with an
+explanation of how the results were achieved, in a data analytics results
+repository (DARR) in the cloud" (paper Section III, Fig. 2).
+
+A record carries the full computation spec (pipeline, parameters, CV,
+metric, dataset fingerprint), the scores, the producing client and a
+human-readable explanation — enough for another client to trust, reuse
+or reproduce the calculation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.core.evaluation import PipelineResult
+from repro.distributed.objects import encode_payload
+
+__all__ = ["AnalyticsResult"]
+
+
+@dataclass(frozen=True)
+class AnalyticsResult:
+    """One completed analytics calculation.
+
+    ``key`` is the canonical spec key from
+    :func:`repro.core.spec.spec_key`; two clients computing the same
+    pipeline with the same parameters, CV and metric on the same data
+    produce the same key — which is what lets the DARR deduplicate work.
+    """
+
+    key: str
+    dataset: Optional[str]
+    path: str
+    params: Dict[str, Any]
+    metric: str
+    score: float
+    std: float
+    fold_scores: List[float]
+    greater_is_better: bool
+    client: str
+    explanation: str
+    timestamp: float = 0.0
+    spec: Dict[str, Any] = field(default_factory=dict)
+
+    @classmethod
+    def from_pipeline_result(
+        cls,
+        result: PipelineResult,
+        client: str,
+        spec: Optional[Dict[str, Any]] = None,
+        timestamp: float = 0.0,
+    ) -> "AnalyticsResult":
+        """Package a local :class:`PipelineResult` for publication."""
+        spec = spec or {}
+        cv = result.cv_result
+        explanation = (
+            f"pipeline [{result.path}] with params {result.params or '{}'} "
+            f"evaluated by {client} using "
+            f"{len(cv.fold_scores)}-fold cross-validation on metric "
+            f"{cv.metric}: mean={cv.mean_score:.6f} std={cv.std_score:.6f}"
+        )
+        return cls(
+            key=result.key,
+            dataset=spec.get("dataset"),
+            path=result.path,
+            params=dict(result.params),
+            metric=cv.metric,
+            score=cv.mean_score,
+            std=cv.std_score,
+            fold_scores=list(cv.fold_scores),
+            greater_is_better=cv.greater_is_better,
+            client=client,
+            explanation=explanation,
+            timestamp=timestamp,
+            spec=spec,
+        )
+
+    def to_pipeline_result(self) -> PipelineResult:
+        """Rehydrate as a :class:`PipelineResult` flagged ``from_cache``
+        so it can merge into a local evaluation report."""
+        from repro.ml.model_selection.cross_validate import (
+            CrossValidationResult,
+        )
+
+        return PipelineResult(
+            path=self.path,
+            params=dict(self.params),
+            cv_result=CrossValidationResult(
+                metric=self.metric,
+                fold_scores=list(self.fold_scores),
+                greater_is_better=self.greater_is_better,
+            ),
+            key=self.key,
+            from_cache=True,
+        )
+
+    @property
+    def wire_size(self) -> int:
+        """Serialized size, for network accounting."""
+        return len(encode_payload(self))

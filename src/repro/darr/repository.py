@@ -1,0 +1,228 @@
+"""The Data Analytics Results Repository (paper Section III, Fig. 2).
+
+"The DARR can be accessed and written to by multiple clients, allowing
+them to both store and retrieve analytics information ...  the DARR can
+keep track of all analytics calculations that have been run for a
+particular data set ...  Users can determine from the DARR which
+calculations have been run for a certain data set.  Clients can then use
+previous results stored in the DARR.  They can also perform additional
+calculations which do not overlap with those already stored in the DARR."
+
+Beyond completed results, the repository supports *claims*: a client
+announces it is computing a key, so concurrent clients neither duplicate
+in-flight work nor deadlock (claims expire).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.darr.records import AnalyticsResult
+from repro.distributed.cluster import SimulatedNetwork
+
+__all__ = ["DataAnalyticsResultsRepository", "DARR"]
+
+# Modeled wire sizes for small control messages.
+_QUERY_SIZE = 48
+_CLAIM_SIZE = 48
+
+
+@dataclass
+class _Claim:
+    client: str
+    expires_at: float
+
+
+class DataAnalyticsResultsRepository:
+    """Cloud-resident shared store of analytics results.
+
+    Parameters
+    ----------
+    name:
+        Network identity.
+    network:
+        Shared simulated network; all repository traffic is accounted on
+        it (queries, claims, publishes, fetches).
+    claim_duration:
+        Seconds before an unfinished claim expires and another client may
+        take the job over.
+    """
+
+    def __init__(
+        self,
+        name: str = "darr",
+        network: Optional[SimulatedNetwork] = None,
+        claim_duration: float = 300.0,
+    ):
+        if claim_duration <= 0:
+            raise ValueError("claim_duration must be positive")
+        self.name = name
+        self.network = network
+        if network is not None:
+            network.register(name, self)
+        self.claim_duration = claim_duration
+        self._results: Dict[str, AnalyticsResult] = {}
+        self._claims: Dict[str, _Claim] = {}
+        self.stats = {
+            "publishes": 0,
+            "duplicate_publishes": 0,
+            "fetch_hits": 0,
+            "fetch_misses": 0,
+            "claims_granted": 0,
+            "claims_denied": 0,
+        }
+
+    # -- internals --------------------------------------------------------
+    def _now(self) -> float:
+        return self.network.clock.now if self.network is not None else 0.0
+
+    def _account(self, client: str, n_bytes: int, tag: str, inbound: bool) -> None:
+        if self.network is None or client == self.name:
+            return
+        if inbound:
+            self.network.transfer(client, self.name, n_bytes, tag=tag)
+        else:
+            self.network.transfer(self.name, client, n_bytes, tag=tag)
+
+    # -- result lifecycle ----------------------------------------------------
+    def publish(self, result: AnalyticsResult, client: str) -> bool:
+        """Store a completed result; returns False if the key already
+        existed (first write wins — the computations are deterministic
+        replicas)."""
+        self._account(client, result.wire_size, "darr-publish", inbound=True)
+        self._claims.pop(result.key, None)
+        if result.key in self._results:
+            self.stats["duplicate_publishes"] += 1
+            return False
+        self._results[result.key] = result
+        self.stats["publishes"] += 1
+        return True
+
+    def has(self, key: str, client: Optional[str] = None) -> bool:
+        """Check whether a calculation has already been done."""
+        if client is not None:
+            self._account(client, _QUERY_SIZE, "darr-query", inbound=True)
+        return key in self._results
+
+    def fetch(self, key: str, client: str) -> Optional[AnalyticsResult]:
+        """Retrieve a result (network-accounted); None on miss."""
+        self._account(client, _QUERY_SIZE, "darr-query", inbound=True)
+        result = self._results.get(key)
+        if result is None:
+            self.stats["fetch_misses"] += 1
+            return None
+        self.stats["fetch_hits"] += 1
+        self._account(client, result.wire_size, "darr-fetch", inbound=False)
+        return result
+
+    def claim(self, key: str, client: str) -> bool:
+        """Try to claim in-flight work on ``key``.
+
+        Returns True if this client may compute it (no result yet and no
+        live claim by someone else).  Re-claiming one's own key renews
+        it.
+        """
+        self._account(client, _CLAIM_SIZE, "darr-claim", inbound=True)
+        if key in self._results:
+            self.stats["claims_denied"] += 1
+            return False
+        now = self._now()
+        existing = self._claims.get(key)
+        if existing is not None and existing.client != client and existing.expires_at > now:
+            self.stats["claims_denied"] += 1
+            return False
+        self._claims[key] = _Claim(client, now + self.claim_duration)
+        self.stats["claims_granted"] += 1
+        return True
+
+    def release_claim(self, key: str, client: str) -> None:
+        """Drop a claim without publishing (failed/abandoned work)."""
+        existing = self._claims.get(key)
+        if existing is not None and existing.client == client:
+            del self._claims[key]
+
+    # -- queries -----------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._results)
+
+    def completed_keys(self, dataset: Optional[str] = None) -> List[str]:
+        """Keys of completed calculations, optionally for one dataset."""
+        return sorted(
+            key
+            for key, result in self._results.items()
+            if dataset is None or result.dataset == dataset
+        )
+
+    def query(
+        self,
+        dataset: Optional[str] = None,
+        metric: Optional[str] = None,
+        path_contains: Optional[str] = None,
+    ) -> List[AnalyticsResult]:
+        """Filter results by dataset fingerprint, metric and/or path
+        substring."""
+        out = []
+        for result in self._results.values():
+            if dataset is not None and result.dataset != dataset:
+                continue
+            if metric is not None and result.metric != metric:
+                continue
+            if path_contains is not None and path_contains not in result.path:
+                continue
+            out.append(result)
+        return sorted(out, key=lambda r: r.key)
+
+    def best(
+        self, dataset: Optional[str] = None, metric: Optional[str] = None
+    ) -> Optional[AnalyticsResult]:
+        """Best stored result under its own metric direction."""
+        candidates = self.query(dataset=dataset, metric=metric)
+        if not candidates:
+            return None
+        directions = {r.greater_is_better for r in candidates}
+        if len(directions) > 1:
+            raise ValueError(
+                "cannot rank results with mixed metric directions; filter "
+                "by metric first"
+            )
+        if directions.pop():
+            return max(candidates, key=lambda r: r.score)
+        return min(candidates, key=lambda r: r.score)
+
+
+#: Short alias used throughout the paper's text.
+DARR = DataAnalyticsResultsRepository
+
+
+def save_repository(
+    repository: DataAnalyticsResultsRepository, path
+) -> int:
+    """Persist a repository's completed results to ``path``.
+
+    The DARR is cloud-resident in the paper; persistence gives it the
+    durability a real deployment needs (and lets sessions resume without
+    recomputing).  Returns the number of records written.
+    """
+    import pickle
+
+    records = [repository._results[k] for k in repository.completed_keys()]
+    with open(path, "wb") as handle:
+        pickle.dump(records, handle, protocol=4)
+    return len(records)
+
+
+def load_repository(
+    path,
+    name: str = "darr",
+    network=None,
+) -> DataAnalyticsResultsRepository:
+    """Load a repository previously written by :func:`save_repository`."""
+    import pickle
+
+    with open(path, "rb") as handle:
+        records = pickle.load(handle)
+    repository = DataAnalyticsResultsRepository(name=name, network=network)
+    for record in records:
+        repository._results[record.key] = record
+    return repository

@@ -1,0 +1,23 @@
+"""Synthetic datasets: tabular generators and heavy-industry simulations."""
+
+from repro.datasets.industrial import (
+    make_asset_fleet,
+    make_failure_dataset,
+    make_process_outcomes,
+    make_sensor_series,
+)
+from repro.datasets.synthetic import (
+    make_classification,
+    make_clusters,
+    make_regression,
+)
+
+__all__ = [
+    "make_regression",
+    "make_classification",
+    "make_clusters",
+    "make_sensor_series",
+    "make_failure_dataset",
+    "make_asset_fleet",
+    "make_process_outcomes",
+]

@@ -1,0 +1,195 @@
+"""Synthetic heavy-industry data (substitute for the paper's customer
+data).
+
+The paper's motivating problems come from "real data analytics problems
+from heavy industry": multivariate sensor streams, rare equipment
+failures, process outcomes driven by actionable factors, and fleets of
+assets with distinct behaviour cohorts.  The generators here synthesize
+each with the statistical features the pipeline stages are designed to
+handle — trend, seasonality, cross-variable coupling, regime shifts,
+degradation before failures, heavy class imbalance, and sensor noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "make_sensor_series",
+    "make_failure_dataset",
+    "make_asset_fleet",
+    "make_process_outcomes",
+]
+
+
+def make_sensor_series(
+    length: int = 400,
+    n_variables: int = 3,
+    seasonality: float = 1.0,
+    trend: float = 0.002,
+    noise: float = 0.08,
+    regime_shift_at: Optional[int] = None,
+    random_state: Optional[int] = None,
+) -> np.ndarray:
+    """Multivariate sensor stream ``(length, n_variables)``.
+
+    Variable 0 is the "primary" process variable (seasonal + trend);
+    later variables are lagged/coupled derivatives of it plus their own
+    periodic components — giving multivariate models genuine
+    cross-variable signal to exploit.  ``regime_shift_at`` injects a
+    mean shift (an equipment/environment change, Section II's
+    model-lifecycle concern).
+    """
+    if length < 10:
+        raise ValueError("length must be >= 10")
+    if n_variables < 1:
+        raise ValueError("n_variables must be >= 1")
+    rng = np.random.default_rng(random_state)
+    t = np.arange(length, dtype=float)
+    series = np.empty((length, n_variables))
+    primary = (
+        seasonality * np.sin(2 * np.pi * t / 48.0)
+        + 0.4 * seasonality * np.sin(2 * np.pi * t / 11.0)
+        + trend * t
+        + noise * rng.normal(size=length)
+    )
+    series[:, 0] = primary
+    for v in range(1, n_variables):
+        lag = 2 * v
+        coupled = np.roll(primary, lag)
+        coupled[:lag] = primary[0]
+        series[:, v] = (
+            0.6 * coupled
+            + 0.5 * np.cos(2 * np.pi * t / (20.0 + 7 * v))
+            + noise * rng.normal(size=length)
+        )
+    if regime_shift_at is not None:
+        if not 0 < regime_shift_at < length:
+            raise ValueError("regime_shift_at must fall inside the series")
+        series[regime_shift_at:] += 1.5
+    return series
+
+
+def make_failure_dataset(
+    n_samples: int = 600,
+    n_sensors: int = 8,
+    failure_rate: float = 0.08,
+    degradation_strength: float = 2.0,
+    missing_rate: float = 0.0,
+    random_state: Optional[int] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Sensor snapshots + imminent-failure labels (for FPA).
+
+    Failures are rare (``failure_rate``) and preceded by degradation: the
+    first three sensors drift by ``degradation_strength`` before a
+    failure.  ``missing_rate`` knocks out random readings (NaN) to
+    exercise imputation.
+    """
+    if not 0.0 < failure_rate < 0.5:
+        raise ValueError("failure_rate must be in (0, 0.5)")
+    if n_sensors < 3:
+        raise ValueError("n_sensors must be >= 3")
+    rng = np.random.default_rng(random_state)
+    X = rng.normal(size=(n_samples, n_sensors))
+    y = (rng.random(n_samples) < failure_rate).astype(int)
+    drift = degradation_strength * np.array([1.0, -0.8, 0.6])
+    X[y == 1, :3] += drift + 0.3 * rng.normal(size=(int(y.sum()), 3))
+    if missing_rate > 0.0:
+        if missing_rate >= 1.0:
+            raise ValueError("missing_rate must be < 1")
+        mask = rng.random(X.shape) < missing_rate
+        X[mask] = np.nan
+    return X, y
+
+
+def make_asset_fleet(
+    n_assets: int = 30,
+    n_cohorts: int = 3,
+    series_length: int = 200,
+    random_state: Optional[int] = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """A fleet of assets with cohort-specific operating behaviour.
+
+    Each cohort has its own (amplitude, period, level); each asset emits
+    one univariate sensor series.  Returns
+    ``(series, features, true_cohorts)`` where ``series`` is
+    ``(n_assets, series_length)`` and ``features`` is the per-asset
+    summary matrix (mean, std, dominant amplitude, autocorrelation) that
+    Cohort Analysis clusters.
+    """
+    if n_cohorts < 1 or n_assets < n_cohorts:
+        raise ValueError("need n_assets >= n_cohorts >= 1")
+    rng = np.random.default_rng(random_state)
+    amplitudes = rng.uniform(0.5, 3.0, size=n_cohorts)
+    periods = rng.uniform(10.0, 60.0, size=n_cohorts)
+    levels = rng.uniform(-2.0, 2.0, size=n_cohorts)
+    cohorts = np.arange(n_assets) % n_cohorts
+    rng.shuffle(cohorts)
+    t = np.arange(series_length, dtype=float)
+    series = np.empty((n_assets, series_length))
+    for a in range(n_assets):
+        c = cohorts[a]
+        phase = rng.uniform(0, 2 * np.pi)
+        series[a] = (
+            levels[c]
+            + amplitudes[c] * np.sin(2 * np.pi * t / periods[c] + phase)
+            + 0.15 * rng.normal(size=series_length)
+        )
+    features = np.column_stack(
+        [
+            series.mean(axis=1),
+            series.std(axis=1),
+            np.abs(series - series.mean(axis=1, keepdims=True)).max(axis=1),
+            [np.corrcoef(s[:-1], s[1:])[0, 1] for s in series],
+        ]
+    )
+    return series, features, cohorts
+
+
+def make_process_outcomes(
+    n_samples: int = 400,
+    random_state: Optional[int] = None,
+) -> Tuple[np.ndarray, np.ndarray, List[str], Dict[str, float]]:
+    """Industrial process runs with known factor contributions (for RCA).
+
+    Factors: temperature, pressure, feed_rate, catalyst_age,
+    humidity, shift (operator shift id — irrelevant by construction).
+    The outcome (yield) depends on the first four with known weights, so
+    a root-cause analysis can be validated against ground truth.
+
+    Returns ``(X, y, factor_names, true_contributions)`` where
+    ``true_contributions`` maps factor name to its generative weight.
+    """
+    rng = np.random.default_rng(random_state)
+    names = [
+        "temperature",
+        "pressure",
+        "feed_rate",
+        "catalyst_age",
+        "humidity",
+        "shift",
+    ]
+    weights = {
+        "temperature": 2.0,
+        "pressure": -1.5,
+        "feed_rate": 1.0,
+        "catalyst_age": -0.8,
+        "humidity": 0.0,
+        "shift": 0.0,
+    }
+    X = np.column_stack(
+        [
+            rng.normal(0.0, 1.0, n_samples),  # temperature
+            rng.normal(0.0, 1.0, n_samples),  # pressure
+            rng.normal(0.0, 1.0, n_samples),  # feed_rate
+            rng.uniform(0.0, 2.0, n_samples),  # catalyst_age
+            rng.normal(0.0, 1.0, n_samples),  # humidity (irrelevant)
+            rng.integers(0, 3, n_samples).astype(float),  # shift id
+        ]
+    )
+    y = sum(weights[name] * X[:, i] for i, name in enumerate(names))
+    y = y + 0.2 * rng.normal(size=n_samples)
+    return X, y, names, weights

@@ -1,0 +1,99 @@
+"""Synthetic tabular datasets for examples, tests and benchmarks.
+
+The paper evaluates on proprietary customer data from heavy industry;
+these generators provide open equivalents with controlled structure so
+every experiment is reproducible from a seed.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = ["make_regression", "make_classification", "make_clusters"]
+
+
+def make_regression(
+    n_samples: int = 200,
+    n_features: int = 10,
+    n_informative: int = 5,
+    noise: float = 0.1,
+    random_state: Optional[int] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Linear-with-interactions regression data.
+
+    The first ``n_informative`` features carry signal (linear terms plus
+    one pairwise interaction); the rest are distractors, which gives
+    feature-selection stages something real to do.
+    """
+    if not 1 <= n_informative <= n_features:
+        raise ValueError("need 1 <= n_informative <= n_features")
+    rng = np.random.default_rng(random_state)
+    X = rng.normal(size=(n_samples, n_features))
+    coef = rng.uniform(1.0, 3.0, size=n_informative) * rng.choice(
+        [-1.0, 1.0], size=n_informative
+    )
+    y = X[:, :n_informative] @ coef
+    if n_informative >= 2:
+        y = y + 0.5 * X[:, 0] * X[:, 1]
+    y = y + noise * rng.normal(size=n_samples)
+    return X, y
+
+
+def make_classification(
+    n_samples: int = 200,
+    n_features: int = 10,
+    n_informative: int = 5,
+    class_balance: float = 0.5,
+    separation: float = 2.0,
+    random_state: Optional[int] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Binary classification with controllable class imbalance.
+
+    ``class_balance`` is the positive-class fraction; small values model
+    the paper's "rare failure cases, but many successful cases".
+    """
+    if not 1 <= n_informative <= n_features:
+        raise ValueError("need 1 <= n_informative <= n_features")
+    if not 0.0 < class_balance < 1.0:
+        raise ValueError("class_balance must be in (0, 1)")
+    rng = np.random.default_rng(random_state)
+    n_pos = max(1, int(round(class_balance * n_samples)))
+    n_neg = n_samples - n_pos
+    if n_neg < 1:
+        raise ValueError("class_balance leaves no negative samples")
+    direction = rng.normal(size=n_informative)
+    direction /= np.linalg.norm(direction)
+    X_neg = rng.normal(size=(n_neg, n_features))
+    X_pos = rng.normal(size=(n_pos, n_features))
+    X_pos[:, :n_informative] += separation * direction
+    X = np.vstack([X_neg, X_pos])
+    y = np.concatenate([np.zeros(n_neg, dtype=int), np.ones(n_pos, dtype=int)])
+    order = rng.permutation(n_samples)
+    return X[order], y[order]
+
+
+def make_clusters(
+    n_samples: int = 300,
+    n_features: int = 4,
+    n_clusters: int = 3,
+    spread: float = 0.6,
+    random_state: Optional[int] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Isotropic Gaussian blobs with well-separated centers; returns
+    ``(X, true_labels)``."""
+    if n_clusters < 1:
+        raise ValueError("n_clusters must be >= 1")
+    rng = np.random.default_rng(random_state)
+    centers = rng.uniform(-5.0, 5.0, size=(n_clusters, n_features))
+    sizes = np.full(n_clusters, n_samples // n_clusters)
+    sizes[: n_samples % n_clusters] += 1
+    rows, labels = [], []
+    for c in range(n_clusters):
+        rows.append(centers[c] + spread * rng.normal(size=(sizes[c], n_features)))
+        labels.append(np.full(sizes[c], c))
+    X = np.vstack(rows)
+    y = np.concatenate(labels)
+    order = rng.permutation(len(X))
+    return X[order], y[order]

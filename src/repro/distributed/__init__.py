@@ -1,0 +1,89 @@
+"""Distributed substrate: simulated network, versioned stores, deltas,
+leases, change monitoring, scheduling and AI web services (paper
+Section III, Fig. 1)."""
+
+from repro.distributed.change_monitor import (
+    ApplicationPolicy,
+    ChangeMonitor,
+    ChangePolicy,
+    CostAwarePolicy,
+    DriftPolicy,
+    UpdateCountPolicy,
+    UpdateSizePolicy,
+)
+from repro.distributed.cluster import (
+    NetworkLink,
+    SimClock,
+    SimulatedNetwork,
+    TransferRecord,
+)
+from repro.distributed.datastore import (
+    DeltaResponse,
+    FullResponse,
+    HomeDataStore,
+)
+from repro.distributed.delta import Delta, apply_delta, compute_delta
+from repro.distributed.leases import Lease, LeaseManager, UpdateNotice
+from repro.distributed.lifecycle import ModelLifecycleManager, ModelRecord
+from repro.distributed.node import ClientNode, CloudAnalyticsServer, ComputeNode
+from repro.distributed.objects import (
+    VersionedObject,
+    decode_payload,
+    encode_payload,
+)
+from repro.distributed.replication import (
+    ConsistencyError,
+    ReplicatedDataStore,
+    SiteDownError,
+)
+from repro.distributed.scheduler import DistributedScheduler, ScheduleOutcome
+from repro.distributed.webservice import (
+    AIWebService,
+    AnomalyScoringService,
+    ForecastService,
+    ImputationService,
+    ServiceResponse,
+    WebServiceRegistry,
+)
+
+__all__ = [
+    "SimClock",
+    "NetworkLink",
+    "SimulatedNetwork",
+    "TransferRecord",
+    "VersionedObject",
+    "encode_payload",
+    "decode_payload",
+    "Delta",
+    "compute_delta",
+    "apply_delta",
+    "HomeDataStore",
+    "FullResponse",
+    "DeltaResponse",
+    "Lease",
+    "LeaseManager",
+    "UpdateNotice",
+    "ChangePolicy",
+    "UpdateCountPolicy",
+    "UpdateSizePolicy",
+    "ApplicationPolicy",
+    "DriftPolicy",
+    "CostAwarePolicy",
+    "ChangeMonitor",
+    "ComputeNode",
+    "ClientNode",
+    "CloudAnalyticsServer",
+    "DistributedScheduler",
+    "ReplicatedDataStore",
+    "SiteDownError",
+    "ConsistencyError",
+    "ModelLifecycleManager",
+    "ModelRecord",
+    "ScheduleOutcome",
+    "AIWebService",
+    "AnomalyScoringService",
+    "ImputationService",
+    "ForecastService",
+    "ServiceResponse",
+    "WebServiceRegistry",
+]

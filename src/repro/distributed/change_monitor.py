@@ -1,0 +1,303 @@
+"""Change-triggered recomputation policies (paper Section III).
+
+"The data are monitored for changes.  When the amount of change in the
+data exceeds a threshold, then analytics calculations are recalculated
+on the data.  There are a number of ways to determine if data has
+changed enough to warrant updated analytics calculations:
+
+* The number of updates since the last time analytics calculations were
+  run exceeds a threshold.
+* The total size of updates since the last time analytics calculations
+  were run exceeds a threshold.
+* Application-specific methods can be applied to determine how much the
+  data have changed."
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional
+
+import numpy as np
+
+__all__ = [
+    "ChangePolicy",
+    "UpdateCountPolicy",
+    "UpdateSizePolicy",
+    "ApplicationPolicy",
+    "DriftPolicy",
+    "CostAwarePolicy",
+    "ChangeMonitor",
+]
+
+
+class ChangePolicy:
+    """Interface: observe updates, answer "recompute now?"."""
+
+    def seed(self, data: Any) -> None:
+        """Provide the baseline dataset before any updates arrive.
+
+        No-op for counting policies; distribution-based policies (e.g.
+        :class:`DriftPolicy`) record the reference distribution here.
+        """
+
+    def observe(self, old: Any, new: Any, size: int) -> None:
+        raise NotImplementedError
+
+    def should_recompute(self) -> bool:
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Called after analytics have been recomputed."""
+        raise NotImplementedError
+
+
+class UpdateCountPolicy(ChangePolicy):
+    """Trigger after ``threshold`` updates."""
+
+    def __init__(self, threshold: int = 10):
+        if threshold < 1:
+            raise ValueError("threshold must be >= 1")
+        self.threshold = threshold
+        self.count = 0
+
+    def observe(self, old: Any, new: Any, size: int) -> None:
+        self.count += 1
+
+    def should_recompute(self) -> bool:
+        return self.count >= self.threshold
+
+    def reset(self) -> None:
+        self.count = 0
+
+
+class UpdateSizePolicy(ChangePolicy):
+    """Trigger after ``threshold_bytes`` of cumulative update volume."""
+
+    def __init__(self, threshold_bytes: int = 1 << 20):
+        if threshold_bytes < 1:
+            raise ValueError("threshold_bytes must be >= 1")
+        self.threshold_bytes = threshold_bytes
+        self.total_bytes = 0
+
+    def observe(self, old: Any, new: Any, size: int) -> None:
+        if size < 0:
+            raise ValueError("size must be >= 0")
+        self.total_bytes += size
+
+    def should_recompute(self) -> bool:
+        return self.total_bytes >= self.threshold_bytes
+
+    def reset(self) -> None:
+        self.total_bytes = 0
+
+
+class ApplicationPolicy(ChangePolicy):
+    """Trigger on an application-specific change measure.
+
+    "This is the best way to determine when to perform updated analytics
+    calculations.  However, it is harder to implement this option than
+    the previous ones."  ``measure(old, new) -> float`` quantifies each
+    update's semantic change; the accumulated measure is compared with
+    ``threshold``.
+    """
+
+    def __init__(
+        self, measure: Callable[[Any, Any], float], threshold: float = 1.0
+    ):
+        if threshold <= 0:
+            raise ValueError("threshold must be positive")
+        self.measure = measure
+        self.threshold = threshold
+        self.accumulated = 0.0
+
+    def observe(self, old: Any, new: Any, size: int) -> None:
+        value = float(self.measure(old, new))
+        if value < 0:
+            raise ValueError("measure must be non-negative")
+        self.accumulated += value
+
+    def should_recompute(self) -> bool:
+        return self.accumulated >= self.threshold
+
+    def reset(self) -> None:
+        self.accumulated = 0.0
+
+
+class DriftPolicy(ChangePolicy):
+    """A ready-made application policy for numeric datasets: trigger when
+    the column-mean shift since the last recomputation exceeds
+    ``threshold`` standard deviations (of the baseline).
+
+    Addresses the paper's model-lifecycle concern: "There may be concept
+    drifts."
+    """
+
+    def __init__(self, threshold: float = 0.5):
+        if threshold <= 0:
+            raise ValueError("threshold must be positive")
+        self.threshold = threshold
+        self._baseline_mean: Optional[np.ndarray] = None
+        self._baseline_std: Optional[np.ndarray] = None
+        self._latest: Optional[np.ndarray] = None
+
+    def seed(self, data: Any) -> None:
+        arr = np.asarray(data, dtype=float)
+        if arr.ndim == 1:
+            arr = arr.reshape(-1, 1)
+        self._set_baseline(arr)
+
+    def observe(self, old: Any, new: Any, size: int) -> None:
+        data = np.asarray(new, dtype=float)
+        if data.ndim == 1:
+            data = data.reshape(-1, 1)
+        self._latest = data
+        if self._baseline_mean is None:
+            self._set_baseline(data)
+
+    def _set_baseline(self, data: np.ndarray) -> None:
+        self._baseline_mean = data.mean(axis=0)
+        std = data.std(axis=0)
+        std[std == 0.0] = 1.0
+        self._baseline_std = std
+
+    def should_recompute(self) -> bool:
+        if self._baseline_mean is None or self._latest is None:
+            return False
+        shift = np.abs(self._latest.mean(axis=0) - self._baseline_mean)
+        return bool((shift / self._baseline_std).max() >= self.threshold)
+
+    def reset(self) -> None:
+        if self._latest is not None:
+            self._set_baseline(self._latest)
+
+
+class ChangeMonitor:
+    """Couples a change policy to a recompute action.
+
+    Feed it every data update via :meth:`record_update`; it invokes
+    ``recompute`` (if given) when the policy fires and resets the policy.
+    The counters expose the recompute-frequency-vs-staleness trade the
+    paper discusses ("Too frequent retraining can result in high
+    overhead, while too infrequent retraining can result in obsolete
+    models").
+    """
+
+    def __init__(
+        self,
+        policy: ChangePolicy,
+        recompute: Optional[Callable[[], None]] = None,
+    ):
+        self.policy = policy
+        self.recompute = recompute
+        self.updates_seen = 0
+        self.recomputations = 0
+        self.updates_since_recompute = 0
+        self.staleness_log: List[int] = []
+
+    def record_update(self, old: Any = None, new: Any = None, size: int = 0) -> bool:
+        """Observe one update; returns True if a recomputation fired."""
+        self.updates_seen += 1
+        self.updates_since_recompute += 1
+        self.policy.observe(old, new, size)
+        if self.policy.should_recompute():
+            if self.recompute is not None:
+                self.recompute()
+            self.recomputations += 1
+            self.staleness_log.append(self.updates_since_recompute)
+            self.updates_since_recompute = 0
+            self.policy.reset()
+            return True
+        return False
+
+    @property
+    def mean_staleness(self) -> float:
+        """Mean number of updates absorbed per recomputation."""
+        if not self.staleness_log:
+            return float(self.updates_since_recompute)
+        return float(np.mean(self.staleness_log))
+
+
+class CostAwarePolicy(ChangePolicy):
+    """Wrap another policy with a compute-cost gate (paper Section III).
+
+    "The computational overhead for data analytics calculations is also
+    an important factor that should be considered in making decisions to
+    perform analytics calculations.  If the computational overhead is
+    low, it becomes more feasible to perform analytics calculations more
+    frequently, and vice versa."
+
+    The inner policy decides when the data has changed *enough*; this
+    wrapper additionally requires that the projected recompute cost fits
+    the remaining budget.  ``record_cost`` feeds observed recompute
+    costs (seconds) so the projection tracks reality; ``replenish``
+    tops the budget up (e.g. once per accounting period).
+    """
+
+    def __init__(
+        self,
+        inner: ChangePolicy,
+        budget_seconds: float,
+        initial_cost_estimate: float = 1.0,
+    ):
+        if budget_seconds <= 0:
+            raise ValueError("budget_seconds must be positive")
+        if initial_cost_estimate <= 0:
+            raise ValueError("initial_cost_estimate must be positive")
+        self.inner = inner
+        self.budget_seconds = budget_seconds
+        self.remaining_seconds = float(budget_seconds)
+        self._cost_estimate = float(initial_cost_estimate)
+        self._costs_seen = 0
+        self.deferrals = 0
+
+    def seed(self, data: Any) -> None:
+        self.inner.seed(data)
+
+    def observe(self, old: Any, new: Any, size: int) -> None:
+        self.inner.observe(old, new, size)
+
+    def should_recompute(self) -> bool:
+        if not self.inner.should_recompute():
+            return False
+        if self._cost_estimate > self.remaining_seconds:
+            self.deferrals += 1
+            return False
+        return True
+
+    def reset(self) -> None:
+        # called after a recompute fired: charge the budget
+        self.remaining_seconds = max(
+            0.0, self.remaining_seconds - self._cost_estimate
+        )
+        self.inner.reset()
+
+    def record_cost(self, seconds: float) -> None:
+        """Feed the observed cost of the last recompute.
+
+        The projection becomes the running mean of *observed* costs —
+        the ``initial_cost_estimate`` prior is replaced by the first
+        observation rather than averaged into it.
+        """
+        if seconds < 0:
+            raise ValueError("seconds must be >= 0")
+        self._costs_seen += 1
+        self._cost_estimate += (
+            seconds - self._cost_estimate
+        ) / self._costs_seen
+
+    def replenish(self, seconds: Optional[float] = None) -> None:
+        """Top the budget back up (default: to the full budget)."""
+        if seconds is None:
+            self.remaining_seconds = float(self.budget_seconds)
+        else:
+            if seconds < 0:
+                raise ValueError("seconds must be >= 0")
+            self.remaining_seconds = min(
+                float(self.budget_seconds),
+                self.remaining_seconds + seconds,
+            )
+
+    @property
+    def projected_cost(self) -> float:
+        """Current per-recompute cost estimate in seconds."""
+        return self._cost_estimate

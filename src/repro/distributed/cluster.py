@@ -1,0 +1,205 @@
+"""Simulated network and clock for the distributed system (paper Fig. 1).
+
+The paper's architecture spans geographically distributed clients, cloud
+analytics servers and web services.  Real sockets would add nothing to
+the protocol behaviour the paper claims (bytes saved by deltas,
+calculations avoided through the DARR, staleness under leases), so the
+substrate here is a discrete simulation:
+
+* :class:`SimClock` — virtual time all components share.
+* :class:`NetworkLink` — latency + bandwidth between two named nodes.
+* :class:`SimulatedNetwork` — registry of nodes and links with exact
+  per-link byte/message/latency accounting; every transfer advances the
+  clock and is recorded for the benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["SimClock", "NetworkLink", "TransferRecord", "SimulatedNetwork"]
+
+
+class SimClock:
+    """Monotonic virtual clock (seconds)."""
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward; returns the new time."""
+        if seconds < 0:
+            raise ValueError("time cannot go backwards")
+        self._now += seconds
+        return self._now
+
+
+@dataclass
+class NetworkLink:
+    """Point-to-point link properties.
+
+    ``latency_s`` is the one-way propagation delay; ``bandwidth_bps`` the
+    sustained throughput in bytes/second.
+    """
+
+    latency_s: float = 0.01
+    bandwidth_bps: float = 10e6
+
+    def transfer_time(self, n_bytes: int) -> float:
+        """Seconds to move ``n_bytes`` across this link."""
+        if n_bytes < 0:
+            raise ValueError("n_bytes must be >= 0")
+        return self.latency_s + n_bytes / self.bandwidth_bps
+
+
+@dataclass(frozen=True)
+class TransferRecord:
+    """One completed transfer, for the accounting ledger."""
+
+    src: str
+    dst: str
+    n_bytes: int
+    seconds: float
+    timestamp: float
+    tag: str = ""
+
+
+class SimulatedNetwork:
+    """Nodes + links + a shared clock + a transfer ledger.
+
+    Links default to :attr:`default_link` unless configured per pair;
+    links are symmetric (the same properties both ways) but accounted
+    directionally.
+    """
+
+    def __init__(
+        self,
+        clock: Optional[SimClock] = None,
+        default_link: Optional[NetworkLink] = None,
+    ):
+        self.clock = clock or SimClock()
+        self.default_link = default_link or NetworkLink()
+        self._nodes: Dict[str, object] = {}
+        self._links: Dict[Tuple[str, str], NetworkLink] = {}
+        self._partitioned: set = set()
+        self.transfers: List[TransferRecord] = []
+
+    # -- topology -------------------------------------------------------
+    def register(self, name: str, node: object = None) -> None:
+        """Register a node name (optionally with its object)."""
+        if not name:
+            raise ValueError("node name must be non-empty")
+        if name in self._nodes:
+            raise ValueError(f"node {name!r} already registered")
+        self._nodes[name] = node
+
+    def node(self, name: str) -> object:
+        """The object registered under ``name``."""
+        return self._nodes[name]
+
+    @property
+    def node_names(self) -> List[str]:
+        """Sorted names of all registered nodes."""
+        return sorted(self._nodes)
+
+    def set_link(self, a: str, b: str, link: NetworkLink) -> None:
+        """Configure the (symmetric) link between ``a`` and ``b``."""
+        self._require(a)
+        self._require(b)
+        key = (min(a, b), max(a, b))
+        self._links[key] = link
+
+    def link(self, a: str, b: str) -> NetworkLink:
+        """The link properties between ``a`` and ``b``."""
+        key = (min(a, b), max(a, b))
+        return self._links.get(key, self.default_link)
+
+    def _require(self, name: str) -> None:
+        if name not in self._nodes:
+            raise KeyError(
+                f"unknown node {name!r}; registered: {self.node_names}"
+            )
+
+    # -- partitions -------------------------------------------------------
+    def partition(self, a: str, b: str) -> None:
+        """Cut connectivity between ``a`` and ``b`` (both directions) —
+        the paper's poor-connectivity scenario.  Transfers across a
+        partitioned pair raise ``ConnectionError``."""
+        self._require(a)
+        self._require(b)
+        self._partitioned.add((min(a, b), max(a, b)))
+
+    def heal(self, a: str, b: str) -> None:
+        """Restore connectivity between ``a`` and ``b``."""
+        self._partitioned.discard((min(a, b), max(a, b)))
+
+    def reachable(self, a: str, b: str) -> bool:
+        """True if a direct transfer between ``a`` and ``b`` succeeds."""
+        self._require(a)
+        self._require(b)
+        return (min(a, b), max(a, b)) not in self._partitioned
+
+    # -- transfers -------------------------------------------------------
+    def transfer(
+        self, src: str, dst: str, n_bytes: int, tag: str = ""
+    ) -> float:
+        """Account a transfer of ``n_bytes`` from ``src`` to ``dst``;
+        advances the clock and returns the transfer time in (simulated)
+        seconds.  Local transfers (src == dst) are free and instant;
+        partitioned pairs raise ``ConnectionError``."""
+        self._require(src)
+        self._require(dst)
+        if src == dst:
+            return 0.0
+        if not self.reachable(src, dst):
+            raise ConnectionError(
+                f"network partition between {src!r} and {dst!r}"
+            )
+        seconds = self.link(src, dst).transfer_time(n_bytes)
+        self.clock.advance(seconds)
+        self.transfers.append(
+            TransferRecord(
+                src=src,
+                dst=dst,
+                n_bytes=n_bytes,
+                seconds=seconds,
+                timestamp=self.clock.now,
+                tag=tag,
+            )
+        )
+        return seconds
+
+    # -- accounting -------------------------------------------------------
+    def total_bytes(self, tag: Optional[str] = None) -> int:
+        """Total bytes transferred, optionally filtered by tag."""
+        return sum(
+            record.n_bytes
+            for record in self.transfers
+            if tag is None or record.tag == tag
+        )
+
+    def total_messages(self, tag: Optional[str] = None) -> int:
+        """Transfer count, optionally filtered by tag."""
+        return sum(
+            1
+            for record in self.transfers
+            if tag is None or record.tag == tag
+        )
+
+    def total_seconds(self, tag: Optional[str] = None) -> float:
+        """Total transfer time, optionally filtered by tag."""
+        return sum(
+            record.seconds
+            for record in self.transfers
+            if tag is None or record.tag == tag
+        )
+
+    def reset_accounting(self) -> None:
+        """Clear the ledger (keeps topology and clock)."""
+        self.transfers.clear()

@@ -1,0 +1,220 @@
+"""Home data stores with version history and delta serving.
+
+Paper Section III: "Each data object has an associated home data store
+which contains the current version of an object and its version number.
+The home data store can send complete versions of an object o1 to other
+nodes.  Alternatively, it uses delta encoding to send deltas between a
+previous version of an object and the latest version."
+
+"Suppose the latest version of o1 is k.  The home data store maintains
+recent versions of o1 as well as deltas between the latest version of o1
+and these recent versions, d(o1, k-1, k), d(o1, k-2, k), d(o1, k-3, k)...
+When a remote node n1 requests the latest version of o1 ... and n1 has an
+earlier version e of o1, n1 passes the version number, e, to the home
+data store.  If the home data store has a delta between version k and
+version e of o1 and that delta is considerably smaller than version k of
+o1, the home data store passes the delta to n1.  Otherwise, the home data
+store passes version k (i.e. the latest version)."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Union
+
+from repro.distributed.delta import Delta, compute_delta
+from repro.distributed.objects import VersionedObject, encode_payload
+
+__all__ = ["FullResponse", "DeltaResponse", "HomeDataStore"]
+
+
+@dataclass(frozen=True)
+class FullResponse:
+    """A complete copy of the latest version."""
+
+    obj: VersionedObject
+
+    @property
+    def wire_size(self) -> int:
+        """Bytes this response puts on the wire."""
+        return self.obj.size
+
+    @property
+    def version(self) -> int:
+        """Version the receiver ends up holding."""
+        return self.obj.version
+
+
+@dataclass(frozen=True)
+class DeltaResponse:
+    """A delta from the client's version to the latest."""
+
+    delta: Delta
+
+    @property
+    def wire_size(self) -> int:
+        """Bytes this response puts on the wire."""
+        return self.delta.size
+
+    @property
+    def version(self) -> int:
+        """Version the receiver ends up holding."""
+        return self.delta.target_version
+
+
+Response = Union[FullResponse, DeltaResponse]
+
+#: Callback signature for update subscribers (the lease manager):
+#: ``(store, old: Optional[VersionedObject], new: VersionedObject)``.
+UpdateListener = Callable[["HomeDataStore", Optional[VersionedObject], VersionedObject], None]
+
+
+class HomeDataStore:
+    """Authoritative store for a set of named objects.
+
+    Parameters
+    ----------
+    name:
+        Node name of this store in the simulated network.
+    history_depth:
+        How many recent versions (and their deltas to the latest) to
+        keep — the "delta chain depth" ablated in the benchmarks.
+    delta_threshold:
+        A delta is served only when
+        ``delta.size <= delta_threshold * full_size`` ("considerably
+        smaller"); above that the full object goes out.
+    """
+
+    def __init__(
+        self,
+        name: str = "home-store",
+        history_depth: int = 4,
+        delta_threshold: float = 0.5,
+        clock: Optional[Any] = None,
+    ):
+        if history_depth < 1:
+            raise ValueError("history_depth must be >= 1")
+        if not 0.0 < delta_threshold <= 1.0:
+            raise ValueError("delta_threshold must be in (0, 1]")
+        self.name = name
+        self.history_depth = history_depth
+        self.delta_threshold = delta_threshold
+        self.clock = clock
+        # name -> recent versions, oldest first, last is current
+        self._history: Dict[str, List[VersionedObject]] = {}
+        # name -> {base_version: Delta to current}
+        self._deltas: Dict[str, Dict[int, Delta]] = {}
+        self._listeners: List[UpdateListener] = []
+        self.stats = {
+            "puts": 0,
+            "gets": 0,
+            "full_served": 0,
+            "delta_served": 0,
+            "bytes_full": 0,
+            "bytes_delta": 0,
+            "bytes_saved": 0,
+        }
+
+    # -- write path ------------------------------------------------------
+    def put(self, name: str, payload: Any) -> VersionedObject:
+        """Store a new version of ``name`` (version 1 if new).
+
+        Recomputes the cached delta family d(o, k-i, k) against every
+        retained previous version and notifies update listeners.
+        """
+        data = encode_payload(payload)
+        history = self._history.setdefault(name, [])
+        previous = history[-1] if history else None
+        version = (previous.version + 1) if previous else 1
+        timestamp = self.clock.now if self.clock is not None else 0.0
+        obj = VersionedObject(
+            name=name, version=version, data=data, timestamp=timestamp
+        )
+        history.append(obj)
+        if len(history) > self.history_depth + 1:
+            del history[: len(history) - (self.history_depth + 1)]
+        self._refresh_deltas(name)
+        self.stats["puts"] += 1
+        for listener in self._listeners:
+            listener(self, previous, obj)
+        return obj
+
+    def _refresh_deltas(self, name: str) -> None:
+        history = self._history[name]
+        current = history[-1]
+        deltas: Dict[int, Delta] = {}
+        for base in history[:-1]:
+            deltas[base.version] = compute_delta(
+                name, base.version, current.version, base.data, current.data
+            )
+        self._deltas[name] = deltas
+
+    # -- read path --------------------------------------------------------
+    def current(self, name: str) -> VersionedObject:
+        """The latest version of ``name``."""
+        history = self._history.get(name)
+        if not history:
+            raise KeyError(f"unknown object {name!r}")
+        return history[-1]
+
+    def current_version(self, name: str) -> int:
+        """Latest version number of ``name``."""
+        return self.current(name).version
+
+    def object_names(self) -> List[str]:
+        """Sorted names of all stored objects."""
+        return sorted(self._history)
+
+    def available_delta(self, name: str, base_version: int) -> Optional[Delta]:
+        """The cached delta from ``base_version`` to the current version,
+        if retained."""
+        return self._deltas.get(name, {}).get(base_version)
+
+    def get(self, name: str, client_version: Optional[int] = None) -> Response:
+        """Serve the latest version, as a delta when possible.
+
+        ``client_version`` is the version the requester already holds
+        (``None`` = nothing).  Chooses the smaller of full copy vs cached
+        delta, subject to :attr:`delta_threshold`; accounting lands in
+        :attr:`stats`.
+        """
+        current = self.current(name)
+        self.stats["gets"] += 1
+        if client_version is not None:
+            if client_version > current.version:
+                raise ValueError(
+                    f"client claims version {client_version} of {name!r} "
+                    f"but current is {current.version}"
+                )
+            if client_version == current.version:
+                # Client is up to date: only a version confirmation goes
+                # out, modeled as a delta with no operations.
+                empty = Delta(
+                    name=name,
+                    base_version=client_version,
+                    target_version=current.version,
+                    ops=(),
+                    target_size=current.size,
+                )
+                return DeltaResponse(empty)
+            delta = self.available_delta(name, client_version)
+            if (
+                delta is not None
+                and delta.size <= self.delta_threshold * current.size
+            ):
+                self.stats["delta_served"] += 1
+                self.stats["bytes_delta"] += delta.size
+                self.stats["bytes_saved"] += current.size - delta.size
+                return DeltaResponse(delta)
+        self.stats["full_served"] += 1
+        self.stats["bytes_full"] += current.size
+        return FullResponse(current)
+
+    # -- change notification ------------------------------------------------
+    def add_listener(self, listener: UpdateListener) -> None:
+        """Register an update listener (e.g. the lease manager)."""
+        self._listeners.append(listener)
+
+    def remove_listener(self, listener: UpdateListener) -> None:
+        """Unregister a previously added update listener."""
+        self._listeners.remove(listener)

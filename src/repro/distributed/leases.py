@@ -1,0 +1,243 @@
+"""Lease-based push subscriptions (paper Section III).
+
+"In a push paradigm, clients can subscribe to updates for data objects
+from home data stores for a specified period of times.  Such
+subscriptions have also been referred to as leases in the literature.
+After a lease expires, the client must contact the home data store to
+renew the lease to continue receiving update messages."
+
+Three push modes, matching the paper's discussion:
+
+* ``full`` — push the complete new value on every update.
+* ``delta`` — push a delta from the subscriber's last-known version.
+* ``notify`` — push only "information about the update ... such as the
+  new version number and how much the new version differs from the
+  previous one.  The client can then decide if and when it needs to
+  obtain the latest version."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.distributed.cluster import SimulatedNetwork
+from repro.distributed.datastore import (
+    DeltaResponse,
+    FullResponse,
+    HomeDataStore,
+)
+from repro.distributed.delta import apply_delta, compute_delta
+from repro.distributed.objects import VersionedObject
+
+__all__ = ["PushMode", "Lease", "UpdateNotice", "LeaseManager"]
+
+#: Valid push modes.
+PushMode = ("full", "delta", "notify")
+
+# Modeled wire size of a notify message: object name hash + version +
+# change size (bytes).
+_NOTIFY_SIZE = 24
+
+
+@dataclass
+class Lease:
+    """A client subscription to one object's updates."""
+
+    client: str
+    object_name: str
+    mode: str
+    expires_at: float
+    granted_at: float = 0.0
+    renewals: int = 0
+    cancelled: bool = False
+
+    def active(self, now: float) -> bool:
+        """True while the lease is neither cancelled nor expired."""
+        return not self.cancelled and now < self.expires_at
+
+
+@dataclass(frozen=True)
+class UpdateNotice:
+    """The notify-mode message body."""
+
+    object_name: str
+    new_version: int
+    change_bytes: int
+
+
+#: Client-side delivery callback:
+#: ``(kind, object_name, version, payload_or_notice)`` where kind is one
+#: of "full", "delta", "notify".
+DeliveryCallback = Callable[[str, str, int, object], None]
+
+
+class LeaseManager:
+    """Manages leases for one home data store and pushes updates.
+
+    Wire accounting goes through the :class:`SimulatedNetwork`; the
+    subscriber's callback receives the decoded content.  Expired leases
+    are skipped at push time (lazy expiry, as with classical leases).
+    """
+
+    def __init__(
+        self,
+        store: HomeDataStore,
+        network: SimulatedNetwork,
+        default_duration: float = 60.0,
+    ):
+        if default_duration <= 0:
+            raise ValueError("default_duration must be positive")
+        self.store = store
+        self.network = network
+        self.default_duration = default_duration
+        self._leases: Dict[Tuple[str, str], Lease] = {}
+        self._callbacks: Dict[str, DeliveryCallback] = {}
+        # client -> {object_name: last version pushed}
+        self._client_versions: Dict[str, Dict[str, int]] = {}
+        self.stats = {
+            "pushes_full": 0,
+            "pushes_delta": 0,
+            "pushes_notify": 0,
+            "skipped_expired": 0,
+        }
+        store.add_listener(self._on_update)
+
+    # -- subscription management -----------------------------------------
+    def subscribe(
+        self,
+        client: str,
+        object_name: str,
+        callback: DeliveryCallback,
+        mode: str = "delta",
+        duration: Optional[float] = None,
+    ) -> Lease:
+        """Grant (or replace) a lease for ``client`` on ``object_name``."""
+        if mode not in PushMode:
+            raise ValueError(f"mode must be one of {PushMode}, got {mode!r}")
+        now = self.network.clock.now
+        lease = Lease(
+            client=client,
+            object_name=object_name,
+            mode=mode,
+            granted_at=now,
+            expires_at=now + (duration or self.default_duration),
+        )
+        self._leases[(client, object_name)] = lease
+        self._callbacks[client] = callback
+        self._client_versions.setdefault(client, {})
+        return lease
+
+    def renew(
+        self, client: str, object_name: str, duration: Optional[float] = None
+    ) -> Lease:
+        """Extend a lease from now ("the client must contact the home
+        data store to renew the lease")."""
+        lease = self._lease(client, object_name)
+        now = self.network.clock.now
+        lease.expires_at = now + (duration or self.default_duration)
+        lease.cancelled = False
+        lease.renewals += 1
+        return lease
+
+    def cancel(self, client: str, object_name: str) -> None:
+        """Cancel early ("a client is also expected to cancel its leases
+        early for data for which it no longer needs ... updates")."""
+        self._lease(client, object_name).cancelled = True
+
+    def _lease(self, client: str, object_name: str) -> Lease:
+        try:
+            return self._leases[(client, object_name)]
+        except KeyError:
+            raise KeyError(
+                f"no lease for client {client!r} on object {object_name!r}"
+            ) from None
+
+    def active_leases(self, object_name: Optional[str] = None) -> List[Lease]:
+        """Currently active leases, optionally for one object."""
+        now = self.network.clock.now
+        return [
+            lease
+            for lease in self._leases.values()
+            if lease.active(now)
+            and (object_name is None or lease.object_name == object_name)
+        ]
+
+    # -- push path ----------------------------------------------------------
+    def _on_update(
+        self,
+        store: HomeDataStore,
+        previous: Optional[VersionedObject],
+        current: VersionedObject,
+    ) -> None:
+        now = self.network.clock.now
+        for lease in list(self._leases.values()):
+            if lease.object_name != current.name:
+                continue
+            if not lease.active(now):
+                self.stats["skipped_expired"] += 1
+                continue
+            self._push(lease, previous, current)
+
+    def _push(
+        self,
+        lease: Lease,
+        previous: Optional[VersionedObject],
+        current: VersionedObject,
+    ) -> None:
+        callback = self._callbacks[lease.client]
+        versions = self._client_versions.setdefault(lease.client, {})
+        if lease.mode == "notify":
+            change = (
+                compute_delta(
+                    current.name,
+                    previous.version,
+                    current.version,
+                    previous.data,
+                    current.data,
+                ).size
+                if previous is not None
+                else current.size
+            )
+            self.network.transfer(
+                self.store.name, lease.client, _NOTIFY_SIZE, tag="push-notify"
+            )
+            self.stats["pushes_notify"] += 1
+            callback(
+                "notify",
+                current.name,
+                current.version,
+                UpdateNotice(current.name, current.version, change),
+            )
+            return
+        known = versions.get(lease.object_name)
+        if lease.mode == "delta" and known is not None:
+            response = self.store.get(current.name, client_version=known)
+        else:
+            response = self.store.get(current.name)
+        if isinstance(response, DeltaResponse):
+            self.network.transfer(
+                self.store.name,
+                lease.client,
+                response.wire_size,
+                tag="push-delta",
+            )
+            self.stats["pushes_delta"] += 1
+            callback("delta", current.name, current.version, response.delta)
+        else:
+            self.network.transfer(
+                self.store.name,
+                lease.client,
+                response.wire_size,
+                tag="push-full",
+            )
+            self.stats["pushes_full"] += 1
+            callback("full", current.name, current.version, response.obj)
+        versions[lease.object_name] = current.version
+
+    def record_client_version(
+        self, client: str, object_name: str, version: int
+    ) -> None:
+        """Tell the manager what version a client already holds (e.g.
+        after an initial pull), so delta pushes start from it."""
+        self._client_versions.setdefault(client, {})[object_name] = version

@@ -1,0 +1,139 @@
+"""Model lifecycle management (paper Section II).
+
+"managing model life-cycles in which data analytics and machine learning
+are performed over a long period of time.  Availability of more data may
+require the model to be retrained or even changed.  The frequency of
+retraining (or changing) models needs to be properly selected."
+
+:class:`ModelLifecycleManager` couples a change policy to a
+Transformer-Estimator Graph: every data update feeds the policy; when it
+fires, the graph is re-evaluated on the current data and the winning
+model becomes the *active* model.  Every trained model is archived as a
+versioned object in a :class:`~repro.distributed.datastore.HomeDataStore`
+so other nodes can pull current or historical models, and the manager
+records accuracy before/after each retrain — the staleness-vs-overhead
+evidence Section II calls for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional
+
+import numpy as np
+
+from repro.core.evaluation import GraphEvaluator
+from repro.distributed.change_monitor import ChangeMonitor, ChangePolicy
+from repro.distributed.datastore import HomeDataStore
+
+__all__ = ["ModelRecord", "ModelLifecycleManager"]
+
+
+@dataclass
+class ModelRecord:
+    """One generation of the managed model."""
+
+    generation: int
+    best_path: str
+    best_score: float
+    metric: str
+    trained_at_update: int
+    store_version: Optional[int] = None
+
+
+class ModelLifecycleManager:
+    """Keep a graph-selected model fresh under a change policy.
+
+    Parameters
+    ----------
+    evaluator:
+        The graph evaluator used for every (re)training.
+    policy:
+        When to retrain (count / size / application / drift policy).
+    model_store:
+        Optional home data store archiving each generation under
+        ``model_name`` (versions = generations).
+    model_name:
+        Object name used in the store.
+    """
+
+    def __init__(
+        self,
+        evaluator: GraphEvaluator,
+        policy: ChangePolicy,
+        model_store: Optional[HomeDataStore] = None,
+        model_name: str = "model",
+    ):
+        self.evaluator = evaluator
+        self.model_store = model_store
+        self.model_name = model_name
+        self.monitor = ChangeMonitor(policy)
+        self.active_model: Optional[Any] = None
+        self.history: List[ModelRecord] = []
+        self._X: Optional[np.ndarray] = None
+        self._y: Optional[np.ndarray] = None
+
+    # -- lifecycle ---------------------------------------------------------
+    def initialize(self, X: Any, y: Any) -> ModelRecord:
+        """Train the first generation on the initial data."""
+        self._X = np.asarray(X)
+        self._y = np.asarray(y)
+        # Seed the policy with the baseline (not counted as an update);
+        # drift-style policies need the initial distribution to compare
+        # against.
+        self.monitor.policy.seed(self._X)
+        return self._retrain()
+
+    def observe_update(self, X: Any, y: Any, size: int = 0) -> bool:
+        """Feed the current (already-updated) dataset; retrains when the
+        policy fires.  Returns True if a retrain happened."""
+        if self.active_model is None:
+            raise RuntimeError("call initialize() before observe_update()")
+        old = self._X
+        self._X = np.asarray(X)
+        self._y = np.asarray(y)
+        fired = self.monitor.record_update(old=old, new=self._X, size=size)
+        if fired:
+            self._retrain()
+        return fired
+
+    def _retrain(self) -> ModelRecord:
+        report = self.evaluator.evaluate(self._X, self._y)
+        if report.best_model is None:
+            raise RuntimeError("graph evaluation produced no model")
+        self.active_model = report.best_model
+        record = ModelRecord(
+            generation=len(self.history) + 1,
+            best_path=report.best_path,
+            best_score=report.best_score,
+            metric=report.metric,
+            trained_at_update=self.monitor.updates_seen,
+        )
+        if self.model_store is not None:
+            obj = self.model_store.put(self.model_name, self.active_model)
+            record.store_version = obj.version
+        self.history.append(record)
+        return record
+
+    # -- serving --------------------------------------------------------------
+    def predict(self, X: Any) -> np.ndarray:
+        """Predict with the active generation."""
+        if self.active_model is None:
+            raise RuntimeError("no active model; call initialize() first")
+        return self.active_model.predict(X)
+
+    def current_record(self) -> ModelRecord:
+        """Record of the active (latest) generation."""
+        if not self.history:
+            raise RuntimeError("no model has been trained yet")
+        return self.history[-1]
+
+    @property
+    def generations(self) -> int:
+        """How many generations have been trained so far."""
+        return len(self.history)
+
+    def score_trajectory(self) -> List[float]:
+        """Best cross-validated score per generation (did retraining pay
+        off?)."""
+        return [record.best_score for record in self.history]

@@ -1,0 +1,197 @@
+"""Client and cloud analytics nodes (paper Fig. 1).
+
+"the client nodes ... can perform data analytics calculations remotely
+from the cloud analytics servers.  That can reduce the latency since the
+client will not have to communicate with remote cloud nodes ...  It also
+allows the client to perform analytics calculations when it does not
+have connectivity with the cloud."
+
+Nodes execute evaluation jobs *for real* (the numerics run locally) while
+the simulation attributes compute time scaled by each node's
+``compute_speed`` and charges all data movement to the
+:class:`~repro.distributed.cluster.SimulatedNetwork`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.distributed.cluster import SimulatedNetwork
+from repro.distributed.datastore import (
+    DeltaResponse,
+    FullResponse,
+    HomeDataStore,
+)
+from repro.distributed.delta import apply_delta
+from repro.distributed.objects import VersionedObject, decode_payload
+
+__all__ = ["ComputeNode", "ClientNode", "CloudAnalyticsServer"]
+
+# Modeled wire size of a pull request (object name + version number).
+_REQUEST_SIZE = 32
+
+
+@dataclass
+class JobExecution:
+    """Record of one evaluation job run on a node."""
+
+    key: str
+    path: str
+    real_seconds: float
+    simulated_seconds: float
+
+
+class ComputeNode:
+    """Base node: cached versioned objects + job execution accounting.
+
+    Parameters
+    ----------
+    name:
+        Network identity; registered with ``network`` on construction.
+    network:
+        The shared simulated network.
+    compute_speed:
+        Relative speed; a job that takes ``t`` real seconds is modeled as
+        ``t / compute_speed`` on this node.  "Crucial data may reside on
+        nodes which do not have much computational power" — model those
+        with speed < 1.
+    connected:
+        When False, remote pulls raise — exercising the paper's
+        disconnected-operation scenario (the node can still compute on
+        its cache).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        network: SimulatedNetwork,
+        compute_speed: float = 1.0,
+        connected: bool = True,
+    ):
+        if compute_speed <= 0:
+            raise ValueError("compute_speed must be positive")
+        self.name = name
+        self.network = network
+        self.compute_speed = compute_speed
+        self.connected = connected
+        network.register(name, self)
+        self.cache: Dict[str, VersionedObject] = {}
+        self.executions: list = []
+        self.busy_seconds = 0.0
+
+    # -- data synchronization ---------------------------------------------
+    def cached_version(self, object_name: str) -> Optional[int]:
+        """Version of the cached copy (None when not cached)."""
+        obj = self.cache.get(object_name)
+        return None if obj is None else obj.version
+
+    def pull(self, store: HomeDataStore, object_name: str) -> Any:
+        """Pull the latest version from ``store`` (pull paradigm).
+
+        Sends the held version number; receives and applies either a
+        full copy or a delta.  Returns the decoded payload.
+        """
+        if not self.connected:
+            raise ConnectionError(
+                f"node {self.name!r} is disconnected from the cloud"
+            )
+        self.network.transfer(
+            self.name, store.name, _REQUEST_SIZE, tag="pull-request"
+        )
+        response = store.get(object_name, self.cached_version(object_name))
+        if isinstance(response, FullResponse):
+            self.network.transfer(
+                store.name, self.name, response.wire_size, tag="pull-full"
+            )
+            self.cache[object_name] = response.obj
+        else:
+            self.network.transfer(
+                store.name, self.name, response.wire_size, tag="pull-delta"
+            )
+            self.apply_delta_update(object_name, response.delta)
+        return self.payload(object_name)
+
+    def apply_delta_update(self, object_name: str, delta) -> None:
+        """Apply a delta push/pull against the cached base version."""
+        if delta.base_version == delta.target_version:
+            return  # up-to-date confirmation, nothing to apply
+        base = self.cache.get(object_name)
+        if base is None:
+            raise KeyError(
+                f"node {self.name!r} has no base version of "
+                f"{object_name!r} to apply a delta to"
+            )
+        if base.version != delta.base_version:
+            raise ValueError(
+                f"delta base {delta.base_version} != cached version "
+                f"{base.version}"
+            )
+        data = apply_delta(base.data, delta)
+        self.cache[object_name] = VersionedObject(
+            name=object_name,
+            version=delta.target_version,
+            data=data,
+            timestamp=self.network.clock.now,
+        )
+
+    def accept_push(self, kind: str, object_name: str, version: int, body) -> None:
+        """Lease-push delivery callback (see
+        :class:`repro.distributed.leases.LeaseManager`)."""
+        if kind == "full":
+            self.cache[object_name] = body
+        elif kind == "delta":
+            self.apply_delta_update(object_name, body)
+        # "notify" only informs; the node pulls later if it cares.
+
+    def payload(self, object_name: str) -> Any:
+        """Decode the cached payload of ``object_name``."""
+        obj = self.cache.get(object_name)
+        if obj is None:
+            raise KeyError(
+                f"node {self.name!r} holds no copy of {object_name!r}"
+            )
+        return decode_payload(obj.data)
+
+    # -- computation ---------------------------------------------------------
+    def execute_job(self, evaluator, job, X: Any, y: Any):
+        """Run one evaluation job; returns its
+        :class:`repro.core.evaluation.PipelineResult`.
+
+        The numeric work is real; the modeled duration is
+        ``real / compute_speed`` and is accumulated in
+        ``busy_seconds`` for makespan computation.
+        """
+        result = evaluator.run_job(job, X, y)
+        real = result.cv_result.fit_seconds
+        simulated = real / self.compute_speed
+        self.busy_seconds += simulated
+        self.executions.append(
+            JobExecution(
+                key=job.key,
+                path=job.path,
+                real_seconds=real,
+                simulated_seconds=simulated,
+            )
+        )
+        return result
+
+
+class ClientNode(ComputeNode):
+    """A client at the edge (paper Fig. 1 left side).  Defaults to modest
+    compute (speed 1.0)."""
+
+
+class CloudAnalyticsServer(ComputeNode):
+    """A cloud analytics VM: faster compute, typically co-located with
+    the home data store and the DARR.  "the cloud virtual machines can be
+    scaled as needed to handle the computations"."""
+
+    def __init__(
+        self,
+        name: str,
+        network: SimulatedNetwork,
+        compute_speed: float = 4.0,
+        connected: bool = True,
+    ):
+        super().__init__(name, network, compute_speed, connected)

@@ -1,0 +1,302 @@
+"""Replicated data stores with failover (paper Section III).
+
+"The data may be replicated across multiple geographic areas for high
+availability and disaster recovery in case one site fails."
+
+A :class:`ReplicatedDataStore` fronts one primary :class:`HomeDataStore`
+and N replicas.  Writes go to the primary and propagate to replicas
+(synchronously or lazily); reads are served by the nearest *live* store
+that satisfies the requested consistency level:
+
+* ``"strong"`` — read the primary (fails when the primary is down and no
+  replica has caught up to the primary's last acknowledged version).
+* ``"monotonic"`` — read any replica whose version is >= the client's
+  last seen version (session guarantee: a client never observes time
+  going backwards).
+* ``"eventual"`` — read any live replica.
+
+Site failure and recovery are first-class (:meth:`fail_site`,
+:meth:`recover_site`): a failed site serves nothing and misses
+propagations until recovery, after which it synchronizes from the
+primary — the disaster-recovery path.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.distributed.cluster import SimulatedNetwork
+from repro.distributed.datastore import (
+    DeltaResponse,
+    FullResponse,
+    HomeDataStore,
+)
+
+__all__ = ["SiteDownError", "ConsistencyError", "ReplicatedDataStore"]
+
+CONSISTENCY_LEVELS = ("strong", "monotonic", "eventual")
+
+
+class SiteDownError(RuntimeError):
+    """Raised when no site can serve the request."""
+
+
+class ConsistencyError(RuntimeError):
+    """Raised when no live site satisfies the consistency level."""
+
+
+class ReplicatedDataStore:
+    """Primary/replica replication over home data stores.
+
+    Parameters
+    ----------
+    primary:
+        The authoritative store.
+    replicas:
+        Follower stores (already registered on the network).
+    network:
+        Shared simulated network; replication traffic is accounted on it.
+    sync_replication:
+        When True every ``put`` propagates to all live replicas before
+        returning; when False replicas lag until :meth:`propagate` (or a
+        read through this object triggers a lazy catch-up for strong
+        reads).
+    """
+
+    def __init__(
+        self,
+        primary: HomeDataStore,
+        replicas: List[HomeDataStore],
+        network: SimulatedNetwork,
+        sync_replication: bool = True,
+    ):
+        if not replicas:
+            raise ValueError("need at least one replica for replication")
+        names = [primary.name] + [r.name for r in replicas]
+        if len(set(names)) != len(names):
+            raise ValueError("store names must be unique")
+        self.primary = primary
+        self.replicas = list(replicas)
+        self.network = network
+        self.sync_replication = sync_replication
+        self._alive: Dict[str, bool] = {name: True for name in names}
+        # client session state for monotonic reads: client -> obj -> ver
+        self._sessions: Dict[str, Dict[str, int]] = {}
+        self.stats = {
+            "writes": 0,
+            "replications": 0,
+            "failovers": 0,
+            "recoveries": 0,
+            "bytes_replicated": 0,
+        }
+
+    # -- site lifecycle -----------------------------------------------------
+    def fail_site(self, name: str) -> None:
+        """Take a site down (disaster)."""
+        if name not in self._alive:
+            raise KeyError(f"unknown site {name!r}")
+        self._alive[name] = False
+
+    def recover_site(self, name: str) -> None:
+        """Bring a site back and synchronize it from the primary (or,
+        if the primary is down, from the freshest live replica)."""
+        if name not in self._alive:
+            raise KeyError(f"unknown site {name!r}")
+        self._alive[name] = True
+        self.stats["recoveries"] += 1
+        source = self._freshest_live_store(exclude=name)
+        target = self._store(name)
+        if source is None:
+            return
+        for object_name in source.object_names():
+            self._copy_object(source, target, object_name)
+
+    def alive(self, name: str) -> bool:
+        """True while site ``name`` is up."""
+        return self._alive.get(name, False)
+
+    def live_stores(self) -> List[HomeDataStore]:
+        """All currently live stores (primary first when alive)."""
+        return [
+            store
+            for store in [self.primary] + self.replicas
+            if self._alive[store.name]
+        ]
+
+    def _store(self, name: str) -> HomeDataStore:
+        for store in [self.primary] + self.replicas:
+            if store.name == name:
+                return store
+        raise KeyError(f"unknown site {name!r}")
+
+    def _freshest_live_store(
+        self, exclude: Optional[str] = None
+    ) -> Optional[HomeDataStore]:
+        candidates = [
+            s for s in self.live_stores() if s.name != exclude
+        ]
+        if not candidates:
+            return None
+
+        def freshness(store: HomeDataStore) -> Tuple[int, int]:
+            versions = [
+                store.current_version(n) for n in store.object_names()
+            ]
+            return (len(versions), sum(versions))
+
+        return max(candidates, key=freshness)
+
+    # -- write path -----------------------------------------------------------
+    def put(self, name: str, payload: Any) -> int:
+        """Write through the primary; returns the new version.
+
+        If the primary is down, the write fails over to the freshest
+        live replica, which becomes the write target for this operation
+        (a simple promote-on-write failover).
+        """
+        target = (
+            self.primary
+            if self._alive[self.primary.name]
+            else self._freshest_live_store()
+        )
+        if target is None:
+            raise SiteDownError("all sites are down")
+        if target is not self.primary:
+            self.stats["failovers"] += 1
+        obj = target.put(name, payload)
+        self.stats["writes"] += 1
+        if self.sync_replication:
+            self.propagate(name, source=target)
+        return obj.version
+
+    def _copy_object(
+        self, source: HomeDataStore, target: HomeDataStore, object_name: str
+    ) -> None:
+        """Ship one object from source to target, delta-encoded when the
+        target already holds a base version the source retains."""
+        target_version: Optional[int] = None
+        try:
+            target_version = target.current_version(object_name)
+        except KeyError:
+            pass
+        source_obj = source.current(object_name)
+        if target_version is not None and target_version >= source_obj.version:
+            return
+        response = source.get(object_name, client_version=target_version)
+        self.network.transfer(
+            source.name, target.name, response.wire_size, tag="replication"
+        )
+        self.stats["bytes_replicated"] += response.wire_size
+        self.stats["replications"] += 1
+        # Re-materialize on the target with the authoritative bytes; the
+        # target store assigns matching version numbers because it applies
+        # the same sequence of puts.
+        if isinstance(response, FullResponse):
+            data = response.obj.data
+        else:
+            base = target.current(object_name)
+            from repro.distributed.delta import apply_delta
+
+            data = apply_delta(base.data, response.delta)
+        from repro.distributed.objects import decode_payload
+
+        # Fast-forward the target version counter to match the source.
+        while True:
+            try:
+                current = target.current_version(object_name)
+            except KeyError:
+                current = 0
+            if current >= source_obj.version:
+                break
+            target.put(object_name, decode_payload(data))
+
+    def propagate(
+        self, name: str, source: Optional[HomeDataStore] = None
+    ) -> int:
+        """Push the current version of ``name`` to every live replica;
+        returns the number of replicas updated."""
+        source = source or self.primary
+        updated = 0
+        for replica in [self.primary] + self.replicas:
+            if replica is source or not self._alive[replica.name]:
+                continue
+            before = replica.current_version(name) if name in replica.object_names() else 0
+            self._copy_object(source, replica, name)
+            after = replica.current_version(name)
+            if after > before:
+                updated += 1
+        return updated
+
+    # -- read path --------------------------------------------------------------
+    def read(
+        self,
+        client: str,
+        object_name: str,
+        consistency: str = "strong",
+    ) -> Any:
+        """Read ``object_name`` at the requested consistency level;
+        returns the decoded payload and updates the client's session."""
+        if consistency not in CONSISTENCY_LEVELS:
+            raise ValueError(
+                f"consistency must be one of {CONSISTENCY_LEVELS}, got "
+                f"{consistency!r}"
+            )
+        session = self._sessions.setdefault(client, {})
+        floor = session.get(object_name, 0)
+        candidates = self._read_candidates(object_name, consistency, floor)
+        if not candidates:
+            if not self.live_stores():
+                raise SiteDownError("all sites are down")
+            raise ConsistencyError(
+                f"no live site satisfies {consistency!r} for "
+                f"{object_name!r} (client floor v{floor})"
+            )
+        store = candidates[0]
+        obj = store.current(object_name)
+        self.network.transfer(
+            store.name, client, obj.size, tag="replicated-read"
+        )
+        session[object_name] = obj.version
+        return obj.payload()
+
+    def _read_candidates(
+        self, object_name: str, consistency: str, floor: int
+    ) -> List[HomeDataStore]:
+        live = self.live_stores()
+        if consistency == "strong":
+            if self._alive[self.primary.name]:
+                return [self.primary]
+            # primary down: only a replica at the global max version works
+            versions = {}
+            for store in live:
+                try:
+                    versions[store.name] = store.current_version(object_name)
+                except KeyError:
+                    versions[store.name] = 0
+            if not versions:
+                return []
+            top = max(versions.values())
+            return [s for s in live if versions[s.name] == top and top >= floor]
+        if consistency == "monotonic":
+            out = []
+            for store in live:
+                try:
+                    if store.current_version(object_name) >= floor:
+                        out.append(store)
+                except KeyError:
+                    continue
+            return out
+        # eventual
+        return [
+            store
+            for store in live
+            if object_name in store.object_names()
+        ]
+
+    def version_at(self, site: str, object_name: str) -> int:
+        """Version of ``object_name`` at ``site`` (0 if absent)."""
+        store = self._store(site)
+        try:
+            return store.current_version(object_name)
+        except KeyError:
+            return 0

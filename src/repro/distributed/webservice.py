@@ -1,0 +1,196 @@
+"""Simulated AI web services (paper Fig. 1, Section III).
+
+"Figure 1 depicts multiple AI Web services ... such as IBM Watson,
+Microsoft Azure Cognitive Services, Amazon Machine Learning on AWS, and
+Google Cloud AI products.  These Web services complement the machine
+learning capabilities at the clients and cloud analytics servers ...
+While some of them are offered for free, getting premium service
+typically requires paying money."
+
+The real services are proprietary HTTP endpoints; here each service is
+an in-process object with request/response accounting (latency via the
+simulated network, per-call cost, free-tier quota) exposing a small
+analytics capability built on :mod:`repro.ml` — exactly the integration
+path a client would exercise against the real thing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.distributed.cluster import SimulatedNetwork
+from repro.distributed.objects import encode_payload
+
+__all__ = [
+    "ServiceResponse",
+    "AIWebService",
+    "AnomalyScoringService",
+    "ImputationService",
+    "ForecastService",
+    "WebServiceRegistry",
+]
+
+
+@dataclass(frozen=True)
+class ServiceResponse:
+    """One web-service reply with its billing record."""
+
+    result: Any
+    cost: float
+    latency_seconds: float
+    billed: bool
+
+
+class AIWebService:
+    """Base simulated service.
+
+    Parameters
+    ----------
+    name:
+        Network identity of the service endpoint.
+    network:
+        Shared simulated network (transfers are accounted against it).
+    cost_per_call:
+        Price of one premium call.
+    free_calls:
+        Free-tier quota; calls beyond it are billed.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        network: SimulatedNetwork,
+        cost_per_call: float = 0.01,
+        free_calls: int = 10,
+    ):
+        if cost_per_call < 0:
+            raise ValueError("cost_per_call must be >= 0")
+        if free_calls < 0:
+            raise ValueError("free_calls must be >= 0")
+        self.name = name
+        self.network = network
+        self.cost_per_call = cost_per_call
+        self.free_calls = free_calls
+        network.register(name, self)
+        self.calls = 0
+        self.total_billed = 0.0
+
+    def _operate(self, payload: Any) -> Any:
+        raise NotImplementedError
+
+    def call(self, caller: str, payload: Any) -> ServiceResponse:
+        """Invoke the service from node ``caller``.
+
+        Request and response bytes go through the network; billing
+        applies after the free tier.
+        """
+        request = encode_payload(payload)
+        out_seconds = self.network.transfer(
+            caller, self.name, len(request), tag="webservice-request"
+        )
+        result = self._operate(payload)
+        response = encode_payload(result)
+        back_seconds = self.network.transfer(
+            self.name, caller, len(response), tag="webservice-response"
+        )
+        self.calls += 1
+        billed = self.calls > self.free_calls
+        cost = self.cost_per_call if billed else 0.0
+        self.total_billed += cost
+        return ServiceResponse(
+            result=result,
+            cost=cost,
+            latency_seconds=out_seconds + back_seconds,
+            billed=billed,
+        )
+
+
+class AnomalyScoringService(AIWebService):
+    """Scores rows by robust z-score magnitude (an "anomaly detection as
+    a service" capability)."""
+
+    def _operate(self, payload: Any) -> np.ndarray:
+        X = np.asarray(payload, dtype=float)
+        if X.ndim == 1:
+            X = X.reshape(-1, 1)
+        median = np.median(X, axis=0)
+        mad = np.median(np.abs(X - median), axis=0)
+        mad[mad == 0.0] = 1.0
+        return np.abs((X - median) / (1.4826 * mad)).max(axis=1)
+
+
+class ImputationService(AIWebService):
+    """Fills NaNs with per-column medians (imputation as a service)."""
+
+    def _operate(self, payload: Any) -> np.ndarray:
+        from repro.ml.preprocessing.imputers import SimpleImputer
+
+        X = np.asarray(payload, dtype=float)
+        return SimpleImputer(strategy="median").fit(X).transform(X)
+
+
+class ForecastService(AIWebService):
+    """One-step-ahead univariate forecast via an AR model (forecasting
+    as a service)."""
+
+    def __init__(
+        self,
+        name: str,
+        network: SimulatedNetwork,
+        cost_per_call: float = 0.01,
+        free_calls: int = 10,
+        order: int = 5,
+    ):
+        super().__init__(name, network, cost_per_call, free_calls)
+        if order < 1:
+            raise ValueError("order must be >= 1")
+        self.order = order
+
+    def _operate(self, payload: Any) -> float:
+        from repro.timeseries.forecast import make_supervised
+        from repro.timeseries.models import ARModel
+
+        series = np.asarray(payload, dtype=float).ravel()
+        history = min(self.order * 2, len(series) - 1)
+        X, y = make_supervised(series, history=history)
+        model = ARModel(order=self.order).fit(X, y)
+        last_window = series[-history:].reshape(1, history, 1)
+        return float(model.predict(last_window)[0])
+
+
+class WebServiceRegistry:
+    """Directory of available services, looked up by capability.
+
+    "It is important for data scientists to be aware of the latest tools
+    and techniques so that they can properly take advantage of them."
+    """
+
+    def __init__(self):
+        self._services: Dict[str, AIWebService] = {}
+
+    def register(self, capability: str, service: AIWebService) -> None:
+        """Register ``service`` under a capability name."""
+        if capability in self._services:
+            raise ValueError(f"capability {capability!r} already registered")
+        self._services[capability] = service
+
+    def lookup(self, capability: str) -> AIWebService:
+        """The service registered for ``capability``."""
+        try:
+            return self._services[capability]
+        except KeyError:
+            raise KeyError(
+                f"no service for capability {capability!r}; available: "
+                f"{self.capabilities()}"
+            ) from None
+
+    def capabilities(self) -> List[str]:
+        """Sorted names of registered capabilities."""
+        return sorted(self._services)
+
+    def total_billed(self) -> float:
+        """Total premium charges across all registered services."""
+        return sum(s.total_billed for s in self._services.values())

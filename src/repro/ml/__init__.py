@@ -1,0 +1,40 @@
+"""From-scratch machine-learning substrate.
+
+scikit-learn is not available in this environment, so every transformer
+and estimator the paper's Transformer-Estimator Graphs reference is
+implemented here on numpy, following the same ``fit``/``transform``/
+``predict`` contracts and the ``name__param`` convention.
+"""
+
+from repro.ml.svm import LinearSVC, LinearSVR
+from repro.ml.inspection import (
+    PermutationImportance,
+    partial_dependence,
+    permutation_importance,
+)
+from repro.ml.base import (
+    BaseComponent,
+    ClassifierMixin,
+    ClusterMixin,
+    EstimatorMixin,
+    NotFittedError,
+    RegressorMixin,
+    TransformerMixin,
+    clone,
+)
+
+__all__ = [
+    "BaseComponent",
+    "TransformerMixin",
+    "EstimatorMixin",
+    "RegressorMixin",
+    "ClassifierMixin",
+    "ClusterMixin",
+    "NotFittedError",
+    "clone",
+    "permutation_importance",
+    "PermutationImportance",
+    "partial_dependence",
+    "LinearSVC",
+    "LinearSVR",
+]

@@ -1,0 +1,233 @@
+"""Base contracts for transformers and estimators.
+
+The paper adopts the scikit-learn component model: every node in a
+Transformer-Estimator Graph is either a *Transformer* (``fit`` +
+``transform``) or an *Estimator* (``fit`` + ``predict``), and node
+hyper-parameters are addressed externally through the
+``<node_name>__<param>`` naming convention (paper Section IV).  Because no
+third-party ML framework is available in this environment, this module
+defines those contracts from scratch; every component in :mod:`repro.ml`,
+:mod:`repro.nn` and :mod:`repro.timeseries` implements them.
+
+Parameter introspection mirrors scikit-learn: the constructor signature is
+the single source of truth for a component's hyper-parameters, which makes
+:func:`clone` and :meth:`BaseComponent.get_params` work for any component
+without per-class boilerplate.
+"""
+
+from __future__ import annotations
+
+import copy
+import inspect
+from typing import Any, Dict, Iterator, List, Tuple
+
+import numpy as np
+
+__all__ = [
+    "BaseComponent",
+    "TransformerMixin",
+    "EstimatorMixin",
+    "ClassifierMixin",
+    "RegressorMixin",
+    "ClusterMixin",
+    "NotFittedError",
+    "clone",
+    "check_is_fitted",
+    "as_2d_array",
+    "as_1d_array",
+    "check_consistent_length",
+]
+
+
+class NotFittedError(RuntimeError):
+    """Raised when ``transform``/``predict`` is called before ``fit``."""
+
+
+def as_2d_array(X: Any, *, dtype: type = float, name: str = "X") -> np.ndarray:
+    """Coerce ``X`` to a 2-D float array, validating shape.
+
+    1-D input is interpreted as a single feature column.  Raises
+    ``ValueError`` for empty input or ndim > 2, so that malformed data is
+    rejected at the pipeline boundary rather than deep inside a model.
+    """
+    arr = np.asarray(X, dtype=dtype)
+    if arr.ndim == 1:
+        arr = arr.reshape(-1, 1)
+    if arr.ndim != 2:
+        raise ValueError(f"{name} must be 1-D or 2-D, got ndim={arr.ndim}")
+    if arr.size == 0:
+        raise ValueError(f"{name} is empty")
+    if not np.all(np.isfinite(arr)):
+        raise ValueError(
+            f"{name} contains NaN or infinity; impute or drop bad rows first "
+            "(see repro.ml.preprocessing.imputers)"
+        )
+    return arr
+
+
+def as_1d_array(y: Any, *, name: str = "y") -> np.ndarray:
+    """Coerce ``y`` to a 1-D array (labels or targets)."""
+    arr = np.asarray(y)
+    if arr.ndim == 2 and arr.shape[1] == 1:
+        arr = arr.ravel()
+    if arr.ndim != 1:
+        raise ValueError(f"{name} must be 1-D, got shape {arr.shape}")
+    if arr.size == 0:
+        raise ValueError(f"{name} is empty")
+    return arr
+
+
+def check_consistent_length(X: np.ndarray, y: np.ndarray) -> None:
+    """Raise if ``X`` and ``y`` disagree on the number of samples."""
+    if len(X) != len(y):
+        raise ValueError(
+            f"X and y have inconsistent lengths: {len(X)} != {len(y)}"
+        )
+
+
+def check_is_fitted(component: "BaseComponent", attribute: str) -> None:
+    """Raise :class:`NotFittedError` unless ``attribute`` is set.
+
+    By convention (borrowed from scikit-learn) attributes learned during
+    ``fit`` carry a trailing underscore, e.g. ``mean_``.
+    """
+    if getattr(component, attribute, None) is None:
+        raise NotFittedError(
+            f"{type(component).__name__} is not fitted yet; call fit() "
+            "before using this component"
+        )
+
+
+class BaseComponent:
+    """Base class for every transformer and estimator in the library.
+
+    Subclasses must declare all hyper-parameters as explicit keyword
+    arguments in ``__init__`` and store them verbatim on ``self`` (no
+    renaming, no validation side effects) — this is what makes
+    :meth:`get_params`, :meth:`set_params` and :func:`clone` generic.
+    """
+
+    @classmethod
+    def _param_names(cls) -> List[str]:
+        init = cls.__init__
+        if init is object.__init__:
+            return []
+        signature = inspect.signature(init)
+        names = []
+        for name, parameter in signature.parameters.items():
+            if name == "self":
+                continue
+            if parameter.kind in (
+                inspect.Parameter.VAR_POSITIONAL,
+                inspect.Parameter.VAR_KEYWORD,
+            ):
+                raise TypeError(
+                    f"{cls.__name__}.__init__ must declare explicit "
+                    "parameters (no *args/**kwargs) for introspection"
+                )
+            names.append(name)
+        return sorted(names)
+
+    def get_params(self) -> Dict[str, Any]:
+        """Return the component's hyper-parameters as a dict."""
+        return {name: getattr(self, name) for name in self._param_names()}
+
+    def set_params(self, **params: Any) -> "BaseComponent":
+        """Set hyper-parameters; unknown names raise ``ValueError``."""
+        valid = set(self._param_names())
+        for name, value in params.items():
+            if name not in valid:
+                raise ValueError(
+                    f"invalid parameter {name!r} for {type(self).__name__}; "
+                    f"valid parameters: {sorted(valid)}"
+                )
+            setattr(self, name, value)
+        return self
+
+    def iter_params(self) -> Iterator[Tuple[str, Any]]:
+        """Iterate ``(name, value)`` pairs in sorted name order."""
+        return iter(sorted(self.get_params().items()))
+
+    def __repr__(self) -> str:
+        params = ", ".join(
+            f"{name}={value!r}" for name, value in self.iter_params()
+        )
+        return f"{type(self).__name__}({params})"
+
+
+def clone(component: BaseComponent) -> BaseComponent:
+    """Return an unfitted copy of ``component`` with identical parameters.
+
+    Parameter values are deep-copied so that mutable defaults (lists of
+    sub-components, arrays) are not shared between the original and the
+    clone — essential when the same graph node is fitted concurrently on
+    different cross-validation folds.  Objects exposing their own
+    ``clone()`` (e.g. :class:`repro.core.pipeline.Pipeline`) delegate to
+    it.
+    """
+    custom = getattr(component, "clone", None)
+    if callable(custom):
+        return custom()
+    params = {
+        name: copy.deepcopy(value)
+        for name, value in component.get_params().items()
+    }
+    return type(component)(**params)
+
+
+class TransformerMixin:
+    """Mixin for components implementing ``fit`` + ``transform``.
+
+    Paper Section IV: "A Transform operation uses a trained model on
+    individual data items or a collection of items to produce a new data
+    item."
+    """
+
+    is_transformer = True
+    is_estimator = False
+
+    def fit_transform(self, X: Any, y: Any = None) -> np.ndarray:
+        """Fit to ``(X, y)`` then transform ``X`` — the "fit & transform"
+        operation applied to internal pipeline nodes (paper Fig. 5)."""
+        return self.fit(X, y).transform(X)
+
+
+class EstimatorMixin:
+    """Mixin for components implementing ``fit`` + ``predict``.
+
+    Paper Section IV: "An Estimate operation is typically applied to a
+    collection of data items to produce a trained model."
+    """
+
+    is_transformer = False
+    is_estimator = True
+
+
+class RegressorMixin(EstimatorMixin):
+    """Estimator predicting continuous targets."""
+
+    task = "regression"
+
+    def score(self, X: Any, y: Any) -> float:
+        """Coefficient of determination R^2 on ``(X, y)``."""
+        from repro.ml.metrics.regression import r2_score
+
+        return r2_score(as_1d_array(y), self.predict(X))
+
+
+class ClassifierMixin(EstimatorMixin):
+    """Estimator predicting discrete class labels."""
+
+    task = "classification"
+
+    def score(self, X: Any, y: Any) -> float:
+        """Accuracy on ``(X, y)``."""
+        from repro.ml.metrics.classification import accuracy_score
+
+        return accuracy_score(as_1d_array(y), self.predict(X))
+
+
+class ClusterMixin(EstimatorMixin):
+    """Estimator assigning cluster labels (used by Cohort Analysis)."""
+
+    task = "clustering"

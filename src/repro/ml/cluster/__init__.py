@@ -1,0 +1,6 @@
+"""Clustering: k-means (Cohort Analysis) and DBSCAN."""
+
+from repro.ml.cluster.dbscan import DBSCAN
+from repro.ml.cluster.kmeans import KMeans
+
+__all__ = ["KMeans", "DBSCAN"]

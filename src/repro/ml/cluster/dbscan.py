@@ -1,0 +1,124 @@
+"""DBSCAN density-based clustering.
+
+Named in paper Section V among the scikit-learn algorithms the system
+consumes.  Density clustering complements k-means for the Cohort and
+Anomaly templates: it discovers the cluster count itself and labels
+low-density points as noise (-1) — a natural anomaly signal.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.ml.base import (
+    BaseComponent,
+    ClusterMixin,
+    as_2d_array,
+    check_is_fitted,
+)
+
+__all__ = ["DBSCAN"]
+
+NOISE = -1
+
+
+class DBSCAN(ClusterMixin, BaseComponent):
+    """Density-based spatial clustering of applications with noise.
+
+    Parameters
+    ----------
+    eps:
+        Neighborhood radius.
+    min_samples:
+        Points (including self) within ``eps`` required for a core
+        point.
+
+    Attributes after fitting: ``labels_`` (cluster ids, -1 = noise),
+    ``core_sample_indices_`` and ``n_clusters_``.
+    """
+
+    def __init__(self, eps: float = 0.5, min_samples: int = 5):
+        if eps <= 0:
+            raise ValueError("eps must be positive")
+        if min_samples < 1:
+            raise ValueError("min_samples must be >= 1")
+        self.eps = eps
+        self.min_samples = min_samples
+        self.labels_: Optional[np.ndarray] = None
+        self.core_sample_indices_: Optional[np.ndarray] = None
+        self._X: Optional[np.ndarray] = None
+
+    def fit(self, X: Any, y: Any = None) -> "DBSCAN":
+        X = as_2d_array(X)
+        n = len(X)
+        sq = (
+            (X**2).sum(axis=1)[:, None]
+            + (X**2).sum(axis=1)[None, :]
+            - 2.0 * X @ X.T
+        )
+        within = np.maximum(sq, 0.0) <= self.eps**2
+        neighbor_counts = within.sum(axis=1)
+        is_core = neighbor_counts >= self.min_samples
+        labels = np.full(n, NOISE, dtype=int)
+        cluster = 0
+        for seed in range(n):
+            if labels[seed] != NOISE or not is_core[seed]:
+                continue
+            # expand a new cluster from this unvisited core point
+            labels[seed] = cluster
+            queue = deque([seed])
+            while queue:
+                point = queue.popleft()
+                if not is_core[point]:
+                    continue
+                for neighbor in np.flatnonzero(within[point]):
+                    if labels[neighbor] == NOISE:
+                        labels[neighbor] = cluster
+                        queue.append(neighbor)
+            cluster += 1
+        self.labels_ = labels
+        self.core_sample_indices_ = np.flatnonzero(is_core)
+        self._X = X.copy()
+        return self
+
+    @property
+    def n_clusters_(self) -> int:
+        """Number of discovered clusters (noise excluded)."""
+        check_is_fitted(self, "labels_")
+        return int(self.labels_.max() + 1) if (self.labels_ >= 0).any() else 0
+
+    def fit_predict(self, X: Any, y: Any = None) -> np.ndarray:
+        """Fit and return the training labels."""
+        return self.fit(X, y).labels_
+
+    def predict(self, X: Any) -> np.ndarray:
+        """Assign new points to the cluster of the nearest *core* sample
+        within ``eps``; otherwise noise (-1).
+
+        (Classic DBSCAN is transductive; this is the standard inductive
+        extension.)
+        """
+        check_is_fitted(self, "labels_")
+        X = as_2d_array(X)
+        if X.shape[1] != self._X.shape[1]:
+            raise ValueError(
+                f"X has {X.shape[1]} features, model was fitted with "
+                f"{self._X.shape[1]}"
+            )
+        if len(self.core_sample_indices_) == 0:
+            return np.full(len(X), NOISE, dtype=int)
+        cores = self._X[self.core_sample_indices_]
+        core_labels = self.labels_[self.core_sample_indices_]
+        sq = (
+            (X**2).sum(axis=1)[:, None]
+            + (cores**2).sum(axis=1)[None, :]
+            - 2.0 * X @ cores.T
+        )
+        sq = np.maximum(sq, 0.0)
+        nearest = np.argmin(sq, axis=1)
+        labels = core_labels[nearest].copy()
+        labels[np.sqrt(sq[np.arange(len(X)), nearest]) > self.eps] = NOISE
+        return labels

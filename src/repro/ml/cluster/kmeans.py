@@ -1,0 +1,137 @@
+"""k-means clustering (used by the Cohort Analysis solution template).
+
+Paper Section IV-E: Cohort Analysis "leverages historical sensor data from
+multiple assets ... assets are grouped in different buckets or cohorts".
+Uses k-means++ seeding and Lloyd iterations with an inertia-based restart
+over ``n_init`` seedings.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.ml.base import (
+    BaseComponent,
+    ClusterMixin,
+    as_2d_array,
+    check_is_fitted,
+)
+
+__all__ = ["KMeans"]
+
+
+def _kmeans_plus_plus(
+    X: np.ndarray, k: int, rng: np.random.Generator
+) -> np.ndarray:
+    n = len(X)
+    centers = np.empty((k, X.shape[1]))
+    centers[0] = X[rng.integers(n)]
+    closest_sq = ((X - centers[0]) ** 2).sum(axis=1)
+    for i in range(1, k):
+        total = closest_sq.sum()
+        if total <= 0:
+            centers[i] = X[rng.integers(n)]
+            continue
+        probs = closest_sq / total
+        centers[i] = X[rng.choice(n, p=probs)]
+        new_sq = ((X - centers[i]) ** 2).sum(axis=1)
+        closest_sq = np.minimum(closest_sq, new_sq)
+    return centers
+
+
+class KMeans(ClusterMixin, BaseComponent):
+    """Lloyd's k-means with k-means++ initialization.
+
+    Attributes after fitting: ``cluster_centers_``, ``labels_`` (training
+    assignments) and ``inertia_`` (within-cluster sum of squares).
+    """
+
+    def __init__(
+        self,
+        n_clusters: int = 3,
+        n_init: int = 5,
+        max_iter: int = 300,
+        tol: float = 1e-6,
+        random_state: Optional[int] = None,
+    ):
+        if n_clusters < 1:
+            raise ValueError("n_clusters must be >= 1")
+        if n_init < 1:
+            raise ValueError("n_init must be >= 1")
+        self.n_clusters = n_clusters
+        self.n_init = n_init
+        self.max_iter = max_iter
+        self.tol = tol
+        self.random_state = random_state
+        self.cluster_centers_: Optional[np.ndarray] = None
+        self.labels_: Optional[np.ndarray] = None
+        self.inertia_: Optional[float] = None
+
+    def _assign(self, X: np.ndarray, centers: np.ndarray):
+        sq = (
+            (X**2).sum(axis=1)[:, None]
+            + (centers**2).sum(axis=1)[None, :]
+            - 2.0 * X @ centers.T
+        )
+        sq = np.maximum(sq, 0.0)
+        labels = np.argmin(sq, axis=1)
+        inertia = float(sq[np.arange(len(X)), labels].sum())
+        return labels, inertia
+
+    def _single_run(self, X: np.ndarray, rng: np.random.Generator):
+        centers = _kmeans_plus_plus(X, self.n_clusters, rng)
+        labels, inertia = self._assign(X, centers)
+        for _ in range(self.max_iter):
+            new_centers = centers.copy()
+            for c in range(self.n_clusters):
+                members = X[labels == c]
+                if len(members):
+                    new_centers[c] = members.mean(axis=0)
+                else:
+                    # re-seed an empty cluster at the farthest point
+                    sq = ((X - centers[labels]) ** 2).sum(axis=1)
+                    new_centers[c] = X[np.argmax(sq)]
+            shift = np.abs(new_centers - centers).max()
+            centers = new_centers
+            labels, inertia = self._assign(X, centers)
+            if shift < self.tol:
+                break
+        return centers, labels, inertia
+
+    def fit(self, X: Any, y: Any = None) -> "KMeans":
+        X = as_2d_array(X)
+        if len(X) < self.n_clusters:
+            raise ValueError(
+                f"n_samples={len(X)} < n_clusters={self.n_clusters}"
+            )
+        rng = np.random.default_rng(self.random_state)
+        best = None
+        for _ in range(self.n_init):
+            centers, labels, inertia = self._single_run(X, rng)
+            if best is None or inertia < best[2]:
+                best = (centers, labels, inertia)
+        self.cluster_centers_, self.labels_, self.inertia_ = best
+        return self
+
+    def predict(self, X: Any) -> np.ndarray:
+        check_is_fitted(self, "cluster_centers_")
+        X = as_2d_array(X)
+        labels, _ = self._assign(X, self.cluster_centers_)
+        return labels
+
+    def transform(self, X: Any) -> np.ndarray:
+        """Distances from each sample to each cluster center."""
+        check_is_fitted(self, "cluster_centers_")
+        X = as_2d_array(X)
+        sq = (
+            (X**2).sum(axis=1)[:, None]
+            + (self.cluster_centers_**2).sum(axis=1)[None, :]
+            - 2.0 * X @ self.cluster_centers_.T
+        )
+        return np.sqrt(np.maximum(sq, 0.0))
+
+    def fit_predict(self, X: Any, y: Any = None) -> np.ndarray:
+        """Fit and return training-set labels."""
+        return self.fit(X, y).labels_

@@ -1,0 +1,5 @@
+"""Feature transformation: PCA, kernel PCA, LDA, covariance whitening."""
+
+from repro.ml.decomposition.pca import PCA, Covariance, KernelPCA, LDA
+
+__all__ = ["PCA", "KernelPCA", "LDA", "Covariance"]

@@ -1,0 +1,228 @@
+"""Feature transformation: PCA, kernel PCA, LDA, covariance whitening.
+
+Table I lists PCA, kernel-PCA and LDA as feature-transformation options;
+Fig. 3's feature-selection stage additionally chains ``Covariance()`` in
+front of ``PCA()`` (Listing 1: ``[Covariance(), PCA()]``), which we realize
+as a covariance-whitening transformer.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.ml.base import (
+    BaseComponent,
+    TransformerMixin,
+    as_1d_array,
+    as_2d_array,
+    check_is_fitted,
+)
+
+__all__ = ["PCA", "KernelPCA", "LDA", "Covariance"]
+
+
+class PCA(TransformerMixin, BaseComponent):
+    """Principal component analysis via SVD of the centered data.
+
+    "learning a direction of a principal component is done using an
+    estimate operation, whereas projecting a data point to a new dimension
+    is done using a 'transform' operation" (paper Section IV).
+
+    Parameters
+    ----------
+    n_components:
+        Number of components to keep; ``None`` keeps
+        ``min(n_samples, n_features)``.  Clipped to the data rank bound at
+        fit time so the same node works across datasets.
+    """
+
+    def __init__(self, n_components: Optional[int] = None):
+        if n_components is not None and n_components < 1:
+            raise ValueError("n_components must be >= 1")
+        self.n_components = n_components
+        self.mean_: Optional[np.ndarray] = None
+        self.components_: Optional[np.ndarray] = None
+        self.explained_variance_: Optional[np.ndarray] = None
+        self.explained_variance_ratio_: Optional[np.ndarray] = None
+
+    def fit(self, X: Any, y: Any = None) -> "PCA":
+        X = as_2d_array(X)
+        self.mean_ = X.mean(axis=0)
+        centered = X - self.mean_
+        _, singular_values, vt = np.linalg.svd(centered, full_matrices=False)
+        max_components = vt.shape[0]
+        k = max_components if self.n_components is None else min(
+            self.n_components, max_components
+        )
+        denominator = max(len(X) - 1, 1)
+        variances = singular_values**2 / denominator
+        total = variances.sum()
+        self.components_ = vt[:k]
+        self.explained_variance_ = variances[:k]
+        self.explained_variance_ratio_ = (
+            variances[:k] / total if total > 0 else np.zeros(k)
+        )
+        return self
+
+    def transform(self, X: Any) -> np.ndarray:
+        check_is_fitted(self, "components_")
+        X = as_2d_array(X)
+        return (X - self.mean_) @ self.components_.T
+
+    def inverse_transform(self, X: Any) -> np.ndarray:
+        check_is_fitted(self, "components_")
+        X = as_2d_array(X)
+        return X @ self.components_ + self.mean_
+
+
+class KernelPCA(TransformerMixin, BaseComponent):
+    """Kernel PCA with an RBF or polynomial kernel.
+
+    Uses the standard double-centering of the kernel matrix and projects
+    new points through the training set.
+    """
+
+    def __init__(
+        self,
+        n_components: int = 2,
+        kernel: str = "rbf",
+        gamma: float = 1.0,
+        degree: int = 3,
+    ):
+        if n_components < 1:
+            raise ValueError("n_components must be >= 1")
+        if kernel not in ("rbf", "poly", "linear"):
+            raise ValueError(f"unsupported kernel {kernel!r}")
+        self.n_components = n_components
+        self.kernel = kernel
+        self.gamma = gamma
+        self.degree = degree
+        self.X_fit_: Optional[np.ndarray] = None
+        self.alphas_: Optional[np.ndarray] = None
+        self.k_fit_rows_: Optional[np.ndarray] = None
+        self.k_fit_all_: Optional[float] = None
+
+    def _kernel_matrix(self, A: np.ndarray, B: np.ndarray) -> np.ndarray:
+        if self.kernel == "linear":
+            return A @ B.T
+        if self.kernel == "poly":
+            return (A @ B.T + 1.0) ** self.degree
+        sq = (
+            (A**2).sum(axis=1)[:, None]
+            + (B**2).sum(axis=1)[None, :]
+            - 2.0 * A @ B.T
+        )
+        return np.exp(-self.gamma * np.maximum(sq, 0.0))
+
+    def fit(self, X: Any, y: Any = None) -> "KernelPCA":
+        X = as_2d_array(X)
+        self.X_fit_ = X.copy()
+        K = self._kernel_matrix(X, X)
+        n = len(X)
+        one = np.full((n, n), 1.0 / n)
+        K_centered = K - one @ K - K @ one + one @ K @ one
+        eigenvalues, eigenvectors = np.linalg.eigh(K_centered)
+        order = np.argsort(eigenvalues)[::-1]
+        k = min(self.n_components, n)
+        top_values = np.maximum(eigenvalues[order][:k], 1e-12)
+        top_vectors = eigenvectors[:, order][:, :k]
+        self.alphas_ = top_vectors / np.sqrt(top_values)
+        self.k_fit_rows_ = K.mean(axis=1)
+        self.k_fit_all_ = float(K.mean())
+        return self
+
+    def transform(self, X: Any) -> np.ndarray:
+        check_is_fitted(self, "alphas_")
+        X = as_2d_array(X)
+        K = self._kernel_matrix(X, self.X_fit_)
+        K_centered = (
+            K
+            - K.mean(axis=1, keepdims=True)
+            - self.k_fit_rows_[None, :]
+            + self.k_fit_all_
+        )
+        return K_centered @ self.alphas_
+
+
+class LDA(TransformerMixin, BaseComponent):
+    """Linear discriminant analysis projection (supervised).
+
+    Solves the generalized eigenproblem on within/between-class scatter
+    with a small ridge on the within-class scatter for stability.  Keeps
+    at most ``n_classes - 1`` components.
+    """
+
+    def __init__(self, n_components: Optional[int] = None):
+        if n_components is not None and n_components < 1:
+            raise ValueError("n_components must be >= 1")
+        self.n_components = n_components
+        self.scalings_: Optional[np.ndarray] = None
+        self.mean_: Optional[np.ndarray] = None
+
+    def fit(self, X: Any, y: Any = None) -> "LDA":
+        if y is None:
+            raise ValueError("LDA is supervised; y is required")
+        X = as_2d_array(X)
+        y = as_1d_array(y)
+        classes = np.unique(y)
+        if len(classes) < 2:
+            raise ValueError("LDA needs at least two classes")
+        n_features = X.shape[1]
+        overall_mean = X.mean(axis=0)
+        S_w = np.zeros((n_features, n_features))
+        S_b = np.zeros((n_features, n_features))
+        for c in classes:
+            Xc = X[y == c]
+            mean_c = Xc.mean(axis=0)
+            centered = Xc - mean_c
+            S_w += centered.T @ centered
+            diff = (mean_c - overall_mean)[:, None]
+            S_b += len(Xc) * (diff @ diff.T)
+        S_w += 1e-6 * np.trace(S_w) / n_features * np.eye(n_features)
+        eigenvalues, eigenvectors = np.linalg.eig(np.linalg.solve(S_w, S_b))
+        order = np.argsort(eigenvalues.real)[::-1]
+        max_components = len(classes) - 1
+        k = max_components if self.n_components is None else min(
+            self.n_components, max_components
+        )
+        self.scalings_ = eigenvectors.real[:, order][:, :k]
+        self.mean_ = overall_mean
+        return self
+
+    def transform(self, X: Any) -> np.ndarray:
+        check_is_fitted(self, "scalings_")
+        X = as_2d_array(X)
+        return (X - self.mean_) @ self.scalings_
+
+
+class Covariance(TransformerMixin, BaseComponent):
+    """Covariance whitening (ZCA): decorrelate features to unit covariance.
+
+    Appears in Listing 1 chained ahead of PCA
+    (``[Covariance(), PCA()]``): whitening first equalizes feature scales
+    so PCA directions are not dominated by high-variance raw features.
+    """
+
+    def __init__(self, epsilon: float = 1e-8):
+        if epsilon <= 0:
+            raise ValueError("epsilon must be positive")
+        self.epsilon = epsilon
+        self.mean_: Optional[np.ndarray] = None
+        self.whitener_: Optional[np.ndarray] = None
+
+    def fit(self, X: Any, y: Any = None) -> "Covariance":
+        X = as_2d_array(X)
+        self.mean_ = X.mean(axis=0)
+        centered = X - self.mean_
+        cov = centered.T @ centered / max(len(X) - 1, 1)
+        eigenvalues, eigenvectors = np.linalg.eigh(cov)
+        inv_sqrt = 1.0 / np.sqrt(np.maximum(eigenvalues, self.epsilon))
+        self.whitener_ = eigenvectors @ np.diag(inv_sqrt) @ eigenvectors.T
+        return self
+
+    def transform(self, X: Any) -> np.ndarray:
+        check_is_fitted(self, "whitener_")
+        X = as_2d_array(X)
+        return (X - self.mean_) @ self.whitener_

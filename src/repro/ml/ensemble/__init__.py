@@ -1,0 +1,17 @@
+"""Ensembles: random forests and gradient boosting."""
+
+from repro.ml.ensemble.gradient_boosting import (
+    GradientBoostingClassifier,
+    GradientBoostingRegressor,
+)
+from repro.ml.ensemble.random_forest import (
+    RandomForestClassifier,
+    RandomForestRegressor,
+)
+
+__all__ = [
+    "RandomForestRegressor",
+    "RandomForestClassifier",
+    "GradientBoostingRegressor",
+    "GradientBoostingClassifier",
+]

@@ -1,0 +1,156 @@
+"""Random forests (regression and classification).
+
+Random forest is the first model-training option in Table I and a named
+estimator in the Fig. 3 regression graph.  Trees are trained on bootstrap
+resamples with per-node feature subsampling (``max_features="sqrt"`` by
+default, the standard forest recipe).
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+import numpy as np
+
+from repro.ml.base import (
+    BaseComponent,
+    ClassifierMixin,
+    RegressorMixin,
+    as_1d_array,
+    as_2d_array,
+    check_consistent_length,
+    check_is_fitted,
+)
+from repro.ml.tree.decision_tree import (
+    DecisionTreeClassifier,
+    DecisionTreeRegressor,
+)
+
+__all__ = ["RandomForestRegressor", "RandomForestClassifier"]
+
+
+class _BaseForest(BaseComponent):
+    def __init__(
+        self,
+        n_estimators: int = 50,
+        max_depth: Optional[int] = None,
+        min_samples_leaf: int = 1,
+        max_features: Any = "sqrt",
+        bootstrap: bool = True,
+        random_state: Optional[int] = None,
+    ):
+        if n_estimators < 1:
+            raise ValueError("n_estimators must be >= 1")
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.bootstrap = bootstrap
+        self.random_state = random_state
+        self.trees_: Optional[List] = None
+        self.feature_importances_: Optional[np.ndarray] = None
+
+    def _make_tree(self, seed: int):
+        raise NotImplementedError
+
+    def _fit_forest(self, X: np.ndarray, y: np.ndarray) -> None:
+        rng = np.random.default_rng(self.random_state)
+        n = len(X)
+        trees = []
+        importances = np.zeros(X.shape[1])
+        for _ in range(self.n_estimators):
+            seed = int(rng.integers(0, 2**31 - 1))
+            tree = self._make_tree(seed)
+            if self.bootstrap:
+                idx = rng.integers(0, n, size=n)
+                tree.fit(X[idx], y[idx])
+            else:
+                tree.fit(X, y)
+            importances += tree.feature_importances_
+            trees.append(tree)
+        self.trees_ = trees
+        total = importances.sum()
+        self.feature_importances_ = (
+            importances / total if total > 0 else importances
+        )
+
+
+class RandomForestRegressor(RegressorMixin, _BaseForest):
+    """Bagged ensemble of CART regression trees; prediction is the mean of
+    the per-tree predictions."""
+
+    def _make_tree(self, seed: int) -> DecisionTreeRegressor:
+        return DecisionTreeRegressor(
+            max_depth=self.max_depth,
+            min_samples_leaf=self.min_samples_leaf,
+            max_features=self.max_features,
+            random_state=seed,
+        )
+
+    def fit(self, X: Any, y: Any) -> "RandomForestRegressor":
+        X = as_2d_array(X)
+        y = as_1d_array(y).astype(float)
+        check_consistent_length(X, y)
+        self._fit_forest(X, y)
+        return self
+
+    def predict(self, X: Any) -> np.ndarray:
+        check_is_fitted(self, "trees_")
+        X = as_2d_array(X)
+        return np.mean([tree.predict(X) for tree in self.trees_], axis=0)
+
+
+class RandomForestClassifier(ClassifierMixin, _BaseForest):
+    """Bagged ensemble of CART classification trees; prediction averages
+    per-tree class probabilities (soft voting)."""
+
+    def __init__(
+        self,
+        n_estimators: int = 50,
+        max_depth: Optional[int] = None,
+        min_samples_leaf: int = 1,
+        max_features: Any = "sqrt",
+        bootstrap: bool = True,
+        random_state: Optional[int] = None,
+    ):
+        super().__init__(
+            n_estimators=n_estimators,
+            max_depth=max_depth,
+            min_samples_leaf=min_samples_leaf,
+            max_features=max_features,
+            bootstrap=bootstrap,
+            random_state=random_state,
+        )
+        self.classes_: Optional[np.ndarray] = None
+
+    def _make_tree(self, seed: int) -> DecisionTreeClassifier:
+        return DecisionTreeClassifier(
+            max_depth=self.max_depth,
+            min_samples_leaf=self.min_samples_leaf,
+            max_features=self.max_features,
+            random_state=seed,
+        )
+
+    def fit(self, X: Any, y: Any) -> "RandomForestClassifier":
+        X = as_2d_array(X)
+        y = as_1d_array(y)
+        check_consistent_length(X, y)
+        self.classes_ = np.unique(y)
+        self._fit_forest(X, y)
+        return self
+
+    def predict_proba(self, X: Any) -> np.ndarray:
+        check_is_fitted(self, "trees_")
+        X = as_2d_array(X)
+        # Trees trained on bootstrap samples may miss rare classes; align
+        # every tree's probabilities to the forest's class order.
+        proba = np.zeros((len(X), len(self.classes_)))
+        for tree in self.trees_:
+            tree_proba = tree.predict_proba(X)
+            cols = np.searchsorted(self.classes_, tree.classes_)
+            proba[:, cols] += tree_proba
+        return proba / len(self.trees_)
+
+    def predict(self, X: Any) -> np.ndarray:
+        proba = self.predict_proba(X)
+        return self.classes_[np.argmax(proba, axis=1)]

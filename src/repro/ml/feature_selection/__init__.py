@@ -1,0 +1,25 @@
+"""Feature selection: SelectKBest with pluggable relevance scorers."""
+
+from repro.ml.feature_selection.scoring import (
+    SCORERS,
+    entropy_score,
+    f_score,
+    get_scorer,
+    information_gain,
+    variance_score,
+)
+from repro.ml.feature_selection.select_k_best import (
+    SelectKBest,
+    VarianceThreshold,
+)
+
+__all__ = [
+    "SelectKBest",
+    "VarianceThreshold",
+    "f_score",
+    "information_gain",
+    "entropy_score",
+    "variance_score",
+    "get_scorer",
+    "SCORERS",
+]

@@ -1,0 +1,119 @@
+"""SelectKBest feature selection (paper Fig. 3, Table I)."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, Union
+
+import numpy as np
+
+from repro.ml.base import (
+    BaseComponent,
+    TransformerMixin,
+    as_1d_array,
+    as_2d_array,
+    check_is_fitted,
+)
+from repro.ml.feature_selection.scoring import get_scorer
+
+__all__ = ["SelectKBest", "VarianceThreshold"]
+
+
+class SelectKBest(TransformerMixin, BaseComponent):
+    """Keep the ``k`` features with the highest relevance scores.
+
+    Parameters
+    ----------
+    k:
+        Number of features to keep; clipped to the number of available
+        features at fit time (so the same graph node works across datasets
+        of different widths, which matters when graphs are shared through
+        the DARR).
+    score_func:
+        A scorer name from :mod:`repro.ml.feature_selection.scoring`
+        (``"f_score"``, ``"information_gain"``, ``"entropy"``,
+        ``"variance"``) or any callable ``(X, y) -> scores``.
+    """
+
+    def __init__(
+        self,
+        k: int = 10,
+        score_func: Union[str, Callable] = "f_score",
+    ):
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.k = k
+        self.score_func = score_func
+        self.scores_: Optional[np.ndarray] = None
+        self.support_: Optional[np.ndarray] = None
+
+    def _resolve_scorer(self) -> Callable:
+        if callable(self.score_func):
+            return self.score_func
+        return get_scorer(self.score_func)
+
+    def fit(self, X: Any, y: Any = None) -> "SelectKBest":
+        X = as_2d_array(X)
+        scorer = self._resolve_scorer()
+        if y is None:
+            scores = scorer(X, None)
+        else:
+            scores = scorer(X, as_1d_array(y))
+        scores = np.asarray(scores, dtype=float)
+        if scores.shape != (X.shape[1],):
+            raise ValueError(
+                f"scorer returned shape {scores.shape}, expected "
+                f"({X.shape[1]},)"
+            )
+        k = min(self.k, X.shape[1])
+        # argsort is ascending; take the k largest, then restore column
+        # order so the selected features keep their original arrangement.
+        top = np.sort(np.argsort(scores)[-k:])
+        support = np.zeros(X.shape[1], dtype=bool)
+        support[top] = True
+        self.scores_ = scores
+        self.support_ = support
+        return self
+
+    def transform(self, X: Any) -> np.ndarray:
+        check_is_fitted(self, "support_")
+        X = as_2d_array(X)
+        if X.shape[1] != self.support_.shape[0]:
+            raise ValueError(
+                f"X has {X.shape[1]} features, selector was fitted with "
+                f"{self.support_.shape[0]}"
+            )
+        return X[:, self.support_]
+
+    def get_support(self) -> np.ndarray:
+        """Boolean mask of selected features."""
+        check_is_fitted(self, "support_")
+        return self.support_.copy()
+
+
+class VarianceThreshold(TransformerMixin, BaseComponent):
+    """Drop features whose variance is at or below ``threshold``.
+
+    If every feature would be dropped, the single highest-variance feature
+    is kept so downstream estimators always receive at least one column.
+    """
+
+    def __init__(self, threshold: float = 0.0):
+        if threshold < 0:
+            raise ValueError("threshold must be >= 0")
+        self.threshold = threshold
+        self.variances_: Optional[np.ndarray] = None
+        self.support_: Optional[np.ndarray] = None
+
+    def fit(self, X: Any, y: Any = None) -> "VarianceThreshold":
+        X = as_2d_array(X)
+        self.variances_ = X.var(axis=0)
+        support = self.variances_ > self.threshold
+        if not support.any():
+            support[np.argmax(self.variances_)] = True
+        self.support_ = support
+        return self
+
+    def transform(self, X: Any) -> np.ndarray:
+        check_is_fitted(self, "support_")
+        X = as_2d_array(X)
+        return X[:, self.support_]

@@ -1,0 +1,6 @@
+"""Linear models: OLS, ridge, logistic regression."""
+
+from repro.ml.linear.linear_regression import LinearRegression, RidgeRegression
+from repro.ml.linear.logistic import LogisticRegression
+
+__all__ = ["LinearRegression", "RidgeRegression", "LogisticRegression"]

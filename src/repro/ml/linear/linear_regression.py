@@ -1,0 +1,99 @@
+"""Linear models: ordinary least squares and ridge regression.
+
+Linear regression is one of the model-training techniques the paper lists
+(Section III, Table I).  Both models solve the normal equations with a
+least-squares solver, which is exact and fast at the dataset sizes this
+library targets.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.ml.base import (
+    BaseComponent,
+    RegressorMixin,
+    as_1d_array,
+    as_2d_array,
+    check_consistent_length,
+    check_is_fitted,
+)
+
+__all__ = ["LinearRegression", "RidgeRegression"]
+
+
+class LinearRegression(RegressorMixin, BaseComponent):
+    """Ordinary least squares regression."""
+
+    def __init__(self, fit_intercept: bool = True):
+        self.fit_intercept = fit_intercept
+        self.coef_: Optional[np.ndarray] = None
+        self.intercept_: Optional[float] = None
+
+    def fit(self, X: Any, y: Any) -> "LinearRegression":
+        X = as_2d_array(X)
+        y = as_1d_array(y).astype(float)
+        check_consistent_length(X, y)
+        if self.fit_intercept:
+            design = np.hstack([np.ones((len(X), 1)), X])
+        else:
+            design = X
+        solution, *_ = np.linalg.lstsq(design, y, rcond=None)
+        if self.fit_intercept:
+            self.intercept_ = float(solution[0])
+            self.coef_ = solution[1:]
+        else:
+            self.intercept_ = 0.0
+            self.coef_ = solution
+        return self
+
+    def predict(self, X: Any) -> np.ndarray:
+        check_is_fitted(self, "coef_")
+        X = as_2d_array(X)
+        if X.shape[1] != self.coef_.shape[0]:
+            raise ValueError(
+                f"X has {X.shape[1]} features, model was fitted with "
+                f"{self.coef_.shape[0]}"
+            )
+        return X @ self.coef_ + self.intercept_
+
+
+class RidgeRegression(RegressorMixin, BaseComponent):
+    """L2-regularized least squares.
+
+    The intercept is never penalized: data is centered before solving and
+    the intercept recovered from the means.
+    """
+
+    def __init__(self, alpha: float = 1.0):
+        if alpha < 0:
+            raise ValueError("alpha must be >= 0")
+        self.alpha = alpha
+        self.coef_: Optional[np.ndarray] = None
+        self.intercept_: Optional[float] = None
+
+    def fit(self, X: Any, y: Any) -> "RidgeRegression":
+        X = as_2d_array(X)
+        y = as_1d_array(y).astype(float)
+        check_consistent_length(X, y)
+        x_mean = X.mean(axis=0)
+        y_mean = y.mean()
+        Xc = X - x_mean
+        yc = y - y_mean
+        n_features = X.shape[1]
+        gram = Xc.T @ Xc + self.alpha * np.eye(n_features)
+        self.coef_ = np.linalg.solve(gram, Xc.T @ yc)
+        self.intercept_ = float(y_mean - x_mean @ self.coef_)
+        return self
+
+    def predict(self, X: Any) -> np.ndarray:
+        check_is_fitted(self, "coef_")
+        X = as_2d_array(X)
+        if X.shape[1] != self.coef_.shape[0]:
+            raise ValueError(
+                f"X has {X.shape[1]} features, model was fitted with "
+                f"{self.coef_.shape[0]}"
+            )
+        return X @ self.coef_ + self.intercept_

@@ -1,0 +1,145 @@
+"""Logistic regression classifier (binary and one-vs-rest multiclass).
+
+Used by the classification-oriented solution templates (failure
+prediction, anomaly analysis) where the paper's industrial problems are
+binary with heavy class imbalance; ``class_weight="balanced"`` reweights
+the loss accordingly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.ml.base import (
+    BaseComponent,
+    ClassifierMixin,
+    as_1d_array,
+    as_2d_array,
+    check_consistent_length,
+    check_is_fitted,
+)
+
+__all__ = ["LogisticRegression"]
+
+
+def _sigmoid(z: np.ndarray) -> np.ndarray:
+    # Clip to keep exp() in range; gradients saturate there anyway.
+    return 1.0 / (1.0 + np.exp(-np.clip(z, -35.0, 35.0)))
+
+
+class LogisticRegression(ClassifierMixin, BaseComponent):
+    """L2-regularized logistic regression trained by full-batch gradient
+    descent with a fixed learning rate and early stopping on the gradient
+    norm.
+
+    Parameters
+    ----------
+    alpha:
+        L2 penalty strength (intercept not penalized).
+    learning_rate, max_iter, tol:
+        Optimizer settings; ``tol`` is the infinity-norm of the gradient
+        below which training stops.
+    class_weight:
+        ``None`` or ``"balanced"`` (inverse class frequency weights).
+    """
+
+    def __init__(
+        self,
+        alpha: float = 1e-4,
+        learning_rate: float = 0.1,
+        max_iter: int = 500,
+        tol: float = 1e-5,
+        class_weight: Optional[str] = None,
+    ):
+        if alpha < 0:
+            raise ValueError("alpha must be >= 0")
+        if class_weight not in (None, "balanced"):
+            raise ValueError("class_weight must be None or 'balanced'")
+        self.alpha = alpha
+        self.learning_rate = learning_rate
+        self.max_iter = max_iter
+        self.tol = tol
+        self.class_weight = class_weight
+        self.classes_: Optional[np.ndarray] = None
+        self.coef_: Optional[np.ndarray] = None
+        self.intercept_: Optional[np.ndarray] = None
+
+    def _sample_weights(self, y01: np.ndarray) -> np.ndarray:
+        if self.class_weight is None:
+            return np.ones(len(y01))
+        n = len(y01)
+        n_pos = max(y01.sum(), 1)
+        n_neg = max(n - y01.sum(), 1)
+        weights = np.where(y01 == 1, n / (2.0 * n_pos), n / (2.0 * n_neg))
+        return weights
+
+    def _fit_binary(
+        self, X: np.ndarray, y01: np.ndarray
+    ) -> tuple:
+        n, d = X.shape
+        w = np.zeros(d)
+        b = 0.0
+        sample_w = self._sample_weights(y01)
+        for _ in range(self.max_iter):
+            p = _sigmoid(X @ w + b)
+            error = sample_w * (p - y01)
+            grad_w = X.T @ error / n + self.alpha * w
+            grad_b = error.mean()
+            w -= self.learning_rate * grad_w
+            b -= self.learning_rate * grad_b
+            if max(np.abs(grad_w).max(), abs(grad_b)) < self.tol:
+                break
+        return w, b
+
+    def fit(self, X: Any, y: Any) -> "LogisticRegression":
+        X = as_2d_array(X)
+        y = as_1d_array(y)
+        check_consistent_length(X, y)
+        self.classes_ = np.unique(y)
+        if len(self.classes_) < 2:
+            raise ValueError("need at least two classes")
+        coefs, intercepts = [], []
+        if len(self.classes_) == 2:
+            y01 = (y == self.classes_[1]).astype(float)
+            w, b = self._fit_binary(X, y01)
+            coefs.append(w)
+            intercepts.append(b)
+        else:
+            for c in self.classes_:
+                y01 = (y == c).astype(float)
+                w, b = self._fit_binary(X, y01)
+                coefs.append(w)
+                intercepts.append(b)
+        self.coef_ = np.vstack(coefs)
+        self.intercept_ = np.asarray(intercepts)
+        return self
+
+    def predict_proba(self, X: Any) -> np.ndarray:
+        """Class-membership probabilities, columns ordered by
+        ``classes_``."""
+        check_is_fitted(self, "coef_")
+        X = as_2d_array(X)
+        scores = X @ self.coef_.T + self.intercept_
+        if len(self.classes_) == 2:
+            p1 = _sigmoid(scores[:, 0])
+            return np.column_stack([1.0 - p1, p1])
+        probs = _sigmoid(scores)
+        totals = probs.sum(axis=1, keepdims=True)
+        totals[totals == 0.0] = 1.0
+        return probs / totals
+
+    def predict(self, X: Any) -> np.ndarray:
+        proba = self.predict_proba(X)
+        return self.classes_[np.argmax(proba, axis=1)]
+
+    def decision_function(self, X: Any) -> np.ndarray:
+        """Raw scores; for binary problems a 1-D array for the positive
+        class (``classes_[1]``)."""
+        check_is_fitted(self, "coef_")
+        X = as_2d_array(X)
+        scores = X @ self.coef_.T + self.intercept_
+        if len(self.classes_) == 2:
+            return scores[:, 0]
+        return scores

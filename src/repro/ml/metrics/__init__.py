@@ -1,0 +1,49 @@
+"""Model-scoring metrics for regression and classification."""
+
+from repro.ml.metrics.classification import (
+    CLASSIFICATION_METRICS,
+    accuracy_score,
+    confusion_matrix,
+    f1_score,
+    precision_score,
+    recall_score,
+    roc_auc_score,
+    roc_curve,
+)
+from repro.ml.metrics.regression import (
+    GREATER_IS_BETTER,
+    REGRESSION_METRICS,
+    explained_variance,
+    mean_absolute_error,
+    mean_absolute_percentage_error,
+    mean_squared_error,
+    mean_squared_log_error,
+    median_absolute_error,
+    median_absolute_log_error,
+    r2_score,
+    root_mean_squared_error,
+    root_mean_squared_log_error,
+)
+
+__all__ = [
+    "mean_squared_error",
+    "root_mean_squared_error",
+    "mean_absolute_error",
+    "median_absolute_error",
+    "mean_squared_log_error",
+    "root_mean_squared_log_error",
+    "median_absolute_log_error",
+    "mean_absolute_percentage_error",
+    "r2_score",
+    "explained_variance",
+    "REGRESSION_METRICS",
+    "GREATER_IS_BETTER",
+    "accuracy_score",
+    "precision_score",
+    "recall_score",
+    "f1_score",
+    "confusion_matrix",
+    "roc_curve",
+    "roc_auc_score",
+    "CLASSIFICATION_METRICS",
+]

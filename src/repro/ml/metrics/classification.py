@@ -1,0 +1,145 @@
+"""Classification metrics.
+
+"Accuracy, Area under the Curve (AUC), and F1-score are commonly used
+performance measures for classification tasks" (paper Section IV-B).
+Includes confusion-matrix primitives and a registry mirroring the
+regression one so evaluation requests and DARR records can name metrics.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+import numpy as np
+
+__all__ = [
+    "accuracy_score",
+    "precision_score",
+    "recall_score",
+    "f1_score",
+    "confusion_matrix",
+    "roc_curve",
+    "roc_auc_score",
+    "CLASSIFICATION_METRICS",
+    "CLASSIFICATION_GREATER_IS_BETTER",
+]
+
+
+def _pair(y_true, y_pred) -> Tuple[np.ndarray, np.ndarray]:
+    y_true = np.asarray(y_true).ravel()
+    y_pred = np.asarray(y_pred).ravel()
+    if y_true.shape != y_pred.shape:
+        raise ValueError(
+            f"shape mismatch: y_true {y_true.shape} vs y_pred {y_pred.shape}"
+        )
+    if y_true.size == 0:
+        raise ValueError("empty input")
+    return y_true, y_pred
+
+
+def accuracy_score(y_true, y_pred) -> float:
+    """Fraction of exact label matches."""
+    y_true, y_pred = _pair(y_true, y_pred)
+    return float(np.mean(y_true == y_pred))
+
+
+def confusion_matrix(y_true, y_pred) -> Tuple[np.ndarray, np.ndarray]:
+    """Return ``(labels, matrix)`` with ``matrix[i, j]`` counting samples
+    of true class ``labels[i]`` predicted as ``labels[j]``."""
+    y_true, y_pred = _pair(y_true, y_pred)
+    labels = np.unique(np.concatenate([y_true, y_pred]))
+    index = {label: i for i, label in enumerate(labels)}
+    matrix = np.zeros((len(labels), len(labels)), dtype=int)
+    for t, p in zip(y_true, y_pred):
+        matrix[index[t], index[p]] += 1
+    return labels, matrix
+
+
+def _binary_counts(y_true, y_pred, positive) -> Tuple[int, int, int]:
+    tp = int(np.sum((y_true == positive) & (y_pred == positive)))
+    fp = int(np.sum((y_true != positive) & (y_pred == positive)))
+    fn = int(np.sum((y_true == positive) & (y_pred != positive)))
+    return tp, fp, fn
+
+
+def _positive_label(y_true: np.ndarray, positive):
+    if positive is not None:
+        return positive
+    labels = np.unique(y_true)
+    # Convention: the lexically largest label (1 in {0,1}, True in
+    # {False,True}) is the positive class.
+    return labels[-1]
+
+
+def precision_score(y_true, y_pred, positive=None) -> float:
+    """TP / (TP + FP); 0.0 when nothing is predicted positive."""
+    y_true, y_pred = _pair(y_true, y_pred)
+    positive = _positive_label(y_true, positive)
+    tp, fp, _ = _binary_counts(y_true, y_pred, positive)
+    return tp / (tp + fp) if (tp + fp) else 0.0
+
+
+def recall_score(y_true, y_pred, positive=None) -> float:
+    """TP / (TP + FN); 0.0 when there are no positives."""
+    y_true, y_pred = _pair(y_true, y_pred)
+    positive = _positive_label(y_true, positive)
+    tp, _, fn = _binary_counts(y_true, y_pred, positive)
+    return tp / (tp + fn) if (tp + fn) else 0.0
+
+
+def f1_score(y_true, y_pred, positive=None) -> float:
+    """Harmonic mean of precision and recall for the positive class."""
+    p = precision_score(y_true, y_pred, positive)
+    r = recall_score(y_true, y_pred, positive)
+    return 2.0 * p * r / (p + r) if (p + r) else 0.0
+
+
+def roc_curve(
+    y_true, y_score, positive=None
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """ROC curve (fpr, tpr, thresholds) from continuous scores.
+
+    Thresholds sweep the distinct score values from high to low; the
+    first point is (0, 0) with an infinite threshold.
+    """
+    y_true = np.asarray(y_true).ravel()
+    y_score = np.asarray(y_score, dtype=float).ravel()
+    if y_true.shape != y_score.shape:
+        raise ValueError("y_true and y_score must align")
+    positive = _positive_label(y_true, positive)
+    is_pos = y_true == positive
+    n_pos = int(is_pos.sum())
+    n_neg = len(y_true) - n_pos
+    if n_pos == 0 or n_neg == 0:
+        raise ValueError("roc_curve needs both classes present")
+    order = np.argsort(-y_score, kind="stable")
+    sorted_pos = is_pos[order].astype(float)
+    sorted_scores = y_score[order]
+    tps = np.cumsum(sorted_pos)
+    fps = np.cumsum(1.0 - sorted_pos)
+    # keep only the last index of each distinct score
+    distinct = np.r_[np.flatnonzero(np.diff(sorted_scores)), len(y_true) - 1]
+    tpr = np.r_[0.0, tps[distinct] / n_pos]
+    fpr = np.r_[0.0, fps[distinct] / n_neg]
+    thresholds = np.r_[np.inf, sorted_scores[distinct]]
+    return fpr, tpr, thresholds
+
+
+def roc_auc_score(y_true, y_score, positive=None) -> float:
+    """Area under the ROC curve via trapezoidal integration."""
+    fpr, tpr, _ = roc_curve(y_true, y_score, positive)
+    trapezoid = getattr(np, "trapezoid", None) or np.trapz
+    return float(trapezoid(tpr, fpr))
+
+
+CLASSIFICATION_METRICS: Dict[str, Callable] = {
+    "accuracy": accuracy_score,
+    "precision": precision_score,
+    "recall": recall_score,
+    "f1-score": f1_score,
+    "f1": f1_score,
+    "auc": roc_auc_score,
+}
+
+#: All classification metrics in the registry are scores to maximize.
+CLASSIFICATION_GREATER_IS_BETTER = frozenset(CLASSIFICATION_METRICS)

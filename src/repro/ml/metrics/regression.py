@@ -1,0 +1,144 @@
+"""Regression metrics.
+
+Paper Section III enumerates "mean absolute error, mean squared error,
+median absolute log error, mean squared log error, root mean squared
+error, root mean squared log error" for training fit and "mean squared
+error, coefficient of determination (R^2), mean absolute error, root mean
+squared error" for testing; Tables I/II add Mean Average Percentage Error
+(MAPE).  All are implemented here, plus a registry so metrics can be named
+in pipeline-evaluation requests (Listing 2's ``set_accuracy``) and in DARR
+records.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import numpy as np
+
+__all__ = [
+    "mean_squared_error",
+    "root_mean_squared_error",
+    "mean_absolute_error",
+    "median_absolute_error",
+    "mean_squared_log_error",
+    "root_mean_squared_log_error",
+    "median_absolute_log_error",
+    "mean_absolute_percentage_error",
+    "r2_score",
+    "explained_variance",
+    "REGRESSION_METRICS",
+    "GREATER_IS_BETTER",
+]
+
+
+def _pair(y_true, y_pred):
+    y_true = np.asarray(y_true, dtype=float).ravel()
+    y_pred = np.asarray(y_pred, dtype=float).ravel()
+    if y_true.shape != y_pred.shape:
+        raise ValueError(
+            f"shape mismatch: y_true {y_true.shape} vs y_pred {y_pred.shape}"
+        )
+    if y_true.size == 0:
+        raise ValueError("empty input")
+    return y_true, y_pred
+
+
+def mean_squared_error(y_true, y_pred) -> float:
+    """Mean of squared residuals."""
+    y_true, y_pred = _pair(y_true, y_pred)
+    return float(np.mean((y_true - y_pred) ** 2))
+
+
+def root_mean_squared_error(y_true, y_pred) -> float:
+    """Square root of the mean squared error (paper's RMSE)."""
+    return float(np.sqrt(mean_squared_error(y_true, y_pred)))
+
+
+def mean_absolute_error(y_true, y_pred) -> float:
+    """Mean of absolute residuals."""
+    y_true, y_pred = _pair(y_true, y_pred)
+    return float(np.mean(np.abs(y_true - y_pred)))
+
+
+def median_absolute_error(y_true, y_pred) -> float:
+    """Median of absolute residuals (robust to a few large misses)."""
+    y_true, y_pred = _pair(y_true, y_pred)
+    return float(np.median(np.abs(y_true - y_pred)))
+
+
+def _log1p_checked(values: np.ndarray, name: str) -> np.ndarray:
+    if (values < -1.0 + 1e-12).any():
+        raise ValueError(
+            f"{name} contains values < -1; log-based metrics are undefined"
+        )
+    return np.log1p(values)
+
+
+def mean_squared_log_error(y_true, y_pred) -> float:
+    """Mean squared error in log1p space."""
+    y_true, y_pred = _pair(y_true, y_pred)
+    lt = _log1p_checked(y_true, "y_true")
+    lp = _log1p_checked(y_pred, "y_pred")
+    return float(np.mean((lt - lp) ** 2))
+
+
+def root_mean_squared_log_error(y_true, y_pred) -> float:
+    """RMSE in log1p space."""
+    return float(np.sqrt(mean_squared_log_error(y_true, y_pred)))
+
+
+def median_absolute_log_error(y_true, y_pred) -> float:
+    """Median absolute error in log1p space (from the paper's list)."""
+    y_true, y_pred = _pair(y_true, y_pred)
+    lt = _log1p_checked(y_true, "y_true")
+    lp = _log1p_checked(y_pred, "y_pred")
+    return float(np.median(np.abs(lt - lp)))
+
+
+def mean_absolute_percentage_error(y_true, y_pred) -> float:
+    """MAPE in percent; near-zero truths are floored at 1e-8 to stay
+    finite (the convention used for industrial sensor targets)."""
+    y_true, y_pred = _pair(y_true, y_pred)
+    denom = np.maximum(np.abs(y_true), 1e-8)
+    return float(np.mean(np.abs(y_true - y_pred) / denom) * 100.0)
+
+
+def r2_score(y_true, y_pred) -> float:
+    """Coefficient of determination; 1 is perfect, 0 matches the mean
+    predictor, negative is worse than the mean predictor.  A constant
+    ``y_true`` yields 0.0 for a perfect fit and -inf-free negative values
+    otherwise (we return 0.0/−1.0 by convention)."""
+    y_true, y_pred = _pair(y_true, y_pred)
+    ss_res = float(((y_true - y_pred) ** 2).sum())
+    ss_tot = float(((y_true - y_true.mean()) ** 2).sum())
+    if ss_tot == 0.0:
+        return 0.0 if ss_res == 0.0 else -1.0
+    return 1.0 - ss_res / ss_tot
+
+
+def explained_variance(y_true, y_pred) -> float:
+    """Fraction of target variance explained by the predictions."""
+    y_true, y_pred = _pair(y_true, y_pred)
+    var_y = float(np.var(y_true))
+    if var_y == 0.0:
+        return 0.0
+    return 1.0 - float(np.var(y_true - y_pred)) / var_y
+
+
+REGRESSION_METRICS: Dict[str, Callable] = {
+    "mse": mean_squared_error,
+    "rmse": root_mean_squared_error,
+    "mae": mean_absolute_error,
+    "median_ae": median_absolute_error,
+    "msle": mean_squared_log_error,
+    "rmsle": root_mean_squared_log_error,
+    "median_ale": median_absolute_log_error,
+    "mape": mean_absolute_percentage_error,
+    "r2": r2_score,
+    "explained_variance": explained_variance,
+}
+
+#: Metrics where larger values indicate better models.  Everything else in
+#: :data:`REGRESSION_METRICS` is an error to be minimized.
+GREATER_IS_BETTER = frozenset({"r2", "explained_variance"})

@@ -1,0 +1,30 @@
+"""Cross-validation splitters and the cross_validate loop."""
+
+from repro.ml.model_selection.cross_validate import (
+    CrossValidationResult,
+    cross_validate,
+    resolve_metric,
+)
+from repro.ml.model_selection.nested import NestedCVResult, nested_cross_validate
+from repro.ml.model_selection.splits import (
+    KFold,
+    MonteCarloSplit,
+    StratifiedKFold,
+    TimeSeriesSlidingSplit,
+    TrainTestSplit,
+    resolve_splitter,
+)
+
+__all__ = [
+    "KFold",
+    "StratifiedKFold",
+    "MonteCarloSplit",
+    "TrainTestSplit",
+    "TimeSeriesSlidingSplit",
+    "resolve_splitter",
+    "cross_validate",
+    "CrossValidationResult",
+    "resolve_metric",
+    "nested_cross_validate",
+    "NestedCVResult",
+]

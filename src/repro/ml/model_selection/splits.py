@@ -1,0 +1,276 @@
+"""Cross-validation splitters.
+
+The paper names K-fold (Fig. 4), Monte-Carlo simulation (Table I),
+Train-Test Split, and — for time series — the TimeSeriesSlidingSplit
+(Fig. 12), which slides a train window, a buffer window, and a validation
+window forward in time so that "the test data should have not any
+information from the training data".
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "KFold",
+    "StratifiedKFold",
+    "MonteCarloSplit",
+    "TrainTestSplit",
+    "TimeSeriesSlidingSplit",
+    "resolve_splitter",
+]
+
+Split = Tuple[np.ndarray, np.ndarray]
+
+
+class KFold:
+    """K-fold cross validation (paper Fig. 4).
+
+    "Input dataset D is randomly partitioned into K equally sized folds
+    without replacement.  Next, the data from K-1 folds are used to train
+    a given pipeline, and data from the remaining (single) fold is used to
+    obtain predictions."
+    """
+
+    def __init__(
+        self,
+        n_splits: int = 5,
+        shuffle: bool = True,
+        random_state: Optional[int] = None,
+    ):
+        if n_splits < 2:
+            raise ValueError("n_splits must be >= 2")
+        self.n_splits = n_splits
+        self.shuffle = shuffle
+        self.random_state = random_state
+
+    def get_n_splits(self, n_samples: Optional[int] = None) -> int:
+        return self.n_splits
+
+    def split(self, n_samples: int) -> Iterator[Split]:
+        if n_samples < self.n_splits:
+            raise ValueError(
+                f"cannot split {n_samples} samples into {self.n_splits} folds"
+            )
+        indices = np.arange(n_samples)
+        if self.shuffle:
+            rng = np.random.default_rng(self.random_state)
+            rng.shuffle(indices)
+        fold_sizes = np.full(self.n_splits, n_samples // self.n_splits)
+        fold_sizes[: n_samples % self.n_splits] += 1
+        start = 0
+        for size in fold_sizes:
+            test = indices[start : start + size]
+            train = np.concatenate(
+                [indices[:start], indices[start + size :]]
+            )
+            yield train, test
+            start += size
+
+
+class StratifiedKFold:
+    """K-fold preserving class proportions in every fold.
+
+    Needed for the imbalanced failure-prediction data the paper motivates
+    ("rare failure cases, but many successful cases", Section II): plain
+    K-fold can produce folds with no positives at all.
+    """
+
+    def __init__(
+        self,
+        n_splits: int = 5,
+        shuffle: bool = True,
+        random_state: Optional[int] = None,
+    ):
+        if n_splits < 2:
+            raise ValueError("n_splits must be >= 2")
+        self.n_splits = n_splits
+        self.shuffle = shuffle
+        self.random_state = random_state
+
+    def get_n_splits(self, n_samples: Optional[int] = None) -> int:
+        return self.n_splits
+
+    def split_labels(self, y: np.ndarray) -> Iterator[Split]:
+        """Split by explicit labels (the generic ``split(n)`` API cannot
+        stratify, so this splitter takes ``y``)."""
+        y = np.asarray(y).ravel()
+        rng = np.random.default_rng(self.random_state)
+        fold_of = np.empty(len(y), dtype=int)
+        for label in np.unique(y):
+            members = np.flatnonzero(y == label)
+            if self.shuffle:
+                rng.shuffle(members)
+            fold_of[members] = np.arange(len(members)) % self.n_splits
+        all_idx = np.arange(len(y))
+        for fold in range(self.n_splits):
+            test = all_idx[fold_of == fold]
+            train = all_idx[fold_of != fold]
+            if len(test) == 0 or len(train) == 0:
+                raise ValueError(
+                    "stratified split produced an empty fold; decrease "
+                    "n_splits"
+                )
+            yield train, test
+
+    def split(self, n_samples: int) -> Iterator[Split]:
+        # Without labels, degrade to plain KFold semantics.
+        yield from KFold(
+            self.n_splits, self.shuffle, self.random_state
+        ).split(n_samples)
+
+
+class MonteCarloSplit:
+    """Repeated random train/test splits ("monte-carlo simulation" row of
+    Table I; also known as ShuffleSplit).  Each iteration draws a fresh
+    random ``test_size`` fraction without replacement."""
+
+    def __init__(
+        self,
+        n_splits: int = 10,
+        test_size: float = 0.2,
+        random_state: Optional[int] = None,
+    ):
+        if n_splits < 1:
+            raise ValueError("n_splits must be >= 1")
+        if not 0.0 < test_size < 1.0:
+            raise ValueError("test_size must be in (0, 1)")
+        self.n_splits = n_splits
+        self.test_size = test_size
+        self.random_state = random_state
+
+    def get_n_splits(self, n_samples: Optional[int] = None) -> int:
+        return self.n_splits
+
+    def split(self, n_samples: int) -> Iterator[Split]:
+        n_test = max(1, int(round(self.test_size * n_samples)))
+        if n_test >= n_samples:
+            raise ValueError("test_size leaves no training data")
+        rng = np.random.default_rng(self.random_state)
+        for _ in range(self.n_splits):
+            permutation = rng.permutation(n_samples)
+            yield permutation[n_test:], permutation[:n_test]
+
+
+class TrainTestSplit:
+    """A single train/test split (the paper's "Train-Test Split"
+    alternative).  With ``shuffle=False`` the head of the data trains and
+    the tail tests, the usual choice for ordered data."""
+
+    def __init__(
+        self,
+        test_size: float = 0.25,
+        shuffle: bool = True,
+        random_state: Optional[int] = None,
+    ):
+        if not 0.0 < test_size < 1.0:
+            raise ValueError("test_size must be in (0, 1)")
+        self.test_size = test_size
+        self.shuffle = shuffle
+        self.random_state = random_state
+
+    def get_n_splits(self, n_samples: Optional[int] = None) -> int:
+        return 1
+
+    def split(self, n_samples: int) -> Iterator[Split]:
+        n_test = max(1, int(round(self.test_size * n_samples)))
+        if n_test >= n_samples:
+            raise ValueError("test_size leaves no training data")
+        indices = np.arange(n_samples)
+        if self.shuffle:
+            rng = np.random.default_rng(self.random_state)
+            rng.shuffle(indices)
+        yield indices[:-n_test], indices[-n_test:]
+
+
+class TimeSeriesSlidingSplit:
+    """Sliding train/buffer/validation windows over time (paper Fig. 12).
+
+    "we use the size of a training and validation set with a buffer window
+    between them ... The windows slide across time to include future data
+    in the training and validation sets for k iterations."
+
+    Window sizes may be given explicitly (in samples); when omitted they
+    are derived from ``n_splits`` so that the k windows tile the series.
+    Train indices always strictly precede the buffer, which strictly
+    precedes validation — no leakage by construction.
+    """
+
+    def __init__(
+        self,
+        n_splits: int = 5,
+        train_size: Optional[int] = None,
+        val_size: Optional[int] = None,
+        buffer_size: int = 0,
+    ):
+        if n_splits < 1:
+            raise ValueError("n_splits must be >= 1")
+        if buffer_size < 0:
+            raise ValueError("buffer_size must be >= 0")
+        self.n_splits = n_splits
+        self.train_size = train_size
+        self.val_size = val_size
+        self.buffer_size = buffer_size
+
+    def get_n_splits(self, n_samples: Optional[int] = None) -> int:
+        return self.n_splits
+
+    def split(self, n_samples: int) -> Iterator[Split]:
+        val = self.val_size
+        train = self.train_size
+        if val is None:
+            val = max(1, n_samples // (2 * (self.n_splits + 1)))
+        if train is None:
+            train = max(
+                1,
+                n_samples
+                - self.buffer_size
+                - val
+                - (self.n_splits - 1) * val,
+            )
+        window = train + self.buffer_size + val
+        if window > n_samples:
+            raise ValueError(
+                f"train({train}) + buffer({self.buffer_size}) + val({val}) "
+                f"= {window} exceeds n_samples={n_samples}"
+            )
+        last_start = n_samples - window
+        if self.n_splits == 1:
+            starts = [last_start]
+        else:
+            starts = np.unique(
+                np.linspace(0, last_start, self.n_splits).astype(int)
+            )
+        indices = np.arange(n_samples)
+        for start in starts:
+            train_idx = indices[start : start + train]
+            val_start = start + train + self.buffer_size
+            val_idx = indices[val_start : val_start + val]
+            yield train_idx, val_idx
+
+
+_SPLITTERS = {
+    "kfold": KFold,
+    "stratified_kfold": StratifiedKFold,
+    "monte_carlo": MonteCarloSplit,
+    "train_test": TrainTestSplit,
+    "time_series_sliding": TimeSeriesSlidingSplit,
+}
+
+
+def resolve_splitter(spec, **kwargs):
+    """Resolve a splitter from a name (``"kfold"`` …) or pass an instance
+    through unchanged.  Keyword arguments go to the named constructor."""
+    if isinstance(spec, str):
+        try:
+            cls = _SPLITTERS[spec]
+        except KeyError:
+            raise KeyError(
+                f"unknown splitter {spec!r}; available: {sorted(_SPLITTERS)}"
+            ) from None
+        return cls(**kwargs)
+    if hasattr(spec, "split"):
+        return spec
+    raise TypeError(f"cannot interpret {spec!r} as a splitter")

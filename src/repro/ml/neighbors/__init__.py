@@ -1,0 +1,5 @@
+"""k-nearest-neighbor models."""
+
+from repro.ml.neighbors.knn import KNeighborsClassifier, KNeighborsRegressor
+
+__all__ = ["KNeighborsRegressor", "KNeighborsClassifier"]

@@ -1,0 +1,127 @@
+"""k-nearest-neighbor regression and classification.
+
+"k nearest neighbors" is named both as a model-training technique and as
+an imputation method in paper Section III.  Distances are computed with a
+fully vectorized euclidean kernel; ``weights="distance"`` enables
+inverse-distance weighting.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.ml.base import (
+    BaseComponent,
+    ClassifierMixin,
+    RegressorMixin,
+    as_1d_array,
+    as_2d_array,
+    check_consistent_length,
+    check_is_fitted,
+)
+
+__all__ = ["KNeighborsRegressor", "KNeighborsClassifier"]
+
+
+def _pairwise_sq_dists(A: np.ndarray, B: np.ndarray) -> np.ndarray:
+    sq = (
+        (A**2).sum(axis=1)[:, None]
+        + (B**2).sum(axis=1)[None, :]
+        - 2.0 * A @ B.T
+    )
+    return np.maximum(sq, 0.0)
+
+
+class _BaseKNN(BaseComponent):
+    def __init__(self, n_neighbors: int = 5, weights: str = "uniform"):
+        if n_neighbors < 1:
+            raise ValueError("n_neighbors must be >= 1")
+        if weights not in ("uniform", "distance"):
+            raise ValueError("weights must be 'uniform' or 'distance'")
+        self.n_neighbors = n_neighbors
+        self.weights = weights
+        self.X_: Optional[np.ndarray] = None
+        self.y_: Optional[np.ndarray] = None
+
+    def _neighbors(self, X: np.ndarray):
+        k = min(self.n_neighbors, len(self.X_))
+        dists = np.sqrt(_pairwise_sq_dists(X, self.X_))
+        idx = np.argpartition(dists, k - 1, axis=1)[:, :k]
+        neighbor_dists = np.take_along_axis(dists, idx, axis=1)
+        if self.weights == "distance":
+            with np.errstate(divide="ignore"):
+                w = 1.0 / neighbor_dists
+            # exact matches get all the weight
+            exact = np.isinf(w)
+            w[exact.any(axis=1)] = 0.0
+            w[exact] = 1.0
+        else:
+            w = np.ones_like(neighbor_dists)
+        return idx, w
+
+
+class KNeighborsRegressor(RegressorMixin, _BaseKNN):
+    """Predict the (weighted) mean target of the k nearest training
+    rows."""
+
+    def fit(self, X: Any, y: Any) -> "KNeighborsRegressor":
+        X = as_2d_array(X)
+        y = as_1d_array(y).astype(float)
+        check_consistent_length(X, y)
+        self.X_ = X.copy()
+        self.y_ = y.copy()
+        return self
+
+    def predict(self, X: Any) -> np.ndarray:
+        check_is_fitted(self, "X_")
+        X = as_2d_array(X)
+        if X.shape[1] != self.X_.shape[1]:
+            raise ValueError(
+                f"X has {X.shape[1]} features, model was fitted with "
+                f"{self.X_.shape[1]}"
+            )
+        idx, w = self._neighbors(X)
+        values = self.y_[idx]
+        return (values * w).sum(axis=1) / w.sum(axis=1)
+
+
+class KNeighborsClassifier(ClassifierMixin, _BaseKNN):
+    """Predict the (weighted) majority class among the k nearest training
+    rows."""
+
+    def __init__(self, n_neighbors: int = 5, weights: str = "uniform"):
+        super().__init__(n_neighbors=n_neighbors, weights=weights)
+        self.classes_: Optional[np.ndarray] = None
+
+    def fit(self, X: Any, y: Any) -> "KNeighborsClassifier":
+        X = as_2d_array(X)
+        y = as_1d_array(y)
+        check_consistent_length(X, y)
+        self.classes_, encoded = np.unique(y, return_inverse=True)
+        self.X_ = X.copy()
+        self.y_ = encoded
+        return self
+
+    def predict_proba(self, X: Any) -> np.ndarray:
+        check_is_fitted(self, "X_")
+        X = as_2d_array(X)
+        if X.shape[1] != self.X_.shape[1]:
+            raise ValueError(
+                f"X has {X.shape[1]} features, model was fitted with "
+                f"{self.X_.shape[1]}"
+            )
+        idx, w = self._neighbors(X)
+        n_classes = len(self.classes_)
+        proba = np.zeros((len(X), n_classes))
+        labels = self.y_[idx]
+        for c in range(n_classes):
+            proba[:, c] = (w * (labels == c)).sum(axis=1)
+        totals = proba.sum(axis=1, keepdims=True)
+        totals[totals == 0.0] = 1.0
+        return proba / totals
+
+    def predict(self, X: Any) -> np.ndarray:
+        proba = self.predict_proba(X)
+        return self.classes_[np.argmax(proba, axis=1)]

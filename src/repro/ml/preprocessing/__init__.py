@@ -1,0 +1,44 @@
+"""Data cleansing and feature engineering: scalers, imputers,
+outlier handling, encoders."""
+
+from repro.ml.preprocessing.encoders import (
+    KBinsDiscretizer,
+    OneHotEncoder,
+    PolynomialFeatures,
+)
+from repro.ml.preprocessing.imputers import (
+    IterativeImputer,
+    KNNImputer,
+    MatrixFactorizationImputer,
+    SimpleImputer,
+)
+from repro.ml.preprocessing.outliers import (
+    IQROutlierDetector,
+    OutlierClipper,
+    ZScoreOutlierDetector,
+    remove_outliers,
+)
+from repro.ml.preprocessing.scalers import (
+    MinMaxScaler,
+    NoOp,
+    RobustScaler,
+    StandardScaler,
+)
+
+__all__ = [
+    "StandardScaler",
+    "MinMaxScaler",
+    "RobustScaler",
+    "NoOp",
+    "SimpleImputer",
+    "KNNImputer",
+    "IterativeImputer",
+    "MatrixFactorizationImputer",
+    "PolynomialFeatures",
+    "OneHotEncoder",
+    "KBinsDiscretizer",
+    "ZScoreOutlierDetector",
+    "IQROutlierDetector",
+    "OutlierClipper",
+    "remove_outliers",
+]

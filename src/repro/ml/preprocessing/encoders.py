@@ -1,0 +1,209 @@
+"""Feature engineering transformers.
+
+Paper Section III: "The appropriate transformations to make the data
+most amenable for analysis can be substantial."  These graph-compatible
+transformers cover the common cases on industrial tabular data: crossing
+numeric features (:class:`PolynomialFeatures`), expanding categorical id
+columns like the operator-shift factor (:class:`OneHotEncoder`), and
+discretizing continuous sensors into operating bands
+(:class:`KBinsDiscretizer`).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, List, Optional, Sequence
+
+import numpy as np
+
+from repro.ml.base import (
+    BaseComponent,
+    TransformerMixin,
+    as_2d_array,
+    check_is_fitted,
+)
+
+__all__ = ["PolynomialFeatures", "OneHotEncoder", "KBinsDiscretizer"]
+
+
+class PolynomialFeatures(TransformerMixin, BaseComponent):
+    """Polynomial and interaction feature expansion.
+
+    Output columns are, in order: (optional bias), the original features,
+    then all degree-2..``degree`` products of feature combinations
+    (with replacement unless ``interaction_only``).
+    """
+
+    def __init__(
+        self,
+        degree: int = 2,
+        interaction_only: bool = False,
+        include_bias: bool = False,
+    ):
+        if degree < 1:
+            raise ValueError("degree must be >= 1")
+        self.degree = degree
+        self.interaction_only = interaction_only
+        self.include_bias = include_bias
+        self.combinations_: Optional[List[tuple]] = None
+        self.n_features_in_: Optional[int] = None
+
+    def _make_combinations(self, n_features: int) -> List[tuple]:
+        chooser = (
+            itertools.combinations
+            if self.interaction_only
+            else itertools.combinations_with_replacement
+        )
+        out: List[tuple] = []
+        if self.include_bias:
+            out.append(())
+        for d in range(1, self.degree + 1):
+            if self.interaction_only and d > n_features:
+                break
+            out.extend(chooser(range(n_features), d))
+        return out
+
+    def fit(self, X: Any, y: Any = None) -> "PolynomialFeatures":
+        X = as_2d_array(X)
+        self.n_features_in_ = X.shape[1]
+        self.combinations_ = self._make_combinations(X.shape[1])
+        return self
+
+    def transform(self, X: Any) -> np.ndarray:
+        check_is_fitted(self, "combinations_")
+        X = as_2d_array(X)
+        if X.shape[1] != self.n_features_in_:
+            raise ValueError(
+                f"X has {X.shape[1]} features, transformer was fitted "
+                f"with {self.n_features_in_}"
+            )
+        columns = []
+        for combo in self.combinations_:
+            if not combo:
+                columns.append(np.ones(len(X)))
+            else:
+                column = X[:, combo[0]].copy()
+                for index in combo[1:]:
+                    column = column * X[:, index]
+                columns.append(column)
+        return np.column_stack(columns)
+
+    @property
+    def n_output_features_(self) -> int:
+        """Number of columns the expansion produces."""
+        check_is_fitted(self, "combinations_")
+        return len(self.combinations_)
+
+
+class OneHotEncoder(TransformerMixin, BaseComponent):
+    """One-hot expansion of integer-coded categorical columns.
+
+    ``categorical_columns`` selects which columns to expand (``None``
+    auto-detects columns whose values are all integral with at most
+    ``max_categories`` distinct values); the remaining columns pass
+    through unchanged, in their original order, followed by the one-hot
+    blocks.  Unseen categories at transform time encode as all-zeros.
+    """
+
+    def __init__(
+        self,
+        categorical_columns: Optional[Sequence[int]] = None,
+        max_categories: int = 20,
+    ):
+        if max_categories < 2:
+            raise ValueError("max_categories must be >= 2")
+        self.categorical_columns = (
+            list(categorical_columns)
+            if categorical_columns is not None
+            else None
+        )
+        self.max_categories = max_categories
+        self.columns_: Optional[List[int]] = None
+        self.categories_: Optional[dict] = None
+        self.n_features_in_: Optional[int] = None
+
+    def _detect(self, X: np.ndarray) -> List[int]:
+        detected = []
+        for j in range(X.shape[1]):
+            values = X[:, j]
+            if not np.allclose(values, np.round(values)):
+                continue
+            if len(np.unique(values)) <= self.max_categories:
+                detected.append(j)
+        return detected
+
+    def fit(self, X: Any, y: Any = None) -> "OneHotEncoder":
+        X = as_2d_array(X)
+        self.n_features_in_ = X.shape[1]
+        if self.categorical_columns is not None:
+            bad = [j for j in self.categorical_columns if not 0 <= j < X.shape[1]]
+            if bad:
+                raise ValueError(f"column indices out of range: {bad}")
+            columns = sorted(set(self.categorical_columns))
+        else:
+            columns = self._detect(X)
+        self.columns_ = columns
+        self.categories_ = {
+            j: np.unique(X[:, j]) for j in columns
+        }
+        return self
+
+    def transform(self, X: Any) -> np.ndarray:
+        check_is_fitted(self, "columns_")
+        X = as_2d_array(X)
+        if X.shape[1] != self.n_features_in_:
+            raise ValueError(
+                f"X has {X.shape[1]} features, encoder was fitted with "
+                f"{self.n_features_in_}"
+            )
+        passthrough = [
+            X[:, j] for j in range(X.shape[1]) if j not in self.columns_
+        ]
+        blocks = []
+        for j in self.columns_:
+            categories = self.categories_[j]
+            block = (
+                X[:, j][:, None] == categories[None, :]
+            ).astype(float)
+            blocks.append(block)
+        pieces = passthrough + blocks
+        if not pieces:
+            raise ValueError("encoder produced no output columns")
+        return np.column_stack(pieces)
+
+
+class KBinsDiscretizer(TransformerMixin, BaseComponent):
+    """Quantile discretization of continuous features into ordinal bins.
+
+    Each feature maps to its bin index in ``[0, n_bins)``; useful for
+    turning continuous sensor levels into operating bands that trees and
+    rules can name.
+    """
+
+    def __init__(self, n_bins: int = 5):
+        if n_bins < 2:
+            raise ValueError("n_bins must be >= 2")
+        self.n_bins = n_bins
+        self.edges_: Optional[List[np.ndarray]] = None
+
+    def fit(self, X: Any, y: Any = None) -> "KBinsDiscretizer":
+        X = as_2d_array(X)
+        quantiles = np.linspace(0, 1, self.n_bins + 1)[1:-1]
+        self.edges_ = [
+            np.unique(np.quantile(X[:, j], quantiles))
+            for j in range(X.shape[1])
+        ]
+        return self
+
+    def transform(self, X: Any) -> np.ndarray:
+        check_is_fitted(self, "edges_")
+        X = as_2d_array(X)
+        if X.shape[1] != len(self.edges_):
+            raise ValueError(
+                f"X has {X.shape[1]} features, discretizer was fitted "
+                f"with {len(self.edges_)}"
+            )
+        out = np.empty_like(X)
+        for j, edges in enumerate(self.edges_):
+            out[:, j] = np.searchsorted(edges, X[:, j], side="right")
+        return out

@@ -1,0 +1,335 @@
+"""Missing-data imputation.
+
+Paper Section III: data imputation is one of the pre-defined analytics
+steps, "e.g. mean, median, mode, multiple imputation by chained equations,
+matrix factorization, k nearest neighbors, etc.".  We implement the
+single-pass statistics imputers, a kNN imputer, and an iterative
+chained-equations imputer (a lightweight MICE) on top of our own linear
+regression.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.ml.base import (
+    BaseComponent,
+    TransformerMixin,
+    check_is_fitted,
+)
+
+__all__ = [
+    "SimpleImputer",
+    "KNNImputer",
+    "IterativeImputer",
+    "MatrixFactorizationImputer",
+]
+
+
+def _as_float_with_nan(X: Any, name: str = "X") -> np.ndarray:
+    """Like :func:`as_2d_array` but NaNs are allowed (they are the point)."""
+    arr = np.asarray(X, dtype=float)
+    if arr.ndim == 1:
+        arr = arr.reshape(-1, 1)
+    if arr.ndim != 2:
+        raise ValueError(f"{name} must be 1-D or 2-D, got ndim={arr.ndim}")
+    if arr.size == 0:
+        raise ValueError(f"{name} is empty")
+    return arr
+
+
+def _column_mode(values: np.ndarray) -> float:
+    uniques, counts = np.unique(values, return_counts=True)
+    return float(uniques[np.argmax(counts)])
+
+
+class SimpleImputer(TransformerMixin, BaseComponent):
+    """Impute missing values (NaN) with a per-column statistic.
+
+    Parameters
+    ----------
+    strategy:
+        One of ``"mean"``, ``"median"``, ``"mode"`` or ``"constant"``.
+    fill_value:
+        Used only with ``strategy="constant"``.
+    """
+
+    _STRATEGIES = ("mean", "median", "mode", "constant")
+
+    def __init__(self, strategy: str = "mean", fill_value: float = 0.0):
+        if strategy not in self._STRATEGIES:
+            raise ValueError(
+                f"strategy must be one of {self._STRATEGIES}, got {strategy!r}"
+            )
+        self.strategy = strategy
+        self.fill_value = fill_value
+        self.statistics_: Optional[np.ndarray] = None
+
+    def fit(self, X: Any, y: Any = None) -> "SimpleImputer":
+        X = _as_float_with_nan(X)
+        stats = np.empty(X.shape[1])
+        for j in range(X.shape[1]):
+            observed = X[~np.isnan(X[:, j]), j]
+            if self.strategy == "constant":
+                stats[j] = self.fill_value
+            elif observed.size == 0:
+                stats[j] = self.fill_value
+            elif self.strategy == "mean":
+                stats[j] = observed.mean()
+            elif self.strategy == "median":
+                stats[j] = np.median(observed)
+            else:  # mode
+                stats[j] = _column_mode(observed)
+        self.statistics_ = stats
+        return self
+
+    def transform(self, X: Any) -> np.ndarray:
+        check_is_fitted(self, "statistics_")
+        X = _as_float_with_nan(X).copy()
+        if X.shape[1] != self.statistics_.shape[0]:
+            raise ValueError(
+                f"X has {X.shape[1]} features, imputer was fitted with "
+                f"{self.statistics_.shape[0]}"
+            )
+        for j in range(X.shape[1]):
+            mask = np.isnan(X[:, j])
+            X[mask, j] = self.statistics_[j]
+        return X
+
+
+class KNNImputer(TransformerMixin, BaseComponent):
+    """Impute each missing value from the k nearest complete rows.
+
+    Distance between rows is the euclidean distance over the columns
+    observed in *both* rows, rescaled to the full feature count
+    (the standard nan-euclidean distance).
+    """
+
+    def __init__(self, n_neighbors: int = 5):
+        if n_neighbors < 1:
+            raise ValueError("n_neighbors must be >= 1")
+        self.n_neighbors = n_neighbors
+        self.train_: Optional[np.ndarray] = None
+        self.fallback_: Optional[np.ndarray] = None
+
+    def fit(self, X: Any, y: Any = None) -> "KNNImputer":
+        X = _as_float_with_nan(X)
+        self.train_ = X.copy()
+        # Column means over observed values: fallback when no neighbor
+        # observes the column.
+        with np.errstate(invalid="ignore"):
+            fallback = np.nanmean(X, axis=0)
+        self.fallback_ = np.where(np.isnan(fallback), 0.0, fallback)
+        return self
+
+    def _nan_distances(self, row: np.ndarray) -> np.ndarray:
+        train = self.train_
+        both = ~np.isnan(row) & ~np.isnan(train)
+        diff = np.where(both, train - row, 0.0)
+        counts = both.sum(axis=1)
+        sq = (diff**2).sum(axis=1)
+        n_features = train.shape[1]
+        with np.errstate(divide="ignore", invalid="ignore"):
+            scaled = sq * (n_features / counts)
+        scaled[counts == 0] = np.inf
+        return np.sqrt(scaled)
+
+    def transform(self, X: Any) -> np.ndarray:
+        check_is_fitted(self, "train_")
+        X = _as_float_with_nan(X).copy()
+        for i in range(X.shape[0]):
+            missing = np.isnan(X[i])
+            if not missing.any():
+                continue
+            distances = self._nan_distances(X[i])
+            order = np.argsort(distances)
+            for j in np.flatnonzero(missing):
+                donors = []
+                for idx in order:
+                    if np.isinf(distances[idx]):
+                        break
+                    value = self.train_[idx, j]
+                    if not np.isnan(value):
+                        donors.append(value)
+                    if len(donors) == self.n_neighbors:
+                        break
+                X[i, j] = np.mean(donors) if donors else self.fallback_[j]
+        return X
+
+
+class IterativeImputer(TransformerMixin, BaseComponent):
+    """Multiple-imputation-by-chained-equations style imputer.
+
+    Each column with missing values is modeled as a linear function of the
+    other columns; imputations are refined over ``max_iter`` rounds.  This
+    is the "multiple imputation by chained equations" option named in paper
+    Section III, restricted to a single chain for determinism.
+    """
+
+    def __init__(self, max_iter: int = 5, tol: float = 1e-3):
+        if max_iter < 1:
+            raise ValueError("max_iter must be >= 1")
+        self.max_iter = max_iter
+        self.tol = tol
+        self.initial_: Optional[SimpleImputer] = None
+        self.models_: Optional[dict] = None
+
+    def fit(self, X: Any, y: Any = None) -> "IterativeImputer":
+        from repro.ml.linear.linear_regression import RidgeRegression
+
+        X = _as_float_with_nan(X)
+        self.initial_ = SimpleImputer(strategy="mean").fit(X)
+        filled = self.initial_.transform(X)
+        nan_mask = np.isnan(X)
+        target_cols = [j for j in range(X.shape[1]) if nan_mask[:, j].any()]
+        models = {}
+        for _ in range(self.max_iter):
+            previous = filled.copy()
+            for j in target_cols:
+                others = np.delete(filled, j, axis=1)
+                model = RidgeRegression(alpha=1e-3)
+                observed = ~nan_mask[:, j]
+                if observed.sum() < 2:
+                    continue
+                model.fit(others[observed], filled[observed, j])
+                models[j] = model
+                predicted = model.predict(others[nan_mask[:, j]])
+                filled[nan_mask[:, j], j] = predicted
+            shift = np.abs(filled - previous).max() if target_cols else 0.0
+            if shift < self.tol:
+                break
+        self.models_ = models
+        return self
+
+    def transform(self, X: Any) -> np.ndarray:
+        check_is_fitted(self, "models_")
+        X = _as_float_with_nan(X)
+        filled = self.initial_.transform(X)
+        nan_mask = np.isnan(X)
+        for _ in range(self.max_iter):
+            for j, model in self.models_.items():
+                if j >= X.shape[1] or not nan_mask[:, j].any():
+                    continue
+                others = np.delete(filled, j, axis=1)
+                filled[nan_mask[:, j], j] = model.predict(
+                    others[nan_mask[:, j]]
+                )
+        return filled
+
+
+class MatrixFactorizationImputer(TransformerMixin, BaseComponent):
+    """Low-rank matrix completion by alternating least squares.
+
+    The "matrix factorization" imputation option of paper Section III:
+    the (column-standardized) data matrix is approximated as ``U @ V.T``
+    with rank ``n_factors``, fitting only the observed entries with an
+    L2 penalty; missing entries are read off the reconstruction.
+    Appropriate when columns are correlated — the low-rank structure
+    transfers information across columns in a way per-column statistics
+    cannot.
+    """
+
+    def __init__(
+        self,
+        n_factors: int = 3,
+        max_iter: int = 30,
+        regularization: float = 0.1,
+        random_state: Optional[int] = None,
+    ):
+        if n_factors < 1:
+            raise ValueError("n_factors must be >= 1")
+        if max_iter < 1:
+            raise ValueError("max_iter must be >= 1")
+        if regularization < 0:
+            raise ValueError("regularization must be >= 0")
+        self.n_factors = n_factors
+        self.max_iter = max_iter
+        self.regularization = regularization
+        self.random_state = random_state
+        self.column_mean_: Optional[np.ndarray] = None
+        self.column_std_: Optional[np.ndarray] = None
+        self.item_factors_: Optional[np.ndarray] = None
+
+    def _standardize(self, X: np.ndarray) -> np.ndarray:
+        return (X - self.column_mean_) / self.column_std_
+
+    def _als(
+        self, X: np.ndarray, mask: np.ndarray, rng: np.random.Generator
+    ) -> tuple:
+        """Alternating least squares on observed entries of a
+        standardized matrix with NaNs outside ``mask``."""
+        n, d = X.shape
+        k = min(self.n_factors, min(n, d))
+        U = 0.1 * rng.normal(size=(n, k))
+        V = 0.1 * rng.normal(size=(d, k))
+        ridge = self.regularization * np.eye(k)
+        filled = np.where(mask, X, 0.0)
+        for _ in range(self.max_iter):
+            for i in range(n):
+                observed = mask[i]
+                if not observed.any():
+                    continue
+                Vo = V[observed]
+                U[i] = np.linalg.solve(
+                    Vo.T @ Vo + ridge, Vo.T @ filled[i, observed]
+                )
+            for j in range(d):
+                observed = mask[:, j]
+                if not observed.any():
+                    continue
+                Uo = U[observed]
+                V[j] = np.linalg.solve(
+                    Uo.T @ Uo + ridge, Uo.T @ filled[observed, j]
+                )
+        return U, V
+
+    def fit(self, X: Any, y: Any = None) -> "MatrixFactorizationImputer":
+        X = _as_float_with_nan(X)
+        with np.errstate(invalid="ignore"):
+            mean = np.nanmean(X, axis=0)
+            std = np.nanstd(X, axis=0)
+        mean = np.where(np.isnan(mean), 0.0, mean)
+        std = np.where(np.isnan(std) | (std == 0.0), 1.0, std)
+        self.column_mean_ = mean
+        self.column_std_ = std
+        rng = np.random.default_rng(self.random_state)
+        standardized = self._standardize(X)
+        mask = ~np.isnan(X)
+        _, V = self._als(standardized, mask, rng)
+        self.item_factors_ = V
+        return self
+
+    def transform(self, X: Any) -> np.ndarray:
+        check_is_fitted(self, "item_factors_")
+        X = _as_float_with_nan(X)
+        if X.shape[1] != self.item_factors_.shape[0]:
+            raise ValueError(
+                f"X has {X.shape[1]} features, imputer was fitted with "
+                f"{self.item_factors_.shape[0]}"
+            )
+        standardized = self._standardize(X)
+        mask = ~np.isnan(X)
+        V = self.item_factors_
+        k = V.shape[1]
+        ridge = self.regularization * np.eye(k)
+        out = X.copy()
+        for i in range(X.shape[0]):
+            observed = mask[i]
+            if observed.all():
+                continue
+            if not observed.any():
+                out[i] = self.column_mean_
+                continue
+            Vo = V[observed]
+            u = np.linalg.solve(
+                Vo.T @ Vo + ridge, Vo.T @ standardized[i, observed]
+            )
+            reconstruction = V @ u
+            missing = ~observed
+            out[i, missing] = (
+                reconstruction[missing] * self.column_std_[missing]
+                + self.column_mean_[missing]
+            )
+        return out

@@ -1,0 +1,133 @@
+"""Outlier detection and removal.
+
+Paper Sections II–III: "Data which constitute erroneous and/or outlying
+values may need to be identified and discarded" and data cleansing with
+"removing outliers using one or more of a fixed set of techniques" is one
+of the structured DARR-tracked steps.  Detectors flag rows; the
+``OutlierClipper`` transformer is graph-safe (it never drops rows, so
+downstream ``y`` alignment is preserved), while :func:`remove_outliers`
+drops flagged rows from ``(X, y)`` as an explicit preprocessing call.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Tuple
+
+import numpy as np
+
+from repro.ml.base import (
+    BaseComponent,
+    TransformerMixin,
+    as_2d_array,
+    check_is_fitted,
+)
+
+__all__ = [
+    "ZScoreOutlierDetector",
+    "IQROutlierDetector",
+    "OutlierClipper",
+    "remove_outliers",
+]
+
+
+class ZScoreOutlierDetector(BaseComponent):
+    """Flag rows containing any value more than ``threshold`` standard
+    deviations from its column mean."""
+
+    def __init__(self, threshold: float = 3.0):
+        if threshold <= 0:
+            raise ValueError("threshold must be positive")
+        self.threshold = threshold
+        self.mean_: Optional[np.ndarray] = None
+        self.std_: Optional[np.ndarray] = None
+
+    def fit(self, X: Any, y: Any = None) -> "ZScoreOutlierDetector":
+        X = as_2d_array(X)
+        self.mean_ = X.mean(axis=0)
+        std = X.std(axis=0)
+        std[std == 0.0] = 1.0
+        self.std_ = std
+        return self
+
+    def predict(self, X: Any) -> np.ndarray:
+        """Return a boolean mask, True where the row is an outlier."""
+        check_is_fitted(self, "std_")
+        X = as_2d_array(X)
+        z = np.abs((X - self.mean_) / self.std_)
+        return (z > self.threshold).any(axis=1)
+
+
+class IQROutlierDetector(BaseComponent):
+    """Flag rows with any value outside ``[q1 - k*iqr, q3 + k*iqr]``."""
+
+    def __init__(self, k: float = 1.5):
+        if k <= 0:
+            raise ValueError("k must be positive")
+        self.k = k
+        self.lower_: Optional[np.ndarray] = None
+        self.upper_: Optional[np.ndarray] = None
+
+    def fit(self, X: Any, y: Any = None) -> "IQROutlierDetector":
+        X = as_2d_array(X)
+        q1 = np.percentile(X, 25, axis=0)
+        q3 = np.percentile(X, 75, axis=0)
+        iqr = q3 - q1
+        self.lower_ = q1 - self.k * iqr
+        self.upper_ = q3 + self.k * iqr
+        return self
+
+    def predict(self, X: Any) -> np.ndarray:
+        """Return a boolean mask, True where the row is an outlier."""
+        check_is_fitted(self, "lower_")
+        X = as_2d_array(X)
+        return ((X < self.lower_) | (X > self.upper_)).any(axis=1)
+
+
+class OutlierClipper(TransformerMixin, BaseComponent):
+    """Winsorize values into the IQR fence learned at fit time.
+
+    Row count is preserved, so the clipper can sit inside a
+    Transformer-Estimator Graph stage without desynchronizing ``X`` and
+    ``y``.
+    """
+
+    def __init__(self, k: float = 1.5):
+        if k <= 0:
+            raise ValueError("k must be positive")
+        self.k = k
+        self.detector_: Optional[IQROutlierDetector] = None
+
+    def fit(self, X: Any, y: Any = None) -> "OutlierClipper":
+        self.detector_ = IQROutlierDetector(k=self.k).fit(X)
+        return self
+
+    def transform(self, X: Any) -> np.ndarray:
+        check_is_fitted(self, "detector_")
+        X = as_2d_array(X)
+        return np.clip(X, self.detector_.lower_, self.detector_.upper_)
+
+
+def remove_outliers(
+    X: Any,
+    y: Any = None,
+    detector: Optional[BaseComponent] = None,
+) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+    """Drop rows flagged by ``detector`` (default: 3-sigma z-score).
+
+    Returns the filtered ``(X, y)``; ``y`` may be ``None``.  At least one
+    row always survives: if the detector flags everything, the input is
+    returned unchanged (discarding the whole dataset is never the intent
+    of a cleansing step).
+    """
+    X = as_2d_array(X)
+    detector = detector or ZScoreOutlierDetector()
+    mask = ~detector.fit(X).predict(X)
+    if not mask.any():
+        mask = np.ones(len(X), dtype=bool)
+    y_out = None
+    if y is not None:
+        y_arr = np.asarray(y)
+        if len(y_arr) != len(X):
+            raise ValueError("X and y have inconsistent lengths")
+        y_out = y_arr[mask]
+    return X[mask], y_out

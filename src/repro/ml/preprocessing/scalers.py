@@ -1,0 +1,162 @@
+"""Data scalers used in the Data Scaling stage of every pipeline graph.
+
+The paper's regression graph (Fig. 3) and time-series graph (Fig. 11/Table
+II) both open with a scaling stage offering ``MinMaxScaler``,
+``StandardScaler``, ``RobustScaler`` and a ``NoOp`` option that lets a path
+skip the stage entirely.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.ml.base import (
+    BaseComponent,
+    TransformerMixin,
+    as_2d_array,
+    check_is_fitted,
+)
+
+__all__ = ["StandardScaler", "MinMaxScaler", "RobustScaler", "NoOp"]
+
+
+class StandardScaler(TransformerMixin, BaseComponent):
+    """Standardize features to zero mean and unit variance.
+
+    "Standardization of data typically involves converting the mean of the
+    time series to 0 and the standard deviation to 1" (paper Section
+    IV-C4).  Constant columns are left at zero after centering (their scale
+    divisor is forced to 1 to avoid division by zero).
+    """
+
+    def __init__(self, with_mean: bool = True, with_std: bool = True):
+        self.with_mean = with_mean
+        self.with_std = with_std
+        self.mean_: Optional[np.ndarray] = None
+        self.scale_: Optional[np.ndarray] = None
+
+    def fit(self, X: Any, y: Any = None) -> "StandardScaler":
+        X = as_2d_array(X)
+        self.mean_ = X.mean(axis=0) if self.with_mean else np.zeros(X.shape[1])
+        if self.with_std:
+            std = X.std(axis=0)
+            std[std == 0.0] = 1.0
+            self.scale_ = std
+        else:
+            self.scale_ = np.ones(X.shape[1])
+        return self
+
+    def transform(self, X: Any) -> np.ndarray:
+        check_is_fitted(self, "scale_")
+        X = as_2d_array(X)
+        if X.shape[1] != self.mean_.shape[0]:
+            raise ValueError(
+                f"X has {X.shape[1]} features, scaler was fitted with "
+                f"{self.mean_.shape[0]}"
+            )
+        return (X - self.mean_) / self.scale_
+
+    def inverse_transform(self, X: Any) -> np.ndarray:
+        check_is_fitted(self, "scale_")
+        X = as_2d_array(X)
+        return X * self.scale_ + self.mean_
+
+
+class MinMaxScaler(TransformerMixin, BaseComponent):
+    """Scale features to a fixed range, by default [0, 1].
+
+    Implements the "0-1 normalization" option from the paper's
+    introduction.  Constant columns map to ``feature_range[0]``.
+    """
+
+    def __init__(self, feature_range: tuple = (0.0, 1.0)):
+        lo, hi = feature_range
+        if hi <= lo:
+            raise ValueError(f"feature_range must increase, got {feature_range}")
+        self.feature_range = (float(lo), float(hi))
+        self.data_min_: Optional[np.ndarray] = None
+        self.data_max_: Optional[np.ndarray] = None
+
+    def fit(self, X: Any, y: Any = None) -> "MinMaxScaler":
+        X = as_2d_array(X)
+        self.data_min_ = X.min(axis=0)
+        self.data_max_ = X.max(axis=0)
+        return self
+
+    def transform(self, X: Any) -> np.ndarray:
+        check_is_fitted(self, "data_min_")
+        X = as_2d_array(X)
+        lo, hi = self.feature_range
+        span = self.data_max_ - self.data_min_
+        span = np.where(span == 0.0, 1.0, span)
+        unit = (X - self.data_min_) / span
+        return unit * (hi - lo) + lo
+
+    def inverse_transform(self, X: Any) -> np.ndarray:
+        check_is_fitted(self, "data_min_")
+        X = as_2d_array(X)
+        lo, hi = self.feature_range
+        span = self.data_max_ - self.data_min_
+        span = np.where(span == 0.0, 1.0, span)
+        return (X - lo) / (hi - lo) * span + self.data_min_
+
+
+class RobustScaler(TransformerMixin, BaseComponent):
+    """Scale features using statistics robust to outliers.
+
+    The "outlier-aware robust scaler" from the paper's introduction:
+    centers on the median and scales by the inter-quantile range
+    (25th–75th percentile by default).
+    """
+
+    def __init__(self, quantile_range: tuple = (25.0, 75.0)):
+        lo, hi = quantile_range
+        if not (0.0 <= lo < hi <= 100.0):
+            raise ValueError(f"invalid quantile_range {quantile_range}")
+        self.quantile_range = (float(lo), float(hi))
+        self.center_: Optional[np.ndarray] = None
+        self.scale_: Optional[np.ndarray] = None
+
+    def fit(self, X: Any, y: Any = None) -> "RobustScaler":
+        X = as_2d_array(X)
+        lo, hi = self.quantile_range
+        self.center_ = np.median(X, axis=0)
+        iqr = np.percentile(X, hi, axis=0) - np.percentile(X, lo, axis=0)
+        iqr[iqr == 0.0] = 1.0
+        self.scale_ = iqr
+        return self
+
+    def transform(self, X: Any) -> np.ndarray:
+        check_is_fitted(self, "scale_")
+        X = as_2d_array(X)
+        return (X - self.center_) / self.scale_
+
+    def inverse_transform(self, X: Any) -> np.ndarray:
+        check_is_fitted(self, "scale_")
+        X = as_2d_array(X)
+        return X * self.scale_ + self.center_
+
+
+class NoOp(TransformerMixin, BaseComponent):
+    """Identity transformer.
+
+    "The NoOp operation allows users to skip the operation in that stage"
+    (paper Section IV-A).  Including a ``NoOp`` option in a stage adds the
+    stage-skipping paths to the graph without special-casing the pipeline
+    executor.
+    """
+
+    def __init__(self):
+        self.fitted_ = None
+
+    def fit(self, X: Any, y: Any = None) -> "NoOp":
+        self.fitted_ = True
+        return self
+
+    def transform(self, X: Any) -> np.ndarray:
+        return as_2d_array(X)
+
+    def inverse_transform(self, X: Any) -> np.ndarray:
+        return as_2d_array(X)

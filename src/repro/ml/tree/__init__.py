@@ -1,0 +1,8 @@
+"""CART decision trees."""
+
+from repro.ml.tree.decision_tree import (
+    DecisionTreeClassifier,
+    DecisionTreeRegressor,
+)
+
+__all__ = ["DecisionTreeRegressor", "DecisionTreeClassifier"]

@@ -1,0 +1,385 @@
+"""CART decision trees (regression and classification).
+
+Decision trees appear throughout the paper: ``DecisionTree()`` is an
+estimator option in the Fig. 3 regression graph and trees underpin the
+random-forest and gradient-boosting options of Section III.  Split search
+is vectorized per feature: candidate thresholds come from sorting the
+feature once and evaluating all split points with cumulative statistics,
+giving O(n log n) per feature per node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Tuple
+
+import numpy as np
+
+from repro.ml.base import (
+    BaseComponent,
+    ClassifierMixin,
+    RegressorMixin,
+    as_1d_array,
+    as_2d_array,
+    check_consistent_length,
+    check_is_fitted,
+)
+
+__all__ = ["DecisionTreeRegressor", "DecisionTreeClassifier"]
+
+
+@dataclass
+class _Node:
+    """A tree node; leaves have ``feature is None``."""
+
+    value: np.ndarray  # mean target (regression) or class counts
+    n_samples: int
+    impurity: float
+    feature: Optional[int] = None
+    threshold: float = 0.0
+    left: Optional["_Node"] = None
+    right: Optional["_Node"] = None
+    depth: int = 0
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.feature is None
+
+
+def _best_split_mse(
+    X: np.ndarray, y: np.ndarray, feature_indices: np.ndarray,
+    min_samples_leaf: int,
+) -> Tuple[Optional[int], float, float]:
+    """Best (feature, threshold) minimizing weighted child MSE.
+
+    Returns ``(feature, threshold, gain)``; feature is ``None`` when no
+    valid split exists.  Uses prefix sums of y and y^2 over each sorted
+    feature so every split point is evaluated in O(1).
+    """
+    n = len(y)
+    total_sum = y.sum()
+    total_sq = (y**2).sum()
+    parent_sse = total_sq - total_sum**2 / n
+    # Start below zero so zero-gain splits are still taken: XOR-like
+    # targets need a first split that does not reduce impurity by itself.
+    best_gain = -1e-9
+    best_feature: Optional[int] = None
+    best_threshold = 0.0
+    for j in feature_indices:
+        order = np.argsort(X[:, j], kind="stable")
+        xs = X[order, j]
+        ys = y[order]
+        # split after position i means left = ys[:i+1]
+        csum = np.cumsum(ys)
+        csq = np.cumsum(ys**2)
+        idx = np.arange(1, n)  # left sizes
+        valid = (xs[1:] > xs[:-1])  # threshold must separate values
+        valid &= (idx >= min_samples_leaf) & (n - idx >= min_samples_leaf)
+        if not valid.any():
+            continue
+        left_sum = csum[:-1]
+        left_sq = csq[:-1]
+        right_sum = total_sum - left_sum
+        right_sq = total_sq - left_sq
+        left_sse = left_sq - left_sum**2 / idx
+        right_sse = right_sq - right_sum**2 / (n - idx)
+        gain = parent_sse - (left_sse + right_sse)
+        gain = np.where(valid, gain, -np.inf)
+        k = int(np.argmax(gain))
+        if gain[k] > best_gain + 1e-12:
+            best_gain = float(gain[k])
+            best_feature = int(j)
+            best_threshold = float((xs[k] + xs[k + 1]) / 2.0)
+    return best_feature, best_threshold, best_gain
+
+
+def _best_split_gini(
+    X: np.ndarray, Y: np.ndarray, feature_indices: np.ndarray,
+    min_samples_leaf: int,
+) -> Tuple[Optional[int], float, float]:
+    """Best split minimizing weighted Gini impurity.
+
+    ``Y`` is a one-hot (n, n_classes) indicator matrix; cumulative class
+    counts along each sorted feature give O(1) impurity per split point.
+    """
+    n = len(Y)
+    total_counts = Y.sum(axis=0)
+    parent_gini = 1.0 - ((total_counts / n) ** 2).sum()
+    best_gain = -1e-9
+    best_feature: Optional[int] = None
+    best_threshold = 0.0
+    for j in feature_indices:
+        order = np.argsort(X[:, j], kind="stable")
+        xs = X[order, j]
+        counts = np.cumsum(Y[order], axis=0)
+        idx = np.arange(1, n)
+        valid = (xs[1:] > xs[:-1])
+        valid &= (idx >= min_samples_leaf) & (n - idx >= min_samples_leaf)
+        if not valid.any():
+            continue
+        left_counts = counts[:-1]
+        right_counts = total_counts - left_counts
+        left_n = idx[:, None]
+        right_n = (n - idx)[:, None]
+        gini_left = 1.0 - ((left_counts / left_n) ** 2).sum(axis=1)
+        gini_right = 1.0 - ((right_counts / right_n) ** 2).sum(axis=1)
+        weighted = (idx * gini_left + (n - idx) * gini_right) / n
+        gain = np.where(valid, parent_gini - weighted, -np.inf)
+        k = int(np.argmax(gain))
+        if gain[k] > best_gain + 1e-12:
+            best_gain = float(gain[k])
+            best_feature = int(j)
+            best_threshold = float((xs[k] + xs[k + 1]) / 2.0)
+    return best_feature, best_threshold, best_gain
+
+
+class _BaseDecisionTree(BaseComponent):
+    """Shared growth/inference machinery for both tree flavors."""
+
+    def __init__(
+        self,
+        max_depth: Optional[int] = None,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features: Optional[Any] = None,
+        random_state: Optional[int] = None,
+    ):
+        if max_depth is not None and max_depth < 1:
+            raise ValueError("max_depth must be >= 1")
+        if min_samples_split < 2:
+            raise ValueError("min_samples_split must be >= 2")
+        if min_samples_leaf < 1:
+            raise ValueError("min_samples_leaf must be >= 1")
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.random_state = random_state
+        self.root_: Optional[_Node] = None
+        self.n_features_: Optional[int] = None
+        self.feature_importances_: Optional[np.ndarray] = None
+
+    # -- subclass hooks -------------------------------------------------
+    def _leaf_value(self, targets: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def _impurity(self, targets: np.ndarray) -> float:
+        raise NotImplementedError
+
+    def _find_split(self, X, targets, features):
+        raise NotImplementedError
+
+    def _is_pure(self, targets: np.ndarray) -> bool:
+        raise NotImplementedError
+
+    # --------------------------------------------------------------------
+    def _resolve_max_features(self, n_features: int) -> int:
+        mf = self.max_features
+        if mf is None:
+            return n_features
+        if mf == "sqrt":
+            return max(1, int(np.sqrt(n_features)))
+        if mf == "log2":
+            return max(1, int(np.log2(n_features)))
+        if isinstance(mf, float):
+            return max(1, int(mf * n_features))
+        if isinstance(mf, int):
+            return max(1, min(mf, n_features))
+        raise ValueError(f"unsupported max_features {mf!r}")
+
+    def _grow(
+        self,
+        X: np.ndarray,
+        targets: np.ndarray,
+        depth: int,
+        rng: np.random.Generator,
+        importances: np.ndarray,
+    ) -> _Node:
+        node = _Node(
+            value=self._leaf_value(targets),
+            n_samples=len(targets),
+            impurity=self._impurity(targets),
+            depth=depth,
+        )
+        if (
+            len(targets) < self.min_samples_split
+            or (self.max_depth is not None and depth >= self.max_depth)
+            or self._is_pure(targets)
+        ):
+            return node
+        n_features = X.shape[1]
+        k = self._resolve_max_features(n_features)
+        if k < n_features:
+            features = rng.choice(n_features, size=k, replace=False)
+        else:
+            features = np.arange(n_features)
+        feature, threshold, gain = self._find_split(X, targets, features)
+        if feature is None:
+            return node
+        mask = X[:, feature] <= threshold
+        node.feature = feature
+        node.threshold = threshold
+        importances[feature] += max(gain, 0.0)
+        node.left = self._grow(
+            X[mask], targets[mask], depth + 1, rng, importances
+        )
+        node.right = self._grow(
+            X[~mask], targets[~mask], depth + 1, rng, importances
+        )
+        return node
+
+    def _fit_tree(self, X: np.ndarray, targets: np.ndarray) -> None:
+        self.n_features_ = X.shape[1]
+        rng = np.random.default_rng(self.random_state)
+        importances = np.zeros(self.n_features_)
+        self.root_ = self._grow(X, targets, 0, rng, importances)
+        total = importances.sum()
+        self.feature_importances_ = (
+            importances / total if total > 0 else importances
+        )
+
+    def _leaf_for(self, row: np.ndarray) -> _Node:
+        node = self.root_
+        while not node.is_leaf:
+            node = node.left if row[node.feature] <= node.threshold else node.right
+        return node
+
+    def _leaf_values(self, X: np.ndarray) -> np.ndarray:
+        check_is_fitted(self, "root_")
+        if X.shape[1] != self.n_features_:
+            raise ValueError(
+                f"X has {X.shape[1]} features, tree was fitted with "
+                f"{self.n_features_}"
+            )
+        return np.stack([self._leaf_for(row).value for row in X])
+
+    @property
+    def depth_(self) -> int:
+        """Maximum depth of the grown tree."""
+        check_is_fitted(self, "root_")
+
+        def walk(node: _Node) -> int:
+            if node.is_leaf:
+                return node.depth
+            return max(walk(node.left), walk(node.right))
+
+        return walk(self.root_)
+
+    @property
+    def n_leaves_(self) -> int:
+        """Number of leaves in the grown tree."""
+        check_is_fitted(self, "root_")
+
+        def walk(node: _Node) -> int:
+            if node.is_leaf:
+                return 1
+            return walk(node.left) + walk(node.right)
+
+        return walk(self.root_)
+
+    def decision_rules(self) -> List[str]:
+        """Human-readable root-to-leaf rules.
+
+        Supports the paper's interpretability requirement ("can it be
+        described using simple rules?", Section II) and the RCA template.
+        """
+        check_is_fitted(self, "root_")
+        rules: List[str] = []
+
+        def walk(node: _Node, conditions: List[str]) -> None:
+            if node.is_leaf:
+                head = " and ".join(conditions) if conditions else "always"
+                rules.append(f"if {head} then value={node.value}")
+                return
+            walk(
+                node.left,
+                conditions + [f"x[{node.feature}] <= {node.threshold:.4g}"],
+            )
+            walk(
+                node.right,
+                conditions + [f"x[{node.feature}] > {node.threshold:.4g}"],
+            )
+
+        walk(self.root_, [])
+        return rules
+
+
+class DecisionTreeRegressor(RegressorMixin, _BaseDecisionTree):
+    """CART regression tree minimizing mean squared error."""
+
+    def _leaf_value(self, targets: np.ndarray) -> np.ndarray:
+        return np.asarray(targets.mean())
+
+    def _impurity(self, targets: np.ndarray) -> float:
+        return float(targets.var())
+
+    def _is_pure(self, targets: np.ndarray) -> bool:
+        return bool(targets.var() < 1e-12)
+
+    def _find_split(self, X, targets, features):
+        return _best_split_mse(X, targets, features, self.min_samples_leaf)
+
+    def fit(self, X: Any, y: Any) -> "DecisionTreeRegressor":
+        X = as_2d_array(X)
+        y = as_1d_array(y).astype(float)
+        check_consistent_length(X, y)
+        self._fit_tree(X, y)
+        return self
+
+    def predict(self, X: Any) -> np.ndarray:
+        X = as_2d_array(X)
+        return self._leaf_values(X).ravel()
+
+
+class DecisionTreeClassifier(ClassifierMixin, _BaseDecisionTree):
+    """CART classification tree minimizing Gini impurity."""
+
+    def __init__(
+        self,
+        max_depth: Optional[int] = None,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features: Optional[Any] = None,
+        random_state: Optional[int] = None,
+    ):
+        super().__init__(
+            max_depth=max_depth,
+            min_samples_split=min_samples_split,
+            min_samples_leaf=min_samples_leaf,
+            max_features=max_features,
+            random_state=random_state,
+        )
+        self.classes_: Optional[np.ndarray] = None
+
+    def _leaf_value(self, targets: np.ndarray) -> np.ndarray:
+        # targets is one-hot; the leaf stores class probabilities
+        counts = targets.sum(axis=0)
+        return counts / counts.sum()
+
+    def _impurity(self, targets: np.ndarray) -> float:
+        p = targets.mean(axis=0)
+        return float(1.0 - (p**2).sum())
+
+    def _is_pure(self, targets: np.ndarray) -> bool:
+        return bool((targets.sum(axis=0) > 0).sum() <= 1)
+
+    def _find_split(self, X, targets, features):
+        return _best_split_gini(X, targets, features, self.min_samples_leaf)
+
+    def fit(self, X: Any, y: Any) -> "DecisionTreeClassifier":
+        X = as_2d_array(X)
+        y = as_1d_array(y)
+        check_consistent_length(X, y)
+        self.classes_, inverse = np.unique(y, return_inverse=True)
+        onehot = np.zeros((len(y), len(self.classes_)))
+        onehot[np.arange(len(y)), inverse] = 1.0
+        self._fit_tree(X, onehot)
+        return self
+
+    def predict_proba(self, X: Any) -> np.ndarray:
+        X = as_2d_array(X)
+        return self._leaf_values(X)
+
+    def predict(self, X: Any) -> np.ndarray:
+        proba = self.predict_proba(X)
+        return self.classes_[np.argmax(proba, axis=1)]

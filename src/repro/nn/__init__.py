@@ -1,0 +1,56 @@
+"""Numpy neural-network framework and graph-compatible deep estimators.
+
+Implements the deep models of paper Section IV-C (DNN, LSTM, CNN,
+WaveNet, SeriesNet) with manual backpropagation — no TensorFlow/Keras is
+available in this environment, and the paper's architectures are small
+enough to train on CPU.
+"""
+
+from repro.nn.convolution import Conv1D, GlobalAveragePool1D, MaxPool1D
+from repro.nn.estimators import (
+    CNNRegressor,
+    DNNRegressor,
+    LSTMRegressor,
+    SeriesNetRegressor,
+    WaveNetRegressor,
+)
+from repro.nn.layers import Dense, Dropout, Flatten, Layer, ReLU, Tanh
+from repro.nn.losses import HuberLoss, MSELoss
+from repro.nn.network import Sequential
+from repro.nn.optimizers import SGD, Adam
+from repro.nn.recurrent import LSTM
+from repro.nn.wavenet import (
+    GatedResidualBlock,
+    SeriesNetBlock,
+    SeriesNetStack,
+    TakeLastStep,
+    WaveNetStack,
+)
+
+__all__ = [
+    "Layer",
+    "Dense",
+    "ReLU",
+    "Tanh",
+    "Dropout",
+    "Flatten",
+    "Conv1D",
+    "MaxPool1D",
+    "GlobalAveragePool1D",
+    "LSTM",
+    "Sequential",
+    "SGD",
+    "Adam",
+    "MSELoss",
+    "HuberLoss",
+    "WaveNetStack",
+    "SeriesNetStack",
+    "GatedResidualBlock",
+    "SeriesNetBlock",
+    "TakeLastStep",
+    "DNNRegressor",
+    "LSTMRegressor",
+    "CNNRegressor",
+    "WaveNetRegressor",
+    "SeriesNetRegressor",
+]

@@ -1,0 +1,196 @@
+"""1-D convolutional layers for time-series models.
+
+Provides the building blocks for the paper's CNN regressor ("a 1D
+convolutional layer, a max pooling layer, a dense non-linear layer with
+ReLU activation, and a densely connected linear layer") and the dilated
+*causal* convolutions that WaveNet and SeriesNet stack: a causal filter at
+dilation d only sees samples t, t-d, ..., t-(k-1)d, never the future.
+
+All layers take and return ``(batch, time, channels)``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.layers import Layer
+
+__all__ = ["Conv1D", "MaxPool1D", "GlobalAveragePool1D"]
+
+
+class Conv1D(Layer):
+    """1-D convolution with optional dilation and causal padding.
+
+    ``padding="same"`` keeps the time length (zero padding both sides);
+    ``padding="causal"`` pads only on the left so output[t] depends only
+    on inputs <= t — required by WaveNet-style models;
+    ``padding="valid"`` shrinks the sequence.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int = 3,
+        dilation: int = 1,
+        padding: str = "same",
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        if kernel_size < 1 or dilation < 1:
+            raise ValueError("kernel_size and dilation must be >= 1")
+        if padding not in ("same", "causal", "valid"):
+            raise ValueError(f"unsupported padding {padding!r}")
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.dilation = dilation
+        self.padding = padding
+        rng = rng or np.random.default_rng()
+        fan_in = in_channels * kernel_size
+        self.params["W"] = rng.normal(
+            0.0, np.sqrt(2.0 / fan_in), (kernel_size, in_channels, out_channels)
+        )
+        self.params["b"] = np.zeros(out_channels)
+        self.zero_grads()
+        self._cols: Optional[np.ndarray] = None
+        self._pad: Optional[tuple] = None
+        self._in_shape: Optional[tuple] = None
+
+    def _pad_amounts(self) -> tuple:
+        span = (self.kernel_size - 1) * self.dilation
+        if self.padding == "causal":
+            return span, 0
+        if self.padding == "same":
+            return span // 2, span - span // 2
+        return 0, 0
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 3:
+            raise ValueError(
+                f"Conv1D expects (batch, time, channels), got shape {x.shape}"
+            )
+        if x.shape[2] != self.in_channels:
+            raise ValueError(
+                f"Conv1D expected {self.in_channels} channels, got {x.shape[2]}"
+            )
+        left, right = self._pad_amounts()
+        self._pad = (left, right)
+        self._in_shape = x.shape
+        padded = np.pad(x, ((0, 0), (left, right), (0, 0)))
+        batch, padded_time, _ = padded.shape
+        span = (self.kernel_size - 1) * self.dilation
+        out_time = padded_time - span
+        if out_time < 1:
+            raise ValueError(
+                f"sequence too short: receptive span {span + 1} exceeds "
+                f"padded length {padded_time}"
+            )
+        # im2col over the time axis: (batch, out_time, kernel, channels)
+        taps = [
+            padded[:, k * self.dilation : k * self.dilation + out_time, :]
+            for k in range(self.kernel_size)
+        ]
+        cols = np.stack(taps, axis=2)
+        self._cols = cols
+        flat = cols.reshape(batch, out_time, -1)
+        weights = self.params["W"].reshape(-1, self.out_channels)
+        return flat @ weights + self.params["b"]
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        cols = self._cols
+        batch, out_time, kernel, channels = cols.shape
+        flat_cols = cols.reshape(-1, kernel * channels)
+        flat_grad = grad_out.reshape(-1, self.out_channels)
+        grad_w = flat_cols.T @ flat_grad
+        self.grads["W"] += grad_w.reshape(self.params["W"].shape)
+        self.grads["b"] += flat_grad.sum(axis=0)
+        weights = self.params["W"].reshape(-1, self.out_channels)
+        grad_cols = (flat_grad @ weights.T).reshape(
+            batch, out_time, kernel, channels
+        )
+        left, right = self._pad
+        padded_time = self._in_shape[1] + left + right
+        grad_padded = np.zeros((batch, padded_time, channels))
+        for k in range(kernel):
+            start = k * self.dilation
+            grad_padded[:, start : start + out_time, :] += grad_cols[:, :, k, :]
+        end = padded_time - right if right else padded_time
+        return grad_padded[:, left:end, :]
+
+
+class MaxPool1D(Layer):
+    """Max pooling over non-overlapping time windows.
+
+    "The max pooling layer helps in reducing the dimension of the input
+    sequence" (paper Section IV-C2).  A ragged tail shorter than
+    ``pool_size`` is dropped, matching common framework behaviour.
+    """
+
+    def __init__(self, pool_size: int = 2):
+        super().__init__()
+        if pool_size < 1:
+            raise ValueError("pool_size must be >= 1")
+        self.pool_size = pool_size
+        self._argmax: Optional[np.ndarray] = None
+        self._in_shape: Optional[tuple] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 3:
+            raise ValueError(
+                f"MaxPool1D expects (batch, time, channels), got {x.shape}"
+            )
+        batch, time, channels = x.shape
+        out_time = time // self.pool_size
+        if out_time < 1:
+            raise ValueError(
+                f"sequence length {time} shorter than pool_size "
+                f"{self.pool_size}"
+            )
+        self._in_shape = x.shape
+        windows = x[:, : out_time * self.pool_size, :].reshape(
+            batch, out_time, self.pool_size, channels
+        )
+        self._argmax = windows.argmax(axis=2)
+        return windows.max(axis=2)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        batch, time, channels = self._in_shape
+        out_time = grad_out.shape[1]
+        grad_in = np.zeros((batch, out_time, self.pool_size, channels))
+        b_idx, t_idx, c_idx = np.meshgrid(
+            np.arange(batch),
+            np.arange(out_time),
+            np.arange(channels),
+            indexing="ij",
+        )
+        grad_in[b_idx, t_idx, self._argmax, c_idx] = grad_out
+        grad_full = np.zeros((batch, time, channels))
+        grad_full[:, : out_time * self.pool_size, :] = grad_in.reshape(
+            batch, out_time * self.pool_size, channels
+        )
+        return grad_full
+
+
+class GlobalAveragePool1D(Layer):
+    """Average over the time axis: (batch, time, channels) ->
+    (batch, channels)."""
+
+    def __init__(self):
+        super().__init__()
+        self._time: Optional[int] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 3:
+            raise ValueError(
+                f"GlobalAveragePool1D expects (batch, time, channels), "
+                f"got {x.shape}"
+            )
+        self._time = x.shape[1]
+        return x.mean(axis=1)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        expanded = np.repeat(grad_out[:, None, :], self._time, axis=1)
+        return expanded / self._time

@@ -1,0 +1,390 @@
+"""Graph-compatible deep regression estimators.
+
+These wrap :class:`repro.nn.network.Sequential` stacks behind the
+``fit``/``predict`` estimator contract so they can sit in the Modelling
+stage of a Transformer-Estimator Graph.  The architectures follow paper
+Section IV-C:
+
+* :class:`DNNRegressor` — "simple" = 2 hidden + dropout layers, "deep" =
+  4 hidden + dropout layers; consumes IID/flat-windowed 2-D data.
+* :class:`LSTMRegressor` — "simple" = one LSTM + dropout, "deep" = four
+  LSTM layers each followed by dropout; both end in a fully connected
+  linear layer; consumes cascaded 3-D windows.
+* :class:`CNNRegressor` — 1-D conv, max pooling, dense ReLU, dense
+  linear; "deep" stacks a second conv/pool pair.
+* :class:`WaveNetRegressor` / :class:`SeriesNetRegressor` — dilated
+  causal convolution stacks from :mod:`repro.nn.wavenet`.
+
+Temporal estimators require 3-D ``(n_windows, history, variables)`` input
+(produced by :class:`repro.timeseries.windows.CascadedWindows`); IID
+estimators require 2-D input.  Mismatches raise with a pointer to the
+right preprocessor, which is exactly the wiring constraint the paper's
+Fig. 11 graph encodes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+import numpy as np
+
+from repro.ml.base import (
+    BaseComponent,
+    RegressorMixin,
+    as_1d_array,
+    check_is_fitted,
+)
+from repro.nn.convolution import Conv1D, MaxPool1D
+from repro.nn.layers import Dense, Dropout, Flatten, Layer, ReLU
+from repro.nn.network import Sequential
+from repro.nn.optimizers import Adam
+from repro.nn.recurrent import LSTM
+from repro.nn.wavenet import SeriesNetStack, TakeLastStep, WaveNetStack
+
+__all__ = [
+    "DNNRegressor",
+    "LSTMRegressor",
+    "CNNRegressor",
+    "WaveNetRegressor",
+    "SeriesNetRegressor",
+]
+
+
+def _require_2d(X: Any, model: str) -> np.ndarray:
+    arr = np.asarray(X, dtype=float)
+    if arr.ndim == 1:
+        arr = arr.reshape(-1, 1)
+    if arr.ndim != 2:
+        raise ValueError(
+            f"{model} consumes IID (2-D) data, got shape {arr.shape}; use "
+            "FlatWindowing or TSAsIID preprocessing for time series"
+        )
+    if not np.all(np.isfinite(arr)):
+        raise ValueError(f"{model} input contains NaN or infinity")
+    return arr
+
+
+def _require_3d(X: Any, model: str) -> np.ndarray:
+    arr = np.asarray(X, dtype=float)
+    if arr.ndim != 3:
+        raise ValueError(
+            f"{model} consumes windowed (3-D) data, got shape {arr.shape}; "
+            "use CascadedWindows preprocessing for time series"
+        )
+    if not np.all(np.isfinite(arr)):
+        raise ValueError(f"{model} input contains NaN or infinity")
+    return arr
+
+
+class _BaseDeepRegressor(RegressorMixin, BaseComponent):
+    """Shared training plumbing; subclasses build the layer stack."""
+
+    def __init__(
+        self,
+        architecture: str = "simple",
+        epochs: int = 40,
+        batch_size: int = 32,
+        learning_rate: float = 0.005,
+        dropout: float = 0.2,
+        random_state: Optional[int] = None,
+    ):
+        if architecture not in ("simple", "deep"):
+            raise ValueError("architecture must be 'simple' or 'deep'")
+        if not 0.0 <= dropout < 1.0:
+            raise ValueError("dropout must be in [0, 1)")
+        self.architecture = architecture
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.learning_rate = learning_rate
+        self.dropout = dropout
+        self.random_state = random_state
+        self.network_: Optional[Sequential] = None
+
+    # -- subclass hooks --------------------------------------------------
+    def _coerce(self, X: Any) -> np.ndarray:
+        raise NotImplementedError
+
+    def _build(self, X: np.ndarray, rng: np.random.Generator) -> List[Layer]:
+        raise NotImplementedError
+
+    # ---------------------------------------------------------------------
+    def fit(self, X: Any, y: Any) -> "_BaseDeepRegressor":
+        X = self._coerce(X)
+        y = as_1d_array(y).astype(float)
+        if len(X) != len(y):
+            raise ValueError("X and y have inconsistent lengths")
+        rng = np.random.default_rng(self.random_state)
+        network = Sequential(self._build(X, rng))
+        network.fit(
+            X,
+            y.reshape(-1, 1),
+            epochs=self.epochs,
+            batch_size=self.batch_size,
+            optimizer=Adam(learning_rate=self.learning_rate),
+            rng=rng,
+        )
+        self.network_ = network
+        return self
+
+    def predict(self, X: Any) -> np.ndarray:
+        check_is_fitted(self, "network_")
+        X = self._coerce(X)
+        return self.network_.predict(X).ravel()
+
+    @property
+    def train_losses_(self) -> List[float]:
+        """Per-epoch training losses of the last fit."""
+        check_is_fitted(self, "network_")
+        return self.network_.train_losses_
+
+    def n_parameters(self) -> int:
+        """Trainable parameter count of the fitted network."""
+        check_is_fitted(self, "network_")
+        return self.network_.n_parameters()
+
+
+class DNNRegressor(_BaseDeepRegressor):
+    """Standard (IID) deep neural network.
+
+    "The simple network is 2 hidden layers and dropout layers, whereas,
+    the complex network is made of 4 hidden layers and dropout layers"
+    (paper Section IV-C3).
+    """
+
+    def __init__(
+        self,
+        architecture: str = "simple",
+        hidden_size: int = 32,
+        epochs: int = 40,
+        batch_size: int = 32,
+        learning_rate: float = 0.005,
+        dropout: float = 0.2,
+        random_state: Optional[int] = None,
+    ):
+        super().__init__(
+            architecture=architecture,
+            epochs=epochs,
+            batch_size=batch_size,
+            learning_rate=learning_rate,
+            dropout=dropout,
+            random_state=random_state,
+        )
+        if hidden_size < 1:
+            raise ValueError("hidden_size must be >= 1")
+        self.hidden_size = hidden_size
+
+    def _coerce(self, X: Any) -> np.ndarray:
+        return _require_2d(X, "DNNRegressor")
+
+    def _build(self, X: np.ndarray, rng: np.random.Generator) -> List[Layer]:
+        n_hidden = 2 if self.architecture == "simple" else 4
+        layers: List[Layer] = []
+        width = X.shape[1]
+        for _ in range(n_hidden):
+            layers += [
+                Dense(width, self.hidden_size, rng),
+                ReLU(),
+                Dropout(self.dropout, rng),
+            ]
+            width = self.hidden_size
+        layers.append(Dense(width, 1, rng))
+        return layers
+
+
+class LSTMRegressor(_BaseDeepRegressor):
+    """Temporal LSTM network.
+
+    "The first model is a simple architecture which just has one LSTM
+    layer followed by a dropout layer, whereas the other model ... has
+    four LSTM layers, each followed by their own dropout layers.  Both
+    these architectures have a fully connected linear activation layer at
+    the end" (paper Section IV-C2).
+    """
+
+    def __init__(
+        self,
+        architecture: str = "simple",
+        hidden_size: int = 24,
+        epochs: int = 30,
+        batch_size: int = 32,
+        learning_rate: float = 0.005,
+        dropout: float = 0.2,
+        random_state: Optional[int] = None,
+    ):
+        super().__init__(
+            architecture=architecture,
+            epochs=epochs,
+            batch_size=batch_size,
+            learning_rate=learning_rate,
+            dropout=dropout,
+            random_state=random_state,
+        )
+        if hidden_size < 1:
+            raise ValueError("hidden_size must be >= 1")
+        self.hidden_size = hidden_size
+
+    def _coerce(self, X: Any) -> np.ndarray:
+        return _require_3d(X, "LSTMRegressor")
+
+    def _build(self, X: np.ndarray, rng: np.random.Generator) -> List[Layer]:
+        n_lstm = 1 if self.architecture == "simple" else 4
+        layers: List[Layer] = []
+        channels = X.shape[2]
+        for i in range(n_lstm):
+            last = i == n_lstm - 1
+            layers += [
+                LSTM(
+                    channels,
+                    self.hidden_size,
+                    return_sequences=not last,
+                    rng=rng,
+                ),
+                Dropout(self.dropout, rng),
+            ]
+            channels = self.hidden_size
+        layers.append(Dense(self.hidden_size, 1, rng))
+        return layers
+
+
+class CNNRegressor(_BaseDeepRegressor):
+    """Temporal convolutional network.
+
+    "layers such as a 1D convolutional layer, a max pooling layer, a
+    dense non-linear layer with ReLU activation, and a densely connected
+    linear layer" (paper Section IV-C2); the deep variant stacks a second
+    conv/pool pair.
+    """
+
+    def __init__(
+        self,
+        architecture: str = "simple",
+        n_filters: int = 16,
+        kernel_size: int = 3,
+        pool_size: int = 2,
+        hidden_size: int = 32,
+        epochs: int = 40,
+        batch_size: int = 32,
+        learning_rate: float = 0.005,
+        dropout: float = 0.1,
+        random_state: Optional[int] = None,
+    ):
+        super().__init__(
+            architecture=architecture,
+            epochs=epochs,
+            batch_size=batch_size,
+            learning_rate=learning_rate,
+            dropout=dropout,
+            random_state=random_state,
+        )
+        self.n_filters = n_filters
+        self.kernel_size = kernel_size
+        self.pool_size = pool_size
+        self.hidden_size = hidden_size
+
+    def _coerce(self, X: Any) -> np.ndarray:
+        return _require_3d(X, "CNNRegressor")
+
+    def _build(self, X: np.ndarray, rng: np.random.Generator) -> List[Layer]:
+        _, history, variables = X.shape
+        layers: List[Layer] = [
+            Conv1D(variables, self.n_filters, self.kernel_size, 1, "same", rng),
+            ReLU(),
+            MaxPool1D(self.pool_size),
+        ]
+        time = history // self.pool_size
+        channels = self.n_filters
+        if self.architecture == "deep" and time >= self.pool_size:
+            layers += [
+                Conv1D(channels, self.n_filters, self.kernel_size, 1, "same", rng),
+                ReLU(),
+                MaxPool1D(self.pool_size),
+            ]
+            time = time // self.pool_size
+        layers += [
+            Flatten(),
+            Dense(time * channels, self.hidden_size, rng),
+            ReLU(),
+            Dropout(self.dropout, rng),
+            Dense(self.hidden_size, 1, rng),
+        ]
+        return layers
+
+
+class WaveNetRegressor(_BaseDeepRegressor):
+    """WaveNet-style forecaster: gated dilated causal residual blocks,
+    skip-sum head, linear readout from the final time step."""
+
+    def __init__(
+        self,
+        channels: int = 16,
+        n_blocks: int = 3,
+        kernel_size: int = 2,
+        epochs: int = 30,
+        batch_size: int = 32,
+        learning_rate: float = 0.005,
+        random_state: Optional[int] = None,
+    ):
+        super().__init__(
+            architecture="simple",
+            epochs=epochs,
+            batch_size=batch_size,
+            learning_rate=learning_rate,
+            dropout=0.0,
+            random_state=random_state,
+        )
+        self.channels = channels
+        self.n_blocks = n_blocks
+        self.kernel_size = kernel_size
+
+    def _coerce(self, X: Any) -> np.ndarray:
+        return _require_3d(X, "WaveNetRegressor")
+
+    def _build(self, X: np.ndarray, rng: np.random.Generator) -> List[Layer]:
+        return [
+            WaveNetStack(
+                X.shape[2], self.channels, self.n_blocks, self.kernel_size, rng
+            ),
+            TakeLastStep(),
+            Dense(self.channels, 1, rng),
+        ]
+
+
+class SeriesNetRegressor(_BaseDeepRegressor):
+    """SeriesNet forecaster: dilation-doubling causal blocks with linear
+    skip connections summed into the readout.  "It provides similar
+    results to top performing models even without having data
+    pre-processing and ensemble methods" (paper Section IV-C2)."""
+
+    def __init__(
+        self,
+        channels: int = 16,
+        n_blocks: int = 4,
+        kernel_size: int = 2,
+        epochs: int = 30,
+        batch_size: int = 32,
+        learning_rate: float = 0.005,
+        random_state: Optional[int] = None,
+    ):
+        super().__init__(
+            architecture="simple",
+            epochs=epochs,
+            batch_size=batch_size,
+            learning_rate=learning_rate,
+            dropout=0.0,
+            random_state=random_state,
+        )
+        self.channels = channels
+        self.n_blocks = n_blocks
+        self.kernel_size = kernel_size
+
+    def _coerce(self, X: Any) -> np.ndarray:
+        return _require_3d(X, "SeriesNetRegressor")
+
+    def _build(self, X: np.ndarray, rng: np.random.Generator) -> List[Layer]:
+        return [
+            SeriesNetStack(
+                X.shape[2], self.channels, self.n_blocks, self.kernel_size, rng
+            ),
+            TakeLastStep(),
+            Dense(self.channels, 1, rng),
+        ]

@@ -1,0 +1,181 @@
+"""Core neural-network layers with manual backpropagation.
+
+The paper's deep estimators (Section IV-C) are small stacks — "repetition
+of a LSTM layer followed by a dropout layer", dense hidden layers, 1-D
+convolutions — so a compact numpy layer framework with explicit
+``forward``/``backward`` methods trains them comfortably at laptop scale.
+
+Conventions
+-----------
+* Dense layers take ``(batch, features)``.
+* Temporal layers (:mod:`repro.nn.convolution`, :mod:`repro.nn.recurrent`)
+  take ``(batch, time, channels)``.
+* ``backward`` receives the loss gradient w.r.t. the layer's output and
+  returns the gradient w.r.t. its input, accumulating parameter gradients
+  in ``self.grads`` keyed like ``self.params``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+__all__ = ["Layer", "Dense", "ReLU", "Tanh", "Dropout", "Flatten"]
+
+
+class Layer:
+    """Base layer: parameter containers plus train/eval mode.
+
+    Composite layers (e.g. the WaveNet residual stack) register sub-layers
+    in ``self.children``; mode switches, gradient resets and the optimizer
+    all recurse through them.
+    """
+
+    def __init__(self):
+        self.params: Dict[str, np.ndarray] = {}
+        self.grads: Dict[str, np.ndarray] = {}
+        self.children: list = []
+        self.training = True
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def train_mode(self) -> None:
+        self.training = True
+        for child in self.children:
+            child.train_mode()
+
+    def eval_mode(self) -> None:
+        self.training = False
+        for child in self.children:
+            child.eval_mode()
+
+    def zero_grads(self) -> None:
+        for key in self.params:
+            self.grads[key] = np.zeros_like(self.params[key])
+        for child in self.children:
+            child.zero_grads()
+
+    def iter_layers(self):
+        """Yield this layer and all descendants (depth first)."""
+        yield self
+        for child in self.children:
+            yield from child.iter_layers()
+
+    def n_parameters(self) -> int:
+        own = sum(p.size for p in self.params.values())
+        return own + sum(c.n_parameters() for c in self.children)
+
+
+class Dense(Layer):
+    """Fully connected layer ``y = x W + b`` with He/Glorot init."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        scale = np.sqrt(2.0 / in_features)
+        self.params["W"] = rng.normal(0.0, scale, (in_features, out_features))
+        self.params["b"] = np.zeros(out_features)
+        self.zero_grads()
+        self._x: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.shape[-1] != self.params["W"].shape[0]:
+            raise ValueError(
+                f"Dense expected {self.params['W'].shape[0]} input features, "
+                f"got {x.shape[-1]}"
+            )
+        self._x = x
+        return x @ self.params["W"] + self.params["b"]
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        x = self._x
+        # Support (batch, features) and (batch, time, features) inputs.
+        x2 = x.reshape(-1, x.shape[-1])
+        g2 = grad_out.reshape(-1, grad_out.shape[-1])
+        self.grads["W"] += x2.T @ g2
+        self.grads["b"] += g2.sum(axis=0)
+        return grad_out @ self.params["W"].T
+
+
+class ReLU(Layer):
+    """Rectified linear activation."""
+
+    def __init__(self):
+        super().__init__()
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._mask = x > 0
+        return x * self._mask
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        return grad_out * self._mask
+
+
+class Tanh(Layer):
+    """Hyperbolic tangent activation."""
+
+    def __init__(self):
+        super().__init__()
+        self._y: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._y = np.tanh(x)
+        return self._y
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        return grad_out * (1.0 - self._y**2)
+
+
+class Dropout(Layer):
+    """Inverted dropout; identity in eval mode.
+
+    Every deep architecture in the paper interleaves dropout after its
+    LSTM/dense layers, so this layer appears in all of them.
+    """
+
+    def __init__(self, rate: float = 0.2, rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        if not 0.0 <= rate < 1.0:
+            raise ValueError("rate must be in [0, 1)")
+        self.rate = rate
+        self._rng = rng or np.random.default_rng()
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if not self.training or self.rate == 0.0:
+            self._mask = None
+            return x
+        keep = 1.0 - self.rate
+        self._mask = (self._rng.random(x.shape) < keep) / keep
+        return x * self._mask
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            return grad_out
+        return grad_out * self._mask
+
+
+class Flatten(Layer):
+    """Collapse all non-batch dimensions: (batch, ...) -> (batch, -1)."""
+
+    def __init__(self):
+        super().__init__()
+        self._shape: Optional[tuple] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        return grad_out.reshape(self._shape)

@@ -1,0 +1,59 @@
+"""Loss functions for network training."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["MSELoss", "HuberLoss"]
+
+
+class MSELoss:
+    """Mean squared error; the training loss for all regression nets."""
+
+    def __call__(
+        self, prediction: np.ndarray, target: np.ndarray
+    ) -> Tuple[float, np.ndarray]:
+        if prediction.shape != target.shape:
+            raise ValueError(
+                f"shape mismatch: prediction {prediction.shape} vs target "
+                f"{target.shape}"
+            )
+        diff = prediction - target
+        loss = float(np.mean(diff**2))
+        grad = 2.0 * diff / diff.size
+        return loss, grad
+
+
+class HuberLoss:
+    """Huber loss; quadratic near zero, linear beyond ``delta``.
+
+    More robust to the sensor spikes of industrial data than plain MSE.
+    """
+
+    def __init__(self, delta: float = 1.0):
+        if delta <= 0:
+            raise ValueError("delta must be positive")
+        self.delta = delta
+
+    def __call__(
+        self, prediction: np.ndarray, target: np.ndarray
+    ) -> Tuple[float, np.ndarray]:
+        if prediction.shape != target.shape:
+            raise ValueError(
+                f"shape mismatch: prediction {prediction.shape} vs target "
+                f"{target.shape}"
+            )
+        diff = prediction - target
+        abs_diff = np.abs(diff)
+        quadratic = abs_diff <= self.delta
+        loss_values = np.where(
+            quadratic,
+            0.5 * diff**2,
+            self.delta * (abs_diff - 0.5 * self.delta),
+        )
+        grad = np.where(
+            quadratic, diff, self.delta * np.sign(diff)
+        ) / diff.size
+        return float(loss_values.mean()), grad

@@ -1,0 +1,141 @@
+"""Sequential network container with mini-batch training."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.nn.layers import Layer
+from repro.nn.losses import MSELoss
+from repro.nn.optimizers import Adam
+
+__all__ = ["Sequential"]
+
+
+class Sequential:
+    """A feed-forward stack of layers trained by mini-batch gradient
+    descent.
+
+    This is the execution engine shared by every deep estimator in
+    :mod:`repro.nn.estimators`; the estimators only differ in the layer
+    stacks they build.
+    """
+
+    def __init__(self, layers: List[Layer]):
+        if not layers:
+            raise ValueError("Sequential needs at least one layer")
+        self.layers = layers
+        self.train_losses_: List[float] = []
+        self.val_losses_: List[float] = []
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        for layer in self.layers:
+            x = layer.forward(x)
+        return x
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    def train_mode(self) -> None:
+        for layer in self.layers:
+            layer.train_mode()
+
+    def eval_mode(self) -> None:
+        for layer in self.layers:
+            layer.eval_mode()
+
+    def zero_grads(self) -> None:
+        for layer in self.layers:
+            layer.zero_grads()
+
+    def n_parameters(self) -> int:
+        """Total trainable parameter count across all layers."""
+        return sum(layer.n_parameters() for layer in self.layers)
+
+    def fit(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        epochs: int = 50,
+        batch_size: int = 32,
+        optimizer=None,
+        loss=None,
+        rng: Optional[np.random.Generator] = None,
+        verbose: bool = False,
+        validation_fraction: float = 0.0,
+        patience: int = 5,
+    ) -> "Sequential":
+        """Train with shuffled mini batches; records per-epoch mean loss
+        in ``train_losses_``.
+
+        With ``validation_fraction > 0`` a tail fraction of the shuffled
+        data is held out; training stops early once the validation loss
+        has not improved for ``patience`` consecutive epochs, and the
+        per-epoch validation losses are recorded in ``val_losses_``.
+        """
+        if len(X) != len(y):
+            raise ValueError("X and y have inconsistent lengths")
+        if epochs < 1:
+            raise ValueError("epochs must be >= 1")
+        if not 0.0 <= validation_fraction < 1.0:
+            raise ValueError("validation_fraction must be in [0, 1)")
+        if patience < 1:
+            raise ValueError("patience must be >= 1")
+        optimizer = optimizer or Adam()
+        loss = loss or MSELoss()
+        rng = rng or np.random.default_rng()
+
+        X_val = y_val = None
+        if validation_fraction > 0.0:
+            n_val = max(1, int(round(validation_fraction * len(X))))
+            if n_val >= len(X):
+                raise ValueError("validation_fraction leaves no training data")
+            split_order = rng.permutation(len(X))
+            val_idx, train_idx = split_order[:n_val], split_order[n_val:]
+            X_val, y_val = X[val_idx], y[val_idx]
+            X, y = X[train_idx], y[train_idx]
+
+        n = len(X)
+        batch_size = min(batch_size, n)
+        self.train_mode()
+        self.train_losses_ = []
+        self.val_losses_: List[float] = []
+        best_val = np.inf
+        epochs_since_best = 0
+        for epoch in range(epochs):
+            order = rng.permutation(n)
+            epoch_losses = []
+            for start in range(0, n, batch_size):
+                idx = order[start : start + batch_size]
+                self.zero_grads()
+                prediction = self.forward(X[idx])
+                value, grad = loss(prediction, y[idx])
+                self.backward(grad)
+                optimizer.step(self.layers)
+                epoch_losses.append(value)
+            mean_loss = float(np.mean(epoch_losses))
+            self.train_losses_.append(mean_loss)
+            if verbose:
+                print(f"epoch {epoch + 1}/{epochs} loss={mean_loss:.6f}")
+            if X_val is not None:
+                self.eval_mode()
+                val_value, _ = loss(self.forward(X_val), y_val)
+                self.train_mode()
+                self.val_losses_.append(float(val_value))
+                if val_value < best_val - 1e-12:
+                    best_val = float(val_value)
+                    epochs_since_best = 0
+                else:
+                    epochs_since_best += 1
+                    if epochs_since_best >= patience:
+                        break
+        self.eval_mode()
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Forward pass in eval mode (dropout disabled)."""
+        self.eval_mode()
+        return self.forward(X)

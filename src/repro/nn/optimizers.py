@@ -1,0 +1,100 @@
+"""Gradient-descent optimizers."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.nn.layers import Layer
+
+__all__ = ["SGD", "Adam"]
+
+
+class SGD:
+    """Stochastic gradient descent with optional momentum and gradient
+    clipping (clipping keeps LSTM training stable on spiky sensor
+    data)."""
+
+    def __init__(
+        self,
+        learning_rate: float = 0.01,
+        momentum: float = 0.0,
+        clip_norm: float = 5.0,
+    ):
+        if learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+        self.learning_rate = learning_rate
+        self.momentum = momentum
+        self.clip_norm = clip_norm
+        self._velocity: Dict[int, Dict[str, np.ndarray]] = {}
+
+    def step(self, layers: List[Layer]) -> None:
+        flat = [d for layer in layers for d in layer.iter_layers()]
+        for index, layer in enumerate(flat):
+            if not layer.params:
+                continue
+            velocity = self._velocity.setdefault(index, {})
+            for key, param in layer.params.items():
+                grad = layer.grads[key]
+                if self.clip_norm:
+                    norm = np.linalg.norm(grad)
+                    if norm > self.clip_norm:
+                        grad = grad * (self.clip_norm / norm)
+                v = velocity.get(key)
+                if v is None:
+                    v = np.zeros_like(param)
+                v = self.momentum * v - self.learning_rate * grad
+                velocity[key] = v
+                param += v
+
+
+class Adam:
+    """Adam optimizer with bias correction and gradient clipping."""
+
+    def __init__(
+        self,
+        learning_rate: float = 0.005,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        epsilon: float = 1e-8,
+        clip_norm: float = 5.0,
+    ):
+        if learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        self.learning_rate = learning_rate
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.epsilon = epsilon
+        self.clip_norm = clip_norm
+        self._m: Dict[int, Dict[str, np.ndarray]] = {}
+        self._v: Dict[int, Dict[str, np.ndarray]] = {}
+        self._t = 0
+
+    def step(self, layers: List[Layer]) -> None:
+        self._t += 1
+        flat = [d for layer in layers for d in layer.iter_layers()]
+        for index, layer in enumerate(flat):
+            if not layer.params:
+                continue
+            m_store = self._m.setdefault(index, {})
+            v_store = self._v.setdefault(index, {})
+            for key, param in layer.params.items():
+                grad = layer.grads[key]
+                if self.clip_norm:
+                    norm = np.linalg.norm(grad)
+                    if norm > self.clip_norm:
+                        grad = grad * (self.clip_norm / norm)
+                m = m_store.get(key, np.zeros_like(param))
+                v = v_store.get(key, np.zeros_like(param))
+                m = self.beta1 * m + (1 - self.beta1) * grad
+                v = self.beta2 * v + (1 - self.beta2) * grad**2
+                m_store[key] = m
+                v_store[key] = v
+                m_hat = m / (1 - self.beta1**self._t)
+                v_hat = v / (1 - self.beta2**self._t)
+                param -= (
+                    self.learning_rate * m_hat / (np.sqrt(v_hat) + self.epsilon)
+                )

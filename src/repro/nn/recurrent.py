@@ -1,0 +1,127 @@
+"""LSTM layer with full backpropagation through time.
+
+LSTMs are the paper's flagship temporal estimator: "recurrent units that
+are good at handling exploding and vanishing gradients" (Section IV-C2).
+The layer takes ``(batch, time, channels)``; with
+``return_sequences=True`` it emits the hidden state at every step (for
+stacking LSTM layers), otherwise just the final hidden state.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.layers import Layer
+
+__all__ = ["LSTM"]
+
+
+def _sigmoid(z: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-np.clip(z, -35.0, 35.0)))
+
+
+class LSTM(Layer):
+    """Single LSTM layer.
+
+    Gates are computed with one fused weight matrix ``W`` of shape
+    ``(in + hidden, 4 * hidden)`` in i, f, g, o order.  The forget-gate
+    bias is initialized to 1, the standard trick that keeps early
+    gradients alive.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        hidden_size: int,
+        return_sequences: bool = False,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        if hidden_size < 1:
+            raise ValueError("hidden_size must be >= 1")
+        self.in_features = in_features
+        self.hidden_size = hidden_size
+        self.return_sequences = return_sequences
+        rng = rng or np.random.default_rng()
+        scale = np.sqrt(1.0 / (in_features + hidden_size))
+        self.params["W"] = rng.normal(
+            0.0, scale, (in_features + hidden_size, 4 * hidden_size)
+        )
+        bias = np.zeros(4 * hidden_size)
+        bias[hidden_size : 2 * hidden_size] = 1.0  # forget gate
+        self.params["b"] = bias
+        self.zero_grads()
+        self._cache: Optional[dict] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 3:
+            raise ValueError(
+                f"LSTM expects (batch, time, channels), got shape {x.shape}"
+            )
+        if x.shape[2] != self.in_features:
+            raise ValueError(
+                f"LSTM expected {self.in_features} input channels, "
+                f"got {x.shape[2]}"
+            )
+        batch, time, _ = x.shape
+        H = self.hidden_size
+        h = np.zeros((batch, H))
+        c = np.zeros((batch, H))
+        cache = {"x": x, "steps": []}
+        outputs = np.empty((batch, time, H))
+        W, b = self.params["W"], self.params["b"]
+        for t in range(time):
+            z = np.hstack([x[:, t, :], h])
+            gates = z @ W + b
+            i = _sigmoid(gates[:, :H])
+            f = _sigmoid(gates[:, H : 2 * H])
+            g = np.tanh(gates[:, 2 * H : 3 * H])
+            o = _sigmoid(gates[:, 3 * H :])
+            c_prev = c
+            c = f * c_prev + i * g
+            tanh_c = np.tanh(c)
+            h = o * tanh_c
+            outputs[:, t, :] = h
+            cache["steps"].append((z, i, f, g, o, c_prev, c, tanh_c))
+        self._cache = cache
+        return outputs if self.return_sequences else h
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        cache = self._cache
+        x = cache["x"]
+        batch, time, _ = x.shape
+        H = self.hidden_size
+        W = self.params["W"]
+        if self.return_sequences:
+            grad_seq = grad_out
+        else:
+            grad_seq = np.zeros((batch, time, H))
+            grad_seq[:, -1, :] = grad_out
+        grad_x = np.zeros_like(x)
+        dh_next = np.zeros((batch, H))
+        dc_next = np.zeros((batch, H))
+        for t in range(time - 1, -1, -1):
+            z, i, f, g, o, c_prev, c, tanh_c = cache["steps"][t]
+            dh = grad_seq[:, t, :] + dh_next
+            do = dh * tanh_c
+            dc = dh * o * (1.0 - tanh_c**2) + dc_next
+            di = dc * g
+            df = dc * c_prev
+            dg = dc * i
+            dc_next = dc * f
+            d_gates = np.hstack(
+                [
+                    di * i * (1.0 - i),
+                    df * f * (1.0 - f),
+                    dg * (1.0 - g**2),
+                    do * o * (1.0 - o),
+                ]
+            )
+            self.grads["W"] += z.T @ d_gates
+            self.grads["b"] += d_gates.sum(axis=0)
+            dz = d_gates @ W.T
+            grad_x[:, t, :] = dz[:, : self.in_features]
+            dh_next = dz[:, self.in_features :]
+        return grad_x

@@ -1,0 +1,244 @@
+"""WaveNet- and SeriesNet-style dilated causal convolution stacks.
+
+Paper Section IV-C2 includes both among the temporal estimators:
+
+* **WaveNet** — "built to learn the probabilistic distribution from
+  samples of audio data"; its signature pieces are dilated *causal*
+  convolutions, the gated activation ``tanh(f) * sigmoid(g)``, and
+  residual connections with skip outputs.
+* **SeriesNet** — "based on the WaveNet architecture and provides state of
+  the art performance when it comes to time series prediction"; each
+  block contributes a linear skip connection and the dilation doubles per
+  block.
+
+Both are realized here as composite :class:`repro.nn.layers.Layer` stacks
+that plug into :class:`repro.nn.network.Sequential` like any other layer.
+The regression heads (dense layers on the final-step features) live in
+:mod:`repro.nn.estimators`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.nn.convolution import Conv1D
+from repro.nn.layers import Layer
+
+__all__ = ["GatedResidualBlock", "WaveNetStack", "SeriesNetBlock", "SeriesNetStack", "TakeLastStep"]
+
+
+def _sigmoid(z: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-np.clip(z, -35.0, 35.0)))
+
+
+class TakeLastStep(Layer):
+    """Select the final time step: (batch, time, channels) ->
+    (batch, channels).  For causal stacks the last step carries the full
+    receptive field, so it is the natural forecasting feature vector."""
+
+    def __init__(self):
+        super().__init__()
+        self._shape: Optional[tuple] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 3:
+            raise ValueError(
+                f"TakeLastStep expects (batch, time, channels), got {x.shape}"
+            )
+        self._shape = x.shape
+        return x[:, -1, :]
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        grad = np.zeros(self._shape)
+        grad[:, -1, :] = grad_out
+        return grad
+
+
+class GatedResidualBlock(Layer):
+    """One WaveNet block: gated dilated causal convolution with residual
+    and skip 1x1 projections.
+
+    ``forward`` returns the residual stream; the skip contribution is
+    stashed for the owning :class:`WaveNetStack` to accumulate.
+    """
+
+    def __init__(
+        self,
+        channels: int,
+        kernel_size: int,
+        dilation: int,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.conv_filter = Conv1D(
+            channels, channels, kernel_size, dilation, "causal", rng
+        )
+        self.conv_gate = Conv1D(
+            channels, channels, kernel_size, dilation, "causal", rng
+        )
+        self.conv_residual = Conv1D(channels, channels, 1, 1, "valid", rng)
+        self.conv_skip = Conv1D(channels, channels, 1, 1, "valid", rng)
+        self.children = [
+            self.conv_filter,
+            self.conv_gate,
+            self.conv_residual,
+            self.conv_skip,
+        ]
+        self.skip_output: Optional[np.ndarray] = None
+        self._cache: Optional[tuple] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        f = self.conv_filter.forward(x)
+        g = self.conv_gate.forward(x)
+        tanh_f = np.tanh(f)
+        sig_g = _sigmoid(g)
+        z = tanh_f * sig_g
+        self.skip_output = self.conv_skip.forward(z)
+        residual = self.conv_residual.forward(z)
+        self._cache = (tanh_f, sig_g)
+        return x + residual
+
+    def backward_with_skip(
+        self, grad_residual: np.ndarray, grad_skip: np.ndarray
+    ) -> np.ndarray:
+        """Backward through both output streams; returns grad w.r.t. the
+        block input."""
+        tanh_f, sig_g = self._cache
+        grad_z = self.conv_residual.backward(grad_residual)
+        grad_z = grad_z + self.conv_skip.backward(grad_skip)
+        grad_f = grad_z * sig_g * (1.0 - tanh_f**2)
+        grad_g = grad_z * tanh_f * sig_g * (1.0 - sig_g)
+        grad_x = self.conv_filter.backward(grad_f)
+        grad_x = grad_x + self.conv_gate.backward(grad_g)
+        return grad_x + grad_residual  # identity shortcut
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        return self.backward_with_skip(grad_out, np.zeros_like(grad_out))
+
+
+class WaveNetStack(Layer):
+    """Input projection + N gated residual blocks with exponentially
+    increasing dilations; outputs ``relu(sum of skips)``."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        channels: int = 16,
+        n_blocks: int = 3,
+        kernel_size: int = 2,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        if n_blocks < 1:
+            raise ValueError("n_blocks must be >= 1")
+        rng = rng or np.random.default_rng()
+        self.input_conv = Conv1D(in_channels, channels, 1, 1, "valid", rng)
+        self.blocks: List[GatedResidualBlock] = [
+            GatedResidualBlock(channels, kernel_size, 2**i, rng)
+            for i in range(n_blocks)
+        ]
+        self.children = [self.input_conv] + list(self.blocks)
+        self._relu_mask: Optional[np.ndarray] = None
+
+    @property
+    def receptive_field(self) -> int:
+        """Time steps visible to the final output sample."""
+        span = sum(
+            (block.conv_filter.kernel_size - 1) * block.conv_filter.dilation
+            for block in self.blocks
+        )
+        return span + 1
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        h = self.input_conv.forward(x)
+        skip_sum = np.zeros_like(h)
+        for block in self.blocks:
+            h = block.forward(h)
+            skip_sum = skip_sum + block.skip_output
+        self._relu_mask = skip_sum > 0
+        return skip_sum * self._relu_mask
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        grad_skip = grad_out * self._relu_mask
+        grad_h = np.zeros_like(grad_skip)
+        for block in reversed(self.blocks):
+            grad_h = block.backward_with_skip(grad_h, grad_skip)
+        return self.input_conv.backward(grad_h)
+
+
+class SeriesNetBlock(Layer):
+    """One SeriesNet block: dilated causal conv + ReLU on the residual
+    path, linear 1x1 skip straight from the conv output."""
+
+    def __init__(
+        self,
+        channels: int,
+        kernel_size: int,
+        dilation: int,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.conv = Conv1D(channels, channels, kernel_size, dilation, "causal", rng)
+        self.conv_skip = Conv1D(channels, channels, 1, 1, "valid", rng)
+        self.children = [self.conv, self.conv_skip]
+        self.skip_output: Optional[np.ndarray] = None
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        c = self.conv.forward(x)
+        self.skip_output = self.conv_skip.forward(c)
+        self._mask = c > 0
+        return x + c * self._mask
+
+    def backward_with_skip(
+        self, grad_residual: np.ndarray, grad_skip: np.ndarray
+    ) -> np.ndarray:
+        grad_c = grad_residual * self._mask
+        grad_c = grad_c + self.conv_skip.backward(grad_skip)
+        grad_x = self.conv.backward(grad_c)
+        return grad_x + grad_residual
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        return self.backward_with_skip(grad_out, np.zeros_like(grad_out))
+
+
+class SeriesNetStack(Layer):
+    """Input projection + SeriesNet blocks (dilation doubling per block);
+    output is the sum of linear skip connections."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        channels: int = 16,
+        n_blocks: int = 4,
+        kernel_size: int = 2,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        if n_blocks < 1:
+            raise ValueError("n_blocks must be >= 1")
+        rng = rng or np.random.default_rng()
+        self.input_conv = Conv1D(in_channels, channels, 1, 1, "valid", rng)
+        self.blocks: List[SeriesNetBlock] = [
+            SeriesNetBlock(channels, kernel_size, 2**i, rng)
+            for i in range(n_blocks)
+        ]
+        self.children = [self.input_conv] + list(self.blocks)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        h = self.input_conv.forward(x)
+        skip_sum = np.zeros_like(h)
+        for block in self.blocks:
+            h = block.forward(h)
+            skip_sum = skip_sum + block.skip_output
+        return skip_sum
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        grad_h = np.zeros_like(grad_out)
+        for block in reversed(self.blocks):
+            grad_h = block.backward_with_skip(grad_h, grad_out)
+        return self.input_conv.backward(grad_h)

@@ -1,0 +1,22 @@
+"""Domain-specific solution templates (paper Section IV-E)."""
+
+from repro.templates.anomaly import AnomalyAnalysisTemplate
+from repro.templates.base import SolutionTemplate, TemplateReport
+from repro.templates.cohort import (
+    CohortAnalysisTemplate,
+    silhouette_score,
+    summarize_asset_series,
+)
+from repro.templates.failure_prediction import FailurePredictionTemplate
+from repro.templates.root_cause import RootCauseTemplate
+
+__all__ = [
+    "SolutionTemplate",
+    "TemplateReport",
+    "FailurePredictionTemplate",
+    "RootCauseTemplate",
+    "AnomalyAnalysisTemplate",
+    "CohortAnalysisTemplate",
+    "silhouette_score",
+    "summarize_asset_series",
+]

@@ -1,0 +1,64 @@
+"""Solution-template base (paper Section IV-E).
+
+"we have addressed this gap by providing industry specific solution
+templates which solve commonly observed problems in that industry.  We
+leverage the Transformer-Estimator graphs to build such industry specific
+solution templates quickly."
+
+A template is a thin, opinionated wrapper: sensible defaults, a one-call
+``fit``, and a structured :class:`TemplateReport` a non-expert can read —
+deliberately narrower than the general graph API ("in order to make a
+framework or tool easier to use, it may be necessary to restrict it to
+solving a narrower range of problems", Section II).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+__all__ = ["TemplateReport", "SolutionTemplate"]
+
+
+@dataclass
+class TemplateReport:
+    """Human-oriented summary of a fitted template."""
+
+    template: str
+    headline: str
+    metrics: Dict[str, float] = field(default_factory=dict)
+    details: Dict[str, Any] = field(default_factory=dict)
+    recommendations: List[str] = field(default_factory=list)
+
+    def to_text(self) -> str:
+        """Render as a plain-text report."""
+        lines = [f"=== {self.template} ===", self.headline, ""]
+        if self.metrics:
+            lines.append("Metrics:")
+            for name, value in sorted(self.metrics.items()):
+                lines.append(f"  {name}: {value:.4f}")
+        if self.recommendations:
+            lines.append("Recommendations:")
+            for item in self.recommendations:
+                lines.append(f"  - {item}")
+        return "\n".join(lines)
+
+
+class SolutionTemplate:
+    """Base class: subclasses implement ``fit`` and ``report``."""
+
+    name = "solution-template"
+
+    def __init__(self):
+        self._report: TemplateReport = None  # set by fit
+
+    def fit(self, *args, **kwargs) -> "SolutionTemplate":
+        raise NotImplementedError
+
+    def report(self) -> TemplateReport:
+        """The report produced by the last ``fit``."""
+        if self._report is None:
+            raise RuntimeError(
+                f"{type(self).__name__} is not fitted yet; call fit() first"
+            )
+        return self._report

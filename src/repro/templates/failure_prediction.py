@@ -1,0 +1,156 @@
+"""Failure Prediction Analysis (FPA) solution template.
+
+"This solution pattern allows users to leverage historical sensor data
+and failure logs to build machine learning models to predict imminent
+failures" (paper Section IV-E).
+
+Pipeline: imputation (sensor gaps are normal in the field) → a
+classification Transformer-Estimator Graph (scalers x selectors x
+classifiers) selected by F1 under stratified cross-validation (failures
+are rare, so accuracy would be misleading and plain K-fold could produce
+failure-free folds).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.core.builders import prepare_classification_graph
+from repro.core.evaluation import GraphEvaluator
+from repro.ml.base import as_1d_array
+from repro.ml.metrics.classification import (
+    f1_score,
+    precision_score,
+    recall_score,
+)
+from repro.ml.model_selection.splits import StratifiedKFold
+from repro.ml.preprocessing.imputers import SimpleImputer
+from repro.templates.base import SolutionTemplate, TemplateReport
+
+__all__ = ["FailurePredictionTemplate"]
+
+
+class _StratifiedForLabels:
+    """Adapter: a splitter bound to known labels, so the generic
+    ``split(n)`` call used by cross_validate stratifies on them."""
+
+    def __init__(self, y: np.ndarray, n_splits: int, random_state: Optional[int]):
+        self._y = y
+        self._splitter = StratifiedKFold(
+            n_splits=n_splits, random_state=random_state
+        )
+
+    def get_n_splits(self, n_samples: Optional[int] = None) -> int:
+        return self._splitter.n_splits
+
+    def split(self, n_samples: int):
+        if n_samples != len(self._y):
+            raise ValueError(
+                "stratified splitter bound to different-sized labels"
+            )
+        yield from self._splitter.split_labels(self._y)
+
+
+class FailurePredictionTemplate(SolutionTemplate):
+    """Predict imminent failures from sensor snapshots.
+
+    Parameters
+    ----------
+    n_splits:
+        Stratified CV folds used for model selection.
+    fast:
+        Smaller model budgets for tests/benchmarks.
+    """
+
+    name = "Failure Prediction Analysis (FPA)"
+
+    def __init__(
+        self,
+        n_splits: int = 4,
+        fast: bool = False,
+        random_state: Optional[int] = 0,
+    ):
+        super().__init__()
+        self.n_splits = n_splits
+        self.fast = fast
+        self.random_state = random_state
+        self.imputer_: Optional[SimpleImputer] = None
+        self.model_ = None
+        self.best_path_: Optional[str] = None
+        self.best_f1_: Optional[float] = None
+
+    def fit(self, sensors: Any, failures: Any) -> "FailurePredictionTemplate":
+        """Train on historical ``sensors`` (may contain NaN) and binary
+        ``failures`` labels."""
+        X = np.asarray(sensors, dtype=float)
+        if X.ndim == 1:
+            X = X.reshape(-1, 1)
+        y = as_1d_array(failures)
+        if set(np.unique(y)) - {0, 1}:
+            raise ValueError("failure labels must be binary 0/1")
+        if y.sum() == 0:
+            raise ValueError("no failures in the training data")
+        self.imputer_ = SimpleImputer(strategy="median").fit(X)
+        X_clean = self.imputer_.transform(X)
+
+        graph = prepare_classification_graph(
+            k_best=min(10, X.shape[1]),
+            random_state=self.random_state,
+            fast=self.fast,
+        )
+        cv = _StratifiedForLabels(y, self.n_splits, self.random_state)
+        evaluator = GraphEvaluator(graph, cv=cv, metric="f1-score")
+        report = evaluator.evaluate(X_clean, y)
+        self.model_ = report.best_model
+        self.best_path_ = report.best_path
+        self.best_f1_ = report.best_score
+
+        predictions = self.model_.predict(X_clean)
+        failure_rate = float(y.mean())
+        self._report = TemplateReport(
+            template=self.name,
+            headline=(
+                f"Selected {report.best_path} "
+                f"(cross-validated F1 = {report.best_score:.3f}) for a "
+                f"{failure_rate:.1%} failure rate."
+            ),
+            metrics={
+                "cv_f1": report.best_score,
+                "train_f1": f1_score(y, predictions),
+                "train_precision": precision_score(y, predictions),
+                "train_recall": recall_score(y, predictions),
+                "failure_rate": failure_rate,
+            },
+            details={
+                "best_path": report.best_path,
+                "best_params": report.best_params,
+                "n_pipelines_evaluated": len(report.results),
+            },
+            recommendations=[
+                "Schedule inspection for assets the model flags as "
+                "failure-imminent.",
+                "Retrain when the sensor distribution drifts (see "
+                "repro.distributed.change_monitor.DriftPolicy).",
+            ],
+        )
+        return self
+
+    def predict(self, sensors: Any) -> np.ndarray:
+        """Binary imminent-failure predictions for new snapshots."""
+        if self.model_ is None:
+            raise RuntimeError("template is not fitted yet")
+        X = np.asarray(sensors, dtype=float)
+        if X.ndim == 1:
+            X = X.reshape(-1, 1)
+        return self.model_.predict(self.imputer_.transform(X))
+
+    def predict_proba(self, sensors: Any) -> np.ndarray:
+        """Failure probabilities for new snapshots."""
+        if self.model_ is None:
+            raise RuntimeError("template is not fitted yet")
+        X = np.asarray(sensors, dtype=float)
+        if X.ndim == 1:
+            X = X.reshape(-1, 1)
+        return self.model_.predict_proba(self.imputer_.transform(X))

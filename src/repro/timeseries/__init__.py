@@ -1,0 +1,36 @@
+"""Time-series prediction components (paper Section IV-C/D)."""
+
+from repro.timeseries.forecast import (
+    as_series,
+    make_supervised,
+    recursive_forecast,
+    train_test_split_series,
+)
+from repro.timeseries.models import ARModel, MovingAverageModel, ZeroModel
+from repro.timeseries.pipeline import MODEL_FAMILIES, build_time_series_graph
+from repro.timeseries.windows import (
+    CascadedWindows,
+    FlatWindowing,
+    NoScaling,
+    TSAsIID,
+    TSAsIs,
+    WindowScaler,
+)
+
+__all__ = [
+    "make_supervised",
+    "as_series",
+    "train_test_split_series",
+    "recursive_forecast",
+    "CascadedWindows",
+    "FlatWindowing",
+    "TSAsIID",
+    "TSAsIs",
+    "WindowScaler",
+    "NoScaling",
+    "build_time_series_graph",
+    "MODEL_FAMILIES",
+    "ZeroModel",
+    "ARModel",
+    "MovingAverageModel",
+]

@@ -1,0 +1,177 @@
+"""Supervised framing of multivariate time series (paper Fig. 6).
+
+"a prediction task is to look at a history of the time series data,
+usually for a fixed window size called **history window** of length p,
+and try to predict the value of the next few timestamps, called
+prediction window of a particular variable which has not been observed
+yet.  Since the input to the model here is multivariate time series data
+(v variables) for some history window (p), the input data becomes
+2-dimensional with the shape (v * p)."
+
+:func:`make_supervised` turns a raw series of shape ``(L, v)`` into the
+canonical *cascaded-window* supervised pair: ``X`` of shape
+``(L - p - h + 1, p, v)`` and ``y`` of shape ``(L - p - h + 1,)`` holding
+the target variable ``h`` steps ahead.  All of the Fig. 7–10 windowing
+transformers consume this canonical 3-D representation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Tuple
+
+import numpy as np
+
+__all__ = [
+    "make_supervised",
+    "as_series",
+    "train_test_split_series",
+    "recursive_forecast",
+]
+
+
+def as_series(data: Any) -> np.ndarray:
+    """Coerce to a 2-D ``(length, variables)`` float array; a 1-D input
+    becomes a single-variable series."""
+    arr = np.asarray(data, dtype=float)
+    if arr.ndim == 1:
+        arr = arr.reshape(-1, 1)
+    if arr.ndim != 2:
+        raise ValueError(
+            f"a time series must be 1-D or 2-D, got ndim={arr.ndim}"
+        )
+    if arr.shape[0] < 2:
+        raise ValueError("a time series needs at least 2 timestamps")
+    if not np.all(np.isfinite(arr)):
+        raise ValueError("series contains NaN or infinity; impute first")
+    return arr
+
+
+def make_supervised(
+    series: Any,
+    history: int,
+    horizon: int = 1,
+    target: int = 0,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Frame ``series`` for forecasting.
+
+    Parameters
+    ----------
+    series:
+        ``(L, v)`` multivariate series (or 1-D, treated as ``v=1``).
+    history:
+        History-window length ``p`` — how many past timestamps each
+        sample sees.
+    horizon:
+        Steps ahead of the window end to predict (1 = the next
+        timestamp).
+    target:
+        Column index of the variable being predicted.
+
+    Returns
+    -------
+    X : ndarray of shape ``(L - p - horizon + 1, p, v)``
+        Cascaded windows, ordered by time (sample ``i`` covers timestamps
+        ``[i, i + p)``).
+    y : ndarray of shape ``(L - p - horizon + 1,)``
+        ``series[i + p + horizon - 1, target]`` for each window ``i``.
+    """
+    series = as_series(series)
+    length, n_vars = series.shape
+    if not 1 <= history < length:
+        raise ValueError(
+            f"history must be in [1, {length - 1}], got {history}"
+        )
+    if horizon < 1:
+        raise ValueError("horizon must be >= 1")
+    if not 0 <= target < n_vars:
+        raise ValueError(
+            f"target must be a column index in [0, {n_vars}), got {target}"
+        )
+    n_samples = length - history - horizon + 1
+    if n_samples < 1:
+        raise ValueError(
+            f"series of length {length} too short for history={history} "
+            f"and horizon={horizon}"
+        )
+    # Strided windowing without copying, then one materializing copy.
+    stride_t, stride_v = series.strides
+    windows = np.lib.stride_tricks.as_strided(
+        series,
+        shape=(n_samples, history, n_vars),
+        strides=(stride_t, stride_t, stride_v),
+        writeable=False,
+    ).copy()
+    labels = series[history + horizon - 1 :, target][:n_samples].copy()
+    return windows, labels
+
+
+def train_test_split_series(
+    X: np.ndarray, y: np.ndarray, test_fraction: float = 0.25
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Chronological train/test split of framed data — the head trains,
+    the tail tests (never shuffled: shuffling windows leaks the future
+    into training)."""
+    if len(X) != len(y):
+        raise ValueError("X and y have inconsistent lengths")
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError("test_fraction must be in (0, 1)")
+    n_test = max(1, int(round(test_fraction * len(X))))
+    if n_test >= len(X):
+        raise ValueError("test_fraction leaves no training data")
+    split = len(X) - n_test
+    return X[:split], X[split:], y[:split], y[split:]
+
+
+def recursive_forecast(
+    model: Any,
+    series: Any,
+    steps: int,
+    history: int,
+    target: int = 0,
+) -> np.ndarray:
+    """Multi-step forecast by feeding predictions back as inputs.
+
+    The paper's framing predicts a "prediction window of a particular
+    variable"; for horizons beyond one step the standard recursive
+    strategy applies: predict t+1, append it to the (target column of
+    the) series, slide the window, repeat.  Non-target variables are
+    held at their last observed value — the usual open-loop assumption
+    when exogenous futures are unknown.
+
+    Parameters
+    ----------
+    model:
+        A fitted estimator consuming cascaded windows
+        ``(1, history, v)`` (a pipeline whose preprocessing stage
+        reshapes for its estimator family works too).
+    series:
+        The observed ``(L, v)`` history.
+    steps:
+        Number of future values to produce.
+    history:
+        Window length the model was trained with.
+    target:
+        The predicted variable's column.
+    """
+    series = as_series(series)
+    if steps < 1:
+        raise ValueError("steps must be >= 1")
+    if history > len(series):
+        raise ValueError(
+            f"history={history} exceeds series length {len(series)}"
+        )
+    if not 0 <= target < series.shape[1]:
+        raise ValueError(
+            f"target must be a column index in [0, {series.shape[1]})"
+        )
+    window = series[-history:].copy()
+    out = np.empty(steps)
+    for step in range(steps):
+        prediction = float(
+            np.asarray(model.predict(window[None, :, :])).ravel()[0]
+        )
+        out[step] = prediction
+        next_row = window[-1].copy()
+        next_row[target] = prediction
+        window = np.vstack([window[1:], next_row])
+    return out

@@ -1,0 +1,181 @@
+"""Statistical time-series models (paper Section IV-C1).
+
+* :class:`ZeroModel` — "acts as the baseline model for our prediction
+  problem.  This model basically outputs the previous timestamp's ground
+  truth a[s] the next timestamp's prediction."
+* :class:`ARModel` — an ARIMA-style autoregressive model (differencing +
+  OLS over target lags).  The paper *mentions* ARIMA but excluded it
+  ("We did not use this model due to complexity in adding [it to] the
+  time series prediction pipeline"); we include a lag-regression
+  equivalent as an extension, wired through the same TS-as-is path.
+
+Both consume cascaded windows ``(n, history, variables)`` via the
+:class:`repro.timeseries.windows.TSAsIs` path and window internally, so
+they fit the common estimator contract.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.ml.base import (
+    BaseComponent,
+    RegressorMixin,
+    as_1d_array,
+    check_is_fitted,
+)
+
+__all__ = ["ZeroModel", "ARModel", "MovingAverageModel"]
+
+
+def _as_windows(X: Any, name: str) -> np.ndarray:
+    arr = np.asarray(X, dtype=float)
+    if arr.ndim == 2:
+        arr = arr[:, None, :]
+    if arr.ndim != 3:
+        raise ValueError(
+            f"{name} expects cascaded windows (n, history, variables), got "
+            f"shape {np.asarray(X).shape}"
+        )
+    return arr
+
+
+class ZeroModel(RegressorMixin, BaseComponent):
+    """Persistence baseline: predict the last observed target value.
+
+    ``target`` is the variable column holding the series being predicted
+    (the same index passed to
+    :func:`repro.timeseries.forecast.make_supervised`).
+    """
+
+    def __init__(self, target: int = 0):
+        if target < 0:
+            raise ValueError("target must be >= 0")
+        self.target = target
+        self.n_variables_: Optional[int] = None
+
+    def fit(self, X: Any, y: Any = None) -> "ZeroModel":
+        X = _as_windows(X, "ZeroModel")
+        if self.target >= X.shape[2]:
+            raise ValueError(
+                f"target={self.target} out of range for {X.shape[2]} "
+                "variables"
+            )
+        self.n_variables_ = X.shape[2]
+        return self
+
+    def predict(self, X: Any) -> np.ndarray:
+        check_is_fitted(self, "n_variables_")
+        X = _as_windows(X, "ZeroModel")
+        return X[:, -1, self.target].copy()
+
+
+class ARModel(RegressorMixin, BaseComponent):
+    """Autoregressive forecaster: OLS over the last ``order`` lags of the
+    target variable, after ``d`` rounds of within-window differencing —
+    the AR and I parts of ARIMA.
+
+    Parameters
+    ----------
+    order:
+        Number of lags (clipped to the window history at fit time).
+    d:
+        Differencing order applied to the target's history inside each
+        window; with ``d>=1`` the model predicts the *change* and adds it
+        back to the last observed level, which handles trends.
+    target:
+        Target variable column.
+    """
+
+    def __init__(self, order: int = 5, d: int = 0, target: int = 0):
+        if order < 1:
+            raise ValueError("order must be >= 1")
+        if d < 0:
+            raise ValueError("d must be >= 0")
+        if target < 0:
+            raise ValueError("target must be >= 0")
+        self.order = order
+        self.d = d
+        self.target = target
+        self.coef_: Optional[np.ndarray] = None
+        self.intercept_: Optional[float] = None
+        self.order_: Optional[int] = None
+
+    def _design(self, X: np.ndarray) -> tuple:
+        """Return (lag matrix, last level) for each window."""
+        history = X[:, :, self.target]
+        last_level = history[:, -1].copy()
+        for _ in range(self.d):
+            if history.shape[1] < 2:
+                raise ValueError(
+                    f"history window too short for d={self.d} differencing"
+                )
+            history = np.diff(history, axis=1)
+        order = min(self.order, history.shape[1])
+        return history[:, -order:], last_level, order
+
+    def fit(self, X: Any, y: Any = None) -> "ARModel":
+        if y is None:
+            raise ValueError("ARModel requires targets y")
+        X = _as_windows(X, "ARModel")
+        if self.target >= X.shape[2]:
+            raise ValueError(
+                f"target={self.target} out of range for {X.shape[2]} "
+                "variables"
+            )
+        y = as_1d_array(y).astype(float)
+        lags, last_level, order = self._design(X)
+        # With differencing, regress the change from the last level.
+        response = y - last_level if self.d > 0 else y
+        design = np.hstack([np.ones((len(lags), 1)), lags])
+        solution, *_ = np.linalg.lstsq(design, response, rcond=None)
+        self.intercept_ = float(solution[0])
+        self.coef_ = solution[1:]
+        self.order_ = order
+        return self
+
+    def predict(self, X: Any) -> np.ndarray:
+        check_is_fitted(self, "coef_")
+        X = _as_windows(X, "ARModel")
+        lags, last_level, order = self._design(X)
+        if order != self.order_:
+            raise ValueError(
+                f"window supports {order} lags, model was fitted with "
+                f"{self.order_}"
+            )
+        prediction = lags @ self.coef_ + self.intercept_
+        if self.d > 0:
+            prediction = prediction + last_level
+        return prediction
+
+
+class MovingAverageModel(RegressorMixin, BaseComponent):
+    """Predict the mean of the last ``window`` target observations — a
+    second trivial statistical baseline useful for sanity-checking the
+    graph's model-selection behaviour."""
+
+    def __init__(self, window: int = 3, target: int = 0):
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        if target < 0:
+            raise ValueError("target must be >= 0")
+        self.window = window
+        self.target = target
+        self.window_: Optional[int] = None
+
+    def fit(self, X: Any, y: Any = None) -> "MovingAverageModel":
+        X = _as_windows(X, "MovingAverageModel")
+        if self.target >= X.shape[2]:
+            raise ValueError(
+                f"target={self.target} out of range for {X.shape[2]} "
+                "variables"
+            )
+        self.window_ = min(self.window, X.shape[1])
+        return self
+
+    def predict(self, X: Any) -> np.ndarray:
+        check_is_fitted(self, "window_")
+        X = _as_windows(X, "MovingAverageModel")
+        return X[:, -self.window_ :, self.target].mean(axis=1)

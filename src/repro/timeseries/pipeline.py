@@ -1,0 +1,236 @@
+"""The Time Series Prediction pipeline graph (paper Section IV-D, Fig. 11,
+Table II).
+
+Three stages:
+
+1. **Data Scaling** — Min-Max / Robust / Standard scaling or No Scaling,
+   applied per variable across windows.
+2. **Data Preprocessing** — CascadedWindows / FlatWindowing / TS-as-IID /
+   TS-as-is, reshaping for each estimator family.
+3. **Modelling** — Temporal DNNs (LSTM simple+deep, CNN simple+deep,
+   WaveNet, SeriesNet), IID DNNs (simple+deep) and Statistical models
+   (Zero, AR).
+
+The selective wiring follows the paper exactly: "The CascadedWindows is
+connected to the TemporalDNNs, the FlatWindowing and TS-as-IID are
+connected to StandardDNNs and finally the TS-as-is is connected to
+Statistical models."
+
+One deliberate choice: by default the statistical path enters from the
+No-Scaling option only (``scale_statistical=False``), because the Zero
+model's definition — "outputs the previous timestamp's ground truth" —
+is only meaningful on unscaled data, and the paper notes statistical
+models "don't require data transformations".  Pass
+``scale_statistical=True`` to route every scaler into TS-as-is as well.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.core.graph import TransformerEstimatorGraph
+from repro.ml.preprocessing.scalers import (
+    MinMaxScaler,
+    RobustScaler,
+    StandardScaler,
+)
+from repro.nn.estimators import (
+    CNNRegressor,
+    DNNRegressor,
+    LSTMRegressor,
+    SeriesNetRegressor,
+    WaveNetRegressor,
+)
+from repro.timeseries.models import ARModel, ZeroModel
+from repro.timeseries.windows import (
+    CascadedWindows,
+    FlatWindowing,
+    NoScaling,
+    TSAsIID,
+    TSAsIs,
+    WindowScaler,
+)
+
+__all__ = ["build_time_series_graph", "MODEL_FAMILIES"]
+
+#: Model-family membership, mirroring Table II's Modelling rows.  Keys are
+#: the option names the graph generates.
+MODEL_FAMILIES = {
+    "temporal": [
+        "lstm_simple",
+        "lstm_deep",
+        "cnn_simple",
+        "cnn_deep",
+        "wavenet",
+        "seriesnet",
+    ],
+    "iid": ["dnn_simple", "dnn_deep"],
+    "statistical": ["zero", "ar"],
+}
+
+
+def build_time_series_graph(
+    target: int = 0,
+    scale_statistical: bool = False,
+    fast: bool = False,
+    random_state: Optional[int] = 0,
+    include_deep_variants: bool = True,
+) -> TransformerEstimatorGraph:
+    """Construct the Fig. 11 graph.
+
+    Parameters
+    ----------
+    target:
+        Column of the target variable in the framed windows (must match
+        the ``target`` passed to
+        :func:`repro.timeseries.forecast.make_supervised`).
+    scale_statistical:
+        Route scaled paths into TS-as-is too (see module docstring).
+    fast:
+        Cut epochs/sizes for tests and benchmarks; the graph shape is
+        unchanged.
+    include_deep_variants:
+        Include the "deep" LSTM/CNN/DNN architectures alongside the
+        simple ones.
+    """
+    epochs = 6 if fast else 30
+    hidden = 12 if fast else 24
+    channels = 8 if fast else 16
+
+    graph = TransformerEstimatorGraph(name="time_series_prediction")
+
+    graph.add_stage(
+        "data_scaling",
+        [
+            WindowScaler(MinMaxScaler()),
+            WindowScaler(RobustScaler()),
+            WindowScaler(StandardScaler()),
+            NoScaling(),
+        ],
+        option_names=["minmax", "robust", "standard", "noscaling"],
+    )
+    graph.add_stage(
+        "data_preprocessing",
+        [CascadedWindows(), FlatWindowing(), TSAsIID(), TSAsIs()],
+        option_names=["cascaded", "flat", "iid", "asis"],
+    )
+
+    models: List[Tuple[str, object]] = [
+        (
+            "lstm_simple",
+            LSTMRegressor(
+                architecture="simple",
+                hidden_size=hidden,
+                epochs=epochs,
+                random_state=random_state,
+            ),
+        ),
+        (
+            "cnn_simple",
+            CNNRegressor(
+                architecture="simple",
+                n_filters=channels,
+                epochs=epochs,
+                random_state=random_state,
+            ),
+        ),
+        (
+            "wavenet",
+            WaveNetRegressor(
+                channels=channels,
+                n_blocks=2 if fast else 3,
+                epochs=epochs,
+                random_state=random_state,
+            ),
+        ),
+        (
+            "seriesnet",
+            SeriesNetRegressor(
+                channels=channels,
+                n_blocks=2 if fast else 4,
+                epochs=epochs,
+                random_state=random_state,
+            ),
+        ),
+        (
+            "dnn_simple",
+            DNNRegressor(
+                architecture="simple",
+                hidden_size=hidden,
+                epochs=epochs,
+                random_state=random_state,
+            ),
+        ),
+        ("zero", ZeroModel(target=target)),
+        ("ar", ARModel(order=5, target=target)),
+    ]
+    if include_deep_variants:
+        models.insert(
+            1,
+            (
+                "lstm_deep",
+                LSTMRegressor(
+                    architecture="deep",
+                    hidden_size=hidden,
+                    epochs=epochs,
+                    random_state=random_state,
+                ),
+            ),
+        )
+        models.insert(
+            3,
+            (
+                "cnn_deep",
+                CNNRegressor(
+                    architecture="deep",
+                    n_filters=channels,
+                    epochs=epochs,
+                    random_state=random_state,
+                ),
+            ),
+        )
+        models.append(
+            (
+                "dnn_deep",
+                DNNRegressor(
+                    architecture="deep",
+                    hidden_size=hidden,
+                    epochs=epochs,
+                    random_state=random_state,
+                ),
+            )
+        )
+    option_names = [name for name, _ in models]
+    graph.add_stage(
+        "modelling",
+        [component for _, component in models],
+        option_names=option_names,
+    )
+
+    # Stage 1 -> stage 2 wiring: scalers feed every preprocessor, except
+    # that TS-as-is is (by default) reachable only without scaling.
+    scaling_pairs = []
+    for scaler in ("minmax", "robust", "standard", "noscaling"):
+        for preprocessor in ("cascaded", "flat", "iid"):
+            scaling_pairs.append((scaler, preprocessor))
+        if scale_statistical or scaler == "noscaling":
+            scaling_pairs.append((scaler, "asis"))
+    graph.restrict_edges("data_scaling", "data_preprocessing", scaling_pairs)
+
+    # Stage 2 -> stage 3 wiring: the paper's family edges.
+    family_pairs = []
+    present = set(option_names)
+    for model in MODEL_FAMILIES["temporal"]:
+        if model in present:
+            family_pairs.append(("cascaded", model))
+    for model in MODEL_FAMILIES["iid"]:
+        if model in present:
+            family_pairs.append(("flat", model))
+            family_pairs.append(("iid", model))
+    for model in MODEL_FAMILIES["statistical"]:
+        if model in present:
+            family_pairs.append(("asis", model))
+    graph.restrict_edges("data_preprocessing", "modelling", family_pairs)
+
+    graph.create_graph()
+    return graph

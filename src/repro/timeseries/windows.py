@@ -1,0 +1,216 @@
+"""Time-series data-preprocessing transformers (paper Figs. 7–10).
+
+These address the paper's three time-series challenges: normalization,
+"addressing the data ingesting policies for different estimators" and
+"preserving the temporal nature of the data".  All four consume the
+canonical 3-D cascaded representation produced by
+:func:`repro.timeseries.forecast.make_supervised` and reshape it for
+their estimator family:
+
+===================  =======================  =============================
+Transformer          Output shape             Consumed by
+===================  =======================  =============================
+CascadedWindows      ``(n, p, v)`` (3-D)      Temporal DNNs (LSTM/CNN/
+                                              WaveNet/SeriesNet)
+FlatWindowing        ``(n, p*v)``             Standard DNNs (history kept,
+                                              order lost)
+TSAsIID              ``(n, v)``               Standard DNNs / IID models
+                                              (no history at all)
+TSAsIs               ``(n, p, v)`` untouched  Statistical models (Zero,
+                                              AR) that window internally
+===================  =======================  =============================
+
+:class:`WindowScaler` adapts any 2-D feature scaler (StandardScaler etc.)
+to the 3-D window representation so the Data Scaling stage of the Fig. 11
+graph can precede windowed paths.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.ml.base import BaseComponent, TransformerMixin, check_is_fitted
+
+__all__ = [
+    "CascadedWindows",
+    "FlatWindowing",
+    "TSAsIID",
+    "TSAsIs",
+    "WindowScaler",
+    "NoScaling",
+]
+
+
+def _as_windows(X: Any, name: str) -> np.ndarray:
+    arr = np.asarray(X, dtype=float)
+    if arr.ndim == 2:
+        # a (n, v) matrix is a degenerate p=1 window set
+        arr = arr[:, None, :]
+    if arr.ndim != 3:
+        raise ValueError(
+            f"{name} expects cascaded windows (n, history, variables), "
+            f"got shape {np.asarray(X).shape}; frame the series with "
+            "repro.timeseries.make_supervised first"
+        )
+    if not np.all(np.isfinite(arr)):
+        raise ValueError(f"{name} input contains NaN or infinity")
+    return arr
+
+
+class CascadedWindows(TransformerMixin, BaseComponent):
+    """Pass cascaded windows through for temporal models (Fig. 7).
+
+    "the time series data is transformed into a series of cascaded
+    windows ... used for the Temporal DNN models like LSTMs and CNNs.
+    They contain the temporal history of the data and preserve the order
+    of the time series data."
+    """
+
+    output_kind = "temporal"
+
+    def __init__(self):
+        self.history_: Optional[int] = None
+        self.n_variables_: Optional[int] = None
+
+    def fit(self, X: Any, y: Any = None) -> "CascadedWindows":
+        X = _as_windows(X, "CascadedWindows")
+        self.history_ = X.shape[1]
+        self.n_variables_ = X.shape[2]
+        return self
+
+    def transform(self, X: Any) -> np.ndarray:
+        check_is_fitted(self, "history_")
+        X = _as_windows(X, "CascadedWindows")
+        if X.shape[1:] != (self.history_, self.n_variables_):
+            raise ValueError(
+                f"window shape {X.shape[1:]} differs from fitted "
+                f"({self.history_}, {self.n_variables_})"
+            )
+        return X
+
+
+class FlatWindowing(TransformerMixin, BaseComponent):
+    """Flatten each window to one row (Fig. 8).
+
+    "if we have built L - p cascaded windows of shape (p * v), after
+    flattening it, we will have L - p windows of shape (1 * pv) ...  It
+    provides temporal history to the estimator; however, the ordering is
+    lost."
+    """
+
+    output_kind = "iid"
+
+    def __init__(self):
+        self.history_: Optional[int] = None
+        self.n_variables_: Optional[int] = None
+
+    def fit(self, X: Any, y: Any = None) -> "FlatWindowing":
+        X = _as_windows(X, "FlatWindowing")
+        self.history_ = X.shape[1]
+        self.n_variables_ = X.shape[2]
+        return self
+
+    def transform(self, X: Any) -> np.ndarray:
+        check_is_fitted(self, "history_")
+        X = _as_windows(X, "FlatWindowing")
+        return X.reshape(X.shape[0], -1)
+
+
+class TSAsIID(TransformerMixin, BaseComponent):
+    """Keep only the latest timestamp of each window (Fig. 9).
+
+    "no information about the recent history or temporal order is
+    preserved.  Each time stamp is provided to the model as an
+    independently and identically distributed data point."
+    """
+
+    output_kind = "iid"
+
+    def __init__(self):
+        self.n_variables_: Optional[int] = None
+
+    def fit(self, X: Any, y: Any = None) -> "TSAsIID":
+        X = _as_windows(X, "TSAsIID")
+        self.n_variables_ = X.shape[2]
+        return self
+
+    def transform(self, X: Any) -> np.ndarray:
+        check_is_fitted(self, "n_variables_")
+        X = _as_windows(X, "TSAsIID")
+        return X[:, -1, :]
+
+
+class TSAsIs(TransformerMixin, BaseComponent):
+    """Identity for models needing untouched series (Fig. 10).
+
+    "the time series is passed to the models which don't require data
+    transformations like Zero model and ARIMA Model."
+    """
+
+    output_kind = "statistical"
+
+    def __init__(self):
+        self.fitted_ = None
+
+    def fit(self, X: Any, y: Any = None) -> "TSAsIs":
+        self.fitted_ = True
+        return self
+
+    def transform(self, X: Any) -> np.ndarray:
+        return _as_windows(X, "TSAsIs")
+
+
+class NoScaling(TransformerMixin, BaseComponent):
+    """Identity option for the Data Scaling stage (Table II's
+    "No Scaling"); unlike :class:`repro.ml.preprocessing.NoOp` it accepts
+    the 3-D window representation."""
+
+    def __init__(self):
+        self.fitted_ = None
+
+    def fit(self, X: Any, y: Any = None) -> "NoScaling":
+        self.fitted_ = True
+        return self
+
+    def transform(self, X: Any) -> np.ndarray:
+        return _as_windows(X, "NoScaling")
+
+
+class WindowScaler(TransformerMixin, BaseComponent):
+    """Apply a 2-D feature scaler per variable across cascaded windows.
+
+    The Fig. 11 Data Scaling stage normalizes the series *before*
+    windowed preprocessing.  Since graph stages see the already-framed
+    3-D data, this adapter folds windows into rows ``(n*p, v)``, lets the
+    wrapped scaler learn per-variable statistics, and restores the window
+    shape.
+    """
+
+    def __init__(self, scaler: Optional[BaseComponent] = None):
+        self.scaler = scaler
+        self.fitted_scaler_: Optional[BaseComponent] = None
+        self.n_variables_: Optional[int] = None
+
+    def fit(self, X: Any, y: Any = None) -> "WindowScaler":
+        from repro.ml.base import clone
+        from repro.ml.preprocessing.scalers import StandardScaler
+
+        X = _as_windows(X, "WindowScaler")
+        self.n_variables_ = X.shape[2]
+        base = self.scaler if self.scaler is not None else StandardScaler()
+        self.fitted_scaler_ = clone(base)
+        self.fitted_scaler_.fit(X.reshape(-1, X.shape[2]))
+        return self
+
+    def transform(self, X: Any) -> np.ndarray:
+        check_is_fitted(self, "fitted_scaler_")
+        X = _as_windows(X, "WindowScaler")
+        if X.shape[2] != self.n_variables_:
+            raise ValueError(
+                f"X has {X.shape[2]} variables, scaler was fitted with "
+                f"{self.n_variables_}"
+            )
+        flat = self.fitted_scaler_.transform(X.reshape(-1, X.shape[2]))
+        return flat.reshape(X.shape)

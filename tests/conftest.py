@@ -1,0 +1,59 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    make_classification,
+    make_clusters,
+    make_failure_dataset,
+    make_regression,
+    make_sensor_series,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def regression_data():
+    """Small regression problem: 5 informative of 8 features."""
+    return make_regression(
+        n_samples=150, n_features=8, n_informative=5, noise=0.1,
+        random_state=0,
+    )
+
+
+@pytest.fixture
+def classification_data():
+    """Balanced binary classification problem."""
+    return make_classification(
+        n_samples=150,
+        n_features=8,
+        n_informative=4,
+        separation=3.5,
+        random_state=0,
+    )
+
+
+@pytest.fixture
+def imbalanced_data():
+    """Rare-positive classification (the FPA regime)."""
+    return make_failure_dataset(
+        n_samples=300, n_sensors=6, failure_rate=0.1, random_state=0
+    )
+
+
+@pytest.fixture
+def cluster_data():
+    return make_clusters(
+        n_samples=120, n_features=3, n_clusters=3, random_state=0
+    )
+
+
+@pytest.fixture
+def sensor_series():
+    """3-variable industrial sensor stream."""
+    return make_sensor_series(length=300, n_variables=3, random_state=0)

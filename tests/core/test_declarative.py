@@ -1,0 +1,173 @@
+"""Tests for the declarative structured-task interface."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    OPTION_FACTORIES,
+    resolve_option,
+    run_structured_task,
+)
+from repro.darr import DARR
+from repro.distributed import SimulatedNetwork
+
+
+BASE_TASK = {
+    "task": "regression",
+    "steps": {
+        "scaling": ["standard", "none"],
+        "models": [
+            "linear",
+            {"name": "decision_tree", "max_depth": 4, "random_state": 0},
+        ],
+    },
+    "cv": {"strategy": "kfold", "k": 3, "random_state": 0},
+    "metric": "rmse",
+}
+
+
+class TestResolveOption:
+    def test_name_only(self):
+        from repro.ml.preprocessing import StandardScaler
+
+        assert isinstance(resolve_option("scaling", "standard"), StandardScaler)
+
+    def test_name_with_params(self):
+        component = resolve_option(
+            "feature_selection", {"name": "select_k_best", "k": 7}
+        )
+        assert component.k == 7
+
+    def test_imputation_strategies(self):
+        mean = resolve_option("imputation", "mean")
+        median = resolve_option("imputation", "median")
+        assert mean.strategy == "mean"
+        assert median.strategy == "median"
+
+    def test_unknown_step(self):
+        with pytest.raises(KeyError, match="unknown step"):
+            resolve_option("teleportation", "standard")
+
+    def test_unknown_option_lists_available(self):
+        with pytest.raises(KeyError, match="available"):
+            resolve_option("scaling", "quantum")
+
+    def test_dict_without_name(self):
+        with pytest.raises(ValueError, match="'name'"):
+            resolve_option("scaling", {"k": 3})
+
+    def test_factories_cover_paper_steps(self):
+        from repro.core.declarative import _ensure_factories
+
+        factories = _ensure_factories()
+        # Section III's structured steps all present
+        assert {"imputation", "outliers", "scaling", "feature_selection",
+                "models"} <= set(factories)
+        # Section III's named imputation methods all present
+        assert {"mean", "median", "mode", "mice", "matrix_factorization",
+                "knn"} <= set(factories["imputation"])
+
+
+class TestRunStructuredTask:
+    def test_basic_run(self, regression_data):
+        X, y = regression_data
+        outcome = run_structured_task(BASE_TASK, X, y)
+        assert len(outcome.report.results) == 4
+        assert outcome.best_model is not None
+        assert outcome.test_score is None  # no holdout requested
+
+    def test_holdout_testing(self, regression_data):
+        X, y = regression_data
+        task = dict(BASE_TASK, test_size=0.25)
+        outcome = run_structured_task(task, X, y)
+        assert outcome.test_score is not None
+        assert outcome.test_score > 0.0
+
+    def test_imputation_front_cleans_nans(self, regression_data):
+        X, y = regression_data
+        X = X.copy()
+        X[::7, 0] = np.nan
+        task = {
+            "steps": {
+                "imputation": ["median"],
+                "models": ["linear"],
+            },
+            "cv": {"strategy": "kfold", "k": 3, "random_state": 0},
+        }
+        outcome = run_structured_task(task, X, y)
+        assert np.isfinite(outcome.best_cv_score)
+
+    def test_requires_models(self, regression_data):
+        X, y = regression_data
+        with pytest.raises(ValueError, match="models"):
+            run_structured_task({"steps": {"scaling": ["standard"]}}, X, y)
+
+    def test_unknown_step_rejected(self, regression_data):
+        X, y = regression_data
+        with pytest.raises(ValueError, match="unknown steps"):
+            run_structured_task(
+                {"steps": {"models": ["linear"], "magic": ["x"]}}, X, y
+            )
+
+    def test_classification_metric(self, classification_data):
+        X, y = classification_data
+        task = {
+            "steps": {
+                "scaling": ["minmax"],
+                "models": [
+                    "logistic",
+                    {
+                        "name": "random_forest_classifier",
+                        "n_estimators": 10,
+                        "random_state": 0,
+                    },
+                ],
+            },
+            "cv": {"strategy": "kfold", "k": 3, "random_state": 0},
+            "metric": "f1-score",
+        }
+        outcome = run_structured_task(task, X, y)
+        assert outcome.metric == "f1-score"
+        assert outcome.best_cv_score > 0.7
+
+    def test_publishes_to_darr_and_reuses(self, regression_data):
+        X, y = regression_data
+        net = SimulatedNetwork()
+        net.register("structured-task")
+        darr = DARR("darr", net)
+        first = run_structured_task(BASE_TASK, X, y, darr=darr)
+        assert first.published == 4
+        assert len(darr) == 4
+        second = run_structured_task(BASE_TASK, X, y, darr=darr)
+        assert second.published == 0  # all reused
+        assert second.best_path == first.best_path
+
+    def test_full_step_stack(self, regression_data):
+        X, y = regression_data
+        task = {
+            "steps": {
+                "imputation": ["mean"],
+                "outliers": ["clip", "none"],
+                "scaling": ["standard"],
+                "feature_selection": [
+                    {"name": "select_k_best", "k": 4},
+                    {"name": "pca", "n_components": 3},
+                ],
+                "models": ["linear"],
+            },
+            "cv": {"strategy": "kfold", "k": 2, "random_state": 0},
+        }
+        outcome = run_structured_task(task, X, y)
+        assert len(outcome.report.results) == 1 * 2 * 1 * 2 * 1
+        assert [s.name for s in outcome.graph.stages] == [
+            "imputation",
+            "outliers",
+            "scaling",
+            "feature_selection",
+            "models",
+        ]
+
+    def test_invalid_test_size(self, regression_data):
+        X, y = regression_data
+        with pytest.raises(ValueError, match="test_size"):
+            run_structured_task(dict(BASE_TASK, test_size=1.5), X, y)

@@ -1,0 +1,190 @@
+"""Tests for GraphEvaluator and the Listing-2 API."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    GraphEvaluator,
+    TransformerEstimatorGraph,
+    prepare_regression_graph,
+)
+from repro.ml.feature_selection import SelectKBest
+from repro.ml.linear import LinearRegression, LogisticRegression
+from repro.ml.model_selection import KFold
+from repro.ml.preprocessing import NoOp, StandardScaler
+from repro.ml.tree import DecisionTreeClassifier, DecisionTreeRegressor
+
+
+@pytest.fixture
+def mini_graph():
+    g = TransformerEstimatorGraph("mini")
+    g.add_feature_scalers([StandardScaler(), NoOp()])
+    g.add_regression_models(
+        [DecisionTreeRegressor(max_depth=3, random_state=0), LinearRegression()]
+    )
+    return g
+
+
+@pytest.fixture
+def evaluator(mini_graph):
+    return GraphEvaluator(mini_graph, cv=KFold(3, random_state=0), metric="rmse")
+
+
+class TestJobEnumeration:
+    def test_job_count_equals_paths(self, evaluator, regression_data):
+        X, y = regression_data
+        jobs = list(evaluator.iter_jobs(X, y))
+        assert len(jobs) == 4
+
+    def test_param_grid_multiplies_applicable_paths(self, regression_data):
+        X, y = regression_data
+        g = TransformerEstimatorGraph()
+        g.add_feature_selector([SelectKBest(k=2), NoOp()])
+        g.add_regression_models([LinearRegression()])
+        ev = GraphEvaluator(g, cv=KFold(2, random_state=0))
+        jobs = list(ev.iter_jobs(X, y, {"selectkbest__k": [1, 2, 3]}))
+        # selectkbest path x3 settings + noop path x1 default
+        assert len(jobs) == 4
+
+    def test_job_keys_unique(self, evaluator, regression_data):
+        X, y = regression_data
+        keys = [j.key for j in evaluator.iter_jobs(X, y)]
+        assert len(keys) == len(set(keys))
+
+    def test_keys_depend_on_dataset(self, evaluator, regression_data, rng):
+        X, y = regression_data
+        keys_a = {j.key for j in evaluator.iter_jobs(X, y)}
+        keys_b = {
+            j.key
+            for j in evaluator.iter_jobs(
+                rng.normal(size=X.shape), y
+            )
+        }
+        assert keys_a.isdisjoint(keys_b)
+
+    def test_configured_pipeline_applies_params(self, regression_data):
+        X, y = regression_data
+        g = TransformerEstimatorGraph()
+        g.add_feature_selector([SelectKBest(k=5)])
+        g.add_regression_models([LinearRegression()])
+        ev = GraphEvaluator(g, cv=KFold(2, random_state=0))
+        job = next(
+            j
+            for j in ev.iter_jobs(X, y, {"selectkbest__k": [2]})
+            if j.params
+        )
+        pipeline = job.configured_pipeline()
+        assert dict(pipeline.steps)["selectkbest"].k == 2
+
+
+class TestEvaluate:
+    def test_all_paths_scored(self, evaluator, regression_data):
+        X, y = regression_data
+        report = evaluator.evaluate(X, y)
+        assert len(report.results) == 4
+
+    def test_best_is_linear_on_linear_data(self, evaluator, regression_data):
+        X, y = regression_data
+        report = evaluator.evaluate(X, y)
+        assert "linearregression" in report.best_path
+
+    def test_best_model_refit_and_usable(self, evaluator, regression_data):
+        X, y = regression_data
+        report = evaluator.evaluate(X, y)
+        predictions = report.best_model.predict(X)
+        assert predictions.shape == (len(X),)
+
+    def test_refit_best_false(self, evaluator, regression_data):
+        X, y = regression_data
+        report = evaluator.evaluate(X, y, refit_best=False)
+        assert report.best_model is None
+        assert report.best_path is not None
+
+    def test_greater_is_better_selection(self, classification_data):
+        X, y = classification_data
+        g = TransformerEstimatorGraph()
+        g.add_classification_models(
+            [
+                DecisionTreeClassifier(max_depth=1, random_state=0),
+                LogisticRegression(),
+            ]
+        )
+        ev = GraphEvaluator(g, cv=KFold(3, random_state=0), metric="accuracy")
+        report = ev.evaluate(X, y)
+        best = report.best_result()
+        assert best.score == max(r.score for r in report.results)
+
+    def test_lower_is_better_selection(self, evaluator, regression_data):
+        X, y = regression_data
+        report = evaluator.evaluate(X, y)
+        assert report.best_score == min(r.score for r in report.results)
+
+    def test_ranked_ordering(self, evaluator, regression_data):
+        X, y = regression_data
+        report = evaluator.evaluate(X, y)
+        scores = [r.score for r in report.ranked()]
+        assert scores == sorted(scores)
+
+    def test_leaderboard_renders(self, evaluator, regression_data):
+        X, y = regression_data
+        text = evaluator.evaluate(X, y).leaderboard(3)
+        assert "path" in text.splitlines()[0]
+        assert len(text.splitlines()) == 4
+
+    def test_job_filter_skips_work(self, evaluator, regression_data):
+        X, y = regression_data
+        skipped = GraphEvaluator(
+            evaluator.graph,
+            cv=KFold(3, random_state=0),
+            job_filter=lambda job: "linearregression" in job.path,
+        )
+        report = skipped.evaluate(X, y)
+        assert len(report.results) == 2
+        assert all("linearregression" in r.path for r in report.results)
+
+    def test_result_hook_called_per_result(self, evaluator, regression_data):
+        X, y = regression_data
+        collected = []
+        hooked = GraphEvaluator(
+            evaluator.graph,
+            cv=KFold(3, random_state=0),
+            result_hook=collected.append,
+        )
+        hooked.evaluate(X, y)
+        assert len(collected) == 4
+
+    def test_extra_results_merged(self, evaluator, regression_data):
+        X, y = regression_data
+        first = evaluator.evaluate(X, y)
+        # re-evaluate nothing, merging previous results
+        lazy = GraphEvaluator(
+            evaluator.graph,
+            cv=KFold(3, random_state=0),
+            job_filter=lambda job: False,
+        )
+        report = lazy.evaluate(X, y, extra_results=first.results)
+        assert len(report.results) == 4
+        assert report.best_path == first.best_path
+
+    def test_elapsed_recorded(self, evaluator, regression_data):
+        X, y = regression_data
+        assert evaluator.evaluate(X, y).elapsed_seconds > 0.0
+
+
+class TestListing2API:
+    def test_execute_returns_triple(self, regression_data):
+        X, y = regression_data
+        g = prepare_regression_graph(fast=True, k_best=3)
+        g.set_cross_validation(k=2)
+        g.set_accuracy("rmse")
+        model, best_score, best_path = g.execute(X, y)
+        assert model.predict(X).shape == (len(X),)
+        assert best_score > 0.0
+        assert best_path.startswith("Input ->")
+
+    def test_set_cross_validation_strategies(self):
+        g = prepare_regression_graph(fast=True)
+        g.set_cross_validation(k=3, strategy="monte_carlo", test_size=0.3)
+        from repro.ml.model_selection import MonteCarloSplit
+
+        assert isinstance(g._cv, MonteCarloSplit)

@@ -1,0 +1,211 @@
+"""Tests for the Transformer-Estimator Graph."""
+
+import networkx as nx
+import pytest
+
+from repro.core import (
+    GraphValidationError,
+    TransformerEstimatorGraph,
+    prepare_regression_graph,
+)
+from repro.ml.decomposition import PCA, Covariance
+from repro.ml.feature_selection import SelectKBest
+from repro.ml.linear import LinearRegression
+from repro.ml.preprocessing import (
+    MinMaxScaler,
+    NoOp,
+    RobustScaler,
+    StandardScaler,
+)
+from repro.ml.tree import DecisionTreeRegressor
+
+
+@pytest.fixture
+def fig3_graph():
+    """The paper's Fig. 3 topology (4 x 3 x 3)."""
+    return prepare_regression_graph(fast=True)
+
+
+@pytest.fixture
+def mini_graph():
+    g = TransformerEstimatorGraph("mini")
+    g.add_feature_scalers([StandardScaler(), NoOp()])
+    g.add_feature_selector([SelectKBest(k=2), NoOp()])
+    g.add_regression_models(
+        [DecisionTreeRegressor(max_depth=3), LinearRegression()]
+    )
+    return g
+
+
+class TestConstruction:
+    def test_listing1_topology_has_36_pipelines(self, fig3_graph):
+        assert fig3_graph.n_pipelines == 36
+        assert len(fig3_graph.pipelines()) == 36
+
+    def test_stage_sizes(self, fig3_graph):
+        assert [len(s.options) for s in fig3_graph.stages] == [4, 3, 3]
+
+    def test_empty_stage_rejected(self):
+        with pytest.raises(GraphValidationError, match="at least one"):
+            TransformerEstimatorGraph().add_stage("s", [])
+
+    def test_duplicate_stage_name_rejected(self):
+        g = TransformerEstimatorGraph()
+        g.add_stage("s", [NoOp()])
+        with pytest.raises(GraphValidationError, match="duplicate stage"):
+            g.add_stage("s", [NoOp()])
+
+    def test_option_names_unique_across_graph(self, mini_graph):
+        names = [o.name for s in mini_graph.stages for o in s.options]
+        assert len(names) == len(set(names))
+
+    def test_auto_names_dedupe(self):
+        g = TransformerEstimatorGraph()
+        g.add_stage("a", [NoOp(), NoOp()])
+        assert g.stages[0].option_names() == ["noop", "noop_2"]
+
+    def test_explicit_option_names(self):
+        g = TransformerEstimatorGraph()
+        g.add_stage("a", [NoOp(), NoOp()], option_names=["x", "y"])
+        assert g.stages[0].option_names() == ["x", "y"]
+
+    def test_explicit_duplicate_names_rejected(self):
+        g = TransformerEstimatorGraph()
+        g.add_stage("a", [NoOp()], option_names=["x"])
+        with pytest.raises(GraphValidationError, match="duplicate option"):
+            g.add_stage("b", [LinearRegression()], option_names=["x"])
+
+    def test_chain_option_listing1_style(self):
+        g = TransformerEstimatorGraph()
+        g.add_feature_selector([[Covariance(), PCA(n_components=2)], NoOp()])
+        g.add_regression_models([LinearRegression()])
+        pipelines = g.pipelines()
+        assert g.n_pipelines == 2
+        chain_pipeline = pipelines[0]
+        # the chain expands into two consecutive pipeline nodes
+        assert len(chain_pipeline) == 3
+
+    def test_empty_chain_rejected(self):
+        g = TransformerEstimatorGraph()
+        with pytest.raises(GraphValidationError, match="empty chain"):
+            g.add_stage("a", [[]])
+
+
+class TestValidation:
+    def test_no_stages_rejected(self):
+        with pytest.raises(GraphValidationError, match="no stages"):
+            TransformerEstimatorGraph().validate()
+
+    def test_final_stage_must_be_estimators(self):
+        g = TransformerEstimatorGraph()
+        g.add_stage("only", [NoOp()])
+        with pytest.raises(GraphValidationError, match="estimator"):
+            g.validate()
+
+    def test_intermediate_stage_must_be_transformers(self):
+        g = TransformerEstimatorGraph()
+        g.add_stage("first", [LinearRegression()])
+        g.add_stage("last", [LinearRegression()])
+        with pytest.raises(GraphValidationError, match="transformer"):
+            g.validate()
+
+    def test_valid_graph_passes(self, mini_graph):
+        mini_graph.validate()
+
+
+class TestWiring:
+    def test_default_full_mesh(self, mini_graph):
+        assert mini_graph.n_pipelines == 2 * 2 * 2
+
+    def test_restrict_edges_reduces_paths(self, mini_graph):
+        mini_graph.restrict_edges(
+            "feature_scaling",
+            "feature_selection",
+            [("standardscaler", "selectkbest"), ("noop", "noop_2")],
+        )
+        assert mini_graph.n_pipelines == 2 * 2
+
+    def test_restrict_unknown_option_rejected(self, mini_graph):
+        with pytest.raises(GraphValidationError, match="unknown source"):
+            mini_graph.restrict_edges(
+                "feature_scaling", "feature_selection", [("nope", "noop_2")]
+            )
+
+    def test_restrict_non_adjacent_rejected(self, mini_graph):
+        with pytest.raises(GraphValidationError, match="adjacent"):
+            mini_graph.restrict_edges(
+                "feature_scaling", "regression_models", [("noop", "linearregression")]
+            )
+
+    def test_restrict_empty_rejected(self, mini_graph):
+        with pytest.raises(GraphValidationError, match="empty"):
+            mini_graph.restrict_edges(
+                "feature_scaling", "feature_selection", []
+            )
+
+    def test_unreachable_stage_detected(self):
+        g = TransformerEstimatorGraph()
+        g.add_stage("a", [NoOp(), StandardScaler()])
+        g.add_stage("b", [MinMaxScaler(), RobustScaler()])
+        g.add_stage("m", [LinearRegression()])
+        # wire b's options only from a.noop, then remove noop's edge:
+        g.restrict_edges("a", "b", [("standardscaler", "minmaxscaler")])
+        g.restrict_edges("b", "m", [("robustscaler", "linearregression")])
+        # robustscaler is reachable? standardscaler->minmaxscaler only, so
+        # robustscaler has no incoming path: crossing to m fails.
+        with pytest.raises(GraphValidationError, match="no path"):
+            g.validate()
+
+    def test_paths_respect_edges(self, mini_graph):
+        mini_graph.restrict_edges(
+            "feature_scaling",
+            "feature_selection",
+            [("standardscaler", "selectkbest")],
+        )
+        for pipeline in mini_graph.pipelines():
+            assert pipeline.step_names[0] == "standardscaler"
+            assert pipeline.step_names[1] == "selectkbest"
+
+
+class TestMaterialization:
+    def test_create_graph_is_dag(self, fig3_graph):
+        g = fig3_graph.create_graph()
+        assert nx.is_directed_acyclic_graph(g)
+
+    def test_root_connects_to_first_stage(self, mini_graph):
+        g = mini_graph.create_graph()
+        assert set(g.successors("Input")) == {"standardscaler", "noop"}
+
+    def test_node_count(self, fig3_graph):
+        g = fig3_graph.create_graph()
+        assert g.number_of_nodes() == 1 + 4 + 3 + 3
+
+    def test_path_count_matches_networkx(self, fig3_graph):
+        g = fig3_graph.create_graph()
+        leaves = [n for n in g.nodes if g.out_degree(n) == 0]
+        total = sum(
+            len(list(nx.all_simple_paths(g, "Input", leaf)))
+            for leaf in leaves
+        )
+        assert total == fig3_graph.n_pipelines
+
+
+class TestPipelineGeneration:
+    def test_pipelines_are_independent_clones(self, mini_graph):
+        p1, p2 = mini_graph.pipelines()[:2]
+        c1 = dict(p1.steps).get("standardscaler")
+        if c1 is not None:
+            c1.with_mean = False
+            c2 = dict(p2.steps).get("standardscaler")
+            if c2 is not None:
+                assert c2.with_mean is True
+
+    def test_deterministic_ordering(self, mini_graph):
+        a = [p.path_string() for p in mini_graph.pipelines()]
+        b = [p.path_string() for p in mini_graph.pipelines()]
+        assert a == b
+
+    def test_all_paths_start_at_stage_one(self, fig3_graph):
+        scaler_names = set(fig3_graph.stages[0].option_names())
+        for pipeline in fig3_graph.pipelines():
+            assert pipeline.step_names[0] in scaler_names

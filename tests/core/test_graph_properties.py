@@ -1,0 +1,115 @@
+"""Hypothesis property tests on Transformer-Estimator Graph invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import TransformerEstimatorGraph
+from repro.core.spec import computation_spec, spec_key
+from repro.ml.linear import LinearRegression, RidgeRegression
+from repro.ml.preprocessing import MinMaxScaler, NoOp, StandardScaler
+from repro.ml.tree import DecisionTreeRegressor
+
+_SCALERS = [StandardScaler, MinMaxScaler, NoOp]
+_MODELS = [
+    lambda: LinearRegression(),
+    lambda: RidgeRegression(alpha=0.5),
+    lambda: DecisionTreeRegressor(max_depth=3),
+]
+
+
+def build_graph(stage_sizes):
+    """A graph with the given option counts: transformer stages then a
+    model stage."""
+    graph = TransformerEstimatorGraph()
+    for index, size in enumerate(stage_sizes[:-1]):
+        graph.add_stage(
+            f"t{index}",
+            [_SCALERS[i % len(_SCALERS)]() for i in range(size)],
+            option_names=[f"t{index}_o{i}" for i in range(size)],
+        )
+    graph.add_stage(
+        "models",
+        [_MODELS[i % len(_MODELS)]() for i in range(stage_sizes[-1])],
+        option_names=[f"m{i}" for i in range(stage_sizes[-1])],
+    )
+    return graph
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.lists(st.integers(1, 4), min_size=1, max_size=4).map(tuple)
+)
+def test_path_count_is_product_of_stage_sizes(stage_sizes):
+    graph = build_graph(stage_sizes)
+    expected = int(np.prod(stage_sizes))
+    assert graph.n_pipelines == expected
+    assert len(graph.pipelines()) == expected
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.lists(st.integers(1, 3), min_size=2, max_size=3).map(tuple),
+    st.integers(0, 10_000),
+)
+def test_restricted_edges_count_matches_enumeration(stage_sizes, seed):
+    graph = build_graph(stage_sizes)
+    rng = np.random.default_rng(seed)
+    # install a random non-empty wiring between the first two stages
+    src_names = graph.stages[0].option_names()
+    dst_names = graph.stages[1].option_names()
+    all_pairs = [(s, d) for s in src_names for d in dst_names]
+    keep_mask = rng.random(len(all_pairs)) < 0.6
+    pairs = [p for p, keep in zip(all_pairs, keep_mask) if keep]
+    if not pairs:
+        pairs = [all_pairs[0]]
+    graph.restrict_edges(graph.stages[0].name, graph.stages[1].name, pairs)
+    try:
+        enumerated = len(graph.pipelines())
+    except Exception:
+        # wiring may strand options; n_pipelines must agree it's broken
+        with pytest.raises(Exception):
+            _ = [p for p in graph.iter_paths()]
+        return
+    assert graph.n_pipelines == enumerated
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(st.integers(1, 3), min_size=1, max_size=3).map(tuple))
+def test_every_path_is_unique(stage_sizes):
+    graph = build_graph(stage_sizes)
+    paths = [p.path_string() for p in graph.pipelines()]
+    assert len(paths) == len(set(paths))
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(st.integers(1, 3), min_size=1, max_size=3).map(tuple))
+def test_spec_keys_unique_across_paths(stage_sizes):
+    graph = build_graph(stage_sizes)
+    keys = [
+        spec_key(computation_spec(p, metric="rmse"))
+        for p in graph.pipelines()
+    ]
+    assert len(keys) == len(set(keys))
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(2, 4), st.integers(0, 100))
+def test_pipelines_do_not_share_component_state(n_options, seed):
+    graph = build_graph((n_options, 1))
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(30, 3))
+    y = X @ rng.normal(size=3)
+    pipelines = graph.pipelines()
+    pipelines[0].fit(X, y)
+    # fitting the first pipeline must not fit the others' templates
+    for other in pipelines[1:]:
+        assert other.fitted_steps_ is None
+        for _, component in other.steps:
+            fitted_attrs = [
+                a
+                for a in vars(component)
+                if a.endswith("_") and getattr(component, a) is not None
+            ]
+            assert not fitted_attrs, fitted_attrs

@@ -1,0 +1,159 @@
+"""Tests for ParamGrid and canonical computation specs."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ParamGrid,
+    Pipeline,
+    applicable_grid,
+    component_spec,
+    computation_spec,
+    dataset_fingerprint,
+    expand_grid,
+    pipeline_spec,
+    spec_key,
+)
+from repro.ml.feature_selection import SelectKBest
+from repro.ml.linear import LinearRegression
+from repro.ml.model_selection import KFold
+from repro.ml.preprocessing import StandardScaler
+
+
+@pytest.fixture
+def pipeline():
+    return Pipeline(
+        [
+            ("scaler", StandardScaler()),
+            ("select", SelectKBest(k=3)),
+            ("model", LinearRegression()),
+        ]
+    )
+
+
+class TestParamGrid:
+    def test_combinations_cartesian(self):
+        grid = ParamGrid({"a__x": [1, 2], "b__y": [3, 4, 5]})
+        combos = list(grid.combinations())
+        assert len(combos) == 6
+        assert {"a__x": 1, "b__y": 3} in combos
+
+    def test_empty_grid_yields_defaults(self):
+        combos = list(ParamGrid({}).combinations())
+        assert combos == [{}]
+
+    def test_len_counts_combinations(self):
+        assert len(ParamGrid({"a__x": [1, 2], "b__y": [1, 2, 3]})) == 6
+        assert len(ParamGrid({})) == 1
+
+    def test_bad_key_format_rejected(self):
+        with pytest.raises(ValueError, match="form"):
+            ParamGrid({"alpha": [1.0]})
+
+    def test_empty_values_rejected(self):
+        with pytest.raises(ValueError, match="candidate"):
+            ParamGrid({"a__x": []})
+
+    def test_for_pipeline_filters_by_node(self, pipeline):
+        grid = ParamGrid(
+            {"select__k": [1, 2], "pca__n_components": [2, 3]}
+        )
+        restricted = grid.for_pipeline(pipeline)
+        assert set(restricted.grid) == {"select__k"}
+
+    def test_applicable_grid_shorthand(self, pipeline):
+        restricted = applicable_grid({"select__k": [1]}, pipeline)
+        assert len(list(restricted.combinations())) == 1
+
+    def test_expand_grid(self):
+        assert len(expand_grid({"a__x": [1, 2]})) == 2
+
+    def test_node_names(self):
+        grid = ParamGrid({"a__x": [1], "b__y": [2], "a__z": [3]})
+        assert grid.node_names() == ["a", "b"]
+
+    def test_deterministic_order(self):
+        grid = ParamGrid({"b__y": [1, 2], "a__x": [3, 4]})
+        combos1 = list(grid.combinations())
+        combos2 = list(grid.combinations())
+        assert combos1 == combos2
+
+
+class TestSpecs:
+    def test_component_spec_includes_params(self):
+        spec = component_spec(SelectKBest(k=7))
+        assert spec["class"] == "SelectKBest"
+        assert spec["params"]["k"] == 7
+
+    def test_pipeline_spec_preserves_order(self, pipeline):
+        spec = pipeline_spec(pipeline)
+        assert [s["name"] for s in spec["steps"]] == [
+            "scaler",
+            "select",
+            "model",
+        ]
+
+    def test_spec_key_stable(self, pipeline):
+        a = spec_key(computation_spec(pipeline, metric="rmse"))
+        b = spec_key(computation_spec(pipeline, metric="rmse"))
+        assert a == b
+
+    def test_spec_key_distinguishes_params(self, pipeline):
+        a = spec_key(computation_spec(pipeline, params={"select__k": 2}))
+        b = spec_key(computation_spec(pipeline, params={"select__k": 3}))
+        assert a != b
+
+    def test_spec_key_distinguishes_metric(self, pipeline):
+        a = spec_key(computation_spec(pipeline, metric="rmse"))
+        b = spec_key(computation_spec(pipeline, metric="mae"))
+        assert a != b
+
+    def test_spec_key_distinguishes_cv(self, pipeline):
+        a = spec_key(computation_spec(pipeline, cv=KFold(3)))
+        b = spec_key(computation_spec(pipeline, cv=KFold(5)))
+        assert a != b
+
+    def test_spec_key_distinguishes_structure(self, pipeline):
+        other = Pipeline([("model", LinearRegression())])
+        a = spec_key(computation_spec(pipeline))
+        b = spec_key(computation_spec(other))
+        assert a != b
+
+    def test_identical_pipelines_same_key(self):
+        p1 = Pipeline([("s", StandardScaler()), ("m", LinearRegression())])
+        p2 = Pipeline([("s", StandardScaler()), ("m", LinearRegression())])
+        assert spec_key(computation_spec(p1)) == spec_key(computation_spec(p2))
+
+    def test_callable_param_specced_by_name(self):
+        spec = component_spec(SelectKBest(k=2, score_func=max))
+        assert spec["params"]["score_func"] == {"__callable__": "max"}
+
+
+class TestDatasetFingerprint:
+    def test_stable_for_same_data(self, rng):
+        X = rng.normal(size=(20, 3))
+        y = rng.normal(size=20)
+        assert dataset_fingerprint(X, y) == dataset_fingerprint(X, y)
+
+    def test_changes_with_values(self, rng):
+        X = rng.normal(size=(20, 3))
+        X2 = X.copy()
+        X2[0, 0] += 1e-9
+        assert dataset_fingerprint(X) != dataset_fingerprint(X2)
+
+    def test_changes_with_labels(self, rng):
+        X = rng.normal(size=(10, 2))
+        assert dataset_fingerprint(X, np.zeros(10)) != dataset_fingerprint(
+            X, np.ones(10)
+        )
+
+    def test_shape_matters(self):
+        flat = np.arange(12.0)
+        assert dataset_fingerprint(flat.reshape(3, 4)) != dataset_fingerprint(
+            flat.reshape(4, 3)
+        )
+
+    def test_fingerprint_is_short_hex(self, rng):
+        fp = dataset_fingerprint(rng.normal(size=(5, 2)))
+        assert len(fp) == 32
+        int(fp, 16)  # parses as hex

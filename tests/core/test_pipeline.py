@@ -1,0 +1,201 @@
+"""Tests for Pipeline (paper Fig. 5 fit/predict semantics)."""
+
+import numpy as np
+import pytest
+
+from repro.core import Pipeline, make_pipeline
+from repro.ml.base import NotFittedError
+from repro.ml.feature_selection import SelectKBest
+from repro.ml.linear import LinearRegression, LogisticRegression
+from repro.ml.preprocessing import MinMaxScaler, NoOp, StandardScaler
+from repro.ml.tree import DecisionTreeRegressor
+
+
+@pytest.fixture
+def simple_pipeline():
+    return Pipeline(
+        [
+            ("scaler", StandardScaler()),
+            ("select", SelectKBest(k=3)),
+            ("model", LinearRegression()),
+        ]
+    )
+
+
+class TestConstruction:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one step"):
+            Pipeline([])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Pipeline([("a", NoOp()), ("a", LinearRegression())])
+
+    def test_intermediate_must_transform(self):
+        with pytest.raises(TypeError, match="transformer"):
+            Pipeline([("m", LinearRegression()), ("m2", LinearRegression())])
+
+    def test_final_must_predict(self):
+        with pytest.raises(TypeError, match="estimator"):
+            Pipeline([("s", StandardScaler())])
+
+    def test_estimator_only_pipeline_allowed(self):
+        p = Pipeline([("model", LinearRegression())])
+        assert len(p) == 1
+
+    def test_make_pipeline_auto_names(self):
+        p = make_pipeline(StandardScaler(), NoOp(), NoOp(), LinearRegression())
+        assert p.step_names == [
+            "standardscaler",
+            "noop",
+            "noop_2",
+            "linearregression",
+        ]
+
+    def test_path_string(self, simple_pipeline):
+        assert (
+            simple_pipeline.path_string()
+            == "Input -> scaler -> select -> model"
+        )
+
+
+class TestFitPredict:
+    def test_fit_returns_self(self, simple_pipeline, regression_data):
+        X, y = regression_data
+        assert simple_pipeline.fit(X, y) is simple_pipeline
+
+    def test_predict_shape(self, simple_pipeline, regression_data):
+        X, y = regression_data
+        predictions = simple_pipeline.fit(X, y).predict(X)
+        assert predictions.shape == (len(X),)
+
+    def test_templates_stay_unfitted(self, simple_pipeline, regression_data):
+        # fit must clone; the declared steps remain pristine templates
+        X, y = regression_data
+        simple_pipeline.fit(X, y)
+        assert simple_pipeline.steps[0][1].mean_ is None
+
+    def test_refit_on_new_data_independent(self, simple_pipeline, rng):
+        X1 = rng.normal(size=(50, 5))
+        y1 = X1[:, 0]
+        X2 = rng.normal(5.0, 1.0, size=(50, 5))
+        y2 = X2[:, 1]
+        simple_pipeline.fit(X1, y1)
+        first = simple_pipeline.fitted_steps_[0][1].mean_.copy()
+        simple_pipeline.fit(X2, y2)
+        second = simple_pipeline.fitted_steps_[0][1].mean_
+        assert not np.allclose(first, second)
+
+    def test_predict_before_fit_raises(self, simple_pipeline, regression_data):
+        X, _ = regression_data
+        with pytest.raises(NotFittedError):
+            simple_pipeline.predict(X)
+
+    def test_transform_runs_prefix_only(self, simple_pipeline, regression_data):
+        X, y = regression_data
+        simple_pipeline.fit(X, y)
+        Z = simple_pipeline.transform(X)
+        assert Z.shape == (len(X), 3)  # k=3 selected columns
+
+    def test_internal_transforms_applied_at_predict(self, rng):
+        # without the scaler's transform at predict time, the shifted
+        # test data would produce wildly wrong outputs
+        X = rng.normal(size=(100, 2))
+        y = X @ np.array([1.0, 1.0])
+        pipeline = Pipeline(
+            [("scaler", StandardScaler()), ("model", LinearRegression())]
+        ).fit(X, y)
+        shifted = X + 100.0
+        expected = shifted @ np.array([1.0, 1.0])
+        assert np.allclose(pipeline.predict(shifted), expected, atol=1e-8)
+
+    def test_predict_proba_passthrough(self, classification_data):
+        X, y = classification_data
+        pipeline = Pipeline(
+            [("scaler", MinMaxScaler()), ("clf", LogisticRegression())]
+        ).fit(X, y)
+        proba = pipeline.predict_proba(X)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    def test_predict_proba_missing_raises(self, simple_pipeline, regression_data):
+        X, y = regression_data
+        simple_pipeline.fit(X, y)
+        with pytest.raises(AttributeError, match="predict_proba"):
+            simple_pipeline.predict_proba(X)
+
+    def test_score_delegates(self, simple_pipeline, regression_data):
+        X, y = regression_data
+        assert simple_pipeline.fit(X, y).score(X, y) > 0.5
+
+    def test_fitted_estimator_property(self, simple_pipeline, regression_data):
+        X, y = regression_data
+        simple_pipeline.fit(X, y)
+        assert simple_pipeline.fitted_estimator.coef_ is not None
+        with pytest.raises(NotFittedError):
+            Pipeline([("m", LinearRegression())]).fitted_estimator
+
+
+class TestParams:
+    def test_set_params_name_convention(self, simple_pipeline):
+        simple_pipeline.set_params(select__k=2)
+        assert dict(simple_pipeline.steps)["select"].k == 2
+
+    def test_set_params_unknown_node(self, simple_pipeline):
+        with pytest.raises(ValueError, match="unknown node"):
+            simple_pipeline.set_params(pca__n_components=2)
+
+    def test_set_params_bad_format(self, simple_pipeline):
+        with pytest.raises(ValueError, match="form"):
+            simple_pipeline.set_params(k=3)
+
+    def test_set_params_unknown_attribute(self, simple_pipeline):
+        with pytest.raises(ValueError, match="invalid parameter"):
+            simple_pipeline.set_params(select__bananas=1)
+
+    def test_get_params_flattened(self, simple_pipeline):
+        params = simple_pipeline.get_params()
+        assert params["select__k"] == 3
+        assert "scaler__with_mean" in params
+
+    def test_params_affect_behavior(self, regression_data):
+        X, y = regression_data
+        p = Pipeline(
+            [("select", SelectKBest(k=1)), ("model", LinearRegression())]
+        )
+        p.set_params(select__k=5)
+        p.fit(X, y)
+        assert p.transform(X).shape[1] == 5
+
+
+class TestClone:
+    def test_clone_unfitted_and_independent(self, simple_pipeline, regression_data):
+        X, y = regression_data
+        simple_pipeline.fit(X, y)
+        copy = simple_pipeline.clone()
+        assert copy.fitted_steps_ is None
+        copy.set_params(select__k=1)
+        assert dict(simple_pipeline.steps)["select"].k == 3
+
+    def test_clone_same_structure(self, simple_pipeline):
+        copy = simple_pipeline.clone()
+        assert copy.step_names == simple_pipeline.step_names
+
+    def test_generic_clone_dispatches(self, simple_pipeline):
+        from repro.ml.base import clone
+
+        copy = clone(simple_pipeline)
+        assert isinstance(copy, Pipeline)
+
+
+class TestComplexChains:
+    def test_tree_pipeline(self, regression_data):
+        X, y = regression_data
+        p = make_pipeline(
+            MinMaxScaler(), DecisionTreeRegressor(max_depth=5)
+        ).fit(X, y)
+        assert p.score(X, y) > 0.5
+
+    def test_iteration_and_named_steps(self, simple_pipeline):
+        names = [name for name, _ in simple_pipeline]
+        assert names == simple_pipeline.step_names
+        assert set(simple_pipeline.named_steps()) == set(names)

@@ -1,0 +1,193 @@
+"""Tests for the component registry and spec rehydration."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    GraphEvaluator,
+    Pipeline,
+    component_from_spec,
+    computation_spec,
+    pipeline_from_spec,
+    prepare_regression_graph,
+    register_component,
+    registered_components,
+)
+from repro.core.spec import component_spec
+from repro.darr import DARR, CooperativeEvaluator, rebuild_best_pipeline
+from repro.distributed import SimulatedNetwork
+from repro.ml.base import BaseComponent, TransformerMixin
+from repro.ml.feature_selection import SelectKBest
+from repro.ml.linear import LinearRegression
+from repro.ml.model_selection import KFold
+from repro.ml.preprocessing import StandardScaler
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        registry = registered_components()
+        for name in (
+            "StandardScaler",
+            "SelectKBest",
+            "PCA",
+            "RandomForestRegressor",
+            "DNNRegressor",
+            "LSTMRegressor",
+            "ZeroModel",
+            "CascadedWindows",
+        ):
+            assert name in registry, name
+
+    def test_register_custom_component(self):
+        class MyTransformer(TransformerMixin, BaseComponent):
+            def __init__(self, power: int = 2):
+                self.power = power
+
+            def fit(self, X, y=None):
+                return self
+
+            def transform(self, X):
+                return np.asarray(X) ** self.power
+
+        register_component(MyTransformer)
+        rebuilt = component_from_spec(component_spec(MyTransformer(power=3)))
+        assert isinstance(rebuilt, MyTransformer)
+        assert rebuilt.power == 3
+
+    def test_reregistering_same_class_ok(self):
+        from repro.ml.preprocessing import NoOp
+
+        register_component(NoOp)
+        register_component(NoOp)
+
+    def test_conflicting_registration_rejected(self):
+        class StandardScaler:  # noqa: N801 — deliberate name collision
+            pass
+
+        with pytest.raises(ValueError, match="already registered"):
+            register_component(StandardScaler)
+
+    def test_unknown_class_lookup(self):
+        with pytest.raises(KeyError, match="register it"):
+            component_from_spec({"class": "FluxCapacitor", "params": {}})
+
+
+class TestRehydration:
+    def test_component_roundtrip_preserves_params(self):
+        original = SelectKBest(k=7, score_func="information_gain")
+        rebuilt = component_from_spec(component_spec(original))
+        assert rebuilt.k == 7
+        assert rebuilt.score_func == "information_gain"
+
+    def test_pipeline_roundtrip(self, regression_data):
+        X, y = regression_data
+        original = Pipeline(
+            [
+                ("scale", StandardScaler()),
+                ("select", SelectKBest(k=3)),
+                ("model", LinearRegression()),
+            ]
+        )
+        spec = computation_spec(original, metric="rmse")
+        rebuilt = pipeline_from_spec(spec)
+        assert rebuilt.step_names == original.step_names
+        # rebuilt pipeline trains and predicts identically
+        a = original.fit(X, y).predict(X)
+        b = rebuilt.fit(X, y).predict(X)
+        assert np.allclose(a, b)
+
+    def test_chain_option_rehydrates(self, regression_data):
+        X, y = regression_data
+        graph = prepare_regression_graph(fast=True, k_best=3)
+        # pick a path containing the Covariance+PCA chain
+        pipeline = next(
+            p for p in graph.pipelines() if "covariance" in p.path_string()
+        )
+        rebuilt = pipeline_from_spec(computation_spec(pipeline))
+        assert rebuilt.step_names == pipeline.step_names
+        rebuilt.fit(X, y)
+
+    def test_callable_param_not_rehydratable(self):
+        spec = component_spec(SelectKBest(k=2, score_func=max))
+        with pytest.raises(ValueError, match="not rehydratable"):
+            component_from_spec(spec)
+
+
+class TestRebuildFromDARR:
+    def test_client_rebuilds_shared_winner(self, regression_data):
+        """The full cooperation story: client A computes and publishes;
+        client B reconstructs the winning pipeline from the shared spec
+        and fits it locally."""
+        X, y = regression_data
+        net = SimulatedNetwork()
+        net.register("client-a")
+        darr = DARR("darr", net)
+        graph = prepare_regression_graph(fast=True, k_best=3)
+        coop = CooperativeEvaluator(
+            GraphEvaluator(graph, cv=KFold(2, random_state=0)),
+            darr,
+            "client-a",
+        )
+        report = coop.evaluate(X, y, refit_best=False)
+        rebuilt = rebuild_best_pipeline(darr)
+        assert rebuilt.path_string() == report.best_path
+        rebuilt.fit(X, y)
+        assert rebuilt.predict(X[:5]).shape == (5,)
+
+    def test_rebuild_applies_stored_params(self, regression_data):
+        X, y = regression_data
+        net = SimulatedNetwork()
+        net.register("c")
+        darr = DARR("darr", net)
+        graph = prepare_regression_graph(fast=True, k_best=5)
+        coop = CooperativeEvaluator(
+            GraphEvaluator(graph, cv=KFold(2, random_state=0)), darr, "c"
+        )
+        coop.evaluate(
+            X, y, param_grid={"selectkbest__k": [2]}, refit_best=False
+        )
+        best = darr.best()
+        if "selectkbest" in best.path and best.params:
+            rebuilt = rebuild_best_pipeline(darr)
+            assert dict(rebuilt.steps)["selectkbest"].k == 2
+
+    def test_empty_darr_raises(self):
+        darr = DARR("darr")
+        with pytest.raises(LookupError, match="no results"):
+            rebuild_best_pipeline(darr)
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, regression_data, tmp_path):
+        from repro.darr import load_repository, save_repository
+
+        X, y = regression_data
+        net = SimulatedNetwork()
+        net.register("c")
+        darr = DARR("darr", net)
+        graph = prepare_regression_graph(fast=True, k_best=3)
+        coop = CooperativeEvaluator(
+            GraphEvaluator(graph, cv=KFold(2, random_state=0)), darr, "c"
+        )
+        coop.evaluate(X, y, refit_best=False)
+        path = tmp_path / "darr.pkl"
+        written = save_repository(darr, path)
+        assert written == 36
+        restored = load_repository(path, name="darr-2")
+        assert len(restored) == 36
+        assert restored.best().key == darr.best().key
+        # a later session reuses everything from the restored repository
+        net2 = SimulatedNetwork()
+        net2.register("late")
+        restored.network = None
+        late = CooperativeEvaluator(
+            GraphEvaluator(
+                prepare_regression_graph(fast=True, k_best=3),
+                cv=KFold(2, random_state=0),
+            ),
+            restored,
+            "late",
+        )
+        late.evaluate(X, y, refit_best=False)
+        assert late.stats.computed == 0
+        assert late.stats.reused == 36

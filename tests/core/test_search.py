@@ -1,0 +1,148 @@
+"""Tests for the budgeted search strategies."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    GraphEvaluator,
+    RandomizedGraphSearch,
+    SuccessiveHalvingSearch,
+    TransformerEstimatorGraph,
+    prepare_regression_graph,
+)
+from repro.ml.linear import LinearRegression
+from repro.ml.model_selection import KFold
+from repro.ml.preprocessing import NoOp, StandardScaler
+from repro.ml.tree import DecisionTreeRegressor
+
+
+@pytest.fixture
+def evaluator():
+    graph = prepare_regression_graph(fast=True, k_best=4)
+    return GraphEvaluator(graph, cv=KFold(2, random_state=0), metric="rmse")
+
+
+class TestRandomizedSearch:
+    def test_evaluates_requested_budget(self, evaluator, regression_data):
+        X, y = regression_data
+        search = RandomizedGraphSearch(evaluator, n_iter=10, random_state=0)
+        report = search.evaluate(X, y, refit_best=False)
+        assert len(report.results) == 10
+
+    def test_budget_clipped_to_job_space(self, evaluator, regression_data):
+        X, y = regression_data
+        search = RandomizedGraphSearch(evaluator, n_iter=1000, random_state=0)
+        report = search.evaluate(X, y, refit_best=False)
+        assert len(report.results) == 36
+
+    def test_sampling_reproducible(self, evaluator, regression_data):
+        X, y = regression_data
+        a = RandomizedGraphSearch(evaluator, n_iter=8, random_state=5).evaluate(
+            X, y, refit_best=False
+        )
+        b = RandomizedGraphSearch(evaluator, n_iter=8, random_state=5).evaluate(
+            X, y, refit_best=False
+        )
+        assert [r.path for r in a.results] == [r.path for r in b.results]
+
+    def test_different_seeds_differ(self, evaluator, regression_data):
+        X, y = regression_data
+        a = RandomizedGraphSearch(evaluator, n_iter=8, random_state=1).evaluate(
+            X, y, refit_best=False
+        )
+        b = RandomizedGraphSearch(evaluator, n_iter=8, random_state=2).evaluate(
+            X, y, refit_best=False
+        )
+        assert {r.path for r in a.results} != {r.path for r in b.results}
+
+    def test_best_model_refit(self, evaluator, regression_data):
+        X, y = regression_data
+        search = RandomizedGraphSearch(evaluator, n_iter=6, random_state=0)
+        report = search.evaluate(X, y)
+        assert report.best_model.predict(X[:3]).shape == (3,)
+
+    def test_samples_param_grid_too(self, evaluator, regression_data):
+        X, y = regression_data
+        grid = {"selectkbest__k": [2, 3, 4]}
+        all_jobs = len(list(evaluator.iter_jobs(X, y, grid)))
+        search = RandomizedGraphSearch(
+            evaluator, n_iter=all_jobs, random_state=0
+        )
+        report = search.evaluate(X, y, param_grid=grid, refit_best=False)
+        assert len(report.results) == all_jobs
+
+    def test_invalid_budget(self, evaluator):
+        with pytest.raises(ValueError):
+            RandomizedGraphSearch(evaluator, n_iter=0)
+
+
+class TestSuccessiveHalving:
+    def test_candidates_shrink_per_round(self, evaluator, regression_data):
+        X, y = regression_data
+        search = SuccessiveHalvingSearch(evaluator, folds=(2, 3), eta=3.0)
+        search.evaluate(X, y, refit_best=False)
+        counts = [r["candidates"] for r in search.rounds_]
+        assert counts[0] == 36
+        assert counts[1] == int(np.ceil(36 / 3.0))
+
+    def test_cheaper_than_exhaustive_full_budget(self, evaluator, regression_data):
+        X, y = regression_data
+        search = SuccessiveHalvingSearch(evaluator, folds=(2, 3, 5), eta=3.0)
+        search.evaluate(X, y, refit_best=False)
+        # full budget = 36 x 5-fold = 180 fold-evaluations; halving does
+        # 36x2 + 12x3 + 4x5 = 128 — and far fewer at the expensive tier.
+        fold_evals = sum(
+            r["candidates"] * r["folds"] for r in search.rounds_
+        )
+        assert fold_evals < 36 * 5
+
+    def test_final_round_scores_reported(self, evaluator, regression_data):
+        X, y = regression_data
+        search = SuccessiveHalvingSearch(evaluator, folds=(2, 3), eta=4.0)
+        report = search.evaluate(X, y, refit_best=False)
+        assert len(report.results) == search.rounds_[-1]["candidates"]
+        assert report.best_path is not None
+
+    def test_survivor_quality_non_degrading(self, regression_data):
+        """The winner under halving must be competitive with exhaustive
+        search on the same final budget (same family of strong paths)."""
+        X, y = regression_data
+        graph = TransformerEstimatorGraph()
+        graph.add_feature_scalers([StandardScaler(), NoOp()])
+        graph.add_regression_models(
+            [
+                LinearRegression(),
+                DecisionTreeRegressor(max_depth=2, random_state=0),
+                DecisionTreeRegressor(max_depth=8, random_state=0),
+            ]
+        )
+        evaluator = GraphEvaluator(
+            graph, cv=KFold(5, random_state=0), metric="rmse"
+        )
+        exhaustive = evaluator.evaluate(X, y, refit_best=False)
+        halving = SuccessiveHalvingSearch(
+            evaluator, folds=(2, 5), eta=3.0
+        ).evaluate(X, y, refit_best=False)
+        # linear data: both must land on a linearregression path
+        assert "linearregression" in exhaustive.best_path
+        assert "linearregression" in halving.best_path
+
+    def test_refit_best(self, evaluator, regression_data):
+        X, y = regression_data
+        search = SuccessiveHalvingSearch(evaluator, folds=(2,), eta=2.0)
+        report = search.evaluate(X, y)
+        assert report.best_model.predict(X[:2]).shape == (2,)
+
+    def test_invalid_params(self, evaluator):
+        with pytest.raises(ValueError):
+            SuccessiveHalvingSearch(evaluator, folds=())
+        with pytest.raises(ValueError):
+            SuccessiveHalvingSearch(evaluator, folds=(1, 2))
+        with pytest.raises(ValueError):
+            SuccessiveHalvingSearch(evaluator, eta=1.0)
+
+    def test_total_evaluations_property(self, evaluator, regression_data):
+        X, y = regression_data
+        search = SuccessiveHalvingSearch(evaluator, folds=(2, 3), eta=3.0)
+        search.evaluate(X, y, refit_best=False)
+        assert search.total_evaluations_ == 36 + 12

@@ -1,0 +1,53 @@
+"""Tests for graph visualization (Listing 1's create_graph output)."""
+
+import pytest
+
+from repro.core import describe, prepare_regression_graph, to_ascii, to_dot
+from repro.timeseries.pipeline import build_time_series_graph
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return prepare_regression_graph(fast=True)
+
+
+class TestDot:
+    def test_valid_digraph_header(self, graph):
+        dot = to_dot(graph)
+        assert dot.startswith("digraph")
+        assert dot.rstrip().endswith("}")
+
+    def test_all_options_present(self, graph):
+        dot = to_dot(graph)
+        for stage in graph.stages:
+            for option in stage.options:
+                assert f'"{option.name}"' in dot
+
+    def test_stage_clusters(self, graph):
+        dot = to_dot(graph)
+        assert dot.count("subgraph cluster_") == len(graph.stages)
+
+    def test_edge_count_matches_graph(self, graph):
+        dot = to_dot(graph)
+        edges = [line for line in dot.splitlines() if "->" in line]
+        assert len(edges) == graph.create_graph().number_of_edges()
+
+
+class TestAscii:
+    def test_contains_stages_and_paths(self, graph):
+        text = to_ascii(graph)
+        assert "feature_scaling" in text
+        assert "paths: 36" in text
+
+    def test_restricted_wiring_annotated(self):
+        graph = build_time_series_graph(fast=True)
+        text = to_ascii(graph)
+        assert "wiring ->" in text
+        assert "cascaded -> lstm_simple" in text
+
+
+class TestDescribe:
+    def test_one_line_summary(self, graph):
+        text = describe(graph)
+        assert "3 stages" in text
+        assert "36 pipelines" in text

@@ -1,0 +1,177 @@
+"""Tests for cooperative evaluation through the DARR (paper Fig. 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core import GraphEvaluator, TransformerEstimatorGraph
+from repro.darr import DARR, CooperativeEvaluator, run_cooperative_session
+from repro.distributed import SimulatedNetwork
+from repro.ml.linear import LinearRegression
+from repro.ml.model_selection import KFold
+from repro.ml.preprocessing import MinMaxScaler, NoOp, StandardScaler
+from repro.ml.tree import DecisionTreeRegressor
+
+
+def build_graph():
+    g = TransformerEstimatorGraph()
+    g.add_feature_scalers([StandardScaler(), MinMaxScaler(), NoOp()])
+    g.add_regression_models(
+        [LinearRegression(), DecisionTreeRegressor(max_depth=3, random_state=0)]
+    )
+    return g
+
+
+@pytest.fixture
+def world():
+    net = SimulatedNetwork()
+    clients = ["client-1", "client-2", "client-3"]
+    for c in clients:
+        net.register(c)
+    darr = DARR("darr", net)
+    coops = [
+        CooperativeEvaluator(
+            GraphEvaluator(build_graph(), cv=KFold(3, random_state=0)),
+            darr,
+            c,
+        )
+        for c in clients
+    ]
+    return net, darr, coops
+
+
+class TestSingleClient:
+    def test_first_client_computes_everything(self, world, regression_data):
+        _, darr, coops = world
+        X, y = regression_data
+        report = coops[0].evaluate(X, y)
+        assert coops[0].stats.computed == 6
+        assert coops[0].stats.reused == 0
+        assert len(darr) == 6
+        assert report.best_model is not None
+
+    def test_second_run_fully_cached(self, world, regression_data):
+        _, darr, coops = world
+        X, y = regression_data
+        coops[0].evaluate(X, y)
+        report = coops[1].evaluate(X, y)
+        assert coops[1].stats.computed == 0
+        assert coops[1].stats.reused == 6
+        assert coops[1].stats.redundancy_avoided == 1.0
+        assert all(r.from_cache for r in report.results)
+
+    def test_cached_selection_matches_fresh(self, world, regression_data):
+        _, _, coops = world
+        X, y = regression_data
+        fresh = coops[0].evaluate(X, y)
+        cached = coops[1].evaluate(X, y)
+        assert cached.best_path == fresh.best_path
+        assert cached.best_score == pytest.approx(fresh.best_score)
+
+    def test_cached_best_still_refittable(self, world, regression_data):
+        _, _, coops = world
+        X, y = regression_data
+        coops[0].evaluate(X, y)
+        report = coops[1].evaluate(X, y)
+        assert report.best_model.predict(X).shape == (len(X),)
+
+    def test_different_dataset_not_cached(self, world, regression_data, rng):
+        _, darr, coops = world
+        X, y = regression_data
+        coops[0].evaluate(X, y)
+        X2 = rng.normal(size=X.shape)
+        coops[1].evaluate(X2, y)
+        assert coops[1].stats.computed == 6
+        assert len(darr) == 12
+
+    def test_param_grid_cooperation(self, world, regression_data):
+        _, darr, coops = world
+        X, y = regression_data
+        grid = {"decisiontreeregressor__max_depth": [2, 4]}
+        coops[0].evaluate(X, y, param_grid=grid)
+        coops[1].evaluate(X, y, param_grid=grid)
+        # 3 scalers x (1 linear + 2 tree settings) = 9 jobs
+        assert coops[0].stats.computed == 9
+        assert coops[1].stats.reused == 9
+
+
+class TestInterleavedSession:
+    def test_each_job_computed_exactly_once(self, world, regression_data):
+        _, darr, coops = world
+        X, y = regression_data
+        run_cooperative_session(coops, X, y)
+        total_computed = sum(c.stats.computed for c in coops)
+        assert total_computed == 6
+        assert len(darr) == 6
+
+    def test_total_work_independent_of_client_count(self, regression_data):
+        """The Fig. 2 claim: cooperation caps total computation at the
+        job count no matter how many clients participate."""
+        X, y = regression_data
+        for n_clients in (1, 2, 4):
+            net = SimulatedNetwork()
+            for i in range(n_clients):
+                net.register(f"c{i}")
+            darr = DARR("darr", net)
+            coops = [
+                CooperativeEvaluator(
+                    GraphEvaluator(build_graph(), cv=KFold(3, random_state=0)),
+                    darr,
+                    f"c{i}",
+                )
+                for i in range(n_clients)
+            ]
+            run_cooperative_session(coops, X, y)
+            assert sum(c.stats.computed for c in coops) == 6
+
+    def test_redundancy_avoided_grows_with_clients(self, world, regression_data):
+        _, _, coops = world
+        X, y = regression_data
+        run_cooperative_session(coops, X, y)
+        later_clients = coops[1:]
+        assert all(
+            c.stats.redundancy_avoided == 1.0 for c in later_clients
+        )
+
+    def test_everyone_sees_all_results(self, world, regression_data):
+        _, _, coops = world
+        X, y = regression_data
+        outputs = run_cooperative_session(coops, X, y)
+        for per_client in outputs:
+            delivered = [r for r in per_client if r is not None]
+            assert len(delivered) == 6
+
+    def test_mismatched_graphs_rejected(self, world, regression_data):
+        net, darr, coops = world
+        X, y = regression_data
+        small = TransformerEstimatorGraph()
+        small.add_regression_models([LinearRegression()])
+        odd = CooperativeEvaluator(
+            GraphEvaluator(small, cv=KFold(3, random_state=0)), darr, "client-3"
+        )
+        with pytest.raises(ValueError, match="disagree"):
+            run_cooperative_session([coops[0], odd], X, y)
+
+    def test_empty_session_rejected(self, regression_data):
+        X, y = regression_data
+        with pytest.raises(ValueError, match="at least one"):
+            run_cooperative_session([], X, y)
+
+
+class TestFailureHandling:
+    def test_failed_job_releases_claim(self, world, regression_data):
+        _, darr, coops = world
+        X, y = regression_data
+        job = next(coops[0].evaluator.iter_jobs(X, y))
+
+        # sabotage: make run_job raise once
+        original = coops[0].evaluator.run_job
+        coops[0].evaluator.run_job = lambda *a: (_ for _ in ()).throw(
+            RuntimeError("boom")
+        )
+        with pytest.raises(RuntimeError):
+            coops[0].process_job(job, X, y)
+        coops[0].evaluator.run_job = original
+        # another client can now claim and complete the job
+        result = coops[1].process_job(job, X, y)
+        assert result is not None
+        assert coops[1].stats.computed == 1

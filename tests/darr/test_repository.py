@@ -1,0 +1,168 @@
+"""Tests for the Data Analytics Results Repository."""
+
+import numpy as np
+import pytest
+
+from repro.core import GraphEvaluator, TransformerEstimatorGraph
+from repro.darr import DARR, AnalyticsResult
+from repro.distributed import SimulatedNetwork
+from repro.ml.linear import LinearRegression
+from repro.ml.model_selection import KFold
+from repro.ml.preprocessing import NoOp, StandardScaler
+from repro.ml.tree import DecisionTreeRegressor
+
+
+def make_record(key="k1", score=1.0, dataset="ds", metric="rmse",
+                greater=False, client="c1", path="Input -> m"):
+    return AnalyticsResult(
+        key=key,
+        dataset=dataset,
+        path=path,
+        params={},
+        metric=metric,
+        score=score,
+        std=0.1,
+        fold_scores=[score],
+        greater_is_better=greater,
+        client=client,
+        explanation="test record",
+    )
+
+
+@pytest.fixture
+def darr():
+    net = SimulatedNetwork()
+    net.register("c1")
+    net.register("c2")
+    return DARR("darr", net)
+
+
+class TestPublishFetch:
+    def test_publish_then_fetch(self, darr):
+        record = make_record()
+        assert darr.publish(record, "c1")
+        fetched = darr.fetch("k1", "c2")
+        assert fetched.score == 1.0
+        assert fetched.client == "c1"
+
+    def test_first_write_wins(self, darr):
+        darr.publish(make_record(score=1.0), "c1")
+        assert not darr.publish(make_record(score=2.0), "c2")
+        assert darr.fetch("k1", "c1").score == 1.0
+        assert darr.stats["duplicate_publishes"] == 1
+
+    def test_fetch_miss_returns_none(self, darr):
+        assert darr.fetch("ghost", "c1") is None
+        assert darr.stats["fetch_misses"] == 1
+
+    def test_has_check(self, darr):
+        darr.publish(make_record(), "c1")
+        assert darr.has("k1", "c1")
+        assert not darr.has("k2", "c1")
+
+    def test_network_accounting(self, darr):
+        net = darr.network
+        darr.publish(make_record(), "c1")
+        darr.fetch("k1", "c2")
+        assert net.total_bytes("darr-publish") > 0
+        assert net.total_bytes("darr-fetch") > 0
+        assert net.total_bytes("darr-query") > 0
+
+    def test_len(self, darr):
+        darr.publish(make_record("a"), "c1")
+        darr.publish(make_record("b"), "c1")
+        assert len(darr) == 2
+
+
+class TestClaims:
+    def test_claim_granted_once(self, darr):
+        assert darr.claim("k1", "c1")
+        assert not darr.claim("k1", "c2")
+        assert darr.stats["claims_denied"] == 1
+
+    def test_own_claim_renewable(self, darr):
+        assert darr.claim("k1", "c1")
+        assert darr.claim("k1", "c1")
+
+    def test_claim_denied_after_publish(self, darr):
+        darr.publish(make_record(), "c1")
+        assert not darr.claim("k1", "c2")
+
+    def test_claim_expires(self, darr):
+        darr.claim_duration = 10.0
+        darr.claim("k1", "c1")
+        darr.network.clock.advance(20.0)
+        assert darr.claim("k1", "c2")
+
+    def test_release_claim(self, darr):
+        darr.claim("k1", "c1")
+        darr.release_claim("k1", "c1")
+        assert darr.claim("k1", "c2")
+
+    def test_release_requires_owner(self, darr):
+        darr.claim("k1", "c1")
+        darr.release_claim("k1", "c2")  # no-op
+        assert not darr.claim("k1", "c2")
+
+    def test_publish_clears_claim(self, darr):
+        darr.claim("k1", "c1")
+        darr.publish(make_record(), "c1")
+        assert not darr.claim("k1", "c2")  # now denied by result presence
+
+
+class TestQueries:
+    def test_completed_keys_by_dataset(self, darr):
+        darr.publish(make_record("a", dataset="ds1"), "c1")
+        darr.publish(make_record("b", dataset="ds2"), "c1")
+        assert darr.completed_keys("ds1") == ["a"]
+        assert darr.completed_keys() == ["a", "b"]
+
+    def test_query_filters(self, darr):
+        darr.publish(make_record("a", metric="rmse", path="Input -> tree"), "c1")
+        darr.publish(make_record("b", metric="mae", path="Input -> linear"), "c1")
+        assert len(darr.query(metric="rmse")) == 1
+        assert len(darr.query(path_contains="linear")) == 1
+        assert len(darr.query(dataset="other")) == 0
+
+    def test_best_lower_is_better(self, darr):
+        darr.publish(make_record("a", score=2.0), "c1")
+        darr.publish(make_record("b", score=1.0), "c1")
+        assert darr.best().key == "b"
+
+    def test_best_greater_is_better(self, darr):
+        darr.publish(make_record("a", score=0.7, metric="f1", greater=True), "c1")
+        darr.publish(make_record("b", score=0.9, metric="f1", greater=True), "c1")
+        assert darr.best(metric="f1").key == "b"
+
+    def test_best_mixed_directions_rejected(self, darr):
+        darr.publish(make_record("a", metric="rmse", greater=False), "c1")
+        darr.publish(make_record("b", metric="f1", greater=True), "c1")
+        with pytest.raises(ValueError, match="mixed"):
+            darr.best()
+
+    def test_best_empty_is_none(self, darr):
+        assert darr.best() is None
+
+
+class TestRecordConversion:
+    def test_roundtrip_through_pipeline_result(self, regression_data):
+        X, y = regression_data
+        graph = TransformerEstimatorGraph()
+        graph.add_feature_scalers([StandardScaler(), NoOp()])
+        graph.add_regression_models([LinearRegression()])
+        evaluator = GraphEvaluator(graph, cv=KFold(3, random_state=0))
+        job = next(evaluator.iter_jobs(X, y))
+        result = evaluator.run_job(job, X, y)
+        record = AnalyticsResult.from_pipeline_result(
+            result, client="c1", spec=job.spec
+        )
+        assert record.key == result.key
+        assert record.dataset == job.spec["dataset"]
+        assert "cross-validation" in record.explanation
+        back = record.to_pipeline_result()
+        assert back.from_cache
+        assert back.score == pytest.approx(result.score)
+        assert back.key == result.key
+
+    def test_wire_size_positive(self):
+        assert make_record().wire_size > 100

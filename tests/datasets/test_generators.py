@@ -1,0 +1,170 @@
+"""Tests for the synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    make_asset_fleet,
+    make_classification,
+    make_clusters,
+    make_failure_dataset,
+    make_process_outcomes,
+    make_regression,
+    make_sensor_series,
+)
+
+
+class TestMakeRegression:
+    def test_shapes(self):
+        X, y = make_regression(n_samples=50, n_features=7, random_state=0)
+        assert X.shape == (50, 7)
+        assert y.shape == (50,)
+
+    def test_reproducible(self):
+        a = make_regression(random_state=1)
+        b = make_regression(random_state=1)
+        assert np.array_equal(a[0], b[0]) and np.array_equal(a[1], b[1])
+
+    def test_informative_features_carry_signal(self):
+        X, y = make_regression(
+            n_samples=500, n_features=6, n_informative=2, noise=0.01,
+            random_state=0,
+        )
+        informative_corr = abs(np.corrcoef(X[:, 0], y)[0, 1])
+        noise_corr = abs(np.corrcoef(X[:, 5], y)[0, 1])
+        assert informative_corr > 0.3
+        assert noise_corr < 0.15
+
+    def test_invalid_informative_count(self):
+        with pytest.raises(ValueError):
+            make_regression(n_features=3, n_informative=5)
+
+
+class TestMakeClassification:
+    def test_class_balance_controlled(self):
+        _, y = make_classification(
+            n_samples=200, class_balance=0.1, random_state=0
+        )
+        assert y.mean() == pytest.approx(0.1, abs=0.02)
+
+    def test_separation_improves_separability(self):
+        from repro.ml.linear import LogisticRegression
+
+        accs = []
+        for sep in (0.5, 4.0):
+            X, y = make_classification(
+                n_samples=300, separation=sep, random_state=0
+            )
+            accs.append(LogisticRegression().fit(X, y).score(X, y))
+        assert accs[1] > accs[0]
+
+    def test_labels_binary(self):
+        _, y = make_classification(random_state=0)
+        assert set(np.unique(y)) == {0, 1}
+
+    def test_invalid_balance(self):
+        with pytest.raises(ValueError):
+            make_classification(class_balance=1.0)
+
+
+class TestMakeClusters:
+    def test_labels_match_cluster_count(self):
+        X, y = make_clusters(n_clusters=4, random_state=0)
+        assert len(np.unique(y)) == 4
+
+    def test_sizes_near_equal(self):
+        _, y = make_clusters(n_samples=100, n_clusters=3, random_state=0)
+        _, counts = np.unique(y, return_counts=True)
+        assert counts.max() - counts.min() <= 1
+
+
+class TestMakeSensorSeries:
+    def test_shape_and_finite(self):
+        series = make_sensor_series(length=200, n_variables=4, random_state=0)
+        assert series.shape == (200, 4)
+        assert np.isfinite(series).all()
+
+    def test_seasonality_visible_in_autocorrelation(self):
+        series = make_sensor_series(
+            length=400, noise=0.02, trend=0.0, random_state=0
+        )
+        primary = series[:, 0]
+        # strong correlation at the dominant seasonal lag of 48 (the
+        # secondary 11-step component decorrelates slightly, so the bar
+        # is 0.7 rather than ~1)
+        lag = 48
+        corr = np.corrcoef(primary[:-lag], primary[lag:])[0, 1]
+        assert corr > 0.7
+
+    def test_regime_shift_applied(self):
+        series = make_sensor_series(
+            length=200, regime_shift_at=100, trend=0.0, random_state=0
+        )
+        assert series[100:].mean() - series[:100].mean() > 1.0
+
+    def test_variables_coupled(self):
+        series = make_sensor_series(length=500, noise=0.02, random_state=0)
+        corr = abs(np.corrcoef(series[:-2, 0], series[2:, 1])[0, 1])
+        assert corr > 0.3
+
+    def test_invalid_regime_position(self):
+        with pytest.raises(ValueError):
+            make_sensor_series(length=100, regime_shift_at=500)
+
+
+class TestMakeFailureDataset:
+    def test_failure_rate(self):
+        _, y = make_failure_dataset(
+            n_samples=2000, failure_rate=0.05, random_state=0
+        )
+        assert y.mean() == pytest.approx(0.05, abs=0.02)
+
+    def test_degradation_signal_learnable(self):
+        from repro.ml.linear import LogisticRegression
+        from repro.ml.metrics import roc_auc_score
+
+        X, y = make_failure_dataset(n_samples=800, random_state=0)
+        model = LogisticRegression(class_weight="balanced").fit(X, y)
+        assert roc_auc_score(y, model.decision_function(X)) > 0.9
+
+    def test_missing_rate(self):
+        X, _ = make_failure_dataset(
+            n_samples=500, missing_rate=0.1, random_state=0
+        )
+        assert np.isnan(X).mean() == pytest.approx(0.1, abs=0.03)
+
+
+class TestMakeAssetFleet:
+    def test_shapes(self):
+        series, features, cohorts = make_asset_fleet(
+            n_assets=12, n_cohorts=3, series_length=100, random_state=0
+        )
+        assert series.shape == (12, 100)
+        assert features.shape == (12, 4)
+        assert cohorts.shape == (12,)
+        assert len(np.unique(cohorts)) == 3
+
+    def test_cohorts_distinct_in_feature_space(self):
+        _, features, cohorts = make_asset_fleet(
+            n_assets=30, n_cohorts=2, random_state=0
+        )
+        a = features[cohorts == 0].mean(axis=0)
+        b = features[cohorts == 1].mean(axis=0)
+        assert np.abs(a - b).max() > 0.3
+
+
+class TestMakeProcessOutcomes:
+    def test_known_contributions_recoverable(self):
+        from repro.ml.linear import LinearRegression
+
+        X, y, names, weights = make_process_outcomes(
+            n_samples=2000, random_state=0
+        )
+        model = LinearRegression().fit(X, y)
+        for i, name in enumerate(names):
+            assert model.coef_[i] == pytest.approx(weights[name], abs=0.1)
+
+    def test_irrelevant_factors_zero_weight(self):
+        _, _, names, weights = make_process_outcomes(random_state=0)
+        assert weights["humidity"] == 0.0
+        assert weights["shift"] == 0.0

@@ -1,0 +1,219 @@
+"""Tests for change-triggered recomputation policies."""
+
+import numpy as np
+import pytest
+
+from repro.distributed import (
+    ApplicationPolicy,
+    ChangeMonitor,
+    DriftPolicy,
+    UpdateCountPolicy,
+    UpdateSizePolicy,
+)
+
+
+class TestUpdateCountPolicy:
+    def test_fires_every_n_updates(self):
+        monitor = ChangeMonitor(UpdateCountPolicy(3))
+        fired = [monitor.record_update() for _ in range(9)]
+        assert fired == [False, False, True] * 3
+        assert monitor.recomputations == 3
+
+    def test_counter_resets_after_fire(self):
+        policy = UpdateCountPolicy(2)
+        monitor = ChangeMonitor(policy)
+        monitor.record_update()
+        monitor.record_update()
+        assert policy.count == 0
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            UpdateCountPolicy(0)
+
+
+class TestUpdateSizePolicy:
+    def test_fires_on_cumulative_bytes(self):
+        monitor = ChangeMonitor(UpdateSizePolicy(threshold_bytes=100))
+        assert not monitor.record_update(size=40)
+        assert not monitor.record_update(size=40)
+        assert monitor.record_update(size=40)  # 120 >= 100
+
+    def test_single_large_update_fires(self):
+        monitor = ChangeMonitor(UpdateSizePolicy(100))
+        assert monitor.record_update(size=500)
+
+    def test_negative_size_rejected(self):
+        monitor = ChangeMonitor(UpdateSizePolicy(10))
+        with pytest.raises(ValueError):
+            monitor.record_update(size=-1)
+
+
+class TestApplicationPolicy:
+    def test_semantic_measure_drives_trigger(self):
+        # measure = |new - old| on scalar "datasets"
+        policy = ApplicationPolicy(
+            measure=lambda old, new: abs(new - old), threshold=1.0
+        )
+        monitor = ChangeMonitor(policy)
+        assert not monitor.record_update(old=0.0, new=0.3)
+        assert not monitor.record_update(old=0.3, new=0.6)
+        assert monitor.record_update(old=0.6, new=1.4)
+
+    def test_negative_measure_rejected(self):
+        policy = ApplicationPolicy(measure=lambda o, n: -1.0)
+        monitor = ChangeMonitor(policy)
+        with pytest.raises(ValueError, match="non-negative"):
+            monitor.record_update(old=0, new=1)
+
+
+class TestDriftPolicy:
+    def test_fires_on_mean_shift(self, rng):
+        policy = DriftPolicy(threshold=0.5)
+        monitor = ChangeMonitor(policy)
+        baseline = rng.normal(0.0, 1.0, size=(200, 3))
+        assert not monitor.record_update(new=baseline)
+        # small wobble: no trigger
+        assert not monitor.record_update(
+            new=baseline + 0.05 * rng.normal(size=baseline.shape)
+        )
+        # a full-sigma shift: trigger
+        assert monitor.record_update(new=baseline + 1.0)
+
+    def test_baseline_rebases_after_fire(self, rng):
+        policy = DriftPolicy(threshold=0.5)
+        monitor = ChangeMonitor(policy)
+        data = rng.normal(size=(100, 2))
+        monitor.record_update(new=data)
+        monitor.record_update(new=data + 2.0)  # fires, rebases at +2
+        assert not monitor.record_update(new=data + 2.05)
+
+
+class TestChangeMonitor:
+    def test_recompute_callback_invoked(self):
+        calls = []
+        monitor = ChangeMonitor(
+            UpdateCountPolicy(2), recompute=lambda: calls.append(1)
+        )
+        for _ in range(6):
+            monitor.record_update()
+        assert len(calls) == 3
+
+    def test_staleness_accounting(self):
+        monitor = ChangeMonitor(UpdateCountPolicy(4))
+        for _ in range(12):
+            monitor.record_update()
+        assert monitor.staleness_log == [4, 4, 4]
+        assert monitor.mean_staleness == 4.0
+
+    def test_staleness_before_any_fire(self):
+        monitor = ChangeMonitor(UpdateCountPolicy(100))
+        for _ in range(7):
+            monitor.record_update()
+        assert monitor.mean_staleness == 7.0
+
+    def test_tradeoff_lower_threshold_more_recomputes(self):
+        """The paper's trade: 'Too frequent retraining can result in high
+        overhead, while too infrequent retraining can result in obsolete
+        models.'"""
+        counts = {}
+        for threshold in (2, 10):
+            monitor = ChangeMonitor(UpdateCountPolicy(threshold))
+            for _ in range(100):
+                monitor.record_update()
+            counts[threshold] = (
+                monitor.recomputations,
+                monitor.mean_staleness,
+            )
+        assert counts[2][0] > counts[10][0]  # more recomputations
+        assert counts[2][1] < counts[10][1]  # fresher models
+
+
+class TestCostAwarePolicy:
+    def test_defers_when_budget_exhausted(self):
+        from repro.distributed import CostAwarePolicy
+
+        policy = CostAwarePolicy(
+            UpdateCountPolicy(2),
+            budget_seconds=10.0,
+            initial_cost_estimate=6.0,
+        )
+        monitor = ChangeMonitor(policy)
+        # first trigger fits (6 <= 10), charges the budget down to 4
+        fired = [monitor.record_update() for _ in range(2)]
+        assert fired == [False, True]
+        # second trigger would need 6s but only 4s remain: deferred
+        fired = [monitor.record_update() for _ in range(2)]
+        assert fired == [False, False]
+        assert policy.deferrals >= 1
+
+    def test_replenish_restores_budget(self):
+        from repro.distributed import CostAwarePolicy
+
+        policy = CostAwarePolicy(
+            UpdateCountPolicy(1), budget_seconds=5.0,
+            initial_cost_estimate=5.0,
+        )
+        monitor = ChangeMonitor(policy)
+        assert monitor.record_update()  # consumes the whole budget
+        assert not monitor.record_update()  # deferred
+        policy.replenish()
+        assert monitor.record_update()  # affordable again
+
+    def test_cost_estimate_tracks_observations(self):
+        from repro.distributed import CostAwarePolicy
+
+        policy = CostAwarePolicy(
+            UpdateCountPolicy(1), budget_seconds=100.0,
+            initial_cost_estimate=1.0,
+        )
+        policy.record_cost(3.0)
+        policy.record_cost(5.0)
+        # observed costs replace the initial prior: mean of (3, 5)
+        assert policy.projected_cost == pytest.approx(4.0)
+
+    def test_cheap_recomputes_fire_more_often(self):
+        """The paper's statement: low overhead -> more frequent
+        recomputation, and vice versa."""
+        from repro.distributed import CostAwarePolicy
+
+        def run(cost):
+            policy = CostAwarePolicy(
+                UpdateCountPolicy(1), budget_seconds=10.0,
+                initial_cost_estimate=cost,
+            )
+            monitor = ChangeMonitor(policy)
+            return sum(monitor.record_update() for _ in range(20))
+
+        assert run(cost=1.0) > run(cost=5.0)
+
+    def test_inner_policy_still_gates(self):
+        from repro.distributed import CostAwarePolicy
+
+        policy = CostAwarePolicy(
+            UpdateCountPolicy(10), budget_seconds=1e9,
+        )
+        monitor = ChangeMonitor(policy)
+        fired = [monitor.record_update() for _ in range(9)]
+        assert not any(fired)  # data hasn't changed enough yet
+
+    def test_seed_passes_through_to_inner(self, rng):
+        from repro.distributed import CostAwarePolicy
+
+        inner = DriftPolicy(threshold=0.4)
+        policy = CostAwarePolicy(inner, budget_seconds=100.0)
+        baseline = rng.normal(size=(100, 2))
+        policy.seed(baseline)
+        monitor = ChangeMonitor(policy)
+        assert not monitor.record_update(new=baseline + 0.01)
+        assert monitor.record_update(new=baseline + 2.0)
+
+    def test_invalid_params(self):
+        from repro.distributed import CostAwarePolicy
+
+        with pytest.raises(ValueError):
+            CostAwarePolicy(UpdateCountPolicy(1), budget_seconds=0.0)
+        with pytest.raises(ValueError):
+            CostAwarePolicy(
+                UpdateCountPolicy(1), budget_seconds=1.0,
+                initial_cost_estimate=0.0,
+            )

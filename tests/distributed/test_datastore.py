@@ -1,0 +1,212 @@
+"""Tests for versioned objects, the simulated network and home data
+stores."""
+
+import numpy as np
+import pytest
+
+from repro.distributed import (
+    DeltaResponse,
+    FullResponse,
+    HomeDataStore,
+    NetworkLink,
+    SimClock,
+    SimulatedNetwork,
+    VersionedObject,
+    decode_payload,
+    encode_payload,
+)
+
+
+class TestVersionedObject:
+    def test_payload_roundtrip(self):
+        value = {"a": np.arange(5), "b": "text"}
+        obj = VersionedObject("o", 1, encode_payload(value))
+        decoded = obj.payload()
+        assert np.array_equal(decoded["a"], value["a"])
+        assert decoded["b"] == "text"
+
+    def test_size_is_byte_length(self):
+        obj = VersionedObject("o", 1, b"12345")
+        assert obj.size == 5
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            VersionedObject("", 1, b"")
+        with pytest.raises(ValueError):
+            VersionedObject("o", 0, b"")
+
+
+class TestSimClock:
+    def test_advance(self):
+        clock = SimClock()
+        clock.advance(1.5)
+        clock.advance(0.5)
+        assert clock.now == 2.0
+
+    def test_no_backwards(self):
+        with pytest.raises(ValueError):
+            SimClock().advance(-1.0)
+
+
+class TestSimulatedNetwork:
+    def test_transfer_accounting(self):
+        net = SimulatedNetwork(
+            default_link=NetworkLink(latency_s=0.01, bandwidth_bps=1000)
+        )
+        net.register("a")
+        net.register("b")
+        seconds = net.transfer("a", "b", 1000, tag="test")
+        assert seconds == pytest.approx(0.01 + 1.0)
+        assert net.total_bytes("test") == 1000
+        assert net.total_messages() == 1
+        assert net.clock.now == pytest.approx(seconds)
+
+    def test_local_transfer_free(self):
+        net = SimulatedNetwork()
+        net.register("a")
+        assert net.transfer("a", "a", 10**9) == 0.0
+        assert net.total_messages() == 0
+
+    def test_per_link_configuration(self):
+        net = SimulatedNetwork()
+        for n in ("a", "b", "c"):
+            net.register(n)
+        slow = NetworkLink(latency_s=1.0, bandwidth_bps=10)
+        net.set_link("a", "b", slow)
+        assert net.transfer("a", "b", 100) > net.transfer("a", "c", 100)
+
+    def test_link_symmetric(self):
+        net = SimulatedNetwork()
+        net.register("a")
+        net.register("b")
+        net.set_link("a", "b", NetworkLink(latency_s=5.0))
+        assert net.link("b", "a").latency_s == 5.0
+
+    def test_unknown_node_rejected(self):
+        net = SimulatedNetwork()
+        net.register("a")
+        with pytest.raises(KeyError):
+            net.transfer("a", "ghost", 10)
+
+    def test_duplicate_registration_rejected(self):
+        net = SimulatedNetwork()
+        net.register("a")
+        with pytest.raises(ValueError, match="already"):
+            net.register("a")
+
+    def test_reset_accounting_keeps_clock(self):
+        net = SimulatedNetwork()
+        net.register("a")
+        net.register("b")
+        net.transfer("a", "b", 100)
+        t = net.clock.now
+        net.reset_accounting()
+        assert net.total_messages() == 0
+        assert net.clock.now == t
+
+
+class TestHomeDataStore:
+    @pytest.fixture
+    def store(self):
+        return HomeDataStore("store", history_depth=3)
+
+    def test_versions_monotonic(self, store):
+        assert store.put("o", [1]).version == 1
+        assert store.put("o", [2]).version == 2
+        assert store.current_version("o") == 2
+
+    def test_get_unknown_object(self, store):
+        with pytest.raises(KeyError):
+            store.current("ghost")
+
+    def test_first_get_is_full(self, store):
+        store.put("o", list(range(100)))
+        response = store.get("o")
+        assert isinstance(response, FullResponse)
+        assert decode_payload(response.obj.data) == list(range(100))
+
+    def test_delta_served_for_small_change(self, store):
+        data = np.zeros((500, 4))
+        store.put("o", data)
+        data2 = data.copy()
+        data2[0, 0] = 1.0
+        store.put("o", data2)
+        response = store.get("o", client_version=1)
+        assert isinstance(response, DeltaResponse)
+        assert response.wire_size < store.current("o").size / 10
+
+    def test_full_served_when_delta_too_big(self):
+        store = HomeDataStore(delta_threshold=0.5)
+        rng = np.random.default_rng(0)
+        store.put("o", rng.normal(size=1000))
+        store.put("o", rng.normal(size=1000))  # complete rewrite
+        response = store.get("o", client_version=1)
+        assert isinstance(response, FullResponse)
+
+    def test_same_version_returns_empty_delta(self, store):
+        store.put("o", [1, 2, 3])
+        response = store.get("o", client_version=1)
+        assert isinstance(response, DeltaResponse)
+        assert response.delta.size < 20
+
+    def test_client_ahead_of_store_rejected(self, store):
+        store.put("o", [1])
+        with pytest.raises(ValueError, match="current"):
+            store.get("o", client_version=5)
+
+    def test_history_depth_limits_delta_chain(self, store):
+        data = np.zeros(1000)
+        for i in range(6):
+            data = data.copy()
+            data[i] = float(i)
+            store.put("o", data)
+        # history_depth=3: deltas exist for versions 3,4,5 but not 1,2
+        assert store.available_delta("o", 5) is not None
+        assert store.available_delta("o", 3) is not None
+        assert store.available_delta("o", 1) is None
+        # a client on version 1 falls back to a full copy
+        assert isinstance(store.get("o", client_version=1), FullResponse)
+
+    def test_stats_track_savings(self, store):
+        data = np.zeros((300, 5))
+        store.put("o", data)
+        store.get("o")
+        data2 = data.copy()
+        data2[1, 1] = 9.0
+        store.put("o", data2)
+        store.get("o", client_version=1)
+        assert store.stats["full_served"] == 1
+        assert store.stats["delta_served"] == 1
+        assert store.stats["bytes_saved"] > 0
+
+    def test_listener_invoked_with_old_and_new(self, store):
+        events = []
+        store.add_listener(lambda s, old, new: events.append((old, new)))
+        store.put("o", [1])
+        store.put("o", [2])
+        assert events[0][0] is None
+        assert events[1][0].version == 1
+        assert events[1][1].version == 2
+
+    def test_remove_listener(self, store):
+        events = []
+        listener = lambda s, old, new: events.append(1)
+        store.add_listener(listener)
+        store.put("o", [1])
+        store.remove_listener(listener)
+        store.put("o", [2])
+        assert len(events) == 1
+
+    def test_multiple_objects_independent(self, store):
+        store.put("a", [1])
+        store.put("b", [2])
+        store.put("a", [3])
+        assert store.current_version("a") == 2
+        assert store.current_version("b") == 1
+        assert store.object_names() == ["a", "b"]
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            HomeDataStore(history_depth=0)
+        with pytest.raises(ValueError):
+            HomeDataStore(delta_threshold=0.0)

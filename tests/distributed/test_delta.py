@@ -1,0 +1,126 @@
+"""Tests and property tests for binary delta encoding."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distributed import apply_delta, compute_delta
+from repro.distributed.objects import encode_payload
+
+
+def roundtrip(old: bytes, new: bytes, block_size: int = 64) -> int:
+    delta = compute_delta("o", 1, 2, old, new, block_size=block_size)
+    assert apply_delta(old, delta) == new
+    return delta.size
+
+
+class TestCorrectness:
+    def test_identical_content(self):
+        data = b"x" * 1000
+        assert roundtrip(data, data) < 20
+
+    def test_empty_to_content(self):
+        assert roundtrip(b"", b"hello world") >= len(b"hello world")
+
+    def test_content_to_empty(self):
+        delta = compute_delta("o", 1, 2, b"hello", b"")
+        assert apply_delta(b"hello", delta) == b""
+
+    def test_single_byte_change(self):
+        old = bytes(range(256)) * 8
+        new = bytearray(old)
+        new[100] ^= 0xFF
+        roundtrip(old, bytes(new))
+
+    def test_insertion_in_middle(self):
+        old = b"A" * 300 + b"B" * 300
+        new = b"A" * 300 + b"XYZ" + b"B" * 300
+        roundtrip(old, new)
+
+    def test_deletion_in_middle(self):
+        old = b"A" * 300 + b"DELETE" + b"B" * 300
+        new = b"A" * 300 + b"B" * 300
+        roundtrip(old, new)
+
+    def test_complete_rewrite(self):
+        rng = np.random.default_rng(0)
+        old = rng.integers(0, 256, 500, dtype=np.uint8).tobytes()
+        new = rng.integers(0, 256, 500, dtype=np.uint8).tobytes()
+        roundtrip(old, new)
+
+    def test_block_size_validation(self):
+        with pytest.raises(ValueError, match="block_size"):
+            compute_delta("o", 1, 2, b"a", b"b", block_size=4)
+
+    def test_wrong_base_detected(self):
+        old = b"A" * 1000
+        new = b"A" * 900 + b"B" * 100
+        delta = compute_delta("o", 1, 2, old, new)
+        with pytest.raises(ValueError):
+            apply_delta(b"short", delta)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.binary(max_size=2000), st.binary(max_size=2000))
+    def test_property_roundtrip_any_bytes(self, old, new):
+        delta = compute_delta("o", 1, 2, old, new, block_size=16)
+        assert apply_delta(old, delta) == new
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.binary(min_size=200, max_size=2000), st.integers(0, 199))
+    def test_property_small_edit_small_delta(self, old, position):
+        new = bytearray(old)
+        new[position] ^= 0x5A
+        delta = compute_delta("o", 1, 2, old, bytes(new), block_size=16)
+        # a one-byte edit never costs more than a few blocks of delta
+        assert delta.size < 200
+
+
+class TestEfficiency:
+    def test_delta_much_smaller_for_localized_update(self):
+        """The paper's core claim: d(o1, e, k) 'may be considerably
+        smaller than version [k] of o1'."""
+        rng = np.random.default_rng(0)
+        data = rng.normal(size=(2000, 10))
+        old = encode_payload(data)
+        updated = data.copy()
+        updated[5, 3] += 1.0  # one cell of a 20k-cell dataset
+        new = encode_payload(updated)
+        delta = compute_delta("dataset", 1, 2, old, new)
+        assert delta.size < len(new) / 50
+        assert delta.compression_ratio < 0.02
+
+    def test_delta_grows_with_update_size(self):
+        rng = np.random.default_rng(1)
+        data = rng.normal(size=(1000, 10))
+        old = encode_payload(data)
+        sizes = []
+        for touched in (1, 10, 100, 1000):
+            updated = data.copy()
+            updated[:touched] += 1.0
+            delta = compute_delta(
+                "d", 1, 2, old, encode_payload(updated)
+            )
+            sizes.append(delta.size)
+        assert sizes == sorted(sizes)
+        assert sizes[-1] > sizes[0] * 10
+
+    def test_append_only_update_cheap(self):
+        old = b"L" * 10_000
+        new = old + b"new tail data"
+        delta = compute_delta("log", 1, 2, old, new)
+        assert delta.size < 100
+
+    def test_wire_encoding_size_consistent(self):
+        old = b"A" * 500
+        new = b"A" * 250 + b"B" * 10 + b"A" * 250
+        delta = compute_delta("o", 1, 2, old, new)
+        assert len(delta.to_bytes()) == delta.size
+
+    def test_copy_ops_coalesced(self):
+        # an unchanged prefix should be one big COPY, not many
+        old = bytes(range(256)) * 40
+        new = old + b"!"
+        delta = compute_delta("o", 1, 2, old, new)
+        copy_ops = [op for op in delta.ops if op[0] == 0]
+        assert len(copy_ops) == 1

@@ -1,0 +1,174 @@
+"""Tests for lease-based push subscriptions."""
+
+import numpy as np
+import pytest
+
+from repro.distributed import (
+    HomeDataStore,
+    LeaseManager,
+    SimulatedNetwork,
+    UpdateNotice,
+)
+
+
+@pytest.fixture
+def setup():
+    net = SimulatedNetwork()
+    store = HomeDataStore("store", clock=net.clock)
+    net.register("store", store)
+    net.register("client")
+    manager = LeaseManager(store, net, default_duration=100.0)
+    received = []
+
+    def callback(kind, name, version, body):
+        received.append((kind, name, version, body))
+
+    return net, store, manager, callback, received
+
+
+class TestSubscription:
+    def test_push_full_on_update(self, setup):
+        net, store, manager, callback, received = setup
+        store.put("o", [1, 2, 3])
+        manager.subscribe("client", "o", callback, mode="full")
+        store.put("o", [4, 5, 6])
+        assert len(received) == 1
+        kind, name, version, body = received[0]
+        assert kind == "full" and version == 2
+        assert body.payload() == [4, 5, 6]
+
+    def test_push_delta_after_known_version(self, setup):
+        net, store, manager, callback, received = setup
+        data = np.zeros((300, 4))
+        store.put("o", data)
+        manager.subscribe("client", "o", callback, mode="delta")
+        manager.record_client_version("client", "o", 1)
+        data2 = data.copy()
+        data2[0, 0] = 1.0
+        store.put("o", data2)
+        kind, _, version, delta = received[0]
+        assert kind == "delta" and version == 2
+        assert delta.base_version == 1
+
+    def test_first_delta_push_without_known_version_is_full(self, setup):
+        net, store, manager, callback, received = setup
+        store.put("o", [1])
+        manager.subscribe("client", "o", callback, mode="delta")
+        store.put("o", [2])
+        assert received[0][0] == "full"
+
+    def test_consecutive_delta_pushes_track_version(self, setup):
+        net, store, manager, callback, received = setup
+        data = np.zeros(500)
+        store.put("o", data)
+        manager.subscribe("client", "o", callback, mode="delta")
+        manager.record_client_version("client", "o", 1)
+        for i in range(3):
+            data = data.copy()
+            data[i] = 1.0
+            store.put("o", data)
+        kinds = [r[0] for r in received]
+        assert kinds == ["delta", "delta", "delta"]
+        bases = [r[3].base_version for r in received]
+        assert bases == [1, 2, 3]
+
+    def test_notify_mode_sends_metadata_only(self, setup):
+        net, store, manager, callback, received = setup
+        store.put("o", np.zeros(1000))
+        manager.subscribe("client", "o", callback, mode="notify")
+        data = np.zeros(1000)
+        data[0] = 5.0
+        store.put("o", data)
+        kind, _, version, notice = received[0]
+        assert kind == "notify"
+        assert isinstance(notice, UpdateNotice)
+        assert notice.new_version == 2
+        assert notice.change_bytes > 0
+        # notify messages are tiny
+        assert net.total_bytes("push-notify") < 100
+
+    def test_invalid_mode(self, setup):
+        _, _, manager, callback, _ = setup
+        with pytest.raises(ValueError, match="mode"):
+            manager.subscribe("client", "o", callback, mode="sometimes")
+
+    def test_unrelated_object_not_pushed(self, setup):
+        net, store, manager, callback, received = setup
+        store.put("o", [1])
+        manager.subscribe("client", "o", callback, mode="full")
+        store.put("other", [2])
+        assert received == []
+
+
+class TestLeaseLifecycle:
+    def test_expired_lease_not_pushed(self, setup):
+        net, store, manager, callback, received = setup
+        store.put("o", [1])
+        manager.subscribe("client", "o", callback, mode="full", duration=10.0)
+        net.clock.advance(20.0)
+        store.put("o", [2])
+        assert received == []
+        assert manager.stats["skipped_expired"] == 1
+
+    def test_renewal_extends_lease(self, setup):
+        net, store, manager, callback, received = setup
+        store.put("o", [1])
+        manager.subscribe("client", "o", callback, mode="full", duration=10.0)
+        net.clock.advance(8.0)
+        lease = manager.renew("client", "o", duration=50.0)
+        assert lease.renewals == 1
+        net.clock.advance(30.0)
+        store.put("o", [2])
+        assert len(received) == 1
+
+    def test_cancel_stops_pushes(self, setup):
+        net, store, manager, callback, received = setup
+        store.put("o", [1])
+        manager.subscribe("client", "o", callback, mode="full")
+        manager.cancel("client", "o")
+        store.put("o", [2])
+        assert received == []
+
+    def test_renew_unknown_lease(self, setup):
+        _, _, manager, _, _ = setup
+        with pytest.raises(KeyError, match="no lease"):
+            manager.renew("client", "ghost")
+
+    def test_active_leases_listing(self, setup):
+        net, store, manager, callback, _ = setup
+        manager.subscribe("client", "a", callback, duration=10.0)
+        manager.subscribe("client", "b", callback, duration=100.0)
+        net.clock.advance(50.0)
+        active = manager.active_leases()
+        assert [l.object_name for l in active] == ["b"]
+
+    def test_resubscribe_replaces_lease(self, setup):
+        net, store, manager, callback, received = setup
+        store.put("o", [1])
+        manager.subscribe("client", "o", callback, mode="notify")
+        manager.subscribe("client", "o", callback, mode="full")
+        store.put("o", [2])
+        assert [r[0] for r in received] == ["full"]
+
+
+class TestBandwidthComparison:
+    def test_delta_mode_cheaper_than_full_mode(self):
+        """Push-delta saves bandwidth over push-full for small updates
+        to large objects — the Section III efficiency claim."""
+        results = {}
+        for mode in ("full", "delta"):
+            net = SimulatedNetwork()
+            store = HomeDataStore("store", clock=net.clock)
+            net.register("store", store)
+            net.register("client")
+            manager = LeaseManager(store, net)
+            data = np.zeros((1000, 8))
+            store.put("o", data)
+            manager.subscribe("client", "o", lambda *a: None, mode=mode)
+            manager.record_client_version("client", "o", 1)
+            for i in range(5):
+                data = data.copy()
+                data[i, 0] = float(i)
+                store.put("o", data)
+            results[mode] = net.total_bytes()
+        assert results["delta"] < results["full"] / 20

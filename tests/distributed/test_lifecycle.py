@@ -1,0 +1,126 @@
+"""Tests for the model lifecycle manager."""
+
+import numpy as np
+import pytest
+
+from repro.core import GraphEvaluator, TransformerEstimatorGraph
+from repro.distributed import (
+    DriftPolicy,
+    HomeDataStore,
+    ModelLifecycleManager,
+    UpdateCountPolicy,
+)
+from repro.ml.linear import LinearRegression, RidgeRegression
+from repro.ml.metrics import root_mean_squared_error
+from repro.ml.model_selection import KFold
+from repro.ml.preprocessing import NoOp, StandardScaler
+
+
+def small_evaluator():
+    graph = TransformerEstimatorGraph()
+    graph.add_feature_scalers([StandardScaler(), NoOp()])
+    graph.add_regression_models(
+        [LinearRegression(), RidgeRegression(alpha=1.0)]
+    )
+    return GraphEvaluator(graph, cv=KFold(2, random_state=0), metric="rmse")
+
+
+@pytest.fixture
+def data(rng):
+    X = rng.normal(size=(120, 4))
+    y = X @ np.array([1.0, -0.5, 2.0, 0.0])
+    return X, y
+
+
+class TestLifecycle:
+    def test_initialize_trains_first_generation(self, data):
+        X, y = data
+        manager = ModelLifecycleManager(
+            small_evaluator(), UpdateCountPolicy(3)
+        )
+        record = manager.initialize(X, y)
+        assert record.generation == 1
+        assert manager.generations == 1
+        assert manager.predict(X[:4]).shape == (4,)
+
+    def test_retrains_when_policy_fires(self, data, rng):
+        X, y = data
+        manager = ModelLifecycleManager(
+            small_evaluator(), UpdateCountPolicy(2)
+        )
+        manager.initialize(X, y)
+        fired = []
+        for i in range(4):
+            X = np.vstack([X, rng.normal(size=(5, 4))])
+            y = np.append(y, rng.normal(size=5))
+            fired.append(manager.observe_update(X, y))
+        assert fired == [False, True, False, True]
+        assert manager.generations == 3  # initial + 2 retrains
+
+    def test_models_archived_in_store(self, data):
+        X, y = data
+        store = HomeDataStore("model-store")
+        manager = ModelLifecycleManager(
+            small_evaluator(),
+            UpdateCountPolicy(1),
+            model_store=store,
+            model_name="regressor",
+        )
+        manager.initialize(X, y)
+        manager.observe_update(X, y)
+        assert store.current_version("regressor") == 2
+        # an archived generation is a usable pipeline
+        archived = store.current("regressor").payload()
+        assert archived.predict(X[:3]).shape == (3,)
+        assert manager.history[-1].store_version == 2
+
+    def test_retrain_adapts_to_concept_drift(self, rng):
+        """Section II's motivation: the retrained model recovers accuracy
+        that a frozen model loses under drift."""
+        coef = np.array([1.0, 1.0, 0.0])
+        X = rng.normal(size=(150, 3))
+        y = X @ coef
+        manager = ModelLifecycleManager(
+            small_evaluator(), DriftPolicy(threshold=0.4)
+        )
+        manager.initialize(X, y)
+        frozen = manager.active_model
+        # drift: inputs shift and the concept changes
+        X_new = rng.normal(size=(150, 3)) + 1.5
+        coef_new = np.array([-1.0, 2.0, 1.0])
+        y_new = X_new @ coef_new
+        assert manager.observe_update(X_new, y_new)  # drift fires
+        fresh_err = root_mean_squared_error(
+            y_new, manager.predict(X_new)
+        )
+        frozen_err = root_mean_squared_error(y_new, frozen.predict(X_new))
+        assert fresh_err < frozen_err / 5
+
+    def test_score_trajectory(self, data, rng):
+        X, y = data
+        manager = ModelLifecycleManager(
+            small_evaluator(), UpdateCountPolicy(1)
+        )
+        manager.initialize(X, y)
+        manager.observe_update(X, y)
+        trajectory = manager.score_trajectory()
+        assert len(trajectory) == 2
+        assert all(np.isfinite(s) for s in trajectory)
+
+    def test_observe_before_initialize_raises(self, data):
+        X, y = data
+        manager = ModelLifecycleManager(
+            small_evaluator(), UpdateCountPolicy(1)
+        )
+        with pytest.raises(RuntimeError, match="initialize"):
+            manager.observe_update(X, y)
+
+    def test_current_record(self, data):
+        X, y = data
+        manager = ModelLifecycleManager(
+            small_evaluator(), UpdateCountPolicy(5)
+        )
+        manager.initialize(X, y)
+        record = manager.current_record()
+        assert record.generation == 1
+        assert "Input ->" in record.best_path

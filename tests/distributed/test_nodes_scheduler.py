@@ -1,0 +1,190 @@
+"""Tests for compute nodes, pull synchronization and the scheduler."""
+
+import numpy as np
+import pytest
+
+from repro.core import GraphEvaluator, TransformerEstimatorGraph
+from repro.distributed import (
+    ClientNode,
+    CloudAnalyticsServer,
+    DistributedScheduler,
+    HomeDataStore,
+    LeaseManager,
+    SimulatedNetwork,
+)
+from repro.ml.linear import LinearRegression
+from repro.ml.model_selection import KFold
+from repro.ml.preprocessing import NoOp, StandardScaler
+from repro.ml.tree import DecisionTreeRegressor
+
+
+@pytest.fixture
+def world():
+    net = SimulatedNetwork()
+    store = HomeDataStore("store", clock=net.clock)
+    net.register("store", store)
+    client = ClientNode("client", net)
+    server = CloudAnalyticsServer("cloud", net)
+    return net, store, client, server
+
+
+@pytest.fixture
+def evaluator_and_jobs(regression_data):
+    X, y = regression_data
+    graph = TransformerEstimatorGraph()
+    graph.add_feature_scalers([StandardScaler(), NoOp()])
+    graph.add_regression_models(
+        [LinearRegression(), DecisionTreeRegressor(max_depth=3)]
+    )
+    evaluator = GraphEvaluator(graph, cv=KFold(2, random_state=0))
+    jobs = list(evaluator.iter_jobs(X, y))
+    return evaluator, jobs, X, y
+
+
+class TestNodeSync:
+    def test_first_pull_full_then_delta(self, world):
+        net, store, client, _ = world
+        data = np.zeros((400, 5))
+        store.put("d", data)
+        assert np.array_equal(client.pull(store, "d"), data)
+        data2 = data.copy()
+        data2[3, 3] = 1.0
+        store.put("d", data2)
+        assert np.array_equal(client.pull(store, "d"), data2)
+        assert net.total_messages("pull-full") == 1
+        assert net.total_messages("pull-delta") == 1
+        assert net.total_bytes("pull-delta") < net.total_bytes("pull-full") / 20
+
+    def test_cached_version_tracked(self, world):
+        _, store, client, _ = world
+        store.put("d", [1])
+        assert client.cached_version("d") is None
+        client.pull(store, "d")
+        assert client.cached_version("d") == 1
+
+    def test_disconnected_pull_raises_but_cache_works(self, world):
+        _, store, client, _ = world
+        store.put("d", [1, 2])
+        client.pull(store, "d")
+        client.connected = False
+        with pytest.raises(ConnectionError, match="disconnected"):
+            client.pull(store, "d")
+        # the paper's offline scenario: cached data remains usable
+        assert client.payload("d") == [1, 2]
+
+    def test_delta_without_base_rejected(self, world):
+        _, store, client, _ = world
+        from repro.distributed import compute_delta
+
+        delta = compute_delta("d", 1, 2, b"a", b"b")
+        with pytest.raises(KeyError, match="base version"):
+            client.apply_delta_update("d", delta)
+
+    def test_push_delivery_updates_cache(self, world):
+        net, store, client, _ = world
+        manager = LeaseManager(store, net)
+        data = np.zeros(300)
+        store.put("d", data)
+        client.pull(store, "d")
+        manager.subscribe("client", "d", client.accept_push, mode="delta")
+        manager.record_client_version("client", "d", 1)
+        data2 = data.copy()
+        data2[0] = 7.0
+        store.put("d", data2)
+        assert np.array_equal(client.payload("d"), data2)
+        assert client.cached_version("d") == 2
+
+    def test_unknown_payload_raises(self, world):
+        _, _, client, _ = world
+        with pytest.raises(KeyError, match="no copy"):
+            client.payload("ghost")
+
+    def test_invalid_compute_speed(self, world):
+        net = world[0]
+        with pytest.raises(ValueError):
+            ClientNode("bad", net, compute_speed=0.0)
+
+
+class TestJobExecution:
+    def test_execution_records_and_busy_time(self, world, evaluator_and_jobs):
+        _, _, client, _ = world
+        evaluator, jobs, X, y = evaluator_and_jobs
+        result = client.execute_job(evaluator, jobs[0], X, y)
+        assert result.score > 0.0
+        assert client.busy_seconds > 0.0
+        assert len(client.executions) == 1
+
+    def test_faster_node_lower_simulated_time(self, world, evaluator_and_jobs):
+        _, _, client, server = world
+        evaluator, jobs, X, y = evaluator_and_jobs
+        client.execute_job(evaluator, jobs[0], X, y)
+        server.execute_job(evaluator, jobs[0], X, y)
+        c = client.executions[0]
+        s = server.executions[0]
+        # cloud speed 4x: simulated time ~ real/4
+        assert s.simulated_seconds == pytest.approx(s.real_seconds / 4.0)
+        assert c.simulated_seconds == pytest.approx(c.real_seconds)
+
+
+class TestScheduler:
+    def test_all_jobs_completed(self, world, evaluator_and_jobs):
+        _, _, client, server = world
+        evaluator, jobs, X, y = evaluator_and_jobs
+        outcome = DistributedScheduler([client, server]).execute(
+            evaluator, jobs, X, y
+        )
+        assert len(outcome.results) == len(jobs)
+        assigned = [k for keys in outcome.assignment.values() for k in keys]
+        assert sorted(assigned) == sorted(j.key for j in jobs)
+
+    def test_round_robin_even_counts(self, world, evaluator_and_jobs):
+        _, _, client, server = world
+        evaluator, jobs, X, y = evaluator_and_jobs
+        outcome = DistributedScheduler(
+            [client, server], policy="round_robin"
+        ).execute(evaluator, jobs, X, y)
+        counts = [len(v) for v in outcome.assignment.values()]
+        assert max(counts) - min(counts) <= 1
+
+    def test_weighted_favors_fast_node(self, regression_data):
+        # many homogeneous jobs: the 4x server should take ~4x the jobs
+        X, y = regression_data
+        graph = TransformerEstimatorGraph()
+        graph.add_feature_scalers([NoOp()])
+        graph.add_regression_models([LinearRegression()])
+        evaluator = GraphEvaluator(graph, cv=KFold(2, random_state=0))
+        jobs = list(evaluator.iter_jobs(X, y)) * 20
+        net = SimulatedNetwork()
+        slow = ClientNode("slow", net, compute_speed=1.0)
+        fast = CloudAnalyticsServer("fast", net, compute_speed=4.0)
+        outcome = DistributedScheduler(
+            [slow, fast], policy="weighted"
+        ).execute(evaluator, jobs, X, y)
+        assert len(outcome.assignment["fast"]) > len(outcome.assignment["slow"])
+
+    def test_makespan_is_max_busy(self, world, evaluator_and_jobs):
+        _, _, client, server = world
+        evaluator, jobs, X, y = evaluator_and_jobs
+        outcome = DistributedScheduler([client, server]).execute(
+            evaluator, jobs, X, y
+        )
+        assert outcome.makespan_seconds == pytest.approx(
+            max(outcome.node_busy_seconds.values())
+        )
+        assert outcome.total_compute_seconds >= outcome.makespan_seconds
+
+    def test_empty_nodes_rejected(self):
+        with pytest.raises(ValueError, match="at least one node"):
+            DistributedScheduler([])
+
+    def test_duplicate_node_names_rejected(self, world):
+        net, _, client, _ = world
+        net2 = SimulatedNetwork()
+        other = ClientNode("client", net2)
+        with pytest.raises(ValueError, match="unique"):
+            DistributedScheduler([client, other])
+
+    def test_invalid_policy(self, world):
+        _, _, client, _ = world
+        with pytest.raises(ValueError, match="policy"):
+            DistributedScheduler([client], policy="random")

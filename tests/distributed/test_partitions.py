@@ -1,0 +1,88 @@
+"""Failure-injection tests: network partitions across the stack."""
+
+import numpy as np
+import pytest
+
+from repro.distributed import (
+    ClientNode,
+    HomeDataStore,
+    LeaseManager,
+    SimulatedNetwork,
+)
+
+
+@pytest.fixture
+def world():
+    net = SimulatedNetwork()
+    store = HomeDataStore("store", clock=net.clock)
+    net.register("store", store)
+    client = ClientNode("client", net)
+    return net, store, client
+
+
+class TestPartitionPrimitive:
+    def test_partition_blocks_transfers_both_ways(self, world):
+        net, _, _ = world
+        net.partition("client", "store")
+        with pytest.raises(ConnectionError, match="partition"):
+            net.transfer("client", "store", 10)
+        with pytest.raises(ConnectionError, match="partition"):
+            net.transfer("store", "client", 10)
+
+    def test_heal_restores(self, world):
+        net, _, _ = world
+        net.partition("client", "store")
+        net.heal("client", "store")
+        assert net.transfer("client", "store", 10) > 0.0
+
+    def test_reachable_reports_state(self, world):
+        net, _, _ = world
+        assert net.reachable("client", "store")
+        net.partition("client", "store")
+        assert not net.reachable("client", "store")
+
+    def test_other_links_unaffected(self, world):
+        net, _, _ = world
+        net.register("other")
+        net.partition("client", "store")
+        assert net.transfer("other", "store", 10) > 0.0
+
+    def test_unknown_node_rejected(self, world):
+        net, _, _ = world
+        with pytest.raises(KeyError):
+            net.partition("client", "mars")
+
+
+class TestPartitionedOperations:
+    def test_pull_fails_under_partition_cache_survives(self, world):
+        net, store, client = world
+        store.put("o", [1, 2])
+        client.pull(store, "o")
+        net.partition("client", "store")
+        with pytest.raises(ConnectionError):
+            client.pull(store, "o")
+        # the paper's offline mode: the cached copy stays usable
+        assert client.payload("o") == [1, 2]
+
+    def test_pull_recovers_after_heal_with_delta(self, world):
+        net, store, client = world
+        data = np.zeros(500)
+        store.put("o", data)
+        client.pull(store, "o")
+        net.partition("client", "store")
+        data2 = data.copy()
+        data2[0] = 1.0
+        store.put("o", data2)
+        net.heal("client", "store")
+        assert np.array_equal(client.pull(store, "o"), data2)
+        # the catch-up used a delta, not a full copy
+        assert net.total_messages("pull-delta") == 1
+
+    def test_push_to_partitioned_client_raises(self, world):
+        net, store, client = world
+        manager = LeaseManager(store, net)
+        store.put("o", [1])
+        manager.subscribe("client", "o", client.accept_push, mode="full")
+        net.partition("client", "store")
+        with pytest.raises(ConnectionError):
+            store.put("o", [2])

@@ -1,0 +1,178 @@
+"""Tests for replicated stores, failover and consistency levels."""
+
+import numpy as np
+import pytest
+
+from repro.distributed import (
+    ConsistencyError,
+    HomeDataStore,
+    ReplicatedDataStore,
+    SimulatedNetwork,
+    SiteDownError,
+)
+
+
+@pytest.fixture
+def world():
+    net = SimulatedNetwork()
+    primary = HomeDataStore("us-east", clock=net.clock)
+    replica_1 = HomeDataStore("eu-west", clock=net.clock)
+    replica_2 = HomeDataStore("ap-south", clock=net.clock)
+    for store in (primary, replica_1, replica_2):
+        net.register(store.name, store)
+    net.register("client")
+    replicated = ReplicatedDataStore(
+        primary, [replica_1, replica_2], net, sync_replication=True
+    )
+    return net, replicated
+
+
+class TestReplication:
+    def test_sync_write_reaches_all_replicas(self, world):
+        _, store = world
+        store.put("o", [1, 2, 3])
+        for site in ("us-east", "eu-west", "ap-south"):
+            assert store.version_at(site, "o") == 1
+
+    def test_updates_propagate_versions(self, world):
+        _, store = world
+        store.put("o", [1])
+        store.put("o", [2])
+        store.put("o", [3])
+        for site in ("eu-west", "ap-south"):
+            assert store.version_at(site, "o") == 3
+
+    def test_replication_uses_deltas_for_small_updates(self, world):
+        net, store = world
+        data = np.zeros((800, 6))
+        store.put("big", data)
+        net.reset_accounting()
+        data2 = data.copy()
+        data2[0, 0] = 1.0
+        store.put("big", data2)
+        replicated_bytes = net.total_bytes("replication")
+        full_size = store.primary.current("big").size
+        assert replicated_bytes < full_size  # 2 replicas, still cheaper
+
+    def test_lazy_replication_defers(self):
+        net = SimulatedNetwork()
+        primary = HomeDataStore("p", clock=net.clock)
+        replica = HomeDataStore("r", clock=net.clock)
+        net.register("p", primary)
+        net.register("r", replica)
+        store = ReplicatedDataStore(
+            primary, [replica], net, sync_replication=False
+        )
+        store.put("o", [1])
+        assert store.version_at("r", "o") == 0
+        store.propagate("o")
+        assert store.version_at("r", "o") == 1
+
+    def test_needs_a_replica(self, world):
+        net, store = world
+        with pytest.raises(ValueError, match="replica"):
+            ReplicatedDataStore(store.primary, [], net)
+
+
+class TestFailover:
+    def test_write_fails_over_when_primary_down(self, world):
+        _, store = world
+        store.put("o", [1])
+        store.fail_site("us-east")
+        version = store.put("o", [2])
+        assert version == 2
+        assert store.stats["failovers"] == 1
+        # the surviving replicas hold version 2
+        assert store.version_at("eu-west", "o") == 2
+
+    def test_all_sites_down(self, world):
+        _, store = world
+        for site in ("us-east", "eu-west", "ap-south"):
+            store.fail_site(site)
+        with pytest.raises(SiteDownError):
+            store.put("o", [1])
+        with pytest.raises(SiteDownError):
+            store.read("client", "o")
+
+    def test_failed_site_misses_updates_then_recovers(self, world):
+        _, store = world
+        store.put("o", [1])
+        store.fail_site("eu-west")
+        store.put("o", [2])
+        store.put("o", [3])
+        assert store.version_at("eu-west", "o") == 1
+        store.recover_site("eu-west")
+        assert store.version_at("eu-west", "o") == 3
+        assert store.stats["recoveries"] == 1
+
+    def test_recovery_pulls_new_objects_too(self, world):
+        _, store = world
+        store.fail_site("ap-south")
+        store.put("fresh", [42])
+        store.recover_site("ap-south")
+        assert store.version_at("ap-south", "fresh") == 1
+
+    def test_unknown_site(self, world):
+        _, store = world
+        with pytest.raises(KeyError):
+            store.fail_site("mars")
+
+
+class TestConsistencyLevels:
+    def test_strong_reads_primary(self, world):
+        _, store = world
+        store.put("o", [1])
+        assert store.read("client", "o", consistency="strong") == [1]
+
+    def test_strong_read_survives_primary_failure_if_replica_current(self, world):
+        _, store = world
+        store.put("o", [7])
+        store.fail_site("us-east")
+        assert store.read("client", "o", consistency="strong") == [7]
+
+    def test_monotonic_session_never_goes_backwards(self):
+        # lazy replication: replica lags at v1 while primary is at v2
+        net = SimulatedNetwork()
+        primary = HomeDataStore("p", clock=net.clock)
+        replica = HomeDataStore("r", clock=net.clock)
+        net.register("p", primary)
+        net.register("r", replica)
+        net.register("client")
+        net.register("fresh-client")
+        store = ReplicatedDataStore(
+            primary, [replica], net, sync_replication=False
+        )
+        store.put("o", [1])
+        store.propagate("o")
+        store.put("o", [2])  # replica still at v1
+        # client reads v2 from the primary (strong)
+        assert store.read("client", "o", consistency="strong") == [2]
+        # now the primary fails; only the stale replica is live
+        store.fail_site("p")
+        with pytest.raises(ConsistencyError):
+            store.read("client", "o", consistency="monotonic")
+        # a fresh client without a session floor may read the stale copy
+        assert store.read("fresh-client", "o", consistency="monotonic") == [1]
+
+    def test_eventual_reads_any_live_copy(self):
+        net = SimulatedNetwork()
+        primary = HomeDataStore("p", clock=net.clock)
+        replica = HomeDataStore("r", clock=net.clock)
+        net.register("p", primary)
+        net.register("r", replica)
+        net.register("client")
+        store = ReplicatedDataStore(
+            primary, [replica], net, sync_replication=False
+        )
+        store.put("o", [1])
+        store.propagate("o")
+        store.put("o", [2])
+        store.fail_site("p")
+        # eventual consistency accepts the stale value
+        assert store.read("client", "o", consistency="eventual") == [1]
+
+    def test_invalid_level(self, world):
+        _, store = world
+        store.put("o", [1])
+        with pytest.raises(ValueError, match="consistency"):
+            store.read("client", "o", consistency="linearizable")

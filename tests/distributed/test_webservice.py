@@ -1,0 +1,96 @@
+"""Tests for the simulated AI web services."""
+
+import numpy as np
+import pytest
+
+from repro.distributed import (
+    AnomalyScoringService,
+    ForecastService,
+    ImputationService,
+    SimulatedNetwork,
+    WebServiceRegistry,
+)
+
+
+@pytest.fixture
+def net():
+    network = SimulatedNetwork()
+    network.register("client")
+    return network
+
+
+class TestBilling:
+    def test_free_tier_then_billing(self, net):
+        svc = AnomalyScoringService(
+            "svc", net, cost_per_call=0.05, free_calls=2
+        )
+        r1 = svc.call("client", np.zeros((5, 2)))
+        r2 = svc.call("client", np.zeros((5, 2)))
+        r3 = svc.call("client", np.zeros((5, 2)))
+        assert (r1.cost, r2.cost, r3.cost) == (0.0, 0.0, 0.05)
+        assert not r1.billed and r3.billed
+        assert svc.total_billed == pytest.approx(0.05)
+
+    def test_latency_accounted_on_network(self, net):
+        svc = AnomalyScoringService("svc", net)
+        before = net.total_messages()
+        response = svc.call("client", np.zeros((10, 2)))
+        assert net.total_messages() == before + 2  # request + response
+        assert response.latency_seconds > 0.0
+
+    def test_invalid_construction(self, net):
+        with pytest.raises(ValueError):
+            AnomalyScoringService("s1", net, cost_per_call=-1.0)
+        with pytest.raises(ValueError):
+            AnomalyScoringService("s2", SimulatedNetwork(), free_calls=-1)
+
+
+class TestCapabilities:
+    def test_anomaly_scores_flag_outlier(self, net, rng):
+        svc = AnomalyScoringService("svc", net)
+        X = rng.normal(size=(100, 3))
+        X[0] = 50.0
+        scores = svc.call("client", X).result
+        assert np.argmax(scores) == 0
+        assert scores[0] > 10 * np.median(scores)
+
+    def test_imputation_fills_gaps(self, net):
+        svc = ImputationService("svc", net)
+        X = np.array([[1.0, np.nan], [3.0, 4.0], [5.0, 6.0]])
+        filled = svc.call("client", X).result
+        assert not np.isnan(filled).any()
+        assert filled[0, 1] == pytest.approx(5.0)  # column median
+
+    def test_forecast_tracks_trend(self, net):
+        svc = ForecastService("svc", net, order=3)
+        series = np.arange(50.0)
+        prediction = svc.call("client", series).result
+        assert prediction == pytest.approx(50.0, abs=1.0)
+
+
+class TestRegistry:
+    def test_lookup_by_capability(self, net):
+        registry = WebServiceRegistry()
+        anomaly = AnomalyScoringService("a", net)
+        registry.register("anomaly-scoring", anomaly)
+        assert registry.lookup("anomaly-scoring") is anomaly
+
+    def test_duplicate_capability_rejected(self, net):
+        registry = WebServiceRegistry()
+        registry.register("x", AnomalyScoringService("a", net))
+        with pytest.raises(ValueError, match="already"):
+            registry.register("x", ImputationService("b", net))
+
+    def test_unknown_capability_lists_available(self, net):
+        registry = WebServiceRegistry()
+        registry.register("forecast", ForecastService("f", net))
+        with pytest.raises(KeyError, match="forecast"):
+            registry.lookup("translation")
+
+    def test_total_billed_aggregates(self, net):
+        registry = WebServiceRegistry()
+        svc = AnomalyScoringService("a", net, cost_per_call=1.0, free_calls=0)
+        registry.register("anomaly", svc)
+        svc.call("client", np.zeros((3, 1)))
+        svc.call("client", np.zeros((3, 1)))
+        assert registry.total_billed() == pytest.approx(2.0)

@@ -1,0 +1,199 @@
+"""Integration tests exercising the full system across modules."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    GraphEvaluator,
+    ParamGrid,
+    prepare_regression_graph,
+)
+from repro.darr import DARR, CooperativeEvaluator, run_cooperative_session
+from repro.datasets import make_regression, make_sensor_series
+from repro.distributed import (
+    ChangeMonitor,
+    ClientNode,
+    CloudAnalyticsServer,
+    DistributedScheduler,
+    HomeDataStore,
+    LeaseManager,
+    SimulatedNetwork,
+    UpdateCountPolicy,
+)
+from repro.ml.model_selection import KFold, TimeSeriesSlidingSplit
+from repro.timeseries import make_supervised
+from repro.timeseries.pipeline import build_time_series_graph
+
+
+class TestFig3RegressionGraph:
+    """The paper's canonical Fig. 3 scenario end to end."""
+
+    def test_36_pipelines_evaluated_and_best_selected(self, regression_data):
+        X, y = regression_data
+        graph = prepare_regression_graph(fast=True, k_best=4)
+        evaluator = GraphEvaluator(
+            graph, cv=KFold(3, random_state=0), metric="rmse"
+        )
+        report = evaluator.evaluate(X, y)
+        assert len(report.results) == 36
+        # best model usable on unseen data
+        assert report.best_model.predict(X[:5]).shape == (5,)
+        # best really is the minimum under rmse
+        assert report.best_score == min(r.score for r in report.results)
+
+    def test_param_grid_expands_sweep(self, regression_data):
+        X, y = regression_data
+        graph = prepare_regression_graph(fast=True, k_best=4)
+        grid = ParamGrid({"selectkbest__k": [2, 4]})
+        evaluator = GraphEvaluator(graph, cv=KFold(2, random_state=0))
+        jobs = list(evaluator.iter_jobs(X, y, grid.grid))
+        # 12 paths contain selectkbest (4 scalers x 1 selector x 3 models)
+        # -> those double; the other 24 stay single
+        assert len(jobs) == 24 + 12 * 2
+
+
+class TestDistributedCooperativeScenario:
+    """Fig. 1 + Fig. 2 together: data distribution, change-triggered
+    recompute and cooperative sharing on one simulated deployment."""
+
+    def test_full_lifecycle(self):
+        X, y = make_regression(
+            n_samples=120, n_features=6, random_state=0
+        )
+        net = SimulatedNetwork()
+        store = HomeDataStore("store", clock=net.clock)
+        net.register("store", store)
+        client_a = ClientNode("client-a", net)
+        client_b = ClientNode("client-b", net, compute_speed=0.5)
+        cloud = CloudAnalyticsServer("cloud", net)
+        darr = DARR("darr", net)
+        manager = LeaseManager(store, net)
+
+        # 1. data lands in the home store, clients sync
+        store.put("dataset", {"X": X, "y": y})
+        for node in (client_a, client_b, cloud):
+            payload = node.pull(store, "dataset")
+            assert np.array_equal(payload["X"], X)
+
+        # 2. distributed evaluation fanned out over all three nodes
+        graph = prepare_regression_graph(fast=True, k_best=3)
+        evaluator = GraphEvaluator(
+            graph, cv=KFold(2, random_state=0), metric="rmse"
+        )
+        jobs = list(evaluator.iter_jobs(X, y))
+        scheduler = DistributedScheduler(
+            [client_a, client_b, cloud], policy="weighted"
+        )
+        outcome = scheduler.execute(evaluator, jobs, X, y)
+        assert len(outcome.results) == 36
+        # the cloud (8x the slow client) must absorb the most work
+        assert len(outcome.assignment["cloud"]) >= len(
+            outcome.assignment["client-b"]
+        )
+
+        # 3. publish everything to the DARR; a late client reuses all
+        for job, result in zip(jobs, outcome.results):
+            from repro.darr import AnalyticsResult
+
+            darr.publish(
+                AnalyticsResult.from_pipeline_result(
+                    result, client="cloud", spec=job.spec
+                ),
+                "cloud",
+            )
+        late = CooperativeEvaluator(
+            GraphEvaluator(
+                prepare_regression_graph(fast=True, k_best=3),
+                cv=KFold(2, random_state=0),
+                metric="rmse",
+            ),
+            darr,
+            "client-a",
+        )
+        report = late.evaluate(X, y)
+        assert late.stats.computed == 0
+        assert late.stats.reused == 36
+        assert report.best_path is not None
+
+        # 4. updates accumulate; the change monitor triggers recompute
+        recomputes = []
+        monitor = ChangeMonitor(
+            UpdateCountPolicy(3), recompute=lambda: recomputes.append(1)
+        )
+        manager.subscribe(
+            "client-a", "dataset", client_a.accept_push, mode="delta"
+        )
+        manager.record_client_version(
+            "client-a", "dataset", store.current_version("dataset")
+        )
+        rng = np.random.default_rng(1)
+        for i in range(6):
+            X = np.vstack([X, rng.normal(size=(1, X.shape[1]))])
+            y = np.append(y, rng.normal())
+            store.put("dataset", {"X": X, "y": y})
+            monitor.record_update(size=X.itemsize * X.shape[1])
+        assert len(recomputes) == 2
+        # pushes kept the client's cache current throughout
+        synced = client_a.payload("dataset")
+        assert np.array_equal(synced["X"], X)
+
+    def test_updated_dataset_invalidates_darr_entries(self):
+        X, y = make_regression(n_samples=80, n_features=5, random_state=0)
+        net = SimulatedNetwork()
+        net.register("c1")
+        darr = DARR("darr", net)
+        graph = prepare_regression_graph(fast=True, k_best=3)
+        coop = CooperativeEvaluator(
+            GraphEvaluator(graph, cv=KFold(2, random_state=0)), darr, "c1"
+        )
+        coop.evaluate(X, y)
+        first_computed = coop.stats.computed
+        # the data changes: every spec key changes, nothing is reused
+        X2 = np.vstack([X, X[:1] + 1.0])
+        y2 = np.append(y, 0.0)
+        coop.evaluate(X2, y2)
+        assert coop.stats.computed == first_computed * 2
+        assert coop.stats.reused == 0
+
+
+class TestTimeSeriesEndToEnd:
+    def test_industrial_series_through_fig11_graph(self):
+        series = make_sensor_series(length=220, n_variables=2, random_state=3)
+        X, y = make_supervised(series, history=8)
+        graph = build_time_series_graph(
+            fast=True, include_deep_variants=False
+        )
+        evaluator = GraphEvaluator(
+            graph,
+            cv=TimeSeriesSlidingSplit(n_splits=2, buffer_size=2),
+            metric="rmse",
+        )
+        report = evaluator.evaluate(X, y, refit_best=False)
+        assert len(report.results) == graph.n_pipelines
+        scores = {r.path.split(" -> ")[-1]: r.score for r in report.results}
+        # the structured series is predictable: something must beat Zero
+        assert report.best_score < scores["zero"]
+
+    def test_time_series_results_shareable_through_darr(self):
+        series = make_sensor_series(length=200, n_variables=2, random_state=5)
+        X, y = make_supervised(series, history=6)
+        net = SimulatedNetwork()
+        net.register("c1")
+        net.register("c2")
+        darr = DARR("darr", net)
+        make = lambda c: CooperativeEvaluator(
+            GraphEvaluator(
+                build_time_series_graph(
+                    fast=True, include_deep_variants=False
+                ),
+                cv=TimeSeriesSlidingSplit(n_splits=2, buffer_size=1),
+                metric="rmse",
+            ),
+            darr,
+            c,
+        )
+        first, second = make("c1"), make("c2")
+        first.evaluate(X, y, refit_best=False)
+        second.evaluate(X, y, refit_best=False)
+        assert second.stats.computed == 0
+        assert second.stats.reused == first.stats.computed

@@ -1,0 +1,27 @@
+"""Every example script must run end to end.
+
+The examples are the library's front door; these tests execute each one
+in-process (as ``__main__``-less imports calling ``main()``) so a broken
+example fails CI, with output captured.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted(
+    (Path(__file__).resolve().parents[2] / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize(
+    "script", EXAMPLES, ids=[p.stem for p in EXAMPLES]
+)
+def test_example_runs(script, capsys, monkeypatch):
+    # examples with full (non-fast) budgets run in tens of seconds; shrink
+    # nothing — they are sized to finish quickly enough for CI.
+    runpy.run_path(str(script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert len(out) > 100  # produced a real report

@@ -1,0 +1,136 @@
+"""Tests for the component base contracts."""
+
+import numpy as np
+import pytest
+
+from repro.ml.base import (
+    BaseComponent,
+    NotFittedError,
+    as_1d_array,
+    as_2d_array,
+    check_consistent_length,
+    check_is_fitted,
+    clone,
+)
+from repro.ml.preprocessing import StandardScaler
+from repro.ml.tree import DecisionTreeRegressor
+
+
+class Widget(BaseComponent):
+    def __init__(self, alpha=1.0, beta="x"):
+        self.alpha = alpha
+        self.beta = beta
+
+
+class TestParamIntrospection:
+    def test_get_params_reflects_init(self):
+        assert Widget().get_params() == {"alpha": 1.0, "beta": "x"}
+
+    def test_get_params_after_construction_with_values(self):
+        assert Widget(alpha=3.0, beta="y").get_params() == {
+            "alpha": 3.0,
+            "beta": "y",
+        }
+
+    def test_set_params_roundtrip(self):
+        w = Widget().set_params(alpha=9.0)
+        assert w.alpha == 9.0
+
+    def test_set_params_rejects_unknown(self):
+        with pytest.raises(ValueError, match="invalid parameter"):
+            Widget().set_params(gamma=1)
+
+    def test_set_params_returns_self(self):
+        w = Widget()
+        assert w.set_params(alpha=2.0) is w
+
+    def test_iter_params_sorted(self):
+        names = [name for name, _ in Widget().iter_params()]
+        assert names == sorted(names)
+
+    def test_repr_contains_params(self):
+        text = repr(Widget(alpha=5.0))
+        assert "Widget" in text and "alpha=5.0" in text
+
+    def test_var_kwargs_init_rejected(self):
+        class Bad(BaseComponent):
+            def __init__(self, **kw):
+                pass
+
+        with pytest.raises(TypeError, match="explicit parameters"):
+            Bad().get_params()
+
+
+class TestClone:
+    def test_clone_copies_params(self):
+        w = Widget(alpha=7.0)
+        assert clone(w).alpha == 7.0
+
+    def test_clone_is_new_object(self):
+        w = Widget()
+        assert clone(w) is not w
+
+    def test_clone_drops_fitted_state(self):
+        scaler = StandardScaler().fit([[1.0], [2.0]])
+        copy = clone(scaler)
+        assert copy.mean_ is None
+
+    def test_clone_deep_copies_mutable_params(self):
+        class Holder(BaseComponent):
+            def __init__(self, items=None):
+                self.items = items if items is not None else []
+
+        original = Holder(items=[1, 2])
+        copy = clone(original)
+        copy.items.append(3)
+        assert original.items == [1, 2]
+
+    def test_clone_uses_custom_clone_method(self):
+        class Custom:
+            def clone(self):
+                return "cloned!"
+
+        assert clone(Custom()) == "cloned!"
+
+
+class TestValidators:
+    def test_as_2d_promotes_1d(self):
+        assert as_2d_array([1.0, 2.0]).shape == (2, 1)
+
+    def test_as_2d_rejects_3d(self):
+        with pytest.raises(ValueError, match="1-D or 2-D"):
+            as_2d_array(np.zeros((2, 2, 2)))
+
+    def test_as_2d_rejects_empty(self):
+        with pytest.raises(ValueError, match="empty"):
+            as_2d_array(np.empty((0, 3)))
+
+    def test_as_2d_rejects_nan(self):
+        with pytest.raises(ValueError, match="NaN"):
+            as_2d_array([[1.0, np.nan]])
+
+    def test_as_1d_flattens_column(self):
+        assert as_1d_array(np.ones((4, 1))).shape == (4,)
+
+    def test_as_1d_rejects_matrix(self):
+        with pytest.raises(ValueError, match="1-D"):
+            as_1d_array(np.ones((4, 2)))
+
+    def test_consistent_length_raises(self):
+        with pytest.raises(ValueError, match="inconsistent"):
+            check_consistent_length(np.ones((3, 1)), np.ones(4))
+
+    def test_check_is_fitted(self):
+        with pytest.raises(NotFittedError):
+            check_is_fitted(StandardScaler(), "scale_")
+
+
+class TestMixinScores:
+    def test_regressor_score_is_r2(self, regression_data):
+        X, y = regression_data
+        model = DecisionTreeRegressor(max_depth=8).fit(X, y)
+        assert model.score(X, y) > 0.8
+
+    def test_unfitted_predict_raises(self):
+        with pytest.raises(NotFittedError):
+            DecisionTreeRegressor().predict([[1.0, 2.0]])

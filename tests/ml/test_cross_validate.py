@@ -1,0 +1,235 @@
+"""Tests for the cross_validate loop (paper Fig. 4 semantics)."""
+
+import numpy as np
+import pytest
+
+from repro.ml.linear import LinearRegression, LogisticRegression
+from repro.ml.model_selection import (
+    KFold,
+    TimeSeriesSlidingSplit,
+    cross_validate,
+    resolve_metric,
+)
+from repro.ml.tree import DecisionTreeRegressor
+
+
+class TestResolveMetric:
+    def test_regression_name(self):
+        name, fn, greater = resolve_metric("rmse")
+        assert name == "rmse" and not greater
+        assert fn([1.0], [1.0]) == 0.0
+
+    def test_classification_name(self):
+        name, _, greater = resolve_metric("f1-score")
+        assert name == "f1-score" and greater
+
+    def test_callable_passthrough(self):
+        def my_metric(y, p):
+            return 1.0
+
+        name, fn, greater = resolve_metric(my_metric)
+        assert name == "my_metric" and greater and fn(None, None) == 1.0
+
+    def test_callable_direction_attribute(self):
+        def loss(y, p):
+            return 0.0
+
+        loss.greater_is_better = False
+        _, _, greater = resolve_metric(loss)
+        assert not greater
+
+    def test_unknown_metric(self):
+        with pytest.raises(KeyError, match="available"):
+            resolve_metric("wape")
+
+
+class TestCrossValidate:
+    def test_k_fold_scores_count(self, regression_data):
+        X, y = regression_data
+        result = cross_validate(
+            LinearRegression(), X, y, cv=KFold(5, random_state=0)
+        )
+        assert len(result.fold_scores) == 5
+
+    def test_mean_and_std(self, regression_data):
+        X, y = regression_data
+        result = cross_validate(
+            LinearRegression(), X, y, cv=KFold(4, random_state=0)
+        )
+        assert result.mean_score == pytest.approx(np.mean(result.fold_scores))
+        assert result.std_score == pytest.approx(np.std(result.fold_scores))
+
+    def test_model_untouched_by_cv(self, regression_data):
+        # folds must clone; the template estimator stays unfitted
+        X, y = regression_data
+        model = DecisionTreeRegressor(max_depth=3)
+        cross_validate(model, X, y, cv=KFold(3, random_state=0))
+        assert model.root_ is None
+
+    def test_keep_models(self, regression_data):
+        X, y = regression_data
+        result = cross_validate(
+            DecisionTreeRegressor(max_depth=3),
+            X,
+            y,
+            cv=KFold(3, random_state=0),
+            keep_models=True,
+        )
+        assert len(result.models) == 3
+        assert all(m.root_ is not None for m in result.models)
+
+    def test_classification_metric(self, classification_data):
+        X, y = classification_data
+        result = cross_validate(
+            LogisticRegression(),
+            X,
+            y,
+            cv=KFold(4, random_state=0),
+            metric="accuracy",
+        )
+        assert result.greater_is_better
+        assert result.mean_score > 0.8
+
+    def test_default_cv_is_5fold(self, regression_data):
+        X, y = regression_data
+        result = cross_validate(LinearRegression(), X, y)
+        assert len(result.fold_scores) == 5
+
+    def test_splitter_by_name(self, regression_data):
+        X, y = regression_data
+        result = cross_validate(LinearRegression(), X, y, cv="kfold")
+        assert len(result.fold_scores) == 5
+
+    def test_3d_windowed_input_supported(self, sensor_series):
+        from repro.timeseries import ZeroModel, make_supervised
+
+        X, y = make_supervised(sensor_series, history=8)
+        result = cross_validate(
+            ZeroModel(),
+            X,
+            y,
+            cv=TimeSeriesSlidingSplit(3, buffer_size=1),
+            metric="rmse",
+        )
+        assert len(result.fold_scores) == 3
+        assert result.mean_score > 0.0
+
+    def test_length_mismatch_rejected(self, regression_data):
+        X, y = regression_data
+        with pytest.raises(ValueError, match="inconsistent"):
+            cross_validate(LinearRegression(), X, y[:-3])
+
+    def test_better_than_direction(self, regression_data):
+        X, y = regression_data
+        good = cross_validate(
+            LinearRegression(), X, y, cv=KFold(3, random_state=0)
+        )
+        bad = cross_validate(
+            DecisionTreeRegressor(max_depth=1),
+            X,
+            y,
+            cv=KFold(3, random_state=0),
+        )
+        assert good.better_than(bad)  # lower rmse wins
+        assert good.better_than(None)
+
+    def test_better_than_metric_mismatch(self, regression_data):
+        X, y = regression_data
+        a = cross_validate(LinearRegression(), X, y, metric="rmse")
+        b = cross_validate(LinearRegression(), X, y, metric="mae")
+        with pytest.raises(ValueError, match="compare"):
+            a.better_than(b)
+
+    def test_summary_fields(self, regression_data):
+        X, y = regression_data
+        summary = cross_validate(LinearRegression(), X, y).summary()
+        assert set(summary) == {"metric", "mean", "std", "n_folds"}
+
+    def test_fit_seconds_recorded(self, regression_data):
+        X, y = regression_data
+        result = cross_validate(LinearRegression(), X, y)
+        assert result.fit_seconds > 0.0
+
+
+class TestNestedCrossValidate:
+    def test_outer_fold_count(self, regression_data):
+        from repro.ml.model_selection import KFold, nested_cross_validate
+
+        X, y = regression_data
+        result = nested_cross_validate(
+            DecisionTreeRegressor(random_state=0),
+            X,
+            y,
+            param_grid={"max_depth": [2, 6]},
+            outer_cv=KFold(4, random_state=0),
+            inner_cv=KFold(2, random_state=1),
+        )
+        assert len(result.outer_scores) == 4
+        assert len(result.chosen_params) == 4
+
+    def test_inner_tuning_picks_sensible_depth(self, rng):
+        from repro.ml.model_selection import KFold, nested_cross_validate
+
+        # strongly non-linear target: depth 6 must beat depth 1
+        X = rng.uniform(-2, 2, size=(300, 1))
+        y = np.sin(3 * X[:, 0])
+        result = nested_cross_validate(
+            DecisionTreeRegressor(random_state=0),
+            X,
+            y,
+            param_grid={"max_depth": [1, 6]},
+            outer_cv=KFold(3, random_state=0),
+            inner_cv=KFold(3, random_state=1),
+        )
+        assert all(p == {"max_depth": 6} for p in result.chosen_params)
+
+    def test_works_with_pipelines_and_node_params(self, regression_data):
+        from repro.core import make_pipeline
+        from repro.ml.feature_selection import SelectKBest
+        from repro.ml.model_selection import KFold, nested_cross_validate
+        from repro.ml.preprocessing import StandardScaler
+
+        X, y = regression_data
+        pipeline = make_pipeline(
+            StandardScaler(), SelectKBest(k=3), LinearRegression()
+        )
+        result = nested_cross_validate(
+            pipeline,
+            X,
+            y,
+            param_grid={"selectkbest__k": [2, 5]},
+            outer_cv=KFold(3, random_state=0),
+            inner_cv=KFold(2, random_state=1),
+        )
+        assert result.mean_score > 0.0
+        assert set(result.chosen_params[0]) == {"selectkbest__k"}
+
+    def test_param_stability_report(self, regression_data):
+        from repro.ml.model_selection import KFold, nested_cross_validate
+
+        X, y = regression_data
+        result = nested_cross_validate(
+            LinearRegression(),
+            X,
+            y,
+            param_grid={},
+            outer_cv=KFold(3, random_state=0),
+        )
+        stability = result.param_stability()
+        assert sum(stability.values()) == 3
+
+    def test_summary_statistics(self, regression_data):
+        from repro.ml.model_selection import KFold, nested_cross_validate
+
+        X, y = regression_data
+        result = nested_cross_validate(
+            DecisionTreeRegressor(random_state=0),
+            X,
+            y,
+            param_grid={"max_depth": [3]},
+            outer_cv=KFold(3, random_state=0),
+        )
+        assert result.mean_score == pytest.approx(
+            np.mean(result.outer_scores)
+        )
+        assert result.std_score >= 0.0

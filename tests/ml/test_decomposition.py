@@ -1,0 +1,142 @@
+"""Tests for PCA, KernelPCA, LDA and Covariance whitening."""
+
+import numpy as np
+import pytest
+
+from repro.ml.base import NotFittedError
+from repro.ml.decomposition import LDA, PCA, Covariance, KernelPCA
+
+
+class TestPCA:
+    def test_components_orthonormal(self, rng):
+        X = rng.normal(size=(100, 5))
+        pca = PCA(n_components=3).fit(X)
+        gram = pca.components_ @ pca.components_.T
+        assert np.allclose(gram, np.eye(3), atol=1e-10)
+
+    def test_explained_variance_sorted(self, rng):
+        X = rng.normal(size=(100, 5)) * [5.0, 3.0, 1.0, 0.5, 0.1]
+        pca = PCA().fit(X)
+        ev = pca.explained_variance_
+        assert (np.diff(ev) <= 1e-9).all()
+
+    def test_full_reconstruction_is_lossless(self, rng):
+        X = rng.normal(size=(50, 4))
+        pca = PCA().fit(X)
+        back = pca.inverse_transform(pca.transform(X))
+        assert np.allclose(back, X, atol=1e-10)
+
+    def test_dominant_direction_recovered(self, rng):
+        # rank-1 data plus tiny noise: first PC explains nearly all
+        direction = np.array([3.0, 4.0]) / 5.0
+        X = rng.normal(size=(200, 1)) * direction + 0.01 * rng.normal(
+            size=(200, 2)
+        )
+        pca = PCA(n_components=1).fit(X)
+        assert pca.explained_variance_ratio_[0] > 0.99
+        assert abs(np.dot(pca.components_[0], direction)) > 0.999
+
+    def test_transform_centers_data(self, rng):
+        X = rng.normal(10.0, 1.0, size=(100, 3))
+        Z = PCA(n_components=2).fit(X).transform(X)
+        assert np.allclose(Z.mean(axis=0), 0.0, atol=1e-10)
+
+    def test_n_components_clipped(self, rng):
+        X = rng.normal(size=(10, 3))
+        Z = PCA(n_components=99).fit(X).transform(X)
+        assert Z.shape[1] == 3
+
+    def test_invalid_n_components(self):
+        with pytest.raises(ValueError):
+            PCA(n_components=0)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            PCA().transform([[1.0, 2.0]])
+
+
+class TestKernelPCA:
+    def test_linear_kernel_matches_pca_subspace(self, rng):
+        X = rng.normal(size=(60, 4))
+        z_kpca = KernelPCA(n_components=2, kernel="linear").fit(X).transform(X)
+        z_pca = PCA(n_components=2).fit(X).transform(X)
+        # same subspace up to sign: compare absolute correlations
+        for j in range(2):
+            corr = abs(np.corrcoef(z_kpca[:, j], z_pca[:, j])[0, 1])
+            assert corr > 0.99
+
+    def test_rbf_separates_concentric_circles(self, rng):
+        # classic kernel-PCA demo: radii are nonlinearly separable
+        angles = rng.uniform(0, 2 * np.pi, 200)
+        radii = np.concatenate([np.full(100, 1.0), np.full(100, 4.0)])
+        X = np.column_stack([radii * np.cos(angles), radii * np.sin(angles)])
+        Z = KernelPCA(n_components=1, kernel="rbf", gamma=0.5).fit_transform(X)
+        inner, outer = Z[:100, 0], Z[100:, 0]
+        gap = abs(inner.mean() - outer.mean())
+        spread = inner.std() + outer.std()
+        assert gap > spread
+
+    def test_poly_kernel_runs(self, rng):
+        X = rng.normal(size=(30, 3))
+        Z = KernelPCA(n_components=2, kernel="poly", degree=2).fit_transform(X)
+        assert Z.shape == (30, 2)
+
+    def test_invalid_kernel(self):
+        with pytest.raises(ValueError, match="kernel"):
+            KernelPCA(kernel="sigmoid")
+
+    def test_transform_new_points(self, rng):
+        X = rng.normal(size=(40, 2))
+        kpca = KernelPCA(n_components=2, gamma=0.3).fit(X)
+        assert kpca.transform(rng.normal(size=(7, 2))).shape == (7, 2)
+
+
+class TestLDA:
+    def test_projects_to_classes_minus_one(self, rng):
+        X = rng.normal(size=(90, 4))
+        y = rng.integers(0, 3, 90)
+        Z = LDA().fit(X, y).transform(X)
+        assert Z.shape == (90, 2)
+
+    def test_separates_shifted_classes(self, rng):
+        X0 = rng.normal(size=(80, 3))
+        X1 = rng.normal(size=(80, 3)) + [4.0, 0.0, 0.0]
+        X = np.vstack([X0, X1])
+        y = np.r_[np.zeros(80), np.ones(80)]
+        Z = LDA(n_components=1).fit(X, y).transform(X)
+        gap = abs(Z[:80].mean() - Z[80:].mean())
+        assert gap > 3 * (Z[:80].std() + Z[80:].std()) / 2
+
+    def test_requires_labels(self, rng):
+        with pytest.raises(ValueError, match="supervised"):
+            LDA().fit(rng.normal(size=(10, 2)))
+
+    def test_requires_two_classes(self, rng):
+        with pytest.raises(ValueError, match="two classes"):
+            LDA().fit(rng.normal(size=(10, 2)), np.zeros(10))
+
+
+class TestCovariance:
+    def test_whitens_to_identity_covariance(self, rng):
+        # strongly correlated input
+        A = rng.normal(size=(500, 3))
+        X = A @ np.array([[1.0, 0.9, 0.0], [0.0, 1.0, 0.8], [0.0, 0.0, 1.0]])
+        Z = Covariance().fit_transform(X)
+        cov = np.cov(Z.T)
+        assert np.allclose(cov, np.eye(3), atol=0.15)
+
+    def test_centers_data(self, rng):
+        X = rng.normal(5.0, 1.0, size=(200, 2))
+        Z = Covariance().fit_transform(X)
+        assert np.allclose(Z.mean(axis=0), 0.0, atol=1e-10)
+
+    def test_chains_with_pca(self, rng):
+        X = rng.normal(size=(100, 4)) * [10.0, 1.0, 1.0, 1.0]
+        Z = Covariance().fit_transform(X)
+        pca = PCA(n_components=2).fit(Z)
+        # after whitening no direction dominates
+        assert pca.explained_variance_ratio_[0] < 0.5
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(ValueError):
+            Covariance(epsilon=0.0)

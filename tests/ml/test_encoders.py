@@ -1,0 +1,145 @@
+"""Tests for feature-engineering transformers."""
+
+import numpy as np
+import pytest
+
+from repro.ml.preprocessing import (
+    KBinsDiscretizer,
+    OneHotEncoder,
+    PolynomialFeatures,
+)
+
+
+class TestPolynomialFeatures:
+    def test_degree_two_columns(self):
+        X = np.array([[2.0, 3.0]])
+        out = PolynomialFeatures(degree=2).fit_transform(X)
+        # x0, x1, x0^2, x0*x1, x1^2
+        assert out.tolist() == [[2.0, 3.0, 4.0, 6.0, 9.0]]
+
+    def test_interaction_only_drops_squares(self):
+        X = np.array([[2.0, 3.0]])
+        out = PolynomialFeatures(degree=2, interaction_only=True).fit_transform(X)
+        assert out.tolist() == [[2.0, 3.0, 6.0]]
+
+    def test_bias_column(self):
+        X = np.array([[5.0]])
+        out = PolynomialFeatures(degree=1, include_bias=True).fit_transform(X)
+        assert out.tolist() == [[1.0, 5.0]]
+
+    def test_degree_three_count(self):
+        X = np.ones((1, 3))
+        pf = PolynomialFeatures(degree=3).fit(X)
+        # C(3,1)+C(4,2)... with replacement: 3 + 6 + 10 = 19
+        assert pf.n_output_features_ == 19
+
+    def test_makes_interaction_learnable_by_linear_model(self, rng):
+        from repro.ml.linear import LinearRegression
+        from repro.ml.metrics import r2_score
+
+        X = rng.normal(size=(300, 2))
+        y = X[:, 0] * X[:, 1]
+        plain = LinearRegression().fit(X, y)
+        expanded = PolynomialFeatures(degree=2).fit_transform(X)
+        poly = LinearRegression().fit(expanded, y)
+        assert r2_score(y, plain.predict(X)) < 0.2
+        assert r2_score(y, poly.predict(expanded)) > 0.99
+
+    def test_width_check(self, rng):
+        pf = PolynomialFeatures().fit(rng.normal(size=(5, 3)))
+        with pytest.raises(ValueError, match="features"):
+            pf.transform(rng.normal(size=(2, 4)))
+
+    def test_invalid_degree(self):
+        with pytest.raises(ValueError):
+            PolynomialFeatures(degree=0)
+
+
+class TestOneHotEncoder:
+    def test_explicit_columns(self):
+        X = np.array([[1.5, 0.0], [2.5, 1.0], [3.5, 2.0]])
+        out = OneHotEncoder(categorical_columns=[1]).fit_transform(X)
+        assert out.shape == (3, 1 + 3)
+        assert np.allclose(out[:, 0], [1.5, 2.5, 3.5])
+        assert np.allclose(out[:, 1:], np.eye(3))
+
+    def test_auto_detection(self, rng):
+        X = np.column_stack(
+            [rng.normal(size=50), rng.integers(0, 3, 50).astype(float)]
+        )
+        encoder = OneHotEncoder().fit(X)
+        assert encoder.columns_ == [1]
+
+    def test_unseen_category_all_zeros(self):
+        X = np.array([[0.0], [1.0]])
+        encoder = OneHotEncoder(categorical_columns=[0]).fit(X)
+        out = encoder.transform(np.array([[5.0]]))
+        assert np.allclose(out, 0.0)
+
+    def test_no_categoricals_passthrough(self, rng):
+        X = rng.normal(size=(20, 3))
+        out = OneHotEncoder().fit_transform(X)
+        assert np.allclose(out, X)
+
+    def test_out_of_range_column(self):
+        with pytest.raises(ValueError, match="out of range"):
+            OneHotEncoder(categorical_columns=[9]).fit(np.ones((3, 2)))
+
+
+class TestKBinsDiscretizer:
+    def test_bin_indices_range(self, rng):
+        X = rng.normal(size=(200, 2))
+        out = KBinsDiscretizer(n_bins=4).fit_transform(X)
+        assert out.min() >= 0 and out.max() <= 3
+
+    def test_monotone_in_value(self):
+        X = np.linspace(0, 1, 100).reshape(-1, 1)
+        out = KBinsDiscretizer(n_bins=5).fit_transform(X).ravel()
+        assert (np.diff(out) >= 0).all()
+
+    def test_quantile_bins_roughly_equal(self, rng):
+        X = rng.normal(size=(1000, 1))
+        out = KBinsDiscretizer(n_bins=4).fit_transform(X).ravel()
+        _, counts = np.unique(out, return_counts=True)
+        assert counts.min() > 150
+
+    def test_constant_column_single_bin(self):
+        X = np.full((20, 1), 3.0)
+        out = KBinsDiscretizer(n_bins=4).fit_transform(X)
+        assert len(np.unique(out)) == 1
+
+    def test_invalid_bins(self):
+        with pytest.raises(ValueError):
+            KBinsDiscretizer(n_bins=1)
+
+
+class TestRecursiveForecast:
+    def test_tracks_deterministic_signal(self):
+        from repro.timeseries import ARModel, make_supervised, recursive_forecast
+
+        t = np.arange(200.0)
+        series = np.sin(0.2 * t)
+        X, y = make_supervised(series, history=10)
+        model = ARModel(order=5).fit(X, y)
+        future = recursive_forecast(model, series, steps=15, history=10)
+        expected = np.sin(0.2 * np.arange(200, 215))
+        assert np.abs(future - expected).max() < 0.05
+
+    def test_multivariate_holds_exogenous(self):
+        from repro.timeseries import ZeroModel, make_supervised, recursive_forecast
+
+        series = np.column_stack([np.arange(50.0), np.ones(50)])
+        X, y = make_supervised(series, history=4)
+        model = ZeroModel().fit(X, y)
+        future = recursive_forecast(model, series, steps=5, history=4)
+        # persistence repeats the last value forever
+        assert np.allclose(future, 49.0)
+
+    def test_invalid_args(self):
+        from repro.timeseries import ZeroModel, recursive_forecast
+
+        model = ZeroModel()
+        with pytest.raises(ValueError, match="steps"):
+            recursive_forecast(model, np.arange(10.0), steps=0, history=3)
+        with pytest.raises(ValueError, match="exceeds"):
+            recursive_forecast(model, np.arange(10.0), steps=2, history=50)

@@ -1,0 +1,171 @@
+"""Tests for random forests and gradient boosting."""
+
+import numpy as np
+import pytest
+
+from repro.ml.ensemble import (
+    GradientBoostingClassifier,
+    GradientBoostingRegressor,
+    RandomForestClassifier,
+    RandomForestRegressor,
+)
+from repro.ml.metrics import r2_score
+from repro.ml.tree import DecisionTreeRegressor
+
+
+class TestRandomForestRegressor:
+    def test_beats_single_stump_generalization(self, rng):
+        X = rng.normal(size=(300, 5))
+        y = np.sin(X[:, 0]) + 0.5 * X[:, 1] + 0.1 * rng.normal(size=300)
+        X_test = rng.normal(size=(100, 5))
+        y_test = np.sin(X_test[:, 0]) + 0.5 * X_test[:, 1]
+        stump = DecisionTreeRegressor(max_depth=1).fit(X, y)
+        forest = RandomForestRegressor(
+            n_estimators=30, random_state=0
+        ).fit(X, y)
+        assert r2_score(y_test, forest.predict(X_test)) > r2_score(
+            y_test, stump.predict(X_test)
+        )
+
+    def test_reproducible_with_seed(self, regression_data):
+        X, y = regression_data
+        a = RandomForestRegressor(n_estimators=5, random_state=3).fit(X, y)
+        b = RandomForestRegressor(n_estimators=5, random_state=3).fit(X, y)
+        assert np.array_equal(a.predict(X), b.predict(X))
+
+    def test_different_seeds_differ(self, regression_data):
+        X, y = regression_data
+        a = RandomForestRegressor(n_estimators=5, random_state=1).fit(X, y)
+        b = RandomForestRegressor(n_estimators=5, random_state=2).fit(X, y)
+        assert not np.array_equal(a.predict(X), b.predict(X))
+
+    def test_n_estimators_count(self, regression_data):
+        X, y = regression_data
+        forest = RandomForestRegressor(n_estimators=7, random_state=0).fit(X, y)
+        assert len(forest.trees_) == 7
+
+    def test_feature_importances_normalized(self, regression_data):
+        X, y = regression_data
+        forest = RandomForestRegressor(n_estimators=10, random_state=0).fit(X, y)
+        assert forest.feature_importances_.sum() == pytest.approx(1.0)
+        assert (forest.feature_importances_ >= 0).all()
+
+    def test_no_bootstrap_mode(self, regression_data):
+        X, y = regression_data
+        forest = RandomForestRegressor(
+            n_estimators=3, bootstrap=False, max_features=None, random_state=0
+        ).fit(X, y)
+        # without bootstrap or feature sampling all trees are identical
+        p = [tree.predict(X[:5]) for tree in forest.trees_]
+        assert np.allclose(p[0], p[1]) and np.allclose(p[1], p[2])
+
+    def test_invalid_n_estimators(self):
+        with pytest.raises(ValueError):
+            RandomForestRegressor(n_estimators=0)
+
+
+class TestRandomForestClassifier:
+    def test_accuracy_on_separable_data(self, classification_data):
+        X, y = classification_data
+        forest = RandomForestClassifier(n_estimators=20, random_state=0).fit(X, y)
+        assert forest.score(X, y) > 0.95
+
+    def test_probability_rows_sum_to_one(self, classification_data):
+        X, y = classification_data
+        proba = RandomForestClassifier(
+            n_estimators=10, random_state=0
+        ).fit(X, y).predict_proba(X)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    def test_rare_class_probability_alignment(self, rng):
+        # 3 classes, one very rare: bootstrap trees may miss it entirely;
+        # probabilities must still align to forest.classes_
+        X = rng.normal(size=(100, 2))
+        y = np.zeros(100, dtype=int)
+        y[:45] = 1
+        y[95:] = 2  # only 5 samples of class 2
+        X[y == 1] += 3.0
+        X[y == 2] -= 3.0
+        forest = RandomForestClassifier(n_estimators=15, random_state=0).fit(X, y)
+        proba = forest.predict_proba(X)
+        assert proba.shape == (100, 3)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    def test_multiclass_predictions(self, rng):
+        centers = [[0, 0], [6, 0], [0, 6], [6, 6]]
+        X = np.vstack([rng.normal(size=(25, 2)) + c for c in centers])
+        y = np.repeat(list("abcd"), 25)
+        forest = RandomForestClassifier(n_estimators=15, random_state=0).fit(X, y)
+        assert forest.score(X, y) > 0.9
+
+
+class TestGradientBoostingRegressor:
+    def test_training_loss_decreases(self, regression_data):
+        X, y = regression_data
+        gb = GradientBoostingRegressor(
+            n_estimators=50, random_state=0
+        ).fit(X, y)
+        losses = gb.train_losses_
+        assert losses[-1] < losses[0]
+        assert losses[-1] < losses[len(losses) // 2]
+
+    def test_more_rounds_fit_train_better(self, regression_data):
+        X, y = regression_data
+        few = GradientBoostingRegressor(n_estimators=5, random_state=0).fit(X, y)
+        many = GradientBoostingRegressor(n_estimators=100, random_state=0).fit(X, y)
+        assert many.score(X, y) > few.score(X, y)
+
+    def test_learning_rate_bounds(self):
+        with pytest.raises(ValueError):
+            GradientBoostingRegressor(learning_rate=0.0)
+        with pytest.raises(ValueError):
+            GradientBoostingRegressor(learning_rate=1.5)
+
+    def test_subsample_mode(self, regression_data):
+        X, y = regression_data
+        gb = GradientBoostingRegressor(
+            n_estimators=20, subsample=0.5, random_state=0
+        ).fit(X, y)
+        assert gb.score(X, y) > 0.5
+
+    def test_captures_nonlinearity_linear_model_misses(self, rng):
+        X = rng.uniform(-2, 2, size=(300, 1))
+        y = X[:, 0] ** 2
+        from repro.ml.linear import LinearRegression
+
+        gb = GradientBoostingRegressor(n_estimators=50, random_state=0).fit(X, y)
+        lin = LinearRegression().fit(X, y)
+        assert r2_score(y, gb.predict(X)) > 0.95
+        assert r2_score(y, lin.predict(X)) < 0.2
+
+
+class TestGradientBoostingClassifier:
+    def test_binary_accuracy(self, classification_data):
+        X, y = classification_data
+        gb = GradientBoostingClassifier(
+            n_estimators=30, random_state=0
+        ).fit(X, y)
+        assert gb.score(X, y) > 0.9
+
+    def test_probabilities_valid(self, classification_data):
+        X, y = classification_data
+        proba = GradientBoostingClassifier(
+            n_estimators=15, random_state=0
+        ).fit(X, y).predict_proba(X)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+        assert (proba > 0).all() and (proba < 1).all()
+
+    def test_decision_function_sign_matches_prediction(self, classification_data):
+        X, y = classification_data
+        gb = GradientBoostingClassifier(
+            n_estimators=15, random_state=0
+        ).fit(X, y)
+        raw = gb.decision_function(X)
+        pred = gb.predict(X)
+        assert np.array_equal(pred == gb.classes_[1], raw > 0)
+
+    def test_multiclass_rejected(self, rng):
+        X = rng.normal(size=(30, 2))
+        y = np.repeat([0, 1, 2], 10)
+        with pytest.raises(ValueError, match="binary"):
+            GradientBoostingClassifier().fit(X, y)

@@ -1,0 +1,173 @@
+"""Tests for SelectKBest, VarianceThreshold and the scoring functions."""
+
+import numpy as np
+import pytest
+
+from repro.ml.feature_selection import (
+    SCORERS,
+    SelectKBest,
+    VarianceThreshold,
+    entropy_score,
+    f_score,
+    get_scorer,
+    information_gain,
+    variance_score,
+)
+
+
+@pytest.fixture
+def informative_data(rng):
+    """Column 0 drives y strongly; column 1 weakly; columns 2-4 are
+    noise."""
+    X = rng.normal(size=(300, 5))
+    y = 3.0 * X[:, 0] + 0.5 * X[:, 1] + 0.1 * rng.normal(size=300)
+    return X, y
+
+
+class TestFScore:
+    def test_ranks_informative_first(self, informative_data):
+        X, y = informative_data
+        scores = f_score(X, y)
+        assert np.argmax(scores) == 0
+        assert scores[0] > scores[2]
+
+    def test_constant_feature_scores_zero(self, rng):
+        X = np.column_stack([np.full(50, 1.0), rng.normal(size=50)])
+        y = X[:, 1]
+        assert f_score(X, y)[0] == 0.0
+
+    def test_perfectly_correlated_scores_huge(self, rng):
+        x = rng.normal(size=100)
+        scores = f_score(x.reshape(-1, 1), 2.0 * x)
+        assert scores[0] > 1e6
+
+    def test_length_mismatch(self, rng):
+        with pytest.raises(ValueError, match="inconsistent"):
+            f_score(rng.normal(size=(10, 2)), rng.normal(size=5))
+
+
+class TestInformationGain:
+    def test_detects_nonlinear_dependence(self, rng):
+        # y = x0^2: zero linear correlation but high mutual information
+        x0 = rng.normal(size=500)
+        X = np.column_stack([x0, rng.normal(size=500)])
+        y = x0**2
+        ig = information_gain(X, y)
+        assert ig[0] > ig[1] * 2
+        # contrast: f_score misses it
+        fs = f_score(X, y)
+        assert fs[0] < 10.0
+
+    def test_nonnegative(self, rng):
+        X = rng.normal(size=(100, 3))
+        y = rng.normal(size=100)
+        assert (information_gain(X, y) >= 0.0).all()
+
+    def test_discrete_target_supported(self, rng):
+        X = rng.normal(size=(200, 2))
+        y = (X[:, 0] > 0).astype(int)
+        ig = information_gain(X, y)
+        assert ig[0] > ig[1]
+
+
+class TestEntropyScore:
+    def test_constant_feature_has_zero_entropy(self, rng):
+        X = np.column_stack([np.full(100, 2.0), rng.normal(size=100)])
+        scores = entropy_score(X)
+        assert scores[0] == pytest.approx(0.0)
+        assert scores[1] > 1.0
+
+    def test_no_target_needed(self, rng):
+        assert entropy_score(rng.normal(size=(50, 2))).shape == (2,)
+
+
+class TestVarianceScore:
+    def test_matches_numpy_variance(self, rng):
+        X = rng.normal(size=(80, 3)) * [1.0, 2.0, 3.0]
+        assert np.allclose(variance_score(X), X.var(axis=0))
+
+
+class TestScorerRegistry:
+    def test_all_registered(self):
+        assert set(SCORERS) == {
+            "f_score",
+            "information_gain",
+            "entropy",
+            "variance",
+        }
+
+    def test_lookup_by_name(self):
+        assert get_scorer("f_score") is f_score
+
+    def test_unknown_name_lists_options(self):
+        with pytest.raises(KeyError, match="available"):
+            get_scorer("nope")
+
+
+class TestSelectKBest:
+    def test_selects_informative_columns(self, informative_data):
+        X, y = informative_data
+        selector = SelectKBest(k=2).fit(X, y)
+        support = selector.get_support()
+        assert support[0] and support[1]
+        assert selector.transform(X).shape == (len(X), 2)
+
+    def test_column_order_preserved(self, rng):
+        X = rng.normal(size=(100, 4))
+        y = X[:, 3] + 2.0 * X[:, 1]
+        out = SelectKBest(k=2).fit(X, y).transform(X)
+        # column 1 should come before column 3 in the output
+        assert np.allclose(out[:, 0], X[:, 1])
+        assert np.allclose(out[:, 1], X[:, 3])
+
+    def test_k_clipped_to_width(self, informative_data):
+        X, y = informative_data
+        out = SelectKBest(k=100).fit(X, y).transform(X)
+        assert out.shape == X.shape
+
+    def test_named_scorer(self, informative_data):
+        X, y = informative_data
+        out = SelectKBest(k=1, score_func="information_gain").fit(X, y)
+        assert out.get_support()[0]
+
+    def test_callable_scorer(self, informative_data):
+        X, y = informative_data
+        selector = SelectKBest(
+            k=1, score_func=lambda X, y: np.arange(X.shape[1], dtype=float)
+        ).fit(X, y)
+        assert selector.get_support()[-1]
+
+    def test_bad_scorer_shape_rejected(self, informative_data):
+        X, y = informative_data
+        selector = SelectKBest(k=1, score_func=lambda X, y: np.zeros(2))
+        with pytest.raises(ValueError, match="shape"):
+            selector.fit(X, y)
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError, match="k"):
+            SelectKBest(k=0)
+
+    def test_transform_width_mismatch(self, informative_data):
+        X, y = informative_data
+        selector = SelectKBest(k=2).fit(X, y)
+        with pytest.raises(ValueError, match="features"):
+            selector.transform(X[:, :3])
+
+
+class TestVarianceThreshold:
+    def test_drops_constant_columns(self, rng):
+        X = np.column_stack([np.full(50, 1.0), rng.normal(size=50)])
+        out = VarianceThreshold().fit_transform(X)
+        assert out.shape == (50, 1)
+
+    def test_keeps_at_least_one_feature(self):
+        X = np.ones((20, 3))
+        out = VarianceThreshold(threshold=10.0).fit_transform(X)
+        assert out.shape[1] == 1
+
+    def test_threshold_respected(self, rng):
+        X = np.column_stack(
+            [0.01 * rng.normal(size=100), rng.normal(size=100)]
+        )
+        selector = VarianceThreshold(threshold=0.5).fit(X)
+        assert selector.support_.tolist() == [False, True]

@@ -1,0 +1,204 @@
+"""Tests for missing-data imputation."""
+
+import numpy as np
+import pytest
+
+from repro.ml.base import NotFittedError
+from repro.ml.preprocessing import IterativeImputer, KNNImputer, SimpleImputer
+
+
+def matrix_with_gaps(rng, shape=(60, 4), rate=0.15):
+    X = rng.normal(size=shape)
+    mask = rng.random(shape) < rate
+    X_missing = X.copy()
+    X_missing[mask] = np.nan
+    return X, X_missing, mask
+
+
+class TestSimpleImputer:
+    def test_mean_strategy(self):
+        X = np.array([[1.0, np.nan], [3.0, 4.0], [np.nan, 8.0]])
+        out = SimpleImputer(strategy="mean").fit_transform(X)
+        assert out[2, 0] == pytest.approx(2.0)
+        assert out[0, 1] == pytest.approx(6.0)
+
+    def test_median_strategy(self):
+        X = np.array([[1.0], [2.0], [100.0], [np.nan]])
+        out = SimpleImputer(strategy="median").fit_transform(X)
+        assert out[3, 0] == pytest.approx(2.0)
+
+    def test_mode_strategy(self):
+        X = np.array([[1.0], [1.0], [2.0], [np.nan]])
+        out = SimpleImputer(strategy="mode").fit_transform(X)
+        assert out[3, 0] == pytest.approx(1.0)
+
+    def test_constant_strategy(self):
+        X = np.array([[np.nan], [5.0]])
+        out = SimpleImputer(strategy="constant", fill_value=-1.0).fit_transform(X)
+        assert out[0, 0] == -1.0
+
+    def test_all_missing_column_uses_fill_value(self):
+        X = np.array([[np.nan, 1.0], [np.nan, 2.0]])
+        out = SimpleImputer(strategy="mean", fill_value=0.0).fit_transform(X)
+        assert np.allclose(out[:, 0], 0.0)
+
+    def test_no_nans_left(self, rng):
+        _, Xm, _ = matrix_with_gaps(rng)
+        assert not np.isnan(SimpleImputer().fit_transform(Xm)).any()
+
+    def test_observed_values_untouched(self, rng):
+        X, Xm, mask = matrix_with_gaps(rng)
+        out = SimpleImputer().fit_transform(Xm)
+        assert np.allclose(out[~mask], X[~mask])
+
+    def test_invalid_strategy(self):
+        with pytest.raises(ValueError, match="strategy"):
+            SimpleImputer(strategy="magic")
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            SimpleImputer().transform([[1.0]])
+
+    def test_fit_stats_frozen_at_fit_time(self):
+        imputer = SimpleImputer(strategy="mean").fit([[1.0], [3.0]])
+        out = imputer.transform(np.array([[np.nan], [100.0]]))
+        assert out[0, 0] == pytest.approx(2.0)
+
+    def test_width_mismatch(self):
+        imputer = SimpleImputer().fit([[1.0, 2.0]])
+        with pytest.raises(ValueError, match="features"):
+            imputer.transform([[1.0, 2.0, 3.0]])
+
+
+class TestKNNImputer:
+    def test_exact_neighbors_recovered(self):
+        # rows 0 and 1 are near-identical; the gap copies the neighbor
+        X = np.array(
+            [
+                [0.0, 0.0, 5.0],
+                [0.01, 0.01, 5.1],
+                [10.0, 10.0, -3.0],
+                [0.0, 0.01, np.nan],
+            ]
+        )
+        out = KNNImputer(n_neighbors=2).fit_transform(X)
+        assert abs(out[3, 2] - 5.05) < 0.2
+
+    def test_better_than_mean_on_structured_data(self, rng):
+        # two clusters with different column-2 levels; mean imputation
+        # lands between them, kNN picks the right cluster
+        a = rng.normal(0.0, 0.1, size=(30, 3)) + [0, 0, 10]
+        b = rng.normal(0.0, 0.1, size=(30, 3)) + [5, 5, -10]
+        X = np.vstack([a, b])
+        Xm = X.copy()
+        Xm[0, 2] = np.nan
+        knn_out = KNNImputer(n_neighbors=3).fit_transform(Xm)
+        mean_out = SimpleImputer().fit_transform(Xm)
+        assert abs(knn_out[0, 2] - 10.0) < 1.0
+        assert abs(mean_out[0, 2] - 10.0) > 5.0
+
+    def test_no_nans_left(self, rng):
+        _, Xm, _ = matrix_with_gaps(rng, rate=0.25)
+        assert not np.isnan(KNNImputer(3).fit_transform(Xm)).any()
+
+    def test_invalid_neighbors(self):
+        with pytest.raises(ValueError, match="n_neighbors"):
+            KNNImputer(n_neighbors=0)
+
+    def test_rows_without_gaps_untouched(self, rng):
+        X, Xm, mask = matrix_with_gaps(rng)
+        out = KNNImputer(3).fit(Xm).transform(Xm)
+        clean_rows = ~mask.any(axis=1)
+        assert np.allclose(out[clean_rows], X[clean_rows], equal_nan=False)
+
+
+class TestIterativeImputer:
+    def test_recovers_linear_relationship(self, rng):
+        # column 2 is an exact linear function of 0 and 1
+        X = rng.normal(size=(80, 2))
+        X = np.column_stack([X, 2.0 * X[:, 0] - X[:, 1]])
+        Xm = X.copy()
+        Xm[:10, 2] = np.nan
+        out = IterativeImputer(max_iter=10).fit_transform(Xm)
+        assert np.allclose(out[:10, 2], X[:10, 2], atol=0.05)
+
+    def test_beats_mean_imputation_on_correlated_data(self, rng):
+        X = rng.normal(size=(100, 1))
+        X = np.column_stack([X, 3.0 * X[:, 0]])
+        Xm = X.copy()
+        Xm[:15, 1] = np.nan
+        iter_err = np.abs(
+            IterativeImputer().fit_transform(Xm)[:15, 1] - X[:15, 1]
+        ).mean()
+        mean_err = np.abs(
+            SimpleImputer().fit_transform(Xm)[:15, 1] - X[:15, 1]
+        ).mean()
+        assert iter_err < mean_err / 2
+
+    def test_no_nans_left(self, rng):
+        _, Xm, _ = matrix_with_gaps(rng)
+        assert not np.isnan(IterativeImputer().fit_transform(Xm)).any()
+
+    def test_invalid_max_iter(self):
+        with pytest.raises(ValueError, match="max_iter"):
+            IterativeImputer(max_iter=0)
+
+
+class TestMatrixFactorizationImputer:
+    def test_recovers_low_rank_structure(self, rng):
+        from repro.ml.preprocessing import MatrixFactorizationImputer
+
+        U = rng.normal(size=(120, 2))
+        V = rng.normal(size=(6, 2))
+        X = U @ V.T + 0.02 * rng.normal(size=(120, 6))
+        Xm = X.copy()
+        mask = rng.random(X.shape) < 0.15
+        Xm[mask] = np.nan
+        out = MatrixFactorizationImputer(
+            n_factors=2, random_state=0
+        ).fit_transform(Xm)
+        mf_err = np.abs(out[mask] - X[mask]).mean()
+        mean_err = np.abs(
+            SimpleImputer().fit_transform(Xm)[mask] - X[mask]
+        ).mean()
+        assert mf_err < mean_err / 5
+
+    def test_no_nans_left(self, rng):
+        from repro.ml.preprocessing import MatrixFactorizationImputer
+
+        _, Xm, _ = matrix_with_gaps(rng, rate=0.2)
+        out = MatrixFactorizationImputer(random_state=0).fit_transform(Xm)
+        assert not np.isnan(out).any()
+
+    def test_observed_values_untouched(self, rng):
+        from repro.ml.preprocessing import MatrixFactorizationImputer
+
+        X, Xm, mask = matrix_with_gaps(rng)
+        out = MatrixFactorizationImputer(random_state=0).fit_transform(Xm)
+        assert np.allclose(out[~mask], X[~mask])
+
+    def test_all_missing_row_gets_column_means(self, rng):
+        from repro.ml.preprocessing import MatrixFactorizationImputer
+
+        X = rng.normal(size=(30, 3))
+        Xm = X.copy()
+        Xm[0] = np.nan
+        imputer = MatrixFactorizationImputer(random_state=0).fit(Xm)
+        out = imputer.transform(Xm)
+        assert np.allclose(out[0], imputer.column_mean_)
+
+    def test_transform_width_check(self, rng):
+        from repro.ml.preprocessing import MatrixFactorizationImputer
+
+        _, Xm, _ = matrix_with_gaps(rng)
+        imputer = MatrixFactorizationImputer(random_state=0).fit(Xm)
+        with pytest.raises(ValueError, match="features"):
+            imputer.transform(Xm[:, :2])
+
+    def test_invalid_params(self):
+        from repro.ml.preprocessing import MatrixFactorizationImputer
+
+        with pytest.raises(ValueError):
+            MatrixFactorizationImputer(n_factors=0)
+        with pytest.raises(ValueError):
+            MatrixFactorizationImputer(regularization=-1.0)

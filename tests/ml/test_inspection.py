@@ -1,0 +1,117 @@
+"""Tests for permutation importance and partial dependence."""
+
+import numpy as np
+import pytest
+
+from repro.ml.ensemble import RandomForestRegressor
+from repro.ml.inspection import partial_dependence, permutation_importance
+from repro.ml.linear import LinearRegression, LogisticRegression
+
+
+@pytest.fixture(scope="module")
+def fitted_setup():
+    rng = np.random.default_rng(0)
+    X = rng.normal(size=(300, 4))
+    # feature 1 dominates, feature 3 is irrelevant
+    y = 5.0 * X[:, 1] + 1.0 * X[:, 0] + 0.1 * rng.normal(size=300)
+    model = RandomForestRegressor(n_estimators=20, random_state=0).fit(X, y)
+    return model, X, y
+
+
+class TestPermutationImportance:
+    def test_dominant_feature_ranked_first(self, fitted_setup):
+        model, X, y = fitted_setup
+        result = permutation_importance(
+            model, X, y, metric="rmse", random_state=0
+        )
+        assert result.ranking()[0] == 1
+
+    def test_irrelevant_feature_near_zero(self, fitted_setup):
+        model, X, y = fitted_setup
+        result = permutation_importance(
+            model, X, y, metric="rmse", random_state=0
+        )
+        assert result.importances_mean[3] < result.importances_mean[1] / 20
+
+    def test_importances_positive_for_errors_and_scores(self, fitted_setup):
+        model, X, y = fitted_setup
+        by_error = permutation_importance(
+            model, X, y, metric="rmse", random_state=0
+        )
+        by_score = permutation_importance(
+            model, X, y, metric="r2", random_state=0
+        )
+        # both orientations: important feature has large positive value
+        assert by_error.importances_mean[1] > 0
+        assert by_score.importances_mean[1] > 0
+        assert by_error.ranking()[0] == by_score.ranking()[0]
+
+    def test_works_on_pipelines(self, regression_data):
+        from repro.core import make_pipeline
+        from repro.ml.feature_selection import SelectKBest
+        from repro.ml.preprocessing import StandardScaler
+
+        X, y = regression_data
+        pipeline = make_pipeline(
+            StandardScaler(), SelectKBest(k=4), LinearRegression()
+        ).fit(X, y)
+        result = permutation_importance(
+            pipeline, X, y, metric="rmse", random_state=0
+        )
+        assert result.importances_mean.shape == (X.shape[1],)
+
+    def test_classification_metric(self, classification_data):
+        X, y = classification_data
+        model = LogisticRegression().fit(X, y)
+        result = permutation_importance(
+            model, X, y, metric="accuracy", random_state=0
+        )
+        assert result.greater_is_better
+        assert (result.importances_mean >= -0.05).all()
+
+    def test_repeat_std_recorded(self, fitted_setup):
+        model, X, y = fitted_setup
+        result = permutation_importance(
+            model, X, y, n_repeats=4, random_state=0
+        )
+        assert result.importances_std.shape == (4,)
+        assert (result.importances_std >= 0).all()
+
+    def test_invalid_repeats(self, fitted_setup):
+        model, X, y = fitted_setup
+        with pytest.raises(ValueError, match="n_repeats"):
+            permutation_importance(model, X, y, n_repeats=0)
+
+
+class TestPartialDependence:
+    def test_linear_feature_gives_linear_curve(self, rng):
+        X = rng.normal(size=(200, 3))
+        y = 2.0 * X[:, 0]
+        model = LinearRegression().fit(X, y)
+        grid, means = partial_dependence(model, X, feature=0)
+        slopes = np.diff(means) / np.diff(grid)
+        assert np.allclose(slopes, 2.0, atol=1e-8)
+
+    def test_irrelevant_feature_flat_curve(self, fitted_setup):
+        model, X, _ = fitted_setup
+        _, means = partial_dependence(model, X, feature=3)
+        _, strong = partial_dependence(model, X, feature=1)
+        assert np.ptp(means) < np.ptp(strong) / 10
+
+    def test_custom_grid(self, fitted_setup):
+        model, X, _ = fitted_setup
+        grid, means = partial_dependence(
+            model, X, feature=1, grid=[-1.0, 0.0, 1.0]
+        )
+        assert grid.tolist() == [-1.0, 0.0, 1.0]
+        assert means.shape == (3,)
+
+    def test_monotone_on_dominant_feature(self, fitted_setup):
+        model, X, _ = fitted_setup
+        _, means = partial_dependence(model, X, feature=1, n_points=10)
+        assert means[-1] > means[0]
+
+    def test_invalid_feature(self, fitted_setup):
+        model, X, _ = fitted_setup
+        with pytest.raises(ValueError, match="column index"):
+            partial_dependence(model, X, feature=9)

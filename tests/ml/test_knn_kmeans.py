@@ -1,0 +1,136 @@
+"""Tests for k-nearest-neighbor models and k-means."""
+
+import numpy as np
+import pytest
+
+from repro.ml.cluster import KMeans
+from repro.ml.neighbors import KNeighborsClassifier, KNeighborsRegressor
+
+
+class TestKNNRegressor:
+    def test_k1_memorizes_training_data(self, rng):
+        X = rng.normal(size=(40, 3))
+        y = rng.normal(size=40)
+        model = KNeighborsRegressor(n_neighbors=1).fit(X, y)
+        assert np.allclose(model.predict(X), y)
+
+    def test_uniform_average_of_neighbors(self):
+        X = np.array([[0.0], [1.0], [10.0]])
+        y = np.array([0.0, 2.0, 100.0])
+        model = KNeighborsRegressor(n_neighbors=2).fit(X, y)
+        assert model.predict([[0.4]])[0] == pytest.approx(1.0)
+
+    def test_distance_weighting_favors_closer(self):
+        X = np.array([[0.0], [1.0]])
+        y = np.array([0.0, 10.0])
+        uniform = KNeighborsRegressor(2, weights="uniform").fit(X, y)
+        weighted = KNeighborsRegressor(2, weights="distance").fit(X, y)
+        q = [[0.1]]
+        assert uniform.predict(q)[0] == pytest.approx(5.0)
+        assert weighted.predict(q)[0] < 2.0
+
+    def test_exact_match_with_distance_weights(self):
+        X = np.array([[0.0], [1.0]])
+        y = np.array([7.0, 9.0])
+        model = KNeighborsRegressor(2, weights="distance").fit(X, y)
+        assert model.predict([[0.0]])[0] == pytest.approx(7.0)
+
+    def test_k_clipped_to_training_size(self, rng):
+        X = rng.normal(size=(3, 2))
+        y = rng.normal(size=3)
+        model = KNeighborsRegressor(n_neighbors=10).fit(X, y)
+        assert model.predict(X).shape == (3,)
+
+    def test_invalid_weights(self):
+        with pytest.raises(ValueError, match="weights"):
+            KNeighborsRegressor(weights="gaussian")
+
+    def test_width_mismatch(self, rng):
+        model = KNeighborsRegressor().fit(rng.normal(size=(10, 3)), np.ones(10))
+        with pytest.raises(ValueError, match="features"):
+            model.predict(rng.normal(size=(2, 2)))
+
+
+class TestKNNClassifier:
+    def test_majority_vote(self):
+        X = np.array([[0.0], [0.1], [0.2], [5.0], [5.1]])
+        y = np.array([0, 0, 0, 1, 1])
+        model = KNeighborsClassifier(n_neighbors=3).fit(X, y)
+        assert model.predict([[0.05]])[0] == 0
+        assert model.predict([[5.05]])[0] == 1
+
+    def test_probabilities_reflect_vote_share(self):
+        X = np.array([[0.0], [0.2], [0.4]])
+        y = np.array([0, 0, 1])
+        proba = KNeighborsClassifier(3).fit(X, y).predict_proba([[0.1]])
+        assert proba[0, 0] == pytest.approx(2 / 3)
+
+    def test_string_labels(self, rng):
+        X = rng.normal(size=(30, 2))
+        X[15:] += 5.0
+        y = np.array(["low"] * 15 + ["high"] * 15)
+        model = KNeighborsClassifier(3).fit(X, y)
+        assert model.score(X, y) == 1.0
+
+    def test_accuracy_on_blobs(self, cluster_data):
+        X, y = cluster_data
+        model = KNeighborsClassifier(5).fit(X, y)
+        assert model.score(X, y) > 0.95
+
+
+class TestKMeans:
+    def test_recovers_well_separated_blobs(self, cluster_data):
+        X, truth = cluster_data
+        model = KMeans(n_clusters=3, random_state=0).fit(X)
+        # label-permutation-invariant check: each true cluster maps to
+        # one dominant predicted cluster
+        for c in np.unique(truth):
+            labels, counts = np.unique(
+                model.labels_[truth == c], return_counts=True
+            )
+            assert counts.max() / counts.sum() > 0.95
+
+    def test_inertia_decreases_with_k(self, cluster_data):
+        X, _ = cluster_data
+        inertias = [
+            KMeans(n_clusters=k, random_state=0).fit(X).inertia_
+            for k in (1, 2, 3, 5)
+        ]
+        assert all(a >= b for a, b in zip(inertias, inertias[1:]))
+
+    def test_predict_assigns_nearest_center(self, cluster_data):
+        X, _ = cluster_data
+        model = KMeans(n_clusters=3, random_state=0).fit(X)
+        assert np.array_equal(model.predict(X), model.labels_)
+
+    def test_transform_distances_shape(self, cluster_data):
+        X, _ = cluster_data
+        model = KMeans(n_clusters=3, random_state=0).fit(X)
+        D = model.transform(X[:7])
+        assert D.shape == (7, 3)
+        assert (D >= 0).all()
+
+    def test_fit_predict_shortcut(self, cluster_data):
+        X, _ = cluster_data
+        labels = KMeans(n_clusters=2, random_state=0).fit_predict(X)
+        assert set(labels) <= {0, 1}
+
+    def test_reproducible_with_seed(self, cluster_data):
+        X, _ = cluster_data
+        a = KMeans(3, random_state=5).fit(X)
+        b = KMeans(3, random_state=5).fit(X)
+        assert np.allclose(a.cluster_centers_, b.cluster_centers_)
+
+    def test_more_clusters_than_samples_rejected(self, rng):
+        with pytest.raises(ValueError, match="n_clusters"):
+            KMeans(n_clusters=10).fit(rng.normal(size=(5, 2)))
+
+    def test_duplicate_points_handled(self):
+        X = np.array([[1.0, 1.0]] * 10 + [[5.0, 5.0]] * 10)
+        model = KMeans(n_clusters=2, random_state=0).fit(X)
+        assert model.inertia_ == pytest.approx(0.0, abs=1e-9)
+
+    def test_k1_center_is_mean(self, rng):
+        X = rng.normal(size=(50, 3))
+        model = KMeans(n_clusters=1, random_state=0).fit(X)
+        assert np.allclose(model.cluster_centers_[0], X.mean(axis=0), atol=1e-8)

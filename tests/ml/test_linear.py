@@ -1,0 +1,135 @@
+"""Tests for linear and logistic models."""
+
+import numpy as np
+import pytest
+
+from repro.ml.base import NotFittedError
+from repro.ml.linear import LinearRegression, LogisticRegression, RidgeRegression
+from repro.ml.metrics import r2_score, roc_auc_score
+
+
+class TestLinearRegression:
+    def test_exact_recovery_without_noise(self, rng):
+        X = rng.normal(size=(60, 3))
+        coef = np.array([2.0, -1.0, 0.5])
+        y = X @ coef + 4.0
+        model = LinearRegression().fit(X, y)
+        assert np.allclose(model.coef_, coef, atol=1e-10)
+        assert model.intercept_ == pytest.approx(4.0)
+
+    def test_without_intercept(self, rng):
+        X = rng.normal(size=(60, 2))
+        y = X @ np.array([1.0, 2.0])
+        model = LinearRegression(fit_intercept=False).fit(X, y)
+        assert model.intercept_ == 0.0
+        assert np.allclose(model.coef_, [1.0, 2.0], atol=1e-10)
+
+    def test_underdetermined_system_still_fits(self, rng):
+        # more features than samples: lstsq picks the minimum-norm fit
+        X = rng.normal(size=(5, 10))
+        y = rng.normal(size=5)
+        model = LinearRegression().fit(X, y)
+        assert r2_score(y, model.predict(X)) > 0.99
+
+    def test_predict_width_check(self, rng):
+        model = LinearRegression().fit(rng.normal(size=(10, 3)), rng.normal(size=10))
+        with pytest.raises(ValueError, match="features"):
+            model.predict(rng.normal(size=(2, 4)))
+
+    def test_length_mismatch(self, rng):
+        with pytest.raises(ValueError, match="inconsistent"):
+            LinearRegression().fit(rng.normal(size=(10, 2)), np.ones(9))
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            LinearRegression().predict([[1.0]])
+
+
+class TestRidgeRegression:
+    def test_alpha_zero_matches_ols(self, rng):
+        X = rng.normal(size=(80, 4))
+        y = X @ rng.normal(size=4) + rng.normal(size=80) * 0.1
+        ols = LinearRegression().fit(X, y)
+        ridge = RidgeRegression(alpha=0.0).fit(X, y)
+        assert np.allclose(ridge.coef_, ols.coef_, atol=1e-8)
+
+    def test_shrinkage_monotone_in_alpha(self, rng):
+        X = rng.normal(size=(50, 3))
+        y = X @ np.array([5.0, -3.0, 2.0])
+        norms = [
+            np.linalg.norm(RidgeRegression(alpha=a).fit(X, y).coef_)
+            for a in (0.0, 1.0, 100.0)
+        ]
+        assert norms[0] > norms[1] > norms[2]
+
+    def test_intercept_not_penalized(self, rng):
+        # a huge offset must survive strong regularization
+        X = rng.normal(size=(100, 2))
+        y = X @ np.array([1.0, 1.0]) + 1000.0
+        model = RidgeRegression(alpha=100.0).fit(X, y)
+        assert model.intercept_ == pytest.approx(1000.0, abs=1.0)
+
+    def test_stabilizes_collinear_features(self, rng):
+        x = rng.normal(size=100)
+        X = np.column_stack([x, x + 1e-8 * rng.normal(size=100)])
+        y = x
+        model = RidgeRegression(alpha=1.0).fit(X, y)
+        assert np.abs(model.coef_).max() < 10.0
+
+    def test_negative_alpha_rejected(self):
+        with pytest.raises(ValueError):
+            RidgeRegression(alpha=-1.0)
+
+
+class TestLogisticRegression:
+    def test_separable_data_high_accuracy(self, classification_data):
+        X, y = classification_data
+        model = LogisticRegression(max_iter=300).fit(X, y)
+        assert model.score(X, y) > 0.9
+
+    def test_probabilities_sum_to_one(self, classification_data):
+        X, y = classification_data
+        proba = LogisticRegression().fit(X, y).predict_proba(X)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+        assert (proba >= 0).all() and (proba <= 1).all()
+
+    def test_auc_on_separable_data(self, classification_data):
+        X, y = classification_data
+        model = LogisticRegression().fit(X, y)
+        scores = model.decision_function(X)
+        assert roc_auc_score(y, scores) > 0.95
+
+    def test_classes_preserved(self, rng):
+        X = rng.normal(size=(60, 2))
+        X[30:] += 4.0
+        y = np.array(["ok"] * 30 + ["fail"] * 30)
+        model = LogisticRegression().fit(X, y)
+        assert set(model.predict(X)) <= {"ok", "fail"}
+
+    def test_multiclass_one_vs_rest(self, rng):
+        centers = np.array([[0.0, 0.0], [5.0, 0.0], [0.0, 5.0]])
+        X = np.vstack([rng.normal(size=(40, 2)) + c for c in centers])
+        y = np.repeat([0, 1, 2], 40)
+        model = LogisticRegression(max_iter=300).fit(X, y)
+        assert model.score(X, y) > 0.9
+        assert model.predict_proba(X).shape == (120, 3)
+
+    def test_balanced_weights_raise_minority_recall(self, imbalanced_data):
+        X, y = imbalanced_data
+        from repro.ml.metrics import recall_score
+
+        plain = LogisticRegression(max_iter=200).fit(X, y)
+        balanced = LogisticRegression(
+            class_weight="balanced", max_iter=200
+        ).fit(X, y)
+        assert recall_score(y, balanced.predict(X)) >= recall_score(
+            y, plain.predict(X)
+        )
+
+    def test_single_class_rejected(self, rng):
+        with pytest.raises(ValueError, match="two classes"):
+            LogisticRegression().fit(rng.normal(size=(10, 2)), np.zeros(10))
+
+    def test_invalid_class_weight(self):
+        with pytest.raises(ValueError, match="class_weight"):
+            LogisticRegression(class_weight="heavy")

@@ -1,0 +1,191 @@
+"""Tests and property tests for regression and classification metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.ml.metrics import (
+    CLASSIFICATION_METRICS,
+    GREATER_IS_BETTER,
+    REGRESSION_METRICS,
+    accuracy_score,
+    confusion_matrix,
+    explained_variance,
+    f1_score,
+    mean_absolute_error,
+    mean_absolute_percentage_error,
+    mean_squared_error,
+    mean_squared_log_error,
+    median_absolute_error,
+    precision_score,
+    r2_score,
+    recall_score,
+    roc_auc_score,
+    roc_curve,
+    root_mean_squared_error,
+)
+
+vec = arrays(
+    np.float64,
+    st.integers(2, 50),
+    elements=st.floats(-1e4, 1e4, allow_nan=False, width=64),
+)
+
+
+class TestRegressionMetrics:
+    def test_perfect_prediction_zero_error(self, rng):
+        y = rng.normal(size=30)
+        assert mean_squared_error(y, y) == 0.0
+        assert mean_absolute_error(y, y) == 0.0
+        assert root_mean_squared_error(y, y) == 0.0
+        assert median_absolute_error(y, y) == 0.0
+        assert r2_score(y, y) == pytest.approx(1.0)
+
+    def test_known_values(self):
+        y_true = np.array([1.0, 2.0, 3.0])
+        y_pred = np.array([2.0, 2.0, 5.0])
+        assert mean_squared_error(y_true, y_pred) == pytest.approx(5 / 3)
+        assert mean_absolute_error(y_true, y_pred) == pytest.approx(1.0)
+        assert median_absolute_error(y_true, y_pred) == pytest.approx(1.0)
+
+    def test_rmse_is_sqrt_mse(self, rng):
+        y, p = rng.normal(size=20), rng.normal(size=20)
+        assert root_mean_squared_error(y, p) == pytest.approx(
+            np.sqrt(mean_squared_error(y, p))
+        )
+
+    def test_r2_mean_predictor_is_zero(self, rng):
+        y = rng.normal(size=100)
+        assert r2_score(y, np.full_like(y, y.mean())) == pytest.approx(0.0)
+
+    def test_r2_worse_than_mean_is_negative(self, rng):
+        y = rng.normal(size=50)
+        assert r2_score(y, -5.0 * y) < 0.0
+
+    def test_r2_constant_truth_convention(self):
+        y = np.full(10, 3.0)
+        assert r2_score(y, y) == 0.0
+        assert r2_score(y, y + 1.0) == -1.0
+
+    def test_mape_percent_units(self):
+        assert mean_absolute_percentage_error(
+            [100.0, 200.0], [110.0, 180.0]
+        ) == pytest.approx(10.0)
+
+    def test_mape_finite_at_zero_truth(self):
+        assert np.isfinite(
+            mean_absolute_percentage_error([0.0, 1.0], [1.0, 1.0])
+        )
+
+    def test_msle_rejects_below_minus_one(self):
+        with pytest.raises(ValueError, match="log"):
+            mean_squared_log_error([-2.0], [1.0])
+
+    def test_explained_variance_offset_invariant(self, rng):
+        # a constant bias hurts r2 but not explained variance
+        y = rng.normal(size=100)
+        p = y + 10.0
+        assert explained_variance(y, p) == pytest.approx(1.0)
+        assert r2_score(y, p) < 0.0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            mean_squared_error([1.0, 2.0], [1.0])
+
+    def test_registry_directions(self):
+        assert "r2" in GREATER_IS_BETTER
+        assert "rmse" not in GREATER_IS_BETTER
+        assert set(GREATER_IS_BETTER) <= set(REGRESSION_METRICS)
+
+    @settings(max_examples=40, deadline=None)
+    @given(vec)
+    def test_property_errors_nonnegative(self, y):
+        p = np.zeros_like(y)
+        assert mean_squared_error(y, p) >= 0.0
+        assert mean_absolute_error(y, p) >= 0.0
+        assert root_mean_squared_error(y, p) >= 0.0
+
+    @settings(max_examples=40, deadline=None)
+    @given(vec)
+    def test_property_mae_le_rmse(self, y):
+        p = np.zeros_like(y)
+        # Cauchy-Schwarz: MAE <= RMSE always
+        assert mean_absolute_error(y, p) <= root_mean_squared_error(y, p) + 1e-9
+
+
+class TestClassificationMetrics:
+    def test_accuracy(self):
+        assert accuracy_score([1, 0, 1, 1], [1, 0, 0, 1]) == 0.75
+
+    def test_precision_recall_f1_known(self):
+        y_true = [1, 1, 1, 0, 0, 0]
+        y_pred = [1, 1, 0, 1, 0, 0]
+        assert precision_score(y_true, y_pred) == pytest.approx(2 / 3)
+        assert recall_score(y_true, y_pred) == pytest.approx(2 / 3)
+        assert f1_score(y_true, y_pred) == pytest.approx(2 / 3)
+
+    def test_no_positive_predictions(self):
+        assert precision_score([1, 0], [0, 0]) == 0.0
+        assert f1_score([1, 0], [0, 0]) == 0.0
+
+    def test_custom_positive_label(self):
+        y_true = ["cat", "dog", "dog"]
+        y_pred = ["cat", "dog", "cat"]
+        assert recall_score(y_true, y_pred, positive="dog") == pytest.approx(0.5)
+
+    def test_confusion_matrix_counts(self):
+        labels, M = confusion_matrix([0, 0, 1, 1], [0, 1, 1, 1])
+        assert labels.tolist() == [0, 1]
+        assert M.tolist() == [[1, 1], [0, 2]]
+        assert M.sum() == 4
+
+    def test_roc_auc_perfect_ranking(self):
+        y = [0, 0, 1, 1]
+        scores = [0.1, 0.2, 0.8, 0.9]
+        assert roc_auc_score(y, scores) == pytest.approx(1.0)
+
+    def test_roc_auc_random_is_half(self, rng):
+        y = rng.integers(0, 2, 2000)
+        scores = rng.random(2000)
+        assert roc_auc_score(y, scores) == pytest.approx(0.5, abs=0.05)
+
+    def test_roc_auc_inverted_ranking_is_zero(self):
+        assert roc_auc_score([0, 1], [0.9, 0.1]) == pytest.approx(0.0)
+
+    def test_roc_curve_endpoints(self, rng):
+        y = rng.integers(0, 2, 100)
+        y[0], y[1] = 0, 1  # guarantee both classes
+        fpr, tpr, thresholds = roc_curve(y, rng.random(100))
+        assert fpr[0] == 0.0 and tpr[0] == 0.0
+        assert fpr[-1] == pytest.approx(1.0)
+        assert tpr[-1] == pytest.approx(1.0)
+        assert (np.diff(fpr) >= 0).all() and (np.diff(tpr) >= 0).all()
+
+    def test_roc_single_class_rejected(self):
+        with pytest.raises(ValueError, match="both classes"):
+            roc_curve([1, 1, 1], [0.1, 0.2, 0.3])
+
+    def test_tied_scores_handled(self):
+        y = [0, 1, 0, 1]
+        auc = roc_auc_score(y, [0.5, 0.5, 0.5, 0.5])
+        assert auc == pytest.approx(0.5)
+
+    def test_registry_contents(self):
+        assert {"accuracy", "f1-score", "auc"} <= set(CLASSIFICATION_METRICS)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(st.integers(0, 1), min_size=4, max_size=60).filter(
+            lambda xs: 0 < sum(xs) < len(xs)
+        )
+    )
+    def test_property_f1_between_precision_and_recall_bounds(self, labels):
+        rng = np.random.default_rng(0)
+        y = np.array(labels)
+        pred = rng.integers(0, 2, len(y))
+        p = precision_score(y, pred)
+        r = recall_score(y, pred)
+        f = f1_score(y, pred)
+        assert min(p, r) - 1e-9 <= f <= max(p, r) + 1e-9

@@ -1,0 +1,114 @@
+"""Tests for outlier detection and handling."""
+
+import numpy as np
+import pytest
+
+from repro.ml.preprocessing import (
+    IQROutlierDetector,
+    OutlierClipper,
+    ZScoreOutlierDetector,
+    remove_outliers,
+)
+
+
+@pytest.fixture
+def data_with_outliers(rng):
+    X = rng.normal(size=(200, 3))
+    X[0] = [50.0, 0.0, 0.0]
+    X[1] = [0.0, -40.0, 0.0]
+    return X
+
+
+class TestZScoreDetector:
+    def test_flags_planted_outliers(self, data_with_outliers):
+        flags = ZScoreOutlierDetector(3.0).fit(data_with_outliers).predict(
+            data_with_outliers
+        )
+        assert flags[0] and flags[1]
+
+    def test_clean_data_mostly_unflagged(self, rng):
+        X = rng.normal(size=(500, 2))
+        flags = ZScoreOutlierDetector(4.0).fit(X).predict(X)
+        assert flags.mean() < 0.01
+
+    def test_threshold_monotonicity(self, data_with_outliers):
+        loose = ZScoreOutlierDetector(5.0).fit(data_with_outliers)
+        tight = ZScoreOutlierDetector(1.0).fit(data_with_outliers)
+        assert tight.predict(data_with_outliers).sum() >= loose.predict(
+            data_with_outliers
+        ).sum()
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            ZScoreOutlierDetector(0.0)
+
+    def test_constant_column_safe(self):
+        X = np.column_stack([np.full(20, 1.0), np.arange(20.0)])
+        flags = ZScoreOutlierDetector().fit(X).predict(X)
+        assert flags.dtype == bool
+
+
+class TestIQRDetector:
+    def test_flags_planted_outliers(self, data_with_outliers):
+        flags = IQROutlierDetector().fit(data_with_outliers).predict(
+            data_with_outliers
+        )
+        assert flags[0] and flags[1]
+
+    def test_fence_widens_with_k(self, data_with_outliers):
+        narrow = IQROutlierDetector(k=0.5).fit(data_with_outliers)
+        wide = IQROutlierDetector(k=3.0).fit(data_with_outliers)
+        assert narrow.predict(data_with_outliers).sum() >= wide.predict(
+            data_with_outliers
+        ).sum()
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            IQROutlierDetector(k=-1.0)
+
+
+class TestOutlierClipper:
+    def test_preserves_row_count(self, data_with_outliers):
+        out = OutlierClipper().fit_transform(data_with_outliers)
+        assert out.shape == data_with_outliers.shape
+
+    def test_clips_extremes_into_fence(self, data_with_outliers):
+        clipper = OutlierClipper().fit(data_with_outliers)
+        out = clipper.transform(data_with_outliers)
+        assert out[0, 0] < 50.0
+        assert (out >= clipper.detector_.lower_ - 1e-12).all()
+        assert (out <= clipper.detector_.upper_ + 1e-12).all()
+
+    def test_inliers_unchanged(self, rng):
+        X = rng.normal(size=(100, 2))
+        out = OutlierClipper(k=10.0).fit_transform(X)
+        assert np.allclose(out, X)
+
+
+class TestRemoveOutliers:
+    def test_drops_flagged_rows(self, data_with_outliers):
+        X_clean, _ = remove_outliers(data_with_outliers)
+        assert len(X_clean) < len(data_with_outliers)
+        assert np.abs(X_clean).max() < 40.0
+
+    def test_y_stays_aligned(self, data_with_outliers):
+        y = np.arange(len(data_with_outliers))
+        X_clean, y_clean = remove_outliers(data_with_outliers, y)
+        assert len(X_clean) == len(y_clean)
+        assert 0 not in y_clean and 1 not in y_clean
+
+    def test_never_drops_everything(self):
+        # tiny all-equal dataset where z-scores degenerate
+        X = np.array([[1.0], [1.0], [1.0]])
+        X_clean, _ = remove_outliers(X)
+        assert len(X_clean) >= 1
+
+    def test_custom_detector(self, data_with_outliers):
+        X_clean, _ = remove_outliers(
+            data_with_outliers, detector=IQROutlierDetector(k=1.5)
+        )
+        assert len(X_clean) < len(data_with_outliers)
+
+    def test_length_mismatch_rejected(self, data_with_outliers):
+        with pytest.raises(ValueError, match="inconsistent"):
+            remove_outliers(data_with_outliers, np.ones(3))

@@ -1,0 +1,157 @@
+"""Tests and property tests for the data scalers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.ml.base import NotFittedError
+from repro.ml.preprocessing import (
+    MinMaxScaler,
+    NoOp,
+    RobustScaler,
+    StandardScaler,
+)
+
+finite_matrix = arrays(
+    np.float64,
+    st.tuples(st.integers(2, 30), st.integers(1, 5)),
+    elements=st.floats(-1e6, 1e6, allow_nan=False, width=64),
+)
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_std(self, rng):
+        X = rng.normal(3.0, 5.0, size=(200, 4))
+        Z = StandardScaler().fit_transform(X)
+        assert np.allclose(Z.mean(axis=0), 0.0, atol=1e-10)
+        assert np.allclose(Z.std(axis=0), 1.0, atol=1e-10)
+
+    def test_constant_column_maps_to_zero(self):
+        X = np.column_stack([np.full(10, 7.0), np.arange(10.0)])
+        Z = StandardScaler().fit_transform(X)
+        assert np.allclose(Z[:, 0], 0.0)
+
+    def test_inverse_roundtrip(self, rng):
+        X = rng.normal(size=(50, 3))
+        scaler = StandardScaler().fit(X)
+        assert np.allclose(scaler.inverse_transform(scaler.transform(X)), X)
+
+    def test_with_mean_false_keeps_location(self, rng):
+        X = rng.normal(10.0, 1.0, size=(100, 2))
+        Z = StandardScaler(with_mean=False).fit_transform(X)
+        assert Z.mean() > 5.0
+
+    def test_with_std_false_only_centers(self, rng):
+        X = rng.normal(0.0, 5.0, size=(100, 2))
+        Z = StandardScaler(with_std=False).fit_transform(X)
+        assert np.allclose(Z.mean(axis=0), 0.0, atol=1e-10)
+        assert Z.std() > 2.0
+
+    def test_feature_count_mismatch(self, rng):
+        scaler = StandardScaler().fit(rng.normal(size=(10, 3)))
+        with pytest.raises(ValueError, match="features"):
+            scaler.transform(rng.normal(size=(5, 4)))
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            StandardScaler().transform([[1.0]])
+
+    @settings(max_examples=30, deadline=None)
+    @given(finite_matrix)
+    def test_property_transform_is_affine_invertible(self, X):
+        scaler = StandardScaler().fit(X)
+        back = scaler.inverse_transform(scaler.transform(X))
+        assert np.allclose(back, X, atol=1e-6 * (1 + np.abs(X).max()))
+
+
+class TestMinMaxScaler:
+    def test_default_range(self, rng):
+        X = rng.normal(size=(100, 3))
+        Z = MinMaxScaler().fit_transform(X)
+        assert np.allclose(Z.min(axis=0), 0.0)
+        assert np.allclose(Z.max(axis=0), 1.0)
+
+    def test_custom_range(self, rng):
+        X = rng.normal(size=(60, 2))
+        Z = MinMaxScaler(feature_range=(-1.0, 1.0)).fit_transform(X)
+        assert np.allclose(Z.min(axis=0), -1.0)
+        assert np.allclose(Z.max(axis=0), 1.0)
+
+    def test_invalid_range_rejected(self):
+        with pytest.raises(ValueError, match="increase"):
+            MinMaxScaler(feature_range=(1.0, 0.0))
+
+    def test_constant_column_maps_to_low(self):
+        X = np.full((10, 1), 4.2)
+        Z = MinMaxScaler(feature_range=(0.25, 0.75)).fit_transform(X)
+        assert np.allclose(Z, 0.25)
+
+    def test_inverse_roundtrip(self, rng):
+        X = rng.normal(size=(40, 4))
+        scaler = MinMaxScaler().fit(X)
+        assert np.allclose(scaler.inverse_transform(scaler.transform(X)), X)
+
+    def test_out_of_range_test_data_extrapolates(self):
+        scaler = MinMaxScaler().fit([[0.0], [10.0]])
+        assert scaler.transform([[20.0]])[0, 0] == pytest.approx(2.0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(finite_matrix)
+    def test_property_training_data_within_range(self, X):
+        Z = MinMaxScaler().fit_transform(X)
+        assert (Z >= -1e-9).all() and (Z <= 1.0 + 1e-9).all()
+
+
+class TestRobustScaler:
+    def test_median_removed(self, rng):
+        X = rng.normal(5.0, 2.0, size=(201, 3))
+        Z = RobustScaler().fit_transform(X)
+        assert np.allclose(np.median(Z, axis=0), 0.0, atol=1e-10)
+
+    def test_resistant_to_outliers(self, rng):
+        X = rng.normal(size=(200, 1))
+        X_dirty = X.copy()
+        X_dirty[:5] = 1e6  # extreme corruption
+        clean = RobustScaler().fit(X)
+        dirty = RobustScaler().fit(X_dirty)
+        # center/scale barely move despite the corruption
+        assert abs(clean.center_[0] - dirty.center_[0]) < 0.2
+        assert abs(clean.scale_[0] - dirty.scale_[0]) < 0.5
+
+    def test_standard_scaler_not_resistant(self, rng):
+        # contrast case justifying RobustScaler's existence
+        X = rng.normal(size=(200, 1))
+        X_dirty = X.copy()
+        X_dirty[:5] = 1e6
+        clean = StandardScaler().fit(X)
+        dirty = StandardScaler().fit(X_dirty)
+        assert abs(clean.mean_[0] - dirty.mean_[0]) > 1e3
+
+    def test_invalid_quantile_range(self):
+        with pytest.raises(ValueError, match="quantile_range"):
+            RobustScaler(quantile_range=(75.0, 25.0))
+
+    def test_inverse_roundtrip(self, rng):
+        X = rng.normal(size=(30, 2))
+        scaler = RobustScaler().fit(X)
+        assert np.allclose(scaler.inverse_transform(scaler.transform(X)), X)
+
+    def test_constant_column_safe(self):
+        X = np.full((20, 1), 3.0)
+        Z = RobustScaler().fit_transform(X)
+        assert np.allclose(Z, 0.0)
+
+
+class TestNoOp:
+    def test_identity(self, rng):
+        X = rng.normal(size=(10, 4))
+        assert np.array_equal(NoOp().fit_transform(X), X)
+
+    def test_promotes_1d(self):
+        assert NoOp().fit_transform([1.0, 2.0]).shape == (2, 1)
+
+    def test_inverse_is_identity(self, rng):
+        X = rng.normal(size=(5, 2))
+        assert np.array_equal(NoOp().fit(X).inverse_transform(X), X)

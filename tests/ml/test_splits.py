@@ -1,0 +1,198 @@
+"""Tests and property tests for the cross-validation splitters."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml.model_selection import (
+    KFold,
+    MonteCarloSplit,
+    StratifiedKFold,
+    TimeSeriesSlidingSplit,
+    TrainTestSplit,
+    resolve_splitter,
+)
+
+
+class TestKFold:
+    def test_every_sample_tested_exactly_once(self):
+        seen = np.zeros(100, dtype=int)
+        for _, test in KFold(5, random_state=0).split(100):
+            seen[test] += 1
+        assert (seen == 1).all()
+
+    def test_train_test_disjoint_and_complete(self):
+        for train, test in KFold(4, random_state=0).split(50):
+            assert len(np.intersect1d(train, test)) == 0
+            assert len(train) + len(test) == 50
+
+    def test_fold_sizes_balanced(self):
+        sizes = [len(test) for _, test in KFold(3, random_state=0).split(10)]
+        assert sorted(sizes) == [3, 3, 4]
+
+    def test_shuffle_reproducible(self):
+        a = [test.tolist() for _, test in KFold(3, random_state=7).split(30)]
+        b = [test.tolist() for _, test in KFold(3, random_state=7).split(30)]
+        assert a == b
+
+    def test_no_shuffle_is_contiguous(self):
+        folds = [test for _, test in KFold(2, shuffle=False).split(10)]
+        assert folds[0].tolist() == [0, 1, 2, 3, 4]
+
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(ValueError, match="cannot split"):
+            list(KFold(10).split(5))
+
+    def test_invalid_n_splits(self):
+        with pytest.raises(ValueError):
+            KFold(1)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.integers(2, 8),
+        st.integers(10, 200),
+        st.integers(0, 1000),
+    )
+    def test_property_partition_invariants(self, k, n, seed):
+        seen = np.zeros(n, dtype=int)
+        for train, test in KFold(k, random_state=seed).split(n):
+            assert len(test) >= 1 and len(train) >= 1
+            seen[test] += 1
+        assert (seen == 1).all()
+
+
+class TestStratifiedKFold:
+    def test_class_ratio_preserved(self, rng):
+        y = np.array([0] * 90 + [1] * 10)
+        for train, test in StratifiedKFold(5, random_state=0).split_labels(y):
+            assert y[test].sum() == 2  # 10 positives / 5 folds
+
+    def test_rare_class_in_every_fold(self):
+        y = np.array([0] * 95 + [1] * 5)
+        for _, test in StratifiedKFold(5, random_state=1).split_labels(y):
+            assert y[test].sum() >= 1
+
+    def test_partition_complete(self):
+        y = np.repeat([0, 1, 2], 20)
+        seen = np.zeros(60, dtype=int)
+        for _, test in StratifiedKFold(4, random_state=0).split_labels(y):
+            seen[test] += 1
+        assert (seen == 1).all()
+
+    def test_plain_split_fallback(self):
+        folds = list(StratifiedKFold(3, random_state=0).split(30))
+        assert len(folds) == 3
+
+
+class TestMonteCarloSplit:
+    def test_number_of_iterations(self):
+        assert len(list(MonteCarloSplit(7, random_state=0).split(50))) == 7
+
+    def test_test_size_fraction(self):
+        for train, test in MonteCarloSplit(3, 0.2, random_state=0).split(100):
+            assert len(test) == 20
+            assert len(train) == 80
+
+    def test_splits_differ_between_iterations(self):
+        tests = [t.tolist() for _, t in MonteCarloSplit(5, random_state=0).split(100)]
+        assert len({tuple(sorted(t)) for t in tests}) > 1
+
+    def test_disjoint_within_iteration(self):
+        for train, test in MonteCarloSplit(4, random_state=0).split(40):
+            assert len(np.intersect1d(train, test)) == 0
+
+    def test_invalid_test_size(self):
+        with pytest.raises(ValueError):
+            MonteCarloSplit(test_size=0.0)
+        with pytest.raises(ValueError):
+            MonteCarloSplit(test_size=1.0)
+
+
+class TestTrainTestSplit:
+    def test_single_split(self):
+        splits = list(TrainTestSplit(0.25, random_state=0).split(100))
+        assert len(splits) == 1
+        train, test = splits[0]
+        assert len(test) == 25 and len(train) == 75
+
+    def test_no_shuffle_tail_is_test(self):
+        train, test = next(TrainTestSplit(0.2, shuffle=False).split(10))
+        assert test.tolist() == [8, 9]
+        assert train.tolist() == [0, 1, 2, 3, 4, 5, 6, 7]
+
+
+class TestTimeSeriesSlidingSplit:
+    def test_no_leakage_train_strictly_before_val(self):
+        splitter = TimeSeriesSlidingSplit(5, buffer_size=3)
+        for train, val in splitter.split(200):
+            assert train.max() < val.min()
+            # the buffer gap is respected
+            assert val.min() - train.max() > 3
+
+    def test_buffer_width_exact(self):
+        splitter = TimeSeriesSlidingSplit(
+            3, train_size=50, val_size=10, buffer_size=5
+        )
+        for train, val in splitter.split(120):
+            assert val.min() - train.max() - 1 == 5
+
+    def test_windows_slide_forward(self):
+        splitter = TimeSeriesSlidingSplit(4, train_size=40, val_size=10)
+        starts = [train.min() for train, _ in splitter.split(150)]
+        assert starts == sorted(starts)
+        assert starts[0] < starts[-1]
+
+    def test_explicit_sizes_respected(self):
+        splitter = TimeSeriesSlidingSplit(
+            2, train_size=30, val_size=7, buffer_size=2
+        )
+        for train, val in splitter.split(100):
+            assert len(train) == 30
+            assert len(val) == 7
+
+    def test_indices_contiguous(self):
+        splitter = TimeSeriesSlidingSplit(3, train_size=20, val_size=5)
+        for train, val in splitter.split(80):
+            assert np.array_equal(train, np.arange(train[0], train[-1] + 1))
+            assert np.array_equal(val, np.arange(val[0], val[-1] + 1))
+
+    def test_window_too_large_rejected(self):
+        with pytest.raises(ValueError, match="exceeds"):
+            list(
+                TimeSeriesSlidingSplit(
+                    2, train_size=90, val_size=20
+                ).split(100)
+            )
+
+    def test_single_split_uses_series_tail(self):
+        splitter = TimeSeriesSlidingSplit(1, train_size=50, val_size=10)
+        train, val = next(splitter.split(100))
+        assert val[-1] == 99
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(1, 6), st.integers(60, 400), st.integers(0, 10))
+    def test_property_no_leakage(self, k, n, buffer):
+        splitter = TimeSeriesSlidingSplit(k, buffer_size=buffer)
+        for train, val in splitter.split(n):
+            assert train.max() + buffer < val.min()
+
+
+class TestResolveSplitter:
+    def test_by_name(self):
+        assert isinstance(resolve_splitter("kfold", n_splits=3), KFold)
+        assert isinstance(
+            resolve_splitter("time_series_sliding"), TimeSeriesSlidingSplit
+        )
+
+    def test_instance_passthrough(self):
+        splitter = KFold(4)
+        assert resolve_splitter(splitter) is splitter
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="available"):
+            resolve_splitter("loocv")
+
+    def test_bad_type(self):
+        with pytest.raises(TypeError):
+            resolve_splitter(42)

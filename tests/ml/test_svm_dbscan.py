@@ -1,0 +1,167 @@
+"""Tests for linear SVMs and DBSCAN."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import make_classification, make_clusters
+from repro.ml import LinearSVC, LinearSVR
+from repro.ml.cluster import DBSCAN
+from repro.ml.metrics import r2_score
+
+
+class TestLinearSVC:
+    def test_separable_data(self, classification_data):
+        X, y = classification_data
+        model = LinearSVC().fit(X, y)
+        assert model.score(X, y) > 0.9
+
+    def test_decision_function_sign_matches_prediction(self, classification_data):
+        X, y = classification_data
+        model = LinearSVC().fit(X, y)
+        scores = model.decision_function(X)
+        predictions = model.predict(X)
+        assert np.array_equal(predictions == model.classes_[1], scores >= 0)
+
+    def test_margin_orientation(self, rng):
+        # two well-separated 1-D blobs: weight sign must point at the
+        # positive class
+        X = np.concatenate([rng.normal(-5, 0.5, 50), rng.normal(5, 0.5, 50)])
+        y = np.r_[np.zeros(50), np.ones(50)]
+        model = LinearSVC().fit(X.reshape(-1, 1), y)
+        assert model.coef_[0] > 0
+        assert model.score(X.reshape(-1, 1), y) == 1.0
+
+    def test_string_labels(self, rng):
+        X = rng.normal(size=(60, 2))
+        X[30:] += 5.0
+        y = np.array(["no"] * 30 + ["yes"] * 30)
+        model = LinearSVC().fit(X, y)
+        assert set(model.predict(X)) <= {"no", "yes"}
+
+    def test_auc_via_decision_function(self, classification_data):
+        from repro.ml.metrics import roc_auc_score
+
+        X, y = classification_data
+        model = LinearSVC().fit(X, y)
+        assert roc_auc_score(y, model.decision_function(X)) > 0.95
+
+    def test_multiclass_rejected(self, rng):
+        X = rng.normal(size=(30, 2))
+        with pytest.raises(ValueError, match="binary"):
+            LinearSVC().fit(X, np.repeat([0, 1, 2], 10))
+
+    def test_regularization_shrinks_weights(self, classification_data):
+        X, y = classification_data
+        strong = LinearSVC(C=0.001).fit(X, y)
+        weak = LinearSVC(C=100.0).fit(X, y)
+        assert np.linalg.norm(strong.coef_) < np.linalg.norm(weak.coef_)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            LinearSVC(C=0.0)
+        with pytest.raises(ValueError):
+            LinearSVC(max_iter=0)
+
+    def test_graph_compatible(self, classification_data):
+        from repro.core import make_pipeline
+        from repro.ml.preprocessing import StandardScaler
+
+        X, y = classification_data
+        pipeline = make_pipeline(StandardScaler(), LinearSVC()).fit(X, y)
+        assert pipeline.score(X, y) > 0.9
+
+
+class TestLinearSVR:
+    def test_fits_linear_target(self, rng):
+        X = rng.normal(size=(200, 3))
+        y = X @ np.array([2.0, -1.0, 0.5]) + 1.0
+        model = LinearSVR(C=10.0, max_iter=800).fit(X, y)
+        assert r2_score(y, model.predict(X)) > 0.95
+
+    def test_epsilon_tube_ignores_small_noise(self, rng):
+        X = rng.normal(size=(150, 2))
+        y_clean = X @ np.array([1.0, 1.0])
+        y = y_clean + rng.uniform(-0.05, 0.05, size=150)
+        model = LinearSVR(C=10.0, epsilon=0.1, max_iter=600).fit(X, y)
+        assert np.allclose(model.coef_, [1.0, 1.0], atol=0.15)
+
+    def test_robust_to_outliers_vs_ols(self, rng):
+        # epsilon-insensitive + bounded subgradient resists target spikes
+        from repro.ml.linear import LinearRegression
+
+        X = rng.normal(size=(200, 1))
+        y = 2.0 * X[:, 0]
+        y_dirty = y.copy()
+        y_dirty[:5] += 200.0
+        svr = LinearSVR(C=10.0, max_iter=800).fit(X, y_dirty)
+        ols = LinearRegression().fit(X, y_dirty)
+        assert abs(svr.coef_[0] - 2.0) < abs(ols.coef_[0] - 2.0)
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(ValueError):
+            LinearSVR(epsilon=-1.0)
+
+
+class TestDBSCAN:
+    def test_discovers_cluster_count(self, rng):
+        X, _ = make_clusters(
+            n_samples=150, n_clusters=3, spread=0.4, random_state=0
+        )
+        model = DBSCAN(eps=1.2, min_samples=4).fit(X)
+        assert model.n_clusters_ == 3
+
+    def test_noise_points_labeled_minus_one(self, rng):
+        X, _ = make_clusters(
+            n_samples=100, n_clusters=2, spread=0.3, random_state=0
+        )
+        X = np.vstack([X, [[50.0, 50.0, 50.0, 50.0][: X.shape[1]]]])
+        model = DBSCAN(eps=1.0, min_samples=4).fit(X)
+        assert model.labels_[-1] == -1
+
+    def test_labels_match_ground_truth(self):
+        X, truth = make_clusters(
+            n_samples=150, n_clusters=3, spread=0.3, random_state=1
+        )
+        labels = DBSCAN(eps=1.0, min_samples=4).fit_predict(X)
+        for c in np.unique(truth):
+            member_labels = labels[truth == c]
+            member_labels = member_labels[member_labels >= 0]
+            values, counts = np.unique(member_labels, return_counts=True)
+            assert counts.max() / counts.sum() > 0.95
+
+    def test_all_noise_when_eps_tiny(self, rng):
+        X = rng.normal(size=(50, 2))
+        model = DBSCAN(eps=1e-6, min_samples=3).fit(X)
+        assert model.n_clusters_ == 0
+        assert (model.labels_ == -1).all()
+
+    def test_single_cluster_when_eps_huge(self, rng):
+        X = rng.normal(size=(50, 2))
+        model = DBSCAN(eps=100.0, min_samples=3).fit(X)
+        assert model.n_clusters_ == 1
+
+    def test_inductive_predict(self):
+        X, _ = make_clusters(
+            n_samples=120, n_clusters=2, spread=0.3, random_state=2
+        )
+        model = DBSCAN(eps=1.0, min_samples=4).fit(X)
+        # training points map to their own clusters
+        assert np.array_equal(
+            model.predict(X[:10]), model.labels_[:10]
+        )
+        # a faraway point is noise
+        far = np.full((1, X.shape[1]), 99.0)
+        assert model.predict(far)[0] == -1
+
+    def test_core_samples_recorded(self):
+        X, _ = make_clusters(
+            n_samples=90, n_clusters=3, spread=0.3, random_state=3
+        )
+        model = DBSCAN(eps=1.0, min_samples=4).fit(X)
+        assert len(model.core_sample_indices_) > 0
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            DBSCAN(eps=0.0)
+        with pytest.raises(ValueError):
+            DBSCAN(min_samples=0)

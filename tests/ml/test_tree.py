@@ -1,0 +1,135 @@
+"""Tests for CART decision trees."""
+
+import numpy as np
+import pytest
+
+from repro.ml.tree import DecisionTreeClassifier, DecisionTreeRegressor
+
+
+class TestRegressorTree:
+    def test_fits_step_function_exactly(self):
+        X = np.linspace(0, 1, 50).reshape(-1, 1)
+        y = (X[:, 0] > 0.5).astype(float) * 10.0
+        model = DecisionTreeRegressor(max_depth=2).fit(X, y)
+        assert np.allclose(model.predict(X), y)
+        assert model.n_leaves_ == 2
+
+    def test_max_depth_respected(self, regression_data):
+        X, y = regression_data
+        model = DecisionTreeRegressor(max_depth=3).fit(X, y)
+        assert model.depth_ <= 3
+
+    def test_min_samples_leaf_respected(self, regression_data):
+        X, y = regression_data
+
+        def leaf_sizes(node):
+            if node.is_leaf:
+                return [node.n_samples]
+            return leaf_sizes(node.left) + leaf_sizes(node.right)
+
+        model = DecisionTreeRegressor(min_samples_leaf=10).fit(X, y)
+        assert min(leaf_sizes(model.root_)) >= 10
+
+    def test_deeper_tree_fits_better_on_train(self, regression_data):
+        X, y = regression_data
+        shallow = DecisionTreeRegressor(max_depth=2).fit(X, y)
+        deep = DecisionTreeRegressor(max_depth=10).fit(X, y)
+        assert deep.score(X, y) >= shallow.score(X, y)
+
+    def test_constant_target_single_leaf(self, rng):
+        X = rng.normal(size=(30, 3))
+        model = DecisionTreeRegressor().fit(X, np.full(30, 5.0))
+        assert model.n_leaves_ == 1
+        assert np.allclose(model.predict(X), 5.0)
+
+    def test_feature_importances_identify_signal(self, rng):
+        X = rng.normal(size=(300, 4))
+        y = 5.0 * X[:, 2] + 0.01 * rng.normal(size=300)
+        model = DecisionTreeRegressor(max_depth=6).fit(X, y)
+        assert np.argmax(model.feature_importances_) == 2
+        assert model.feature_importances_.sum() == pytest.approx(1.0)
+
+    def test_duplicate_feature_values_handled(self):
+        # threshold cannot split identical values
+        X = np.array([[1.0], [1.0], [1.0], [2.0]])
+        y = np.array([0.0, 0.0, 1.0, 1.0])
+        model = DecisionTreeRegressor().fit(X, y)
+        # best achievable: split between 1.0 and 2.0
+        assert model.predict([[2.0]])[0] == pytest.approx(1.0)
+
+    def test_decision_rules_readable(self, regression_data):
+        X, y = regression_data
+        model = DecisionTreeRegressor(max_depth=2).fit(X, y)
+        rules = model.decision_rules()
+        assert len(rules) == model.n_leaves_
+        assert all(rule.startswith("if ") for rule in rules)
+
+    def test_max_features_sqrt(self, regression_data):
+        X, y = regression_data
+        model = DecisionTreeRegressor(
+            max_features="sqrt", random_state=0
+        ).fit(X, y)
+        assert model.score(X, y) > 0.5
+
+    def test_random_state_reproducible(self, regression_data):
+        X, y = regression_data
+        a = DecisionTreeRegressor(max_features=2, random_state=7).fit(X, y)
+        b = DecisionTreeRegressor(max_features=2, random_state=7).fit(X, y)
+        assert np.array_equal(a.predict(X), b.predict(X))
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            DecisionTreeRegressor(max_depth=0)
+        with pytest.raises(ValueError):
+            DecisionTreeRegressor(min_samples_split=1)
+        with pytest.raises(ValueError):
+            DecisionTreeRegressor(min_samples_leaf=0)
+
+    def test_predict_width_check(self, regression_data):
+        X, y = regression_data
+        model = DecisionTreeRegressor(max_depth=3).fit(X, y)
+        with pytest.raises(ValueError, match="features"):
+            model.predict(X[:, :4])
+
+
+class TestClassifierTree:
+    def test_xor_problem_solved(self):
+        # XOR requires depth 2 and defeats linear models
+        X = np.array(
+            [[0, 0], [0, 1], [1, 0], [1, 1]] * 10, dtype=float
+        )
+        y = np.array([0, 1, 1, 0] * 10)
+        model = DecisionTreeClassifier(max_depth=3).fit(X, y)
+        assert model.score(X, y) == 1.0
+
+    def test_probabilities_valid(self, classification_data):
+        X, y = classification_data
+        proba = DecisionTreeClassifier(max_depth=4).fit(X, y).predict_proba(X)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+        assert (proba >= 0).all()
+
+    def test_string_labels(self, rng):
+        X = rng.normal(size=(40, 2))
+        X[20:] += 5.0
+        y = np.array(["a"] * 20 + ["b"] * 20)
+        model = DecisionTreeClassifier().fit(X, y)
+        assert set(model.predict(X)) <= {"a", "b"}
+
+    def test_multiclass(self, rng):
+        centers = [[0, 0], [6, 0], [0, 6]]
+        X = np.vstack([rng.normal(size=(30, 2)) + c for c in centers])
+        y = np.repeat([0, 1, 2], 30)
+        model = DecisionTreeClassifier(max_depth=4).fit(X, y)
+        assert model.score(X, y) > 0.95
+
+    def test_pure_node_stops_growth(self):
+        X = np.array([[0.0], [1.0], [2.0], [3.0]])
+        y = np.array([0, 0, 0, 0])
+        model = DecisionTreeClassifier().fit(X, y)
+        assert model.n_leaves_ == 1
+
+    def test_gini_split_matches_obvious_boundary(self, rng):
+        X = np.sort(rng.normal(size=(100, 1)), axis=0)
+        y = (X[:, 0] > 0.0).astype(int)
+        model = DecisionTreeClassifier(max_depth=1).fit(X, y)
+        assert abs(model.root_.threshold) < 0.3

@@ -1,0 +1,139 @@
+"""Tests for the graph-compatible deep regression estimators."""
+
+import numpy as np
+import pytest
+
+from repro.ml.base import clone
+from repro.ml.metrics import r2_score
+from repro.nn import (
+    CNNRegressor,
+    DNNRegressor,
+    LSTMRegressor,
+    SeriesNetRegressor,
+    WaveNetRegressor,
+)
+from repro.timeseries import make_supervised
+
+
+@pytest.fixture(scope="module")
+def windowed_sine():
+    rng = np.random.default_rng(0)
+    t = np.arange(300)
+    series = np.sin(0.12 * t) + 0.03 * rng.normal(size=len(t))
+    return make_supervised(series, history=12)
+
+
+TEMPORAL = [
+    (LSTMRegressor, dict(epochs=12, hidden_size=12)),
+    (CNNRegressor, dict(epochs=20, n_filters=8)),
+    (WaveNetRegressor, dict(epochs=15, channels=8, n_blocks=2)),
+    (SeriesNetRegressor, dict(epochs=15, channels=8, n_blocks=2)),
+]
+
+
+class TestDNNRegressor:
+    def test_learns_linear_map(self, rng):
+        X = rng.normal(size=(150, 4))
+        y = X @ np.array([1.0, -1.0, 0.5, 2.0])
+        model = DNNRegressor(epochs=40, random_state=0).fit(X, y)
+        assert r2_score(y, model.predict(X)) > 0.9
+
+    def test_simple_has_2_hidden_deep_has_4(self, rng):
+        X = rng.normal(size=(30, 3))
+        y = X[:, 0]
+        simple = DNNRegressor(epochs=1, random_state=0).fit(X, y)
+        deep = DNNRegressor(architecture="deep", epochs=1, random_state=0).fit(X, y)
+        # layers: (Dense, ReLU, Dropout) * hidden + final Dense
+        assert len(simple.network_.layers) == 2 * 3 + 1
+        assert len(deep.network_.layers) == 4 * 3 + 1
+
+    def test_rejects_3d_input_with_pointer(self, rng):
+        with pytest.raises(ValueError, match="FlatWindowing"):
+            DNNRegressor().fit(rng.normal(size=(10, 4, 2)), rng.normal(size=10))
+
+    def test_reproducible_with_seed(self, rng):
+        X = rng.normal(size=(60, 3))
+        y = X[:, 0]
+        a = DNNRegressor(epochs=5, random_state=42).fit(X, y).predict(X)
+        b = DNNRegressor(epochs=5, random_state=42).fit(X, y).predict(X)
+        assert np.allclose(a, b)
+
+    def test_invalid_architecture(self):
+        with pytest.raises(ValueError, match="architecture"):
+            DNNRegressor(architecture="huge")
+
+    def test_clone_resets_fit(self, rng):
+        X = rng.normal(size=(30, 2))
+        model = DNNRegressor(epochs=2, random_state=0).fit(X, X[:, 0])
+        fresh = clone(model)
+        assert fresh.network_ is None
+        assert fresh.epochs == model.epochs
+
+    def test_train_losses_exposed(self, rng):
+        X = rng.normal(size=(40, 2))
+        model = DNNRegressor(epochs=5, random_state=0).fit(X, X[:, 0])
+        assert len(model.train_losses_) == 5
+
+
+class TestTemporalEstimators:
+    @pytest.mark.parametrize("cls,kwargs", TEMPORAL)
+    def test_beats_mean_predictor_on_sine(self, cls, kwargs, windowed_sine):
+        X, y = windowed_sine
+        model = cls(random_state=0, **kwargs).fit(X, y)
+        assert r2_score(y, model.predict(X)) > 0.5
+
+    @pytest.mark.parametrize("cls,kwargs", TEMPORAL)
+    def test_rejects_2d_input_with_pointer(self, cls, kwargs, rng):
+        with pytest.raises(ValueError, match="CascadedWindows"):
+            cls(**kwargs).fit(rng.normal(size=(20, 5)), rng.normal(size=20))
+
+    def test_lstm_deep_has_four_recurrent_layers(self, windowed_sine):
+        from repro.nn.recurrent import LSTM
+
+        X, y = windowed_sine
+        model = LSTMRegressor(
+            architecture="deep", epochs=1, hidden_size=4, random_state=0
+        ).fit(X[:40], y[:40])
+        lstm_layers = [
+            l for l in model.network_.layers if isinstance(l, LSTM)
+        ]
+        assert len(lstm_layers) == 4
+        # all but the last return sequences for stacking
+        assert [l.return_sequences for l in lstm_layers] == [
+            True, True, True, False,
+        ]
+
+    def test_cnn_deep_stacks_second_conv(self, windowed_sine):
+        from repro.nn.convolution import Conv1D
+
+        X, y = windowed_sine
+        model = CNNRegressor(
+            architecture="deep", epochs=1, random_state=0
+        ).fit(X[:40], y[:40])
+        convs = [l for l in model.network_.layers if isinstance(l, Conv1D)]
+        assert len(convs) == 2
+
+    def test_wavenet_receptive_field(self, windowed_sine):
+        from repro.nn.wavenet import WaveNetStack
+
+        X, y = windowed_sine
+        model = WaveNetRegressor(
+            n_blocks=3, kernel_size=2, epochs=1, random_state=0
+        ).fit(X[:40], y[:40])
+        stack = model.network_.layers[0]
+        assert isinstance(stack, WaveNetStack)
+        # dilations 1+2+4 with kernel 2: receptive field = 8
+        assert stack.receptive_field == 8
+
+    def test_predict_before_fit_raises(self, windowed_sine):
+        X, _ = windowed_sine
+        from repro.ml.base import NotFittedError
+
+        with pytest.raises(NotFittedError):
+            LSTMRegressor().predict(X)
+
+    def test_multivariate_windows(self, rng):
+        series = rng.normal(size=(200, 3)).cumsum(axis=0) * 0.1
+        X, y = make_supervised(series, history=8, target=1)
+        model = CNNRegressor(epochs=5, random_state=0).fit(X, y)
+        assert model.predict(X).shape == y.shape

@@ -1,0 +1,185 @@
+"""Numerical gradient checks for every layer's backward pass.
+
+The entire :mod:`repro.nn` framework rests on hand-written backprop;
+these tests compare each layer's analytic gradients (both w.r.t. inputs
+and w.r.t. parameters) against central finite differences.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    LSTM,
+    Conv1D,
+    Dense,
+    Dropout,
+    Flatten,
+    GlobalAveragePool1D,
+    MaxPool1D,
+    ReLU,
+    SeriesNetStack,
+    Tanh,
+    WaveNetStack,
+)
+from repro.nn.wavenet import GatedResidualBlock, SeriesNetBlock, TakeLastStep
+
+EPS = 1e-5
+TOL = 1e-4
+
+
+def numeric_input_grad(layer, x, upstream):
+    """Central-difference d(sum(upstream * forward(x)))/dx."""
+    grad = np.zeros_like(x)
+    flat_x = x.ravel()
+    flat_g = grad.ravel()
+    for i in range(flat_x.size):
+        orig = flat_x[i]
+        flat_x[i] = orig + EPS
+        plus = float((layer.forward(x) * upstream).sum())
+        flat_x[i] = orig - EPS
+        minus = float((layer.forward(x) * upstream).sum())
+        flat_x[i] = orig
+        flat_g[i] = (plus - minus) / (2 * EPS)
+    return grad
+
+
+def numeric_param_grads(layer, x, upstream):
+    """Central-difference gradients for every parameter of ``layer`` and
+    its descendants."""
+    out = {}
+    for sub in layer.iter_layers():
+        for key, param in sub.params.items():
+            grad = np.zeros_like(param)
+            flat_p = param.ravel()
+            flat_g = grad.ravel()
+            for i in range(flat_p.size):
+                orig = flat_p[i]
+                flat_p[i] = orig + EPS
+                plus = float((layer.forward(x) * upstream).sum())
+                flat_p[i] = orig - EPS
+                minus = float((layer.forward(x) * upstream).sum())
+                flat_p[i] = orig
+                flat_g[i] = (plus - minus) / (2 * EPS)
+            out[(id(sub), key)] = grad
+    return out
+
+
+def check_layer(layer, x, rng):
+    """Assert analytic == numeric for input and parameter gradients."""
+    out = layer.forward(x)
+    upstream = rng.normal(size=out.shape)
+    layer.zero_grads()
+    layer.forward(x)  # fresh cache
+    analytic_input = layer.backward(upstream)
+    numeric_input = numeric_input_grad(layer, x.copy(), upstream)
+    np.testing.assert_allclose(
+        analytic_input, numeric_input, rtol=TOL, atol=TOL
+    )
+    numeric_params = numeric_param_grads(layer, x.copy(), upstream)
+    for sub in layer.iter_layers():
+        for key in sub.params:
+            np.testing.assert_allclose(
+                sub.grads[key],
+                numeric_params[(id(sub), key)],
+                rtol=TOL,
+                atol=TOL,
+                err_msg=f"{type(sub).__name__}.{key}",
+            )
+
+
+@pytest.fixture
+def grad_rng():
+    return np.random.default_rng(7)
+
+
+class TestDenseGradients:
+    def test_dense_2d(self, grad_rng):
+        layer = Dense(4, 3, grad_rng)
+        check_layer(layer, grad_rng.normal(size=(5, 4)), grad_rng)
+
+    def test_dense_3d_input(self, grad_rng):
+        # Dense applied per time step (used after return_sequences LSTM)
+        layer = Dense(3, 2, grad_rng)
+        check_layer(layer, grad_rng.normal(size=(4, 6, 3)), grad_rng)
+
+
+class TestActivationGradients:
+    def test_relu(self, grad_rng):
+        check_layer(ReLU(), grad_rng.normal(size=(6, 5)) + 0.1, grad_rng)
+
+    def test_tanh(self, grad_rng):
+        check_layer(Tanh(), grad_rng.normal(size=(6, 5)), grad_rng)
+
+    def test_flatten(self, grad_rng):
+        check_layer(Flatten(), grad_rng.normal(size=(3, 4, 2)), grad_rng)
+
+    def test_dropout_eval_mode_is_identity(self, grad_rng):
+        layer = Dropout(0.5, grad_rng)
+        layer.eval_mode()
+        x = grad_rng.normal(size=(5, 4))
+        assert np.array_equal(layer.forward(x), x)
+        upstream = grad_rng.normal(size=(5, 4))
+        assert np.array_equal(layer.backward(upstream), upstream)
+
+    def test_dropout_train_mask_consistent(self, grad_rng):
+        layer = Dropout(0.4, grad_rng)
+        x = np.ones((200, 10))
+        out = layer.forward(x)
+        upstream = np.ones_like(x)
+        back = layer.backward(upstream)
+        # gradient flows exactly where activations survived
+        assert np.array_equal(out != 0, back != 0)
+
+
+class TestConvGradients:
+    @pytest.mark.parametrize("padding", ["same", "causal", "valid"])
+    def test_conv1d_paddings(self, padding, grad_rng):
+        layer = Conv1D(2, 3, kernel_size=3, padding=padding, rng=grad_rng)
+        check_layer(layer, grad_rng.normal(size=(3, 8, 2)), grad_rng)
+
+    @pytest.mark.parametrize("dilation", [1, 2, 4])
+    def test_conv1d_dilations(self, dilation, grad_rng):
+        layer = Conv1D(
+            2, 2, kernel_size=2, dilation=dilation, padding="causal",
+            rng=grad_rng,
+        )
+        check_layer(layer, grad_rng.normal(size=(2, 10, 2)), grad_rng)
+
+    def test_maxpool(self, grad_rng):
+        # offset values so argmax ties are improbable
+        x = grad_rng.normal(size=(3, 9, 2)) * 10
+        check_layer(MaxPool1D(2), x, grad_rng)
+
+    def test_global_average_pool(self, grad_rng):
+        check_layer(GlobalAveragePool1D(), grad_rng.normal(size=(3, 7, 2)), grad_rng)
+
+    def test_take_last_step(self, grad_rng):
+        check_layer(TakeLastStep(), grad_rng.normal(size=(4, 6, 3)), grad_rng)
+
+
+class TestRecurrentGradients:
+    def test_lstm_last_state(self, grad_rng):
+        layer = LSTM(2, 3, return_sequences=False, rng=grad_rng)
+        check_layer(layer, grad_rng.normal(size=(3, 5, 2)), grad_rng)
+
+    def test_lstm_sequences(self, grad_rng):
+        layer = LSTM(2, 3, return_sequences=True, rng=grad_rng)
+        check_layer(layer, grad_rng.normal(size=(2, 4, 2)), grad_rng)
+
+
+class TestWaveNetGradients:
+    def test_gated_residual_block(self, grad_rng):
+        layer = GatedResidualBlock(2, kernel_size=2, dilation=2, rng=grad_rng)
+        check_layer(layer, grad_rng.normal(size=(2, 8, 2)), grad_rng)
+
+    def test_wavenet_stack(self, grad_rng):
+        layer = WaveNetStack(2, channels=3, n_blocks=2, rng=grad_rng)
+        check_layer(layer, grad_rng.normal(size=(2, 8, 2)), grad_rng)
+
+    def test_seriesnet_block(self, grad_rng):
+        layer = SeriesNetBlock(2, kernel_size=2, dilation=1, rng=grad_rng)
+        check_layer(layer, grad_rng.normal(size=(2, 6, 2)) + 0.05, grad_rng)
+
+    def test_seriesnet_stack(self, grad_rng):
+        layer = SeriesNetStack(2, channels=3, n_blocks=2, rng=grad_rng)
+        check_layer(layer, grad_rng.normal(size=(2, 8, 2)) + 0.05, grad_rng)

@@ -1,0 +1,196 @@
+"""Tests for the Sequential container, optimizers and losses."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    SGD,
+    Adam,
+    Dense,
+    Dropout,
+    HuberLoss,
+    MSELoss,
+    ReLU,
+    Sequential,
+)
+
+
+def make_net(rng, widths=(3, 8, 1)):
+    layers = []
+    for a, b in zip(widths, widths[1:]):
+        layers.append(Dense(a, b, rng))
+        if b != widths[-1]:
+            layers.append(ReLU())
+    return Sequential(layers)
+
+
+class TestSequential:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one layer"):
+            Sequential([])
+
+    def test_forward_shape(self, rng):
+        net = make_net(rng)
+        assert net.forward(rng.normal(size=(10, 3))).shape == (10, 1)
+
+    def test_training_reduces_loss(self, rng):
+        X = rng.normal(size=(120, 3))
+        y = (X @ np.array([1.0, -2.0, 0.5])).reshape(-1, 1)
+        net = make_net(rng)
+        net.fit(X, y, epochs=40, rng=rng)
+        assert net.train_losses_[-1] < net.train_losses_[0] / 5
+
+    def test_learns_linear_function_well(self, rng):
+        X = rng.normal(size=(200, 3))
+        y = (2.0 * X[:, 0] - X[:, 1]).reshape(-1, 1)
+        net = make_net(rng)
+        net.fit(X, y, epochs=80, rng=rng)
+        residual = net.predict(X) - y
+        assert float(np.abs(residual).mean()) < 0.2
+
+    def test_n_parameters(self, rng):
+        net = Sequential([Dense(3, 4, rng), ReLU(), Dense(4, 1, rng)])
+        assert net.n_parameters() == (3 * 4 + 4) + (4 * 1 + 1)
+
+    def test_predict_disables_dropout(self, rng):
+        net = Sequential([Dense(2, 2, rng), Dropout(0.9, rng)])
+        X = rng.normal(size=(20, 2))
+        a = net.predict(X)
+        b = net.predict(X)
+        assert np.array_equal(a, b)  # no dropout randomness in eval
+
+    def test_mismatched_lengths_rejected(self, rng):
+        net = make_net(rng)
+        with pytest.raises(ValueError, match="inconsistent"):
+            net.fit(rng.normal(size=(10, 3)), np.zeros((9, 1)))
+
+    def test_invalid_epochs(self, rng):
+        net = make_net(rng)
+        with pytest.raises(ValueError, match="epochs"):
+            net.fit(rng.normal(size=(10, 3)), np.zeros((10, 1)), epochs=0)
+
+    def test_batch_size_larger_than_data_ok(self, rng):
+        net = make_net(rng)
+        X = rng.normal(size=(8, 3))
+        net.fit(X, np.zeros((8, 1)), epochs=2, batch_size=100, rng=rng)
+        assert len(net.train_losses_) == 2
+
+
+class TestOptimizers:
+    def _quadratic_layers(self, start):
+        layer = Dense(1, 1)
+        layer.params["W"][:] = start
+        layer.params["b"][:] = 0.0
+        return [layer]
+
+    def test_sgd_converges_on_least_squares(self, rng):
+        X = rng.normal(size=(100, 2))
+        y = (X @ np.array([3.0, -1.0])).reshape(-1, 1)
+        net = Sequential([Dense(2, 1, rng)])
+        net.fit(X, y, epochs=200, optimizer=SGD(learning_rate=0.05), rng=rng)
+        assert np.allclose(
+            net.layers[0].params["W"].ravel(), [3.0, -1.0], atol=0.05
+        )
+
+    def test_sgd_momentum_accepted(self, rng):
+        X = rng.normal(size=(50, 2))
+        y = X[:, :1]
+        net = Sequential([Dense(2, 1, rng)])
+        net.fit(
+            X, y, epochs=50,
+            optimizer=SGD(learning_rate=0.01, momentum=0.9), rng=rng,
+        )
+        assert net.train_losses_[-1] < net.train_losses_[0]
+
+    def test_adam_converges_faster_than_tiny_sgd(self, rng):
+        X = rng.normal(size=(100, 3))
+        y = X[:, :1]
+        net_a = Sequential([Dense(3, 1, np.random.default_rng(0))])
+        net_b = Sequential([Dense(3, 1, np.random.default_rng(0))])
+        net_a.fit(X, y, epochs=20, optimizer=Adam(0.01), rng=np.random.default_rng(1))
+        net_b.fit(X, y, epochs=20, optimizer=SGD(1e-5), rng=np.random.default_rng(1))
+        assert net_a.train_losses_[-1] < net_b.train_losses_[-1]
+
+    def test_gradient_clipping_limits_step(self):
+        layer = Dense(1, 1)
+        layer.params["W"][:] = 0.0
+        layer.zero_grads()
+        layer.grads["W"][:] = 1e6
+        SGD(learning_rate=1.0, clip_norm=1.0).step([layer])
+        assert abs(layer.params["W"][0, 0]) <= 1.0 + 1e-9
+
+    def test_invalid_hyperparams(self):
+        with pytest.raises(ValueError):
+            SGD(learning_rate=0.0)
+        with pytest.raises(ValueError):
+            SGD(momentum=1.0)
+        with pytest.raises(ValueError):
+            Adam(learning_rate=-1.0)
+
+
+class TestLosses:
+    def test_mse_value_and_grad(self):
+        loss = MSELoss()
+        value, grad = loss(np.array([[1.0], [3.0]]), np.array([[0.0], [0.0]]))
+        assert value == pytest.approx(5.0)
+        assert np.allclose(grad, [[1.0], [3.0]])
+
+    def test_mse_shape_mismatch(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            MSELoss()(np.zeros((2, 1)), np.zeros((3, 1)))
+
+    def test_huber_quadratic_region_matches_half_mse(self):
+        loss = HuberLoss(delta=10.0)
+        p = np.array([[0.5], [-0.5]])
+        t = np.zeros((2, 1))
+        value, _ = loss(p, t)
+        assert value == pytest.approx(0.5 * 0.25)
+
+    def test_huber_linear_region_bounded_gradient(self):
+        loss = HuberLoss(delta=1.0)
+        _, grad = loss(np.array([[100.0]]), np.array([[0.0]]))
+        assert abs(grad[0, 0]) <= 1.0
+
+    def test_huber_invalid_delta(self):
+        with pytest.raises(ValueError):
+            HuberLoss(delta=0.0)
+
+
+class TestEarlyStopping:
+    def test_stops_before_epoch_budget(self, rng):
+        # a noisy problem hits its validation floor quickly; with
+        # patience 3 the 200-epoch budget is cut well short
+        X = rng.normal(size=(150, 2))
+        y = X[:, :1] + 0.5 * rng.normal(size=(150, 1))
+        net = make_net(rng, widths=(2, 8, 1))
+        net.fit(
+            X, y, epochs=200, validation_fraction=0.2, patience=3, rng=rng
+        )
+        assert len(net.train_losses_) < 200
+        assert len(net.val_losses_) == len(net.train_losses_)
+
+    def test_without_validation_runs_full_budget(self, rng):
+        X = rng.normal(size=(60, 2))
+        y = X[:, :1]
+        net = make_net(rng, widths=(2, 4, 1))
+        net.fit(X, y, epochs=7, rng=rng)
+        assert len(net.train_losses_) == 7
+        assert net.val_losses_ == []
+
+    def test_validation_loss_tracks_holdout(self, rng):
+        X = rng.normal(size=(200, 3))
+        y = X @ np.array([[1.0], [0.5], [-1.0]])
+        net = make_net(rng)
+        net.fit(
+            X, y, epochs=30, validation_fraction=0.25, patience=30, rng=rng
+        )
+        assert net.val_losses_[-1] < net.val_losses_[0]
+
+    def test_invalid_validation_args(self, rng):
+        net = make_net(rng)
+        X = rng.normal(size=(20, 3))
+        y = np.zeros((20, 1))
+        with pytest.raises(ValueError, match="validation_fraction"):
+            net.fit(X, y, epochs=1, validation_fraction=1.0)
+        with pytest.raises(ValueError, match="patience"):
+            net.fit(X, y, epochs=1, validation_fraction=0.2, patience=0)

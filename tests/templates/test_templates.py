@@ -1,0 +1,265 @@
+"""Tests for the four solution templates (paper Section IV-E)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    make_asset_fleet,
+    make_failure_dataset,
+    make_process_outcomes,
+)
+from repro.templates import (
+    AnomalyAnalysisTemplate,
+    CohortAnalysisTemplate,
+    FailurePredictionTemplate,
+    RootCauseTemplate,
+    silhouette_score,
+    summarize_asset_series,
+)
+
+
+class TestFailurePrediction:
+    @pytest.fixture(scope="class")
+    def fitted(self):
+        X, y = make_failure_dataset(
+            n_samples=350, failure_rate=0.1, missing_rate=0.05,
+            random_state=0,
+        )
+        template = FailurePredictionTemplate(fast=True, n_splits=3).fit(X, y)
+        return template, X, y
+
+    def test_report_has_f1_and_path(self, fitted):
+        template, _, _ = fitted
+        report = template.report()
+        assert report.metrics["cv_f1"] > 0.4
+        assert "Input ->" in report.details["best_path"]
+        assert "F1" in report.headline
+
+    def test_predicts_binary_labels(self, fitted):
+        template, X, _ = fitted
+        predictions = template.predict(X)
+        assert set(np.unique(predictions)) <= {0, 1}
+
+    def test_handles_missing_values_at_predict(self, fitted):
+        template, X, _ = fitted
+        X_gaps = X[:10].copy()
+        X_gaps[0, 0] = np.nan
+        assert template.predict(X_gaps).shape == (10,)
+
+    def test_probabilities(self, fitted):
+        template, X, _ = fitted
+        proba = template.predict_proba(X[:20])
+        assert proba.shape == (20, 2)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    def test_detects_degraded_sensors(self, fitted):
+        # degradation pattern from the generator: sensors 0-2 drifted
+        template, _, _ = fitted
+        healthy = np.zeros((5, 8))
+        degraded = np.zeros((5, 8))
+        degraded[:, :3] = [2.0, -1.6, 1.2]
+        assert template.predict_proba(degraded)[:, 1].mean() > (
+            template.predict_proba(healthy)[:, 1].mean()
+        )
+
+    def test_rejects_nonbinary_labels(self, rng):
+        X = rng.normal(size=(30, 4))
+        with pytest.raises(ValueError, match="binary"):
+            FailurePredictionTemplate(fast=True).fit(X, np.arange(30))
+
+    def test_rejects_no_failures(self, rng):
+        X = rng.normal(size=(30, 4))
+        with pytest.raises(ValueError, match="no failures"):
+            FailurePredictionTemplate(fast=True).fit(X, np.zeros(30, int))
+
+    def test_unfitted_report_raises(self):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            FailurePredictionTemplate().report()
+
+
+class TestRootCause:
+    @pytest.fixture(scope="class")
+    def fitted(self):
+        X, y, names, weights = make_process_outcomes(
+            n_samples=500, random_state=0
+        )
+        template = RootCauseTemplate(
+            names, actionable=["temperature", "pressure", "feed_rate"],
+            random_state=0,
+        ).fit(X, y)
+        return template, X, y, names, weights
+
+    def test_contributions_match_generative_weights(self, fitted):
+        template, _, _, names, weights = fitted
+        contributions = template.contributions()
+        # signs must agree for every informative factor
+        for name in ("temperature", "pressure", "feed_rate"):
+            assert np.sign(contributions[name]) == np.sign(weights[name])
+        # irrelevant factors near zero
+        assert abs(contributions["humidity"]) < 0.15
+        assert abs(contributions["shift"]) < 0.15
+
+    def test_root_causes_ranked_correctly(self, fitted):
+        template, _, _, _, _ = fitted
+        top = template.root_causes(top=2)
+        assert top[0] == "temperature"  # |weight| = 2.0, the largest
+        assert "pressure" in top
+
+    def test_intervention_moves_prediction_to_target(self, fitted):
+        template, X, _, names, _ = fitted
+        current = X[0]
+        desired = 5.0
+        change = template.intervention(current, desired)
+        (factor, delta), = change.items()
+        adjusted = current.copy()
+        adjusted[names.index(factor)] += delta
+        achieved = float(
+            template.linear_.predict(
+                template.scaler_.transform(adjusted.reshape(1, -1))
+            )[0]
+        )
+        assert achieved == pytest.approx(desired, abs=0.2)
+
+    def test_intervention_only_actionable(self, fitted):
+        template, X, _, _, _ = fitted
+        change = template.intervention(X[0], 3.0)
+        assert set(change) <= {"temperature", "pressure", "feed_rate"}
+
+    def test_what_if_override(self, fitted):
+        template, X, _, _, _ = fitted
+        baseline = template.predict(X[:20])
+        counterfactual = template.what_if(X[:20], {"temperature": 0.0})
+        assert counterfactual.shape == baseline.shape
+        assert not np.allclose(counterfactual, baseline)
+
+    def test_what_if_unknown_factor(self, fitted):
+        template, X, _, _, _ = fitted
+        with pytest.raises(KeyError, match="unknown factor"):
+            template.what_if(X[:2], {"phase_of_moon": 1.0})
+
+    def test_report_headline_names_dominant_factor(self, fitted):
+        template, _, _, _, _ = fitted
+        assert "temperature" in template.report().headline
+
+    def test_actionable_must_be_subset(self):
+        with pytest.raises(ValueError, match="actionable"):
+            RootCauseTemplate(["a", "b"], actionable=["c"])
+
+    def test_wrong_width_rejected(self, fitted, rng):
+        template, _, _, _, _ = fitted
+        with pytest.raises(ValueError, match="factors"):
+            template.fit(rng.normal(size=(10, 2)), rng.normal(size=10))
+
+
+class TestAnomalyAnalysis:
+    @pytest.fixture(scope="class")
+    def fitted(self):
+        rng = np.random.default_rng(3)
+        X = rng.normal(size=(400, 4))
+        return AnomalyAnalysisTemplate(
+            contamination=0.02, random_state=0
+        ).fit(X), X
+
+    def test_training_flag_rate_near_contamination(self, fitted):
+        template, X = fitted
+        assert template.predict(X).mean() == pytest.approx(0.02, abs=0.01)
+
+    def test_distant_points_flagged(self, fitted):
+        template, X = fitted
+        outliers = X[:10] + 15.0
+        assert template.predict(outliers).mean() == 1.0
+
+    def test_scores_ordered_by_distance(self, fitted):
+        template, X = fitted
+        near = template.score(X[:5])
+        far = template.score(X[:5] + 20.0)
+        assert (far > near).all()
+
+    def test_multimodal_normal_data(self, rng):
+        # two operating modes: points in either mode are normal
+        mode_a = rng.normal(size=(150, 3))
+        mode_b = rng.normal(size=(150, 3)) + 8.0
+        X = np.vstack([mode_a, mode_b])
+        template = AnomalyAnalysisTemplate(
+            contamination=0.02, n_modes=2, random_state=0
+        ).fit(X)
+        # midpoint between modes is anomalous despite moderate z-score
+        midpoint = np.full((1, 3), 4.0)
+        assert template.predict(midpoint)[0] == 1
+
+    def test_invalid_contamination(self):
+        with pytest.raises(ValueError):
+            AnomalyAnalysisTemplate(contamination=0.9)
+
+    def test_report_fields(self, fitted):
+        template, _ = fitted
+        report = template.report()
+        assert "threshold" in report.metrics
+        assert report.recommendations
+
+
+class TestCohortAnalysis:
+    @pytest.fixture(scope="class")
+    def fleet(self):
+        return make_asset_fleet(
+            n_assets=30, n_cohorts=3, series_length=150, random_state=0
+        )
+
+    def test_recovers_true_cohort_count(self, fleet):
+        _, features, _ = fleet
+        template = CohortAnalysisTemplate(random_state=0).fit(features)
+        assert len(set(template.labels_)) == 3
+
+    def test_cohorts_match_ground_truth(self, fleet):
+        _, features, truth = fleet
+        template = CohortAnalysisTemplate(n_cohorts=3, random_state=0).fit(
+            features
+        )
+        for c in np.unique(truth):
+            _, counts = np.unique(
+                template.labels_[truth == c], return_counts=True
+            )
+            assert counts.max() / counts.sum() > 0.9
+
+    def test_fixed_cohort_count(self, fleet):
+        _, features, _ = fleet
+        template = CohortAnalysisTemplate(n_cohorts=5, random_state=0).fit(
+            features
+        )
+        assert len(set(template.labels_)) == 5
+
+    def test_predict_new_assets(self, fleet):
+        _, features, _ = fleet
+        template = CohortAnalysisTemplate(n_cohorts=3, random_state=0).fit(
+            features
+        )
+        labels = template.predict(features[:5])
+        assert np.array_equal(labels, template.labels_[:5])
+
+    def test_summarize_asset_series(self, fleet):
+        series, features, _ = fleet
+        computed = summarize_asset_series(series)
+        assert computed.shape == (len(series), 4)
+        assert np.allclose(computed[:, 0], series.mean(axis=1))
+
+    def test_report_sizes_sum_to_assets(self, fleet):
+        _, features, _ = fleet
+        template = CohortAnalysisTemplate(random_state=0).fit(features)
+        sizes = template.report().details["cohort_sizes"]
+        assert sum(sizes.values()) == len(features)
+
+
+class TestSilhouette:
+    def test_well_separated_high_score(self, cluster_data):
+        X, labels = cluster_data
+        assert silhouette_score(X, labels) > 0.6
+
+    def test_random_labels_low_score(self, cluster_data, rng):
+        X, _ = cluster_data
+        random_labels = rng.integers(0, 3, len(X))
+        assert silhouette_score(X, random_labels) < 0.1
+
+    def test_single_cluster_rejected(self, cluster_data):
+        X, _ = cluster_data
+        with pytest.raises(ValueError, match="two clusters"):
+            silhouette_score(X, np.zeros(len(X)))

@@ -1,0 +1,154 @@
+"""API-quality meta-tests: the public surface stays documented and
+importable."""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+PACKAGES = [
+    "repro",
+    "repro.core",
+    "repro.ml",
+    "repro.ml.preprocessing",
+    "repro.ml.feature_selection",
+    "repro.ml.decomposition",
+    "repro.ml.linear",
+    "repro.ml.tree",
+    "repro.ml.ensemble",
+    "repro.ml.neighbors",
+    "repro.ml.cluster",
+    "repro.ml.model_selection",
+    "repro.ml.metrics",
+    "repro.nn",
+    "repro.timeseries",
+    "repro.distributed",
+    "repro.darr",
+    "repro.templates",
+    "repro.datasets",
+]
+
+
+def iter_all_modules():
+    """Every module under the repro package."""
+    for module_info in pkgutil.walk_packages(
+        repro.__path__, prefix="repro."
+    ):
+        yield module_info.name
+
+
+class TestImportability:
+    @pytest.mark.parametrize("name", PACKAGES)
+    def test_package_imports(self, name):
+        importlib.import_module(name)
+
+    def test_every_module_imports(self):
+        for name in iter_all_modules():
+            importlib.import_module(name)
+
+    @pytest.mark.parametrize("name", PACKAGES)
+    def test_all_exports_resolve(self, name):
+        module = importlib.import_module(name)
+        for export in getattr(module, "__all__", []):
+            assert hasattr(module, export), f"{name}.{export} missing"
+
+
+class TestDocumentation:
+    def test_every_module_has_docstring(self):
+        undocumented = []
+        for name in iter_all_modules():
+            module = importlib.import_module(name)
+            if not (module.__doc__ or "").strip():
+                undocumented.append(name)
+        assert not undocumented, undocumented
+
+    @pytest.mark.parametrize("name", PACKAGES)
+    def test_every_public_item_has_docstring(self, name):
+        module = importlib.import_module(name)
+        undocumented = []
+        for export in getattr(module, "__all__", []):
+            obj = getattr(module, export)
+            if inspect.isclass(obj) or inspect.isfunction(obj):
+                if not (obj.__doc__ or "").strip():
+                    undocumented.append(f"{name}.{export}")
+        assert not undocumented, undocumented
+
+    #: Contract methods whose semantics the base classes/mixins define;
+    #: per-override docstrings would be boilerplate.
+    CONTRACT_METHODS = frozenset(
+        {
+            "fit",
+            "transform",
+            "fit_transform",
+            "inverse_transform",
+            "predict",
+            "predict_proba",
+            "decision_function",
+            "fit_predict",
+            "score",
+            "forward",
+            "backward",
+            "backward_with_skip",
+            "split",
+            "split_labels",
+            "get_n_splits",
+            "observe",
+            "reset",
+            "seed",
+            "should_recompute",
+            "step",
+            "train_mode",
+            "eval_mode",
+            "zero_grads",
+            "n_parameters",
+            "iter_layers",
+            "evaluate",
+        }
+    )
+
+    def test_every_public_method_has_docstring(self):
+        """Non-contract public methods of exported classes carry
+        docstrings."""
+        undocumented = []
+        for name in PACKAGES:
+            module = importlib.import_module(name)
+            for export in getattr(module, "__all__", []):
+                obj = getattr(module, export)
+                if not inspect.isclass(obj):
+                    continue
+                for attr_name, attr in vars(obj).items():
+                    if attr_name.startswith("_"):
+                        continue
+                    if attr_name in self.CONTRACT_METHODS:
+                        continue
+                    if not (
+                        inspect.isfunction(attr)
+                        or isinstance(attr, property)
+                    ):
+                        continue
+                    target = attr.fget if isinstance(attr, property) else attr
+                    if target is None or not (target.__doc__ or "").strip():
+                        undocumented.append(f"{name}.{export}.{attr_name}")
+        assert not undocumented, undocumented
+
+
+class TestComponentContracts:
+    def test_every_registered_component_is_cloneable(self):
+        from repro.core import registered_components
+        from repro.ml.base import clone
+
+        for name, cls in registered_components().items():
+            instance = cls()
+            copy = clone(instance)
+            assert type(copy) is cls, name
+            assert copy.get_params() == instance.get_params(), name
+
+    def test_every_registered_component_has_fit(self):
+        from repro.core import registered_components
+
+        for name, cls in registered_components().items():
+            assert hasattr(cls, "fit"), name
+            assert hasattr(cls, "transform") or hasattr(cls, "predict"), name

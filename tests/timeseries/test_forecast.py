@@ -1,0 +1,127 @@
+"""Tests for supervised framing (paper Fig. 6)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.timeseries import (
+    as_series,
+    make_supervised,
+    train_test_split_series,
+)
+
+
+class TestAsSeries:
+    def test_1d_becomes_single_variable(self):
+        s = as_series(np.arange(10.0))
+        assert s.shape == (10, 1)
+
+    def test_2d_passthrough(self):
+        s = as_series(np.zeros((10, 3)))
+        assert s.shape == (10, 3)
+
+    def test_rejects_3d(self):
+        with pytest.raises(ValueError, match="1-D or 2-D"):
+            as_series(np.zeros((2, 2, 2)))
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="impute"):
+            as_series([1.0, np.nan, 3.0])
+
+    def test_rejects_too_short(self):
+        with pytest.raises(ValueError, match="2 timestamps"):
+            as_series([1.0])
+
+
+class TestMakeSupervised:
+    def test_shapes_match_paper_formula(self):
+        # L - p windows of shape (p, v) for horizon 1
+        series = np.arange(40.0).reshape(20, 2)
+        X, y = make_supervised(series, history=5)
+        assert X.shape == (15, 5, 2)
+        assert y.shape == (15,)
+
+    def test_window_contents_exact(self):
+        series = np.arange(10.0)
+        X, y = make_supervised(series, history=3)
+        assert np.array_equal(X[0, :, 0], [0.0, 1.0, 2.0])
+        assert y[0] == 3.0
+        assert np.array_equal(X[-1, :, 0], [6.0, 7.0, 8.0])
+        assert y[-1] == 9.0
+
+    def test_horizon_shifts_labels(self):
+        series = np.arange(10.0)
+        X, y = make_supervised(series, history=3, horizon=2)
+        assert y[0] == 4.0
+        assert X.shape[0] == 10 - 3 - 2 + 1
+
+    def test_target_column_selected(self):
+        series = np.column_stack([np.arange(10.0), np.arange(10.0) * 100])
+        _, y = make_supervised(series, history=2, target=1)
+        assert y[0] == 200.0
+
+    def test_windows_never_contain_label(self):
+        series = np.arange(30.0)
+        X, y = make_supervised(series, history=4, horizon=1)
+        for i in range(len(y)):
+            assert y[i] not in X[i]  # strictly future value
+
+    def test_invalid_history(self):
+        with pytest.raises(ValueError, match="history"):
+            make_supervised(np.arange(10.0), history=0)
+        with pytest.raises(ValueError, match="history"):
+            make_supervised(np.arange(10.0), history=10)
+
+    def test_invalid_horizon(self):
+        with pytest.raises(ValueError, match="horizon"):
+            make_supervised(np.arange(10.0), history=2, horizon=0)
+
+    def test_invalid_target(self):
+        with pytest.raises(ValueError, match="target"):
+            make_supervised(np.zeros((10, 2)), history=2, target=5)
+
+    def test_too_short_for_frame(self):
+        with pytest.raises(ValueError, match="too short"):
+            make_supervised(np.arange(5.0), history=4, horizon=3)
+
+    def test_output_is_writable_copy(self):
+        series = np.arange(10.0)
+        X, _ = make_supervised(series, history=3)
+        X[0, 0, 0] = 99.0  # must not raise and must not alias the series
+        assert series[0] == 0.0
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.integers(20, 100),
+        st.integers(1, 8),
+        st.integers(1, 3),
+        st.integers(1, 3),
+    )
+    def test_property_framing_invariants(self, length, history, horizon, n_vars):
+        rng = np.random.default_rng(0)
+        series = rng.normal(size=(length, n_vars))
+        X, y = make_supervised(series, history=history, horizon=horizon)
+        assert len(X) == len(y) == length - history - horizon + 1
+        # every window is a contiguous slice of the series
+        for i in (0, len(X) - 1):
+            assert np.array_equal(X[i], series[i : i + history])
+            assert y[i] == series[i + history + horizon - 1, 0]
+
+
+class TestTrainTestSplitSeries:
+    def test_chronological_split(self):
+        X = np.arange(40.0).reshape(20, 2, 1)
+        y = np.arange(20.0)
+        X_tr, X_te, y_tr, y_te = train_test_split_series(X, y, 0.25)
+        assert len(X_te) == 5
+        assert y_tr.max() < y_te.min()
+
+    def test_invalid_fraction(self):
+        X, y = np.zeros((10, 2, 1)), np.zeros(10)
+        with pytest.raises(ValueError, match="test_fraction"):
+            train_test_split_series(X, y, 0.0)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="inconsistent"):
+            train_test_split_series(np.zeros((10, 2, 1)), np.zeros(9))

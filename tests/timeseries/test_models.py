@@ -1,0 +1,127 @@
+"""Tests for the statistical time-series models."""
+
+import numpy as np
+import pytest
+
+from repro.ml.metrics import root_mean_squared_error
+from repro.timeseries import (
+    ARModel,
+    MovingAverageModel,
+    ZeroModel,
+    make_supervised,
+)
+
+
+class TestZeroModel:
+    def test_outputs_previous_ground_truth(self):
+        # paper: "outputs the previous timestamp's ground truth a[s] the
+        # next timestamp's prediction"
+        series = np.arange(20.0)
+        X, y = make_supervised(series, history=4)
+        predictions = ZeroModel().fit(X, y).predict(X)
+        assert np.array_equal(predictions, X[:, -1, 0])
+        # for a unit ramp, persistence is exactly one step behind
+        assert np.allclose(y - predictions, 1.0)
+
+    def test_target_column_respected(self):
+        series = np.column_stack([np.arange(20.0), np.arange(20.0) * 10])
+        X, y = make_supervised(series, history=3, target=1)
+        predictions = ZeroModel(target=1).fit(X, y).predict(X)
+        assert np.array_equal(predictions, X[:, -1, 1])
+
+    def test_perfect_on_constant_series(self):
+        X, y = make_supervised(np.full(30, 5.0), history=4)
+        model = ZeroModel().fit(X, y)
+        assert root_mean_squared_error(y, model.predict(X)) == 0.0
+
+    def test_target_out_of_range(self):
+        X, y = make_supervised(np.arange(20.0), history=3)
+        with pytest.raises(ValueError, match="out of range"):
+            ZeroModel(target=4).fit(X, y)
+
+    def test_unfitted_raises(self):
+        X, _ = make_supervised(np.arange(20.0), history=3)
+        from repro.ml.base import NotFittedError
+
+        with pytest.raises(NotFittedError):
+            ZeroModel().predict(X)
+
+
+class TestARModel:
+    def test_recovers_ar2_process(self, rng):
+        # y_t = 0.6 y_{t-1} - 0.3 y_{t-2} + noise
+        n = 500
+        series = np.zeros(n)
+        noise = 0.05 * rng.normal(size=n)
+        for t in range(2, n):
+            series[t] = 0.6 * series[t - 1] - 0.3 * series[t - 2] + noise[t]
+        X, y = make_supervised(series, history=10)
+        model = ARModel(order=2).fit(X, y)
+        assert model.coef_[-1] == pytest.approx(0.6, abs=0.1)
+        assert model.coef_[-2] == pytest.approx(-0.3, abs=0.1)
+
+    def test_beats_zero_model_on_ar_process(self, rng):
+        n = 400
+        series = np.zeros(n)
+        for t in range(1, n):
+            series[t] = -0.8 * series[t - 1] + 0.1 * rng.normal()
+        X, y = make_supervised(series, history=8)
+        ar_rmse = root_mean_squared_error(
+            y, ARModel(order=3).fit(X, y).predict(X)
+        )
+        zero_rmse = root_mean_squared_error(
+            y, ZeroModel().fit(X, y).predict(X)
+        )
+        assert ar_rmse < zero_rmse / 2  # anti-persistent series kills Zero
+
+    def test_differencing_handles_linear_trend(self):
+        series = 3.0 * np.arange(100.0) + 10.0
+        X, y = make_supervised(series, history=6)
+        model = ARModel(order=2, d=1).fit(X, y)
+        assert root_mean_squared_error(y, model.predict(X)) < 1e-6
+
+    def test_requires_targets(self):
+        X, _ = make_supervised(np.arange(30.0), history=4)
+        with pytest.raises(ValueError, match="requires targets"):
+            ARModel().fit(X)
+
+    def test_order_clipped_to_history(self):
+        X, y = make_supervised(np.arange(30.0), history=3)
+        model = ARModel(order=10).fit(X, y)
+        assert model.order_ == 3
+
+    def test_differencing_too_deep_rejected(self):
+        X, y = make_supervised(np.arange(10.0), history=1)
+        with pytest.raises(ValueError, match="too short"):
+            ARModel(order=1, d=2).fit(X, y)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            ARModel(order=0)
+        with pytest.raises(ValueError):
+            ARModel(d=-1)
+
+
+class TestMovingAverageModel:
+    def test_predicts_window_mean(self):
+        series = np.arange(20.0)
+        X, y = make_supervised(series, history=5)
+        predictions = MovingAverageModel(window=3).fit(X, y).predict(X)
+        assert np.allclose(predictions, X[:, -3:, 0].mean(axis=1))
+
+    def test_window_clipped_to_history(self):
+        X, y = make_supervised(np.arange(20.0), history=4)
+        model = MovingAverageModel(window=100).fit(X, y)
+        assert model.window_ == 4
+        assert np.allclose(model.predict(X), X[:, :, 0].mean(axis=1))
+
+    def test_smooths_noise_better_than_zero_on_white_noise(self, rng):
+        series = rng.normal(size=600)
+        X, y = make_supervised(series, history=10)
+        ma_rmse = root_mean_squared_error(
+            y, MovingAverageModel(window=10).fit(X, y).predict(X)
+        )
+        zero_rmse = root_mean_squared_error(
+            y, ZeroModel().fit(X, y).predict(X)
+        )
+        assert ma_rmse < zero_rmse

@@ -1,0 +1,128 @@
+"""Tests for the Fig. 11 time-series prediction graph."""
+
+import numpy as np
+import pytest
+
+from repro.core import GraphEvaluator
+from repro.ml.model_selection import TimeSeriesSlidingSplit
+from repro.timeseries import make_supervised
+from repro.timeseries.pipeline import MODEL_FAMILIES, build_time_series_graph
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return build_time_series_graph(fast=True)
+
+
+@pytest.fixture(scope="module")
+def framed(rng=None):
+    import numpy as np
+
+    from repro.datasets import make_sensor_series
+
+    series = make_sensor_series(length=240, n_variables=2, random_state=0)
+    return make_supervised(series, history=8)
+
+
+class TestTopology:
+    def test_three_stages_table2(self, graph):
+        assert [s.name for s in graph.stages] == [
+            "data_scaling",
+            "data_preprocessing",
+            "modelling",
+        ]
+
+    def test_stage_option_counts(self, graph):
+        assert len(graph.stages[0].options) == 4  # 3 scalers + no scaling
+        assert len(graph.stages[1].options) == 4  # Figs. 7-10
+        assert len(graph.stages[2].options) == 10  # 6 temporal, 2 iid, 2 stat
+
+    def test_paper_family_wiring(self, graph):
+        """Fig. 11: cascaded->temporal, flat/iid->DNN, asis->statistical."""
+        g = graph.create_graph()
+        assert set(g.successors("cascaded")) == set(MODEL_FAMILIES["temporal"])
+        assert set(g.successors("flat")) == set(MODEL_FAMILIES["iid"])
+        assert set(g.successors("iid")) == set(MODEL_FAMILIES["iid"])
+        assert set(g.successors("asis")) == set(MODEL_FAMILIES["statistical"])
+
+    def test_statistical_unscaled_by_default(self, graph):
+        g = graph.create_graph()
+        assert set(g.predecessors("asis")) == {"noscaling"}
+
+    def test_scale_statistical_option(self):
+        graph = build_time_series_graph(fast=True, scale_statistical=True)
+        g = graph.create_graph()
+        assert set(g.predecessors("asis")) == {
+            "minmax",
+            "robust",
+            "standard",
+            "noscaling",
+        }
+
+    def test_pipeline_count(self, graph):
+        # 4 scalers x cascaded x 6 temporal + 4 x (flat, iid) x 2 DNN
+        # + noscaling x asis x 2 statistical
+        assert graph.n_pipelines == 4 * 6 + 4 * 2 * 2 + 2
+
+    def test_no_deep_variants_option(self):
+        graph = build_time_series_graph(fast=True, include_deep_variants=False)
+        names = graph.stages[2].option_names()
+        assert "lstm_deep" not in names and "dnn_deep" not in names
+        assert graph.n_pipelines == 4 * 4 + 4 * 2 * 1 + 2
+
+
+class TestEndToEnd:
+    def test_full_sweep_selects_sensible_model(self, graph, framed):
+        X, y = framed
+        evaluator = GraphEvaluator(
+            graph,
+            cv=TimeSeriesSlidingSplit(n_splits=2, buffer_size=2),
+            metric="rmse",
+        )
+        report = evaluator.evaluate(X, y, refit_best=False)
+        assert len(report.results) == graph.n_pipelines
+        # the best model must beat the persistence baseline
+        zero_score = next(
+            r.score for r in report.results if r.path.endswith("zero")
+        )
+        assert report.best_score <= zero_score
+
+    def test_every_family_produces_finite_scores(self, graph, framed):
+        X, y = framed
+        evaluator = GraphEvaluator(
+            graph,
+            cv=TimeSeriesSlidingSplit(n_splits=2, buffer_size=2),
+            metric="rmse",
+        )
+        report = evaluator.evaluate(X, y, refit_best=False)
+        for result in report.results:
+            assert np.isfinite(result.score), result.path
+
+    def test_mape_metric_supported(self, framed):
+        X, y = framed
+        graph = build_time_series_graph(
+            fast=True, include_deep_variants=False
+        )
+        evaluator = GraphEvaluator(
+            graph,
+            cv=TimeSeriesSlidingSplit(n_splits=2, buffer_size=1),
+            metric="mape",
+        )
+        report = evaluator.evaluate(X, y, refit_best=False)
+        assert report.metric == "mape"
+        assert report.best_score >= 0.0
+
+    def test_best_model_predicts_future(self, framed):
+        X, y = framed
+        graph = build_time_series_graph(
+            fast=True, include_deep_variants=False
+        )
+        evaluator = GraphEvaluator(
+            graph,
+            cv=TimeSeriesSlidingSplit(n_splits=2, buffer_size=1),
+            metric="rmse",
+        )
+        report = evaluator.evaluate(X[:-20], y[:-20])
+        future = report.best_model.predict(X[-20:])
+        assert future.shape == (20,)
+        assert np.all(np.isfinite(future))

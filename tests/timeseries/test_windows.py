@@ -1,0 +1,133 @@
+"""Tests for the windowing transformers (paper Figs. 7-10)."""
+
+import numpy as np
+import pytest
+
+from repro.ml.preprocessing import MinMaxScaler, StandardScaler
+from repro.timeseries import (
+    CascadedWindows,
+    FlatWindowing,
+    NoScaling,
+    TSAsIID,
+    TSAsIs,
+    WindowScaler,
+    make_supervised,
+)
+
+
+@pytest.fixture
+def windows(sensor_series):
+    X, y = make_supervised(sensor_series, history=6)
+    return X, y
+
+
+class TestCascadedWindows:
+    def test_preserves_shape_and_order(self, windows):
+        X, _ = windows
+        out = CascadedWindows().fit_transform(X)
+        assert np.array_equal(out, X)
+
+    def test_output_kind_temporal(self):
+        assert CascadedWindows.output_kind == "temporal"
+
+    def test_rejects_mismatched_window_shape(self, windows):
+        X, _ = windows
+        cw = CascadedWindows().fit(X)
+        with pytest.raises(ValueError, match="differs"):
+            cw.transform(X[:, :3, :])
+
+    def test_rejects_nan(self):
+        bad = np.full((4, 3, 2), np.nan)
+        with pytest.raises(ValueError, match="NaN"):
+            CascadedWindows().fit(bad)
+
+    def test_helpful_error_for_wrong_rank(self):
+        with pytest.raises(ValueError, match="make_supervised"):
+            CascadedWindows().fit(np.zeros((2, 2, 2, 2)))
+
+
+class TestFlatWindowing:
+    def test_flattens_to_pv(self, windows):
+        X, _ = windows
+        n, p, v = X.shape
+        out = FlatWindowing().fit_transform(X)
+        assert out.shape == (n, p * v)
+
+    def test_values_row_major(self, windows):
+        X, _ = windows
+        out = FlatWindowing().fit_transform(X)
+        assert np.array_equal(out[0], X[0].ravel())
+
+    def test_history_preserved_order_lost_is_2d(self, windows):
+        X, _ = windows
+        out = FlatWindowing().fit_transform(X)
+        assert out.ndim == 2
+        assert FlatWindowing.output_kind == "iid"
+
+
+class TestTSAsIID:
+    def test_keeps_only_latest_timestamp(self, windows):
+        X, _ = windows
+        out = TSAsIID().fit_transform(X)
+        assert np.array_equal(out, X[:, -1, :])
+
+    def test_shape(self, windows):
+        X, _ = windows
+        n, p, v = X.shape
+        assert TSAsIID().fit_transform(X).shape == (n, v)
+
+
+class TestTSAsIs:
+    def test_identity(self, windows):
+        X, _ = windows
+        out = TSAsIs().fit_transform(X)
+        assert np.array_equal(out, X)
+        assert TSAsIs.output_kind == "statistical"
+
+    def test_promotes_2d_to_degenerate_windows(self):
+        out = TSAsIs().fit_transform(np.ones((5, 3)))
+        assert out.shape == (5, 1, 3)
+
+
+class TestNoScaling:
+    def test_identity_on_windows(self, windows):
+        X, _ = windows
+        assert np.array_equal(NoScaling().fit_transform(X), X)
+
+
+class TestWindowScaler:
+    def test_default_standardizes_per_variable(self, windows):
+        X, _ = windows
+        out = WindowScaler().fit_transform(X)
+        flat = out.reshape(-1, X.shape[2])
+        assert np.allclose(flat.mean(axis=0), 0.0, atol=1e-8)
+        assert np.allclose(flat.std(axis=0), 1.0, atol=1e-8)
+
+    def test_shape_preserved(self, windows):
+        X, _ = windows
+        assert WindowScaler(MinMaxScaler()).fit_transform(X).shape == X.shape
+
+    def test_minmax_range(self, windows):
+        X, _ = windows
+        out = WindowScaler(MinMaxScaler()).fit_transform(X)
+        assert out.min() >= -1e-9 and out.max() <= 1.0 + 1e-9
+
+    def test_wrapped_scaler_not_mutated(self, windows):
+        X, _ = windows
+        base = StandardScaler()
+        WindowScaler(base).fit(X)
+        assert base.mean_ is None  # fitted a clone, not the template
+
+    def test_variable_count_checked(self, windows):
+        X, _ = windows
+        ws = WindowScaler().fit(X)
+        with pytest.raises(ValueError, match="variables"):
+            ws.transform(X[:, :, :2])
+
+    def test_transform_uses_fit_statistics(self, windows):
+        X, _ = windows
+        ws = WindowScaler().fit(X)
+        shifted = X + 100.0
+        out = ws.transform(shifted)
+        # shifted data scaled by training stats lands far from zero mean
+        assert out.mean() > 10.0
