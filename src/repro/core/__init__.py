@@ -15,11 +15,24 @@ from repro.core.declarative import (
     resolve_option,
     run_structured_task,
 )
+from repro.core.engine import (
+    DistributedExecutor,
+    ExecutionEngine,
+    ExecutionPlan,
+    Executor,
+    ParallelExecutor,
+    PrefixCache,
+    PrefixCacheStats,
+    SerialExecutor,
+    pipeline_prefix_key,
+    resolve_executor,
+)
 from repro.core.evaluation import (
     EvaluationJob,
     EvaluationReport,
     GraphEvaluator,
     PipelineResult,
+    rekey_job,
 )
 from repro.core.graph import (
     GraphValidationError,
@@ -28,6 +41,7 @@ from repro.core.graph import (
     TransformerEstimatorGraph,
 )
 from repro.core.params import ParamGrid, applicable_grid, expand_grid
+from repro.core.spec import cv_spec
 from repro.core.registry import (
     component_from_spec,
     pipeline_from_spec,
@@ -61,6 +75,18 @@ __all__ = [
     "EvaluationJob",
     "EvaluationReport",
     "PipelineResult",
+    "rekey_job",
+    "ExecutionEngine",
+    "ExecutionPlan",
+    "Executor",
+    "SerialExecutor",
+    "ParallelExecutor",
+    "DistributedExecutor",
+    "PrefixCache",
+    "PrefixCacheStats",
+    "pipeline_prefix_key",
+    "resolve_executor",
+    "cv_spec",
     "component_spec",
     "pipeline_spec",
     "computation_spec",

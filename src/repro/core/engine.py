@@ -1,0 +1,693 @@
+"""Unified execution layer for Transformer-Estimator Graph evaluation.
+
+Paper Section III observes that the job space of a graph "is generally
+too large to exhaustively determine" and that parameter sweeps "can be
+done via parallel invocations".  Before this module existed, each search
+strategy hand-rolled its own serial loop over
+:class:`~repro.core.evaluation.EvaluationJob` units and every job re-fit
+the full pipeline per cross-validation fold — even when many pipelines
+share a root→prefix of identical transformers (e.g. the Fig. 3 graph
+fits every scaler 9 times per fold).
+
+This module centralizes all of that:
+
+* :class:`ExecutionPlan` — a lazily enumerated, key-deduplicated view of
+  a job stream with the ``job_filter`` applied in exactly one place, and
+  jobs groupable by shared fitted-transformer prefix.
+* :class:`PrefixCache` — a size-bounded LRU of transformed fold data
+  keyed by ``(prefix spec, dataset fingerprint, fold fingerprint)``;
+  transformer chains shared by multiple paths are fitted once per fold
+  and the transformed data reused by every downstream estimator.
+* Pluggable executors: :class:`SerialExecutor` (in-order, in-process),
+  :class:`ParallelExecutor` (thread-pool fan-out), and
+  :class:`DistributedExecutor` (adapter over
+  :class:`repro.distributed.scheduler.DistributedScheduler`).
+* :class:`ExecutionEngine` — owns the cache and the executor, runs jobs,
+  and fires the ``result_hook`` (DARR publication) exactly once per
+  fresh result.
+
+Every evaluation front-end (:class:`~repro.core.evaluation.GraphEvaluator`,
+the budgeted searches in :mod:`repro.core.search`, the cooperative
+:class:`~repro.darr.coordinator.CooperativeEvaluator`) routes job
+execution through an engine, so caching, filtering, and hooks behave
+identically everywhere.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+import numpy as np
+
+from repro.core.pipeline import Pipeline
+from repro.core.spec import component_spec, dataset_fingerprint, spec_key
+from repro.ml.base import as_1d_array, clone
+from repro.ml.model_selection.cross_validate import (
+    CrossValidationResult,
+    resolve_metric,
+)
+from repro.ml.model_selection.splits import KFold, resolve_splitter
+
+__all__ = [
+    "PrefixCache",
+    "PrefixCacheStats",
+    "ExecutionPlan",
+    "Executor",
+    "SerialExecutor",
+    "ParallelExecutor",
+    "DistributedExecutor",
+    "ExecutionEngine",
+    "pipeline_prefix_key",
+    "resolve_executor",
+]
+
+
+# ---------------------------------------------------------------------------
+# Prefix identity
+# ---------------------------------------------------------------------------
+
+def pipeline_prefix_key(pipeline: Pipeline) -> Optional[str]:
+    """Canonical key of a pipeline's *configured* transformer prefix.
+
+    Two pipelines share a key exactly when their transformer chains are
+    the same classes with the same parameters in the same order — the
+    condition under which fitting the chain on the same fold yields the
+    same transformed data.  Step names are deliberately excluded: they
+    carry no numeric meaning.  ``None`` for estimator-only pipelines
+    (nothing to cache).
+    """
+    transformers = pipeline.steps[:-1]
+    if not transformers:
+        return None
+    spec = {"prefix": [component_spec(c) for _, c in transformers]}
+    return spec_key(spec)
+
+
+def _fold_fingerprint(train_idx: np.ndarray, test_idx: np.ndarray) -> str:
+    """Exact content fingerprint of one CV fold's index arrays.
+
+    Keying by the actual indices (rather than a fold number) makes the
+    cache safe under unseeded splitters: a shuffle that differs between
+    two jobs produces different fingerprints and therefore no false
+    sharing.
+    """
+    digest = hashlib.sha256()
+    digest.update(np.ascontiguousarray(train_idx).tobytes())
+    digest.update(b"|")
+    digest.update(np.ascontiguousarray(test_idx).tobytes())
+    return digest.hexdigest()[:24]
+
+
+# ---------------------------------------------------------------------------
+# Prefix cache
+# ---------------------------------------------------------------------------
+
+@dataclass
+class PrefixCacheStats:
+    """Counters for one :class:`PrefixCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    evictions: int = 0
+    transformer_fits_saved: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when unused)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        """All counters plus the derived hit rate, as a plain dict."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "evictions": self.evictions,
+            "transformer_fits_saved": self.transformer_fits_saved,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class PrefixCache:
+    """Size-bounded LRU of transformed fold data for fitted prefixes.
+
+    Keys are ``(prefix_key, dataset_key, fold_fingerprint)``; values are
+    the ``(X_train_transformed, X_test_transformed)`` arrays produced by
+    fitting the prefix chain on the fold's training split.  Thread-safe,
+    so the :class:`ParallelExecutor` can share one cache across workers.
+    """
+
+    def __init__(self, max_entries: int = 32):
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[Tuple, Tuple]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.stats = PrefixCacheStats()
+
+    def get(self, key: Tuple) -> Optional[Tuple[Any, Any]]:
+        """Transformed ``(X_train, X_test)`` for ``key`` or ``None``."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            self.stats.transformer_fits_saved += entry[2]
+            return entry[0], entry[1]
+
+    def put(
+        self, key: Tuple, value: Tuple[Any, Any], n_transformers: int = 1
+    ) -> None:
+        """Store one fold's transformed data, evicting LRU entries past
+        the size bound."""
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                return
+            self._entries[key] = (value[0], value[1], n_transformers)
+            self.stats.stores += 1
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry (the counters are kept)."""
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+
+# ---------------------------------------------------------------------------
+# Execution plan
+# ---------------------------------------------------------------------------
+
+class ExecutionPlan:
+    """A lazily enumerated, deduplicated, filtered job stream.
+
+    Wraps any iterable of :class:`~repro.core.evaluation.EvaluationJob`:
+
+    * duplicates (same spec key) are dropped,
+    * the ``job_filter`` predicate is applied **once** per unique job
+      (important when the filter has side effects, e.g. DARR claims),
+    * jobs can be grouped by shared transformer prefix so executions
+      with a small cache stay cache-hot.
+
+    Iteration is lazy and restartable; nothing is pulled from the source
+    until a consumer asks for it.
+    """
+
+    def __init__(
+        self,
+        jobs: Iterable[Any],
+        job_filter: Optional[Callable[[Any], bool]] = None,
+    ):
+        self._source = iter(jobs)
+        self.job_filter = job_filter
+        self._runnable: List[Any] = []
+        self._by_key: Dict[str, Any] = {}
+        self._prefix_keys: Dict[str, Optional[str]] = {}
+        self._n_duplicates = 0
+        self._n_filtered = 0
+        self._exhausted = False
+
+    def _pull(self) -> None:
+        try:
+            job = next(self._source)
+        except StopIteration:
+            self._exhausted = True
+            return
+        if job.key in self._by_key:
+            self._n_duplicates += 1
+            return
+        self._by_key[job.key] = job
+        if self.job_filter is not None and not self.job_filter(job):
+            self._n_filtered += 1
+            return
+        self._runnable.append(job)
+
+    def _materialize(self) -> None:
+        while not self._exhausted:
+            self._pull()
+
+    def __iter__(self) -> Iterator[Any]:
+        index = 0
+        while True:
+            while index >= len(self._runnable) and not self._exhausted:
+                self._pull()
+            if index >= len(self._runnable):
+                return
+            yield self._runnable[index]
+            index += 1
+
+    def jobs(self) -> List[Any]:
+        """All runnable (deduplicated, filter-passing) jobs."""
+        self._materialize()
+        return list(self._runnable)
+
+    def jobs_by_key(self) -> Dict[str, Any]:
+        """Every unique enumerated job keyed by spec key — including jobs
+        the filter rejected (callers refit winners that were computed
+        elsewhere, e.g. merged from a DARR)."""
+        self._materialize()
+        return dict(self._by_key)
+
+    def prefix_key(self, job: Any) -> Optional[str]:
+        """Memoized configured-prefix key of ``job``."""
+        cached = self._prefix_keys.get(job.key, _UNSET)
+        if cached is _UNSET:
+            cached = pipeline_prefix_key(job.configured_pipeline())
+            self._prefix_keys[job.key] = cached
+        return cached
+
+    def groups(self) -> "OrderedDict[Optional[str], List[Any]]":
+        """Runnable jobs grouped by shared prefix, in first-seen order.
+
+        Executing group-by-group keeps at most one prefix's folds live in
+        the cache at a time, so even a small LRU bound avoids thrash on
+        dense graphs (many estimators per scaler chain).
+        """
+        self._materialize()
+        grouped: "OrderedDict[Optional[str], List[Any]]" = OrderedDict()
+        for job in self._runnable:
+            grouped.setdefault(self.prefix_key(job), []).append(job)
+        return grouped
+
+    @property
+    def n_jobs(self) -> int:
+        """Unique jobs that passed the filter (the runnable set)."""
+        self._materialize()
+        return len(self._runnable)
+
+    @property
+    def n_filtered(self) -> int:
+        """Unique jobs the ``job_filter`` rejected."""
+        self._materialize()
+        return self._n_filtered
+
+    @property
+    def n_duplicates(self) -> int:
+        """Enumerated jobs dropped because their spec key was already seen."""
+        self._materialize()
+        return self._n_duplicates
+
+
+_UNSET = object()
+
+
+# ---------------------------------------------------------------------------
+# Executors
+# ---------------------------------------------------------------------------
+
+class Executor:
+    """Strategy for running a batch of prepared job thunks.
+
+    ``run`` receives the ordered job list and a ``run_one`` callable;
+    implementations must return results in job order (determinism is a
+    contract: serial and parallel execution produce identical reports).
+    """
+
+    name = "executor"
+
+    def run(
+        self, jobs: Sequence[Any], run_one: Callable[[Any], Any]
+    ) -> List[Any]:
+        """Execute ``run_one`` over ``jobs``; results in job order."""
+        raise NotImplementedError
+
+
+class SerialExecutor(Executor):
+    """Run jobs one after another in the calling thread."""
+
+    name = "serial"
+
+    def run(self, jobs, run_one):
+        """Execute every job in order on the calling thread."""
+        return [run_one(job) for job in jobs]
+
+
+class ParallelExecutor(Executor):
+    """Fan jobs out over a thread pool.
+
+    The numeric kernels release the GIL inside numpy, so shared-memory
+    threads already overlap the BLAS/ufunc work without any pickling of
+    pipelines or fold data.  Results are gathered in submission order,
+    so rankings match :class:`SerialExecutor` exactly.
+    """
+
+    name = "parallel"
+
+    def __init__(self, max_workers: Optional[int] = None):
+        if max_workers is not None and max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        self.max_workers = max_workers
+
+    def run(self, jobs, run_one):
+        """Execute jobs on a thread pool; results in submission order."""
+        jobs = list(jobs)
+        if len(jobs) <= 1:
+            return [run_one(job) for job in jobs]
+        import os
+        from concurrent.futures import ThreadPoolExecutor
+
+        workers = self.max_workers or min(8, os.cpu_count() or 2)
+        workers = max(1, min(workers, len(jobs)))
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(run_one, jobs))
+
+
+class _EngineJobRunner:
+    """Evaluator-shaped shim handed to the distributed scheduler: its
+    ``run_job`` ignores the data arguments (the engine closure already
+    carries them) and routes into the engine."""
+
+    def __init__(self, run_one: Callable[[Any], Any]):
+        self._run_one = run_one
+
+    def run_job(self, job: Any, X: Any, y: Any) -> Any:
+        return self._run_one(job)
+
+
+class DistributedExecutor(Executor):
+    """Adapter running engine jobs through a
+    :class:`~repro.distributed.scheduler.DistributedScheduler`.
+
+    The scheduler keeps its placement policy and simulated-makespan
+    accounting; the engine keeps the prefix cache and hooks.  The most
+    recent :class:`~repro.distributed.scheduler.ScheduleOutcome` is
+    retained as ``last_outcome`` for inspection.
+    """
+
+    name = "distributed"
+
+    def __init__(self, scheduler: Any):
+        if not hasattr(scheduler, "execute"):
+            raise TypeError(
+                "scheduler must expose execute(evaluator, jobs, X, y)"
+            )
+        self.scheduler = scheduler
+        self.last_outcome: Optional[Any] = None
+
+    def run(self, jobs, run_one):
+        """Fan jobs across the scheduler's nodes; results in job order."""
+        outcome = self.scheduler.execute(
+            _EngineJobRunner(run_one), list(jobs), None, None
+        )
+        self.last_outcome = outcome
+        return list(outcome.results)
+
+
+def resolve_executor(
+    spec: Any = None, max_workers: Optional[int] = None
+) -> Executor:
+    """Resolve an executor from a name, an instance, or a scheduler.
+
+    ``None``/``"serial"`` → :class:`SerialExecutor`;
+    ``"parallel"``/``"threads"`` → :class:`ParallelExecutor`;
+    a :class:`DistributedScheduler`-like object (has ``execute`` and
+    ``nodes``) → :class:`DistributedExecutor`.
+    """
+    if isinstance(spec, Executor):
+        return spec
+    if spec is None or spec == "serial":
+        return SerialExecutor()
+    if spec in ("parallel", "threads"):
+        return ParallelExecutor(max_workers=max_workers)
+    if hasattr(spec, "execute") and hasattr(spec, "nodes"):
+        return DistributedExecutor(spec)
+    raise ValueError(
+        f"cannot interpret {spec!r} as an executor; expected 'serial', "
+        "'parallel', an Executor instance, or a DistributedScheduler"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Engine
+# ---------------------------------------------------------------------------
+
+@dataclass
+class _ExecutionContext:
+    """Per-call immutable evaluation settings shared by every job."""
+
+    X: np.ndarray
+    y: np.ndarray
+    splitter: Any
+    metric_name: str
+    metric_fn: Callable[[np.ndarray, np.ndarray], float]
+    greater_is_better: bool
+    result_hook: Optional[Callable[[Any], None]] = None
+    error_hook: Optional[Callable[[Any, BaseException], None]] = None
+    fallback_dataset_key: Optional[str] = None
+    lock: threading.Lock = field(default_factory=threading.Lock)
+
+
+class ExecutionEngine:
+    """Run evaluation jobs through a pluggable executor with a shared
+    fitted-prefix transform cache.
+
+    Parameters
+    ----------
+    executor:
+        ``"serial"`` (default), ``"parallel"``, an :class:`Executor`
+        instance, or a :class:`~repro.distributed.scheduler.DistributedScheduler`
+        (wrapped in a :class:`DistributedExecutor`).
+    cache:
+        ``True`` (default) for a fresh LRU :class:`PrefixCache`,
+        ``False``/``None`` to disable prefix caching, or an existing
+        :class:`PrefixCache` to share across engines.
+    cache_size:
+        LRU bound when the engine creates its own cache.
+    max_workers:
+        Thread count for ``executor="parallel"``.
+    """
+
+    def __init__(
+        self,
+        executor: Any = "serial",
+        cache: Any = True,
+        cache_size: int = 32,
+        max_workers: Optional[int] = None,
+    ):
+        self.executor = resolve_executor(executor, max_workers=max_workers)
+        if isinstance(cache, PrefixCache):
+            self.cache: Optional[PrefixCache] = cache
+        elif cache:
+            self.cache = PrefixCache(max_entries=cache_size)
+        else:
+            self.cache = None
+
+    @classmethod
+    def resolve(cls, spec: Any = None) -> "ExecutionEngine":
+        """Coerce ``spec`` into an engine: ``None`` → default serial
+        engine, an engine → itself, anything else → executor spec."""
+        if spec is None:
+            return cls()
+        if isinstance(spec, cls):
+            return spec
+        return cls(executor=spec)
+
+    # -- public API ---------------------------------------------------------
+    def execute(
+        self,
+        jobs: Any,
+        X: Any,
+        y: Any,
+        *,
+        cv: Any = None,
+        metric: Any = "rmse",
+        job_filter: Optional[Callable[[Any], bool]] = None,
+        result_hook: Optional[Callable[[Any], None]] = None,
+        error_hook: Optional[Callable[[Any, BaseException], None]] = None,
+    ) -> List[Any]:
+        """Run a batch of jobs (an iterable or an :class:`ExecutionPlan`)
+        and return their :class:`~repro.core.evaluation.PipelineResult`
+        list in plan order (grouped by shared prefix)."""
+        plan = (
+            jobs
+            if isinstance(jobs, ExecutionPlan)
+            else ExecutionPlan(jobs, job_filter=job_filter)
+        )
+        ctx = self._context(X, y, cv, metric, result_hook, error_hook)
+        ordered: List[Any] = []
+        prefixes: Dict[str, Optional[str]] = {}
+        for prefix, group in plan.groups().items():
+            for job in group:
+                ordered.append(job)
+                prefixes[job.key] = prefix
+        return self.executor.run(
+            ordered,
+            lambda job: self._run(job, ctx, prefixes.get(job.key, _UNSET)),
+        )
+
+    def execute_job(
+        self,
+        job: Any,
+        X: Any,
+        y: Any,
+        *,
+        cv: Any = None,
+        metric: Any = "rmse",
+        result_hook: Optional[Callable[[Any], None]] = None,
+        error_hook: Optional[Callable[[Any, BaseException], None]] = None,
+    ) -> Any:
+        """Run one job in the calling thread (still cache-aware)."""
+        ctx = self._context(X, y, cv, metric, result_hook, error_hook)
+        return self._run(job, ctx, _UNSET)
+
+    def cache_stats(self) -> Dict[str, Any]:
+        """Cache-effectiveness report (all zeros when caching is off)."""
+        if self.cache is None:
+            return {"enabled": False, **PrefixCacheStats().as_dict()}
+        return {
+            "enabled": True,
+            "entries": len(self.cache),
+            "max_entries": self.cache.max_entries,
+            **self.cache.stats.as_dict(),
+        }
+
+    def clear_cache(self) -> None:
+        """Empty the prefix cache (a fresh dataset makes old folds dead)."""
+        if self.cache is not None:
+            self.cache.clear()
+
+    # -- internals ----------------------------------------------------------
+    def _context(
+        self, X, y, cv, metric, result_hook, error_hook
+    ) -> _ExecutionContext:
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X.reshape(-1, 1)
+        if X.ndim not in (2, 3):
+            raise ValueError(
+                f"X must be 1-D, 2-D or 3-D, got ndim={X.ndim}"
+            )
+        y = as_1d_array(y)
+        if len(X) != len(y):
+            raise ValueError("X and y have inconsistent lengths")
+        splitter = KFold(5) if cv is None else resolve_splitter(cv)
+        name, fn, greater = resolve_metric(metric)
+        return _ExecutionContext(
+            X=X,
+            y=y,
+            splitter=splitter,
+            metric_name=name,
+            metric_fn=fn,
+            greater_is_better=greater,
+            result_hook=result_hook,
+            error_hook=error_hook,
+        )
+
+    def _dataset_key(self, ctx: _ExecutionContext, job: Any) -> str:
+        spec = job.spec if isinstance(job.spec, Mapping) else {}
+        dataset = spec.get("dataset")
+        if dataset:
+            return dataset
+        with ctx.lock:
+            if ctx.fallback_dataset_key is None:
+                ctx.fallback_dataset_key = dataset_fingerprint(ctx.X, ctx.y)
+            return ctx.fallback_dataset_key
+
+    def _run(self, job: Any, ctx: _ExecutionContext, prefix_key: Any) -> Any:
+        try:
+            return self._run_inner(job, ctx, prefix_key)
+        except Exception as exc:
+            if ctx.error_hook is not None:
+                ctx.error_hook(job, exc)
+            raise
+
+    def _run_inner(
+        self, job: Any, ctx: _ExecutionContext, prefix_key: Any
+    ) -> Any:
+        pipeline = job.configured_pipeline()
+        transformers = pipeline.steps[:-1]
+        if prefix_key is _UNSET:
+            prefix_key = (
+                pipeline_prefix_key(pipeline)
+                if self.cache is not None
+                else None
+            )
+        use_cache = (
+            self.cache is not None
+            and bool(transformers)
+            and prefix_key is not None
+        )
+        dataset_key = self._dataset_key(ctx, job) if use_cache else None
+        started = time.perf_counter()
+        scores: List[float] = []
+        for train_idx, test_idx in ctx.splitter.split(len(ctx.X)):
+            y_train = ctx.y[train_idx]
+            transformed = None
+            cache_key = None
+            if use_cache:
+                cache_key = (
+                    prefix_key,
+                    dataset_key,
+                    _fold_fingerprint(train_idx, test_idx),
+                )
+                transformed = self.cache.get(cache_key)
+            if transformed is not None:
+                X_train, X_test = transformed
+            else:
+                data = ctx.X[train_idx]
+                fitted: List[Any] = []
+                for _, component in transformers:
+                    node = clone(component)
+                    data = node.fit_transform(data, y_train)
+                    fitted.append(node)
+                X_train = data
+                data = ctx.X[test_idx]
+                for node in fitted:
+                    data = node.transform(data)
+                X_test = data
+                if use_cache:
+                    self.cache.put(
+                        cache_key,
+                        (X_train, X_test),
+                        n_transformers=len(transformers),
+                    )
+            estimator = clone(pipeline.steps[-1][1])
+            estimator.fit(X_train, y_train)
+            predictions = estimator.predict(X_test)
+            scores.append(float(ctx.metric_fn(ctx.y[test_idx], predictions)))
+        if not scores:
+            raise ValueError("splitter produced no folds")
+        elapsed = time.perf_counter() - started
+        cv_result = CrossValidationResult(
+            metric=ctx.metric_name,
+            fold_scores=scores,
+            greater_is_better=ctx.greater_is_better,
+            fit_seconds=elapsed,
+        )
+        from repro.core.evaluation import PipelineResult
+
+        result = PipelineResult(
+            path=job.path,
+            params=dict(job.params),
+            cv_result=cv_result,
+            key=job.key,
+        )
+        if ctx.result_hook is not None:
+            ctx.result_hook(result)
+        return result

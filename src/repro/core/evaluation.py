@@ -23,18 +23,29 @@ from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional
 
 import numpy as np
 
+from repro.core.engine import ExecutionEngine, ExecutionPlan
 from repro.core.graph import TransformerEstimatorGraph
 from repro.core.params import ParamGrid
 from repro.core.pipeline import Pipeline
-from repro.core.spec import computation_spec, dataset_fingerprint, spec_key
+from repro.core.spec import (
+    computation_spec,
+    cv_spec,
+    dataset_fingerprint,
+    spec_key,
+)
 from repro.ml.model_selection.cross_validate import (
     CrossValidationResult,
-    cross_validate,
     resolve_metric,
 )
 from repro.ml.model_selection.splits import KFold
 
-__all__ = ["EvaluationJob", "PipelineResult", "EvaluationReport", "GraphEvaluator"]
+__all__ = [
+    "EvaluationJob",
+    "PipelineResult",
+    "EvaluationReport",
+    "GraphEvaluator",
+    "rekey_job",
+]
 
 
 @dataclass
@@ -61,6 +72,23 @@ class EvaluationJob:
         if self.params:
             clone.set_params(**self.params)
         return clone
+
+
+def rekey_job(job: "EvaluationJob", cv: Any) -> "EvaluationJob":
+    """The same calculation re-keyed under a different CV budget.
+
+    Substitutes ``cv`` into the job's spec and recomputes the key, so
+    DARR entries from different budgets never collide — without
+    re-enumerating the whole job space to find the matching job.
+    """
+    spec = dict(job.spec)
+    spec["cv"] = cv_spec(cv)
+    return EvaluationJob(
+        pipeline=job.pipeline,
+        params=job.params,
+        key=spec_key(spec),
+        spec=spec,
+    )
 
 
 @dataclass
@@ -157,6 +185,14 @@ class GraphEvaluator:
     result_hook:
         Optional callback invoked with each fresh
         :class:`PipelineResult` — e.g. to publish into a DARR.
+    engine:
+        How jobs execute: ``None`` for the default serial
+        :class:`~repro.core.engine.ExecutionEngine` (prefix caching on),
+        ``"parallel"`` for thread-pool fan-out, an
+        :class:`~repro.core.engine.Executor`, a
+        :class:`~repro.distributed.scheduler.DistributedScheduler`, or a
+        fully configured engine instance (e.g. to share one prefix cache
+        across evaluators).
     """
 
     def __init__(
@@ -166,6 +202,7 @@ class GraphEvaluator:
         metric: Any = "rmse",
         job_filter: Optional[Callable[[EvaluationJob], bool]] = None,
         result_hook: Optional[Callable[[PipelineResult], None]] = None,
+        engine: Any = None,
     ):
         self.graph = graph
         self.cv = cv if cv is not None else KFold(5, random_state=0)
@@ -175,6 +212,7 @@ class GraphEvaluator:
         self.greater_is_better = greater
         self.job_filter = job_filter
         self.result_hook = result_hook
+        self.engine = ExecutionEngine.resolve(engine)
 
     def iter_jobs(
         self,
@@ -207,20 +245,28 @@ class GraphEvaluator:
                 )
 
     def run_job(self, job: EvaluationJob, X: Any, y: Any) -> PipelineResult:
-        """Execute one job: configure, cross-validate, package."""
-        pipeline = job.configured_pipeline()
-        cv_result = cross_validate(
-            pipeline, X, y, cv=self.cv, metric=self.metric
+        """Execute one job through the engine (cache-aware), firing the
+        ``result_hook`` for the fresh result."""
+        return self.engine.execute_job(
+            job,
+            X,
+            y,
+            cv=self.cv,
+            metric=self.metric,
+            result_hook=self.result_hook,
         )
-        result = PipelineResult(
-            path=job.path,
-            params=dict(job.params),
-            cv_result=cv_result,
-            key=job.key,
+
+    def plan(
+        self,
+        X: Any,
+        y: Any,
+        param_grid: Optional[Mapping[str, Any]] = None,
+    ) -> ExecutionPlan:
+        """The deduplicated, ``job_filter``-respecting execution plan for
+        ``(X, y)`` — the single place the filter is enforced."""
+        return ExecutionPlan(
+            self.iter_jobs(X, y, param_grid), job_filter=self.job_filter
         )
-        if self.result_hook is not None:
-            self.result_hook(result)
-        return result
 
     def evaluate(
         self,
@@ -240,12 +286,18 @@ class GraphEvaluator:
             metric=self.metric_name,
             greater_is_better=self.greater_is_better,
         )
-        jobs_by_key: Dict[str, EvaluationJob] = {}
-        for job in self.iter_jobs(X, y, param_grid):
-            jobs_by_key[job.key] = job
-            if self.job_filter is not None and not self.job_filter(job):
-                continue
-            report.results.append(self.run_job(job, X, y))
+        plan = self.plan(X, y, param_grid)
+        report.results.extend(
+            self.engine.execute(
+                plan,
+                X,
+                y,
+                cv=self.cv,
+                metric=self.metric,
+                result_hook=self.result_hook,
+            )
+        )
+        jobs_by_key: Dict[str, EvaluationJob] = plan.jobs_by_key()
         if extra_results:
             seen = {result.key for result in report.results}
             for result in extra_results:

@@ -374,16 +374,25 @@ class TransformerEstimatorGraph:
         self._metric = metric
         return self
 
-    def execute(self, X: Any, y: Any, param_grid: Optional[Dict] = None):
+    def execute(
+        self,
+        X: Any,
+        y: Any,
+        param_grid: Optional[Dict] = None,
+        engine: Any = None,
+    ):
         """Listing 2's "Execute Task": evaluate every pipeline and return
         ``(model, best_score, best_path)`` where ``model`` is the winning
-        pipeline refitted on all of ``(X, y)``."""
+        pipeline refitted on all of ``(X, y)``.  ``engine`` selects how
+        jobs run (e.g. ``engine="parallel"``); see
+        :class:`repro.core.engine.ExecutionEngine`."""
         from repro.core.evaluation import GraphEvaluator
 
         evaluator = GraphEvaluator(
             self,
             cv=self._cv,
             metric=self._metric or "rmse",
+            engine=engine,
         )
         report = evaluator.evaluate(X, y, param_grid=param_grid)
         return report.best_model, report.best_score, report.best_path

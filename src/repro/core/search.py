@@ -13,10 +13,11 @@ baseline; this module adds two budget-aware strategies:
   re-evaluate survivors under successively larger budgets (more folds /
   more data), so the full budget is spent only on promising paths.
 
-Both produce the same :class:`~repro.core.evaluation.EvaluationReport`
-as the exhaustive evaluator and publish through the same
-``result_hook``/``job_filter`` interfaces, so they compose with the DARR
-unchanged.
+Both route execution through the evaluator's
+:class:`~repro.core.engine.ExecutionEngine`, so the ``job_filter``
+(applied once, at plan time), the ``result_hook`` and the fitted-prefix
+transform cache behave exactly as in the exhaustive evaluator — they
+compose with the DARR and with parallel/distributed executors unchanged.
 """
 
 from __future__ import annotations
@@ -30,14 +31,42 @@ from repro.core.evaluation import (
     EvaluationJob,
     EvaluationReport,
     GraphEvaluator,
+    rekey_job,
 )
 from repro.ml.model_selection.splits import KFold
 
 __all__ = ["RandomizedGraphSearch", "SuccessiveHalvingSearch"]
 
 
+def _finish_report(
+    report: EvaluationReport,
+    jobs_by_key: Mapping[str, EvaluationJob],
+    X: Any,
+    y: Any,
+    refit_best: bool,
+    started: float,
+) -> EvaluationReport:
+    """Shared selection/refit epilogue of every search strategy."""
+    best = report.best_result()
+    if best is not None:
+        report.best_path = best.path
+        report.best_params = dict(best.params)
+        if refit_best and best.key in jobs_by_key:
+            model = jobs_by_key[best.key].configured_pipeline()
+            model.fit(np.asarray(X), np.asarray(y))
+            report.best_model = model
+    report.elapsed_seconds = time.perf_counter() - started
+    return report
+
+
 class RandomizedGraphSearch:
     """Evaluate a random sample of the graph's job space.
+
+    Sampling happens on the *filtered* job space: jobs the evaluator's
+    ``job_filter`` rejects are removed before drawing, so the strategy
+    always evaluates ``min(n_iter, |eligible jobs|)`` jobs rather than
+    silently shrinking the budget by however many draws the filter
+    happened to reject.
 
     Parameters
     ----------
@@ -45,7 +74,7 @@ class RandomizedGraphSearch:
         The configured :class:`GraphEvaluator` (graph + CV + metric).
     n_iter:
         Number of jobs to sample (without replacement; clipped to the
-        job-space size).
+        eligible job-space size).
     random_state:
         Sampling seed.
     """
@@ -70,34 +99,30 @@ class RandomizedGraphSearch:
         refit_best: bool = True,
     ) -> EvaluationReport:
         started = time.perf_counter()
-        jobs = list(self.evaluator.iter_jobs(X, y, param_grid))
+        plan = self.evaluator.plan(X, y, param_grid)
+        jobs = plan.jobs()
         rng = np.random.default_rng(self.random_state)
         k = min(self.n_iter, len(jobs))
         chosen_indices = rng.choice(len(jobs), size=k, replace=False)
+        selected = [jobs[index] for index in sorted(chosen_indices)]
         report = EvaluationReport(
             metric=self.evaluator.metric_name,
             greater_is_better=self.evaluator.greater_is_better,
         )
-        jobs_by_key = {}
-        for index in sorted(chosen_indices):
-            job = jobs[index]
-            jobs_by_key[job.key] = job
-            if (
-                self.evaluator.job_filter is not None
-                and not self.evaluator.job_filter(job)
-            ):
-                continue
-            report.results.append(self.evaluator.run_job(job, X, y))
-        best = report.best_result()
-        if best is not None:
-            report.best_path = best.path
-            report.best_params = dict(best.params)
-            if refit_best and best.key in jobs_by_key:
-                model = jobs_by_key[best.key].configured_pipeline()
-                model.fit(np.asarray(X), np.asarray(y))
-                report.best_model = model
-        report.elapsed_seconds = time.perf_counter() - started
-        return report
+        report.results.extend(
+            self.evaluator.engine.execute(
+                selected,
+                X,
+                y,
+                cv=self.evaluator.cv,
+                metric=self.evaluator.metric,
+                result_hook=self.evaluator.result_hook,
+            )
+        )
+        jobs_by_key = {job.key: job for job in selected}
+        return _finish_report(
+            report, jobs_by_key, X, y, refit_best, started
+        )
 
 
 class SuccessiveHalvingSearch:
@@ -107,6 +132,12 @@ class SuccessiveHalvingSearch:
     cross validation (cheap first, expensive last) and keeps the best
     ``ceil(n / eta)``.  The report carries the final-round results; the
     per-round history is available as ``rounds_``.
+
+    Each round re-keys the surviving jobs under the round's CV budget by
+    substituting the CV spec directly into the job spec
+    (:func:`~repro.core.evaluation.rekey_job`) — O(survivors) per round
+    instead of re-enumerating the whole job space per survivor — so DARR
+    entries from different budgets never collide.
 
     Parameters
     ----------
@@ -147,32 +178,28 @@ class SuccessiveHalvingSearch:
         refit_best: bool = True,
     ) -> EvaluationReport:
         started = time.perf_counter()
-        survivors: List[EvaluationJob] = list(
-            self.evaluator.iter_jobs(X, y, param_grid)
-        )
+        survivors: List[EvaluationJob] = self.evaluator.plan(
+            X, y, param_grid
+        ).jobs()
         self.rounds_ = []
         final_results = []
         greater = self.evaluator.greater_is_better
         for round_index, n_folds in enumerate(self.folds):
-            round_evaluator = GraphEvaluator(
-                self.evaluator.graph,
-                cv=KFold(n_folds, random_state=self.random_state),
+            round_cv = KFold(n_folds, random_state=self.random_state)
+            round_jobs = [rekey_job(job, round_cv) for job in survivors]
+            round_results = self.evaluator.engine.execute(
+                round_jobs,
+                X,
+                y,
+                cv=round_cv,
                 metric=self.evaluator.metric,
-                job_filter=self.evaluator.job_filter,
                 result_hook=self.evaluator.result_hook,
             )
-            results = []
-            for job in survivors:
-                # Re-key the job under this round's CV so DARR entries
-                # from different budgets never collide.
-                round_job = next(
-                    j
-                    for j in round_evaluator.iter_jobs(X, y, param_grid)
-                    if j.path == job.path and j.params == job.params
-                )
-                results.append(
-                    (job, round_evaluator.run_job(round_job, X, y))
-                )
+            by_key = {result.key: result for result in round_results}
+            results = [
+                (job, by_key[round_job.key])
+                for job, round_job in zip(survivors, round_jobs)
+            ]
             results.sort(
                 key=lambda pair: pair[1].score, reverse=greater
             )
@@ -194,21 +221,12 @@ class SuccessiveHalvingSearch:
             greater_is_better=greater,
         )
         report.results = [result for _, result in final_results]
-        best = report.best_result()
-        if best is not None:
-            report.best_path = best.path
-            report.best_params = dict(best.params)
-            if refit_best:
-                best_job = next(
-                    job
-                    for job, result in final_results
-                    if result.key == best.key
-                )
-                model = best_job.configured_pipeline()
-                model.fit(np.asarray(X), np.asarray(y))
-                report.best_model = model
-        report.elapsed_seconds = time.perf_counter() - started
-        return report
+        jobs_by_key = {
+            result.key: job for job, result in final_results
+        }
+        return _finish_report(
+            report, jobs_by_key, X, y, refit_best, started
+        )
 
     @property
     def total_evaluations_(self) -> int:

@@ -23,6 +23,7 @@ from repro.core.pipeline import Pipeline
 __all__ = [
     "component_spec",
     "pipeline_spec",
+    "cv_spec",
     "computation_spec",
     "spec_key",
     "dataset_fingerprint",
@@ -91,6 +92,21 @@ def dataset_fingerprint(X: Any, y: Any = None) -> str:
     return digest.hexdigest()[:32]
 
 
+def cv_spec(cv: Any) -> Any:
+    """Spec of a cross-validation strategy: a splitter instance becomes
+    class + normalized constructor state; strings and ``None`` pass
+    through.  Budgeted searches substitute this into an existing job spec
+    to re-key the same calculation under a different CV budget."""
+    if cv is None or isinstance(cv, str):
+        return cv
+    cv_params = {
+        k: _jsonable(v)
+        for k, v in sorted(vars(cv).items())
+        if not k.startswith("_")
+    }
+    return {"class": type(cv).__name__, "params": cv_params}
+
+
 def computation_spec(
     pipeline: Pipeline,
     params: Optional[Mapping[str, Any]] = None,
@@ -104,22 +120,10 @@ def computation_spec(
     ``cv`` may be a splitter instance (specced by class + params) or a
     plain string.
     """
-    cv_spec: Any
-    if cv is None:
-        cv_spec = None
-    elif isinstance(cv, str):
-        cv_spec = cv
-    else:
-        cv_params = {
-            k: _jsonable(v)
-            for k, v in sorted(vars(cv).items())
-            if not k.startswith("_")
-        }
-        cv_spec = {"class": type(cv).__name__, "params": cv_params}
     return {
         "pipeline": pipeline_spec(pipeline),
         "params": {k: _jsonable(v) for k, v in sorted((params or {}).items())},
-        "cv": cv_spec,
+        "cv": cv_spec(cv),
         "metric": metric,
         "dataset": dataset,
     }

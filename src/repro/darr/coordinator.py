@@ -121,9 +121,12 @@ class CooperativeEvaluator:
         param_grid: Optional[Mapping[str, Any]] = None,
         refit_best: bool = True,
     ) -> EvaluationReport:
-        """Full cooperative sweep: DARR-check every job, compute only the
-        unclaimed remainder, and merge all completed results (including
-        other clients') into the selection."""
+        """Full cooperative sweep: DARR-check every job, batch the
+        unclaimed remainder through the evaluator's
+        :class:`~repro.core.engine.ExecutionEngine` (publishing each
+        fresh result via the engine's result hook), and merge all
+        completed results (including other clients') into the
+        selection."""
         import time
 
         started = time.perf_counter()
@@ -133,12 +136,51 @@ class CooperativeEvaluator:
         )
         jobs_by_key: Dict[str, EvaluationJob] = {}
         dataset = None
+        to_compute: list = []
         for job in self.evaluator.iter_jobs(X, y, param_grid):
             jobs_by_key[job.key] = job
             dataset = job.spec.get("dataset")
-            result = self.process_job(job, X, y)
-            if result is not None:
-                report.results.append(result)
+            cached = self.darr.fetch(job.key, self.client)
+            if cached is not None:
+                self.stats.reused += 1
+                report.results.append(cached.to_pipeline_result())
+                continue
+            if not self.darr.claim(job.key, self.client):
+                cached = self.darr.fetch(job.key, self.client)
+                if cached is not None:
+                    self.stats.reused += 1
+                    report.results.append(cached.to_pipeline_result())
+                else:
+                    self.stats.skipped_claimed += 1
+                continue
+            to_compute.append(job)
+
+        def publish(result: PipelineResult) -> None:
+            if self.evaluator.result_hook is not None:
+                self.evaluator.result_hook(result)
+            self.stats.computed += 1
+            record = AnalyticsResult.from_pipeline_result(
+                result,
+                client=self.client,
+                spec=jobs_by_key[result.key].spec,
+                timestamp=self.darr._now(),
+            )
+            self.darr.publish(record, self.client)
+
+        def release_claim(job: EvaluationJob, exc: BaseException) -> None:
+            self.darr.release_claim(job.key, self.client)
+
+        report.results.extend(
+            self.evaluator.engine.execute(
+                to_compute,
+                X,
+                y,
+                cv=self.evaluator.cv,
+                metric=self.evaluator.metric,
+                result_hook=publish,
+                error_hook=release_claim,
+            )
+        )
         # Pick up results other clients published for jobs we skipped.
         seen = {result.key for result in report.results}
         if dataset is not None:

@@ -16,6 +16,13 @@ policies implement the ablation called out in DESIGN.md:
   completion time (current load + expected duration of an average job on
   that node) is smallest, so fast nodes absorb proportionally more work.
   The expected duration uses a running mean of observed real job times.
+
+A scheduler also plugs into the unified execution layer: pass one as the
+``engine`` of a :class:`~repro.core.evaluation.GraphEvaluator` (or call
+:meth:`DistributedScheduler.as_executor`) and every evaluation — the
+exhaustive sweep, the budgeted searches, the cooperative coordinator —
+fans its jobs across the nodes while keeping the engine's shared
+fitted-prefix transform cache and result hooks.
 """
 
 from __future__ import annotations
@@ -101,6 +108,14 @@ class DistributedScheduler:
             self.nodes,
             key=lambda node: busy[node.name] + estimate / node.compute_speed,
         )
+
+    def as_executor(self):
+        """This scheduler wrapped as an engine executor, so it can be
+        passed wherever :class:`repro.core.engine.ExecutionEngine`
+        accepts one."""
+        from repro.core.engine import DistributedExecutor
+
+        return DistributedExecutor(self)
 
     def execute(
         self,

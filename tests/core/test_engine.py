@@ -1,0 +1,383 @@
+"""Tests for the unified execution engine: plan, prefix cache, executors."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DistributedExecutor,
+    ExecutionEngine,
+    ExecutionPlan,
+    GraphEvaluator,
+    ParallelExecutor,
+    PrefixCache,
+    SerialExecutor,
+    TransformerEstimatorGraph,
+    pipeline_prefix_key,
+    rekey_job,
+    resolve_executor,
+)
+from repro.distributed import (
+    ClientNode,
+    CloudAnalyticsServer,
+    DistributedScheduler,
+    SimulatedNetwork,
+)
+from repro.ml.linear import LinearRegression
+from repro.ml.model_selection import KFold
+from repro.ml.preprocessing import NoOp, StandardScaler
+from repro.ml.tree import DecisionTreeRegressor
+
+
+class CountingScaler(StandardScaler):
+    """StandardScaler that counts every ``fit`` across all clones."""
+
+    fit_calls = 0
+
+    def fit(self, X, y=None):
+        CountingScaler.fit_calls += 1
+        return super().fit(X, y)
+
+
+@pytest.fixture(autouse=True)
+def _reset_fit_counter():
+    CountingScaler.fit_calls = 0
+
+
+@pytest.fixture
+def shared_prefix_graph():
+    """2 scaler prefixes x 3 estimators: every prefix serves 3 paths."""
+    g = TransformerEstimatorGraph("shared")
+    g.add_feature_scalers([StandardScaler(), NoOp()])
+    g.add_regression_models(
+        [
+            LinearRegression(),
+            DecisionTreeRegressor(max_depth=2, random_state=0),
+            DecisionTreeRegressor(max_depth=5, random_state=0),
+        ]
+    )
+    return g
+
+
+def scores_by_key(report):
+    return {r.key: r.score for r in report.results}
+
+
+class TestPrefixCache:
+    def test_cached_and_uncached_scores_identical(
+        self, shared_prefix_graph, regression_data
+    ):
+        X, y = regression_data
+        cached = GraphEvaluator(
+            shared_prefix_graph, cv=KFold(3, random_state=0), metric="rmse"
+        )
+        uncached = GraphEvaluator(
+            shared_prefix_graph,
+            cv=KFold(3, random_state=0),
+            metric="rmse",
+            engine=ExecutionEngine(cache=False),
+        )
+        report_cached = cached.evaluate(X, y, refit_best=False)
+        report_uncached = uncached.evaluate(X, y, refit_best=False)
+        assert scores_by_key(report_cached) == scores_by_key(report_uncached)
+        stats = cached.engine.cache_stats()
+        assert stats["enabled"]
+        assert stats["hits"] > 0
+        assert uncached.engine.cache_stats()["enabled"] is False
+
+    def test_cache_reduces_transformer_fits(self, regression_data):
+        X, y = regression_data
+        folds, estimators = 3, 3
+
+        def sweep(engine):
+            g = TransformerEstimatorGraph("counting")
+            g.add_feature_scalers([CountingScaler()])
+            g.add_regression_models(
+                [
+                    LinearRegression(),
+                    DecisionTreeRegressor(max_depth=2, random_state=0),
+                    DecisionTreeRegressor(max_depth=5, random_state=0),
+                ]
+            )
+            evaluator = GraphEvaluator(
+                g, cv=KFold(folds, random_state=0), metric="rmse",
+                engine=engine,
+            )
+            evaluator.evaluate(X, y, refit_best=False)
+            count = CountingScaler.fit_calls
+            CountingScaler.fit_calls = 0
+            return count
+
+        uncached_fits = sweep(ExecutionEngine(cache=False))
+        cached_fits = sweep(ExecutionEngine(cache=True))
+        assert uncached_fits == folds * estimators
+        assert cached_fits == folds  # fitted once per fold, reused after
+        assert cached_fits < uncached_fits
+
+    def test_lru_eviction_bounds_size_and_stays_correct(
+        self, shared_prefix_graph, regression_data
+    ):
+        X, y = regression_data
+        tiny = ExecutionEngine(cache=True, cache_size=2)
+        evaluator = GraphEvaluator(
+            shared_prefix_graph,
+            cv=KFold(3, random_state=0),
+            metric="rmse",
+            engine=tiny,
+        )
+        report = evaluator.evaluate(X, y, refit_best=False)
+        stats = tiny.cache_stats()
+        assert stats["entries"] <= 2
+        assert stats["evictions"] > 0
+        baseline = GraphEvaluator(
+            shared_prefix_graph,
+            cv=KFold(3, random_state=0),
+            metric="rmse",
+            engine=ExecutionEngine(cache=False),
+        ).evaluate(X, y, refit_best=False)
+        assert scores_by_key(report) == scores_by_key(baseline)
+
+    def test_estimator_only_jobs_bypass_cache(self, regression_data):
+        X, y = regression_data
+        g = TransformerEstimatorGraph("bare")
+        g.add_regression_models(
+            [LinearRegression(), DecisionTreeRegressor(max_depth=2)]
+        )
+        evaluator = GraphEvaluator(g, cv=KFold(2, random_state=0))
+        evaluator.evaluate(X, y, refit_best=False)
+        stats = evaluator.engine.cache_stats()
+        assert stats["stores"] == 0
+        assert stats["hits"] == 0
+
+    def test_cache_stats_saved_fit_accounting(
+        self, shared_prefix_graph, regression_data
+    ):
+        X, y = regression_data
+        evaluator = GraphEvaluator(
+            shared_prefix_graph, cv=KFold(2, random_state=0), metric="rmse"
+        )
+        evaluator.evaluate(X, y, refit_best=False)
+        stats = evaluator.engine.cache_stats()
+        # 2 prefixes x 2 folds fitted; each reused by 2 more estimators.
+        assert stats["stores"] == 4
+        assert stats["hits"] == 8
+        assert stats["transformer_fits_saved"] == 8
+        assert 0.0 < stats["hit_rate"] < 1.0
+
+    def test_invalid_cache_size(self):
+        with pytest.raises(ValueError):
+            PrefixCache(max_entries=0)
+
+
+class TestDeterminism:
+    def test_parallel_and_serial_rankings_identical(
+        self, shared_prefix_graph, regression_data
+    ):
+        X, y = regression_data
+        serial = GraphEvaluator(
+            shared_prefix_graph,
+            cv=KFold(3, random_state=7),
+            metric="rmse",
+            engine="serial",
+        ).evaluate(X, y, refit_best=False)
+        parallel = GraphEvaluator(
+            shared_prefix_graph,
+            cv=KFold(3, random_state=7),
+            metric="rmse",
+            engine="parallel",
+        ).evaluate(X, y, refit_best=False)
+        assert [(r.key, r.score) for r in serial.ranked()] == [
+            (r.key, r.score) for r in parallel.ranked()
+        ]
+        # result order (pre-ranking) must match too — executors gather in
+        # submission order.
+        assert [r.key for r in serial.results] == [
+            r.key for r in parallel.results
+        ]
+
+
+class TestExecutionPlan:
+    def _jobs(self, evaluator, X, y):
+        return list(evaluator.iter_jobs(X, y))
+
+    def test_deduplicates_by_key(
+        self, shared_prefix_graph, regression_data
+    ):
+        X, y = regression_data
+        evaluator = GraphEvaluator(
+            shared_prefix_graph, cv=KFold(2, random_state=0)
+        )
+        jobs = self._jobs(evaluator, X, y)
+        plan = ExecutionPlan(jobs + jobs)
+        assert plan.n_jobs == len(jobs)
+        assert plan.n_duplicates == len(jobs)
+
+    def test_filter_applied_exactly_once_per_job(
+        self, shared_prefix_graph, regression_data
+    ):
+        X, y = regression_data
+        evaluator = GraphEvaluator(
+            shared_prefix_graph, cv=KFold(2, random_state=0)
+        )
+        jobs = self._jobs(evaluator, X, y)
+        calls = []
+        plan = ExecutionPlan(
+            jobs, job_filter=lambda job: calls.append(job.key) or True
+        )
+        list(plan)
+        list(plan)  # re-iteration must not re-filter
+        assert len(calls) == len(jobs)
+
+    def test_groups_share_prefix(
+        self, shared_prefix_graph, regression_data
+    ):
+        X, y = regression_data
+        evaluator = GraphEvaluator(
+            shared_prefix_graph, cv=KFold(2, random_state=0)
+        )
+        plan = ExecutionPlan(self._jobs(evaluator, X, y))
+        groups = plan.groups()
+        assert len(groups) == 2  # one per scaler prefix
+        assert all(len(jobs) == 3 for jobs in groups.values())
+
+    def test_prefix_key_ignores_step_names_not_params(self):
+        from repro.core.pipeline import Pipeline
+
+        a = Pipeline(
+            [("s1", StandardScaler()), ("m", LinearRegression())]
+        )
+        b = Pipeline(
+            [("other_name", StandardScaler()), ("m", LinearRegression())]
+        )
+        c = Pipeline(
+            [
+                ("s1", StandardScaler(with_mean=False)),
+                ("m", LinearRegression()),
+            ]
+        )
+        bare = Pipeline([("m", LinearRegression())])
+        assert pipeline_prefix_key(a) == pipeline_prefix_key(b)
+        assert pipeline_prefix_key(a) != pipeline_prefix_key(c)
+        assert pipeline_prefix_key(bare) is None
+
+    def test_lazy_enumeration(self, shared_prefix_graph, regression_data):
+        X, y = regression_data
+        evaluator = GraphEvaluator(
+            shared_prefix_graph, cv=KFold(2, random_state=0)
+        )
+        pulled = []
+
+        def source():
+            for job in evaluator.iter_jobs(X, y):
+                pulled.append(job.key)
+                yield job
+
+        plan = ExecutionPlan(source())
+        iterator = iter(plan)
+        next(iterator)
+        assert len(pulled) < 6  # did not drain the whole job space
+
+
+class TestExecutors:
+    def test_resolve_executor_names(self):
+        assert isinstance(resolve_executor(None), SerialExecutor)
+        assert isinstance(resolve_executor("serial"), SerialExecutor)
+        assert isinstance(resolve_executor("parallel"), ParallelExecutor)
+        custom = ParallelExecutor(max_workers=2)
+        assert resolve_executor(custom) is custom
+        with pytest.raises(ValueError):
+            resolve_executor("warp-drive")
+
+    def test_invalid_parallel_workers(self):
+        with pytest.raises(ValueError):
+            ParallelExecutor(max_workers=0)
+
+    def test_distributed_scheduler_as_engine(
+        self, shared_prefix_graph, regression_data
+    ):
+        X, y = regression_data
+        net = SimulatedNetwork()
+        nodes = [
+            ClientNode("edge", net),
+            CloudAnalyticsServer("cloud", net),
+        ]
+        scheduler = DistributedScheduler(nodes, policy="weighted")
+        distributed = GraphEvaluator(
+            shared_prefix_graph,
+            cv=KFold(2, random_state=0),
+            metric="rmse",
+            engine=scheduler,
+        )
+        report = distributed.evaluate(X, y, refit_best=False)
+        serial = GraphEvaluator(
+            shared_prefix_graph, cv=KFold(2, random_state=0), metric="rmse"
+        ).evaluate(X, y, refit_best=False)
+        assert scores_by_key(report) == scores_by_key(serial)
+        executor = distributed.engine.executor
+        assert isinstance(executor, DistributedExecutor)
+        outcome = executor.last_outcome
+        assert sum(len(keys) for keys in outcome.assignment.values()) == 6
+        assert all(node.busy_seconds > 0 for node in nodes)
+
+    def test_scheduler_as_executor_helper(self):
+        net = SimulatedNetwork()
+        scheduler = DistributedScheduler([ClientNode("solo", net)])
+        assert isinstance(scheduler.as_executor(), DistributedExecutor)
+
+
+class TestEngineHooks:
+    def test_result_hook_fires_once_per_job(
+        self, shared_prefix_graph, regression_data
+    ):
+        X, y = regression_data
+        seen = []
+        evaluator = GraphEvaluator(
+            shared_prefix_graph,
+            cv=KFold(2, random_state=0),
+            result_hook=seen.append,
+        )
+        evaluator.evaluate(X, y, refit_best=False)
+        assert len(seen) == 6
+        assert len({r.key for r in seen}) == 6
+
+    def test_error_hook_receives_failing_job(self, regression_data):
+        X, y = regression_data
+
+        class ExplodingModel(LinearRegression):
+            def fit(self, X, y=None):
+                raise RuntimeError("boom")
+
+        g = TransformerEstimatorGraph("explosive")
+        g.add_regression_models([ExplodingModel()])
+        evaluator = GraphEvaluator(g, cv=KFold(2, random_state=0))
+        failures = []
+        with pytest.raises(RuntimeError):
+            evaluator.engine.execute(
+                evaluator.iter_jobs(X, y),
+                X,
+                y,
+                cv=evaluator.cv,
+                metric=evaluator.metric,
+                error_hook=lambda job, exc: failures.append(
+                    (job.key, str(exc))
+                ),
+            )
+        assert len(failures) == 1
+        assert failures[0][1] == "boom"
+
+
+class TestRekeyJob:
+    def test_rekey_substitutes_cv_only(
+        self, shared_prefix_graph, regression_data
+    ):
+        X, y = regression_data
+        evaluator = GraphEvaluator(
+            shared_prefix_graph, cv=KFold(5, random_state=0)
+        )
+        job = next(iter(evaluator.iter_jobs(X, y)))
+        rekeyed = rekey_job(job, KFold(2, random_state=0))
+        assert rekeyed.key != job.key
+        assert rekeyed.spec["cv"]["params"]["n_splits"] == 2
+        assert rekeyed.spec["pipeline"] == job.spec["pipeline"]
+        assert rekeyed.spec["dataset"] == job.spec["dataset"]
+        # identical budget -> identical key (round-trips through spec_key)
+        assert rekey_job(job, KFold(5, random_state=0)).key == job.key

@@ -75,6 +75,36 @@ class TestRandomizedSearch:
         with pytest.raises(ValueError):
             RandomizedGraphSearch(evaluator, n_iter=0)
 
+    def test_samples_from_filtered_job_space(self, regression_data):
+        """Jobs rejected by the filter must not eat into the budget: the
+        sample is drawn from the eligible jobs only."""
+        X, y = regression_data
+        graph = prepare_regression_graph(fast=True, k_best=4)
+        filtered = GraphEvaluator(
+            graph,
+            cv=KFold(2, random_state=0),
+            metric="rmse",
+            job_filter=lambda job: "decisiontree" in job.path,
+        )
+        search = RandomizedGraphSearch(filtered, n_iter=10, random_state=0)
+        report = search.evaluate(X, y, refit_best=False)
+        # 12 of 36 paths survive the filter; budget 10 must be met fully.
+        assert len(report.results) == 10
+        assert all("decisiontree" in r.path for r in report.results)
+
+    def test_budget_clipped_to_filtered_space(self, regression_data):
+        X, y = regression_data
+        graph = prepare_regression_graph(fast=True, k_best=4)
+        filtered = GraphEvaluator(
+            graph,
+            cv=KFold(2, random_state=0),
+            metric="rmse",
+            job_filter=lambda job: "decisiontree" in job.path,
+        )
+        search = RandomizedGraphSearch(filtered, n_iter=1000, random_state=0)
+        report = search.evaluate(X, y, refit_best=False)
+        assert len(report.results) == 12
+
 
 class TestSuccessiveHalving:
     def test_candidates_shrink_per_round(self, evaluator, regression_data):
@@ -146,3 +176,19 @@ class TestSuccessiveHalving:
         search = SuccessiveHalvingSearch(evaluator, folds=(2, 3), eta=3.0)
         search.evaluate(X, y, refit_best=False)
         assert search.total_evaluations_ == 36 + 12
+
+    def test_round_budgets_key_separately(self, evaluator, regression_data):
+        """Results from different CV budgets must never share a spec key
+        (they would collide in the DARR otherwise)."""
+        X, y = regression_data
+        published = []
+        hooked = GraphEvaluator(
+            evaluator.graph,
+            cv=KFold(2, random_state=0),
+            metric="rmse",
+            result_hook=published.append,
+        )
+        search = SuccessiveHalvingSearch(hooked, folds=(2, 3), eta=3.0)
+        search.evaluate(X, y, refit_best=False)
+        keys = [r.key for r in published]
+        assert len(keys) == len(set(keys)) == 36 + 12
