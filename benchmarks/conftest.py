@@ -7,13 +7,24 @@ the operation (pytest-benchmark) and prints the reproduced rows/series
 so the run output documents the reproduction.
 """
 
+import os
+import time
+
 import numpy as np
 import pytest
 
 from repro.datasets import make_regression, make_sensor_series
+from repro.obs import JsonlSink, Telemetry
 from repro.timeseries import make_supervised
 
 _capture_manager = None
+
+#: Where the per-test telemetry records land (one JSON object per line);
+#: override with the BENCH_TELEMETRY_PATH environment variable.
+TELEMETRY_PATH = os.environ.get(
+    "BENCH_TELEMETRY_PATH",
+    os.path.join(os.path.dirname(__file__), "telemetry.jsonl"),
+)
 
 
 def pytest_configure(config):
@@ -43,6 +54,47 @@ def print_table(title: str, headers, rows) -> None:
     report("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
     for row in rows:
         report("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+
+
+@pytest.fixture(scope="session")
+def bench_telemetry():
+    """Session-wide :class:`~repro.obs.Telemetry` handle.
+
+    Benchmarks may pass it to evaluators (``telemetry=bench_telemetry``)
+    to fold engine/search/DARR counters into their JSONL records; the
+    autouse ``_bench_record`` fixture uses it for per-test records
+    either way.
+    """
+    telemetry = Telemetry(sinks=[JsonlSink(TELEMETRY_PATH, mode="w")])
+    yield telemetry
+    telemetry.close()
+
+
+@pytest.fixture(autouse=True)
+def _bench_record(request, bench_telemetry):
+    """Emit one comparable JSONL record per benchmark test.
+
+    Each record carries the test id, its wall-clock duration, and the
+    counters the test's instrumented code incremented (the session
+    counter delta), so ``benchmarks/telemetry.jsonl`` reads as one row
+    per ``test_bench_*`` run.
+    """
+    before = bench_telemetry.counters()
+    started = time.perf_counter()
+    yield
+    seconds = time.perf_counter() - started
+    after = bench_telemetry.counters()
+    delta = {
+        name: after[name] - before.get(name, 0)
+        for name in after
+        if after[name] != before.get(name, 0)
+    }
+    bench_telemetry.record(
+        "bench",
+        test=request.node.nodeid,
+        seconds=round(seconds, 6),
+        counters=delta,
+    )
 
 
 @pytest.fixture(scope="session")

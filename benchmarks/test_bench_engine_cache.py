@@ -15,41 +15,42 @@ from repro.core import ExecutionEngine, GraphEvaluator, prepare_regression_graph
 from repro.ml.model_selection import KFold
 
 
-def _sweep(engine, regression_xy):
+def _sweep(engine, regression_xy, telemetry=None):
     X, y = regression_xy
     evaluator = GraphEvaluator(
         prepare_regression_graph(fast=True, k_best=4),
         cv=KFold(3, random_state=0),
         metric="rmse",
         engine=engine,
+        telemetry=telemetry,
     )
-    return evaluator, evaluator.evaluate(X, y, refit_best=False)
+    return evaluator.evaluate(X, y, refit_best=False)
 
 
-def test_uncached_sweep(benchmark, regression_xy):
-    _, sweep = benchmark.pedantic(
-        lambda: _sweep(ExecutionEngine(cache=False), regression_xy),
+def test_uncached_sweep(benchmark, regression_xy, bench_telemetry):
+    sweep = benchmark.pedantic(
+        lambda: _sweep(ExecutionEngine(cache=False), regression_xy, bench_telemetry),
         rounds=1,
         iterations=1,
     )
     assert len(sweep.results) == 36
 
 
-def test_cached_sweep_hits_and_same_scores(benchmark, regression_xy):
-    evaluator, cached = benchmark.pedantic(
-        lambda: _sweep(ExecutionEngine(cache=True), regression_xy),
+def test_cached_sweep_hits_and_same_scores(benchmark, regression_xy, bench_telemetry):
+    cached = benchmark.pedantic(
+        lambda: _sweep(ExecutionEngine(cache=True), regression_xy, bench_telemetry),
         rounds=1,
         iterations=1,
     )
     assert len(cached.results) == 36
-    stats = evaluator.engine.cache_stats()
+    stats = cached.stats["cache"]
     # 4 scalers x 3 selector options = 12 distinct prefixes, 3 folds
     # each; the other (36 - 12) x 3 fold-evaluations hit the cache.
     assert stats["stores"] == 12 * 3
     assert stats["hits"] == (36 - 12) * 3
     assert stats["transformer_fits_saved"] > 0
 
-    _, uncached = _sweep(ExecutionEngine(cache=False), regression_xy)
+    uncached = _sweep(ExecutionEngine(cache=False), regression_xy)
     assert {r.key: r.score for r in cached.results} == {
         r.key: r.score for r in uncached.results
     }

@@ -17,6 +17,8 @@ Real Applications Using Machine Learning" (Iyengar et al., ICDCS 2019):
   web services.
 * :mod:`repro.darr` — the shared Data Analytics Results Repository and
   cooperative evaluation.
+* :mod:`repro.obs` — zero-dependency telemetry: counters, spans and
+  sinks threaded through the engine, searches, scheduler and DARR.
 * :mod:`repro.templates` — FPA / RCA / Anomaly / Cohort solution
   templates.
 * :mod:`repro.datasets` — synthetic tabular and heavy-industry data.
@@ -31,10 +33,11 @@ from repro.core import (
     prepare_regression_graph,
 )
 from repro.darr import DARR, CooperativeEvaluator
+from repro.obs import Telemetry
 from repro.timeseries import make_supervised
 from repro.timeseries.pipeline import build_time_series_graph
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "TransformerEstimatorGraph",
@@ -47,5 +50,6 @@ __all__ = [
     "make_supervised",
     "DARR",
     "CooperativeEvaluator",
+    "Telemetry",
     "__version__",
 ]

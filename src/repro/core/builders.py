@@ -41,8 +41,21 @@ def prepare_regression_graph(
     selection ([Covariance, PCA] / SelectKBest / NoOp), regression models
     (DecisionTree / MLP-style DNN / RandomForest).  36 pipelines total.
 
-    ``fast=True`` shrinks the model budgets (forest size, DNN epochs) for
-    tests and benchmarks without changing the graph shape.
+    Parameters
+    ----------
+    k_best:
+        ``k`` for the SelectKBest option.
+    n_components:
+        Component count for the PCA option (``None`` keeps all).
+    random_state:
+        Seed shared by the stochastic models.
+    fast:
+        Shrink the model budgets (forest size, DNN epochs) for tests
+        and benchmarks without changing the graph shape.
+
+    Returns
+    -------
+    The validated :class:`TransformerEstimatorGraph` (graph created).
     """
     n_estimators = 10 if fast else 50
     epochs = 10 if fast else 40
@@ -80,7 +93,21 @@ def prepare_classification_graph(
     fast: bool = False,
 ) -> TransformerEstimatorGraph:
     """Classification counterpart used by the FPA/anomaly templates:
-    same scaling/selection stages, classifier model stage."""
+    same scaling/selection stages, classifier model stage.
+
+    Parameters
+    ----------
+    k_best:
+        ``k`` for the SelectKBest option.
+    random_state:
+        Seed shared by the stochastic models.
+    fast:
+        Shrink the model budgets for tests and benchmarks.
+
+    Returns
+    -------
+    The validated :class:`TransformerEstimatorGraph` (graph created).
+    """
     n_estimators = 10 if fast else 50
     task = TransformerEstimatorGraph(name="classification_task")
     task.add_feature_scalers(

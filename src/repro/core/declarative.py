@@ -162,8 +162,17 @@ OptionSpec = Union[str, Mapping[str, Any]]
 def resolve_option(step: str, option: OptionSpec) -> Any:
     """Build one component from a named option.
 
-    ``option`` is a name (``"standard"``) or a dict with ``"name"`` plus
-    constructor parameters (``{"name": "select_k_best", "k": 4}``).
+    Parameters
+    ----------
+    step:
+        Step name (``"scaling"``, ``"selection"``, ``"models"``, …).
+    option:
+        A name (``"standard"``) or a dict with ``"name"`` plus
+        constructor parameters (``{"name": "select_k_best", "k": 4}``).
+
+    Returns
+    -------
+    A fresh component instance built from the step's factory table.
     """
     factories = _ensure_factories()
     if step not in factories:
@@ -247,6 +256,11 @@ def run_structured_task(
         Optional :class:`~repro.darr.repository.DARR`; every evaluated
         result is published, and already-published results are reused —
         the structured interface composes with cooperation unchanged.
+
+    Returns
+    -------
+    A :class:`StructuredTaskOutcome` with the evaluation report, the
+    fitted best model, its path, and the holdout test score (if any).
     """
     steps: Mapping[str, Sequence[OptionSpec]] = task.get("steps") or {}
     if "models" not in steps or not steps["models"]:

@@ -58,6 +58,7 @@ import numpy as np
 from repro.core.pipeline import Pipeline
 from repro.core.spec import component_spec, dataset_fingerprint, spec_key
 from repro.ml.base import as_1d_array, clone
+from repro.obs import NULL_TELEMETRY, Telemetry, resolve_telemetry
 from repro.ml.model_selection.cross_validate import (
     CrossValidationResult,
     resolve_metric,
@@ -89,7 +90,16 @@ def pipeline_prefix_key(pipeline: Pipeline) -> Optional[str]:
     the same classes with the same parameters in the same order — the
     condition under which fitting the chain on the same fold yields the
     same transformed data.  Step names are deliberately excluded: they
-    carry no numeric meaning.  ``None`` for estimator-only pipelines
+    carry no numeric meaning.
+
+    Parameters
+    ----------
+    pipeline:
+        The pipeline whose transformer prefix identifies the cache slot.
+
+    Returns
+    -------
+    A stable spec-key string, or ``None`` for estimator-only pipelines
     (nothing to cache).
     """
     transformers = pipeline.steps[:-1]
@@ -153,6 +163,12 @@ class PrefixCache:
     the ``(X_train_transformed, X_test_transformed)`` arrays produced by
     fitting the prefix chain on the fold's training split.  Thread-safe,
     so the :class:`ParallelExecutor` can share one cache across workers.
+
+    Parameters
+    ----------
+    max_entries:
+        LRU bound on live entries (≥ 1); least-recently-used fold data
+        is evicted past it.
     """
 
     def __init__(self, max_entries: int = 32):
@@ -217,6 +233,14 @@ class ExecutionPlan:
 
     Iteration is lazy and restartable; nothing is pulled from the source
     until a consumer asks for it.
+
+    Parameters
+    ----------
+    jobs:
+        Source iterable of :class:`~repro.core.evaluation.EvaluationJob`.
+    job_filter:
+        Optional predicate; jobs for which it returns False are dropped
+        (counted in :attr:`n_filtered`).  Called once per unique key.
     """
 
     def __init__(
@@ -355,6 +379,12 @@ class ParallelExecutor(Executor):
     threads already overlap the BLAS/ufunc work without any pickling of
     pipelines or fold data.  Results are gathered in submission order,
     so rankings match :class:`SerialExecutor` exactly.
+
+    Parameters
+    ----------
+    max_workers:
+        Thread count; default ``min(8, cpu_count)``, never more than
+        the number of jobs.
     """
 
     name = "parallel"
@@ -398,6 +428,12 @@ class DistributedExecutor(Executor):
     accounting; the engine keeps the prefix cache and hooks.  The most
     recent :class:`~repro.distributed.scheduler.ScheduleOutcome` is
     retained as ``last_outcome`` for inspection.
+
+    Parameters
+    ----------
+    scheduler:
+        A :class:`~repro.distributed.scheduler.DistributedScheduler`
+        (or anything exposing ``execute(evaluator, jobs, X, y)``).
     """
 
     name = "distributed"
@@ -424,10 +460,20 @@ def resolve_executor(
 ) -> Executor:
     """Resolve an executor from a name, an instance, or a scheduler.
 
-    ``None``/``"serial"`` → :class:`SerialExecutor`;
-    ``"parallel"``/``"threads"`` → :class:`ParallelExecutor`;
-    a :class:`DistributedScheduler`-like object (has ``execute`` and
-    ``nodes``) → :class:`DistributedExecutor`.
+    Parameters
+    ----------
+    spec:
+        ``None``/``"serial"`` → :class:`SerialExecutor`;
+        ``"parallel"``/``"threads"`` → :class:`ParallelExecutor`;
+        an :class:`Executor` instance passes through; a
+        :class:`DistributedScheduler`-like object (has ``execute`` and
+        ``nodes``) wraps into a :class:`DistributedExecutor`.
+    max_workers:
+        Thread count for the parallel executor (ignored otherwise).
+
+    Returns
+    -------
+    An :class:`Executor` ready to hand to :class:`ExecutionEngine`.
     """
     if isinstance(spec, Executor):
         return spec
@@ -481,6 +527,13 @@ class ExecutionEngine:
         LRU bound when the engine creates its own cache.
     max_workers:
         Thread count for ``executor="parallel"``.
+    telemetry:
+        ``None`` (default, zero-overhead no-op), a
+        :class:`~repro.obs.Telemetry` handle, or a sink/sink list.  When
+        enabled the engine emits ``engine.execute`` / ``engine.job`` /
+        ``engine.fit_fold`` spans plus job, fold-time and prefix-cache
+        counters, and propagates the handle to a wrapped
+        :class:`~repro.distributed.scheduler.DistributedScheduler`.
     """
 
     def __init__(
@@ -489,6 +542,7 @@ class ExecutionEngine:
         cache: Any = True,
         cache_size: int = 32,
         max_workers: Optional[int] = None,
+        telemetry: Any = None,
     ):
         self.executor = resolve_executor(executor, max_workers=max_workers)
         if isinstance(cache, PrefixCache):
@@ -497,6 +551,27 @@ class ExecutionEngine:
             self.cache = PrefixCache(max_entries=cache_size)
         else:
             self.cache = None
+        self._telemetry = NULL_TELEMETRY
+        self.telemetry = telemetry
+
+    @property
+    def telemetry(self) -> Telemetry:
+        """The engine's telemetry handle (the no-op handle when off)."""
+        return self._telemetry
+
+    @telemetry.setter
+    def telemetry(self, value: Any) -> None:
+        """Attach a telemetry handle; an enabled handle is also pushed
+        down to the wrapped scheduler (if the executor has one)."""
+        self._telemetry = resolve_telemetry(value)
+        scheduler = getattr(self.executor, "scheduler", None)
+        if (
+            self._telemetry.enabled
+            and scheduler is not None
+            and hasattr(scheduler, "telemetry")
+            and not getattr(scheduler.telemetry, "enabled", False)
+        ):
+            scheduler.telemetry = self._telemetry
 
     @classmethod
     def resolve(cls, spec: Any = None) -> "ExecutionEngine":
@@ -536,10 +611,23 @@ class ExecutionEngine:
             for job in group:
                 ordered.append(job)
                 prefixes[job.key] = prefix
-        return self.executor.run(
-            ordered,
-            lambda job: self._run(job, ctx, prefixes.get(job.key, _UNSET)),
-        )
+        tel = self._telemetry
+        cache_before = self._cache_snapshot()
+        with tel.span(
+            "engine.execute",
+            executor=self.executor.name,
+            n_jobs=len(ordered),
+        ):
+            results = self.executor.run(
+                ordered,
+                lambda job: self._run(job, ctx, prefixes.get(job.key, _UNSET)),
+            )
+        if tel.enabled:
+            tel.count("engine.jobs_executed", len(ordered))
+            tel.count("engine.jobs_filtered", plan.n_filtered)
+            tel.count("engine.jobs_deduplicated", plan.n_duplicates)
+            self._count_cache_delta(tel, cache_before)
+        return results
 
     def execute_job(
         self,
@@ -571,6 +659,37 @@ class ExecutionEngine:
         """Empty the prefix cache (a fresh dataset makes old folds dead)."""
         if self.cache is not None:
             self.cache.clear()
+
+    def _cache_snapshot(self) -> Optional[Tuple[int, int, int, int]]:
+        """Current cumulative cache counters, or None when caching is
+        off (used to attribute per-``execute`` deltas to telemetry)."""
+        if self.cache is None:
+            return None
+        stats = self.cache.stats
+        return (
+            stats.hits,
+            stats.misses,
+            stats.evictions,
+            stats.transformer_fits_saved,
+        )
+
+    def _count_cache_delta(
+        self, tel: Telemetry, before: Optional[Tuple[int, int, int, int]]
+    ) -> None:
+        """Emit the cache-counter movement since ``before`` as telemetry
+        counters (no-op when caching is off)."""
+        after = self._cache_snapshot()
+        if before is None or after is None:
+            return
+        names = (
+            "engine.cache_hits",
+            "engine.cache_misses",
+            "engine.cache_evictions",
+            "engine.transformer_fits_saved",
+        )
+        for name, b, a in zip(names, before, after):
+            if a > b:
+                tel.count(name, a - b)
 
     # -- internals ----------------------------------------------------------
     def _context(
@@ -634,46 +753,68 @@ class ExecutionEngine:
             and prefix_key is not None
         )
         dataset_key = self._dataset_key(ctx, job) if use_cache else None
+        tel = self._telemetry
+        timing = tel.enabled
         started = time.perf_counter()
         scores: List[float] = []
-        for train_idx, test_idx in ctx.splitter.split(len(ctx.X)):
-            y_train = ctx.y[train_idx]
-            transformed = None
-            cache_key = None
-            if use_cache:
-                cache_key = (
-                    prefix_key,
-                    dataset_key,
-                    _fold_fingerprint(train_idx, test_idx),
-                )
-                transformed = self.cache.get(cache_key)
-            if transformed is not None:
-                X_train, X_test = transformed
-            else:
-                data = ctx.X[train_idx]
-                fitted: List[Any] = []
-                for _, component in transformers:
-                    node = clone(component)
-                    data = node.fit_transform(data, y_train)
-                    fitted.append(node)
-                X_train = data
-                data = ctx.X[test_idx]
-                for node in fitted:
-                    data = node.transform(data)
-                X_test = data
+        with tel.span(
+            "engine.job", job_id=job.key, path=job.path, prefix=prefix_key
+        ) as job_span:
+            for train_idx, test_idx in ctx.splitter.split(len(ctx.X)):
+                fold_started = time.perf_counter() if timing else 0.0
+                y_train = ctx.y[train_idx]
+                transformed = None
+                cache_key = None
                 if use_cache:
-                    self.cache.put(
-                        cache_key,
-                        (X_train, X_test),
-                        n_transformers=len(transformers),
+                    cache_key = (
+                        prefix_key,
+                        dataset_key,
+                        _fold_fingerprint(train_idx, test_idx),
                     )
-            estimator = clone(pipeline.steps[-1][1])
-            estimator.fit(X_train, y_train)
-            predictions = estimator.predict(X_test)
-            scores.append(float(ctx.metric_fn(ctx.y[test_idx], predictions)))
+                    transformed = self.cache.get(cache_key)
+                if transformed is not None:
+                    X_train, X_test = transformed
+                else:
+                    data = ctx.X[train_idx]
+                    fitted: List[Any] = []
+                    for _, component in transformers:
+                        node = clone(component)
+                        data = node.fit_transform(data, y_train)
+                        fitted.append(node)
+                    X_train = data
+                    data = ctx.X[test_idx]
+                    for node in fitted:
+                        data = node.transform(data)
+                    X_test = data
+                    if use_cache:
+                        self.cache.put(
+                            cache_key,
+                            (X_train, X_test),
+                            n_transformers=len(transformers),
+                        )
+                transform_done = time.perf_counter() if timing else 0.0
+                estimator = clone(pipeline.steps[-1][1])
+                estimator.fit(X_train, y_train)
+                predictions = estimator.predict(X_test)
+                scores.append(
+                    float(ctx.metric_fn(ctx.y[test_idx], predictions))
+                )
+                if timing:
+                    fold_done = time.perf_counter()
+                    tel.count("engine.folds")
+                    tel.count(
+                        "engine.transform_seconds",
+                        transform_done - fold_started,
+                    )
+                    tel.count(
+                        "engine.estimator_seconds", fold_done - transform_done
+                    )
+            job_span.annotate(folds=len(scores))
         if not scores:
             raise ValueError("splitter produced no folds")
         elapsed = time.perf_counter() - started
+        if timing:
+            tel.count("engine.job_seconds", elapsed)
         cv_result = CrossValidationResult(
             metric=ctx.metric_name,
             fold_scores=scores,

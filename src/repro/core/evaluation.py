@@ -38,6 +38,7 @@ from repro.ml.model_selection.cross_validate import (
     resolve_metric,
 )
 from repro.ml.model_selection.splits import KFold
+from repro.obs import resolve_telemetry
 
 __all__ = [
     "EvaluationJob",
@@ -80,6 +81,17 @@ def rekey_job(job: "EvaluationJob", cv: Any) -> "EvaluationJob":
     Substitutes ``cv`` into the job's spec and recomputes the key, so
     DARR entries from different budgets never collide — without
     re-enumerating the whole job space to find the matching job.
+
+    Parameters
+    ----------
+    job:
+        The job to re-key.
+    cv:
+        Splitter instance or strategy name for the new budget.
+
+    Returns
+    -------
+    A new :class:`EvaluationJob` identical except for spec and key.
     """
     spec = dict(job.spec)
     spec["cv"] = cv_spec(cv)
@@ -119,7 +131,13 @@ class PipelineResult:
 
 @dataclass
 class EvaluationReport:
-    """All results of a graph evaluation plus the selected winner."""
+    """All results of a graph evaluation plus the selected winner.
+
+    ``stats`` carries the run's execution accounting — the engine's
+    prefix-cache counters under ``stats["cache"]`` plus per-strategy
+    extras (job counts, halving budgets, cooperative reuse) — so callers
+    read ``report.stats`` instead of reaching into ``engine.cache``.
+    """
 
     metric: str
     greater_is_better: bool
@@ -128,6 +146,7 @@ class EvaluationReport:
     best_path: Optional[str] = None
     best_params: Dict[str, Any] = field(default_factory=dict)
     elapsed_seconds: float = 0.0
+    stats: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def best_score(self) -> Optional[float]:
@@ -193,6 +212,13 @@ class GraphEvaluator:
         :class:`~repro.distributed.scheduler.DistributedScheduler`, or a
         fully configured engine instance (e.g. to share one prefix cache
         across evaluators).
+    telemetry:
+        ``None`` (default, no-op) or a :class:`~repro.obs.Telemetry`
+        handle / sink(s).  One handle attached here observes the whole
+        evaluation: it is propagated to the engine (job spans, fold
+        times, cache counters), through it to a wrapped distributed
+        scheduler, and is what the budgeted searches and the cooperative
+        coordinator report their own counters to.
     """
 
     def __init__(
@@ -203,6 +229,7 @@ class GraphEvaluator:
         job_filter: Optional[Callable[[EvaluationJob], bool]] = None,
         result_hook: Optional[Callable[[PipelineResult], None]] = None,
         engine: Any = None,
+        telemetry: Any = None,
     ):
         self.graph = graph
         self.cv = cv if cv is not None else KFold(5, random_state=0)
@@ -213,6 +240,9 @@ class GraphEvaluator:
         self.job_filter = job_filter
         self.result_hook = result_hook
         self.engine = ExecutionEngine.resolve(engine)
+        self.telemetry = resolve_telemetry(telemetry)
+        if self.telemetry.enabled and not self.engine.telemetry.enabled:
+            self.engine.telemetry = self.telemetry
 
     def iter_jobs(
         self,
@@ -287,16 +317,26 @@ class GraphEvaluator:
             greater_is_better=self.greater_is_better,
         )
         plan = self.plan(X, y, param_grid)
-        report.results.extend(
-            self.engine.execute(
-                plan,
-                X,
-                y,
-                cv=self.cv,
-                metric=self.metric,
-                result_hook=self.result_hook,
+        with self.telemetry.span("evaluator.evaluate") as eval_span:
+            report.results.extend(
+                self.engine.execute(
+                    plan,
+                    X,
+                    y,
+                    cv=self.cv,
+                    metric=self.metric,
+                    result_hook=self.result_hook,
+                )
             )
-        )
+            eval_span.annotate(n_jobs=plan.n_jobs, n_filtered=plan.n_filtered)
+        report.stats = {
+            "cache": self.engine.cache_stats(),
+            "jobs": {
+                "executed": plan.n_jobs,
+                "filtered": plan.n_filtered,
+                "duplicates": plan.n_duplicates,
+            },
+        }
         jobs_by_key: Dict[str, EvaluationJob] = plan.jobs_by_key()
         if extra_results:
             seen = {result.key for result in report.results}

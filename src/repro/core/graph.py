@@ -121,6 +121,11 @@ class TransformerEstimatorGraph:
     :class:`repro.core.evaluation.GraphEvaluator`; the convenience
     methods ``set_cross_validation`` / ``set_accuracy`` / ``execute`` on
     this class delegate to it.
+
+    Parameters
+    ----------
+    name:
+        Task name, used in rendered views of the graph.
     """
 
     def __init__(self, name: str = "task"):

@@ -24,6 +24,13 @@ class ParamGrid:
     :meth:`for_pipeline` filters to the entries whose node appears in a
     given pipeline, so grids can be written once for the whole graph and
     reused across paths (paths missing a node simply ignore that entry).
+
+    Parameters
+    ----------
+    grid:
+        Mapping of ``"node__param"`` keys to non-empty candidate-value
+        sequences; malformed keys or empty value lists raise
+        ``ValueError``.
     """
 
     def __init__(self, grid: Mapping[str, Sequence[Any]]):
@@ -78,12 +85,36 @@ class ParamGrid:
 def applicable_grid(
     grid: Mapping[str, Sequence[Any]], pipeline: Pipeline
 ) -> ParamGrid:
-    """Shorthand: wrap ``grid`` and restrict it to ``pipeline``."""
+    """Shorthand: wrap ``grid`` and restrict it to ``pipeline``.
+
+    Parameters
+    ----------
+    grid:
+        A :class:`ParamGrid` or raw ``name__param -> values`` mapping.
+    pipeline:
+        The pipeline whose step names filter the grid.
+
+    Returns
+    -------
+    A :class:`ParamGrid` keeping only entries addressing ``pipeline``'s
+    steps.
+    """
     base = grid if isinstance(grid, ParamGrid) else ParamGrid(grid)
     return base.for_pipeline(pipeline)
 
 
 def expand_grid(grid: Mapping[str, Sequence[Any]]) -> List[Dict[str, Any]]:
-    """Materialize every combination of ``grid``."""
+    """Materialize every combination of ``grid``.
+
+    Parameters
+    ----------
+    grid:
+        A :class:`ParamGrid` or raw ``name__param -> values`` mapping.
+
+    Returns
+    -------
+    A list of concrete ``{name__param: value}`` settings (a single
+    empty dict for an empty grid).
+    """
     base = grid if isinstance(grid, ParamGrid) else ParamGrid(grid)
     return list(base.combinations())

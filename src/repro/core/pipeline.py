@@ -204,8 +204,18 @@ def _auto_name(component: Any, taken: set) -> str:
 
 
 def make_pipeline(*components: Any) -> Pipeline:
-    """Build a pipeline with auto-generated node names (lower-cased class
-    names, deduplicated with ``_2``, ``_3`` …)."""
+    """Build a pipeline with auto-generated node names.
+
+    Parameters
+    ----------
+    *components:
+        Transformers followed by at most one trailing estimator.
+
+    Returns
+    -------
+    A :class:`Pipeline` whose step names are the lower-cased class
+    names, deduplicated with ``_2``, ``_3`` … suffixes.
+    """
     taken: set = set()
     steps = []
     for component in components:

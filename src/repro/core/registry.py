@@ -35,6 +35,18 @@ def register_component(cls: Type, name: str = None) -> Type:
 
     Usable as a decorator.  Re-registering the same class under the same
     name is a no-op; a *different* class under an existing name raises.
+
+    Parameters
+    ----------
+    cls:
+        The component class.
+    name:
+        Registry name (default: the class name, which is what specs
+        record).
+
+    Returns
+    -------
+    ``cls`` unchanged, so the decorator form composes.
     """
     key = name or cls.__name__
     existing = _REGISTRY.get(key)
@@ -48,7 +60,12 @@ def register_component(cls: Type, name: str = None) -> Type:
 
 
 def registered_components() -> Dict[str, Type]:
-    """Snapshot of the registry (name -> class)."""
+    """Snapshot of the registry.
+
+    Returns
+    -------
+    A fresh ``{name: class}`` dict (built-ins loaded on first call).
+    """
     _ensure_builtins()
     return dict(_REGISTRY)
 
@@ -88,7 +105,18 @@ def _decode_param(value: Any) -> Any:
 
 
 def component_from_spec(spec: Mapping[str, Any]) -> Any:
-    """Instantiate a component from its spec document."""
+    """Instantiate a component from its spec document.
+
+    Parameters
+    ----------
+    spec:
+        ``{"class": ..., "params": {...}}`` as produced by
+        :func:`repro.core.spec.component_spec`.
+
+    Returns
+    -------
+    A fresh, unfitted component instance.
+    """
     cls = resolve_component_class(spec["class"])
     params = {
         name: _decode_param(value)
@@ -100,8 +128,18 @@ def component_from_spec(spec: Mapping[str, Any]) -> Any:
 
 
 def pipeline_from_spec(spec: Mapping[str, Any]) -> Pipeline:
-    """Rebuild an unfitted :class:`Pipeline` from a pipeline spec (the
-    ``"pipeline"`` entry of a computation spec, or the spec itself)."""
+    """Rebuild an unfitted :class:`Pipeline` from a pipeline spec.
+
+    Parameters
+    ----------
+    spec:
+        A computation spec (its ``"pipeline"`` entry is used) or a bare
+        pipeline spec document.
+
+    Returns
+    -------
+    The reconstructed unfitted pipeline, step names preserved.
+    """
     if "pipeline" in spec:
         spec = spec["pipeline"]
     steps = [

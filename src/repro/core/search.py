@@ -99,6 +99,7 @@ class RandomizedGraphSearch:
         refit_best: bool = True,
     ) -> EvaluationReport:
         started = time.perf_counter()
+        tel = self.evaluator.telemetry
         plan = self.evaluator.plan(X, y, param_grid)
         jobs = plan.jobs()
         rng = np.random.default_rng(self.random_state)
@@ -109,16 +110,30 @@ class RandomizedGraphSearch:
             metric=self.evaluator.metric_name,
             greater_is_better=self.evaluator.greater_is_better,
         )
-        report.results.extend(
-            self.evaluator.engine.execute(
-                selected,
-                X,
-                y,
-                cv=self.evaluator.cv,
-                metric=self.evaluator.metric,
-                result_hook=self.evaluator.result_hook,
+        with tel.span(
+            "search.randomized", n_iter=self.n_iter, sampled=k
+        ):
+            report.results.extend(
+                self.evaluator.engine.execute(
+                    selected,
+                    X,
+                    y,
+                    cv=self.evaluator.cv,
+                    metric=self.evaluator.metric,
+                    result_hook=self.evaluator.result_hook,
+                )
             )
-        )
+        if tel.enabled:
+            tel.count("search.jobs_enumerated", len(jobs) + plan.n_filtered)
+            tel.count("search.jobs_sampled", k)
+        report.stats = {
+            "cache": self.evaluator.engine.cache_stats(),
+            "jobs": {
+                "eligible": len(jobs),
+                "filtered": plan.n_filtered,
+                "sampled": k,
+            },
+        }
         jobs_by_key = {job.key: job for job in selected}
         return _finish_report(
             report, jobs_by_key, X, y, refit_best, started
@@ -178,6 +193,7 @@ class SuccessiveHalvingSearch:
         refit_best: bool = True,
     ) -> EvaluationReport:
         started = time.perf_counter()
+        tel = self.evaluator.telemetry
         survivors: List[EvaluationJob] = self.evaluator.plan(
             X, y, param_grid
         ).jobs()
@@ -187,14 +203,23 @@ class SuccessiveHalvingSearch:
         for round_index, n_folds in enumerate(self.folds):
             round_cv = KFold(n_folds, random_state=self.random_state)
             round_jobs = [rekey_job(job, round_cv) for job in survivors]
-            round_results = self.evaluator.engine.execute(
-                round_jobs,
-                X,
-                y,
-                cv=round_cv,
-                metric=self.evaluator.metric,
-                result_hook=self.evaluator.result_hook,
-            )
+            with tel.span(
+                "search.halving_round",
+                round=round_index,
+                folds=n_folds,
+                candidates=len(round_jobs),
+            ):
+                round_results = self.evaluator.engine.execute(
+                    round_jobs,
+                    X,
+                    y,
+                    cv=round_cv,
+                    metric=self.evaluator.metric,
+                    result_hook=self.evaluator.result_hook,
+                )
+            if tel.enabled:
+                tel.count("search.halving_rounds")
+                tel.count("search.budget_folds", n_folds * len(round_jobs))
             by_key = {result.key: result for result in round_results}
             results = [
                 (job, by_key[round_job.key])
@@ -221,6 +246,16 @@ class SuccessiveHalvingSearch:
             greater_is_better=greater,
         )
         report.results = [result for _, result in final_results]
+        report.stats = {
+            "cache": self.evaluator.engine.cache_stats(),
+            "halving": {
+                "rounds": [dict(r) for r in self.rounds_],
+                "total_evaluations": self.total_evaluations_,
+                "budget_folds": sum(
+                    r["folds"] * r["candidates"] for r in self.rounds_
+                ),
+            },
+        }
         jobs_by_key = {
             result.key: job for job, result in final_results
         }

@@ -54,7 +54,18 @@ def _jsonable(value: Any) -> Any:
 
 
 def component_spec(component: Any) -> Dict[str, Any]:
-    """Spec of one component: class name + normalized parameters."""
+    """Spec of one component: class name + normalized parameters.
+
+    Parameters
+    ----------
+    component:
+        Any transformer/estimator exposing ``get_params`` (components
+        without it spec as bare class names).
+
+    Returns
+    -------
+    ``{"class": ..., "params": {...}}`` with JSON-stable values.
+    """
     params: Dict[str, Any] = {}
     getter = getattr(component, "get_params", None)
     if callable(getter):
@@ -63,7 +74,17 @@ def component_spec(component: Any) -> Dict[str, Any]:
 
 
 def pipeline_spec(pipeline: Pipeline) -> Dict[str, Any]:
-    """Spec of a pipeline: the ordered named steps."""
+    """Spec of a pipeline: the ordered named steps.
+
+    Parameters
+    ----------
+    pipeline:
+        The :class:`~repro.core.pipeline.Pipeline` to describe.
+
+    Returns
+    -------
+    ``{"steps": [{"name", "class", "params"}, ...]}`` in step order.
+    """
     return {
         "steps": [
             {"name": name, **component_spec(component)}
@@ -80,6 +101,17 @@ def dataset_fingerprint(X: Any, y: Any = None) -> str:
     exact — any update to the data yields a new fingerprint and therefore
     a fresh set of calculations, which is precisely the recompute-on-
     change behaviour of Section III.
+
+    Parameters
+    ----------
+    X:
+        Feature array (anything ``np.asarray`` accepts).
+    y:
+        Optional target array, folded into the same digest.
+
+    Returns
+    -------
+    A 32-hex-character content hash.
     """
     digest = hashlib.sha256()
     arr = np.ascontiguousarray(np.asarray(X, dtype=float))
@@ -93,10 +125,22 @@ def dataset_fingerprint(X: Any, y: Any = None) -> str:
 
 
 def cv_spec(cv: Any) -> Any:
-    """Spec of a cross-validation strategy: a splitter instance becomes
-    class + normalized constructor state; strings and ``None`` pass
-    through.  Budgeted searches substitute this into an existing job spec
-    to re-key the same calculation under a different CV budget."""
+    """Spec of a cross-validation strategy.
+
+    A splitter instance becomes class + normalized constructor state;
+    strings and ``None`` pass through.  Budgeted searches substitute
+    this into an existing job spec to re-key the same calculation under
+    a different CV budget.
+
+    Parameters
+    ----------
+    cv:
+        Splitter instance, strategy name string, or ``None``.
+
+    Returns
+    -------
+    A JSON-stable spec value (dict, string or ``None``).
+    """
     if cv is None or isinstance(cv, str):
         return cv
     cv_params = {
@@ -116,9 +160,22 @@ def computation_spec(
 ) -> Dict[str, Any]:
     """Full identity of one analytics calculation.
 
-    ``dataset`` is a fingerprint from :func:`dataset_fingerprint`;
-    ``cv`` may be a splitter instance (specced by class + params) or a
-    plain string.
+    Parameters
+    ----------
+    pipeline:
+        The candidate pipeline.
+    params:
+        The ``name__param`` setting applied to it.
+    cv:
+        Splitter instance (specced by class + params) or plain string.
+    metric:
+        Metric name.
+    dataset:
+        Fingerprint from :func:`dataset_fingerprint`.
+
+    Returns
+    -------
+    The spec document whose :func:`spec_key` is the DARR identity.
     """
     return {
         "pipeline": pipeline_spec(pipeline),
@@ -130,6 +187,16 @@ def computation_spec(
 
 
 def spec_key(spec: Mapping[str, Any]) -> str:
-    """Stable SHA-256 key of a spec document (the DARR index key)."""
+    """Stable SHA-256 key of a spec document (the DARR index key).
+
+    Parameters
+    ----------
+    spec:
+        A JSON-serializable spec document (see :func:`computation_spec`).
+
+    Returns
+    -------
+    A 32-hex-character digest; identical specs always collide.
+    """
     encoded = json.dumps(spec, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(encoded.encode()).hexdigest()[:32]

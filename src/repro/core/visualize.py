@@ -17,7 +17,17 @@ __all__ = ["to_dot", "to_ascii", "describe"]
 
 
 def to_dot(graph: TransformerEstimatorGraph) -> str:
-    """Graphviz DOT source for the graph (stages as ranked clusters)."""
+    """Graphviz DOT source for the graph.
+
+    Parameters
+    ----------
+    graph:
+        The graph to render (``create_graph`` is called if needed).
+
+    Returns
+    -------
+    DOT source with one ranked cluster per stage.
+    """
     g = graph.create_graph()
     lines: List[str] = [
         f'digraph "{graph.name}" {{',
@@ -38,8 +48,18 @@ def to_dot(graph: TransformerEstimatorGraph) -> str:
 
 
 def to_ascii(graph: TransformerEstimatorGraph) -> str:
-    """Terminal-friendly rendering: one block per stage with options and
-    non-default wiring annotations."""
+    """Terminal-friendly rendering of a validated graph.
+
+    Parameters
+    ----------
+    graph:
+        The graph to render (validated first).
+
+    Returns
+    -------
+    A multi-line string: one block per stage with options and
+    non-default wiring annotations, ending with the path count.
+    """
     graph.validate()
     lines: List[str] = [f"TransformerEstimatorGraph {graph.name!r}"]
     lines.append(f"[{ROOT}]")
@@ -57,7 +77,17 @@ def to_ascii(graph: TransformerEstimatorGraph) -> str:
 
 
 def describe(graph: TransformerEstimatorGraph) -> str:
-    """One-line summary: stage sizes and the total path count."""
+    """One-line summary of a graph.
+
+    Parameters
+    ----------
+    graph:
+        The graph to summarize.
+
+    Returns
+    -------
+    ``"<name>: N stages (a x b x c options), P pipelines"``.
+    """
     sizes = " x ".join(str(len(stage.options)) for stage in graph.stages)
     return (
         f"{graph.name}: {len(graph.stages)} stages ({sizes} options), "

@@ -76,6 +76,14 @@ class CooperativeEvaluator:
         self.darr = darr
         self.client = client
         self.stats = CooperativeStats()
+        self.telemetry = evaluator.telemetry
+        # One handle on the evaluator observes the whole cooperative
+        # loop: push it down to the repository so DARR publish / claim /
+        # lookup traffic lands on the same counters.
+        if self.telemetry.enabled and not getattr(
+            darr.telemetry, "enabled", False
+        ):
+            darr.telemetry = self.telemetry
 
     def process_job(
         self, job: EvaluationJob, X: Any, y: Any
@@ -88,16 +96,19 @@ class CooperativeEvaluator:
         """
         cached = self.darr.fetch(job.key, self.client)
         if cached is not None:
-            self.stats.reused += 1
+            self._observe_reused()
             return cached.to_pipeline_result()
         if not self.darr.claim(job.key, self.client):
             # Either someone published between fetch and claim (rare in
             # the simulation) or another client is computing it.
             cached = self.darr.fetch(job.key, self.client)
             if cached is not None:
-                self.stats.reused += 1
+                self._observe_reused()
                 return cached.to_pipeline_result()
             self.stats.skipped_claimed += 1
+            if self.telemetry.enabled:
+                self.telemetry.count("darr.jobs_skipped_claimed")
+                self.telemetry.count("darr.redundant_computations_avoided")
             return None
         try:
             result = self.evaluator.run_job(job, X, y)
@@ -105,6 +116,7 @@ class CooperativeEvaluator:
             self.darr.release_claim(job.key, self.client)
             raise
         self.stats.computed += 1
+        self.telemetry.count("darr.jobs_computed")
         record = AnalyticsResult.from_pipeline_result(
             result,
             client=self.client,
@@ -113,6 +125,14 @@ class CooperativeEvaluator:
         )
         self.darr.publish(record, self.client)
         return result
+
+    def _observe_reused(self) -> None:
+        """Account one job whose result was fetched instead of computed
+        — the paper's redundant-computation-avoided event."""
+        self.stats.reused += 1
+        if self.telemetry.enabled:
+            self.telemetry.count("darr.jobs_reused")
+            self.telemetry.count("darr.redundant_computations_avoided")
 
     def evaluate(
         self,
@@ -142,16 +162,21 @@ class CooperativeEvaluator:
             dataset = job.spec.get("dataset")
             cached = self.darr.fetch(job.key, self.client)
             if cached is not None:
-                self.stats.reused += 1
+                self._observe_reused()
                 report.results.append(cached.to_pipeline_result())
                 continue
             if not self.darr.claim(job.key, self.client):
                 cached = self.darr.fetch(job.key, self.client)
                 if cached is not None:
-                    self.stats.reused += 1
+                    self._observe_reused()
                     report.results.append(cached.to_pipeline_result())
                 else:
                     self.stats.skipped_claimed += 1
+                    if self.telemetry.enabled:
+                        self.telemetry.count("darr.jobs_skipped_claimed")
+                        self.telemetry.count(
+                            "darr.redundant_computations_avoided"
+                        )
                 continue
             to_compute.append(job)
 
@@ -159,6 +184,7 @@ class CooperativeEvaluator:
             if self.evaluator.result_hook is not None:
                 self.evaluator.result_hook(result)
             self.stats.computed += 1
+            self.telemetry.count("darr.jobs_computed")
             record = AnalyticsResult.from_pipeline_result(
                 result,
                 client=self.client,
@@ -201,6 +227,15 @@ class CooperativeEvaluator:
                 model.fit(np.asarray(X), np.asarray(y))
                 report.best_model = model
         report.elapsed_seconds = time.perf_counter() - started
+        report.stats = {
+            "cache": self.evaluator.engine.cache_stats(),
+            "cooperative": {
+                "computed": self.stats.computed,
+                "reused": self.stats.reused,
+                "skipped_claimed": self.stats.skipped_claimed,
+                "redundancy_avoided": self.stats.redundancy_avoided,
+            },
+        }
         return report
 
 
@@ -214,8 +249,21 @@ def run_cooperative_session(
 
     Each client enumerates its own jobs (identical keys since graph,
     CV, metric and data agree); processing alternates client-by-client,
-    modeling concurrent clients racing on the DARR.  Returns the
-    per-client result lists.
+    modeling concurrent clients racing on the DARR.
+
+    Parameters
+    ----------
+    evaluators:
+        The participating :class:`CooperativeEvaluator` clients.
+    X, y:
+        The shared dataset.
+    param_grid:
+        Optional grid every client expands identically.
+
+    Returns
+    -------
+    Per-client lists of :class:`PipelineResult` (``None`` entries mark
+    jobs skipped because another client held the claim).
     """
     if not evaluators:
         raise ValueError("need at least one cooperative evaluator")
@@ -247,9 +295,20 @@ def rebuild_best_pipeline(
 ):
     """Reconstruct the best shared pipeline from its DARR spec.
 
-    Returns an *unfitted* :class:`repro.core.pipeline.Pipeline` built via
-    the component registry, with the stored parameter setting applied —
-    a consuming client fits it on its own copy of the data.  Raises
+    Parameters
+    ----------
+    darr:
+        The repository to query.
+    dataset:
+        Optional dataset fingerprint filter.
+    metric:
+        Optional metric-name filter.
+
+    Returns
+    -------
+    An *unfitted* :class:`repro.core.pipeline.Pipeline` built via the
+    component registry, with the stored parameter setting applied — a
+    consuming client fits it on its own copy of the data.  Raises
     ``LookupError`` when the repository has no matching results.
     """
     best = darr.best(dataset=dataset, metric=metric)

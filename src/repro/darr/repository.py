@@ -20,6 +20,7 @@ from typing import Dict, List, Optional
 
 from repro.darr.records import AnalyticsResult
 from repro.distributed.cluster import SimulatedNetwork
+from repro.obs import resolve_telemetry
 
 __all__ = ["DataAnalyticsResultsRepository", "DARR"]
 
@@ -47,6 +48,13 @@ class DataAnalyticsResultsRepository:
     claim_duration:
         Seconds before an unfinished claim expires and another client may
         take the job over.
+    telemetry:
+        ``None`` (default) or a :class:`~repro.obs.Telemetry` handle.
+        When enabled, every publish / lookup / claim increments the
+        ``darr.*`` counters, so one handle shows the repository's
+        traffic next to the engine and scheduler numbers.  A handle
+        attached to a :class:`~repro.darr.coordinator.CooperativeEvaluator`'s
+        inner evaluator is propagated here automatically.
     """
 
     def __init__(
@@ -54,6 +62,7 @@ class DataAnalyticsResultsRepository:
         name: str = "darr",
         network: Optional[SimulatedNetwork] = None,
         claim_duration: float = 300.0,
+        telemetry: object = None,
     ):
         if claim_duration <= 0:
             raise ValueError("claim_duration must be positive")
@@ -62,6 +71,7 @@ class DataAnalyticsResultsRepository:
         if network is not None:
             network.register(name, self)
         self.claim_duration = claim_duration
+        self.telemetry = resolve_telemetry(telemetry)
         self._results: Dict[str, AnalyticsResult] = {}
         self._claims: Dict[str, _Claim] = {}
         self.stats = {
@@ -94,9 +104,11 @@ class DataAnalyticsResultsRepository:
         self._claims.pop(result.key, None)
         if result.key in self._results:
             self.stats["duplicate_publishes"] += 1
+            self.telemetry.count("darr.publish_duplicate")
             return False
         self._results[result.key] = result
         self.stats["publishes"] += 1
+        self.telemetry.count("darr.publish")
         return True
 
     def has(self, key: str, client: Optional[str] = None) -> bool:
@@ -111,8 +123,10 @@ class DataAnalyticsResultsRepository:
         result = self._results.get(key)
         if result is None:
             self.stats["fetch_misses"] += 1
+            self.telemetry.count("darr.lookup_miss")
             return None
         self.stats["fetch_hits"] += 1
+        self.telemetry.count("darr.lookup_hit")
         self._account(client, result.wire_size, "darr-fetch", inbound=False)
         return result
 
@@ -126,14 +140,17 @@ class DataAnalyticsResultsRepository:
         self._account(client, _CLAIM_SIZE, "darr-claim", inbound=True)
         if key in self._results:
             self.stats["claims_denied"] += 1
+            self.telemetry.count("darr.claim_denied")
             return False
         now = self._now()
         existing = self._claims.get(key)
         if existing is not None and existing.client != client and existing.expires_at > now:
             self.stats["claims_denied"] += 1
+            self.telemetry.count("darr.claim_denied")
             return False
         self._claims[key] = _Claim(client, now + self.claim_duration)
         self.stats["claims_granted"] += 1
+        self.telemetry.count("darr.claim_granted")
         return True
 
     def release_claim(self, key: str, client: str) -> None:
@@ -202,7 +219,18 @@ def save_repository(
 
     The DARR is cloud-resident in the paper; persistence gives it the
     durability a real deployment needs (and lets sessions resume without
-    recomputing).  Returns the number of records written.
+    recomputing).
+
+    Parameters
+    ----------
+    repository:
+        The repository whose completed results are saved.
+    path:
+        Destination file path.
+
+    Returns
+    -------
+    The number of records written.
     """
     import pickle
 
@@ -217,7 +245,22 @@ def load_repository(
     name: str = "darr",
     network=None,
 ) -> DataAnalyticsResultsRepository:
-    """Load a repository previously written by :func:`save_repository`."""
+    """Load a repository previously written by :func:`save_repository`.
+
+    Parameters
+    ----------
+    path:
+        File written by :func:`save_repository`.
+    name:
+        Name for the rebuilt repository.
+    network:
+        Optional network model attached to the new instance.
+
+    Returns
+    -------
+    A fresh :class:`DataAnalyticsResultsRepository` holding the saved
+    completed results (claims are not persisted).
+    """
     import pickle
 
     with open(path, "rb") as handle:

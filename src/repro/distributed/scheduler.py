@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence
 
 from repro.distributed.node import ComputeNode
+from repro.obs import resolve_telemetry
 
 __all__ = ["ScheduleOutcome", "DistributedScheduler"]
 
@@ -73,9 +74,22 @@ class DistributedScheduler:
         ``"round_robin"`` or ``"weighted"`` (least-loaded-first, which
         is capability-aware because load is measured in simulated
         seconds).
+    telemetry:
+        ``None`` (default) or a :class:`~repro.obs.Telemetry` handle.
+        When enabled, every run emits a ``scheduler.execute`` span plus
+        per-node job counts (``scheduler.node_jobs``), per-node
+        simulated busy time (``scheduler.node_busy_seconds``) and the
+        total simulated queue wait (``scheduler.queue_seconds``).
+        A handle attached to the evaluator/engine that wraps this
+        scheduler is propagated here automatically.
     """
 
-    def __init__(self, nodes: Sequence[ComputeNode], policy: str = "weighted"):
+    def __init__(
+        self,
+        nodes: Sequence[ComputeNode],
+        policy: str = "weighted",
+        telemetry: Any = None,
+    ):
         if not nodes:
             raise ValueError("scheduler needs at least one node")
         if policy not in _POLICIES:
@@ -85,6 +99,7 @@ class DistributedScheduler:
             raise ValueError("node names must be unique")
         self.nodes = list(nodes)
         self.policy = policy
+        self.telemetry = resolve_telemetry(telemetry)
         # Running mean of observed real job seconds (the cost estimate
         # the weighted policy plugs into per-node ETAs).
         self._mean_job_seconds = 0.0
@@ -134,16 +149,31 @@ class DistributedScheduler:
             node.name: [] for node in self.nodes
         }
         results: List[Any] = []
-        for index, job in enumerate(jobs):
-            node = self._pick_node(index, busy)
-            before = node.busy_seconds
-            result = node.execute_job(evaluator, job, X, y)
-            simulated = node.busy_seconds - before
-            busy[node.name] += simulated
-            self._observe(simulated * node.compute_speed)
-            assignment[node.name].append(job.key)
-            results.append(result)
-        makespan = max(busy.values()) if busy else 0.0
+        tel = self.telemetry
+        with tel.span(
+            "scheduler.execute", policy=self.policy, n_jobs=len(jobs)
+        ) as sched_span:
+            for index, job in enumerate(jobs):
+                node = self._pick_node(index, busy)
+                # Simulated time this job spends queued behind earlier
+                # assignments on its node before it can start.
+                queue_wait = busy[node.name]
+                before = node.busy_seconds
+                result = node.execute_job(evaluator, job, X, y)
+                simulated = node.busy_seconds - before
+                busy[node.name] += simulated
+                self._observe(simulated * node.compute_speed)
+                assignment[node.name].append(job.key)
+                results.append(result)
+                if tel.enabled:
+                    tel.count("scheduler.jobs")
+                    tel.count("scheduler.node_jobs", key=node.name)
+                    tel.count(
+                        "scheduler.node_busy_seconds", simulated, key=node.name
+                    )
+                    tel.count("scheduler.queue_seconds", queue_wait)
+            makespan = max(busy.values()) if busy else 0.0
+            sched_span.annotate(makespan_seconds=makespan)
         return ScheduleOutcome(
             results=results,
             assignment=assignment,

@@ -1,0 +1,36 @@
+"""Zero-dependency observability for the cooperative analytics stack.
+
+One :class:`Telemetry` handle, attached to a
+:class:`~repro.core.evaluation.GraphEvaluator` (or any layer directly),
+collects counters, aggregated span timings, and structured events from
+the execution engine, the budgeted searches, the distributed scheduler
+and the DARR — see ``docs/observability.md`` for the full guide.
+"""
+
+from repro.obs.sinks import (
+    InMemorySink,
+    JsonlSink,
+    LoggingSink,
+    Sink,
+    jsonable,
+)
+from repro.obs.telemetry import (
+    NULL_TELEMETRY,
+    NullTelemetry,
+    Span,
+    Telemetry,
+    resolve_telemetry,
+)
+
+__all__ = [
+    "Telemetry",
+    "NullTelemetry",
+    "NULL_TELEMETRY",
+    "Span",
+    "resolve_telemetry",
+    "Sink",
+    "InMemorySink",
+    "JsonlSink",
+    "LoggingSink",
+    "jsonable",
+]

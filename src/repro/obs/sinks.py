@@ -1,0 +1,189 @@
+"""Telemetry sinks: where finished spans and structured events go.
+
+A sink receives plain-dict events from a
+:class:`~repro.obs.telemetry.Telemetry` handle — one dict per finished
+span (``{"event": "span", "name": ..., "seconds": ...}``) or per
+explicit :meth:`~repro.obs.telemetry.Telemetry.record` call.  Three
+zero-dependency implementations cover the common cases:
+
+* :class:`InMemorySink` — events kept in a list; what tests assert on.
+* :class:`JsonlSink` — one JSON object per line appended to a file; what
+  the benchmark harness writes so runs are diffable across machines.
+* :class:`LoggingSink` — events forwarded to a stdlib
+  :mod:`logging` logger, for deployments that already aggregate logs.
+
+Aggregated counters/timers never pass through sinks — they live on the
+telemetry handle and are read via
+:meth:`~repro.obs.telemetry.Telemetry.summary`.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import threading
+from typing import Any, Dict, List, Optional
+
+__all__ = ["Sink", "InMemorySink", "JsonlSink", "LoggingSink", "jsonable"]
+
+
+def jsonable(value: Any) -> Any:
+    """Coerce ``value`` into something :func:`json.dumps` accepts.
+
+    Parameters
+    ----------
+    value:
+        Any python object; numpy scalars/arrays become python
+        numbers/lists, mappings and sequences recurse, everything else
+        falls back to ``str``.
+
+    Returns
+    -------
+    A JSON-serializable equivalent of ``value``.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if hasattr(value, "item") and not hasattr(value, "__len__"):
+        try:
+            return value.item()  # numpy scalar
+        except Exception:
+            return str(value)
+    if isinstance(value, dict):
+        return {str(k): jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [jsonable(v) for v in value]
+    if hasattr(value, "tolist"):
+        try:
+            return value.tolist()  # numpy array
+        except Exception:
+            return str(value)
+    return str(value)
+
+
+class Sink:
+    """Abstract event consumer attached to a telemetry handle."""
+
+    def emit(self, event: Dict[str, Any]) -> None:
+        """Consume one event dict (must not mutate it)."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Flush and release any resources (idempotent; default no-op)."""
+
+
+class InMemorySink(Sink):
+    """Keep every emitted event in a list — the test double.
+
+    Attributes
+    ----------
+    events:
+        All emitted event dicts, in emission order.
+    """
+
+    def __init__(self) -> None:
+        self.events: List[Dict[str, Any]] = []
+        self._lock = threading.Lock()
+
+    def emit(self, event: Dict[str, Any]) -> None:
+        """Append ``event`` to :attr:`events` (thread-safe)."""
+        with self._lock:
+            self.events.append(dict(event))
+
+    def spans(self, name: Optional[str] = None) -> List[Dict[str, Any]]:
+        """Span-end events, optionally filtered by span name.
+
+        Parameters
+        ----------
+        name:
+            When given, only spans with this exact name are returned.
+
+        Returns
+        -------
+        A list of span event dicts.
+        """
+        with self._lock:
+            return [
+                e
+                for e in self.events
+                if e.get("event") == "span"
+                and (name is None or e.get("name") == name)
+            ]
+
+    def clear(self) -> None:
+        """Drop all recorded events."""
+        with self._lock:
+            self.events.clear()
+
+
+class JsonlSink(Sink):
+    """Append one JSON object per event to a file.
+
+    The file is opened lazily on the first emit (so constructing a sink
+    never touches the filesystem) and each line is flushed immediately,
+    making records durable even when the process dies mid-run.
+
+    Parameters
+    ----------
+    path:
+        Destination file; parent directory must exist.
+    mode:
+        File mode, ``"a"`` (default, append across runs) or ``"w"``.
+    """
+
+    def __init__(self, path: Any, mode: str = "a") -> None:
+        if mode not in ("a", "w"):
+            raise ValueError("mode must be 'a' or 'w'")
+        self.path = path
+        self.mode = mode
+        self._handle = None
+        self._lock = threading.Lock()
+
+    def emit(self, event: Dict[str, Any]) -> None:
+        """Serialize ``event`` as one JSON line and flush it."""
+        line = json.dumps(jsonable(event), sort_keys=True)
+        with self._lock:
+            if self._handle is None:
+                self._handle = open(self.path, self.mode)
+            self._handle.write(line + "\n")
+            self._handle.flush()
+
+    def close(self) -> None:
+        """Close the underlying file (a later emit reopens in append)."""
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+                self.mode = "a"  # never truncate records on reopen
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+class LoggingSink(Sink):
+    """Forward events to a stdlib :mod:`logging` logger.
+
+    Parameters
+    ----------
+    logger:
+        Target logger (default: the ``"repro.obs"`` logger).
+    level:
+        Level every event is logged at (default ``logging.INFO``).
+    """
+
+    def __init__(
+        self,
+        logger: Optional[logging.Logger] = None,
+        level: int = logging.INFO,
+    ) -> None:
+        self.logger = logger or logging.getLogger("repro.obs")
+        self.level = level
+
+    def emit(self, event: Dict[str, Any]) -> None:
+        """Log ``event`` as a single JSON-formatted message."""
+        if self.logger.isEnabledFor(self.level):
+            self.logger.log(
+                self.level, "%s", json.dumps(jsonable(event), sort_keys=True)
+            )

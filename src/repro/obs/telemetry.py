@@ -1,0 +1,386 @@
+"""The :class:`Telemetry` handle: counters, timers and structured spans.
+
+The paper's cooperative premise — clients skipping redundant work by
+consulting the DARR — is only credible when every layer can report what
+an evaluation cost and what the caches and the repository saved.  One
+``Telemetry`` handle threads through the whole stack:
+
+* the :class:`~repro.core.engine.ExecutionEngine` (per-job wall time,
+  per-fold transform/fit time, prefix-cache effectiveness),
+* the search strategies (jobs enumerated vs. filtered vs. executed,
+  fold-budget consumed per halving round),
+* the :class:`~repro.distributed.scheduler.DistributedScheduler`
+  (per-node job counts, simulated queue wait),
+* the DARR (publish / claim / lookup traffic, redundant computations
+  avoided — the paper's Fig. 2 story).
+
+Everything is stdlib-only.  Counters and timers aggregate in memory on
+the handle; finished spans and explicit :meth:`Telemetry.record` events
+additionally stream to pluggable :class:`~repro.obs.sinks.Sink` objects.
+When no telemetry is attached, instrumented code paths receive the
+module-level :data:`NULL_TELEMETRY` singleton whose every operation is a
+no-op — branches guard on ``telemetry.enabled`` so the disabled cost is
+one attribute read.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.obs.sinks import Sink
+
+__all__ = ["Span", "Telemetry", "NullTelemetry", "NULL_TELEMETRY", "resolve_telemetry"]
+
+
+class Span:
+    """One timed, attributed section of work.
+
+    Use as a context manager; on exit the duration is aggregated into
+    the owning handle's timers and a span event is emitted to its sinks:
+
+    ``with telemetry.span("engine.job", key=job.key): ...``
+
+    Parameters
+    ----------
+    telemetry:
+        Owning handle (spans are created via :meth:`Telemetry.span`,
+        not directly).
+    name:
+        Span name.
+    attrs:
+        Initial structured attributes.
+
+    Attributes
+    ----------
+    name:
+        Span name; aggregation key in :meth:`Telemetry.summary`.
+    attrs:
+        Structured attributes carried on the span event.
+    seconds:
+        Duration, populated on exit (``None`` while open).
+    """
+
+    __slots__ = ("_telemetry", "name", "attrs", "_started", "seconds")
+
+    def __init__(self, telemetry: "Telemetry", name: str, attrs: Dict[str, Any]):
+        self._telemetry = telemetry
+        self.name = name
+        self.attrs = attrs
+        self._started: Optional[float] = None
+        self.seconds: Optional[float] = None
+
+    def annotate(self, **attrs: Any) -> "Span":
+        """Attach additional attributes discovered mid-span."""
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "Span":
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
+        self.seconds = time.perf_counter() - (self._started or 0.0)
+        if exc_type is not None:
+            self.attrs.setdefault("error", exc_type.__name__)
+        self._telemetry._finish_span(self)
+
+
+class _NullSpan:
+    """Shared do-nothing span for disabled telemetry."""
+
+    __slots__ = ()
+    seconds = None
+    name = ""
+    attrs: Dict[str, Any] = {}
+
+    def annotate(self, **attrs: Any) -> "_NullSpan":
+        """No-op; returns self."""
+        return self
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Telemetry:
+    """Aggregating telemetry handle with pluggable sinks.
+
+    Counters (:meth:`count`) and per-span timers aggregate in memory and
+    are read back with :meth:`counters` / :meth:`summary`; finished
+    spans (:meth:`span`) and structured events (:meth:`record`)
+    additionally stream to every attached sink.  All operations are
+    thread-safe, so one handle can be shared by the parallel executor's
+    worker threads.
+
+    Parameters
+    ----------
+    sinks:
+        Iterable of :class:`~repro.obs.sinks.Sink` instances (optional —
+        a sink-less handle still aggregates counters and timers).
+
+    Attributes
+    ----------
+    enabled:
+        Always ``True`` on a real handle; ``False`` on
+        :data:`NULL_TELEMETRY`.  Hot paths branch on this to skip
+        measurement work entirely when telemetry is off.
+    """
+
+    enabled = True
+
+    def __init__(self, sinks: Optional[Iterable[Sink]] = None):
+        self.sinks: List[Sink] = list(sinks or [])
+        self._lock = threading.Lock()
+        self._counters: Dict[str, float] = {}
+        self._labeled: Dict[str, Dict[str, float]] = {}
+        self._timers: Dict[str, Dict[str, float]] = {}
+
+    # -- emitting ----------------------------------------------------------
+    def count(self, name: str, value: float = 1, key: Optional[str] = None) -> None:
+        """Add ``value`` to the counter ``name``.
+
+        Parameters
+        ----------
+        name:
+            Counter name, dotted by convention (``"darr.fetch_hit"``).
+        value:
+            Increment (default 1); may be fractional (seconds totals).
+        key:
+            When given, increments the per-key breakdown of a labeled
+            counter instead (e.g. per-node job counts keyed by node
+            name).
+        """
+        with self._lock:
+            if key is None:
+                self._counters[name] = self._counters.get(name, 0) + value
+            else:
+                bucket = self._labeled.setdefault(name, {})
+                bucket[key] = bucket.get(key, 0) + value
+
+    def span(self, name: str, **attrs: Any) -> Span:
+        """Open a timed span; use as a context manager.
+
+        Parameters
+        ----------
+        name:
+            Span name (timer aggregation key).
+        **attrs:
+            Structured attributes emitted with the span event.
+
+        Returns
+        -------
+        A :class:`Span` context manager.
+        """
+        return Span(self, name, attrs)
+
+    def record(self, name: str, **fields: Any) -> None:
+        """Emit a structured point-in-time event to every sink.
+
+        Parameters
+        ----------
+        name:
+            Event name (becomes the ``"name"`` field).
+        **fields:
+            Arbitrary JSON-able payload fields.
+        """
+        self._emit({"event": "record", "name": name, **fields})
+
+    # -- reading -----------------------------------------------------------
+    def counters(self) -> Dict[str, float]:
+        """Snapshot of all unlabeled counters."""
+        with self._lock:
+            return dict(self._counters)
+
+    def labeled(self, name: str) -> Dict[str, float]:
+        """Per-key breakdown of the labeled counter ``name``."""
+        with self._lock:
+            return dict(self._labeled.get(name, {}))
+
+    def timer(self, name: str) -> Dict[str, float]:
+        """Aggregate stats of the span ``name``.
+
+        Returns
+        -------
+        Dict with ``count``, ``total_seconds``, ``mean_seconds`` and
+        ``max_seconds`` (zeros when the span never ran).
+        """
+        with self._lock:
+            stats = self._timers.get(name)
+            if not stats:
+                return {
+                    "count": 0,
+                    "total_seconds": 0.0,
+                    "mean_seconds": 0.0,
+                    "max_seconds": 0.0,
+                }
+            return {
+                "count": int(stats["count"]),
+                "total_seconds": stats["total"],
+                "mean_seconds": stats["total"] / stats["count"],
+                "max_seconds": stats["max"],
+            }
+
+    def summary(self) -> Dict[str, Any]:
+        """Everything aggregated so far, as one nested plain dict.
+
+        Returns
+        -------
+        ``{"counters": {...}, "labeled": {...}, "spans": {...}}`` where
+        each span entry carries count/total/mean/max seconds.
+        """
+        with self._lock:
+            spans = {
+                name: {
+                    "count": int(stats["count"]),
+                    "total_seconds": stats["total"],
+                    "mean_seconds": stats["total"] / stats["count"],
+                    "max_seconds": stats["max"],
+                }
+                for name, stats in self._timers.items()
+            }
+            return {
+                "counters": dict(self._counters),
+                "labeled": {k: dict(v) for k, v in self._labeled.items()},
+                "spans": spans,
+            }
+
+    def report(self) -> str:
+        """Human-readable rendering of :meth:`summary`.
+
+        Returns
+        -------
+        A multi-line string: counters, labeled breakdowns, then span
+        timings — the numbers benchmarks previously computed by hand.
+        """
+        summary = self.summary()
+        lines: List[str] = ["telemetry report"]
+        if summary["counters"]:
+            lines.append("  counters:")
+            for name in sorted(summary["counters"]):
+                value = summary["counters"][name]
+                shown = f"{value:.6f}".rstrip("0").rstrip(".") if isinstance(value, float) else value
+                lines.append(f"    {name:<40} {shown}")
+        for name in sorted(summary["labeled"]):
+            lines.append(f"  {name}:")
+            for key in sorted(summary["labeled"][name]):
+                lines.append(f"    {key:<40} {summary['labeled'][name][key]:g}")
+        if summary["spans"]:
+            lines.append("  spans:")
+            for name in sorted(summary["spans"]):
+                stats = summary["spans"][name]
+                lines.append(
+                    f"    {name:<32} n={stats['count']:<6} "
+                    f"total={stats['total_seconds']:.4f}s "
+                    f"mean={stats['mean_seconds'] * 1e3:.3f}ms "
+                    f"max={stats['max_seconds'] * 1e3:.3f}ms"
+                )
+        return "\n".join(lines)
+
+    def reset(self) -> None:
+        """Zero every counter, labeled counter and timer (sinks keep
+        whatever they already received)."""
+        with self._lock:
+            self._counters.clear()
+            self._labeled.clear()
+            self._timers.clear()
+
+    def close(self) -> None:
+        """Close every attached sink."""
+        for sink in self.sinks:
+            sink.close()
+
+    # -- internals ---------------------------------------------------------
+    def _finish_span(self, span: Span) -> None:
+        seconds = span.seconds or 0.0
+        with self._lock:
+            stats = self._timers.get(span.name)
+            if stats is None:
+                self._timers[span.name] = {
+                    "count": 1.0,
+                    "total": seconds,
+                    "max": seconds,
+                }
+            else:
+                stats["count"] += 1
+                stats["total"] += seconds
+                if seconds > stats["max"]:
+                    stats["max"] = seconds
+        if self.sinks:
+            self._emit(
+                {
+                    "event": "span",
+                    "name": span.name,
+                    "seconds": seconds,
+                    **span.attrs,
+                }
+            )
+
+    def _emit(self, event: Dict[str, Any]) -> None:
+        for sink in self.sinks:
+            sink.emit(event)
+
+
+class NullTelemetry(Telemetry):
+    """The disabled handle: every operation is a no-op.
+
+    Instrumented code never needs ``if telemetry is not None`` checks —
+    it holds :data:`NULL_TELEMETRY` and may additionally guard expensive
+    measurement (extra ``perf_counter`` calls) on
+    :attr:`~Telemetry.enabled`.
+    """
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__()
+
+    def count(self, name: str, value: float = 1, key: Optional[str] = None) -> None:
+        """No-op."""
+
+    def span(self, name: str, **attrs: Any) -> Any:
+        """Return the shared do-nothing span."""
+        return _NULL_SPAN
+
+    def record(self, name: str, **fields: Any) -> None:
+        """No-op."""
+
+
+#: Shared disabled handle; what ``telemetry=None`` resolves to.
+NULL_TELEMETRY = NullTelemetry()
+
+
+def resolve_telemetry(spec: Any) -> Telemetry:
+    """Coerce a user-facing ``telemetry=`` argument into a handle.
+
+    Parameters
+    ----------
+    spec:
+        ``None`` (telemetry off), a :class:`Telemetry` instance, or a
+        single :class:`~repro.obs.sinks.Sink` / iterable of sinks (a
+        fresh enabled handle is built around them).
+
+    Returns
+    -------
+    A :class:`Telemetry`; :data:`NULL_TELEMETRY` when ``spec`` is None.
+    """
+    if spec is None:
+        return NULL_TELEMETRY
+    if isinstance(spec, Telemetry):
+        return spec
+    if isinstance(spec, Sink):
+        return Telemetry(sinks=[spec])
+    if isinstance(spec, (list, tuple)) and all(
+        isinstance(s, Sink) for s in spec
+    ):
+        return Telemetry(sinks=spec)
+    raise TypeError(
+        f"cannot interpret {spec!r} as telemetry; expected None, a "
+        "Telemetry, a Sink, or a list of Sinks"
+    )

@@ -1,0 +1,398 @@
+"""Tests for the telemetry subsystem: handle, sinks, and the
+single-handle integration across engine, search, scheduler and DARR."""
+
+import json
+import logging
+import threading
+
+import pytest
+
+from repro.core import (
+    GraphEvaluator,
+    RandomizedGraphSearch,
+    SuccessiveHalvingSearch,
+    TransformerEstimatorGraph,
+)
+from repro.darr import DataAnalyticsResultsRepository as DARR
+from repro.darr import CooperativeEvaluator
+from repro.distributed import (
+    ClientNode,
+    CloudAnalyticsServer,
+    DistributedScheduler,
+    SimulatedNetwork,
+)
+from repro.ml.linear import LinearRegression
+from repro.ml.model_selection import KFold
+from repro.ml.preprocessing import NoOp, StandardScaler
+from repro.ml.tree import DecisionTreeRegressor
+from repro.obs import (
+    NULL_TELEMETRY,
+    InMemorySink,
+    JsonlSink,
+    LoggingSink,
+    NullTelemetry,
+    Telemetry,
+    jsonable,
+    resolve_telemetry,
+)
+
+
+def build_graph():
+    g = TransformerEstimatorGraph("obs_test")
+    g.add_feature_scalers([StandardScaler(), NoOp()])
+    g.add_regression_models(
+        [LinearRegression(), DecisionTreeRegressor(max_depth=3, random_state=0)]
+    )
+    return g
+
+
+class TestCounters:
+    def test_count_accumulates(self):
+        tel = Telemetry()
+        tel.count("a")
+        tel.count("a", 2)
+        tel.count("b", 0.5)
+        assert tel.counters() == {"a": 3, "b": 0.5}
+
+    def test_labeled_counters_separate_namespace(self):
+        tel = Telemetry()
+        tel.count("node_jobs", key="c1")
+        tel.count("node_jobs", 2, key="cloud")
+        assert tel.counters() == {}
+        assert tel.labeled("node_jobs") == {"c1": 1, "cloud": 2}
+        assert tel.labeled("missing") == {}
+
+    def test_reset_zeros_everything(self):
+        tel = Telemetry()
+        tel.count("a")
+        tel.count("b", key="k")
+        with tel.span("s"):
+            pass
+        tel.reset()
+        summary = tel.summary()
+        assert summary["counters"] == {}
+        assert summary["labeled"] == {}
+        assert summary["spans"] == {}
+
+    def test_thread_safety(self):
+        tel = Telemetry()
+
+        def work():
+            for _ in range(1000):
+                tel.count("hits")
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert tel.counters()["hits"] == 4000
+
+
+class TestSpans:
+    def test_span_aggregates_into_timer(self):
+        tel = Telemetry()
+        for _ in range(3):
+            with tel.span("work"):
+                pass
+        timer = tel.timer("work")
+        assert timer["count"] == 3
+        assert timer["total_seconds"] >= 0.0
+        assert timer["max_seconds"] >= timer["mean_seconds"]
+
+    def test_timer_of_unknown_span_is_zeroed(self):
+        assert Telemetry().timer("never")["count"] == 0
+
+    def test_span_attrs_reach_sink(self):
+        sink = InMemorySink()
+        tel = Telemetry(sinks=[sink])
+        with tel.span("job", job_id="j1") as span:
+            span.annotate(folds=3)
+        (event,) = sink.spans("job")
+        assert event["job_id"] == "j1"
+        assert event["folds"] == 3
+        assert event["seconds"] >= 0.0
+
+    def test_span_marks_error_on_exception(self):
+        sink = InMemorySink()
+        tel = Telemetry(sinks=[sink])
+        with pytest.raises(ValueError):
+            with tel.span("boom"):
+                raise ValueError("nope")
+        (event,) = sink.spans("boom")
+        assert event["error"] == "ValueError"
+        assert tel.timer("boom")["count"] == 1
+
+    def test_summary_and_report(self):
+        tel = Telemetry()
+        tel.count("engine.jobs_executed", 4)
+        tel.count("scheduler.node_jobs", key="c1")
+        with tel.span("engine.job"):
+            pass
+        summary = tel.summary()
+        assert summary["counters"]["engine.jobs_executed"] == 4
+        assert summary["labeled"]["scheduler.node_jobs"] == {"c1": 1}
+        assert summary["spans"]["engine.job"]["count"] == 1
+        text = tel.report()
+        assert "engine.jobs_executed" in text
+        assert "engine.job" in text
+
+
+class TestRecord:
+    def test_record_streams_to_sinks_only(self):
+        sink = InMemorySink()
+        tel = Telemetry(sinks=[sink])
+        tel.record("bench", test="t1", seconds=0.5)
+        assert tel.counters() == {}
+        (event,) = sink.events
+        assert event == {
+            "event": "record",
+            "name": "bench",
+            "test": "t1",
+            "seconds": 0.5,
+        }
+
+
+class TestSinks:
+    def test_in_memory_sink_clear(self):
+        sink = InMemorySink()
+        tel = Telemetry(sinks=[sink])
+        tel.record("x")
+        sink.clear()
+        assert sink.events == []
+
+    def test_jsonl_sink_round_trips(self, tmp_path):
+        path = tmp_path / "telemetry.jsonl"
+        tel = Telemetry(sinks=[JsonlSink(path)])
+        tel.record("bench", value=1)
+        with tel.span("job", job_id="j1"):
+            pass
+        tel.close()
+        lines = [
+            json.loads(line)
+            for line in path.read_text().splitlines()
+        ]
+        assert lines[0]["name"] == "bench"
+        assert lines[1]["name"] == "job"
+        assert lines[1]["event"] == "span"
+
+    def test_jsonl_sink_coerces_numpy(self, tmp_path):
+        import numpy as np
+
+        path = tmp_path / "np.jsonl"
+        with JsonlSink(path) as sink:
+            sink.emit({"event": "record", "score": np.float64(0.25)})
+        assert json.loads(path.read_text())["score"] == 0.25
+
+    def test_logging_sink(self, caplog):
+        logger = logging.getLogger("repro.obs.test")
+        tel = Telemetry(sinks=[LoggingSink(logger)])
+        with caplog.at_level(logging.INFO, logger="repro.obs.test"):
+            tel.record("hello", value=2)
+        assert any("hello" in message for message in caplog.messages)
+
+    def test_jsonable_handles_nested(self):
+        import numpy as np
+
+        value = jsonable({"a": np.int64(3), "b": [np.float32(0.5)]})
+        assert json.dumps(value)
+
+
+class TestNullTelemetry:
+    def test_disabled_flag(self):
+        assert NULL_TELEMETRY.enabled is False
+        assert Telemetry().enabled is True
+
+    def test_null_operations_are_noops(self):
+        tel = NullTelemetry()
+        tel.count("a", 5)
+        tel.record("x", y=1)
+        with tel.span("s", k="v") as span:
+            span.annotate(more=1)
+        assert tel.counters() == {}
+        assert tel.summary()["spans"] == {}
+
+    def test_resolve_telemetry_coercions(self):
+        assert resolve_telemetry(None) is NULL_TELEMETRY
+        tel = Telemetry()
+        assert resolve_telemetry(tel) is tel
+        sink = InMemorySink()
+        from_sink = resolve_telemetry(sink)
+        assert from_sink.enabled and from_sink.sinks == [sink]
+        from_list = resolve_telemetry([sink])
+        assert from_list.sinks == [sink]
+        with pytest.raises(TypeError):
+            resolve_telemetry("loud")
+
+
+class TestEngineIntegration:
+    def test_engine_counters_and_spans(self, regression_data):
+        X, y = regression_data
+        tel = Telemetry()
+        evaluator = GraphEvaluator(
+            build_graph(),
+            cv=KFold(3, random_state=0),
+            metric="rmse",
+            telemetry=tel,
+        )
+        report = evaluator.evaluate(X, y)
+        counters = tel.counters()
+        assert counters["engine.jobs_executed"] == 4
+        assert counters["engine.folds"] == 12
+        assert counters["engine.cache_misses"] >= 1
+        assert tel.timer("engine.job")["count"] == 4
+        assert tel.timer("evaluator.evaluate")["count"] == 1
+        assert report.stats["jobs"]["executed"] == 4
+
+    def test_cache_hits_counted_on_rerun(self, regression_data):
+        X, y = regression_data
+        tel = Telemetry()
+        evaluator = GraphEvaluator(
+            build_graph(),
+            cv=KFold(3, random_state=0),
+            metric="rmse",
+            telemetry=tel,
+        )
+        evaluator.evaluate(X, y)
+        first = tel.counters()
+        evaluator.evaluate(X, y)
+        second = tel.counters()
+        assert (
+            second["engine.cache_hits"]
+            > first.get("engine.cache_hits", 0)
+        )
+
+    def test_report_stats_replaces_reach_in(self, regression_data):
+        X, y = regression_data
+        evaluator = GraphEvaluator(
+            build_graph(), cv=KFold(3, random_state=0), metric="rmse"
+        )
+        report = evaluator.evaluate(X, y)
+        assert report.stats["cache"] == evaluator.engine.cache_stats()
+        assert set(report.stats["jobs"]) == {
+            "executed",
+            "filtered",
+            "duplicates",
+        }
+
+    def test_scores_identical_with_and_without_telemetry(
+        self, regression_data
+    ):
+        X, y = regression_data
+        plain = GraphEvaluator(
+            build_graph(), cv=KFold(3, random_state=0), metric="rmse"
+        ).evaluate(X, y)
+        observed = GraphEvaluator(
+            build_graph(),
+            cv=KFold(3, random_state=0),
+            metric="rmse",
+            telemetry=Telemetry(),
+        ).evaluate(X, y)
+        assert [r.score for r in plain.results] == [
+            r.score for r in observed.results
+        ]
+
+    def test_default_is_null_telemetry(self):
+        evaluator = GraphEvaluator(build_graph(), cv=KFold(2, random_state=0))
+        assert evaluator.telemetry is NULL_TELEMETRY
+        assert evaluator.engine.telemetry is NULL_TELEMETRY
+
+
+class TestSearchIntegration:
+    def test_randomized_search_counters(self, regression_data):
+        X, y = regression_data
+        tel = Telemetry()
+        evaluator = GraphEvaluator(
+            build_graph(),
+            cv=KFold(2, random_state=0),
+            metric="rmse",
+            telemetry=tel,
+        )
+        search = RandomizedGraphSearch(evaluator, n_iter=3, random_state=0)
+        report = search.evaluate(X, y, refit_best=False)
+        counters = tel.counters()
+        assert counters["search.jobs_enumerated"] == 4
+        assert counters["search.jobs_sampled"] == 3
+        assert tel.timer("search.randomized")["count"] == 1
+        assert report.stats["jobs"]["sampled"] == 3
+
+    def test_halving_budget_counters(self, regression_data):
+        X, y = regression_data
+        tel = Telemetry()
+        evaluator = GraphEvaluator(
+            build_graph(),
+            cv=KFold(2, random_state=0),
+            metric="rmse",
+            telemetry=tel,
+        )
+        search = SuccessiveHalvingSearch(evaluator, folds=(2, 3), eta=2.0)
+        report = search.evaluate(X, y, refit_best=False)
+        counters = tel.counters()
+        assert counters["search.halving_rounds"] == 2
+        assert counters["search.budget_folds"] == sum(
+            r["folds"] * r["candidates"]
+            for r in report.stats["halving"]["rounds"]
+        )
+        assert tel.timer("search.halving_round")["count"] == 2
+        assert (
+            report.stats["halving"]["total_evaluations"]
+            == search.total_evaluations_
+        )
+
+
+class TestSchedulerIntegration:
+    def test_single_handle_reaches_scheduler(self, regression_data):
+        X, y = regression_data
+        net = SimulatedNetwork()
+        client = ClientNode("c1", net)
+        cloud = CloudAnalyticsServer("cloud", net)
+        scheduler = DistributedScheduler([client, cloud])
+        tel = Telemetry()
+        evaluator = GraphEvaluator(
+            build_graph(),
+            cv=KFold(2, random_state=0),
+            metric="rmse",
+            engine=scheduler,
+            telemetry=tel,
+        )
+        evaluator.evaluate(X, y)
+        assert scheduler.telemetry is tel
+        counters = tel.counters()
+        assert counters["scheduler.jobs"] == 4
+        node_jobs = tel.labeled("scheduler.node_jobs")
+        assert sum(node_jobs.values()) == 4
+        assert tel.timer("scheduler.execute")["count"] == 1
+        assert counters["scheduler.queue_seconds"] >= 0.0
+
+
+class TestDarrIntegration:
+    def test_cooperative_counters(self, regression_data):
+        X, y = regression_data
+        net = SimulatedNetwork()
+        net.register("client-1")
+        net.register("client-2")
+        darr = DARR("darr", net)
+        tel = Telemetry()
+
+        def coop(client):
+            return CooperativeEvaluator(
+                GraphEvaluator(
+                    build_graph(),
+                    cv=KFold(3, random_state=0),
+                    telemetry=tel,
+                ),
+                darr,
+                client,
+            )
+
+        coop("client-1").evaluate(X, y)
+        report = coop("client-2").evaluate(X, y)
+        counters = tel.counters()
+        assert counters["darr.jobs_computed"] == 4
+        assert counters["darr.jobs_reused"] == 4
+        assert counters["darr.redundant_computations_avoided"] == 4
+        assert counters["darr.publish"] == 4
+        assert counters["darr.lookup_hit"] >= 4
+        assert counters["darr.claim_granted"] == 4
+        assert report.stats["cooperative"]["reused"] == 4
+        assert report.stats["cooperative"]["redundancy_avoided"] == 1.0

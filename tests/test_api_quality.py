@@ -27,6 +27,7 @@ PACKAGES = [
     "repro.timeseries",
     "repro.distributed",
     "repro.darr",
+    "repro.obs",
     "repro.templates",
     "repro.datasets",
 ]
@@ -133,6 +134,43 @@ class TestDocumentation:
                     if target is None or not (target.__doc__ or "").strip():
                         undocumented.append(f"{name}.{export}.{attr_name}")
         assert not undocumented, undocumented
+
+    #: Packages whose exports must carry structured (Parameters/Returns)
+    #: docstrings, not just a summary line.
+    STRUCTURED_DOC_PACKAGES = ("repro.core", "repro.darr", "repro.obs")
+
+    @pytest.mark.parametrize("name", STRUCTURED_DOC_PACKAGES)
+    def test_exports_have_structured_docstrings(self, name):
+        """Exported functions document Parameters/Returns; exported
+        classes with constructor arguments document Parameters."""
+        module = importlib.import_module(name)
+        problems = []
+        for export in getattr(module, "__all__", []):
+            obj = getattr(module, export)
+            doc = inspect.getdoc(obj) or ""
+            label = f"{name}.{export}"
+            if inspect.isfunction(obj):
+                sig = inspect.signature(obj)
+                if sig.parameters and "Parameters" not in doc:
+                    problems.append(f"{label}: missing Parameters section")
+                returns_value = "-> None" not in str(sig)
+                if returns_value and "Returns" not in doc:
+                    problems.append(f"{label}: missing Returns section")
+            elif inspect.isclass(obj):
+                if hasattr(obj, "__dataclass_fields__"):
+                    continue  # field list is self-documenting
+                try:
+                    init_sig = inspect.signature(obj.__init__)
+                except (TypeError, ValueError):
+                    continue
+                args = [
+                    p
+                    for p in init_sig.parameters
+                    if p not in ("self", "args", "kwargs")
+                ]
+                if args and "Parameters" not in doc:
+                    problems.append(f"{label}: missing Parameters section")
+        assert not problems, problems
 
 
 class TestComponentContracts:

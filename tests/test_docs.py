@@ -1,0 +1,61 @@
+"""Documentation meta-tests: links resolve, examples run, every guide
+is reachable from the README."""
+
+import os
+import sys
+
+import pytest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "tools"))
+
+import check_docs  # noqa: E402
+
+
+def test_docs_directory_exists():
+    assert os.path.isdir(check_docs.DOCS_DIR)
+    names = sorted(os.listdir(check_docs.DOCS_DIR))
+    for expected in (
+        "architecture.md",
+        "cooperative-protocol.md",
+        "observability.md",
+        "teg-guide.md",
+    ):
+        assert expected in names
+
+
+def test_intra_repo_links_resolve():
+    assert check_docs.check_links() == []
+
+
+def test_pycon_examples_pass():
+    problems, examples = check_docs.run_doctests()
+    assert problems == []
+    assert examples > 0, "docs should carry runnable pycon examples"
+
+
+def test_every_doc_page_reachable_from_readme():
+    """BFS over relative markdown links starting at README.md covers
+    every page in docs/."""
+    start = os.path.join(REPO_ROOT, "README.md")
+    seen = {os.path.normpath(start)}
+    frontier = [start]
+    while frontier:
+        page = frontier.pop()
+        if not page.endswith(".md"):
+            continue
+        for target in check_docs.markdown_links(page):
+            resolved = os.path.normpath(
+                os.path.join(os.path.dirname(page), target)
+            )
+            if resolved not in seen and os.path.exists(resolved):
+                seen.add(resolved)
+                frontier.append(resolved)
+    missing = [
+        name
+        for name in sorted(os.listdir(check_docs.DOCS_DIR))
+        if name.endswith(".md")
+        and os.path.normpath(os.path.join(check_docs.DOCS_DIR, name))
+        not in seen
+    ]
+    assert not missing, f"docs pages unreachable from README.md: {missing}"

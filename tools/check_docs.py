@@ -1,0 +1,174 @@
+"""Documentation checker: intra-repo links and runnable examples.
+
+Two checks, both importable (``tests/test_docs.py`` reuses them) and
+runnable as a CLI (the CI docs job runs ``python tools/check_docs.py``):
+
+1. **Links** — every relative markdown link in ``README.md`` and
+   ``docs/*.md`` must resolve to an existing file (anchors and external
+   ``http(s)``/``mailto`` targets are skipped).
+2. **Doctests** — every fenced ``pycon`` block in ``docs/*.md`` is run
+   through :mod:`doctest`; blocks within one file share a namespace, in
+   order, so later examples may build on earlier ones.
+
+Exit status 0 when clean; 1 with a per-problem report otherwise.
+"""
+
+from __future__ import annotations
+
+import doctest
+import os
+import re
+import sys
+from typing import Dict, List, Tuple
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DOCS_DIR = os.path.join(REPO_ROOT, "docs")
+
+#: ``[text](target)`` — good enough for the hand-written docs here.
+_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_PYCON_FENCE_RE = re.compile(r"```pycon\n(.*?)```", re.DOTALL)
+
+#: Targets never treated as repo files.
+_EXTERNAL_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def doc_files() -> List[str]:
+    """The markdown files under check.
+
+    Returns
+    -------
+    Absolute paths: ``README.md`` plus every ``docs/*.md``, sorted.
+    """
+    files = [os.path.join(REPO_ROOT, "README.md")]
+    if os.path.isdir(DOCS_DIR):
+        files.extend(
+            os.path.join(DOCS_DIR, name)
+            for name in sorted(os.listdir(DOCS_DIR))
+            if name.endswith(".md")
+        )
+    return files
+
+
+def markdown_links(path: str) -> List[str]:
+    """Relative (intra-repo) link targets in one markdown file.
+
+    Parameters
+    ----------
+    path:
+        Markdown file to scan.
+
+    Returns
+    -------
+    Link targets as written (anchors stripped), external URLs and
+    pure-anchor links excluded.
+    """
+    with open(path, encoding="utf-8") as handle:
+        text = handle.read()
+    targets = []
+    for target in _LINK_RE.findall(text):
+        if target.startswith(_EXTERNAL_PREFIXES):
+            continue
+        targets.append(target.split("#", 1)[0])
+    return [t for t in targets if t]
+
+
+def check_links(paths: List[str] = None) -> List[str]:
+    """Verify every intra-repo link resolves to an existing file.
+
+    Parameters
+    ----------
+    paths:
+        Markdown files to check (default: :func:`doc_files`).
+
+    Returns
+    -------
+    Problem strings (empty when every link resolves).
+    """
+    problems = []
+    for path in paths or doc_files():
+        base = os.path.dirname(path)
+        for target in markdown_links(path):
+            resolved = os.path.normpath(os.path.join(base, target))
+            if not os.path.exists(resolved):
+                rel = os.path.relpath(path, REPO_ROOT)
+                problems.append(f"{rel}: broken link -> {target}")
+    return problems
+
+
+def pycon_blocks(path: str) -> List[str]:
+    """Fenced ``pycon`` example blocks in one markdown file.
+
+    Parameters
+    ----------
+    path:
+        Markdown file to scan.
+
+    Returns
+    -------
+    The raw interpreter-session text of each block, in file order.
+    """
+    with open(path, encoding="utf-8") as handle:
+        return _PYCON_FENCE_RE.findall(handle.read())
+
+
+def run_doctests(paths: List[str] = None) -> Tuple[List[str], int]:
+    """Run every ``pycon`` example through :mod:`doctest`.
+
+    Parameters
+    ----------
+    paths:
+        Markdown files to check (default: :func:`doc_files`).
+
+    Returns
+    -------
+    ``(problems, examples_run)`` — failure descriptions and the total
+    number of doctest examples executed.
+    """
+    problems: List[str] = []
+    total = 0
+    runner = doctest.DocTestRunner(
+        optionflags=doctest.NORMALIZE_WHITESPACE | doctest.ELLIPSIS
+    )
+    parser = doctest.DocTestParser()
+    for path in paths or doc_files():
+        rel = os.path.relpath(path, REPO_ROOT)
+        namespace: Dict[str, object] = {}
+        for index, block in enumerate(pycon_blocks(path)):
+            test = parser.get_doctest(
+                block, namespace, f"{rel}[{index}]", rel, 0
+            )
+            results = runner.run(test, out=lambda text: None)
+            total += results.attempted
+            if results.failed:
+                problems.append(
+                    f"{rel}: pycon block {index} failed "
+                    f"({results.failed}/{results.attempted} examples)"
+                )
+    return problems, total
+
+
+def main() -> int:
+    """CLI entry point.
+
+    Returns
+    -------
+    Process exit code: 0 clean, 1 with problems printed to stderr.
+    """
+    sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+    problems = check_links()
+    doc_problems, examples = run_doctests()
+    problems.extend(doc_problems)
+    files = doc_files()
+    if problems:
+        for problem in problems:
+            print(f"FAIL {problem}", file=sys.stderr)
+        return 1
+    print(
+        f"docs OK: {len(files)} files, links resolve, "
+        f"{examples} doctest examples pass"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
