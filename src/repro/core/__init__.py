@@ -16,10 +16,13 @@ from repro.core.declarative import (
     run_structured_task,
 )
 from repro.core.engine import (
+    AllJobsFailed,
     DistributedExecutor,
     ExecutionEngine,
     ExecutionPlan,
     Executor,
+    FailurePolicy,
+    JobFailure,
     ParallelExecutor,
     PrefixCache,
     PrefixCacheStats,
@@ -78,6 +81,9 @@ __all__ = [
     "rekey_job",
     "ExecutionEngine",
     "ExecutionPlan",
+    "FailurePolicy",
+    "JobFailure",
+    "AllJobsFailed",
     "Executor",
     "SerialExecutor",
     "ParallelExecutor",

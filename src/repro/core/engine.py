@@ -74,9 +74,137 @@ __all__ = [
     "ParallelExecutor",
     "DistributedExecutor",
     "ExecutionEngine",
+    "FailurePolicy",
+    "JobFailure",
+    "AllJobsFailed",
     "pipeline_prefix_key",
     "resolve_executor",
 ]
+
+
+# ---------------------------------------------------------------------------
+# Failure handling
+# ---------------------------------------------------------------------------
+
+class AllJobsFailed(RuntimeError):
+    """Every job of a non-empty batch failed; there is no result to
+    degrade to, so the sweep cannot return a best path."""
+
+
+@dataclass(frozen=True)
+class JobFailure:
+    """Structured record of one job that exhausted its failure policy."""
+
+    key: str
+    path: str
+    attempts: int
+    error: str
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Plain-dict form, as stored on ``EvaluationReport.stats``."""
+        return {
+            "key": self.key,
+            "path": self.path,
+            "attempts": self.attempts,
+            "error": self.error,
+        }
+
+
+class FailurePolicy:
+    """What the engine does when a job raises.
+
+    Parameters
+    ----------
+    on_error:
+        ``"raise"`` (default) — propagate the first failure, aborting
+        the batch (the pre-fault-tolerance behaviour).
+        ``"skip"`` — record a :class:`JobFailure` and move on; the
+        sweep selects among the jobs that completed.
+        ``"retry"`` — re-run the failing job up to ``max_retries``
+        times with exponential backoff, then skip-and-record if it
+        still fails.
+    max_retries:
+        Retry budget per job; defaults to ``2`` for ``on_error="retry"``
+        and ``0`` otherwise.
+    backoff_base:
+        First retry delay in seconds (``0.0`` disables sleeping, which
+        tests use; real deployments keep a small positive base).
+    backoff_factor:
+        Multiplier applied per additional retry.
+    jitter:
+        Fractional jitter: each delay is scaled by ``1 + jitter * u``
+        with ``u`` in ``[0, 1)`` derived *deterministically* from the
+        policy seed, the job key and the attempt number — no global RNG
+        and no wall-clock dependence, so retry schedules replay exactly.
+    seed:
+        Seed folded into the jitter hash.
+    sleep:
+        Injectable clock: the callable invoked with each delay
+        (defaults to :func:`time.sleep`; tests pass a recorder).
+    """
+
+    def __init__(
+        self,
+        on_error: str = "raise",
+        max_retries: Optional[int] = None,
+        backoff_base: float = 0.05,
+        backoff_factor: float = 2.0,
+        jitter: float = 0.25,
+        seed: int = 0,
+        sleep: Optional[Callable[[float], None]] = None,
+    ):
+        if on_error not in ("raise", "skip", "retry"):
+            raise ValueError(
+                "on_error must be 'raise', 'skip' or 'retry', got "
+                f"{on_error!r}"
+            )
+        if max_retries is None:
+            max_retries = 2 if on_error == "retry" else 0
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if on_error != "retry" and max_retries:
+            raise ValueError(
+                "max_retries only applies to on_error='retry'"
+            )
+        if backoff_base < 0 or backoff_factor < 1.0 or jitter < 0:
+            raise ValueError(
+                "backoff_base must be >= 0, backoff_factor >= 1.0 and "
+                "jitter >= 0"
+            )
+        self.on_error = on_error
+        self.max_retries = max_retries
+        self.backoff_base = backoff_base
+        self.backoff_factor = backoff_factor
+        self.jitter = jitter
+        self.seed = seed
+        self.sleep = sleep if sleep is not None else time.sleep
+
+    @classmethod
+    def resolve(cls, spec: Any) -> "FailurePolicy":
+        """Coerce ``spec`` into a policy: ``None`` → default raise
+        policy, a policy → itself, a string → ``on_error`` shorthand."""
+        if spec is None:
+            return cls()
+        if isinstance(spec, cls):
+            return spec
+        if isinstance(spec, str):
+            return cls(on_error=spec)
+        raise TypeError(
+            f"cannot interpret {spec!r} as a FailurePolicy; expected "
+            "None, a FailurePolicy, or 'raise'/'skip'/'retry'"
+        )
+
+    def backoff_seconds(self, key: str, attempt: int) -> float:
+        """Deterministic delay before retry number ``attempt`` (1-based)
+        of the job identified by ``key``."""
+        if self.backoff_base <= 0:
+            return 0.0
+        digest = hashlib.sha256(
+            f"{self.seed}:{key}:{attempt}".encode()
+        ).digest()
+        u = int.from_bytes(digest[:8], "big") / 2**64
+        delay = self.backoff_base * self.backoff_factor ** (attempt - 1)
+        return delay * (1.0 + self.jitter * u)
 
 
 # ---------------------------------------------------------------------------
@@ -505,6 +633,8 @@ class _ExecutionContext:
     greater_is_better: bool
     result_hook: Optional[Callable[[Any], None]] = None
     error_hook: Optional[Callable[[Any, BaseException], None]] = None
+    failure_policy: "FailurePolicy" = field(default_factory=FailurePolicy)
+    failures: List[JobFailure] = field(default_factory=list)
     fallback_dataset_key: Optional[str] = None
     lock: threading.Lock = field(default_factory=threading.Lock)
 
@@ -534,6 +664,14 @@ class ExecutionEngine:
         ``engine.fit_fold`` spans plus job, fold-time and prefix-cache
         counters, and propagates the handle to a wrapped
         :class:`~repro.distributed.scheduler.DistributedScheduler`.
+    failure_policy:
+        ``None`` (default: first failure aborts the batch, the
+        historical behaviour), a :class:`FailurePolicy`, or the
+        ``on_error`` shorthand string ``"raise"``/``"skip"``/``"retry"``.
+        Under ``"skip"``/``"retry"`` failed jobs are recorded as
+        :class:`JobFailure` entries (readable on :attr:`last_failures`
+        after each batch) instead of raising, and the batch raises
+        :class:`AllJobsFailed` only when *zero* jobs succeed.
     """
 
     def __init__(
@@ -543,6 +681,7 @@ class ExecutionEngine:
         cache_size: int = 32,
         max_workers: Optional[int] = None,
         telemetry: Any = None,
+        failure_policy: Any = None,
     ):
         self.executor = resolve_executor(executor, max_workers=max_workers)
         if isinstance(cache, PrefixCache):
@@ -551,6 +690,12 @@ class ExecutionEngine:
             self.cache = PrefixCache(max_entries=cache_size)
         else:
             self.cache = None
+        self.failure_policy = FailurePolicy.resolve(failure_policy)
+        #: Hook point for :class:`repro.faults.FaultInjector` (site
+        #: ``engine.run_job``); ``None`` in production.
+        self.fault_injector: Any = None
+        #: :class:`JobFailure` records of the most recent batch.
+        self.last_failures: List[JobFailure] = []
         self._telemetry = NULL_TELEMETRY
         self.telemetry = telemetry
 
@@ -598,7 +743,13 @@ class ExecutionEngine:
     ) -> List[Any]:
         """Run a batch of jobs (an iterable or an :class:`ExecutionPlan`)
         and return their :class:`~repro.core.evaluation.PipelineResult`
-        list in plan order (grouped by shared prefix)."""
+        list in plan order (grouped by shared prefix).
+
+        Jobs that exhaust the engine's :class:`FailurePolicy` are
+        dropped from the returned list and recorded on
+        :attr:`last_failures`; :class:`AllJobsFailed` is raised when a
+        non-empty batch produced zero results.
+        """
         plan = (
             jobs
             if isinstance(jobs, ExecutionPlan)
@@ -622,11 +773,24 @@ class ExecutionEngine:
                 ordered,
                 lambda job: self._run(job, ctx, prefixes.get(job.key, _UNSET)),
             )
+        results = [result for result in results if result is not None]
+        # Failures append in completion order (thread-dependent under the
+        # parallel executor); report them in plan order.
+        position = {job.key: index for index, job in enumerate(ordered)}
+        self.last_failures = sorted(
+            ctx.failures, key=lambda f: position.get(f.key, len(position))
+        )
         if tel.enabled:
             tel.count("engine.jobs_executed", len(ordered))
             tel.count("engine.jobs_filtered", plan.n_filtered)
             tel.count("engine.jobs_deduplicated", plan.n_duplicates)
             self._count_cache_delta(tel, cache_before)
+        if ordered and not results and ctx.failures:
+            raise AllJobsFailed(
+                f"all {len(ctx.failures)} job(s) in the batch failed; "
+                "nothing completed to select from (see "
+                "ExecutionEngine.last_failures)"
+            )
         return results
 
     def execute_job(
@@ -640,9 +804,16 @@ class ExecutionEngine:
         result_hook: Optional[Callable[[Any], None]] = None,
         error_hook: Optional[Callable[[Any, BaseException], None]] = None,
     ) -> Any:
-        """Run one job in the calling thread (still cache-aware)."""
+        """Run one job in the calling thread (still cache-aware).
+
+        Returns ``None`` when the job fails and the engine's
+        :class:`FailurePolicy` says to skip it (the :class:`JobFailure`
+        lands on :attr:`last_failures`).
+        """
         ctx = self._context(X, y, cv, metric, result_hook, error_hook)
-        return self._run(job, ctx, _UNSET)
+        result = self._run(job, ctx, _UNSET)
+        self.last_failures = list(ctx.failures)
+        return result
 
     def cache_stats(self) -> Dict[str, Any]:
         """Cache-effectiveness report (all zeros when caching is off)."""
@@ -716,6 +887,7 @@ class ExecutionEngine:
             greater_is_better=greater,
             result_hook=result_hook,
             error_hook=error_hook,
+            failure_policy=self.failure_policy,
         )
 
     def _dataset_key(self, ctx: _ExecutionContext, job: Any) -> str:
@@ -729,16 +901,48 @@ class ExecutionEngine:
             return ctx.fallback_dataset_key
 
     def _run(self, job: Any, ctx: _ExecutionContext, prefix_key: Any) -> Any:
-        try:
-            return self._run_inner(job, ctx, prefix_key)
-        except Exception as exc:
-            if ctx.error_hook is not None:
-                ctx.error_hook(job, exc)
-            raise
+        """Run one job under the failure policy.
+
+        Retries transient failures per the policy; on final failure
+        fires the ``error_hook`` exactly once, then either re-raises
+        (``on_error="raise"``) or records a :class:`JobFailure` and
+        returns ``None`` so the batch keeps going.
+        """
+        policy = ctx.failure_policy
+        tel = self._telemetry
+        attempts = 0
+        while True:
+            attempts += 1
+            try:
+                return self._run_inner(job, ctx, prefix_key)
+            except Exception as exc:
+                if attempts <= policy.max_retries:
+                    tel.count("engine.job_retries")
+                    delay = policy.backoff_seconds(job.key, attempts)
+                    if delay > 0:
+                        policy.sleep(delay)
+                    continue
+                if ctx.error_hook is not None:
+                    ctx.error_hook(job, exc)
+                if policy.on_error == "raise":
+                    raise
+                tel.count("engine.jobs_failed")
+                with ctx.lock:
+                    ctx.failures.append(
+                        JobFailure(
+                            key=job.key,
+                            path=job.path,
+                            attempts=attempts,
+                            error=repr(exc),
+                        )
+                    )
+                return None
 
     def _run_inner(
         self, job: Any, ctx: _ExecutionContext, prefix_key: Any
     ) -> Any:
+        if self.fault_injector is not None:
+            self.fault_injector.check("engine.run_job", key=job.key)
         pipeline = job.configured_pipeline()
         transformers = pipeline.steps[:-1]
         if prefix_key is _UNSET:

@@ -219,6 +219,15 @@ class GraphEvaluator:
         times, cache counters), through it to a wrapped distributed
         scheduler, and is what the budgeted searches and the cooperative
         coordinator report their own counters to.
+    failure_policy:
+        ``None`` (default: keep the engine's policy — first failure
+        aborts the sweep), a :class:`~repro.core.engine.FailurePolicy`,
+        or the shorthand ``"raise"``/``"skip"``/``"retry"``.  Under
+        ``"skip"``/``"retry"`` the sweep records failed jobs in
+        ``report.stats["failures"]`` and selects the best among the
+        paths that completed; :class:`~repro.core.engine.AllJobsFailed`
+        is raised only when nothing completed.  Assigned onto the
+        engine, so it also applies when the engine is shared.
     """
 
     def __init__(
@@ -230,6 +239,7 @@ class GraphEvaluator:
         result_hook: Optional[Callable[[PipelineResult], None]] = None,
         engine: Any = None,
         telemetry: Any = None,
+        failure_policy: Any = None,
     ):
         self.graph = graph
         self.cv = cv if cv is not None else KFold(5, random_state=0)
@@ -240,6 +250,10 @@ class GraphEvaluator:
         self.job_filter = job_filter
         self.result_hook = result_hook
         self.engine = ExecutionEngine.resolve(engine)
+        if failure_policy is not None:
+            from repro.core.engine import FailurePolicy
+
+            self.engine.failure_policy = FailurePolicy.resolve(failure_policy)
         self.telemetry = resolve_telemetry(telemetry)
         if self.telemetry.enabled and not self.engine.telemetry.enabled:
             self.engine.telemetry = self.telemetry
@@ -336,6 +350,9 @@ class GraphEvaluator:
                 "filtered": plan.n_filtered,
                 "duplicates": plan.n_duplicates,
             },
+            "failures": [
+                failure.as_dict() for failure in self.engine.last_failures
+            ],
         }
         jobs_by_key: Dict[str, EvaluationJob] = plan.jobs_by_key()
         if extra_results:

@@ -11,6 +11,7 @@ from repro.darr.coordinator import (
 from repro.darr.records import AnalyticsResult
 from repro.darr.repository import (
     DARR,
+    ClaimOutcome,
     DataAnalyticsResultsRepository,
     load_repository,
     save_repository,
@@ -19,6 +20,7 @@ from repro.darr.repository import (
 __all__ = [
     "DataAnalyticsResultsRepository",
     "DARR",
+    "ClaimOutcome",
     "AnalyticsResult",
     "CooperativeEvaluator",
     "CooperativeStats",

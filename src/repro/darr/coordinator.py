@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Sequence
 
+from repro.core.engine import AllJobsFailed
 from repro.core.evaluation import (
     EvaluationJob,
     EvaluationReport,
@@ -27,17 +28,29 @@ from repro.core.evaluation import (
 )
 from repro.darr.records import AnalyticsResult
 from repro.darr.repository import DataAnalyticsResultsRepository
+from repro.faults import ServiceUnavailable
 
 __all__ = ["CooperativeStats", "CooperativeEvaluator", "run_cooperative_session"]
 
 
 @dataclass
 class CooperativeStats:
-    """Per-client work accounting for one cooperative evaluation."""
+    """Per-client work accounting for one cooperative evaluation.
+
+    ``claims_expired`` counts stale foreign claims this client observed
+    (their TTL had elapsed on the simulated clock); ``claims_reclaimed``
+    counts the ones it then took over — a crashed peer's job picked up
+    by a survivor.  ``darr_unavailable`` counts repository calls that
+    failed because the DARR itself was unreachable; the client degrades
+    to uncoordinated local computation rather than aborting.
+    """
 
     computed: int = 0
     reused: int = 0
     skipped_claimed: int = 0
+    claims_expired: int = 0
+    claims_reclaimed: int = 0
+    darr_unavailable: int = 0
 
     @property
     def total_jobs(self) -> int:
@@ -85,6 +98,56 @@ class CooperativeEvaluator:
         ):
             darr.telemetry = self.telemetry
 
+    # -- degraded-mode repository access ---------------------------------
+    def _observe_unavailable(self) -> None:
+        self.stats.darr_unavailable += 1
+        if self.telemetry.enabled:
+            self.telemetry.count("darr.unavailable")
+
+    def _fetch(self, key: str):
+        """DARR fetch that treats an unreachable repository as a miss."""
+        try:
+            return self.darr.fetch(key, self.client)
+        except ServiceUnavailable:
+            self._observe_unavailable()
+            return None
+
+    def _claim(self, key: str) -> Optional[bool]:
+        """Claim ``key``; accounts reclaims of expired foreign claims.
+
+        Returns True (granted), False (denied — someone else holds a
+        live claim) or ``None`` when the repository was unreachable, in
+        which case the caller computes locally without coordination.
+        """
+        try:
+            outcome = self.darr.claim_job(key, self.client)
+        except ServiceUnavailable:
+            self._observe_unavailable()
+            return None
+        if outcome.reclaimed:
+            self.stats.claims_expired += 1
+            self.stats.claims_reclaimed += 1
+            if self.telemetry.enabled:
+                self.telemetry.count("darr.claims_reclaimed")
+        return outcome.granted
+
+    def _publish_record(self, result: PipelineResult, spec: Dict[str, Any]) -> bool:
+        """Best-effort publish; on an unreachable repository the claim
+        is released so another client can eventually take the job."""
+        record = AnalyticsResult.from_pipeline_result(
+            result,
+            client=self.client,
+            spec=spec,
+            timestamp=self.darr._now(),
+        )
+        try:
+            self.darr.publish(record, self.client)
+            return True
+        except ServiceUnavailable:
+            self._observe_unavailable()
+            self.darr.release_claim(result.key, self.client)
+            return False
+
     def process_job(
         self, job: EvaluationJob, X: Any, y: Any
     ) -> Optional[PipelineResult]:
@@ -92,16 +155,17 @@ class CooperativeEvaluator:
 
         Returns the result (fresh or reused) or ``None`` when another
         client holds the claim (the result will appear in the DARR
-        later).
+        later) or the evaluator's failure policy skipped the job.
         """
-        cached = self.darr.fetch(job.key, self.client)
+        cached = self._fetch(job.key)
         if cached is not None:
             self._observe_reused()
             return cached.to_pipeline_result()
-        if not self.darr.claim(job.key, self.client):
+        claim = self._claim(job.key)
+        if claim is False:
             # Either someone published between fetch and claim (rare in
             # the simulation) or another client is computing it.
-            cached = self.darr.fetch(job.key, self.client)
+            cached = self._fetch(job.key)
             if cached is not None:
                 self._observe_reused()
                 return cached.to_pipeline_result()
@@ -115,15 +179,14 @@ class CooperativeEvaluator:
         except Exception:
             self.darr.release_claim(job.key, self.client)
             raise
+        if result is None:
+            # The engine's failure policy skipped the job; free the
+            # claim so another client may try it.
+            self.darr.release_claim(job.key, self.client)
+            return None
         self.stats.computed += 1
         self.telemetry.count("darr.jobs_computed")
-        record = AnalyticsResult.from_pipeline_result(
-            result,
-            client=self.client,
-            spec=job.spec,
-            timestamp=self.darr._now(),
-        )
-        self.darr.publish(record, self.client)
+        self._publish_record(result, job.spec)
         return result
 
     def _observe_reused(self) -> None:
@@ -160,13 +223,14 @@ class CooperativeEvaluator:
         for job in self.evaluator.iter_jobs(X, y, param_grid):
             jobs_by_key[job.key] = job
             dataset = job.spec.get("dataset")
-            cached = self.darr.fetch(job.key, self.client)
+            cached = self._fetch(job.key)
             if cached is not None:
                 self._observe_reused()
                 report.results.append(cached.to_pipeline_result())
                 continue
-            if not self.darr.claim(job.key, self.client):
-                cached = self.darr.fetch(job.key, self.client)
+            claim = self._claim(job.key)
+            if claim is False:
+                cached = self._fetch(job.key)
                 if cached is not None:
                     self._observe_reused()
                     report.results.append(cached.to_pipeline_result())
@@ -180,33 +244,53 @@ class CooperativeEvaluator:
                 continue
             to_compute.append(job)
 
+        # Keys whose computation finished (published or, under an
+        # unreachable DARR, released): their claims need no cleanup.
+        settled: set = set()
+
         def publish(result: PipelineResult) -> None:
             if self.evaluator.result_hook is not None:
                 self.evaluator.result_hook(result)
             self.stats.computed += 1
             self.telemetry.count("darr.jobs_computed")
-            record = AnalyticsResult.from_pipeline_result(
-                result,
-                client=self.client,
-                spec=jobs_by_key[result.key].spec,
-                timestamp=self.darr._now(),
-            )
-            self.darr.publish(record, self.client)
+            self._publish_record(result, jobs_by_key[result.key].spec)
+            settled.add(result.key)
 
         def release_claim(job: EvaluationJob, exc: BaseException) -> None:
             self.darr.release_claim(job.key, self.client)
+            settled.add(job.key)
 
-        report.results.extend(
-            self.evaluator.engine.execute(
-                to_compute,
-                X,
-                y,
-                cv=self.evaluator.cv,
-                metric=self.evaluator.metric,
-                result_hook=publish,
-                error_hook=release_claim,
+        def release_unsettled() -> None:
+            # Abort path: free every claim this client still holds for
+            # work it will not finish, so peers are not locked out until
+            # the TTL expires.  Releasing a key we no longer hold is a
+            # no-op.
+            for job in to_compute:
+                if job.key not in settled:
+                    self.darr.release_claim(job.key, self.client)
+
+        try:
+            report.results.extend(
+                self.evaluator.engine.execute(
+                    to_compute,
+                    X,
+                    y,
+                    cv=self.evaluator.cv,
+                    metric=self.evaluator.metric,
+                    result_hook=publish,
+                    error_hook=release_claim,
+                )
             )
-        )
+        except AllJobsFailed:
+            # Every local computation failed, but results reused from
+            # the DARR may still decide the sweep; abort only when there
+            # is nothing at all to select from.
+            release_unsettled()
+            if not report.results:
+                raise
+        except BaseException:
+            release_unsettled()
+            raise
         # Pick up results other clients published for jobs we skipped.
         seen = {result.key for result in report.results}
         if dataset is not None:
@@ -234,7 +318,14 @@ class CooperativeEvaluator:
                 "reused": self.stats.reused,
                 "skipped_claimed": self.stats.skipped_claimed,
                 "redundancy_avoided": self.stats.redundancy_avoided,
+                "claims_expired": self.stats.claims_expired,
+                "claims_reclaimed": self.stats.claims_reclaimed,
+                "darr_unavailable": self.stats.darr_unavailable,
             },
+            "failures": [
+                failure.as_dict()
+                for failure in self.evaluator.engine.last_failures
+            ],
         }
         return report
 

@@ -16,13 +16,13 @@ in-flight work nor deadlock (claims expire).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.darr.records import AnalyticsResult
 from repro.distributed.cluster import SimulatedNetwork
 from repro.obs import resolve_telemetry
 
-__all__ = ["DataAnalyticsResultsRepository", "DARR"]
+__all__ = ["ClaimOutcome", "DataAnalyticsResultsRepository", "DARR"]
 
 # Modeled wire sizes for small control messages.
 _QUERY_SIZE = 48
@@ -33,6 +33,22 @@ _CLAIM_SIZE = 48
 class _Claim:
     client: str
     expires_at: float
+
+
+@dataclass(frozen=True)
+class ClaimOutcome:
+    """Detailed answer to one claim attempt.
+
+    ``reclaimed`` is True when the grant took over a *stale* claim — a
+    claim whose TTL elapsed on the simulated clock because its holder
+    crashed or hung, the lease-style recovery the paper prescribes for
+    push subscriptions.  ``holder`` names the client whose claim was
+    taken over (on reclaim) or that blocked the grant (on denial).
+    """
+
+    granted: bool
+    reclaimed: bool = False
+    holder: Optional[str] = None
 
 
 class DataAnalyticsResultsRepository:
@@ -72,6 +88,10 @@ class DataAnalyticsResultsRepository:
             network.register(name, self)
         self.claim_duration = claim_duration
         self.telemetry = resolve_telemetry(telemetry)
+        #: Hook point for :class:`repro.faults.FaultInjector` (sites
+        #: ``darr.fetch`` / ``darr.claim`` / ``darr.publish``); ``None``
+        #: in production.
+        self.fault_injector: Optional[Any] = None
         self._results: Dict[str, AnalyticsResult] = {}
         self._claims: Dict[str, _Claim] = {}
         self.stats = {
@@ -81,6 +101,8 @@ class DataAnalyticsResultsRepository:
             "fetch_misses": 0,
             "claims_granted": 0,
             "claims_denied": 0,
+            "claims_expired": 0,
+            "claims_reclaimed": 0,
         }
 
     # -- internals --------------------------------------------------------
@@ -100,6 +122,10 @@ class DataAnalyticsResultsRepository:
         """Store a completed result; returns False if the key already
         existed (first write wins — the computations are deterministic
         replicas)."""
+        if self.fault_injector is not None:
+            self.fault_injector.check(
+                "darr.publish", key=result.key, client=client
+            )
         self._account(client, result.wire_size, "darr-publish", inbound=True)
         self._claims.pop(result.key, None)
         if result.key in self._results:
@@ -119,6 +145,8 @@ class DataAnalyticsResultsRepository:
 
     def fetch(self, key: str, client: str) -> Optional[AnalyticsResult]:
         """Retrieve a result (network-accounted); None on miss."""
+        if self.fault_injector is not None:
+            self.fault_injector.check("darr.fetch", key=key, client=client)
         self._account(client, _QUERY_SIZE, "darr-query", inbound=True)
         result = self._results.get(key)
         if result is None:
@@ -130,34 +158,73 @@ class DataAnalyticsResultsRepository:
         self._account(client, result.wire_size, "darr-fetch", inbound=False)
         return result
 
-    def claim(self, key: str, client: str) -> bool:
-        """Try to claim in-flight work on ``key``.
+    def claim_job(self, key: str, client: str) -> ClaimOutcome:
+        """Try to claim in-flight work on ``key``, with full detail.
 
-        Returns True if this client may compute it (no result yet and no
-        live claim by someone else).  Re-claiming one's own key renews
-        it.
+        The client may compute the job when no result exists yet and no
+        *live* claim by someone else is held.  A claim whose TTL
+        (:attr:`claim_duration` seconds on the simulated clock) has
+        elapsed is stale — its holder crashed or hung — and is taken
+        over (``reclaimed=True``), so a dead client never starves a job
+        key.  Re-claiming one's own key renews it.
+
+        Parameters
+        ----------
+        key:
+            Spec key of the computation.
+        client:
+            The claiming client's name.
+
+        Returns
+        -------
+        A :class:`ClaimOutcome` (``granted`` / ``reclaimed`` /
+        ``holder``).
         """
+        if self.fault_injector is not None:
+            self.fault_injector.check("darr.claim", key=key, client=client)
         self._account(client, _CLAIM_SIZE, "darr-claim", inbound=True)
         if key in self._results:
             self.stats["claims_denied"] += 1
             self.telemetry.count("darr.claim_denied")
-            return False
+            return ClaimOutcome(granted=False)
         now = self._now()
         existing = self._claims.get(key)
-        if existing is not None and existing.client != client and existing.expires_at > now:
-            self.stats["claims_denied"] += 1
-            self.telemetry.count("darr.claim_denied")
-            return False
+        stale_holder: Optional[str] = None
+        if existing is not None and existing.client != client:
+            if existing.expires_at > now:
+                self.stats["claims_denied"] += 1
+                self.telemetry.count("darr.claim_denied")
+                return ClaimOutcome(granted=False, holder=existing.client)
+            stale_holder = existing.client
+            self.stats["claims_expired"] += 1
+            self.stats["claims_reclaimed"] += 1
+            self.telemetry.count("darr.claims_expired")
         self._claims[key] = _Claim(client, now + self.claim_duration)
         self.stats["claims_granted"] += 1
         self.telemetry.count("darr.claim_granted")
-        return True
+        return ClaimOutcome(
+            granted=True,
+            reclaimed=stale_holder is not None,
+            holder=stale_holder,
+        )
+
+    def claim(self, key: str, client: str) -> bool:
+        """Boolean shorthand for :meth:`claim_job` (True = granted)."""
+        return self.claim_job(key, client).granted
 
     def release_claim(self, key: str, client: str) -> None:
         """Drop a claim without publishing (failed/abandoned work)."""
         existing = self._claims.get(key)
         if existing is not None and existing.client == client:
             del self._claims[key]
+
+    def claim_holder(self, key: str) -> Optional[str]:
+        """Client currently holding a *live* claim on ``key`` (``None``
+        when unclaimed, expired, or already published)."""
+        existing = self._claims.get(key)
+        if existing is None or existing.expires_at <= self._now():
+            return None
+        return existing.client
 
     # -- queries -----------------------------------------------------------
     def __len__(self) -> int:

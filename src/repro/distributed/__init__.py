@@ -36,7 +36,11 @@ from repro.distributed.replication import (
     ReplicatedDataStore,
     SiteDownError,
 )
-from repro.distributed.scheduler import DistributedScheduler, ScheduleOutcome
+from repro.distributed.scheduler import (
+    DistributedScheduler,
+    NoHealthyNodes,
+    ScheduleOutcome,
+)
 from repro.distributed.webservice import (
     AIWebService,
     AnomalyScoringService,
@@ -74,6 +78,7 @@ __all__ = [
     "ClientNode",
     "CloudAnalyticsServer",
     "DistributedScheduler",
+    "NoHealthyNodes",
     "ReplicatedDataStore",
     "SiteDownError",
     "ConsistencyError",

@@ -100,6 +100,10 @@ class HomeDataStore:
         self.history_depth = history_depth
         self.delta_threshold = delta_threshold
         self.clock = clock
+        #: Hook point for :class:`repro.faults.FaultInjector` (sites
+        #: ``datastore.get`` / ``datastore.put``); ``None`` in
+        #: production.
+        self.fault_injector: Optional[Any] = None
         # name -> recent versions, oldest first, last is current
         self._history: Dict[str, List[VersionedObject]] = {}
         # name -> {base_version: Delta to current}
@@ -122,6 +126,8 @@ class HomeDataStore:
         Recomputes the cached delta family d(o, k-i, k) against every
         retained previous version and notifies update listeners.
         """
+        if self.fault_injector is not None:
+            self.fault_injector.check("datastore.put", name=name)
         data = encode_payload(payload)
         history = self._history.setdefault(name, [])
         previous = history[-1] if history else None
@@ -178,6 +184,8 @@ class HomeDataStore:
         delta, subject to :attr:`delta_threshold`; accounting lands in
         :attr:`stats`.
         """
+        if self.fault_injector is not None:
+            self.fault_injector.check("datastore.get", name=name)
         current = self.current(name)
         self.stats["gets"] += 1
         if client_version is not None:

@@ -70,7 +70,9 @@ class ComputeNode:
         connected: bool = True,
     ):
         if compute_speed <= 0:
-            raise ValueError("compute_speed must be positive")
+            raise ValueError(
+                f"compute_speed must be positive, got {compute_speed!r}"
+            )
         self.name = name
         self.network = network
         self.compute_speed = compute_speed
@@ -79,6 +81,9 @@ class ComputeNode:
         self.cache: Dict[str, VersionedObject] = {}
         self.executions: list = []
         self.busy_seconds = 0.0
+        #: Hook point for :class:`repro.faults.FaultInjector` (site
+        #: ``node.execute_job``); ``None`` in production.
+        self.fault_injector: Optional[Any] = None
 
     # -- data synchronization ---------------------------------------------
     def cached_version(self, object_name: str) -> Optional[int]:
@@ -160,11 +165,23 @@ class ComputeNode:
 
         The numeric work is real; the modeled duration is
         ``real / compute_speed`` and is accumulated in
-        ``busy_seconds`` for makespan computation.
+        ``busy_seconds`` for makespan computation.  An attached
+        :class:`repro.faults.FaultInjector` may crash this node
+        (:class:`repro.faults.NodeCrashed`), fail the attempt
+        (:class:`repro.faults.TransientJobError`) or inflate the
+        simulated duration (a slow-node fault); returns ``None`` when
+        the evaluator's failure policy skipped the job.
         """
+        slow = 1.0
+        if self.fault_injector is not None:
+            slow = self.fault_injector.check(
+                "node.execute_job", node=self.name, key=job.key
+            )
         result = evaluator.run_job(job, X, y)
+        if result is None:
+            return None
         real = result.cv_result.fit_seconds
-        simulated = real / self.compute_speed
+        simulated = real * slow / self.compute_speed
         self.busy_seconds += simulated
         self.executions.append(
             JobExecution(

@@ -28,24 +28,39 @@ fitted-prefix transform cache and result hooks.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Set
 
 from repro.distributed.node import ComputeNode
+from repro.faults import NodeCrashed, TransientJobError
 from repro.obs import resolve_telemetry
 
-__all__ = ["ScheduleOutcome", "DistributedScheduler"]
+__all__ = ["ScheduleOutcome", "DistributedScheduler", "NoHealthyNodes"]
 
 _POLICIES = ("round_robin", "weighted")
 
 
+class NoHealthyNodes(RuntimeError):
+    """Every compute node has crashed; there is nowhere left to place
+    the remaining jobs."""
+
+
 @dataclass
 class ScheduleOutcome:
-    """Results plus per-node accounting for one distributed run."""
+    """Results plus per-node accounting for one distributed run.
+
+    ``results`` entries are ``None`` for jobs the engine's failure
+    policy skipped; ``node_health`` maps each node to ``"healthy"`` or
+    ``"crashed"``; ``jobs_reassigned`` counts placements that had to be
+    redone on a surviving node after a crash or transient node fault.
+    """
 
     results: List[Any]
     assignment: Dict[str, List[str]]  # node name -> job keys
     node_busy_seconds: Dict[str, float]
     makespan_seconds: float
+    node_health: Dict[str, str] = field(default_factory=dict)
+    node_crashes: int = 0
+    jobs_reassigned: int = 0
 
     @property
     def total_compute_seconds(self) -> float:
@@ -97,6 +112,13 @@ class DistributedScheduler:
         names = [node.name for node in nodes]
         if len(set(names)) != len(names):
             raise ValueError("node names must be unique")
+        for node in nodes:
+            speed = getattr(node, "compute_speed", 1.0)
+            if not speed > 0:
+                raise ValueError(
+                    f"node {node.name!r} has non-positive compute_speed "
+                    f"{speed!r}; every node must have compute_speed > 0"
+                )
         self.nodes = list(nodes)
         self.policy = policy
         self.telemetry = resolve_telemetry(telemetry)
@@ -111,16 +133,28 @@ class DistributedScheduler:
             real_seconds - self._mean_job_seconds
         ) / self._jobs_observed
 
-    def _pick_node(self, index: int, busy: Dict[str, float]) -> ComputeNode:
+    def _pick_node(
+        self,
+        index: int,
+        busy: Dict[str, float],
+        candidates: Optional[Sequence[ComputeNode]] = None,
+    ) -> ComputeNode:
+        nodes = self.nodes if candidates is None else list(candidates)
+        for node in nodes:
+            if not node.compute_speed > 0:
+                raise ValueError(
+                    f"node {node.name!r} has non-positive compute_speed "
+                    f"{node.compute_speed!r}; cannot estimate job duration"
+                )
         if self.policy == "round_robin":
-            return self.nodes[index % len(self.nodes)]
+            return nodes[index % len(nodes)]
         # ETA greedy: estimated completion = current load + expected
         # duration of an average job on this node.  Before any job has
         # been observed the load term is zero everywhere, so the
         # estimate term alone routes the first jobs to the fastest nodes.
         estimate = self._mean_job_seconds or 1.0
         return min(
-            self.nodes,
+            nodes,
             key=lambda node: busy[node.name] + estimate / node.compute_speed,
         )
 
@@ -143,26 +177,77 @@ class DistributedScheduler:
 
         Jobs execute for real (serially on this machine); the outcome's
         timing fields reflect the simulated parallel execution.
+
+        A node raising :class:`~repro.faults.NodeCrashed` mid-job is
+        quarantined for the rest of the run and its job is re-placed on
+        a surviving node under the same policy (pending jobs only ever
+        go to healthy nodes).  A node raising
+        :class:`~repro.faults.TransientJobError` stays healthy but the
+        job is speculatively retried on a different node.  The run
+        refuses (:class:`NoHealthyNodes`) only when every node has
+        crashed.
         """
         busy: Dict[str, float] = {node.name: 0.0 for node in self.nodes}
         assignment: Dict[str, List[str]] = {
             node.name: [] for node in self.nodes
         }
+        node_health: Dict[str, str] = {
+            node.name: "healthy" for node in self.nodes
+        }
+        node_crashes = 0
+        jobs_reassigned = 0
         results: List[Any] = []
         tel = self.telemetry
         with tel.span(
             "scheduler.execute", policy=self.policy, n_jobs=len(jobs)
         ) as sched_span:
             for index, job in enumerate(jobs):
-                node = self._pick_node(index, busy)
-                # Simulated time this job spends queued behind earlier
-                # assignments on its node before it can start.
-                queue_wait = busy[node.name]
-                before = node.busy_seconds
-                result = node.execute_job(evaluator, job, X, y)
+                attempted: Set[str] = set()
+                placements = 0
+                while True:
+                    healthy = [
+                        node
+                        for node in self.nodes
+                        if node_health[node.name] == "healthy"
+                    ]
+                    if not healthy:
+                        raise NoHealthyNodes(
+                            f"all {len(self.nodes)} node(s) crashed; "
+                            f"cannot place job {job.key}"
+                        )
+                    candidates = [
+                        node for node in healthy if node.name not in attempted
+                    ] or healthy
+                    node = self._pick_node(index, busy, candidates)
+                    # Simulated time this job spends queued behind
+                    # earlier assignments on its node before it starts.
+                    queue_wait = busy[node.name]
+                    before = node.busy_seconds
+                    placements += 1
+                    try:
+                        result = node.execute_job(evaluator, job, X, y)
+                    except NodeCrashed:
+                        node_health[node.name] = "crashed"
+                        node_crashes += 1
+                        tel.count("scheduler.node_crashes")
+                        continue
+                    except TransientJobError:
+                        # The node survived but this attempt was lost;
+                        # speculatively retry elsewhere.  Once every
+                        # healthy node has been tried, give the fault up
+                        # the stack instead of spinning.
+                        attempted.add(node.name)
+                        if len(attempted) >= len(healthy):
+                            raise
+                        continue
+                    break
+                if placements > 1:
+                    jobs_reassigned += placements - 1
+                    tel.count("scheduler.jobs_reassigned", placements - 1)
                 simulated = node.busy_seconds - before
                 busy[node.name] += simulated
-                self._observe(simulated * node.compute_speed)
+                if result is not None:
+                    self._observe(simulated * node.compute_speed)
                 assignment[node.name].append(job.key)
                 results.append(result)
                 if tel.enabled:
@@ -173,10 +258,17 @@ class DistributedScheduler:
                     )
                     tel.count("scheduler.queue_seconds", queue_wait)
             makespan = max(busy.values()) if busy else 0.0
-            sched_span.annotate(makespan_seconds=makespan)
+            sched_span.annotate(
+                makespan_seconds=makespan,
+                node_crashes=node_crashes,
+                jobs_reassigned=jobs_reassigned,
+            )
         return ScheduleOutcome(
             results=results,
             assignment=assignment,
             node_busy_seconds=busy,
             makespan_seconds=makespan,
+            node_health=node_health,
+            node_crashes=node_crashes,
+            jobs_reassigned=jobs_reassigned,
         )

@@ -1,0 +1,48 @@
+"""Deterministic fault injection for the cooperative analytics stack.
+
+The paper's premise — clients, nodes and the DARR keep making progress
+while sharing work — only holds if individual failures do not take the
+whole system down ("How to optimize computational resources in such a
+distributed system is a major challenge", Section III).  This package is
+the test substrate for that claim: a seedable
+:class:`~repro.faults.injector.FaultPlan` scripts *exactly* which calls
+fail (keyed by job key, node name, object name and per-site call count)
+and a :class:`~repro.faults.injector.FaultInjector` fires those faults
+at the hook points exposed by the production code:
+
+* ``engine.run_job`` — inside :meth:`repro.core.engine.ExecutionEngine`
+  job execution (below the retry loop, so transient faults exercise the
+  engine's :class:`~repro.core.engine.FailurePolicy`).
+* ``node.execute_job`` — :meth:`repro.distributed.node.ComputeNode.execute_job`
+  (crashes and slowdowns the scheduler must survive).
+* ``datastore.get`` / ``datastore.put`` —
+  :class:`repro.distributed.datastore.HomeDataStore` unavailability.
+* ``darr.fetch`` / ``darr.claim`` / ``darr.publish`` —
+  :class:`repro.darr.repository.DataAnalyticsResultsRepository`
+  unavailability.
+
+No real sleeps, no wall-clock randomness: every recovery path is
+replayable byte-for-byte from a plan and a seed.
+"""
+
+from repro.faults.injector import (
+    FaultInjector,
+    FaultPlan,
+    FaultRule,
+    InjectedEvent,
+    InjectedFault,
+    NodeCrashed,
+    ServiceUnavailable,
+    TransientJobError,
+)
+
+__all__ = [
+    "FaultPlan",
+    "FaultRule",
+    "FaultInjector",
+    "InjectedEvent",
+    "InjectedFault",
+    "TransientJobError",
+    "NodeCrashed",
+    "ServiceUnavailable",
+]

@@ -1,0 +1,311 @@
+"""The fault plan and injector (see the package docstring).
+
+A :class:`FaultPlan` is a list of :class:`FaultRule` entries plus a
+seed; a :class:`FaultInjector` executes the plan.  Production hook
+points call :meth:`FaultInjector.check` with their site name and
+identifying attributes; the injector counts matching calls per rule and
+raises (or returns a slowdown factor) exactly at the scripted call
+indices.  Everything is thread-safe and free of wall-clock or global
+RNG state, so a run with the same plan and seed replays identically.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "InjectedFault",
+    "TransientJobError",
+    "NodeCrashed",
+    "ServiceUnavailable",
+    "FaultRule",
+    "FaultPlan",
+    "InjectedEvent",
+    "FaultInjector",
+]
+
+
+class InjectedFault(Exception):
+    """Base class of every exception the injector raises."""
+
+
+class TransientJobError(InjectedFault):
+    """A job failure expected to succeed on retry (flaky compute)."""
+
+
+class NodeCrashed(InjectedFault):
+    """A compute node died mid-run; its in-flight job is lost and the
+    scheduler must re-place it on a surviving node."""
+
+
+class ServiceUnavailable(InjectedFault):
+    """A datastore or DARR request could not be served (outage)."""
+
+
+#: fault name -> exception class raised when the rule fires.
+_FAULT_EXCEPTIONS = {
+    "transient": TransientJobError,
+    "crash": NodeCrashed,
+    "unavailable": ServiceUnavailable,
+}
+
+#: Valid fault kinds ("slow" returns a factor instead of raising).
+FAULT_KINDS = ("transient", "crash", "slow", "unavailable")
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One scripted fault.
+
+    Parameters
+    ----------
+    site:
+        Hook-point name (``"engine.run_job"``, ``"node.execute_job"``,
+        ``"datastore.get"``, ``"datastore.put"``, ``"darr.fetch"``,
+        ``"darr.claim"``, ``"darr.publish"``).
+    fault:
+        ``"transient"`` | ``"crash"`` | ``"slow"`` | ``"unavailable"``.
+    match:
+        Identity filter: the rule only applies to calls whose attributes
+        (job key, node name, object name...) contain this exact value.
+        ``None`` matches every call at the site.
+    after:
+        1-based index of the first *matching* call that fires (``1`` =
+        fire immediately).
+    times:
+        How many consecutive matching calls fire from ``after`` on;
+        ``None`` = every matching call forever (a permanent fault).
+    slow_factor:
+        Slowdown multiplier returned for ``fault="slow"`` (ignored for
+        the raising kinds).
+    """
+
+    site: str
+    fault: str
+    match: Optional[str] = None
+    after: int = 1
+    times: Optional[int] = 1
+    slow_factor: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.fault not in FAULT_KINDS:
+            raise ValueError(
+                f"fault must be one of {FAULT_KINDS}, got {self.fault!r}"
+            )
+        if self.after < 1:
+            raise ValueError("after must be >= 1 (1-based call index)")
+        if self.times is not None and self.times < 1:
+            raise ValueError("times must be >= 1 or None (forever)")
+        if self.fault == "slow" and self.slow_factor < 1.0:
+            raise ValueError("slow_factor must be >= 1.0")
+
+    def fires_at(self, call_index: int) -> bool:
+        """Whether the rule fires at the given matching-call index."""
+        if call_index < self.after:
+            return False
+        if self.times is None:
+            return True
+        return call_index < self.after + self.times
+
+
+class FaultPlan:
+    """A seedable collection of :class:`FaultRule` entries.
+
+    The seed drives :meth:`choice` / :meth:`sample`, the deterministic
+    way chaos tests pick *which* job key or node a fault targets — two
+    plans with the same seed pick identical targets, and a CI matrix
+    over seeds explores different ones.
+
+    Parameters
+    ----------
+    rules:
+        Initial rules (more can be added with :meth:`add`).
+    seed:
+        Seed for target selection (also consumed by the engine's
+        backoff jitter when a policy is built from the plan's seed).
+    """
+
+    def __init__(
+        self, rules: Iterable[FaultRule] = (), seed: int = 0
+    ):
+        self.rules: List[FaultRule] = list(rules)
+        self.seed = int(seed)
+        self._rng = random.Random(self.seed)
+
+    def add(
+        self,
+        site: str,
+        fault: str,
+        match: Optional[str] = None,
+        after: int = 1,
+        times: Optional[int] = 1,
+        slow_factor: float = 4.0,
+    ) -> FaultRule:
+        """Append a rule (see :class:`FaultRule` for the semantics).
+
+        Returns
+        -------
+        The appended :class:`FaultRule`.
+        """
+        rule = FaultRule(
+            site=site,
+            fault=fault,
+            match=match,
+            after=after,
+            times=times,
+            slow_factor=slow_factor,
+        )
+        self.rules.append(rule)
+        return rule
+
+    def choice(self, options: Sequence[Any]) -> Any:
+        """Deterministically pick one element of ``options``.
+
+        Successive calls advance the plan's private RNG, so a sequence
+        of choices is itself reproducible from the seed.
+        """
+        if not options:
+            raise ValueError("cannot choose from an empty sequence")
+        return self._rng.choice(list(options))
+
+    def sample(self, options: Sequence[Any], k: int) -> List[Any]:
+        """Deterministically pick ``k`` distinct elements of ``options``."""
+        return self._rng.sample(list(options), k)
+
+    def injector(self) -> "FaultInjector":
+        """A fresh :class:`FaultInjector` executing this plan."""
+        return FaultInjector(self)
+
+
+@dataclass(frozen=True)
+class InjectedEvent:
+    """Ledger entry for one fired fault (for assertions and debugging)."""
+
+    site: str
+    fault: str
+    match: Optional[str]
+    call_index: int
+    attrs: Tuple[Tuple[str, str], ...]
+
+
+class FaultInjector:
+    """Executes a :class:`FaultPlan` at the production hook points.
+
+    Components expose a ``fault_injector`` attribute (``None`` by
+    default — the hooks cost one attribute read when no injector is
+    attached).  Attach an injector with :meth:`attach` or by assigning
+    the attribute, then run the workload; the injector raises
+    :class:`TransientJobError` / :class:`NodeCrashed` /
+    :class:`ServiceUnavailable` (or returns a slowdown factor) exactly
+    where the plan says, and records every fired fault in
+    :attr:`events`.
+
+    Parameters
+    ----------
+    plan:
+        The :class:`FaultPlan` to execute.
+    """
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self._lock = threading.Lock()
+        # per-rule count of *matching* calls (1-based at fire time)
+        self._counts: Dict[int, int] = {}
+        self.events: List[InjectedEvent] = []
+
+    def attach(self, *components: Any) -> "FaultInjector":
+        """Set ``component.fault_injector = self`` on every argument.
+
+        Works for :class:`~repro.core.engine.ExecutionEngine`,
+        :class:`~repro.distributed.node.ComputeNode`,
+        :class:`~repro.distributed.datastore.HomeDataStore` and
+        :class:`~repro.darr.repository.DataAnalyticsResultsRepository`
+        instances (anything honouring the attribute).
+
+        Returns
+        -------
+        ``self``, for chaining.
+        """
+        for component in components:
+            component.fault_injector = self
+        return self
+
+    def check(self, site: str, **attrs: Any) -> float:
+        """Consult the plan at a hook point.
+
+        Parameters
+        ----------
+        site:
+            The hook-point name.
+        **attrs:
+            Identifying attributes of the call (``key=``, ``node=``,
+            ``name=``...); rules with a ``match`` fire only when the
+            match value equals one of these.
+
+        Returns
+        -------
+        A slowdown factor ``>= 1.0`` (product of every firing ``slow``
+        rule; ``1.0`` when none fire).
+
+        Raises
+        ------
+        TransientJobError, NodeCrashed, ServiceUnavailable
+            When a raising rule fires at this call.
+        """
+        values = {str(v) for v in attrs.values()}
+        slow = 1.0
+        raising: Optional[Tuple[FaultRule, int]] = None
+        with self._lock:
+            for index, rule in enumerate(self.plan.rules):
+                if rule.site != site:
+                    continue
+                if rule.match is not None and rule.match not in values:
+                    continue
+                count = self._counts.get(index, 0) + 1
+                self._counts[index] = count
+                if not rule.fires_at(count):
+                    continue
+                self.events.append(
+                    InjectedEvent(
+                        site=site,
+                        fault=rule.fault,
+                        match=rule.match,
+                        call_index=count,
+                        attrs=tuple(
+                            sorted((k, str(v)) for k, v in attrs.items())
+                        ),
+                    )
+                )
+                if rule.fault == "slow":
+                    slow *= rule.slow_factor
+                elif raising is None:
+                    raising = (rule, count)
+        if raising is not None:
+            rule, count = raising
+            raise _FAULT_EXCEPTIONS[rule.fault](
+                f"injected {rule.fault} fault at {site} "
+                f"(match={rule.match!r}, call #{count})"
+            )
+        return slow
+
+    def fired(self, site: Optional[str] = None, fault: Optional[str] = None) -> List[InjectedEvent]:
+        """Fired events, optionally filtered by site and/or fault kind."""
+        with self._lock:
+            return [
+                event
+                for event in self.events
+                if (site is None or event.site == site)
+                and (fault is None or event.fault == fault)
+            ]
+
+    def summary(self) -> Dict[str, int]:
+        """Count of fired faults per ``site:fault`` pair."""
+        out: Dict[str, int] = {}
+        with self._lock:
+            for event in self.events:
+                label = f"{event.site}:{event.fault}"
+                out[label] = out.get(label, 0) + 1
+        return out

@@ -151,6 +151,64 @@ class TestLeaseLifecycle:
         assert [r[0] for r in received] == ["full"]
 
 
+class TestExpiryBoundaries:
+    def test_lease_inactive_exactly_at_expiry_instant(self, setup):
+        """``now == expires_at`` is expired, not active — a half-open
+        [granted_at, expires_at) validity interval."""
+        net, store, manager, callback, received = setup
+        store.put("o", [1])
+        lease = manager.subscribe(
+            "client", "o", callback, mode="full", duration=10.0
+        )
+        assert lease.active(lease.expires_at - 1e-9)
+        assert not lease.active(lease.expires_at)
+        net.clock.advance(10.0)  # land exactly on expires_at
+        assert net.clock.now == lease.expires_at
+        store.put("o", [2])
+        assert received == []
+        assert manager.stats["skipped_expired"] == 1
+
+    def test_renewal_after_expiry_reactivates_lease(self, setup):
+        net, store, manager, callback, received = setup
+        store.put("o", [1])
+        manager.subscribe("client", "o", callback, mode="full", duration=10.0)
+        net.clock.advance(25.0)  # well past expiry
+        store.put("o", [2])
+        assert received == []
+        lease = manager.renew("client", "o", duration=10.0)
+        assert lease.renewals == 1
+        assert lease.active(net.clock.now)
+        assert lease.expires_at == net.clock.now + 10.0
+        store.put("o", [3])
+        assert [r[2] for r in received] == [3]
+
+    def test_renewal_after_cancel_reactivates_lease(self, setup):
+        net, store, manager, callback, received = setup
+        store.put("o", [1])
+        manager.subscribe("client", "o", callback, mode="full")
+        manager.cancel("client", "o")
+        lease = manager.renew("client", "o")
+        assert not lease.cancelled
+        store.put("o", [2])
+        assert len(received) == 1
+
+    def test_cancelled_lease_delivery_suppressed_and_counted(self, setup):
+        """A cancelled lease is skipped at push time even though its
+        expiry is still in the future (lazy expiry counts it too)."""
+        net, store, manager, callback, received = setup
+        store.put("o", [1])
+        lease = manager.subscribe(
+            "client", "o", callback, mode="full", duration=1000.0
+        )
+        manager.cancel("client", "o")
+        assert not lease.active(net.clock.now)
+        for value in ([2], [3]):
+            store.put("o", value)
+        assert received == []
+        assert manager.stats["skipped_expired"] == 2
+        assert manager.active_leases() == []
+
+
 class TestBandwidthComparison:
     def test_delta_mode_cheaper_than_full_mode(self):
         """Push-delta saves bandwidth over push-full for small updates

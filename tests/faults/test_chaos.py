@@ -1,0 +1,213 @@
+"""The chaos acceptance scenario (ISSUE acceptance criteria).
+
+One deterministic run over a 12-path graph suffers, simultaneously:
+
+* a transient job failure that recovers under the engine's retry policy,
+* a permanent job failure that is skipped and recorded,
+* one node crash whose work is reassigned to the survivors,
+* one expired DARR claim (a dead client's) reclaimed by the live client.
+
+The sweep still completes, selects the same winner as a fault-free run
+(the failing job is never the winner by construction), and the whole
+outcome — leaderboard, failure records, cooperative stats, fired-fault
+ledger — is byte-identical across repeated runs with the same fault
+seed.  CI runs this module across several ``FAULT_SEED`` values.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.core import FailurePolicy, GraphEvaluator, TransformerEstimatorGraph
+from repro.darr import DARR, CooperativeEvaluator
+from repro.datasets import make_regression
+from repro.distributed import (
+    ClientNode,
+    CloudAnalyticsServer,
+    DistributedScheduler,
+    SimulatedNetwork,
+)
+from repro.faults import FaultPlan
+from repro.ml.linear import LinearRegression, RidgeRegression
+from repro.ml.model_selection import KFold
+from repro.ml.neighbors import KNeighborsRegressor
+from repro.ml.preprocessing import MinMaxScaler, NoOp, StandardScaler
+from repro.ml.tree import DecisionTreeRegressor
+
+FAULT_SEED = int(os.environ.get("FAULT_SEED", "0"))
+CLAIM_TTL = 100.0
+NODE_NAMES = ("edge-1", "edge-2", "cloud-1")
+
+
+def build_graph():
+    """3 scalers x 4 estimators = 12 pipeline paths."""
+    g = TransformerEstimatorGraph()
+    g.add_feature_scalers([StandardScaler(), MinMaxScaler(), NoOp()])
+    g.add_regression_models(
+        [
+            LinearRegression(),
+            RidgeRegression(alpha=1.0),
+            DecisionTreeRegressor(max_depth=3, random_state=0),
+            KNeighborsRegressor(n_neighbors=5),
+        ]
+    )
+    return g
+
+
+def make_world():
+    """A fresh simulated cluster + DARR + cooperative client."""
+    net = SimulatedNetwork()
+    net.register("ghost")
+    nodes = [
+        ClientNode(NODE_NAMES[0], net, compute_speed=1.0),
+        ClientNode(NODE_NAMES[1], net, compute_speed=2.0),
+        CloudAnalyticsServer(NODE_NAMES[2], net, compute_speed=4.0),
+    ]
+    scheduler = DistributedScheduler(nodes, policy="round_robin")
+    darr = DARR("darr", net, claim_duration=CLAIM_TTL)
+    net.register("alice")
+    coop = CooperativeEvaluator(
+        GraphEvaluator(
+            build_graph(),
+            cv=KFold(2, random_state=0),
+            engine=scheduler,
+            failure_policy=FailurePolicy(
+                on_error="retry",
+                max_retries=3,
+                backoff_base=0.0,
+                seed=FAULT_SEED,
+            ),
+        ),
+        darr,
+        "alice",
+    )
+    return net, nodes, scheduler, darr, coop
+
+
+def fault_free_baseline(X, y):
+    return GraphEvaluator(
+        build_graph(), cv=KFold(2, random_state=0)
+    ).evaluate(X, y)
+
+
+def pick_targets(keys, winner_key):
+    """Deterministically choose which non-winning jobs and node the
+    faults hit — different seeds explore different targets."""
+    plan = FaultPlan(seed=FAULT_SEED)
+    candidates = [key for key in keys if key != winner_key]
+    transient_key, permanent_key, expired_key = plan.sample(candidates, 3)
+    crash_node = plan.choice(NODE_NAMES)
+    return plan, transient_key, permanent_key, expired_key, crash_node
+
+
+def run_chaos(X, y, winner_key):
+    """One full chaos run; returns its canonical outcome payload."""
+    net, nodes, scheduler, darr, coop = make_world()
+    keys = [job.key for job in coop.evaluator.iter_jobs(X, y)]
+    plan, transient_key, permanent_key, expired_key, crash_node = (
+        pick_targets(keys, winner_key)
+    )
+    plan.add("engine.run_job", "transient", match=transient_key, times=2)
+    plan.add("engine.run_job", "transient", match=permanent_key, times=None)
+    plan.add("node.execute_job", "crash", match=crash_node, times=None)
+    injector = plan.injector().attach(
+        coop.evaluator.engine, darr, *nodes
+    )
+    # A client claimed a job, then died; its claim must not starve the
+    # key forever.
+    darr.claim_job(expired_key, "ghost")
+    net.clock.advance(CLAIM_TTL + 1.0)
+
+    report = coop.evaluate(X, y)
+    outcome = coop.evaluator.engine.executor.last_outcome
+    return {
+        "targets": {
+            "transient": transient_key,
+            "permanent": permanent_key,
+            "expired": expired_key,
+            "crash_node": crash_node,
+        },
+        "best_path": report.best_path,
+        "best_score": repr(report.best_score),
+        "leaderboard": report.leaderboard(top=20),
+        "failures": report.stats["failures"],
+        "cooperative": report.stats["cooperative"],
+        "node_health": outcome.node_health,
+        "node_crashes": outcome.node_crashes,
+        "jobs_reassigned": outcome.jobs_reassigned,
+        "fired": injector.summary(),
+        "n_results": len(report.results),
+        "n_jobs": len(keys),
+    }
+
+
+@pytest.fixture(scope="module")
+def data():
+    return make_regression(
+        n_samples=150, n_features=8, n_informative=5, noise=0.1,
+        random_state=0,
+    )
+
+
+@pytest.fixture(scope="module")
+def chaos(data):
+    X, y = data
+    baseline = fault_free_baseline(X, y)
+    winner_key = baseline.best_result().key
+    return baseline, run_chaos(X, y, winner_key)
+
+
+class TestChaosScenario:
+    def test_graph_is_wide_enough(self, data):
+        X, y = data
+        _, _, _, _, coop = make_world()
+        assert len(list(coop.evaluator.iter_jobs(X, y))) >= 12
+
+    def test_transient_failure_recovers_under_retry(self, chaos):
+        _, result = chaos
+        transient = result["targets"]["transient"]
+        assert transient not in {f["key"] for f in result["failures"]}
+        # 2 retries for the transient + 3 exhausted for the permanent.
+        assert result["fired"]["engine.run_job:transient"] == 2 + 4
+
+    def test_permanent_failure_skipped_and_recorded(self, chaos):
+        _, result = chaos
+        [failure] = result["failures"]
+        assert failure["key"] == result["targets"]["permanent"]
+        assert failure["attempts"] == 4  # 1 try + 3 retries
+        assert result["n_results"] == result["n_jobs"] - 1
+
+    def test_node_crash_reassigned_and_run_completes(self, chaos):
+        _, result = chaos
+        crash_node = result["targets"]["crash_node"]
+        assert result["node_health"][crash_node] == "crashed"
+        assert result["node_crashes"] == 1
+        assert result["jobs_reassigned"] >= 1
+        assert sum(
+            1 for state in result["node_health"].values()
+            if state == "healthy"
+        ) == len(NODE_NAMES) - 1
+
+    def test_expired_claim_reclaimed_by_live_client(self, chaos):
+        _, result = chaos
+        coop_stats = result["cooperative"]
+        assert coop_stats["claims_expired"] == 1
+        assert coop_stats["claims_reclaimed"] == 1
+        assert coop_stats["skipped_claimed"] == 0
+        assert coop_stats["computed"] == result["n_jobs"] - 1
+
+    def test_same_winner_as_fault_free_run(self, chaos):
+        baseline, result = chaos
+        assert result["best_path"] == baseline.best_path
+        assert float(result["best_score"]) == pytest.approx(
+            baseline.best_score
+        )
+
+    def test_byte_identical_across_repeated_runs(self, chaos, data):
+        baseline, first = chaos
+        X, y = data
+        second = run_chaos(X, y, baseline.best_result().key)
+        assert json.dumps(first, sort_keys=True) == json.dumps(
+            second, sort_keys=True
+        )

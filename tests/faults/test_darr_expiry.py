@@ -1,0 +1,234 @@
+"""DARR claim expiry, reclaim accounting and degraded-mode clients."""
+
+import pytest
+
+from repro.core import GraphEvaluator, TransformerEstimatorGraph
+from repro.darr import DARR, ClaimOutcome, CooperativeEvaluator
+from repro.darr.records import AnalyticsResult
+from repro.distributed import SimulatedNetwork
+from repro.faults import FaultPlan, TransientJobError
+from repro.ml.linear import LinearRegression
+from repro.ml.model_selection import KFold
+from repro.ml.preprocessing import NoOp, StandardScaler
+from repro.ml.tree import DecisionTreeRegressor
+from repro.obs import Telemetry
+
+
+def build_graph():
+    g = TransformerEstimatorGraph()
+    g.add_feature_scalers([StandardScaler(), NoOp()])
+    g.add_regression_models(
+        [LinearRegression(), DecisionTreeRegressor(max_depth=3, random_state=0)]
+    )
+    return g
+
+
+def make_coop(darr, client, telemetry=None, failure_policy=None):
+    return CooperativeEvaluator(
+        GraphEvaluator(
+            build_graph(),
+            cv=KFold(2, random_state=0),
+            telemetry=telemetry,
+            failure_policy=failure_policy,
+        ),
+        darr,
+        client,
+    )
+
+
+@pytest.fixture
+def network_and_darr():
+    net = SimulatedNetwork()
+    for client in ("alice", "bob", "ghost"):
+        net.register(client)
+    darr = DARR("darr", net, claim_duration=100.0)
+    return net, darr
+
+
+class TestClaimExpiry:
+    def test_live_foreign_claim_denied(self, network_and_darr):
+        net, darr = network_and_darr
+        assert darr.claim_job("k1", "alice") == ClaimOutcome(granted=True)
+        net.clock.advance(99.0)
+        outcome = darr.claim_job("k1", "bob")
+        assert outcome == ClaimOutcome(granted=False, holder="alice")
+        assert darr.stats["claims_expired"] == 0
+
+    def test_expired_claim_is_reclaimed(self, network_and_darr):
+        net, darr = network_and_darr
+        darr.claim_job("k1", "alice")
+        net.clock.advance(100.0)  # TTL boundary: expires_at <= now
+        outcome = darr.claim_job("k1", "bob")
+        assert outcome == ClaimOutcome(
+            granted=True, reclaimed=True, holder="alice"
+        )
+        assert darr.stats["claims_expired"] == 1
+        assert darr.stats["claims_reclaimed"] == 1
+        assert darr.claim_holder("k1") == "bob"
+
+    def test_expiry_telemetry_counter(self, network_and_darr):
+        net, darr = network_and_darr
+        darr.telemetry = Telemetry()
+        darr.claim_job("k1", "alice")
+        net.clock.advance(101.0)
+        darr.claim_job("k1", "bob")
+        assert darr.telemetry.counters()["darr.claims_expired"] == 1
+
+    def test_own_claim_renews_without_reclaim(self, network_and_darr):
+        net, darr = network_and_darr
+        darr.claim_job("k1", "alice")
+        net.clock.advance(60.0)
+        outcome = darr.claim_job("k1", "alice")
+        assert outcome == ClaimOutcome(granted=True)
+        net.clock.advance(60.0)  # 120 since first claim, 60 since renewal
+        assert darr.claim_job("k1", "bob").granted is False
+
+    def test_released_claim_grants_without_reclaim(self, network_and_darr):
+        _, darr = network_and_darr
+        darr.claim_job("k1", "alice")
+        darr.release_claim("k1", "alice")
+        assert darr.claim_job("k1", "bob") == ClaimOutcome(granted=True)
+        assert darr.stats["claims_expired"] == 0
+
+    def test_claim_on_published_key_denied(self, network_and_darr):
+        _, darr = network_and_darr
+        record = AnalyticsResult(
+            key="k1", dataset="d", path="p", params={}, metric="rmse",
+            score=1.0, std=0.0, fold_scores=[1.0, 1.0],
+            greater_is_better=False, client="alice", explanation="",
+        )
+        darr.publish(record, "alice")
+        assert darr.claim_job("k1", "bob").granted is False
+
+    def test_boolean_claim_wrapper_matches(self, network_and_darr):
+        net, darr = network_and_darr
+        assert darr.claim("k1", "alice") is True
+        assert darr.claim("k1", "bob") is False
+        net.clock.advance(101.0)
+        assert darr.claim("k1", "bob") is True
+        assert darr.stats["claims_reclaimed"] == 1
+
+    def test_claim_holder_none_when_expired(self, network_and_darr):
+        net, darr = network_and_darr
+        darr.claim_job("k1", "alice")
+        assert darr.claim_holder("k1") == "alice"
+        net.clock.advance(100.0)
+        assert darr.claim_holder("k1") is None
+
+
+class TestCooperativeReclaim:
+    def test_survivor_reclaims_dead_clients_claim(
+        self, network_and_darr, regression_data
+    ):
+        net, darr = network_and_darr
+        X, y = regression_data
+        coop = make_coop(darr, "alice", telemetry=Telemetry())
+        jobs = list(coop.evaluator.iter_jobs(X, y))
+        # A client claimed a job and died; its claim outlives it.
+        darr.claim_job(jobs[0].key, "ghost")
+        net.clock.advance(101.0)
+        report = coop.evaluate(X, y)
+        assert coop.stats.claims_expired == 1
+        assert coop.stats.claims_reclaimed == 1
+        assert coop.stats.computed == len(jobs)
+        assert coop.stats.skipped_claimed == 0
+        assert len(report.results) == len(jobs)
+        counters = coop.telemetry.counters()
+        assert counters["darr.claims_reclaimed"] == 1
+        assert counters["darr.claims_expired"] == 1
+        assert report.stats["cooperative"]["claims_reclaimed"] == 1
+
+    def test_live_claim_still_respected(
+        self, network_and_darr, regression_data
+    ):
+        net, darr = network_and_darr
+        X, y = regression_data
+        coop = make_coop(darr, "alice")
+        jobs = list(coop.evaluator.iter_jobs(X, y))
+        darr.claim_job(jobs[0].key, "ghost")
+        net.clock.advance(50.0)  # claim still live
+        coop.evaluate(X, y)
+        assert coop.stats.skipped_claimed == 1
+        assert coop.stats.claims_reclaimed == 0
+
+
+class TestAbortReleasesAllClaims:
+    def test_abort_releases_every_unpublished_claim(
+        self, network_and_darr, regression_data
+    ):
+        """Regression test: a mid-sweep abort used to leak the claims of
+        every job after the failing one, locking peers out until the
+        TTL."""
+        net, darr = network_and_darr
+        X, y = regression_data
+        coop = make_coop(darr, "alice")
+        jobs = list(coop.evaluator.iter_jobs(X, y))
+        plan = FaultPlan()
+        # Second computed job fails; default policy aborts the sweep.
+        plan.add("engine.run_job", "transient", after=2, times=None)
+        plan.injector().attach(coop.evaluator.engine)
+        with pytest.raises(TransientJobError):
+            coop.evaluate(X, y)
+        for job in jobs:
+            assert darr.claim_holder(job.key) is None, (
+                f"claim on {job.key} leaked past the abort"
+            )
+        # A peer can immediately take over all unfinished work.
+        other = make_coop(darr, "bob")
+        other.evaluate(X, y)
+        assert other.stats.skipped_claimed == 0
+        assert other.stats.computed + other.stats.reused == len(jobs)
+
+    def test_skip_policy_releases_failed_jobs_claim(
+        self, network_and_darr, regression_data
+    ):
+        _, darr = network_and_darr
+        X, y = regression_data
+        coop = make_coop(darr, "alice", failure_policy="skip")
+        jobs = list(coop.evaluator.iter_jobs(X, y))
+        target = jobs[0].key
+        plan = FaultPlan()
+        plan.add("engine.run_job", "transient", match=target, times=None)
+        plan.injector().attach(coop.evaluator.engine)
+        report = coop.evaluate(X, y)
+        assert [f["key"] for f in report.stats["failures"]] == [target]
+        assert darr.claim_holder(target) is None
+        # The failed job is computable by a peer right away.
+        assert darr.claim_job(target, "bob") == ClaimOutcome(granted=True)
+
+
+class TestDegradedMode:
+    def test_unreachable_darr_falls_back_to_local_sweep(
+        self, network_and_darr, regression_data
+    ):
+        _, darr = network_and_darr
+        X, y = regression_data
+        coop = make_coop(darr, "alice", telemetry=Telemetry())
+        plan = FaultPlan()
+        for site in ("darr.fetch", "darr.claim", "darr.publish"):
+            plan.add(site, "unavailable", times=None)
+        plan.injector().attach(darr)
+        jobs = list(coop.evaluator.iter_jobs(X, y))
+        report = coop.evaluate(X, y)
+        assert coop.stats.computed == len(jobs)
+        assert coop.stats.darr_unavailable > 0
+        assert len(darr) == 0  # nothing published during the outage
+        assert report.best_model is not None
+        assert coop.telemetry.counters()["darr.unavailable"] > 0
+        assert report.stats["cooperative"]["darr_unavailable"] > 0
+
+    def test_publish_outage_releases_claim_for_peers(
+        self, network_and_darr, regression_data
+    ):
+        _, darr = network_and_darr
+        X, y = regression_data
+        coop = make_coop(darr, "alice")
+        plan = FaultPlan()
+        plan.add("darr.publish", "unavailable", times=None)
+        plan.injector().attach(darr)
+        jobs = list(coop.evaluator.iter_jobs(X, y))
+        report = coop.evaluate(X, y)
+        assert coop.stats.computed == len(jobs)
+        assert len(report.results) == len(jobs)
+        for job in jobs:
+            assert darr.claim_holder(job.key) is None

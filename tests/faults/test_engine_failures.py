@@ -1,0 +1,244 @@
+"""Failure policies in the execution engine: raise / skip / retry."""
+
+import pytest
+
+from repro.core import (
+    AllJobsFailed,
+    FailurePolicy,
+    GraphEvaluator,
+    TransformerEstimatorGraph,
+)
+from repro.faults import FaultPlan, TransientJobError
+from repro.ml.linear import LinearRegression
+from repro.ml.model_selection import KFold
+from repro.ml.preprocessing import MinMaxScaler, StandardScaler
+from repro.ml.tree import DecisionTreeRegressor
+from repro.obs import Telemetry
+
+
+def build_graph():
+    g = TransformerEstimatorGraph()
+    g.add_feature_scalers([StandardScaler(), MinMaxScaler()])
+    g.add_regression_models(
+        [LinearRegression(), DecisionTreeRegressor(max_depth=3, random_state=0)]
+    )
+    return g
+
+
+def make_evaluator(failure_policy=None, telemetry=None):
+    return GraphEvaluator(
+        build_graph(),
+        cv=KFold(3, random_state=0),
+        failure_policy=failure_policy,
+        telemetry=telemetry,
+    )
+
+
+def job_keys(evaluator, X, y):
+    return [job.key for job in evaluator.iter_jobs(X, y)]
+
+
+class TestFailurePolicyObject:
+    def test_rejects_unknown_on_error(self):
+        with pytest.raises(ValueError, match="on_error"):
+            FailurePolicy(on_error="explode")
+
+    def test_max_retries_requires_retry_mode(self):
+        with pytest.raises(ValueError, match="max_retries"):
+            FailurePolicy(on_error="skip", max_retries=3)
+
+    def test_retry_defaults_to_two_retries(self):
+        assert FailurePolicy(on_error="retry").max_retries == 2
+        assert FailurePolicy(on_error="skip").max_retries == 0
+
+    def test_resolve_shorthands(self):
+        assert FailurePolicy.resolve(None).on_error == "raise"
+        assert FailurePolicy.resolve("skip").on_error == "skip"
+        policy = FailurePolicy(on_error="retry")
+        assert FailurePolicy.resolve(policy) is policy
+        with pytest.raises(TypeError):
+            FailurePolicy.resolve(42)
+
+    def test_backoff_is_deterministic_per_key_and_attempt(self):
+        a = FailurePolicy(on_error="retry", seed=5)
+        b = FailurePolicy(on_error="retry", seed=5)
+        for attempt in (1, 2, 3):
+            assert a.backoff_seconds("job-x", attempt) == pytest.approx(
+                b.backoff_seconds("job-x", attempt)
+            )
+        assert a.backoff_seconds("job-x", 1) != pytest.approx(
+            a.backoff_seconds("job-y", 1)
+        )
+
+    def test_backoff_grows_exponentially_within_jitter(self):
+        policy = FailurePolicy(
+            on_error="retry",
+            backoff_base=0.1,
+            backoff_factor=2.0,
+            jitter=0.25,
+        )
+        for attempt in (1, 2, 3):
+            delay = policy.backoff_seconds("k", attempt)
+            base = 0.1 * 2.0 ** (attempt - 1)
+            assert base <= delay < base * 1.25
+
+    def test_zero_base_disables_backoff(self):
+        policy = FailurePolicy(on_error="retry", backoff_base=0.0)
+        assert policy.backoff_seconds("k", 3) == 0.0
+
+
+class TestRaisePolicy:
+    def test_default_policy_propagates_first_failure(self, regression_data):
+        X, y = regression_data
+        evaluator = make_evaluator()
+        target = job_keys(evaluator, X, y)[0]
+        plan = FaultPlan()
+        plan.add("engine.run_job", "transient", match=target, times=None)
+        plan.injector().attach(evaluator.engine)
+        with pytest.raises(TransientJobError):
+            evaluator.evaluate(X, y)
+
+
+class TestSkipPolicy:
+    def test_failed_job_recorded_and_rest_selected(self, regression_data):
+        X, y = regression_data
+        evaluator = make_evaluator(failure_policy="skip")
+        keys = job_keys(evaluator, X, y)
+        target = keys[1]
+        plan = FaultPlan()
+        plan.add("engine.run_job", "transient", match=target, times=None)
+        plan.injector().attach(evaluator.engine)
+        report = evaluator.evaluate(X, y)
+        assert len(report.results) == len(keys) - 1
+        assert target not in {r.key for r in report.results}
+        assert report.best_model is not None
+        [failure] = report.stats["failures"]
+        assert failure["key"] == target
+        assert failure["attempts"] == 1
+        assert "TransientJobError" in failure["error"]
+
+    def test_all_jobs_failing_raises(self, regression_data):
+        X, y = regression_data
+        evaluator = make_evaluator(failure_policy="skip")
+        plan = FaultPlan()
+        plan.add("engine.run_job", "transient", times=None)
+        plan.injector().attach(evaluator.engine)
+        with pytest.raises(AllJobsFailed):
+            evaluator.evaluate(X, y)
+        assert len(evaluator.engine.last_failures) == 4
+
+    def test_failures_reported_in_plan_order(self, regression_data):
+        X, y = regression_data
+        evaluator = make_evaluator(failure_policy="skip")
+        keys = job_keys(evaluator, X, y)
+        targets = [keys[2], keys[0]]
+        plan = FaultPlan()
+        for key in targets:
+            plan.add("engine.run_job", "transient", match=key, times=None)
+        plan.injector().attach(evaluator.engine)
+        report = evaluator.evaluate(X, y)
+        assert [f["key"] for f in report.stats["failures"]] == [
+            keys[0], keys[2],
+        ]
+
+    def test_jobs_failed_counter(self, regression_data):
+        X, y = regression_data
+        tel = Telemetry()
+        evaluator = make_evaluator(failure_policy="skip", telemetry=tel)
+        target = job_keys(evaluator, X, y)[0]
+        plan = FaultPlan()
+        plan.add("engine.run_job", "transient", match=target, times=None)
+        plan.injector().attach(evaluator.engine)
+        evaluator.evaluate(X, y)
+        assert tel.counters()["engine.jobs_failed"] == 1
+
+
+class TestRetryPolicy:
+    def test_transient_fault_recovers_under_retry(self, regression_data):
+        X, y = regression_data
+        policy = FailurePolicy(
+            on_error="retry", max_retries=2, backoff_base=0.0
+        )
+        tel = Telemetry()
+        evaluator = make_evaluator(failure_policy=policy, telemetry=tel)
+        keys = job_keys(evaluator, X, y)
+        target = keys[0]
+        plan = FaultPlan()
+        plan.add("engine.run_job", "transient", match=target, times=2)
+        injector = plan.injector().attach(evaluator.engine)
+        report = evaluator.evaluate(X, y)
+        assert len(report.results) == len(keys)
+        assert report.stats["failures"] == []
+        assert len(injector.fired(fault="transient")) == 2
+        assert tel.counters()["engine.job_retries"] == 2
+        assert "engine.jobs_failed" not in tel.counters()
+
+    def test_retries_exhausted_then_skipped(self, regression_data):
+        X, y = regression_data
+        policy = FailurePolicy(
+            on_error="retry", max_retries=2, backoff_base=0.0
+        )
+        evaluator = make_evaluator(failure_policy=policy)
+        target = job_keys(evaluator, X, y)[0]
+        plan = FaultPlan()
+        plan.add("engine.run_job", "transient", match=target, times=None)
+        plan.injector().attach(evaluator.engine)
+        report = evaluator.evaluate(X, y)
+        [failure] = report.stats["failures"]
+        assert failure["key"] == target
+        assert failure["attempts"] == 3  # 1 try + 2 retries
+
+    def test_backoff_uses_injectable_sleep(self, regression_data):
+        X, y = regression_data
+        delays = []
+        policy = FailurePolicy(
+            on_error="retry",
+            max_retries=2,
+            backoff_base=0.01,
+            sleep=delays.append,
+        )
+        evaluator = make_evaluator(failure_policy=policy)
+        target = job_keys(evaluator, X, y)[0]
+        plan = FaultPlan()
+        plan.add("engine.run_job", "transient", match=target, times=2)
+        plan.injector().attach(evaluator.engine)
+        evaluator.evaluate(X, y)
+        assert delays == [
+            pytest.approx(policy.backoff_seconds(target, attempt))
+            for attempt in (1, 2)
+        ]
+
+    def test_retry_result_matches_fault_free_run(self, regression_data):
+        X, y = regression_data
+        baseline = make_evaluator().evaluate(X, y)
+        policy = FailurePolicy(
+            on_error="retry", max_retries=3, backoff_base=0.0
+        )
+        evaluator = make_evaluator(failure_policy=policy)
+        target = job_keys(evaluator, X, y)[2]
+        plan = FaultPlan()
+        plan.add("engine.run_job", "transient", match=target, times=3)
+        plan.injector().attach(evaluator.engine)
+        report = evaluator.evaluate(X, y)
+        assert report.best_path == baseline.best_path
+        assert report.best_score == pytest.approx(baseline.best_score)
+
+
+class TestParallelExecutorFailures:
+    def test_skip_policy_under_threads_is_plan_ordered(self, regression_data):
+        X, y = regression_data
+        evaluator = GraphEvaluator(
+            build_graph(),
+            cv=KFold(3, random_state=0),
+            engine="parallel",
+            failure_policy="skip",
+        )
+        keys = job_keys(evaluator, X, y)
+        targets = sorted([keys[3], keys[1]], key=keys.index)
+        plan = FaultPlan()
+        for key in targets:
+            plan.add("engine.run_job", "transient", match=key, times=None)
+        plan.injector().attach(evaluator.engine)
+        report = evaluator.evaluate(X, y)
+        assert len(report.results) == len(keys) - 2
+        assert [f["key"] for f in report.stats["failures"]] == targets

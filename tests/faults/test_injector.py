@@ -1,0 +1,205 @@
+"""Tests for the deterministic fault plan and injector."""
+
+import threading
+
+import pytest
+
+from repro.faults import (
+    FaultInjector,
+    FaultPlan,
+    FaultRule,
+    NodeCrashed,
+    ServiceUnavailable,
+    TransientJobError,
+)
+
+
+class TestFaultRule:
+    def test_rejects_unknown_fault_kind(self):
+        with pytest.raises(ValueError, match="fault must be one of"):
+            FaultRule(site="engine.run_job", fault="meteor")
+
+    def test_rejects_nonpositive_after(self):
+        with pytest.raises(ValueError, match="after"):
+            FaultRule(site="engine.run_job", fault="transient", after=0)
+
+    def test_rejects_nonpositive_times(self):
+        with pytest.raises(ValueError, match="times"):
+            FaultRule(site="engine.run_job", fault="transient", times=0)
+
+    def test_rejects_speedup_slow_factor(self):
+        with pytest.raises(ValueError, match="slow_factor"):
+            FaultRule(site="node.execute_job", fault="slow", slow_factor=0.5)
+
+    def test_fires_at_window(self):
+        rule = FaultRule(
+            site="engine.run_job", fault="transient", after=2, times=2
+        )
+        assert [rule.fires_at(i) for i in range(1, 6)] == [
+            False, True, True, False, False,
+        ]
+
+    def test_times_none_is_permanent(self):
+        rule = FaultRule(
+            site="engine.run_job", fault="transient", after=3, times=None
+        )
+        assert not rule.fires_at(2)
+        assert all(rule.fires_at(i) for i in range(3, 50))
+
+
+class TestFaultPlan:
+    def test_choice_is_seed_deterministic(self):
+        options = [f"job-{i}" for i in range(20)]
+        picks_a = [FaultPlan(seed=7).choice(options) for _ in range(5)]
+        picks_b = [FaultPlan(seed=7).choice(options) for _ in range(5)]
+        assert picks_a == picks_b
+
+    def test_different_seeds_explore_different_targets(self):
+        options = [f"job-{i}" for i in range(50)]
+        picks = {FaultPlan(seed=s).choice(options) for s in range(10)}
+        assert len(picks) > 1
+
+    def test_successive_choices_advance_the_rng(self):
+        plan = FaultPlan(seed=3)
+        options = list(range(100))
+        first, second = plan.choice(options), plan.choice(options)
+        replay = FaultPlan(seed=3)
+        assert [replay.choice(options), replay.choice(options)] == [
+            first, second,
+        ]
+
+    def test_choice_rejects_empty(self):
+        with pytest.raises(ValueError):
+            FaultPlan().choice([])
+
+    def test_add_validates_and_returns_rule(self):
+        plan = FaultPlan()
+        rule = plan.add("darr.claim", "unavailable", times=None)
+        assert plan.rules == [rule]
+        with pytest.raises(ValueError):
+            plan.add("darr.claim", "wat")
+
+
+class TestFaultInjector:
+    def test_no_rules_is_a_no_op(self):
+        injector = FaultPlan().injector()
+        assert injector.check("engine.run_job", key="k1") == 1.0
+        assert injector.events == []
+
+    def test_raises_mapped_exception(self):
+        cases = [
+            ("transient", TransientJobError),
+            ("crash", NodeCrashed),
+            ("unavailable", ServiceUnavailable),
+        ]
+        for fault, exc_type in cases:
+            plan = FaultPlan()
+            plan.add("node.execute_job", fault)
+            with pytest.raises(exc_type):
+                plan.injector().check("node.execute_job", node="n1")
+
+    def test_match_filters_by_attribute_value(self):
+        plan = FaultPlan()
+        plan.add("engine.run_job", "transient", match="job-b", times=None)
+        injector = plan.injector()
+        assert injector.check("engine.run_job", key="job-a") == 1.0
+        with pytest.raises(TransientJobError):
+            injector.check("engine.run_job", key="job-b")
+
+    def test_site_mismatch_never_fires(self):
+        plan = FaultPlan()
+        plan.add("darr.claim", "unavailable", times=None)
+        injector = plan.injector()
+        assert injector.check("darr.fetch", key="k") == 1.0
+
+    def test_after_and_times_count_matching_calls_only(self):
+        plan = FaultPlan()
+        plan.add("engine.run_job", "transient", match="hot", after=2, times=1)
+        injector = plan.injector()
+        # Non-matching calls do not advance the rule's counter.
+        injector.check("engine.run_job", key="cold")
+        assert injector.check("engine.run_job", key="hot") == 1.0  # call 1
+        with pytest.raises(TransientJobError):
+            injector.check("engine.run_job", key="hot")  # call 2 fires
+        assert injector.check("engine.run_job", key="hot") == 1.0  # call 3
+
+    def test_slow_factors_multiply(self):
+        plan = FaultPlan()
+        plan.add("node.execute_job", "slow", times=None, slow_factor=2.0)
+        plan.add("node.execute_job", "slow", times=None, slow_factor=3.0)
+        assert plan.injector().check(
+            "node.execute_job", node="n1"
+        ) == pytest.approx(6.0)
+
+    def test_events_ledger_and_summary(self):
+        plan = FaultPlan()
+        plan.add("engine.run_job", "transient", match="k1", times=2)
+        plan.add("node.execute_job", "crash", match="n1")
+        injector = plan.injector()
+        for _ in range(3):
+            try:
+                injector.check("engine.run_job", key="k1")
+            except TransientJobError:
+                pass
+        with pytest.raises(NodeCrashed):
+            injector.check("node.execute_job", node="n1", key="k1")
+        assert injector.summary() == {
+            "engine.run_job:transient": 2,
+            "node.execute_job:crash": 1,
+        }
+        transient = injector.fired(fault="transient")
+        assert [e.call_index for e in transient] == [1, 2]
+        assert injector.fired(site="node.execute_job")[0].attrs == (
+            ("key", "k1"), ("node", "n1"),
+        )
+
+    def test_attach_sets_the_hook_attribute(self):
+        class Component:
+            fault_injector = None
+
+        a, b = Component(), Component()
+        injector = FaultPlan().injector()
+        assert injector.attach(a, b) is injector
+        assert a.fault_injector is injector
+        assert b.fault_injector is injector
+
+    def test_same_plan_replays_identically(self):
+        def run(injector):
+            trace = []
+            for key in ["a", "b", "a", "c", "a", "b"]:
+                try:
+                    injector.check("engine.run_job", key=key)
+                    trace.append((key, "ok"))
+                except TransientJobError:
+                    trace.append((key, "fail"))
+            return trace
+
+        def build():
+            plan = FaultPlan(seed=11)
+            plan.add("engine.run_job", "transient", match="a", after=2, times=1)
+            plan.add("engine.run_job", "transient", match="b", times=None)
+            return plan.injector()
+
+        assert run(build()) == run(build())
+
+    def test_thread_safe_counting(self):
+        plan = FaultPlan()
+        plan.add("engine.run_job", "transient", after=1, times=50)
+        injector = plan.injector()
+        failures = []
+
+        def worker():
+            for _ in range(10):
+                try:
+                    injector.check("engine.run_job", key="k")
+                except TransientJobError:
+                    failures.append(1)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # 80 calls against a fire-window of 50: exactly 50 fire.
+        assert len(failures) == 50
+        assert len(injector.events) == 50

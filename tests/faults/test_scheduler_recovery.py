@@ -1,0 +1,180 @@
+"""Node-crash recovery and speculative retry in the scheduler."""
+
+import pytest
+
+from repro.core import FailurePolicy, GraphEvaluator, TransformerEstimatorGraph
+from repro.distributed import (
+    ClientNode,
+    CloudAnalyticsServer,
+    DistributedScheduler,
+    NoHealthyNodes,
+    SimulatedNetwork,
+)
+from repro.faults import FaultPlan, TransientJobError
+from repro.ml.linear import LinearRegression
+from repro.ml.model_selection import KFold
+from repro.ml.preprocessing import NoOp, StandardScaler
+from repro.ml.tree import DecisionTreeRegressor
+from repro.obs import Telemetry
+
+
+def build_graph():
+    g = TransformerEstimatorGraph()
+    g.add_feature_scalers([StandardScaler(), NoOp()])
+    g.add_regression_models(
+        [LinearRegression(), DecisionTreeRegressor(max_depth=3, random_state=0)]
+    )
+    return g
+
+
+@pytest.fixture
+def world(regression_data):
+    X, y = regression_data
+    net = SimulatedNetwork()
+    nodes = [
+        ClientNode("edge-1", net, compute_speed=1.0),
+        ClientNode("edge-2", net, compute_speed=2.0),
+        CloudAnalyticsServer("cloud-1", net, compute_speed=4.0),
+    ]
+    scheduler = DistributedScheduler(nodes, policy="round_robin")
+    evaluator = GraphEvaluator(
+        build_graph(), cv=KFold(2, random_state=0), engine=scheduler
+    )
+    jobs = list(evaluator.iter_jobs(X, y))
+    return nodes, scheduler, evaluator, jobs, X, y
+
+
+class TestSpeedValidation:
+    def test_node_rejects_nonpositive_speed(self):
+        net = SimulatedNetwork()
+        with pytest.raises(ValueError, match="compute_speed"):
+            ClientNode("bad", net, compute_speed=0.0)
+        with pytest.raises(ValueError, match="compute_speed"):
+            ClientNode("worse", net, compute_speed=-2.0)
+
+    def test_scheduler_rejects_nonpositive_speed_node(self):
+        net = SimulatedNetwork()
+        node = ClientNode("n1", net)
+        node.compute_speed = 0.0  # corrupted after construction
+        with pytest.raises(ValueError, match="compute_speed"):
+            DistributedScheduler([node])
+
+    def test_pick_node_guards_division(self, world):
+        nodes, scheduler, evaluator, jobs, X, y = world
+        nodes[1].compute_speed = 0.0
+        with pytest.raises(ValueError, match="compute_speed"):
+            scheduler.execute(evaluator, jobs[:2], X, y)
+
+
+class TestCrashRecovery:
+    def test_crashed_node_quarantined_and_jobs_reassigned(self, world):
+        nodes, scheduler, evaluator, jobs, X, y = world
+        plan = FaultPlan()
+        plan.add("node.execute_job", "crash", match="edge-2", times=None)
+        plan.injector().attach(*nodes)
+        outcome = scheduler.execute(evaluator, jobs, X, y)
+        assert outcome.node_health == {
+            "edge-1": "healthy", "edge-2": "crashed", "cloud-1": "healthy",
+        }
+        assert outcome.node_crashes == 1
+        assert outcome.jobs_reassigned >= 1
+        assert len(outcome.results) == len(jobs)
+        assert all(r is not None for r in outcome.results)
+        assert outcome.assignment["edge-2"] == []
+
+    def test_run_completes_with_same_results_despite_crash(self, world):
+        nodes, scheduler, evaluator, jobs, X, y = world
+        baseline = GraphEvaluator(
+            build_graph(), cv=KFold(2, random_state=0)
+        ).evaluate(X, y)
+        plan = FaultPlan()
+        plan.add("node.execute_job", "crash", match="cloud-1", times=None)
+        plan.injector().attach(*nodes)
+        report = evaluator.evaluate(X, y)
+        assert report.best_path == baseline.best_path
+        assert report.best_score == pytest.approx(baseline.best_score)
+
+    def test_all_nodes_crashed_raises(self, world):
+        nodes, scheduler, evaluator, jobs, X, y = world
+        plan = FaultPlan()
+        plan.add("node.execute_job", "crash", times=None)
+        plan.injector().attach(*nodes)
+        with pytest.raises(NoHealthyNodes):
+            scheduler.execute(evaluator, jobs, X, y)
+
+    def test_crash_telemetry_counters(self, world):
+        nodes, scheduler, evaluator, jobs, X, y = world
+        tel = Telemetry()
+        scheduler.telemetry = tel
+        plan = FaultPlan()
+        plan.add("node.execute_job", "crash", match="edge-1", times=None)
+        plan.injector().attach(*nodes)
+        scheduler.execute(evaluator, jobs, X, y)
+        counters = tel.counters()
+        assert counters["scheduler.node_crashes"] == 1
+        assert counters["scheduler.jobs_reassigned"] >= 1
+
+
+class TestTransientNodeFaults:
+    def test_transient_fault_speculatively_retried_elsewhere(self, world):
+        nodes, scheduler, evaluator, jobs, X, y = world
+        target = jobs[0].key
+        plan = FaultPlan()
+        plan.add("node.execute_job", "transient", match=target, times=1)
+        injector = plan.injector().attach(*nodes)
+        outcome = scheduler.execute(evaluator, jobs, X, y)
+        assert len(outcome.results) == len(jobs)
+        assert all(r is not None for r in outcome.results)
+        assert outcome.node_health == {n.name: "healthy" for n in nodes}
+        assert outcome.jobs_reassigned == 1
+        [event] = injector.fired(fault="transient")
+        # The retry landed on a different node than the failed attempt.
+        failed_on = dict(event.attrs)["node"]
+        assert target not in {
+            e.key for e in next(
+                n for n in nodes if n.name == failed_on
+            ).executions
+        }
+
+    def test_transient_everywhere_propagates(self, world):
+        nodes, scheduler, evaluator, jobs, X, y = world
+        plan = FaultPlan()
+        plan.add("node.execute_job", "transient", times=None)
+        plan.injector().attach(*nodes)
+        with pytest.raises(TransientJobError):
+            scheduler.execute(evaluator, jobs, X, y)
+
+
+class TestSlowNodes:
+    def test_slow_fault_inflates_simulated_time_only(self, world):
+        nodes, scheduler, evaluator, jobs, X, y = world
+        plan = FaultPlan()
+        plan.add(
+            "node.execute_job", "slow", match="edge-1",
+            times=None, slow_factor=10.0,
+        )
+        plan.injector().attach(*nodes)
+        outcome = scheduler.execute(evaluator, jobs, X, y)
+        assert all(r is not None for r in outcome.results)
+        slow_execs = nodes[0].executions
+        assert slow_execs, "round robin should place work on edge-1"
+        for execution in slow_execs:
+            assert execution.simulated_seconds == pytest.approx(
+                execution.real_seconds * 10.0 / nodes[0].compute_speed
+            )
+
+
+class TestEngineIntegration:
+    def test_skip_policy_composes_with_crash_recovery(self, world):
+        nodes, scheduler, evaluator, jobs, X, y = world
+        evaluator.engine.failure_policy = FailurePolicy(on_error="skip")
+        target = jobs[1].key
+        plan = FaultPlan()
+        plan.add("node.execute_job", "crash", match="edge-1", times=None)
+        plan.add("engine.run_job", "transient", match=target, times=None)
+        injector = plan.injector().attach(*nodes)
+        injector.attach(evaluator.engine)
+        report = evaluator.evaluate(X, y)
+        assert len(report.results) == len(jobs) - 1
+        assert [f["key"] for f in report.stats["failures"]] == [target]
+        assert report.best_model is not None

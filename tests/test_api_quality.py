@@ -27,6 +27,7 @@ PACKAGES = [
     "repro.timeseries",
     "repro.distributed",
     "repro.darr",
+    "repro.faults",
     "repro.obs",
     "repro.templates",
     "repro.datasets",
@@ -137,7 +138,12 @@ class TestDocumentation:
 
     #: Packages whose exports must carry structured (Parameters/Returns)
     #: docstrings, not just a summary line.
-    STRUCTURED_DOC_PACKAGES = ("repro.core", "repro.darr", "repro.obs")
+    STRUCTURED_DOC_PACKAGES = (
+        "repro.core",
+        "repro.darr",
+        "repro.faults",
+        "repro.obs",
+    )
 
     @pytest.mark.parametrize("name", STRUCTURED_DOC_PACKAGES)
     def test_exports_have_structured_docstrings(self, name):
