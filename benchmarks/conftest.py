@@ -7,7 +7,9 @@ the operation (pytest-benchmark) and prints the reproduced rows/series
 so the run output documents the reproduction.
 """
 
+import json
 import os
+import statistics
 import time
 
 import numpy as np
@@ -25,6 +27,77 @@ TELEMETRY_PATH = os.environ.get(
     "BENCH_TELEMETRY_PATH",
     os.path.join(os.path.dirname(__file__), "telemetry.jsonl"),
 )
+
+#: Where the per-module ``BENCH_<name>.json`` summaries land (the repo
+#: root, so successive PRs can diff the perf trajectory in one place);
+#: override with the BENCH_SUMMARY_DIR environment variable.
+SUMMARY_DIR = os.environ.get(
+    "BENCH_SUMMARY_DIR",
+    os.path.abspath(os.path.join(os.path.dirname(__file__), "..")),
+)
+
+# per-module accumulators feeding pytest_sessionfinish
+_module_records = {}
+_module_extras = {}
+
+
+def _module_key(nodeid: str) -> str:
+    """``test_bench_fig3_regression_graph.py::test_x`` → ``fig3_regression_graph``."""
+    name = os.path.basename(nodeid.split("::", 1)[0])
+    for prefix in ("test_bench_", "test_"):
+        if name.startswith(prefix):
+            name = name[len(prefix):]
+            break
+    return name[:-3] if name.endswith(".py") else name
+
+
+def bench_extras(module: str, **payload) -> None:
+    """Merge extra fields into a module's ``BENCH_<module>.json``.
+
+    Benchmarks with structure the generic per-test summary cannot infer
+    (e.g. the executor-scaling sweep's per-executor medians) call this
+    to enrich their summary file.
+    """
+    _module_extras.setdefault(module, {}).update(payload)
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Write one ``BENCH_<module>.json`` per bench module that ran.
+
+    Each summary carries the module's median/total wall time, its
+    prefix-cache hit rate (from the engine telemetry counters) and the
+    per-test timings — a machine-readable perf trajectory for future
+    PRs to compare against.
+    """
+    for module, records in sorted(_module_records.items()):
+        hits = sum(r["counters"].get("engine.cache_hits", 0) for r in records)
+        misses = sum(
+            r["counters"].get("engine.cache_misses", 0) for r in records
+        )
+        summary = {
+            "module": module,
+            "n_tests": len(records),
+            "median_seconds": round(
+                statistics.median(r["seconds"] for r in records), 6
+            ),
+            "total_seconds": round(sum(r["seconds"] for r in records), 6),
+            "cache": {
+                "hits": hits,
+                "misses": misses,
+                "hit_rate": round(hits / (hits + misses), 4)
+                if hits + misses
+                else None,
+            },
+            "tests": [
+                {"test": r["test"], "seconds": round(r["seconds"], 6)}
+                for r in records
+            ],
+        }
+        summary.update(_module_extras.get(module, {}))
+        path = os.path.join(SUMMARY_DIR, f"BENCH_{module}.json")
+        with open(path, "w") as fh:
+            json.dump(summary, fh, indent=2, sort_keys=True)
+            fh.write("\n")
 
 
 def pytest_configure(config):
@@ -94,6 +167,9 @@ def _bench_record(request, bench_telemetry):
         test=request.node.nodeid,
         seconds=round(seconds, 6),
         counters=delta,
+    )
+    _module_records.setdefault(_module_key(request.node.nodeid), []).append(
+        {"test": request.node.nodeid, "seconds": seconds, "counters": delta}
     )
 
 

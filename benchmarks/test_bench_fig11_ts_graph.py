@@ -27,13 +27,14 @@ def test_graph_construction(benchmark):
     assert graph.n_pipelines == 4 * 6 + 4 * 2 * 2 + 2
 
 
-def test_full_ts_graph_sweep(benchmark, sensor_frames):
+def test_full_ts_graph_sweep(benchmark, sensor_frames, bench_telemetry):
     X, y = sensor_frames
     graph = build_time_series_graph(fast=True, random_state=0)
     evaluator = GraphEvaluator(
         graph,
         cv=TimeSeriesSlidingSplit(n_splits=2, buffer_size=2),
         metric="rmse",
+        telemetry=bench_telemetry,
     )
     sweep = benchmark.pedantic(
         lambda: evaluator.evaluate(X, y, refit_best=False),

@@ -17,11 +17,12 @@ def test_pipeline_enumeration(benchmark):
     assert len(pipelines) == 36
 
 
-def test_full_graph_sweep(benchmark, regression_xy):
+def test_full_graph_sweep(benchmark, regression_xy, bench_telemetry):
     X, y = regression_xy
     graph = prepare_regression_graph(fast=True, k_best=4)
     evaluator = GraphEvaluator(
-        graph, cv=KFold(3, random_state=0), metric="rmse"
+        graph, cv=KFold(3, random_state=0), metric="rmse",
+        telemetry=bench_telemetry,
     )
     sweep = benchmark.pedantic(
         lambda: evaluator.evaluate(X, y, refit_best=False),

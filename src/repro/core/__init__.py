@@ -30,6 +30,14 @@ from repro.core.engine import (
     pipeline_prefix_key,
     resolve_executor,
 )
+from repro.core.procpool import (
+    ProcessExecutor,
+    SharedArraySpec,
+    ShmDataPlane,
+    WorkerBatchError,
+    WorkerJobError,
+    active_shared_segments,
+)
 from repro.core.evaluation import (
     EvaluationJob,
     EvaluationReport,
@@ -87,7 +95,13 @@ __all__ = [
     "Executor",
     "SerialExecutor",
     "ParallelExecutor",
+    "ProcessExecutor",
     "DistributedExecutor",
+    "SharedArraySpec",
+    "ShmDataPlane",
+    "WorkerJobError",
+    "WorkerBatchError",
+    "active_shared_segments",
     "PrefixCache",
     "PrefixCacheStats",
     "pipeline_prefix_key",

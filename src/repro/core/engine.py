@@ -19,7 +19,9 @@ This module centralizes all of that:
   transformer chains shared by multiple paths are fitted once per fold
   and the transformed data reused by every downstream estimator.
 * Pluggable executors: :class:`SerialExecutor` (in-order, in-process),
-  :class:`ParallelExecutor` (thread-pool fan-out), and
+  :class:`ParallelExecutor` (thread-pool fan-out),
+  :class:`~repro.core.procpool.ProcessExecutor` (GIL-free process
+  fan-out over a shared-memory data plane), and
   :class:`DistributedExecutor` (adapter over
   :class:`repro.distributed.scheduler.DistributedScheduler`).
 * :class:`ExecutionEngine` — owns the cache and the executor, runs jobs,
@@ -593,11 +595,14 @@ def resolve_executor(
     spec:
         ``None``/``"serial"`` → :class:`SerialExecutor`;
         ``"parallel"``/``"threads"`` → :class:`ParallelExecutor`;
+        ``"processes"``/``"process"`` →
+        :class:`~repro.core.procpool.ProcessExecutor`;
         an :class:`Executor` instance passes through; a
         :class:`DistributedScheduler`-like object (has ``execute`` and
         ``nodes``) wraps into a :class:`DistributedExecutor`.
     max_workers:
-        Thread count for the parallel executor (ignored otherwise).
+        Thread count for the parallel executor / process count for the
+        process executor (ignored otherwise).
 
     Returns
     -------
@@ -609,11 +614,16 @@ def resolve_executor(
         return SerialExecutor()
     if spec in ("parallel", "threads"):
         return ParallelExecutor(max_workers=max_workers)
+    if spec in ("processes", "process"):
+        from repro.core.procpool import ProcessExecutor
+
+        return ProcessExecutor(max_workers=max_workers)
     if hasattr(spec, "execute") and hasattr(spec, "nodes"):
         return DistributedExecutor(spec)
     raise ValueError(
-        f"cannot interpret {spec!r} as an executor; expected 'serial', "
-        "'parallel', an Executor instance, or a DistributedScheduler"
+        f"cannot interpret {spec!r} as an executor; expected None, "
+        "'serial', 'parallel' (alias 'threads'), 'processes' (alias "
+        "'process'), an Executor instance, or a DistributedScheduler"
     )
 
 
@@ -646,8 +656,11 @@ class ExecutionEngine:
     Parameters
     ----------
     executor:
-        ``"serial"`` (default), ``"parallel"``, an :class:`Executor`
-        instance, or a :class:`~repro.distributed.scheduler.DistributedScheduler`
+        ``"serial"`` (default), ``"parallel"`` (threads),
+        ``"processes"`` (a
+        :class:`~repro.core.procpool.ProcessExecutor` worker pool with
+        a shared-memory data plane), an :class:`Executor` instance, or
+        a :class:`~repro.distributed.scheduler.DistributedScheduler`
         (wrapped in a :class:`DistributedExecutor`).
     cache:
         ``True`` (default) for a fresh LRU :class:`PrefixCache`,
@@ -656,7 +669,8 @@ class ExecutionEngine:
     cache_size:
         LRU bound when the engine creates its own cache.
     max_workers:
-        Thread count for ``executor="parallel"``.
+        Thread count for ``executor="parallel"`` / process count for
+        ``executor="processes"``.
     telemetry:
         ``None`` (default, zero-overhead no-op), a
         :class:`~repro.obs.Telemetry` handle, or a sink/sink list.  When
@@ -769,10 +783,15 @@ class ExecutionEngine:
             executor=self.executor.name,
             n_jobs=len(ordered),
         ):
-            results = self.executor.run(
-                ordered,
-                lambda job: self._run(job, ctx, prefixes.get(job.key, _UNSET)),
-            )
+            if getattr(self.executor, "runs_engine_calls", False):
+                results = self._run_process_call(ordered, ctx, metric)
+            else:
+                results = self.executor.run(
+                    ordered,
+                    lambda job: self._run(
+                        job, ctx, prefixes.get(job.key, _UNSET)
+                    ),
+                )
         results = [result for result in results if result is not None]
         # Failures append in completion order (thread-dependent under the
         # parallel executor); report them in plan order.
@@ -937,6 +956,107 @@ class ExecutionEngine:
                         )
                     )
                 return None
+
+    def _run_process_call(
+        self, ordered: List[Any], ctx: _ExecutionContext, metric: Any
+    ) -> List[Any]:
+        """Run a batch through a process executor's shared-memory call.
+
+        The dataset crosses the process boundary once (shared-memory
+        blocks), jobs go out in size-balanced batches, and the failure
+        policy executes worker-side; the compact records that come back
+        are rebuilt into :class:`~repro.core.evaluation.PipelineResult`
+        objects here, where the ``result_hook`` / ``error_hook`` fire
+        exactly once per job, in plan order.  Per-worker prefix-cache
+        deltas merge into this engine's cache counters so
+        ``report.stats["cache"]`` and the ``engine.cache_*`` telemetry
+        stay comparable across executors.
+        """
+        policy = ctx.failure_policy
+        call = {
+            "X": ctx.X,
+            "y": ctx.y,
+            "splitter": ctx.splitter,
+            "metric": metric,
+            "policy": {
+                "on_error": policy.on_error,
+                "max_retries": policy.max_retries,
+                "backoff_base": policy.backoff_base,
+                "backoff_factor": policy.backoff_factor,
+                "jitter": policy.jitter,
+                "seed": policy.seed,
+            },
+            "fault_plan": getattr(self.fault_injector, "plan", None),
+            "cache_size": (
+                self.cache.max_entries if self.cache is not None else 0
+            ),
+        }
+        records, run_stats = self.executor.run_call(ordered, call)
+        from repro.core.evaluation import PipelineResult
+        from repro.core.procpool import WorkerJobError
+
+        tel = self._telemetry
+        results: List[Any] = []
+        for job, record in zip(ordered, records):
+            if record["ok"]:
+                cv_result = CrossValidationResult(
+                    metric=record["metric"],
+                    fold_scores=list(record["fold_scores"]),
+                    greater_is_better=record["greater"],
+                    fit_seconds=record["fit_seconds"],
+                )
+                result = PipelineResult(
+                    path=record["path"],
+                    params=dict(record["params"]),
+                    cv_result=cv_result,
+                    key=record["key"],
+                )
+                if ctx.result_hook is not None:
+                    ctx.result_hook(result)
+                results.append(result)
+                continue
+            exc = WorkerJobError(
+                f"{record['path']} failed in worker after "
+                f"{record['attempts']} attempt(s): {record['error']}"
+            )
+            if ctx.error_hook is not None:
+                ctx.error_hook(job, exc)
+            if policy.on_error == "raise":
+                raise exc
+            if record["attempts"] > 1:
+                tel.count("engine.job_retries", record["attempts"] - 1)
+            tel.count("engine.jobs_failed")
+            ctx.failures.append(
+                JobFailure(
+                    key=record["key"],
+                    path=record["path"],
+                    attempts=record["attempts"],
+                    error=record["error"],
+                )
+            )
+            results.append(None)
+        cache_delta = run_stats.get("cache") or {}
+        if self.cache is not None and cache_delta:
+            stats = self.cache.stats
+            stats.hits += cache_delta.get("hits", 0)
+            stats.misses += cache_delta.get("misses", 0)
+            stats.stores += cache_delta.get("stores", 0)
+            stats.evictions += cache_delta.get("evictions", 0)
+            stats.transformer_fits_saved += cache_delta.get(
+                "transformer_fits_saved", 0
+            )
+        if tel.enabled:
+            tel.count("engine.shm_bytes_shared", run_stats.get("shm_bytes", 0))
+            tel.count(
+                "engine.batches_dispatched",
+                run_stats.get("batches_dispatched", 0),
+            )
+            restarts = run_stats.get("worker_restarts", 0)
+            if restarts:
+                tel.count("engine.worker_restarts", restarts)
+            for worker, busy in run_stats.get("worker_busy", {}).items():
+                tel.count("engine.worker_busy_seconds", busy, key=worker)
+        return results
 
     def _run_inner(
         self, job: Any, ctx: _ExecutionContext, prefix_key: Any

@@ -1,0 +1,786 @@
+"""Process-parallel execution with a shared-memory data plane.
+
+The paper's TEG sweep is embarrassingly parallel and CPU-bound, yet the
+:class:`~repro.core.engine.ParallelExecutor` thread pool is throttled by
+the GIL for the pure-Python fit loops in :mod:`repro.ml` and
+:mod:`repro.nn`.  This module adds true process-level fan-out while
+keeping the engine's determinism and accounting contracts:
+
+* :class:`ShmDataPlane` — places ``X``/``y`` into
+  :mod:`multiprocessing.shared_memory` ndarray blocks **once per engine
+  call**; workers attach zero-copy views instead of re-pickling the
+  dataset with every job.  Every created segment is tracked in a
+  process-wide registry (:func:`active_shared_segments`) so tests can
+  assert nothing leaks into ``/dev/shm``.
+* :class:`ProcessExecutor` — a persistent worker pool (fork-server
+  start method where available, spawn otherwise) that dispatches jobs
+  in size-balanced contiguous batches (amortizing IPC round-trips and
+  keeping prefix-grouped jobs cache-hot worker-side), quarantines
+  crashed workers, re-dispatches their in-flight batches to survivors
+  and starts bounded replacements — mirroring the
+  :class:`~repro.distributed.scheduler.DistributedScheduler` recovery
+  semantics.
+* The worker runs each batch through a **serial**
+  :class:`~repro.core.engine.ExecutionEngine` of its own, so the
+  :class:`~repro.core.engine.FailurePolicy` retry/skip semantics, the
+  per-worker :class:`~repro.core.engine.PrefixCache`, and any shipped
+  fault plan behave exactly as they do in-process.  Results come back
+  as compact records (fold scores, timings, failure info) — never
+  fitted models; the winner is refit parent-side by
+  :meth:`~repro.core.evaluation.GraphEvaluator.evaluate` exactly as for
+  the other executors.
+
+Fault hooks (duck-typed, like every other ``fault_injector`` site):
+
+* ``procpool.dispatch`` — checked parent-side before a batch is handed
+  to a worker (attrs: ``worker``, ``batch``); a ``NodeCrashed`` fault
+  terminates that worker so chaos tests can kill workers
+  deterministically from the outside.
+* ``procpool.worker_batch`` — checked worker-side at batch start from a
+  fault plan shipped through the engine (attrs: ``worker``, ``batch``);
+  a ``NodeCrashed`` fault hard-exits the worker process mid-batch,
+  exercising the reap/re-dispatch path for real.
+* ``engine.run_job`` rules in a shipped plan fire inside each worker's
+  serial engine; rules matched on a specific job key replay exactly as
+  they would in-process because every attempt of a job runs in one
+  worker.
+
+This module never imports :mod:`repro.faults`; injected exception types
+are recognized duck-typed by class name, preserving the core/faults
+layering invariant.
+"""
+
+from __future__ import annotations
+
+import atexit
+import itertools
+import os
+import queue as queue_module
+import sys
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.engine import Executor
+
+__all__ = [
+    "SharedArraySpec",
+    "ShmDataPlane",
+    "ProcessExecutor",
+    "WorkerJobError",
+    "WorkerBatchError",
+    "NoHealthyWorkers",
+    "active_shared_segments",
+    "attach_shared_array",
+    "balanced_batches",
+]
+
+
+# ---------------------------------------------------------------------------
+# Errors
+# ---------------------------------------------------------------------------
+
+class WorkerJobError(RuntimeError):
+    """A job failed inside a worker under ``on_error="raise"``; carries
+    the worker-side error representation (the original exception object
+    stayed in the worker)."""
+
+
+class WorkerBatchError(RuntimeError):
+    """A worker hit an unexpected error outside the failure policy
+    (e.g. an unpicklable result or a corrupted payload)."""
+
+
+class NoHealthyWorkers(RuntimeError):
+    """Every worker died and the restart budget is exhausted; the batch
+    cannot make progress (the process analogue of the scheduler's
+    ``NoHealthyNodes``)."""
+
+
+# ---------------------------------------------------------------------------
+# Shared-memory data plane
+# ---------------------------------------------------------------------------
+
+_SEGMENTS_LOCK = threading.Lock()
+_LIVE_SEGMENTS: set = set()
+_SEGMENT_COUNTER = itertools.count()
+
+
+def active_shared_segments() -> List[str]:
+    """Names of shared-memory segments this process created and has not
+    yet unlinked — empty whenever no engine call is in flight.
+
+    Returns
+    -------
+    Sorted list of live segment names (the ``/dev/shm`` entry names).
+    """
+    with _SEGMENTS_LOCK:
+        return sorted(_LIVE_SEGMENTS)
+
+
+@dataclass(frozen=True)
+class SharedArraySpec:
+    """Picklable handle to one shared ndarray block.
+
+    Parameters
+    ----------
+    name:
+        Shared-memory segment name (``/dev/shm`` entry).
+    shape:
+        Array shape to reconstruct worker-side.
+    dtype:
+        Numpy dtype string (``arr.dtype.str``).
+    """
+
+    name: str
+    shape: Tuple[int, ...]
+    dtype: str
+
+    @property
+    def nbytes(self) -> int:
+        """Size of the described array in bytes."""
+        return int(np.prod(self.shape, dtype=np.int64)) * np.dtype(self.dtype).itemsize
+
+
+class ShmDataPlane:
+    """Owns the shared-memory blocks of one engine call.
+
+    ``share`` copies an array into a fresh segment exactly once;
+    ``close`` closes **and unlinks** every segment (idempotent, called
+    from a ``finally`` so normal completion, ``AllJobsFailed`` and
+    worker crashes all clean up).  Segment names are tracked in the
+    module registry for leak assertions.
+    """
+
+    def __init__(self) -> None:
+        self._blocks: List[Tuple[str, shared_memory.SharedMemory]] = []
+        self.nbytes = 0
+
+    def share(self, arr: np.ndarray) -> SharedArraySpec:
+        """Copy ``arr`` into a new shared segment and return its spec.
+
+        Parameters
+        ----------
+        arr:
+            Array to publish; made C-contiguous if it is not.
+
+        Returns
+        -------
+        A :class:`SharedArraySpec` workers attach with
+        :func:`attach_shared_array`.
+        """
+        arr = np.ascontiguousarray(arr)
+        shm = None
+        for _ in range(16):
+            name = f"repro-{os.getpid()}-{next(_SEGMENT_COUNTER)}"
+            try:
+                shm = shared_memory.SharedMemory(
+                    name=name, create=True, size=max(1, arr.nbytes)
+                )
+                break
+            except FileExistsError:  # stale segment from a dead process
+                continue
+        if shm is None:
+            raise RuntimeError("could not allocate a shared-memory segment")
+        view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf)
+        view[...] = arr
+        with _SEGMENTS_LOCK:
+            _LIVE_SEGMENTS.add(name)
+        self._blocks.append((name, shm))
+        self.nbytes += arr.nbytes
+        return SharedArraySpec(name=name, shape=arr.shape, dtype=arr.dtype.str)
+
+    def close(self) -> None:
+        """Close and unlink every owned segment (idempotent)."""
+        blocks, self._blocks = self._blocks, []
+        for name, shm in blocks:
+            try:
+                shm.close()
+            except OSError:
+                pass
+            try:
+                shm.unlink()
+            except FileNotFoundError:
+                pass
+            with _SEGMENTS_LOCK:
+                _LIVE_SEGMENTS.discard(name)
+
+    def __enter__(self) -> "ShmDataPlane":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+def attach_shared_array(
+    spec: SharedArraySpec,
+) -> Tuple[shared_memory.SharedMemory, np.ndarray]:
+    """Attach a zero-copy ndarray view of a shared segment.
+
+    Workers inherit the parent's ``resource_tracker`` process, so the
+    attach-side registration is an idempotent set-add and the parent's
+    :meth:`ShmDataPlane.close` performs the single unlink/unregister —
+    the worker must *not* unregister, or it would clobber the parent's
+    entry in the shared tracker.
+
+    Parameters
+    ----------
+    spec:
+        The segment handle produced by :meth:`ShmDataPlane.share`.
+
+    Returns
+    -------
+    ``(shm, array)`` — keep ``shm`` referenced as long as ``array`` is
+    alive; ``shm.close()`` detaches.
+    """
+    shm = shared_memory.SharedMemory(name=spec.name)
+    arr = np.ndarray(spec.shape, dtype=np.dtype(spec.dtype), buffer=shm.buf)
+    return shm, arr
+
+
+# ---------------------------------------------------------------------------
+# Batching
+# ---------------------------------------------------------------------------
+
+def balanced_batches(items: Sequence[Any], n_batches: int) -> List[List[Any]]:
+    """Split ``items`` into at most ``n_batches`` contiguous batches
+    whose sizes differ by at most one.
+
+    Contiguity matters: the engine orders jobs by shared transformer
+    prefix, so contiguous chunks keep each worker's prefix cache hot,
+    while near-equal sizes keep the pool load-balanced.
+
+    Parameters
+    ----------
+    items:
+        Ordered work items.
+    n_batches:
+        Desired batch count (clamped to ``len(items)``).
+
+    Returns
+    -------
+    List of non-empty batches preserving the input order.
+    """
+    items = list(items)
+    if not items:
+        return []
+    n_batches = max(1, min(n_batches, len(items)))
+    base, extra = divmod(len(items), n_batches)
+    batches: List[List[Any]] = []
+    start = 0
+    for index in range(n_batches):
+        size = base + (1 if index < extra else 0)
+        batches.append(items[start:start + size])
+        start += size
+    return batches
+
+
+# ---------------------------------------------------------------------------
+# Worker side
+# ---------------------------------------------------------------------------
+
+def _is_injected_crash(exc: BaseException) -> bool:
+    """Duck-typed NodeCrashed detection (core never imports faults)."""
+    return type(exc).__name__ == "NodeCrashed"
+
+
+class _WorkerCallState:
+    """Per-call worker state: the serial engine, its cache, attached
+    shared arrays and the call's fault injector."""
+
+    def __init__(self, payload: Dict[str, Any]):
+        from repro.core.engine import ExecutionEngine, FailurePolicy
+
+        policy = dict(payload["policy"])
+        # "raise" aborts the batch parent-side; worker-side every
+        # failure must come back as a record, so map it to skip.
+        if policy.get("on_error") == "raise":
+            policy["on_error"] = "skip"
+            policy["max_retries"] = 0
+        cache_size = int(payload.get("cache_size") or 0)
+        self.engine = ExecutionEngine(
+            executor="serial",
+            cache=cache_size > 0,
+            cache_size=max(1, cache_size),
+            failure_policy=FailurePolicy(**policy),
+        )
+        plan = payload.get("fault_plan")
+        self.injector = plan.injector() if plan is not None else None
+        self.engine.fault_injector = self.injector
+        self.splitter = payload["splitter"]
+        self.metric = payload["metric"]
+        self._x_shm, self.X = attach_shared_array(payload["x"])
+        self._y_shm, self.y = attach_shared_array(payload["y"])
+
+    def cache_counters(self) -> Tuple[int, int, int, int, int]:
+        cache = self.engine.cache
+        if cache is None:
+            return (0, 0, 0, 0, 0)
+        stats = cache.stats
+        return (
+            stats.hits,
+            stats.misses,
+            stats.stores,
+            stats.evictions,
+            stats.transformer_fits_saved,
+        )
+
+    def close(self) -> None:
+        for shm in (self._x_shm, self._y_shm):
+            try:
+                shm.close()
+            except OSError:
+                pass
+
+
+def _result_record(result: Any) -> Dict[str, Any]:
+    return {
+        "ok": True,
+        "key": result.key,
+        "path": result.path,
+        "params": dict(result.params),
+        "metric": result.cv_result.metric,
+        "greater": result.cv_result.greater_is_better,
+        "fold_scores": [float(s) for s in result.cv_result.fold_scores],
+        "fit_seconds": float(result.cv_result.fit_seconds),
+    }
+
+
+def _failure_record(failure: Any) -> Dict[str, Any]:
+    return {
+        "ok": False,
+        "key": failure.key,
+        "path": failure.path,
+        "attempts": failure.attempts,
+        "error": failure.error,
+    }
+
+
+def _run_worker_batch(
+    state: _WorkerCallState, worker_name: str, batch_index: int, jobs: List[Any]
+) -> List[Dict[str, Any]]:
+    from repro.core.engine import AllJobsFailed
+
+    if state.injector is not None:
+        try:
+            state.injector.check(
+                "procpool.worker_batch",
+                worker=worker_name,
+                batch=str(batch_index),
+            )
+        except Exception as exc:
+            if _is_injected_crash(exc):
+                os._exit(13)  # simulate the process dying mid-batch
+            raise
+    try:
+        results = state.engine.execute(
+            jobs, state.X, state.y, cv=state.splitter, metric=state.metric
+        )
+    except AllJobsFailed:
+        results = []
+    by_key = {result.key: result for result in results}
+    failed = {failure.key: failure for failure in state.engine.last_failures}
+    records: List[Dict[str, Any]] = []
+    for job in jobs:
+        if job.key in by_key:
+            records.append(_result_record(by_key[job.key]))
+        elif job.key in failed:
+            records.append(_failure_record(failed[job.key]))
+        else:  # pragma: no cover - engine returns or records every job
+            records.append(
+                {
+                    "ok": False,
+                    "key": job.key,
+                    "path": job.path,
+                    "attempts": 0,
+                    "error": "job produced neither result nor failure",
+                }
+            )
+    return records
+
+
+def _worker_main(
+    worker_name: str,
+    parent_sys_path: List[str],
+    task_queue: Any,
+    result_queue: Any,
+) -> None:
+    """Worker loop: attach data, run batches, return compact records.
+
+    ``parent_sys_path`` replays the parent's import paths so job
+    payloads referencing modules outside ``PYTHONPATH`` (e.g. test
+    modules) unpickle under the spawn start method.
+    """
+    for entry in parent_sys_path:
+        if entry not in sys.path:
+            sys.path.append(entry)
+    calls: Dict[Any, _WorkerCallState] = {}
+    try:
+        while True:
+            message = task_queue.get()
+            if message[0] == "stop":
+                break
+            _, token, batch_index, jobs, payload = message
+            started = time.perf_counter()
+            try:
+                state = calls.get(token)
+                if state is None:
+                    # one live call at a time per engine: drop older state
+                    for stale in calls.values():
+                        stale.close()
+                    calls.clear()
+                    state = _WorkerCallState(payload)
+                    calls[token] = state
+                before = state.cache_counters()
+                records = _run_worker_batch(
+                    state, worker_name, batch_index, jobs
+                )
+                after = state.cache_counters()
+                stats = {
+                    "busy_seconds": time.perf_counter() - started,
+                    "cache": {
+                        "hits": after[0] - before[0],
+                        "misses": after[1] - before[1],
+                        "stores": after[2] - before[2],
+                        "evictions": after[3] - before[3],
+                        "transformer_fits_saved": after[4] - before[4],
+                    },
+                    "faults_fired": (
+                        len(state.injector.events)
+                        if state.injector is not None
+                        else 0
+                    ),
+                }
+                result_queue.put(
+                    ("result", worker_name, batch_index, records, stats)
+                )
+            except Exception as exc:  # unexpected: not policy-handled
+                result_queue.put(
+                    ("fatal", worker_name, batch_index, repr(exc))
+                )
+    except (EOFError, OSError, KeyboardInterrupt):
+        pass
+    finally:
+        for state in calls.values():
+            state.close()
+
+
+# ---------------------------------------------------------------------------
+# Parent side: the executor
+# ---------------------------------------------------------------------------
+
+class _Worker:
+    """Parent-side handle to one worker process and its task queue."""
+
+    __slots__ = ("name", "process", "task_queue")
+
+    def __init__(self, name: str, process: Any, task_queue: Any):
+        self.name = name
+        self.process = process
+        self.task_queue = task_queue
+
+
+class ProcessExecutor(Executor):
+    """Persistent multiprocessing pool with a shared-memory data plane.
+
+    Composes with the :class:`~repro.core.engine.ExecutionEngine`
+    through :meth:`run_call` (the engine detects the
+    ``runs_engine_calls`` capability): the dataset is shared once per
+    call, jobs go out in size-balanced batches, and compact result /
+    failure records come back in job order, so reports are identical to
+    the serial executor's for deterministic pipelines.
+
+    Recovery mirrors the distributed scheduler: a dead worker is
+    quarantined, its in-flight batch re-dispatched to survivors, and a
+    bounded number of replacement workers are started
+    (``max_worker_restarts``); :class:`NoHealthyWorkers` is raised when
+    nothing is left to run on.
+
+    Parameters
+    ----------
+    max_workers:
+        Worker process count; default ``min(4, cpu_count)``.
+    batches_per_worker:
+        Dispatch granularity: jobs are split into about
+        ``max_workers * batches_per_worker`` batches — more batches
+        balance load, fewer amortize IPC (default 2).
+    start_method:
+        ``"forkserver"`` (default where available), ``"spawn"``, or
+        ``"fork"``; override with the ``REPRO_MP_START`` environment
+        variable.
+    max_worker_restarts:
+        Replacement workers started per executor before crashed workers
+        are only quarantined (default 3).
+    poll_interval:
+        Seconds between result-queue polls and liveness checks.
+    """
+
+    name = "processes"
+    #: Capability flag the engine checks to route batched calls here.
+    runs_engine_calls = True
+
+    def __init__(
+        self,
+        max_workers: Optional[int] = None,
+        batches_per_worker: int = 2,
+        start_method: Optional[str] = None,
+        max_worker_restarts: int = 3,
+        poll_interval: float = 0.05,
+    ):
+        if max_workers is not None and max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        if batches_per_worker < 1:
+            raise ValueError("batches_per_worker must be >= 1")
+        if max_worker_restarts < 0:
+            raise ValueError("max_worker_restarts must be >= 0")
+        self.max_workers = max_workers or min(4, os.cpu_count() or 1)
+        self.batches_per_worker = batches_per_worker
+        self.max_worker_restarts = max_worker_restarts
+        self.poll_interval = poll_interval
+        start = start_method or os.environ.get("REPRO_MP_START")
+        if start is None:
+            import multiprocessing as mp
+
+            methods = mp.get_all_start_methods()
+            start = "forkserver" if "forkserver" in methods else "spawn"
+        self.start_method = start
+        #: Hook point (site ``procpool.dispatch``); ``None`` in
+        #: production.  A ``NodeCrashed`` fault kills the target worker.
+        self.fault_injector: Any = None
+        #: Accounting of the most recent :meth:`run_call`.
+        self.last_stats: Dict[str, Any] = {}
+        self._ctx: Any = None
+        self._workers: Dict[str, _Worker] = {}
+        self._result_queue: Any = None
+        self._worker_counter = itertools.count()
+        self._call_counter = itertools.count()
+        self._atexit_registered = False
+
+    # -- pool management ----------------------------------------------------
+    def _context(self) -> Any:
+        if self._ctx is None:
+            import multiprocessing as mp
+
+            self._ctx = mp.get_context(self.start_method)
+            self._result_queue = self._ctx.Queue()
+        return self._ctx
+
+    def _start_worker(self) -> _Worker:
+        ctx = self._context()
+        name = f"pw{next(self._worker_counter)}"
+        task_queue = ctx.Queue()
+        process = ctx.Process(
+            target=_worker_main,
+            args=(name, list(sys.path), task_queue, self._result_queue),
+            name=f"repro-{name}",
+            daemon=True,
+        )
+        process.start()
+        worker = _Worker(name, process, task_queue)
+        self._workers[name] = worker
+        return worker
+
+    def _ensure_pool(self) -> None:
+        self._context()
+        if not self._atexit_registered:
+            atexit.register(self.shutdown)
+            self._atexit_registered = True
+        while len(self._workers) < self.max_workers:
+            self._start_worker()
+
+    @property
+    def n_workers(self) -> int:
+        """Live worker processes currently in the pool."""
+        return len(self._workers)
+
+    def shutdown(self) -> None:
+        """Stop every worker (the pool restarts lazily on next use)."""
+        workers, self._workers = dict(self._workers), {}
+        for worker in workers.values():
+            try:
+                worker.task_queue.put(("stop",))
+            except (OSError, ValueError):
+                pass
+        deadline = time.monotonic() + 2.0
+        for worker in workers.values():
+            worker.process.join(timeout=max(0.0, deadline - time.monotonic()))
+            if worker.process.is_alive():
+                worker.process.terminate()
+                worker.process.join(timeout=1.0)
+
+    # -- Executor interface -------------------------------------------------
+    def run(self, jobs, run_one):
+        """Fallback for engine-less use: run the thunks serially.
+
+        Process fan-out needs the engine's picklable call payload (see
+        :meth:`run_call`); a bare closure cannot cross a process
+        boundary, so this degrades to in-order execution.
+        """
+        return [run_one(job) for job in jobs]
+
+    # -- engine entry point -------------------------------------------------
+    def run_call(
+        self, jobs: Sequence[Any], call: Dict[str, Any]
+    ) -> Tuple[List[Dict[str, Any]], Dict[str, Any]]:
+        """Execute one engine call over the worker pool.
+
+        Parameters
+        ----------
+        jobs:
+            Ordered (prefix-grouped) evaluation jobs.
+        call:
+            Engine payload: ``X``/``y`` arrays, ``splitter``, ``metric``,
+            ``policy`` (FailurePolicy kwargs), optional ``fault_plan``
+            and the per-worker ``cache_size``.
+
+        Returns
+        -------
+        ``(records, stats)`` — one compact record per job **in job
+        order** (``{"ok": True, fold scores, timings}`` or ``{"ok":
+        False, attempts, error}``), plus pool accounting
+        (``shm_bytes``, ``batches_dispatched``, ``worker_restarts``,
+        ``worker_busy`` seconds per worker, merged ``cache`` deltas).
+        """
+        jobs = list(jobs)
+        stats: Dict[str, Any] = {
+            "shm_bytes": 0,
+            "batches_dispatched": 0,
+            "worker_restarts": 0,
+            "worker_busy": {},
+            "faults_fired": 0,
+            "cache": {
+                "hits": 0,
+                "misses": 0,
+                "stores": 0,
+                "evictions": 0,
+                "transformer_fits_saved": 0,
+            },
+        }
+        self.last_stats = stats
+        if not jobs:
+            return [], stats
+        self._ensure_pool()
+        batches = balanced_batches(
+            jobs, self.max_workers * self.batches_per_worker
+        )
+        token = next(self._call_counter)
+        plane = ShmDataPlane()
+        try:
+            payload = {
+                "x": plane.share(call["X"]),
+                "y": plane.share(call["y"]),
+                "splitter": call["splitter"],
+                "metric": call["metric"],
+                "policy": call["policy"],
+                "fault_plan": call.get("fault_plan"),
+                "cache_size": call.get("cache_size", 0),
+            }
+            stats["shm_bytes"] = plane.nbytes
+            completed = self._dispatch(token, batches, payload, stats)
+        finally:
+            plane.close()
+        records = [
+            record
+            for index in range(len(batches))
+            for record in completed[index]
+        ]
+        return records, stats
+
+    # -- dispatch loop ------------------------------------------------------
+    def _kill_if_dispatch_fault(self, worker: _Worker, batch_index: int) -> bool:
+        """Consult the parent-side fault hook; on an injected crash,
+        terminate the worker and report True (the batch stays pending)."""
+        if self.fault_injector is None:
+            return False
+        try:
+            self.fault_injector.check(
+                "procpool.dispatch",
+                worker=worker.name,
+                batch=str(batch_index),
+            )
+        except Exception as exc:
+            if _is_injected_crash(exc):
+                worker.process.terminate()
+                worker.process.join(timeout=5.0)
+                return True
+            raise
+        return False
+
+    def _dispatch(
+        self,
+        token: Any,
+        batches: List[List[Any]],
+        payload: Dict[str, Any],
+        stats: Dict[str, Any],
+    ) -> Dict[int, List[Dict[str, Any]]]:
+        pending: deque = deque(range(len(batches)))
+        in_flight: Dict[str, int] = {}
+        completed: Dict[int, List[Dict[str, Any]]] = {}
+        restarts = 0
+        while len(completed) < len(batches):
+            # hand pending batches to idle workers
+            for worker in list(self._workers.values()):
+                if not pending:
+                    break
+                if worker.name in in_flight:
+                    continue
+                batch_index = pending.popleft()
+                if self._kill_if_dispatch_fault(worker, batch_index):
+                    pending.appendleft(batch_index)
+                    continue
+                worker.task_queue.put(
+                    ("batch", token, batch_index, batches[batch_index], payload)
+                )
+                in_flight[worker.name] = batch_index
+                stats["batches_dispatched"] += 1
+            # collect one message (or time out and reap the dead)
+            try:
+                message = self._result_queue.get(timeout=self.poll_interval)
+            except queue_module.Empty:
+                message = None
+            if message is not None:
+                kind = message[0]
+                if kind == "result":
+                    _, worker_name, batch_index, records, batch_stats = message
+                    completed[batch_index] = records
+                    in_flight.pop(worker_name, None)
+                    busy = stats["worker_busy"]
+                    busy[worker_name] = (
+                        busy.get(worker_name, 0.0)
+                        + batch_stats["busy_seconds"]
+                    )
+                    for counter, delta in batch_stats["cache"].items():
+                        stats["cache"][counter] += delta
+                    stats["faults_fired"] = max(
+                        stats["faults_fired"], batch_stats["faults_fired"]
+                    )
+                elif kind == "fatal":
+                    _, worker_name, batch_index, error = message
+                    raise WorkerBatchError(
+                        f"worker {worker_name} failed on batch "
+                        f"{batch_index}: {error}"
+                    )
+            # quarantine dead workers; re-dispatch their in-flight work
+            for worker in list(self._workers.values()):
+                if worker.process.is_alive():
+                    continue
+                del self._workers[worker.name]
+                lost = in_flight.pop(worker.name, None)
+                if lost is not None and lost not in completed:
+                    pending.appendleft(lost)
+                if restarts < self.max_worker_restarts:
+                    restarts += 1
+                    stats["worker_restarts"] += 1
+                    self._start_worker()
+            if not self._workers and (pending or in_flight):
+                raise NoHealthyWorkers(
+                    f"all workers died with {len(pending) + len(in_flight)} "
+                    "batch(es) outstanding and the restart budget "
+                    f"({self.max_worker_restarts}) exhausted"
+                )
+        return completed

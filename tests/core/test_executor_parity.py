@@ -1,0 +1,202 @@
+"""Executor-parity suite: serial, threads and processes must agree.
+
+Extends the determinism contract promised in ``ParallelExecutor``'s
+docstring to the process executor: on a seeded 12-path graph all three
+executors return the identical winner path, identical per-job scores
+(exact — every estimator here is deterministic), and identical
+``report.stats["failures"]`` records in identical order.
+
+Two environment knobs drive the CI matrices:
+
+* ``REPRO_EXECUTOR`` — when set (``serial``/``parallel``/``processes``)
+  only that executor is compared against the serial baseline, so the
+  ``executor-matrix`` CI job isolates one executor per leg.
+* ``FAULT_SEED`` — selects which jobs the chaos case poisons, mirroring
+  ``tests/faults/test_chaos.py``; the chaos CI matrix sweeps it.
+"""
+
+import os
+
+import pytest
+
+from repro.core import (
+    ExecutionEngine,
+    FailurePolicy,
+    GraphEvaluator,
+    ProcessExecutor,
+    TransformerEstimatorGraph,
+)
+from repro.datasets import make_regression
+from repro.faults import FaultPlan
+from repro.ml.linear import LinearRegression, RidgeRegression
+from repro.ml.model_selection import KFold
+from repro.ml.neighbors import KNeighborsRegressor
+from repro.ml.preprocessing import MinMaxScaler, NoOp, StandardScaler
+from repro.ml.tree import DecisionTreeRegressor
+
+FAULT_SEED = int(os.environ.get("FAULT_SEED", "0"))
+_ENV_EXECUTOR = os.environ.get("REPRO_EXECUTOR")
+COMPARED = [_ENV_EXECUTOR] if _ENV_EXECUTOR else ["serial", "parallel", "processes"]
+
+
+def build_graph():
+    """The seeded 12-path graph (3 scalers x 4 deterministic models)."""
+    graph = TransformerEstimatorGraph()
+    graph.add_feature_scalers([StandardScaler(), MinMaxScaler(), NoOp()])
+    graph.add_regression_models(
+        [
+            LinearRegression(),
+            RidgeRegression(alpha=1.0),
+            DecisionTreeRegressor(max_depth=3, random_state=0),
+            KNeighborsRegressor(n_neighbors=5),
+        ]
+    )
+    return graph
+
+
+@pytest.fixture(scope="module")
+def data():
+    return make_regression(
+        n_samples=120, n_features=8, n_informative=5, noise=0.1,
+        random_state=0,
+    )
+
+
+@pytest.fixture(scope="module")
+def process_pool():
+    executor = ProcessExecutor(max_workers=2, batches_per_worker=2)
+    yield executor
+    executor.shutdown()
+
+
+def make_engine(executor_name, process_pool, **engine_kwargs):
+    if executor_name == "processes":
+        return ExecutionEngine(executor=process_pool, **engine_kwargs)
+    return ExecutionEngine(executor=executor_name, **engine_kwargs)
+
+
+def run_sweep(executor_name, process_pool, X, y, fault_rules=None, policy=None):
+    """One full evaluation of the 12-path graph on ``executor_name``."""
+    engine = make_engine(
+        executor_name,
+        process_pool,
+        failure_policy=policy,
+    )
+    if fault_rules is not None:
+        engine.fault_injector = FaultPlan(
+            rules=fault_rules, seed=FAULT_SEED
+        ).injector()
+    evaluator = GraphEvaluator(
+        build_graph(), cv=KFold(2, random_state=0), engine=engine
+    )
+    return evaluator.evaluate(X, y, refit_best=False)
+
+
+@pytest.fixture(scope="module")
+def serial_baseline(data):
+    X, y = data
+    return run_sweep("serial", None, X, y)
+
+
+class TestCleanParity:
+    @pytest.fixture(scope="class", params=COMPARED)
+    def compared(self, request, data, process_pool):
+        X, y = data
+        return run_sweep(request.param, process_pool, X, y)
+
+    def test_graph_is_wide_enough(self, serial_baseline):
+        assert len(serial_baseline.results) == 12
+
+    def test_identical_winner_path(self, serial_baseline, compared):
+        assert compared.best_path == serial_baseline.best_path
+        assert compared.best_params == serial_baseline.best_params
+
+    def test_identical_scores_exact(self, serial_baseline, compared):
+        baseline = {r.key: r.cv_result.fold_scores for r in serial_baseline.results}
+        other = {r.key: r.cv_result.fold_scores for r in compared.results}
+        assert other == baseline  # exact float equality, per-fold
+
+    def test_identical_result_order(self, serial_baseline, compared):
+        assert [r.key for r in compared.results] == [
+            r.key for r in serial_baseline.results
+        ]
+
+    def test_no_failures_recorded(self, serial_baseline, compared):
+        assert serial_baseline.stats["failures"] == []
+        assert compared.stats["failures"] == []
+
+
+class TestChaosParity:
+    """Same winner / scores / failure records under seeded faults.
+
+    The fault plan poisons two seed-chosen non-winner jobs — one
+    transient (recovers under retry) and one permanent (skipped and
+    recorded) — exactly as ``tests/faults/test_chaos.py`` does.  The
+    records must match across executors byte-for-byte, including the
+    attempt counts and error strings produced worker-side.
+    """
+
+    @pytest.fixture(scope="class")
+    def fault_setup(self, data, serial_baseline):
+        X, y = data
+        keys = [
+            job.key
+            for job in GraphEvaluator(
+                build_graph(), cv=KFold(2, random_state=0)
+            ).iter_jobs(X, y)
+        ]
+        winner_key = serial_baseline.best_result().key
+        plan = FaultPlan(seed=FAULT_SEED)
+        transient_key, permanent_key = plan.sample(
+            [key for key in keys if key != winner_key], 2
+        )
+        plan.add(
+            "engine.run_job", "transient", match=transient_key, times=2
+        )
+        plan.add(
+            "engine.run_job", "transient", match=permanent_key, times=None
+        )
+        policy = FailurePolicy(
+            on_error="retry", max_retries=3, backoff_base=0.0,
+            seed=FAULT_SEED,
+        )
+        return plan.rules, policy, transient_key, permanent_key
+
+    @pytest.fixture(scope="class")
+    def chaos_serial(self, data, fault_setup):
+        X, y = data
+        rules, policy, _, _ = fault_setup
+        return run_sweep("serial", None, X, y, fault_rules=rules, policy=policy)
+
+    @pytest.fixture(scope="class", params=COMPARED)
+    def chaos_compared(self, request, data, process_pool, fault_setup):
+        X, y = data
+        rules, policy, _, _ = fault_setup
+        return run_sweep(
+            request.param, process_pool, X, y,
+            fault_rules=rules, policy=policy,
+        )
+
+    def test_transient_recovers_permanent_recorded(
+        self, chaos_serial, fault_setup
+    ):
+        _, _, transient_key, permanent_key = fault_setup
+        [failure] = chaos_serial.stats["failures"]
+        assert failure["key"] == permanent_key
+        assert failure["attempts"] == 4  # 1 try + 3 retries
+        assert transient_key in {r.key for r in chaos_serial.results}
+
+    def test_identical_failure_records_and_order(
+        self, chaos_serial, chaos_compared
+    ):
+        assert chaos_compared.stats["failures"] == chaos_serial.stats["failures"]
+
+    def test_identical_winner_and_scores(self, chaos_serial, chaos_compared):
+        assert chaos_compared.best_path == chaos_serial.best_path
+        baseline = {r.key: r.cv_result.fold_scores for r in chaos_serial.results}
+        other = {r.key: r.cv_result.fold_scores for r in chaos_compared.results}
+        assert other == baseline
+
+    def test_one_job_missing_from_results(self, chaos_serial, chaos_compared):
+        assert len(chaos_serial.results) == 11
+        assert len(chaos_compared.results) == 11

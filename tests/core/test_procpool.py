@@ -1,0 +1,160 @@
+"""Unit tests for the process-pool building blocks.
+
+The end-to-end behaviour (parity with the serial executor, crash
+recovery, segment lifecycle) lives in ``test_executor_parity.py`` and
+``test_shm_lifecycle.py``; this module covers the pieces in isolation:
+batching, the shared-memory data plane, and executor resolution.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import (
+    ParallelExecutor,
+    SerialExecutor,
+    resolve_executor,
+)
+from repro.core.procpool import (
+    ProcessExecutor,
+    ShmDataPlane,
+    active_shared_segments,
+    attach_shared_array,
+    balanced_batches,
+)
+
+
+class TestBalancedBatches:
+    def test_sizes_differ_by_at_most_one(self):
+        batches = balanced_batches(list(range(10)), 3)
+        sizes = [len(b) for b in batches]
+        assert sum(sizes) == 10
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_preserves_order_and_contiguity(self):
+        items = list(range(7))
+        batches = balanced_batches(items, 3)
+        assert [x for batch in batches for x in batch] == items
+        # contiguous chunks: each batch is a slice of the input
+        position = 0
+        for batch in batches:
+            assert batch == items[position:position + len(batch)]
+            position += len(batch)
+
+    def test_clamps_to_item_count(self):
+        assert len(balanced_batches([1, 2], 8)) == 2
+        assert balanced_batches([], 4) == []
+        assert balanced_batches([1], 1) == [[1]]
+
+    def test_no_empty_batches(self):
+        for n_items in range(1, 12):
+            for n_batches in range(1, 12):
+                batches = balanced_batches(list(range(n_items)), n_batches)
+                assert all(batches)
+
+
+class TestShmDataPlane:
+    def test_share_attach_roundtrip(self):
+        plane = ShmDataPlane()
+        original = np.arange(24, dtype=float).reshape(6, 4)
+        try:
+            spec = plane.share(original)
+            assert spec.nbytes == original.nbytes
+            assert spec.name in active_shared_segments()
+            shm, view = attach_shared_array(spec)
+            try:
+                np.testing.assert_array_equal(view, original)
+                assert view.dtype == original.dtype
+            finally:
+                shm.close()
+        finally:
+            plane.close()
+        assert spec.name not in active_shared_segments()
+
+    def test_close_is_idempotent_and_clears_registry(self):
+        plane = ShmDataPlane()
+        specs = [plane.share(np.ones(5)), plane.share(np.zeros((3, 2)))]
+        assert plane.nbytes == sum(s.nbytes for s in specs)
+        plane.close()
+        plane.close()
+        live = set(active_shared_segments())
+        assert not live.intersection({s.name for s in specs})
+
+    def test_context_manager_unlinks_on_error(self):
+        with pytest.raises(RuntimeError, match="boom"):
+            with ShmDataPlane() as plane:
+                spec = plane.share(np.ones(3))
+                raise RuntimeError("boom")
+        assert spec.name not in active_shared_segments()
+
+    def test_non_contiguous_input_is_copied_correctly(self):
+        base = np.arange(30, dtype=float).reshape(5, 6)
+        sliced = base[:, ::2]  # non-contiguous view
+        plane = ShmDataPlane()
+        try:
+            shm, view = attach_shared_array(plane.share(sliced))
+            try:
+                np.testing.assert_array_equal(view, sliced)
+            finally:
+                shm.close()
+        finally:
+            plane.close()
+
+
+class TestResolveExecutor:
+    def test_process_specs(self):
+        for spec in ("processes", "process"):
+            executor = resolve_executor(spec, max_workers=3)
+            assert isinstance(executor, ProcessExecutor)
+            assert executor.max_workers == 3
+            assert executor.name == "processes"
+
+    def test_thread_alias_still_resolves(self):
+        assert isinstance(resolve_executor("threads"), ParallelExecutor)
+        assert isinstance(resolve_executor("parallel"), ParallelExecutor)
+        assert isinstance(resolve_executor("serial"), SerialExecutor)
+        assert isinstance(resolve_executor(None), SerialExecutor)
+
+    def test_instance_passes_through(self):
+        executor = ProcessExecutor(max_workers=1)
+        assert resolve_executor(executor) is executor
+
+    def test_error_message_lists_every_accepted_spec(self):
+        with pytest.raises(ValueError) as excinfo:
+            resolve_executor("warp-drive")
+        message = str(excinfo.value)
+        for accepted in (
+            "None", "'serial'", "'parallel'", "'threads'", "'processes'",
+            "'process'", "Executor instance", "DistributedScheduler",
+        ):
+            assert accepted in message
+
+
+class TestProcessExecutorConstruction:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ProcessExecutor(max_workers=0)
+        with pytest.raises(ValueError):
+            ProcessExecutor(batches_per_worker=0)
+        with pytest.raises(ValueError):
+            ProcessExecutor(max_worker_restarts=-1)
+
+    def test_run_falls_back_to_serial_for_bare_thunks(self):
+        # closures cannot cross a process boundary; the Executor.run
+        # contract degrades to in-order execution without a pool
+        executor = ProcessExecutor(max_workers=2)
+        calls = []
+        out = executor.run([1, 2, 3], lambda item: calls.append(item) or item * 2)
+        assert out == [2, 4, 6]
+        assert calls == [1, 2, 3]
+        assert executor.n_workers == 0  # no processes were started
+
+    def test_empty_call_short_circuits(self):
+        executor = ProcessExecutor(max_workers=2)
+        records, stats = executor.run_call([], {})
+        assert records == []
+        assert stats["batches_dispatched"] == 0
+        assert executor.n_workers == 0
+
+    def test_capability_flag(self):
+        assert ProcessExecutor(max_workers=1).runs_engine_calls is True
+        assert not getattr(SerialExecutor(), "runs_engine_calls", False)

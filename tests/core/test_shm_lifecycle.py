@@ -1,0 +1,113 @@
+"""Shared-memory lifecycle: no segment outlives its engine run.
+
+``ShmDataPlane`` places X/y into POSIX shared memory once per
+``ExecutionEngine`` run; these tests pin the cleanup contract on every
+exit path — normal completion, a sweep that dies with ``AllJobsFailed``,
+a worker hard-killed mid-batch, and a parent-side dispatch kill.  Leak
+detection is double-layered: the in-process registry
+(``active_shared_segments``) must be empty AND no ``repro-<pid>-*``
+file may remain under ``/dev/shm``.
+"""
+
+import os
+
+import pytest
+
+from repro.core import (
+    AllJobsFailed,
+    ExecutionEngine,
+    GraphEvaluator,
+    ProcessExecutor,
+    TransformerEstimatorGraph,
+    active_shared_segments,
+)
+from repro.datasets import make_regression
+from repro.faults import FaultPlan
+from repro.ml.linear import LinearRegression, RidgeRegression
+from repro.ml.model_selection import KFold
+from repro.ml.preprocessing import MinMaxScaler, NoOp, StandardScaler
+
+
+def build_graph():
+    """3 scalers x 2 fast estimators = 6 cheap pipeline paths."""
+    graph = TransformerEstimatorGraph()
+    graph.add_feature_scalers([StandardScaler(), MinMaxScaler(), NoOp()])
+    graph.add_regression_models([LinearRegression(), RidgeRegression(alpha=1.0)])
+    return graph
+
+
+def dev_shm_leaks():
+    """Segments of THIS process left behind on the shm filesystem."""
+    prefix = f"repro-{os.getpid()}-"
+    if not os.path.isdir("/dev/shm"):
+        return []  # non-Linux: the registry check still applies
+    return sorted(n for n in os.listdir("/dev/shm") if n.startswith(prefix))
+
+
+def assert_no_leaks():
+    assert active_shared_segments() == []
+    assert dev_shm_leaks() == []
+
+
+@pytest.fixture(scope="module")
+def data():
+    return make_regression(
+        n_samples=60, n_features=6, n_informative=4, noise=0.1,
+        random_state=0,
+    )
+
+
+@pytest.fixture
+def pool():
+    """A fresh pool per test: worker names restart at ``pw0`` so the
+    ``match='pw0'`` fault rules below target a live worker."""
+    executor = ProcessExecutor(max_workers=2, batches_per_worker=2)
+    yield executor
+    executor.shutdown()
+
+
+def evaluate(engine, X, y):
+    return GraphEvaluator(
+        build_graph(), cv=KFold(2, random_state=0), engine=engine
+    ).evaluate(X, y, refit_best=False)
+
+
+class TestShmLifecycle:
+    def test_unlinked_on_normal_completion(self, pool, data):
+        X, y = data
+        report = evaluate(ExecutionEngine(executor=pool), X, y)
+        assert len(report.results) == 6
+        assert_no_leaks()
+
+    def test_unlinked_when_all_jobs_fail(self, pool, data):
+        X, y = data
+        engine = ExecutionEngine(executor=pool, failure_policy="skip")
+        plan = FaultPlan(seed=0)
+        plan.add("engine.run_job", "transient", match=None, times=None)
+        engine.fault_injector = plan.injector()  # shipped to every worker
+        with pytest.raises(AllJobsFailed):
+            evaluate(engine, X, y)
+        assert_no_leaks()
+
+    def test_unlinked_after_worker_crash_mid_batch(self, pool, data):
+        X, y = data
+        engine = ExecutionEngine(executor=pool)
+        plan = FaultPlan(seed=0)
+        plan.add("procpool.worker_batch", "crash", match="pw0", times=1)
+        engine.fault_injector = plan.injector()
+        report = evaluate(engine, X, y)
+        # the crashed worker's batch was re-dispatched: nothing lost
+        assert len(report.results) == 6
+        assert report.stats["failures"] == []
+        assert pool.last_stats["worker_restarts"] >= 1
+        assert_no_leaks()
+
+    def test_unlinked_after_parent_side_dispatch_kill(self, pool, data):
+        X, y = data
+        plan = FaultPlan(seed=0)
+        plan.add("procpool.dispatch", "crash", match="pw0", times=1)
+        pool.fault_injector = plan.injector()  # parent-side hook
+        report = evaluate(ExecutionEngine(executor=pool), X, y)
+        assert len(report.results) == 6
+        assert pool.last_stats["worker_restarts"] >= 1
+        assert_no_leaks()
