@@ -1,0 +1,101 @@
+"""E-warm — Artifact store: warm-starting a sweep from a populated disk store.
+
+The cooperative premise of the paper is "not have to repeat
+calculations".  The content-addressed `DiskStore` applies it across
+*process lifetimes* on one machine: a sweep writes every completed
+result under its artifact key; a later run of the same sweep against
+the same store root finds them, serves each job `from_cache`, and
+skips the fold fits entirely.  This bench runs the Fig. 3 regression
+TEG cold then warm, asserts the warm run skips at least 80% of the
+fold fits (it actually skips all of them), checks the scores agree
+exactly, and records the skip fraction and wall-clock ratio in
+``BENCH_warm_start.json``.
+"""
+
+import time
+
+from conftest import bench_extras, print_table, report
+from repro.core import ExecutionEngine, GraphEvaluator, prepare_regression_graph
+from repro.ml.model_selection import KFold
+
+
+def _sweep(store_spec, regression_xy, bench_telemetry):
+    X, y = regression_xy
+    engine = ExecutionEngine(store=store_spec)
+    evaluator = GraphEvaluator(
+        prepare_regression_graph(fast=True, k_best=4),
+        cv=KFold(3, random_state=0),
+        metric="rmse",
+        engine=engine,
+        telemetry=bench_telemetry,
+    )
+    started = time.perf_counter()
+    result = evaluator.evaluate(X, y, refit_best=False)
+    return result, time.perf_counter() - started, engine
+
+
+def test_warm_start_skips_fold_fits(
+    benchmark, regression_xy, bench_telemetry, tmp_path_factory
+):
+    store_spec = f"disk:{tmp_path_factory.mktemp('warm-start') / 'cas'}"
+
+    cold, cold_seconds, cold_engine = _sweep(
+        store_spec, regression_xy, bench_telemetry
+    )
+    assert len(cold.results) == 36
+    assert cold_engine.cache_stats()["results_reused"] == 0
+
+    (warm, warm_seconds, warm_engine) = benchmark.pedantic(
+        lambda: _sweep(store_spec, regression_xy, bench_telemetry),
+        rounds=1,
+        iterations=1,
+    )
+
+    total_folds = sum(len(r.cv_result.fold_scores) for r in cold.results)
+    skipped_folds = sum(
+        len(r.cv_result.fold_scores) for r in warm.results if r.from_cache
+    )
+    skip_fraction = skipped_folds / total_folds
+    # The acceptance bar: a populated store must spare at least 80% of
+    # the fold fits on the second run.
+    assert skip_fraction >= 0.8
+    assert warm_engine.cache_stats()["results_reused"] == 36
+    assert {r.key: r.score for r in warm.results} == {
+        r.key: r.score for r in cold.results
+    }
+    assert warm.best_path == cold.best_path
+
+    tiers = warm_engine.cache_stats()["tiers"]
+    bench_extras(
+        "warm_start",
+        warm_start={
+            "jobs": len(cold.results),
+            "fold_fits_total": total_folds,
+            "fold_fits_skipped": skipped_folds,
+            "skip_fraction": round(skip_fraction, 4),
+            "results_reused": warm_engine.cache_stats()["results_reused"],
+            "cold_seconds": round(cold_seconds, 6),
+            "warm_seconds": round(warm_seconds, 6),
+            "speedup": round(cold_seconds / warm_seconds, 2)
+            if warm_seconds
+            else None,
+            "disk_tier": {
+                "hits": tiers.get("disk", {}).get("hits", 0),
+                "bytes_read": tiers.get("disk", {}).get("bytes_read", 0),
+            },
+        },
+    )
+    print_table(
+        "Warm start — Fig. 3 graph (36 pipelines, 3-fold CV) against a "
+        "populated DiskStore",
+        ["metric", "value"],
+        [
+            ["fold fits, cold run", total_folds],
+            ["fold fits skipped warm", skipped_folds],
+            ["skip fraction", f"{skip_fraction:.2f}"],
+            ["cold wall seconds", f"{cold_seconds:.3f}"],
+            ["warm wall seconds", f"{warm_seconds:.3f}"],
+            ["speedup", f"{cold_seconds / warm_seconds:.1f}x"],
+        ],
+    )
+    report("warm and cold sweeps score identically on all 36 paths")

@@ -58,9 +58,20 @@ from typing import (
 import numpy as np
 
 from repro.core.pipeline import Pipeline
-from repro.core.spec import component_spec, dataset_fingerprint, spec_key
+from repro.core.spec import (
+    component_spec,
+    dataset_fingerprint,
+    fold_fingerprint,
+    spec_key,
+)
 from repro.ml.base import as_1d_array, clone
 from repro.obs import NULL_TELEMETRY, Telemetry, resolve_telemetry
+from repro.store import (
+    KIND_FOLD_TRANSFORM,
+    KIND_RESULT,
+    ArtifactKey,
+    resolve_store,
+)
 from repro.ml.model_selection.cross_validate import (
     CrossValidationResult,
     resolve_metric,
@@ -239,19 +250,9 @@ def pipeline_prefix_key(pipeline: Pipeline) -> Optional[str]:
     return spec_key(spec)
 
 
-def _fold_fingerprint(train_idx: np.ndarray, test_idx: np.ndarray) -> str:
-    """Exact content fingerprint of one CV fold's index arrays.
-
-    Keying by the actual indices (rather than a fold number) makes the
-    cache safe under unseeded splitters: a shuffle that differs between
-    two jobs produces different fingerprints and therefore no false
-    sharing.
-    """
-    digest = hashlib.sha256()
-    digest.update(np.ascontiguousarray(train_idx).tobytes())
-    digest.update(b"|")
-    digest.update(np.ascontiguousarray(test_idx).tobytes())
-    return digest.hexdigest()[:24]
+# Kept as a private alias: the canonical definition moved to
+# repro.core.spec so artifact keys and the engine agree on fold identity.
+_fold_fingerprint = fold_fingerprint
 
 
 # ---------------------------------------------------------------------------
@@ -287,63 +288,93 @@ class PrefixCacheStats:
 
 
 class PrefixCache:
-    """Size-bounded LRU of transformed fold data for fitted prefixes.
+    """Facade caching transformed fold data in an
+    :class:`~repro.store.base.ArtifactStore`.
 
-    Keys are ``(prefix_key, dataset_key, fold_fingerprint)``; values are
-    the ``(X_train_transformed, X_test_transformed)`` arrays produced by
-    fitting the prefix chain on the fold's training split.  Thread-safe,
-    so the :class:`ParallelExecutor` can share one cache across workers.
+    Keys are :class:`~repro.store.keys.ArtifactKey` instances of kind
+    ``fold-transform``; values are the ``(X_train_transformed,
+    X_test_transformed)`` arrays produced by fitting the prefix chain on
+    the fold's training split.  The default backing store is a fresh
+    :class:`~repro.store.memory.MemoryStore` — the historical in-memory
+    LRU behavior — but any store works: backed by a disk or layered
+    store, the same fold data is shared by serial, thread **and**
+    process executors (workers reach the shared tiers by path).
+
+    The facade keeps its own :class:`PrefixCacheStats` — one hit/miss
+    per *lookup* regardless of how many tiers were probed — while the
+    per-tier counters live on the store (see :meth:`tier_stats`).
+    Thread-safe.
 
     Parameters
     ----------
     max_entries:
-        LRU bound on live entries (≥ 1); least-recently-used fold data
-        is evicted past it.
+        LRU bound (≥ 1) used when the facade creates its own memory
+        store; advisory for externally provided stores.
+    store:
+        Optional :class:`~repro.store.base.ArtifactStore` to back the
+        cache instead of a private memory store.
     """
 
-    def __init__(self, max_entries: int = 32):
+    def __init__(self, max_entries: int = 32, store: Any = None):
         if max_entries < 1:
             raise ValueError("max_entries must be >= 1")
         self.max_entries = max_entries
-        self._entries: "OrderedDict[Tuple, Tuple]" = OrderedDict()
+        if store is None:
+            from repro.store import MemoryStore
+
+            store = MemoryStore(max_entries=max_entries)
+        self.store = store
         self._lock = threading.Lock()
         self.stats = PrefixCacheStats()
 
-    def get(self, key: Tuple) -> Optional[Tuple[Any, Any]]:
+    def _tier_totals(self) -> Tuple[int, int]:
+        """Cumulative ``(stores, evictions)`` summed across tiers."""
+        stores = evictions = 0
+        for tier in self.store.counters().values():
+            stores += tier.stores
+            evictions += tier.evictions
+        return stores, evictions
+
+    def get(self, key: ArtifactKey) -> Optional[Tuple[Any, Any]]:
         """Transformed ``(X_train, X_test)`` for ``key`` or ``None``."""
         with self._lock:
-            entry = self._entries.get(key)
+            before = self._tier_totals()
+            entry = self.store.get(key)
+            after = self._tier_totals()
+            # read-through promotion may evict from a fast tier
+            self.stats.evictions += after[1] - before[1]
             if entry is None:
                 self.stats.misses += 1
                 return None
-            self._entries.move_to_end(key)
             self.stats.hits += 1
             self.stats.transformer_fits_saved += entry[2]
             return entry[0], entry[1]
 
     def put(
-        self, key: Tuple, value: Tuple[Any, Any], n_transformers: int = 1
+        self,
+        key: ArtifactKey,
+        value: Tuple[Any, Any],
+        n_transformers: int = 1,
     ) -> None:
-        """Store one fold's transformed data, evicting LRU entries past
-        the size bound."""
+        """Store one fold's transformed data (idempotent per key)."""
         with self._lock:
-            if key in self._entries:
-                self._entries.move_to_end(key)
-                return
-            self._entries[key] = (value[0], value[1], n_transformers)
-            self.stats.stores += 1
-            while len(self._entries) > self.max_entries:
-                self._entries.popitem(last=False)
-                self.stats.evictions += 1
+            before = self._tier_totals()
+            self.store.put(key, (value[0], value[1], n_transformers))
+            after = self._tier_totals()
+            if after[0] > before[0]:
+                self.stats.stores += 1
+            self.stats.evictions += after[1] - before[1]
+
+    def tier_stats(self) -> Dict[str, Dict[str, Any]]:
+        """Per-tier counters of the backing store."""
+        return self.store.tier_stats()
 
     def clear(self) -> None:
         """Drop every entry (the counters are kept)."""
-        with self._lock:
-            self._entries.clear()
+        self.store.clear()
 
     def __len__(self) -> int:
-        with self._lock:
-            return len(self._entries)
+        return len(self.store)
 
 
 # ---------------------------------------------------------------------------
@@ -643,6 +674,7 @@ class _ExecutionContext:
     greater_is_better: bool
     result_hook: Optional[Callable[[Any], None]] = None
     error_hook: Optional[Callable[[Any, BaseException], None]] = None
+    reuse_hook: Optional[Callable[[Any], None]] = None
     failure_policy: "FailurePolicy" = field(default_factory=FailurePolicy)
     failures: List[JobFailure] = field(default_factory=list)
     fallback_dataset_key: Optional[str] = None
@@ -686,6 +718,24 @@ class ExecutionEngine:
         :class:`JobFailure` entries (readable on :attr:`last_failures`
         after each batch) instead of raising, and the batch raises
         :class:`AllJobsFailed` only when *zero* jobs succeed.
+    store:
+        ``None`` (default: fold transforms live in the prefix cache's
+        private memory store, results are never cached — the historical
+        behavior), an :class:`~repro.store.base.ArtifactStore`, or a
+        spec string (``"memory"``, ``"disk:<root>"``,
+        ``"layered:<root>"``).  With a store the engine additionally
+        caches **completed results** under their spec key and serves a
+        repeat job from the store instead of recomputing it (counted in
+        ``cache_stats()["results_reused"]``; the ``reuse_hook`` fires
+        instead of the ``result_hook``).  A disk-backed store is shared
+        by every executor — process workers attach to the same root —
+        and across runs (warm starts).
+    data_ref:
+        Optional ``(data_object_name, version)`` of the
+        :class:`~repro.distributed.objects.VersionedObject` the dataset
+        came from; stamped into every artifact key so a version bump
+        can invalidate exactly the artifacts computed on older data
+        (see :class:`~repro.store.invalidation.StoreInvalidator`).
     """
 
     def __init__(
@@ -696,14 +746,25 @@ class ExecutionEngine:
         max_workers: Optional[int] = None,
         telemetry: Any = None,
         failure_policy: Any = None,
+        store: Any = None,
+        data_ref: Optional[Tuple[str, int]] = None,
     ):
         self.executor = resolve_executor(executor, max_workers=max_workers)
+        self.store = resolve_store(store, cache_size=cache_size)
         if isinstance(cache, PrefixCache):
             self.cache: Optional[PrefixCache] = cache
         elif cache:
-            self.cache = PrefixCache(max_entries=cache_size)
+            self.cache = PrefixCache(
+                max_entries=cache_size, store=self.store
+            )
         else:
             self.cache = None
+        self.data_ref = data_ref
+        self._results_reused = 0
+        #: Per-tier counter totals shipped back by process workers
+        #: (worker-side tiers are rebuilt per call; their deltas fold in
+        #: here so ``cache_stats()["tiers"]`` spans every executor).
+        self._worker_tier_totals: Dict[str, Dict[str, float]] = {}
         self.failure_policy = FailurePolicy.resolve(failure_policy)
         #: Hook point for :class:`repro.faults.FaultInjector` (site
         #: ``engine.run_job``); ``None`` in production.
@@ -754,6 +815,7 @@ class ExecutionEngine:
         job_filter: Optional[Callable[[Any], bool]] = None,
         result_hook: Optional[Callable[[Any], None]] = None,
         error_hook: Optional[Callable[[Any, BaseException], None]] = None,
+        reuse_hook: Optional[Callable[[Any], None]] = None,
     ) -> List[Any]:
         """Run a batch of jobs (an iterable or an :class:`ExecutionPlan`)
         and return their :class:`~repro.core.evaluation.PipelineResult`
@@ -763,13 +825,19 @@ class ExecutionEngine:
         dropped from the returned list and recorded on
         :attr:`last_failures`; :class:`AllJobsFailed` is raised when a
         non-empty batch produced zero results.
+
+        When the engine has a :attr:`store`, a job whose completed
+        result is already stored is *reused*: it comes back flagged
+        ``from_cache`` and fires ``reuse_hook`` (not ``result_hook``).
         """
         plan = (
             jobs
             if isinstance(jobs, ExecutionPlan)
             else ExecutionPlan(jobs, job_filter=job_filter)
         )
-        ctx = self._context(X, y, cv, metric, result_hook, error_hook)
+        ctx = self._context(
+            X, y, cv, metric, result_hook, error_hook, reuse_hook
+        )
         ordered: List[Any] = []
         prefixes: Dict[str, Optional[str]] = {}
         for prefix, group in plan.groups().items():
@@ -777,7 +845,7 @@ class ExecutionEngine:
                 ordered.append(job)
                 prefixes[job.key] = prefix
         tel = self._telemetry
-        cache_before = self._cache_snapshot()
+        cache_before = self._cache_snapshot() if tel.enabled else {}
         with tel.span(
             "engine.execute",
             executor=self.executor.name,
@@ -822,6 +890,7 @@ class ExecutionEngine:
         metric: Any = "rmse",
         result_hook: Optional[Callable[[Any], None]] = None,
         error_hook: Optional[Callable[[Any, BaseException], None]] = None,
+        reuse_hook: Optional[Callable[[Any], None]] = None,
     ) -> Any:
         """Run one job in the calling thread (still cache-aware).
 
@@ -829,61 +898,130 @@ class ExecutionEngine:
         :class:`FailurePolicy` says to skip it (the :class:`JobFailure`
         lands on :attr:`last_failures`).
         """
-        ctx = self._context(X, y, cv, metric, result_hook, error_hook)
+        ctx = self._context(
+            X, y, cv, metric, result_hook, error_hook, reuse_hook
+        )
         result = self._run(job, ctx, _UNSET)
         self.last_failures = list(ctx.failures)
         return result
 
     def cache_stats(self) -> Dict[str, Any]:
-        """Cache-effectiveness report (all zeros when caching is off)."""
+        """Cache-effectiveness report (all zeros when caching is off).
+
+        Beyond the historical prefix-cache counters the report carries
+        ``results_reused`` (completed results served from the
+        :attr:`store` instead of recomputed) and — whenever a store or
+        cache is live — a per-tier ``tiers`` breakdown
+        (hits/misses/stores/evictions/bytes per memory/disk/darr tier,
+        including counters shipped back by process workers).
+        """
         if self.cache is None:
-            return {"enabled": False, **PrefixCacheStats().as_dict()}
-        return {
-            "enabled": True,
-            "entries": len(self.cache),
-            "max_entries": self.cache.max_entries,
-            **self.cache.stats.as_dict(),
-        }
+            stats = {"enabled": False, **PrefixCacheStats().as_dict()}
+        else:
+            stats = {
+                "enabled": True,
+                "entries": len(self.cache),
+                "max_entries": self.cache.max_entries,
+                **self.cache.stats.as_dict(),
+            }
+        stats["results_reused"] = self._results_reused
+        tiers = self._merged_tier_stats()
+        if tiers:
+            stats["tiers"] = tiers
+        return stats
+
+    def _local_store(self) -> Optional[Any]:
+        """The store backing this engine's artifacts (the explicit
+        :attr:`store`, else the prefix cache's private store)."""
+        if self.store is not None:
+            return self.store
+        if self.cache is not None:
+            return self.cache.store
+        return None
+
+    def _merged_tier_stats(self) -> Dict[str, Dict[str, Any]]:
+        """Local per-tier counters plus accumulated worker deltas."""
+        store = self._local_store()
+        merged: Dict[str, Dict[str, Any]] = (
+            {name: dict(counters) for name, counters in store.tier_stats().items()}
+            if store is not None
+            else {}
+        )
+        for name, delta in self._worker_tier_totals.items():
+            into = merged.setdefault(name, {})
+            for counter, value in delta.items():
+                into[counter] = into.get(counter, 0) + value
+            total = into.get("hits", 0) + into.get("misses", 0)
+            into["hit_rate"] = into.get("hits", 0) / total if total else 0.0
+        return merged
 
     def clear_cache(self) -> None:
-        """Empty the prefix cache (a fresh dataset makes old folds dead)."""
+        """Empty the prefix cache and any attached store (a fresh
+        dataset makes old folds dead; note this clears shared/disk
+        tiers too — prefer version-based invalidation for those)."""
         if self.cache is not None:
             self.cache.clear()
+        if self.store is not None:
+            self.store.clear()
 
-    def _cache_snapshot(self) -> Optional[Tuple[int, int, int, int]]:
-        """Current cumulative cache counters, or None when caching is
-        off (used to attribute per-``execute`` deltas to telemetry)."""
-        if self.cache is None:
-            return None
-        stats = self.cache.stats
-        return (
-            stats.hits,
-            stats.misses,
-            stats.evictions,
-            stats.transformer_fits_saved,
-        )
+    def _cache_snapshot(self) -> Dict[str, Any]:
+        """Current cumulative cache/store counters (used to attribute
+        per-``execute`` deltas to telemetry)."""
+        snapshot: Dict[str, Any] = {
+            "results_reused": self._results_reused,
+            "tiers": self._merged_tier_stats(),
+        }
+        if self.cache is not None:
+            stats = self.cache.stats
+            snapshot["cache"] = (
+                stats.hits,
+                stats.misses,
+                stats.evictions,
+                stats.transformer_fits_saved,
+            )
+        return snapshot
+
+    #: Tier counters surfaced as labeled telemetry (key = tier name).
+    _TIER_COUNTER_NAMES = (
+        ("hits", "store.tier_hits"),
+        ("misses", "store.tier_misses"),
+        ("evictions", "store.tier_evictions"),
+        ("invalidations", "store.tier_invalidations"),
+        ("corrupt", "store.tier_corrupt"),
+        ("bytes_written", "store.tier_bytes_written"),
+        ("bytes_read", "store.tier_bytes_read"),
+    )
 
     def _count_cache_delta(
-        self, tel: Telemetry, before: Optional[Tuple[int, int, int, int]]
+        self, tel: Telemetry, before: Dict[str, Any]
     ) -> None:
-        """Emit the cache-counter movement since ``before`` as telemetry
-        counters (no-op when caching is off)."""
+        """Emit the cache/store counter movement since ``before`` as
+        telemetry counters (no-op when nothing moved)."""
         after = self._cache_snapshot()
-        if before is None or after is None:
-            return
-        names = (
-            "engine.cache_hits",
-            "engine.cache_misses",
-            "engine.cache_evictions",
-            "engine.transformer_fits_saved",
-        )
-        for name, b, a in zip(names, before, after):
-            if a > b:
-                tel.count(name, a - b)
+        if "cache" in after and "cache" in before:
+            names = (
+                "engine.cache_hits",
+                "engine.cache_misses",
+                "engine.cache_evictions",
+                "engine.transformer_fits_saved",
+            )
+            for name, b, a in zip(names, before["cache"], after["cache"]):
+                if a > b:
+                    tel.count(name, a - b)
+        reused = after["results_reused"] - before["results_reused"]
+        if reused > 0:
+            tel.count("engine.results_reused", reused)
+        tiers_before = before.get("tiers", {})
+        for tier, counters in after.get("tiers", {}).items():
+            prior = tiers_before.get(tier, {})
+            for counter, metric_name in self._TIER_COUNTER_NAMES:
+                delta = counters.get(counter, 0) - prior.get(counter, 0)
+                if delta > 0:
+                    tel.count(metric_name, delta, key=tier)
 
     # -- internals ----------------------------------------------------------
     def _context(
-        self, X, y, cv, metric, result_hook, error_hook
+        self, X, y, cv, metric, result_hook, error_hook, reuse_hook=None
     ) -> _ExecutionContext:
         X = np.asarray(X, dtype=float)
         if X.ndim == 1:
@@ -906,6 +1044,7 @@ class ExecutionEngine:
             greater_is_better=greater,
             result_hook=result_hook,
             error_hook=error_hook,
+            reuse_hook=reuse_hook,
             failure_policy=self.failure_policy,
         )
 
@@ -918,6 +1057,55 @@ class ExecutionEngine:
             if ctx.fallback_dataset_key is None:
                 ctx.fallback_dataset_key = dataset_fingerprint(ctx.X, ctx.y)
             return ctx.fallback_dataset_key
+
+    def _artifact_key(
+        self, kind: str, spec_key_str: str, dataset: str = "", fold: str = ""
+    ) -> ArtifactKey:
+        """Build a store key carrying this engine's data reference."""
+        name, version = self.data_ref if self.data_ref else ("", 0)
+        return ArtifactKey(
+            kind=kind,
+            spec_key=spec_key_str,
+            dataset=dataset,
+            data_object=name,
+            data_version=version,
+            fold=fold,
+        )
+
+    @staticmethod
+    def _result_artifact(result: Any) -> Dict[str, Any]:
+        """The canonical ``result`` artifact payload of one completed
+        job (same format as
+        :meth:`repro.darr.records.AnalyticsResult.artifact_value`)."""
+        cv = result.cv_result
+        return {
+            "path": result.path,
+            "params": dict(result.params),
+            "metric": cv.metric,
+            "fold_scores": [float(s) for s in cv.fold_scores],
+            "greater": cv.greater_is_better,
+            "fit_seconds": float(cv.fit_seconds),
+        }
+
+    @staticmethod
+    def _result_from_artifact(job: Any, value: Mapping[str, Any]) -> Any:
+        """Rebuild a ``from_cache`` PipelineResult from a stored
+        ``result`` artifact payload."""
+        from repro.core.evaluation import PipelineResult
+
+        cv_result = CrossValidationResult(
+            metric=value["metric"],
+            fold_scores=list(value["fold_scores"]),
+            greater_is_better=value["greater"],
+            fit_seconds=float(value.get("fit_seconds", 0.0)),
+        )
+        return PipelineResult(
+            path=value["path"],
+            params=dict(value["params"]),
+            cv_result=cv_result,
+            key=job.key,
+            from_cache=True,
+        )
 
     def _run(self, job: Any, ctx: _ExecutionContext, prefix_key: Any) -> Any:
         """Run one job under the failure policy.
@@ -990,6 +1178,8 @@ class ExecutionEngine:
             "cache_size": (
                 self.cache.max_entries if self.cache is not None else 0
             ),
+            "store": self.store.spec() if self.store is not None else None,
+            "data_ref": self.data_ref,
         }
         records, run_stats = self.executor.run_call(ordered, call)
         from repro.core.evaluation import PipelineResult
@@ -1005,13 +1195,19 @@ class ExecutionEngine:
                     greater_is_better=record["greater"],
                     fit_seconds=record["fit_seconds"],
                 )
+                reused = bool(record.get("from_cache"))
                 result = PipelineResult(
                     path=record["path"],
                     params=dict(record["params"]),
                     cv_result=cv_result,
                     key=record["key"],
+                    from_cache=reused,
                 )
-                if ctx.result_hook is not None:
+                if reused:
+                    self._results_reused += 1
+                    if ctx.reuse_hook is not None:
+                        ctx.reuse_hook(result)
+                elif ctx.result_hook is not None:
                     ctx.result_hook(result)
                 results.append(result)
                 continue
@@ -1045,6 +1241,21 @@ class ExecutionEngine:
             stats.transformer_fits_saved += cache_delta.get(
                 "transformer_fits_saved", 0
             )
+        shared = (
+            {tier for tier in self.store.tier_stats()}
+            if self.store is not None
+            else set()
+        )
+        for tier, delta in (run_stats.get("tiers") or {}).items():
+            if tier in shared:
+                # Same tier name as a parent-side tier (e.g. the shared
+                # disk root): keep worker-side IO under its own label so
+                # the breakdown distinguishes who did the reading.
+                tier = f"{tier}-workers"
+            totals = self._worker_tier_totals.setdefault(tier, {})
+            for counter, value in delta.items():
+                if value:
+                    totals[counter] = totals.get(counter, 0) + value
         if tel.enabled:
             tel.count("engine.shm_bytes_shared", run_stats.get("shm_bytes", 0))
             tel.count(
@@ -1063,6 +1274,24 @@ class ExecutionEngine:
     ) -> Any:
         if self.fault_injector is not None:
             self.fault_injector.check("engine.run_job", key=job.key)
+        result_key = None
+        if self.store is not None:
+            result_key = self._artifact_key(
+                KIND_RESULT, job.key, dataset=self._dataset_key(ctx, job)
+            )
+            stored = self.store.get(result_key)
+            if stored is not None:
+                result = self._result_from_artifact(job, stored)
+                with ctx.lock:
+                    self._results_reused += 1
+                if self._telemetry.enabled:
+                    self._telemetry.count(
+                        "engine.folds_skipped",
+                        len(result.cv_result.fold_scores),
+                    )
+                if ctx.reuse_hook is not None:
+                    ctx.reuse_hook(result)
+                return result
         pipeline = job.configured_pipeline()
         transformers = pipeline.steps[:-1]
         if prefix_key is _UNSET:
@@ -1090,10 +1319,11 @@ class ExecutionEngine:
                 transformed = None
                 cache_key = None
                 if use_cache:
-                    cache_key = (
+                    cache_key = self._artifact_key(
+                        KIND_FOLD_TRANSFORM,
                         prefix_key,
-                        dataset_key,
-                        _fold_fingerprint(train_idx, test_idx),
+                        dataset=dataset_key,
+                        fold=fold_fingerprint(train_idx, test_idx),
                     )
                     transformed = self.cache.get(cache_key)
                 if transformed is not None:
@@ -1153,6 +1383,8 @@ class ExecutionEngine:
             cv_result=cv_result,
             key=job.key,
         )
+        if result_key is not None:
+            self.store.put(result_key, self._result_artifact(result))
         if ctx.result_hook is not None:
             ctx.result_hook(result)
         return result

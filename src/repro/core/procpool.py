@@ -295,6 +295,7 @@ class _WorkerCallState:
 
     def __init__(self, payload: Dict[str, Any]):
         from repro.core.engine import ExecutionEngine, FailurePolicy
+        from repro.store import store_from_spec
 
         policy = dict(payload["policy"])
         # "raise" aborts the batch parent-side; worker-side every
@@ -303,11 +304,20 @@ class _WorkerCallState:
             policy["on_error"] = "skip"
             policy["max_retries"] = 0
         cache_size = int(payload.get("cache_size") or 0)
+        # The parent's shared tiers (the disk root) rebuild here from
+        # the shipped recipe, fronted by a worker-local memory tier —
+        # so workers read/write the same cache as every other executor
+        # instead of starting cold per process.
+        store = store_from_spec(
+            payload.get("store"), cache_size=max(1, cache_size or 32)
+        )
         self.engine = ExecutionEngine(
             executor="serial",
             cache=cache_size > 0,
             cache_size=max(1, cache_size),
             failure_policy=FailurePolicy(**policy),
+            store=store,
+            data_ref=payload.get("data_ref"),
         )
         plan = payload.get("fault_plan")
         self.injector = plan.injector() if plan is not None else None
@@ -330,6 +340,20 @@ class _WorkerCallState:
             stats.transformer_fits_saved,
         )
 
+    def store_counters(self) -> Dict[str, Dict[str, int]]:
+        """Cumulative per-tier store counters (raw ints only)."""
+        store = self.engine._local_store()
+        if store is None:
+            return {}
+        return {
+            tier: {
+                counter: value
+                for counter, value in counters.items()
+                if counter != "hit_rate"
+            }
+            for tier, counters in store.tier_stats().items()
+        }
+
     def close(self) -> None:
         for shm in (self._x_shm, self._y_shm):
             try:
@@ -341,6 +365,7 @@ class _WorkerCallState:
 def _result_record(result: Any) -> Dict[str, Any]:
     return {
         "ok": True,
+        "from_cache": bool(result.from_cache),
         "key": result.key,
         "path": result.path,
         "params": dict(result.params),
@@ -437,10 +462,22 @@ def _worker_main(
                     state = _WorkerCallState(payload)
                     calls[token] = state
                 before = state.cache_counters()
+                tiers_before = state.store_counters()
+                reused_before = state.engine._results_reused
                 records = _run_worker_batch(
                     state, worker_name, batch_index, jobs
                 )
                 after = state.cache_counters()
+                tiers_delta: Dict[str, Dict[str, int]] = {}
+                for tier, counters in state.store_counters().items():
+                    prior = tiers_before.get(tier, {})
+                    delta = {
+                        counter: value - prior.get(counter, 0)
+                        for counter, value in counters.items()
+                        if value - prior.get(counter, 0)
+                    }
+                    if delta:
+                        tiers_delta[tier] = delta
                 stats = {
                     "busy_seconds": time.perf_counter() - started,
                     "cache": {
@@ -450,6 +487,10 @@ def _worker_main(
                         "evictions": after[3] - before[3],
                         "transformer_fits_saved": after[4] - before[4],
                     },
+                    "tiers": tiers_delta,
+                    "results_reused": (
+                        state.engine._results_reused - reused_before
+                    ),
                     "faults_fired": (
                         len(state.injector.events)
                         if state.injector is not None
@@ -635,8 +676,10 @@ class ProcessExecutor(Executor):
             Ordered (prefix-grouped) evaluation jobs.
         call:
             Engine payload: ``X``/``y`` arrays, ``splitter``, ``metric``,
-            ``policy`` (FailurePolicy kwargs), optional ``fault_plan``
-            and the per-worker ``cache_size``.
+            ``policy`` (FailurePolicy kwargs), optional ``fault_plan``,
+            the per-worker ``cache_size``, and the optional shared
+            ``store`` recipe plus ``data_ref`` so workers attach to the
+            parent's disk tiers.
 
         Returns
         -------
@@ -660,6 +703,8 @@ class ProcessExecutor(Executor):
                 "evictions": 0,
                 "transformer_fits_saved": 0,
             },
+            "tiers": {},
+            "results_reused": 0,
         }
         self.last_stats = stats
         if not jobs:
@@ -679,6 +724,8 @@ class ProcessExecutor(Executor):
                 "policy": call["policy"],
                 "fault_plan": call.get("fault_plan"),
                 "cache_size": call.get("cache_size", 0),
+                "store": call.get("store"),
+                "data_ref": call.get("data_ref"),
             }
             stats["shm_bytes"] = plane.nbytes
             completed = self._dispatch(token, batches, payload, stats)
@@ -756,6 +803,13 @@ class ProcessExecutor(Executor):
                     )
                     for counter, delta in batch_stats["cache"].items():
                         stats["cache"][counter] += delta
+                    for tier, delta in batch_stats.get("tiers", {}).items():
+                        totals = stats["tiers"].setdefault(tier, {})
+                        for counter, value in delta.items():
+                            totals[counter] = totals.get(counter, 0) + value
+                    stats["results_reused"] += batch_stats.get(
+                        "results_reused", 0
+                    )
                     stats["faults_fired"] = max(
                         stats["faults_fired"], batch_stats["faults_fired"]
                     )

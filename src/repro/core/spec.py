@@ -27,6 +27,7 @@ __all__ = [
     "computation_spec",
     "spec_key",
     "dataset_fingerprint",
+    "fold_fingerprint",
 ]
 
 
@@ -122,6 +123,30 @@ def dataset_fingerprint(X: Any, y: Any = None) -> str:
         digest.update(str(y_arr.shape).encode())
         digest.update(y_arr.tobytes())
     return digest.hexdigest()[:32]
+
+
+def fold_fingerprint(train_idx: Any, test_idx: Any) -> str:
+    """Exact content fingerprint of one CV fold's index arrays.
+
+    Keying by the actual indices (rather than a fold number) makes
+    fold-level artifacts safe under unseeded splitters: a shuffle that
+    differs between two jobs produces different fingerprints and
+    therefore no false sharing.
+
+    Parameters
+    ----------
+    train_idx, test_idx:
+        The fold's train/test index arrays.
+
+    Returns
+    -------
+    A 24-hex-character content hash.
+    """
+    digest = hashlib.sha256()
+    digest.update(np.ascontiguousarray(train_idx).tobytes())
+    digest.update(b"|")
+    digest.update(np.ascontiguousarray(test_idx).tobytes())
+    return digest.hexdigest()[:24]
 
 
 def cv_spec(cv: Any) -> Any:

@@ -77,6 +77,16 @@ class CooperativeEvaluator:
     client:
         This client's name (used for claims, publication provenance and
         network accounting).
+    store:
+        Optional local artifact store (an
+        :class:`~repro.store.base.ArtifactStore` or a spec string like
+        ``"disk:<root>"``).  When given, the engine is rewired onto a
+        :class:`~repro.store.layered.LayeredStore` of the local tiers
+        with a :class:`~repro.store.layered.DarrStore` tier appended —
+        a locally cached result and a DARR record become the same
+        artifact at different tiers: engine lookups fall through memory
+        → disk → DARR, and results reused from *any* tier are published
+        back so peers see them.
     """
 
     def __init__(
@@ -84,10 +94,22 @@ class CooperativeEvaluator:
         evaluator: GraphEvaluator,
         darr: DataAnalyticsResultsRepository,
         client: str,
+        store: Any = None,
     ):
         self.evaluator = evaluator
         self.darr = darr
         self.client = client
+        if store is not None:
+            from repro.store import DarrStore, LayeredStore, resolve_store
+
+            base = resolve_store(store)
+            darr_tier = DarrStore(darr, client=client)
+            tiers = (
+                list(base.tiers) + [darr_tier]
+                if isinstance(base, LayeredStore)
+                else [base, darr_tier]
+            )
+            evaluator.engine.store = LayeredStore(tiers)
         self.stats = CooperativeStats()
         self.telemetry = evaluator.telemetry
         # One handle on the evaluator observes the whole cooperative
@@ -184,6 +206,15 @@ class CooperativeEvaluator:
             # claim so another client may try it.
             self.darr.release_claim(job.key, self.client)
             return None
+        if getattr(result, "from_cache", False):
+            # The engine served the result from a store tier (warm
+            # local disk, or the DARR tier itself) instead of
+            # computing.  Publish so peers see it — publication clears
+            # our claim, and a record that originated in the DARR
+            # lands as a counted duplicate, never a conflict.
+            self._observe_reused()
+            self._publish_record(result, job.spec)
+            return result
         self.stats.computed += 1
         self.telemetry.count("darr.jobs_computed")
         self._publish_record(result, job.spec)
@@ -256,6 +287,17 @@ class CooperativeEvaluator:
             self._publish_record(result, jobs_by_key[result.key].spec)
             settled.add(result.key)
 
+        def reuse(result: PipelineResult) -> None:
+            # The engine found the result in a store tier (warm local
+            # disk, or the DARR tier itself) and skipped the fold fits.
+            # Count it as cooperative reuse and publish it back so
+            # peers see it: publication clears this client's claim,
+            # and a record that originated in the DARR lands as a
+            # counted duplicate, never a conflict.
+            self._observe_reused()
+            self._publish_record(result, jobs_by_key[result.key].spec)
+            settled.add(result.key)
+
         def release_claim(job: EvaluationJob, exc: BaseException) -> None:
             self.darr.release_claim(job.key, self.client)
             settled.add(job.key)
@@ -278,6 +320,7 @@ class CooperativeEvaluator:
                     cv=self.evaluator.cv,
                     metric=self.evaluator.metric,
                     result_hook=publish,
+                    reuse_hook=reuse,
                     error_hook=release_claim,
                 )
             )

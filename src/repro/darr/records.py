@@ -78,6 +78,50 @@ class AnalyticsResult:
             spec=spec,
         )
 
+    @classmethod
+    def from_artifact_value(
+        cls,
+        key: str,
+        value: Dict[str, Any],
+        client: str = "store",
+        timestamp: float = 0.0,
+    ) -> "AnalyticsResult":
+        """Build a record from a store artifact payload (the inverse of
+        :meth:`artifact_value`) — how a locally cached result becomes a
+        publishable DARR record."""
+        from repro.ml.model_selection.cross_validate import (
+            CrossValidationResult,
+        )
+
+        result = PipelineResult(
+            path=value["path"],
+            params=dict(value["params"]),
+            cv_result=CrossValidationResult(
+                metric=value["metric"],
+                fold_scores=list(value["fold_scores"]),
+                greater_is_better=value["greater"],
+                fit_seconds=float(value.get("fit_seconds", 0.0)),
+            ),
+            key=key,
+        )
+        return cls.from_pipeline_result(
+            result, client=client, timestamp=timestamp
+        )
+
+    def artifact_value(self) -> Dict[str, Any]:
+        """This record as the canonical ``result`` artifact payload the
+        :class:`~repro.store.base.ArtifactStore` tiers exchange — the
+        same dict the execution engine caches, so a DARR record and a
+        locally cached result are one artifact at different tiers."""
+        return {
+            "path": self.path,
+            "params": dict(self.params),
+            "metric": self.metric,
+            "fold_scores": list(self.fold_scores),
+            "greater": self.greater_is_better,
+            "fit_seconds": 0.0,
+        }
+
     def to_pipeline_result(self) -> PipelineResult:
         """Rehydrate as a :class:`PipelineResult` flagged ``from_cache``
         so it can merge into a local evaluation report."""

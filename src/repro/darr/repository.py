@@ -279,31 +279,50 @@ class DataAnalyticsResultsRepository:
 DARR = DataAnalyticsResultsRepository
 
 
+#: Current on-disk schema of :func:`save_repository` dumps.  Version 1
+#: (a bare pickled list of records) predates the header and is still
+#: accepted by :func:`load_repository`.
+REPOSITORY_SCHEMA_VERSION = 2
+
+
 def save_repository(
     repository: DataAnalyticsResultsRepository, path
 ) -> int:
-    """Persist a repository's completed results to ``path``.
+    """Persist a repository's full state to ``path`` (schema v2).
 
     The DARR is cloud-resident in the paper; persistence gives it the
     durability a real deployment needs (and lets sessions resume without
-    recomputing).
+    recomputing).  Besides the completed results, the dump round-trips
+    live claim/expiry state (so in-flight work is not silently
+    re-claimable after a restart inside the claim TTL) and the
+    repository's traffic accounting (:attr:`stats`).
 
     Parameters
     ----------
     repository:
-        The repository whose completed results are saved.
+        The repository whose state is saved.
     path:
         Destination file path.
 
     Returns
     -------
-    The number of records written.
+    The number of completed records written.
     """
-    import pickle
+    from repro.distributed.objects import encode_payload
 
     records = [repository._results[k] for k in repository.completed_keys()]
+    document = {
+        "schema": REPOSITORY_SCHEMA_VERSION,
+        "claim_duration": repository.claim_duration,
+        "records": records,
+        "claims": {
+            key: (claim.client, claim.expires_at)
+            for key, claim in repository._claims.items()
+        },
+        "stats": dict(repository.stats),
+    }
     with open(path, "wb") as handle:
-        pickle.dump(records, handle, protocol=4)
+        handle.write(encode_payload(document))
     return len(records)
 
 
@@ -313,6 +332,10 @@ def load_repository(
     network=None,
 ) -> DataAnalyticsResultsRepository:
     """Load a repository previously written by :func:`save_repository`.
+
+    Both schema versions load: a v2 dump restores records, claims (with
+    their original expiry timestamps) and traffic stats; a legacy v1
+    dump — a bare pickled record list — restores records only.
 
     Parameters
     ----------
@@ -326,13 +349,32 @@ def load_repository(
     Returns
     -------
     A fresh :class:`DataAnalyticsResultsRepository` holding the saved
-    completed results (claims are not persisted).
+    state.
     """
-    import pickle
+    from repro.distributed.objects import decode_payload
 
     with open(path, "rb") as handle:
-        records = pickle.load(handle)
-    repository = DataAnalyticsResultsRepository(name=name, network=network)
-    for record in records:
+        document = decode_payload(handle.read())
+    if isinstance(document, list):  # legacy schema 1: records only
+        document = {"schema": 1, "records": document}
+    schema = document.get("schema")
+    if schema not in (1, REPOSITORY_SCHEMA_VERSION):
+        raise ValueError(
+            f"unsupported repository dump schema {schema!r} in {path}"
+        )
+    repository = DataAnalyticsResultsRepository(
+        name=name,
+        network=network,
+        claim_duration=document.get("claim_duration", 300.0),
+    )
+    for record in document["records"]:
         repository._results[record.key] = record
+    for key, (client, expires_at) in document.get("claims", {}).items():
+        repository._claims[key] = _Claim(client, expires_at)
+    saved_stats = document.get("stats")
+    if saved_stats:
+        for counter in repository.stats:
+            repository.stats[counter] = saved_stats.get(
+                counter, repository.stats[counter]
+            )
     return repository

@@ -193,11 +193,17 @@ class ChangeMonitor:
         self.recomputations = 0
         self.updates_since_recompute = 0
         self.staleness_log: List[int] = []
+        #: The ``(old, new, size)`` of the update currently being
+        #: observed — set before ``recompute`` runs so the callback can
+        #: see which update fired the policy (the store invalidator
+        #: reads the new data version from here).
+        self.last_event: Optional[tuple] = None
 
     def record_update(self, old: Any = None, new: Any = None, size: int = 0) -> bool:
         """Observe one update; returns True if a recomputation fired."""
         self.updates_seen += 1
         self.updates_since_recompute += 1
+        self.last_event = (old, new, size)
         self.policy.observe(old, new, size)
         if self.policy.should_recompute():
             if self.recompute is not None:

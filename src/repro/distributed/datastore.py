@@ -167,6 +167,13 @@ class HomeDataStore:
         """Latest version number of ``name``."""
         return self.current(name).version
 
+    def data_ref(self, name: str) -> tuple:
+        """``(name, current_version)`` — the reference an
+        :class:`~repro.core.engine.ExecutionEngine` stamps into artifact
+        keys so a later version bump can invalidate exactly the
+        artifacts computed on this version."""
+        return (name, self.current_version(name))
+
     def object_names(self) -> List[str]:
         """Sorted names of all stored objects."""
         return sorted(self._history)

@@ -13,25 +13,73 @@ on.
 from __future__ import annotations
 
 import pickle
+import struct
 from dataclasses import dataclass
-from typing import Any
+from typing import Any, List
 
 __all__ = ["VersionedObject", "encode_payload", "decode_payload"]
 
+#: Frame magic for the protocol-5 out-of-band encoding.  Protocol-4
+#: pickles can never start with these bytes (pickle streams begin with
+#: the PROTO opcode ``\x80``), so :func:`decode_payload` distinguishes
+#: the two formats unambiguously.
+_P5_MAGIC = b"RP5\x00"
+_LEN = struct.Struct(">Q")
+
 
 def encode_payload(payload: Any) -> bytes:
-    """Serialize a payload to bytes (pickle protocol 4).
+    """Serialize a payload to bytes (pickle protocol 5, out-of-band).
 
     The byte form is the unit of storage and transfer in the simulation:
     object sizes, delta sizes and bandwidth savings are all measured on
     it.
+
+    Large buffer-providing objects (ndarrays) are carried *out of band*
+    via :class:`pickle.PickleBuffer` callbacks rather than copied into
+    the pickle stream, then framed after it: magic, pickle length,
+    pickle body, buffer count, then each buffer length-prefixed.  A
+    payload producing no out-of-band buffers is emitted as a plain
+    protocol-4-compatible pickle, and :func:`decode_payload` still
+    accepts protocol-4 bytes already on disk, so old dumps load
+    unchanged.
     """
-    return pickle.dumps(payload, protocol=4)
+    buffers: List[pickle.PickleBuffer] = []
+    body = pickle.dumps(payload, protocol=5, buffer_callback=buffers.append)
+    if not buffers:
+        return body
+    chunks = [_P5_MAGIC, _LEN.pack(len(body)), body, _LEN.pack(len(buffers))]
+    for buffer in buffers:
+        raw = buffer.raw()
+        chunks.append(_LEN.pack(raw.nbytes))
+        chunks.append(bytes(raw))
+        buffer.release()
+    return b"".join(chunks)
 
 
 def decode_payload(data: bytes) -> Any:
-    """Inverse of :func:`encode_payload`."""
-    return pickle.loads(data)
+    """Inverse of :func:`encode_payload`.
+
+    Accepts both the framed protocol-5 format and bare pickle bytes
+    (protocol 4 and earlier) for backward compatibility.  Out-of-band
+    buffers are rehydrated as writable copies, so decoded arrays behave
+    exactly like their protocol-4 counterparts.
+    """
+    if not data.startswith(_P5_MAGIC):
+        return pickle.loads(data)
+    offset = len(_P5_MAGIC)
+    (body_len,) = _LEN.unpack_from(data, offset)
+    offset += _LEN.size
+    body = data[offset : offset + body_len]
+    offset += body_len
+    (n_buffers,) = _LEN.unpack_from(data, offset)
+    offset += _LEN.size
+    buffers: List[bytearray] = []
+    for _ in range(n_buffers):
+        (buf_len,) = _LEN.unpack_from(data, offset)
+        offset += _LEN.size
+        buffers.append(bytearray(data[offset : offset + buf_len]))
+        offset += buf_len
+    return pickle.loads(body, buffers=buffers)
 
 
 @dataclass(frozen=True)

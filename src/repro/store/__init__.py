@@ -1,0 +1,40 @@
+"""Content-addressed artifact storage (the unified cache).
+
+One :class:`ArtifactKey` identity — ``spec_key`` + dataset fingerprint
++ data object version + fold fingerprint — shared by the execution
+engine's prefix cache, process-pool workers, the DARR, and the home
+data store's version bumps.  See ``docs/artifact-store.md``.
+"""
+
+from repro.store.base import (
+    ArtifactStore,
+    TierStats,
+    resolve_store,
+    store_from_spec,
+)
+from repro.store.disk import DiskStore
+from repro.store.invalidation import StoreInvalidator
+from repro.store.keys import (
+    ARTIFACT_KEY_FIELDS,
+    KIND_FOLD_TRANSFORM,
+    KIND_RESULT,
+    ArtifactKey,
+)
+from repro.store.layered import DarrStore, LayeredStore
+from repro.store.memory import MemoryStore
+
+__all__ = [
+    "ArtifactKey",
+    "ARTIFACT_KEY_FIELDS",
+    "KIND_FOLD_TRANSFORM",
+    "KIND_RESULT",
+    "ArtifactStore",
+    "TierStats",
+    "MemoryStore",
+    "DiskStore",
+    "LayeredStore",
+    "DarrStore",
+    "StoreInvalidator",
+    "resolve_store",
+    "store_from_spec",
+]

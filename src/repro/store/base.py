@@ -1,0 +1,256 @@
+"""Artifact store interface, per-tier counters, and spec resolution.
+
+An :class:`ArtifactStore` is a keyed store of computation artifacts
+(fold-transform data, completed results) addressed by
+:class:`~repro.store.keys.ArtifactKey`.  Backends differ in residency —
+:class:`~repro.store.memory.MemoryStore` (process-local LRU),
+:class:`~repro.store.disk.DiskStore` (content-addressed directory that
+survives process exits), :class:`~repro.store.layered.LayeredStore`
+(read-through/write-back tier stack, optionally ending in a DARR) — but
+share one contract, so the execution engine, the process pool and the
+cooperative coordinator all speak to the same cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from repro.store.keys import ArtifactKey
+
+__all__ = ["TierStats", "ArtifactStore", "resolve_store", "store_from_spec"]
+
+
+@dataclass
+class TierStats:
+    """Counters for one store tier.
+
+    ``bytes_written``/``bytes_read`` are payload byte counts (exact for
+    the disk tier, best-effort estimates elsewhere); ``corrupt`` counts
+    entries that failed to decode and were treated as misses.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+    corrupt: int = 0
+    bytes_written: int = 0
+    bytes_read: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served by this tier (0.0 when unused)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        """All counters plus the derived hit rate, as a plain dict."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+            "corrupt": self.corrupt,
+            "bytes_written": self.bytes_written,
+            "bytes_read": self.bytes_read,
+            "hit_rate": self.hit_rate,
+        }
+
+    def add(self, delta: Dict[str, Any]) -> None:
+        """Fold a counter delta dict (e.g. shipped back by a process
+        worker) into this tier's totals; unknown keys are ignored."""
+        for name in (
+            "hits",
+            "misses",
+            "stores",
+            "evictions",
+            "invalidations",
+            "corrupt",
+            "bytes_written",
+            "bytes_read",
+        ):
+            value = delta.get(name, 0)
+            if value:
+                setattr(self, name, getattr(self, name) + int(value))
+
+
+class ArtifactStore:
+    """Interface every backend implements.
+
+    Keys are :class:`~repro.store.keys.ArtifactKey`; values are
+    arbitrary picklable payloads.  Implementations must be safe for
+    concurrent use from threads of one process (the thread-pool
+    executor shares a store across workers).
+    """
+
+    #: Tier name used in per-tier stats and telemetry labels.
+    name = "store"
+
+    def accepts(self, key: ArtifactKey) -> bool:
+        """Whether this tier stores artifacts of ``key``'s kind (the
+        DARR tier holds results, never fold data)."""
+        return True
+
+    def get(self, key: ArtifactKey) -> Optional[Any]:
+        """The stored payload for ``key``, or ``None`` on a miss."""
+        raise NotImplementedError
+
+    def put(self, key: ArtifactKey, value: Any) -> None:
+        """Store ``value`` under ``key`` (idempotent per digest)."""
+        raise NotImplementedError
+
+    def invalidate(
+        self,
+        data_object: Optional[str] = None,
+        before_version: Optional[int] = None,
+        dataset: Optional[str] = None,
+        kind: Optional[str] = None,
+    ) -> int:
+        """Evict artifacts matching every given criterion.
+
+        Parameters
+        ----------
+        data_object:
+            Only artifacts derived from this named data object.
+        before_version:
+            Only artifacts computed at a ``data_version`` strictly
+            below this (a version bump invalidates everything older).
+        dataset:
+            Only artifacts with this dataset fingerprint.
+        kind:
+            Only artifacts of this kind.
+
+        Returns
+        -------
+        Number of artifacts evicted.
+        """
+        raise NotImplementedError
+
+    def clear(self) -> None:
+        """Drop every artifact (counters are kept)."""
+        raise NotImplementedError
+
+    def counters(self) -> Dict[str, TierStats]:
+        """Per-tier counters, keyed by tier name."""
+        raise NotImplementedError
+
+    def tier_stats(self) -> Dict[str, Dict[str, Any]]:
+        """:meth:`counters` as plain nested dicts (report-ready)."""
+        return {
+            name: stats.as_dict() for name, stats in self.counters().items()
+        }
+
+    def spec(self) -> Optional[Dict[str, Any]]:
+        """Picklable rebuild recipe for sharing the store with worker
+        processes, or ``None`` when the tier is process-local (memory)
+        or unshippable (a live DARR)."""
+        return None
+
+    def __len__(self) -> int:  # pragma: no cover - trivial default
+        raise NotImplementedError
+
+    @staticmethod
+    def _matches(
+        key: ArtifactKey,
+        data_object: Optional[str],
+        before_version: Optional[int],
+        dataset: Optional[str],
+        kind: Optional[str],
+    ) -> bool:
+        """Shared invalidation predicate over one key."""
+        if data_object is not None and key.data_object != data_object:
+            return False
+        if before_version is not None and key.data_version >= before_version:
+            return False
+        if dataset is not None and key.dataset != dataset:
+            return False
+        if kind is not None and key.kind != kind:
+            return False
+        return True
+
+
+def resolve_store(spec: Any, cache_size: int = 128) -> Optional[ArtifactStore]:
+    """Coerce ``spec`` into an :class:`ArtifactStore` (or ``None``).
+
+    Parameters
+    ----------
+    spec:
+        ``None`` → ``None`` (no store); an :class:`ArtifactStore` →
+        itself; ``"memory"`` → a fresh
+        :class:`~repro.store.memory.MemoryStore`;
+        ``"disk:<root>"`` → a :class:`~repro.store.disk.DiskStore` at
+        ``<root>``; ``"layered:<root>"`` → a
+        :class:`~repro.store.layered.LayeredStore` of a memory front
+        tier over a disk tier at ``<root>``.
+    cache_size:
+        Entry bound for memory tiers created here.
+
+    Returns
+    -------
+    The resolved store, or ``None``.
+    """
+    if spec is None:
+        return None
+    if isinstance(spec, ArtifactStore):
+        return spec
+    if isinstance(spec, str):
+        from repro.store.disk import DiskStore
+        from repro.store.layered import LayeredStore
+        from repro.store.memory import MemoryStore
+
+        if spec == "memory":
+            return MemoryStore(max_entries=cache_size)
+        if spec.startswith("disk:"):
+            return DiskStore(spec.split(":", 1)[1])
+        if spec.startswith("layered:"):
+            return LayeredStore(
+                [
+                    MemoryStore(max_entries=cache_size),
+                    DiskStore(spec.split(":", 1)[1]),
+                ]
+            )
+    raise ValueError(
+        f"cannot interpret {spec!r} as an artifact store; expected None, "
+        "an ArtifactStore, 'memory', 'disk:<root>' or 'layered:<root>'"
+    )
+
+
+def store_from_spec(
+    doc: Optional[Dict[str, Any]], cache_size: int = 32
+) -> Optional[ArtifactStore]:
+    """Rebuild a store from an :meth:`ArtifactStore.spec` recipe.
+
+    Process workers call this with the recipe shipped in the engine's
+    call payload; a memory front tier (bounded by ``cache_size``) is
+    always added so worker-local lookups stay off the disk hot path.
+
+    Parameters
+    ----------
+    doc:
+        The recipe (``None`` → ``None``).
+    cache_size:
+        Entry bound of the added memory front tier.
+
+    Returns
+    -------
+    The rebuilt store, or ``None``.
+    """
+    if doc is None:
+        return None
+    from repro.store.disk import DiskStore
+    from repro.store.layered import LayeredStore
+    from repro.store.memory import MemoryStore
+
+    tiers: list = [MemoryStore(max_entries=max(1, cache_size))]
+    if doc["type"] == "disk":
+        tiers.append(DiskStore(doc["root"]))
+    elif doc["type"] == "layered":
+        for tier_doc in doc["tiers"]:
+            if tier_doc["type"] == "disk":
+                tiers.append(DiskStore(tier_doc["root"]))
+    else:  # pragma: no cover - spec() only emits the types above
+        raise ValueError(f"unknown store spec type {doc['type']!r}")
+    return LayeredStore(tiers)

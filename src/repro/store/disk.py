@@ -1,0 +1,241 @@
+"""Durable content-addressed disk tier.
+
+Artifacts live under ``root/<digest[:2]>/<digest>.bin`` — a classic
+content-addressed layout: the digest already covers every
+:class:`~repro.store.keys.ArtifactKey` field, so the path *is* the
+identity and no index file is needed.  Writes are atomic (temp file +
+``fsync`` + ``os.replace``) so a crash mid-write never leaves a partial
+entry under a live digest; reads are corruption-tolerant — a truncated
+or garbled entry is treated as a miss (counted in
+``TierStats.corrupt``) and removed, never raised.
+
+This is the tier that makes warm-start sweeps work: a second run of the
+same sweep against the same root finds every completed result and fold
+transform already on disk and skips the fits.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import tempfile
+import threading
+from typing import Any, Dict, Iterator, Optional, Tuple
+
+from repro.store.base import ArtifactStore, TierStats
+from repro.store.keys import ArtifactKey
+
+__all__ = ["DiskStore"]
+
+#: Entry header magic; bump the trailing digit on layout changes.
+_MAGIC = b"REPROCAS1"
+#: ``>I`` key-JSON length, ``>Q`` payload length.
+_KEY_LEN = struct.Struct(">I")
+_PAYLOAD_LEN = struct.Struct(">Q")
+
+
+class _CorruptEntry(Exception):
+    """Internal: an on-disk entry failed to parse."""
+
+
+class DiskStore(ArtifactStore):
+    """Content-addressed artifact directory that survives process exits.
+
+    Parameters
+    ----------
+    root:
+        Directory holding the store (created if missing).  Multiple
+        processes may share one root: writes are atomic renames, and
+        concurrent writers of the same digest write the same content.
+    """
+
+    name = "disk"
+
+    def __init__(self, root: str):
+        self.root = os.fspath(root)
+        os.makedirs(self.root, exist_ok=True)
+        self._lock = threading.Lock()
+        self.stats = TierStats()
+
+    # -- layout ---------------------------------------------------------
+
+    def _path(self, digest: str) -> str:
+        return os.path.join(self.root, digest[:2], digest + ".bin")
+
+    def _iter_entries(self) -> Iterator[str]:
+        """Paths of every ``.bin`` entry currently under the root."""
+        for shard in sorted(os.listdir(self.root)):
+            shard_dir = os.path.join(self.root, shard)
+            if len(shard) != 2 or not os.path.isdir(shard_dir):
+                continue
+            for entry in sorted(os.listdir(shard_dir)):
+                if entry.endswith(".bin"):
+                    yield os.path.join(shard_dir, entry)
+
+    # -- entry codec ----------------------------------------------------
+
+    @staticmethod
+    def _encode_entry(key: ArtifactKey, value: Any) -> bytes:
+        # Local import: repro.distributed.objects must stay importable
+        # without repro.store and vice versa.
+        from repro.distributed.objects import encode_payload
+
+        key_json = json.dumps(
+            key.as_dict(), sort_keys=True, separators=(",", ":")
+        ).encode()
+        payload = encode_payload(value)
+        return b"".join(
+            [
+                _MAGIC,
+                _KEY_LEN.pack(len(key_json)),
+                key_json,
+                _PAYLOAD_LEN.pack(len(payload)),
+                payload,
+            ]
+        )
+
+    @staticmethod
+    def _decode_header(blob: bytes) -> Tuple[ArtifactKey, bytes]:
+        """Parse ``(key, payload_bytes)`` or raise :class:`_CorruptEntry`."""
+        try:
+            if not blob.startswith(_MAGIC):
+                raise _CorruptEntry("bad magic")
+            offset = len(_MAGIC)
+            (key_len,) = _KEY_LEN.unpack_from(blob, offset)
+            offset += _KEY_LEN.size
+            key_json = blob[offset : offset + key_len]
+            if len(key_json) != key_len:
+                raise _CorruptEntry("truncated key")
+            offset += key_len
+            (payload_len,) = _PAYLOAD_LEN.unpack_from(blob, offset)
+            offset += _PAYLOAD_LEN.size
+            payload = blob[offset : offset + payload_len]
+            if len(payload) != payload_len:
+                raise _CorruptEntry("truncated payload")
+            key = ArtifactKey.from_dict(json.loads(key_json.decode()))
+            return key, payload
+        except _CorruptEntry:
+            raise
+        except Exception as exc:
+            raise _CorruptEntry(str(exc)) from exc
+
+    def _read_entry(self, path: str) -> Tuple[ArtifactKey, bytes]:
+        """Read and parse one entry or raise :class:`_CorruptEntry`."""
+        try:
+            with open(path, "rb") as handle:
+                blob = handle.read()
+        except OSError as exc:
+            raise _CorruptEntry(str(exc)) from exc
+        return self._decode_header(blob)
+
+    def _drop_corrupt(self, path: str) -> None:
+        self.stats.corrupt += 1
+        try:
+            os.remove(path)
+        except OSError:
+            pass
+
+    # -- store interface ------------------------------------------------
+
+    def get(self, key: ArtifactKey) -> Optional[Any]:
+        """Decode the entry for ``key`` or ``None``; corrupt entries are
+        removed and counted as misses."""
+        from repro.distributed.objects import decode_payload
+
+        path = self._path(key.digest)
+        with self._lock:
+            if not os.path.exists(path):
+                self.stats.misses += 1
+                return None
+            try:
+                stored_key, payload = self._read_entry(path)
+                if stored_key != key:
+                    # Digest collision or tampering: never serve a
+                    # payload whose recorded identity disagrees.
+                    raise _CorruptEntry("key mismatch")
+                value = decode_payload(payload)
+            except _CorruptEntry:
+                self._drop_corrupt(path)
+                self.stats.misses += 1
+                return None
+            except Exception:
+                self._drop_corrupt(path)
+                self.stats.misses += 1
+                return None
+            self.stats.hits += 1
+            self.stats.bytes_read += len(payload)
+            return value
+
+    def put(self, key: ArtifactKey, value: Any) -> None:
+        """Atomically persist ``value`` (no-op if the digest exists)."""
+        path = self._path(key.digest)
+        with self._lock:
+            if os.path.exists(path):
+                return
+            blob = self._encode_entry(key, value)
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            fd, tmp_path = tempfile.mkstemp(
+                dir=os.path.dirname(path), suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    handle.write(blob)
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                os.replace(tmp_path, path)
+            except BaseException:
+                try:
+                    os.remove(tmp_path)
+                except OSError:
+                    pass
+                raise
+            self.stats.stores += 1
+            self.stats.bytes_written += len(blob)
+
+    def invalidate(
+        self,
+        data_object: Optional[str] = None,
+        before_version: Optional[int] = None,
+        dataset: Optional[str] = None,
+        kind: Optional[str] = None,
+    ) -> int:
+        """Remove every matching entry by scanning headers (payloads
+        are not decoded); corrupt entries are dropped along the way."""
+        removed = 0
+        with self._lock:
+            for path in list(self._iter_entries()):
+                try:
+                    key, _ = self._read_entry(path)
+                except _CorruptEntry:
+                    self._drop_corrupt(path)
+                    continue
+                if self._matches(key, data_object, before_version, dataset, kind):
+                    try:
+                        os.remove(path)
+                    except OSError:
+                        continue
+                    removed += 1
+            self.stats.invalidations += removed
+            return removed
+
+    def clear(self) -> None:
+        """Remove every entry (the root directory is kept)."""
+        with self._lock:
+            for path in list(self._iter_entries()):
+                try:
+                    os.remove(path)
+                except OSError:
+                    pass
+
+    def counters(self) -> Dict[str, TierStats]:
+        """This tier's counters under its name."""
+        return {self.name: self.stats}
+
+    def spec(self) -> Optional[Dict[str, Any]]:
+        """Rebuild recipe — the disk tier is shareable across processes."""
+        return {"type": "disk", "root": self.root}
+
+    def __len__(self) -> int:
+        with self._lock:
+            return sum(1 for _ in self._iter_entries())

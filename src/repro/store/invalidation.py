@@ -1,0 +1,120 @@
+"""Version-bump invalidation: home-data-store updates evict artifacts.
+
+Before this module, a :class:`~repro.distributed.datastore.HomeDataStore`
+version bump invalidated *nothing* — artifacts computed on version *k*
+of a data object stayed servable forever, and only LRU pressure ever
+evicted them.  :class:`StoreInvalidator` closes the loop the paper
+describes ("when the amount of change in the data exceeds a threshold,
+then analytics calculations are recalculated"): it listens to data
+store updates, feeds them through a per-object
+:class:`~repro.distributed.change_monitor.ChangePolicy`, and when the
+policy fires, evicts every artifact derived from that object at a data
+version below the new one.
+
+Artifacts participate by carrying ``(data_object, data_version)`` in
+their :class:`~repro.store.keys.ArtifactKey` — the engine stamps these
+from its ``data_ref`` when one is configured.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+from repro.store.base import ArtifactStore
+
+__all__ = ["StoreInvalidator"]
+
+
+class StoreInvalidator:
+    """Bridges home-data-store updates to artifact-store eviction.
+
+    Parameters
+    ----------
+    store:
+        The artifact store whose stale entries get evicted.
+    policy_factory:
+        Zero-argument callable producing a fresh
+        :class:`~repro.distributed.change_monitor.ChangePolicy` per
+        data object.  Default: an
+        :class:`~repro.distributed.change_monitor.UpdateCountPolicy`
+        with threshold 1, i.e. *every* version bump invalidates.
+        A higher threshold absorbs small updates (the paper's
+        recompute-frequency-vs-staleness trade) — artifacts then stay
+        servable until enough change accumulates.
+
+    Examples
+    --------
+    >>> from repro.store import MemoryStore, StoreInvalidator
+    >>> from repro.distributed.datastore import HomeDataStore
+    >>> store = MemoryStore()
+    >>> home = HomeDataStore()
+    >>> invalidator = StoreInvalidator(store)
+    >>> invalidator.attach(home)
+    >>> _ = home.put("sensor-data", [1.0, 2.0])   # version 1: no artifacts yet
+    >>> invalidator.stats["invalidated"]
+    0
+    """
+
+    def __init__(
+        self,
+        store: ArtifactStore,
+        policy_factory: Optional[Callable[[], Any]] = None,
+    ):
+        if policy_factory is None:
+            from repro.distributed.change_monitor import UpdateCountPolicy
+
+            policy_factory = lambda: UpdateCountPolicy(threshold=1)  # noqa: E731
+        self.store = store
+        self.policy_factory = policy_factory
+        #: Per-object change monitors, created lazily on first update.
+        self.monitors: Dict[str, Any] = {}
+        self.stats = {"updates": 0, "fires": 0, "invalidated": 0}
+        self._attached: list = []
+
+    # -- wiring ---------------------------------------------------------
+
+    def attach(self, datastore: Any) -> None:
+        """Subscribe to ``datastore``'s update notifications."""
+        datastore.add_listener(self._on_update)
+        self._attached.append(datastore)
+
+    def detach(self, datastore: Any) -> None:
+        """Unsubscribe from a previously attached data store."""
+        datastore.remove_listener(self._on_update)
+        self._attached.remove(datastore)
+
+    # -- update path ----------------------------------------------------
+
+    def _monitor_for(self, name: str) -> Any:
+        monitor = self.monitors.get(name)
+        if monitor is None:
+            from repro.distributed.change_monitor import ChangeMonitor
+
+            monitor = ChangeMonitor(
+                self.policy_factory(),
+                recompute=lambda name=name: self._fire(name),
+            )
+            self.monitors[name] = monitor
+        return monitor
+
+    def _on_update(self, datastore: Any, previous: Any, obj: Any) -> None:
+        """HomeDataStore listener: feed the update to the object's
+        monitor; the monitor calls :meth:`_fire` when the policy says
+        enough change has accumulated."""
+        self.stats["updates"] += 1
+        self._monitor_for(obj.name).record_update(
+            old=previous, new=obj, size=obj.size
+        )
+
+    def _fire(self, name: str) -> None:
+        monitor = self.monitors[name]
+        event = monitor.last_event
+        new = event[1] if event is not None else None
+        before_version = getattr(new, "version", None)
+        if before_version is None:
+            return
+        evicted = self.store.invalidate(
+            data_object=name, before_version=before_version
+        )
+        self.stats["fires"] += 1
+        self.stats["invalidated"] += evicted

@@ -1,0 +1,112 @@
+"""Canonical content-addressed artifact identity.
+
+The paper's cooperative premise needs *one* notion of "this exact
+computation on this exact data version".  Before the
+:class:`~repro.store.base.ArtifactStore` existed, four subsystems each
+invented a partial identity: the engine's prefix cache keyed on
+``(prefix spec, dataset, fold)`` tuples, process workers rebuilt the
+same tuples privately, the DARR indexed by bare spec key, and the home
+data store versioned raw bytes with no link back to derived results.
+
+:class:`ArtifactKey` is the single identity they now share.  It is
+content-addressed: :attr:`ArtifactKey.digest` hashes **every** field,
+so two artifacts collide exactly when they are the same kind of value,
+for the same computation, on the same dataset content, at the same data
+object version, for the same CV fold.  ``tools/check_store_integrity.py``
+guards the every-field property against silent regressions.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, fields
+from typing import Any, Dict, Tuple
+
+__all__ = [
+    "ArtifactKey",
+    "ARTIFACT_KEY_FIELDS",
+    "KIND_FOLD_TRANSFORM",
+    "KIND_RESULT",
+]
+
+#: Artifact kinds.  ``fold-transform`` values are the
+#: ``(X_train, X_test, n_transformers)`` tuples produced by fitting a
+#: transformer prefix on one CV fold; ``result`` values are completed
+#: evaluation records (fold scores + timings) — the same thing a DARR
+#: :class:`~repro.darr.records.AnalyticsResult` carries.
+KIND_FOLD_TRANSFORM = "fold-transform"
+KIND_RESULT = "result"
+
+
+@dataclass(frozen=True)
+class ArtifactKey:
+    """Identity of one stored artifact, content-addressed over all fields.
+
+    Parameters
+    ----------
+    kind:
+        Artifact kind (:data:`KIND_FOLD_TRANSFORM` or
+        :data:`KIND_RESULT`); tiers may accept only some kinds (the
+        DARR tier stores results, never fold data).
+    spec_key:
+        The canonical computation identity: a job's
+        :func:`~repro.core.spec.spec_key` for results, the configured
+        prefix key for fold transforms.
+    dataset:
+        Content fingerprint of the dataset
+        (:func:`~repro.core.spec.dataset_fingerprint`).
+    data_object:
+        Name of the :class:`~repro.distributed.objects.VersionedObject`
+        the dataset came from (``""`` for in-memory/anonymous data).
+        Lets version-bump invalidation find the derived artifacts.
+    data_version:
+        Version of that object when the artifact was computed (``0``
+        for unversioned data).
+    fold:
+        Fold fingerprint (:func:`~repro.core.spec.fold_fingerprint`)
+        for per-fold artifacts; ``""`` for whole-dataset artifacts.
+    """
+
+    kind: str
+    spec_key: str
+    dataset: str = ""
+    data_object: str = ""
+    data_version: int = 0
+    fold: str = ""
+
+    def __post_init__(self):
+        if not self.kind:
+            raise ValueError("artifact kind must be non-empty")
+        if not self.spec_key:
+            raise ValueError("spec_key must be non-empty")
+        if self.data_version < 0:
+            raise ValueError("data_version must be >= 0")
+
+    def as_dict(self) -> Dict[str, Any]:
+        """All key fields as a plain JSON-stable dict."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @property
+    def digest(self) -> str:
+        """Stable SHA-256 content address covering every key field.
+
+        Two keys share a digest exactly when every field agrees — the
+        property ``tools/check_store_integrity.py`` lints.
+        """
+        encoded = json.dumps(
+            self.as_dict(), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(encoded.encode()).hexdigest()[:40]
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, Any]) -> "ArtifactKey":
+        """Rebuild a key from :meth:`as_dict` output (disk headers)."""
+        return cls(**{f.name: doc[f.name] for f in fields(cls)})
+
+
+#: The key's field names, in declaration order — the contract the
+#: integrity lint checks the digest against.
+ARTIFACT_KEY_FIELDS: Tuple[str, ...] = tuple(
+    f.name for f in fields(ArtifactKey)
+)

@@ -1,0 +1,208 @@
+"""Tier stack (read-through + write-back) and the DARR result tier.
+
+A :class:`LayeredStore` stacks tiers fastest-first — typically
+``memory → disk → DARR``.  A ``get`` probes tiers in order and, on a
+hit, writes the artifact back into every faster tier that accepts the
+key, so the next lookup is served locally.  A ``put`` writes through to
+every accepting tier.
+
+:class:`DarrStore` adapts a Distributed Analytics Results Repository to
+the store interface so a completed result cached locally and a DARR
+record published network-wide are the *same artifact at different
+tiers* — the coordinator no longer needs a separate fetch path.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.store.base import ArtifactStore, TierStats
+from repro.store.keys import KIND_RESULT, ArtifactKey
+
+__all__ = ["LayeredStore", "DarrStore"]
+
+
+class LayeredStore(ArtifactStore):
+    """Read-through/write-back stack of :class:`ArtifactStore` tiers.
+
+    Parameters
+    ----------
+    tiers:
+        Tiers fastest-first; at least one.  Tier names must be unique
+        (they key the per-tier counter breakdown).
+    """
+
+    name = "layered"
+
+    def __init__(self, tiers: Sequence[ArtifactStore]):
+        tiers = list(tiers)
+        if not tiers:
+            raise ValueError("LayeredStore needs at least one tier")
+        names = [tier.name for tier in tiers]
+        if len(set(names)) != len(names):
+            raise ValueError(f"tier names must be unique, got {names}")
+        self.tiers: List[ArtifactStore] = tiers
+
+    def accepts(self, key: ArtifactKey) -> bool:
+        """Whether any tier accepts ``key``."""
+        return any(tier.accepts(key) for tier in self.tiers)
+
+    def get(self, key: ArtifactKey) -> Optional[Any]:
+        """Probe tiers in order; a hit is written back into every
+        faster accepting tier (read-through promotion)."""
+        for index, tier in enumerate(self.tiers):
+            if not tier.accepts(key):
+                continue
+            value = tier.get(key)
+            if value is None:
+                continue
+            for faster in self.tiers[:index]:
+                if faster.accepts(key):
+                    faster.put(key, value)
+            return value
+        return None
+
+    def put(self, key: ArtifactKey, value: Any) -> None:
+        """Write through to every accepting tier."""
+        for tier in self.tiers:
+            if tier.accepts(key):
+                tier.put(key, value)
+
+    def invalidate(
+        self,
+        data_object: Optional[str] = None,
+        before_version: Optional[int] = None,
+        dataset: Optional[str] = None,
+        kind: Optional[str] = None,
+    ) -> int:
+        """Invalidate in every tier; returns the total evicted."""
+        return sum(
+            tier.invalidate(data_object, before_version, dataset, kind)
+            for tier in self.tiers
+        )
+
+    def clear(self) -> None:
+        """Clear every tier."""
+        for tier in self.tiers:
+            tier.clear()
+
+    def counters(self) -> Dict[str, TierStats]:
+        """Union of every tier's counters (names are unique)."""
+        merged: Dict[str, TierStats] = {}
+        for tier in self.tiers:
+            merged.update(tier.counters())
+        return merged
+
+    def spec(self) -> Optional[Dict[str, Any]]:
+        """Recipe carrying only the shippable tiers (disk), or ``None``
+        when nothing in the stack can cross a process boundary."""
+        shippable = [tier.spec() for tier in self.tiers]
+        shippable = [doc for doc in shippable if doc is not None]
+        if not shippable:
+            return None
+        if len(shippable) == 1:
+            return shippable[0]
+        return {"type": "layered", "tiers": shippable}
+
+    def __len__(self) -> int:
+        return sum(len(tier) for tier in self.tiers)
+
+
+def _is_unavailable(exc: BaseException) -> bool:
+    """Duck-typed ServiceUnavailable detection (this layer never
+    imports :mod:`repro.faults`, mirroring the core/faults invariant)."""
+    return type(exc).__name__ == "ServiceUnavailable"
+
+
+class DarrStore(ArtifactStore):
+    """A DARR repository viewed as a result-only artifact tier.
+
+    Accepts only :data:`~repro.store.keys.KIND_RESULT` keys.  ``get``
+    fetches the record for ``key.spec_key`` and converts it to the
+    result-record payload the engine caches; ``put`` publishes (DARR
+    publication is first-write-wins, so write-back of a fetched record
+    lands as a counted duplicate, never a conflict).  Repository
+    outages (``ServiceUnavailable`` faults) degrade to miss / dropped
+    write — the cooperative protocol's availability semantics, not an
+    error.
+
+    Parameters
+    ----------
+    repository:
+        Duck-typed DARR: needs ``fetch(key, client)`` and
+        ``publish(record, client)``.
+    client:
+        Client name used for the repository's network accounting and
+        stamped on published records.
+    """
+
+    name = "darr"
+
+    def __init__(self, repository: Any, client: str = "store"):
+        self.repository = repository
+        self.client = client
+        self.stats = TierStats()
+
+    def accepts(self, key: ArtifactKey) -> bool:
+        """Only completed results live in the DARR."""
+        return key.kind == KIND_RESULT
+
+    def get(self, key: ArtifactKey) -> Optional[Any]:
+        """Fetch the record for ``key.spec_key`` as a result payload."""
+        if not self.accepts(key):
+            return None
+        try:
+            record = self.repository.fetch(key.spec_key, self.client)
+        except Exception as exc:
+            if _is_unavailable(exc):
+                self.stats.misses += 1
+                return None
+            raise
+        if record is None:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        self.stats.bytes_read += record.wire_size
+        return record.artifact_value()
+
+    def put(self, key: ArtifactKey, value: Any) -> None:
+        """Publish ``value`` (a result payload) under ``key.spec_key``."""
+        from repro.darr.records import AnalyticsResult
+
+        if not self.accepts(key):
+            return
+        record = AnalyticsResult.from_artifact_value(
+            key.spec_key, value, client=self.client
+        )
+        try:
+            if self.repository.publish(record, self.client):
+                self.stats.stores += 1
+                self.stats.bytes_written += record.wire_size
+        except Exception as exc:
+            if not _is_unavailable(exc):
+                raise
+
+    def invalidate(
+        self,
+        data_object: Optional[str] = None,
+        before_version: Optional[int] = None,
+        dataset: Optional[str] = None,
+        kind: Optional[str] = None,
+    ) -> int:
+        """DARR records carry no version metadata to match on; the
+        repository is an append-only shared log, so nothing is evicted
+        from here."""
+        return 0
+
+    def clear(self) -> None:
+        """No-op: the shared repository is not ours to clear."""
+
+    def counters(self) -> Dict[str, TierStats]:
+        """This tier's counters under its name."""
+        return {self.name: self.stats}
+
+    def __len__(self) -> int:
+        try:
+            return len(self.repository.completed_keys())
+        except Exception:
+            return 0

@@ -1,0 +1,101 @@
+"""In-memory LRU artifact tier (the engine's historical cache behavior)."""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Dict, Optional, Tuple
+
+from repro.store.base import ArtifactStore, TierStats
+from repro.store.keys import ArtifactKey
+
+__all__ = ["MemoryStore"]
+
+
+class MemoryStore(ArtifactStore):
+    """Size-bounded LRU of artifacts, keyed by content digest.
+
+    This is the tier behind the engine's default
+    :class:`~repro.core.engine.PrefixCache`: fast, process-local, and
+    bounded, with least-recently-used entries evicted past
+    ``max_entries``.  Thread-safe.
+
+    Parameters
+    ----------
+    max_entries:
+        LRU bound on live entries (≥ 1).
+    """
+
+    name = "memory"
+
+    def __init__(self, max_entries: int = 128):
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = max_entries
+        # digest -> (key, value); ordered oldest-first for LRU.
+        self._entries: "OrderedDict[str, Tuple[ArtifactKey, Any]]" = (
+            OrderedDict()
+        )
+        self._lock = threading.Lock()
+        self.stats = TierStats()
+
+    def get(self, key: ArtifactKey) -> Optional[Any]:
+        """The stored payload for ``key``, or ``None``; a hit refreshes
+        the entry's LRU position."""
+        digest = key.digest
+        with self._lock:
+            entry = self._entries.get(digest)
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(digest)
+            self.stats.hits += 1
+            return entry[1]
+
+    def put(self, key: ArtifactKey, value: Any) -> None:
+        """Store ``value``, evicting LRU entries past the size bound.
+
+        A digest already present is refreshed (moved to the LRU tail)
+        without rewriting — artifacts are immutable per key."""
+        digest = key.digest
+        with self._lock:
+            if digest in self._entries:
+                self._entries.move_to_end(digest)
+                return
+            self._entries[digest] = (key, value)
+            self.stats.stores += 1
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+
+    def invalidate(
+        self,
+        data_object: Optional[str] = None,
+        before_version: Optional[int] = None,
+        dataset: Optional[str] = None,
+        kind: Optional[str] = None,
+    ) -> int:
+        """Evict every entry matching the criteria; see the base class."""
+        with self._lock:
+            doomed = [
+                digest
+                for digest, (key, _) in self._entries.items()
+                if self._matches(key, data_object, before_version, dataset, kind)
+            ]
+            for digest in doomed:
+                del self._entries[digest]
+            self.stats.invalidations += len(doomed)
+            return len(doomed)
+
+    def clear(self) -> None:
+        """Drop every entry (the counters are kept)."""
+        with self._lock:
+            self._entries.clear()
+
+    def counters(self) -> Dict[str, TierStats]:
+        """This tier's counters under its name."""
+        return {self.name: self.stats}
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)

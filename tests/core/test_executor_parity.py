@@ -200,3 +200,61 @@ class TestChaosParity:
     def test_one_job_missing_from_results(self, chaos_serial, chaos_compared):
         assert len(chaos_serial.results) == 11
         assert len(chaos_compared.results) == 11
+
+
+class TestCrossExecutorStoreSharing:
+    """Executors share one durable artifact store.
+
+    A serial sweep populates a ``DiskStore``; every other executor run
+    against the same root serves all twelve results from the store
+    (``from_cache``, counted in ``results_reused`` with disk-tier hits
+    in the breakdown) and still reports the identical winner and exact
+    per-fold scores — the cross-executor warm-start contract.
+    """
+
+    @pytest.fixture(scope="class")
+    def store_root(self, tmp_path_factory):
+        return str(tmp_path_factory.mktemp("shared-store") / "cas")
+
+    @pytest.fixture(scope="class")
+    def warm_baseline(self, data, store_root):
+        X, y = data
+        engine = ExecutionEngine(executor="serial", store=f"disk:{store_root}")
+        evaluator = GraphEvaluator(
+            build_graph(), cv=KFold(2, random_state=0), engine=engine
+        )
+        report = evaluator.evaluate(X, y, refit_best=False)
+        assert engine.cache_stats()["results_reused"] == 0
+        return report
+
+    @pytest.fixture(scope="class", params=COMPARED)
+    def warm_run(self, request, data, process_pool, warm_baseline, store_root):
+        X, y = data
+        engine = make_engine(
+            request.param, process_pool, store=f"disk:{store_root}"
+        )
+        evaluator = GraphEvaluator(
+            build_graph(), cv=KFold(2, random_state=0), engine=engine
+        )
+        report = evaluator.evaluate(X, y, refit_best=False)
+        return report, engine.cache_stats()
+
+    def test_all_results_served_from_store(self, warm_run):
+        report, stats = warm_run
+        assert stats["results_reused"] == 12
+        assert all(r.from_cache for r in report.results)
+
+    def test_disk_tier_reports_hits(self, warm_run):
+        _, stats = warm_run
+        disk_hits = sum(
+            tier["hits"]
+            for name, tier in stats["tiers"].items()
+            if name.startswith("disk")
+        )
+        assert disk_hits >= 12
+
+    def test_identical_winner_and_scores(self, warm_baseline, warm_run):
+        report, _ = warm_run
+        assert report.best_path == warm_baseline.best_path
+        baseline = {r.key: r.cv_result.fold_scores for r in warm_baseline.results}
+        assert {r.key: r.cv_result.fold_scores for r in report.results} == baseline

@@ -166,3 +166,54 @@ class TestRecordConversion:
 
     def test_wire_size_positive(self):
         assert make_record().wire_size > 100
+
+
+class TestPersistence:
+    """save_repository / load_repository schema round-trips."""
+
+    def test_v2_roundtrip_records_claims_stats(self, darr, tmp_path):
+        from repro.darr import load_repository, save_repository
+
+        darr.publish(make_record("k1", score=1.0), "c1")
+        darr.publish(make_record("k2", score=2.0), "c1")
+        assert darr.claim("k3", "c1")
+        darr.fetch("k1", "c1")
+        darr.fetch("missing", "c1")
+        path = tmp_path / "darr.bin"
+
+        assert save_repository(darr, path) == 2
+        restored = load_repository(path, name="darr-2")
+
+        assert restored.completed_keys() == ["k1", "k2"]
+        assert restored.fetch("k1", restored.name).score == 1.0
+        # Claim state survives: the in-flight key is still held by c1.
+        assert restored.claim_holder("k3") == "c1"
+        assert not restored.claim("k3", "c2")
+        assert restored.claim_duration == darr.claim_duration
+        # Traffic accounting survives too.
+        assert restored.stats["publishes"] == 2
+        assert restored.stats["fetch_hits"] >= 1
+        assert restored.stats["fetch_misses"] >= 1
+
+    def test_legacy_v1_list_dump_still_loads(self, darr, tmp_path):
+        import pickle
+
+        from repro.darr import load_repository
+
+        path = tmp_path / "legacy.bin"
+        records = [make_record("k1"), make_record("k2")]
+        path.write_bytes(pickle.dumps(records, protocol=4))
+
+        restored = load_repository(path)
+        assert restored.completed_keys() == ["k1", "k2"]
+        assert restored.claim_holder("k1") is None
+        assert restored.stats["publishes"] == 0
+
+    def test_unknown_schema_rejected(self, tmp_path):
+        from repro.darr import load_repository
+        from repro.distributed.objects import encode_payload
+
+        path = tmp_path / "future.bin"
+        path.write_bytes(encode_payload({"schema": 99, "records": []}))
+        with pytest.raises(ValueError, match="schema"):
+            load_repository(path)

@@ -1,0 +1,77 @@
+"""Tests for the versioned-object payload codec.
+
+``encode_payload`` emits pickle protocol 5 with out-of-band buffers for
+large array payloads; ``decode_payload`` must also accept bare pickle
+bytes (protocol 4 and earlier) so dumps written before the format change
+still load.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.distributed.objects import (
+    VersionedObject,
+    decode_payload,
+    encode_payload,
+)
+
+
+class TestRoundTrip:
+    def test_plain_python_values(self):
+        payload = {"rows": [1, 2, 3], "label": "sensor", "rate": 0.5}
+        assert decode_payload(encode_payload(payload)) == payload
+
+    def test_ndarray(self):
+        arr = np.arange(1000.0).reshape(50, 20)
+        np.testing.assert_array_equal(decode_payload(encode_payload(arr)), arr)
+
+    def test_mixed_container_with_arrays(self):
+        payload = {"X": np.arange(600.0), "meta": {"version": 3}}
+        decoded = decode_payload(encode_payload(payload))
+        np.testing.assert_array_equal(decoded["X"], payload["X"])
+        assert decoded["meta"] == {"version": 3}
+
+    def test_decoded_arrays_are_writable(self):
+        """Out-of-band buffers must come back as writable copies, not
+        readonly views into the encoded bytes."""
+        decoded = decode_payload(encode_payload(np.arange(500.0)))
+        assert decoded.flags.writeable
+        decoded[0] = -1.0  # must not raise
+
+
+class TestFormat:
+    def test_buffer_payloads_use_the_framed_format(self):
+        blob = encode_payload(np.arange(500.0))
+        assert blob.startswith(b"RP5\x00")
+
+    def test_bufferless_payloads_stay_plain_pickle(self):
+        """No out-of-band buffers -> a bare pickle, loadable anywhere."""
+        blob = encode_payload({"a": 1})
+        assert not blob.startswith(b"RP5\x00")
+        assert pickle.loads(blob) == {"a": 1}
+
+    def test_out_of_band_beats_in_band_for_large_arrays(self):
+        """The framed form must not balloon relative to protocol 4."""
+        arr = np.arange(100_000.0)
+        framed = encode_payload(arr)
+        in_band = pickle.dumps(arr, protocol=4)
+        assert len(framed) <= len(in_band) + 1024
+
+
+class TestBackwardCompatibility:
+    @pytest.mark.parametrize("protocol", [2, 3, 4])
+    def test_old_pickle_bytes_still_decode(self, protocol):
+        payload = {"X": np.arange(100.0), "version": 7}
+        legacy = pickle.dumps(payload, protocol=protocol)
+        decoded = decode_payload(legacy)
+        np.testing.assert_array_equal(decoded["X"], payload["X"])
+        assert decoded["version"] == 7
+
+    def test_versioned_object_roundtrip(self):
+        obj = VersionedObject(
+            name="sensor", version=2, data=encode_payload(np.arange(50.0))
+        )
+        np.testing.assert_array_equal(obj.payload(), np.arange(50.0))
+        assert obj.size == len(obj.data)

@@ -1,0 +1,34 @@
+"""Fixtures for the artifact-store suite.
+
+``REPRO_STORE_BACKEND`` (``memory`` / ``disk`` / ``layered``) narrows
+the backend-contract tests to one backend, so the ``store-matrix`` CI
+job isolates one backend per leg — mirroring ``REPRO_EXECUTOR`` in the
+executor-parity suite.
+"""
+
+import os
+
+import pytest
+
+from repro.store import DiskStore, LayeredStore, MemoryStore
+
+_ENV_BACKEND = os.environ.get("REPRO_STORE_BACKEND")
+BACKENDS = [_ENV_BACKEND] if _ENV_BACKEND else ["memory", "disk", "layered"]
+
+
+def build_backend(name, tmp_path):
+    if name == "memory":
+        return MemoryStore(max_entries=64)
+    if name == "disk":
+        return DiskStore(str(tmp_path / "cas"))
+    if name == "layered":
+        return LayeredStore(
+            [MemoryStore(max_entries=64), DiskStore(str(tmp_path / "cas"))]
+        )
+    raise ValueError(f"unknown backend {name!r}")
+
+
+@pytest.fixture(params=BACKENDS)
+def backend(request, tmp_path):
+    """One store backend per param (narrowed by REPRO_STORE_BACKEND)."""
+    return build_backend(request.param, tmp_path)

@@ -1,0 +1,266 @@
+"""Backend contract plus memory/disk/layered-specific behavior.
+
+The contract class runs against every backend (or the single backend
+selected by ``REPRO_STORE_BACKEND`` — the CI store-matrix knob).
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.store import (
+    KIND_FOLD_TRANSFORM,
+    KIND_RESULT,
+    ArtifactKey,
+    DiskStore,
+    LayeredStore,
+    MemoryStore,
+    resolve_store,
+    store_from_spec,
+)
+
+
+def make_key(spec="spec-1", kind=KIND_RESULT, **overrides):
+    fields = dict(
+        kind=kind, spec_key=spec, dataset="ds", data_object="obj",
+        data_version=1, fold="",
+    )
+    fields.update(overrides)
+    return ArtifactKey(**fields)
+
+
+class TestBackendContract:
+    """Behavior every backend must share (parameterized fixture)."""
+
+    def test_miss_then_hit(self, backend):
+        key = make_key()
+        assert backend.get(key) is None
+        backend.put(key, {"score": 1.5})
+        assert backend.get(key) == {"score": 1.5}
+
+    def test_ndarray_payload_roundtrip(self, backend):
+        key = make_key()
+        value = np.arange(12.0).reshape(3, 4)
+        backend.put(key, value)
+        np.testing.assert_array_equal(backend.get(key), value)
+
+    def test_distinct_keys_do_not_collide(self, backend):
+        backend.put(make_key("a"), "A")
+        backend.put(make_key("b"), "B")
+        assert backend.get(make_key("a")) == "A"
+        assert backend.get(make_key("b")) == "B"
+
+    def test_put_idempotent_per_digest(self, backend):
+        key = make_key()
+        backend.put(key, "first")
+        backend.put(key, "first")
+        assert backend.get(key) == "first"
+
+    def test_len_counts_entries(self, backend):
+        backend.put(make_key("a"), 1)
+        backend.put(make_key("b"), 2)
+        assert len(backend) >= 2
+
+    def test_clear_drops_everything(self, backend):
+        backend.put(make_key("a"), 1)
+        backend.clear()
+        assert backend.get(make_key("a")) is None
+
+    def test_invalidate_by_object_and_version(self, backend):
+        stale = make_key("a", data_object="sensor", data_version=1)
+        fresh = make_key("b", data_object="sensor", data_version=2)
+        other = make_key("c", data_object="weather", data_version=1)
+        for key in (stale, fresh, other):
+            backend.put(key, "v")
+        evicted = backend.invalidate(data_object="sensor", before_version=2)
+        assert evicted >= 1
+        assert backend.get(stale) is None
+        assert backend.get(fresh) == "v"
+        assert backend.get(other) == "v"
+
+    def test_invalidate_by_kind(self, backend):
+        fold = make_key("a", kind=KIND_FOLD_TRANSFORM)
+        result = make_key("a", kind=KIND_RESULT)
+        backend.put(fold, "f")
+        backend.put(result, "r")
+        backend.invalidate(kind=KIND_FOLD_TRANSFORM)
+        assert backend.get(fold) is None
+        assert backend.get(result) == "r"
+
+    def test_counters_track_hits_and_misses(self, backend):
+        key = make_key()
+        backend.get(key)
+        backend.put(key, 1)
+        backend.get(key)
+        stats = backend.tier_stats()
+        assert sum(s["misses"] for s in stats.values()) >= 1
+        assert sum(s["hits"] for s in stats.values()) >= 1
+        assert sum(s["stores"] for s in stats.values()) >= 1
+
+    def test_hit_rate_in_tier_stats(self, backend):
+        key = make_key()
+        backend.put(key, 1)
+        backend.get(key)
+        assert any(
+            0.0 < s["hit_rate"] <= 1.0 for s in backend.tier_stats().values()
+        )
+
+
+class TestMemoryStore:
+    def test_rejects_nonpositive_bound(self):
+        with pytest.raises(ValueError):
+            MemoryStore(max_entries=0)
+
+    def test_lru_eviction_past_bound(self):
+        store = MemoryStore(max_entries=2)
+        store.put(make_key("a"), 1)
+        store.put(make_key("b"), 2)
+        store.put(make_key("c"), 3)
+        assert len(store) == 2
+        assert store.stats.evictions == 1
+        assert store.get(make_key("a")) is None  # oldest evicted
+
+    def test_get_refreshes_lru_position(self):
+        store = MemoryStore(max_entries=2)
+        store.put(make_key("a"), 1)
+        store.put(make_key("b"), 2)
+        store.get(make_key("a"))  # "a" becomes most recent
+        store.put(make_key("c"), 3)
+        assert store.get(make_key("a")) == 1
+        assert store.get(make_key("b")) is None
+
+    def test_not_shippable(self):
+        assert MemoryStore().spec() is None
+
+
+class TestDiskStore:
+    def test_survives_reopen(self, tmp_path):
+        root = str(tmp_path / "cas")
+        DiskStore(root).put(make_key(), {"score": 2.0})
+        assert DiskStore(root).get(make_key()) == {"score": 2.0}
+
+    def test_truncated_entry_is_a_miss_not_a_crash(self, tmp_path):
+        """A crash mid-write (or bit rot) must degrade to recompute."""
+        store = DiskStore(str(tmp_path / "cas"))
+        key = make_key()
+        store.put(key, np.arange(100.0))
+        [path] = [
+            os.path.join(dirpath, name)
+            for dirpath, _, names in os.walk(store.root)
+            for name in names
+            if name.endswith(".bin")
+        ]
+        blob = open(path, "rb").read()
+        with open(path, "wb") as handle:
+            handle.write(blob[: len(blob) // 2])
+        assert store.get(key) is None
+        assert store.stats.corrupt == 1
+        assert not os.path.exists(path)  # corrupt entry removed
+        # The slot is usable again after the recompute.
+        store.put(key, "recomputed")
+        assert store.get(key) == "recomputed"
+
+    def test_garbage_entry_is_a_miss(self, tmp_path):
+        store = DiskStore(str(tmp_path / "cas"))
+        key = make_key()
+        digest = key.digest
+        entry_dir = os.path.join(store.root, digest[:2])
+        os.makedirs(entry_dir)
+        with open(os.path.join(entry_dir, digest + ".bin"), "wb") as handle:
+            handle.write(b"not a cas entry at all")
+        assert store.get(key) is None
+        assert store.stats.corrupt == 1
+
+    def test_invalidate_scans_headers(self, tmp_path):
+        store = DiskStore(str(tmp_path / "cas"))
+        store.put(make_key("a", data_object="s", data_version=1), "old")
+        store.put(make_key("b", data_object="s", data_version=3), "new")
+        assert store.invalidate(data_object="s", before_version=2) == 1
+        assert len(store) == 1
+
+    def test_bytes_accounting(self, tmp_path):
+        store = DiskStore(str(tmp_path / "cas"))
+        key = make_key()
+        store.put(key, np.arange(50.0))
+        store.get(key)
+        assert store.stats.bytes_written > 0
+        assert store.stats.bytes_read > 0
+
+    def test_spec_roundtrip(self, tmp_path):
+        store = DiskStore(str(tmp_path / "cas"))
+        store.put(make_key(), "payload")
+        rebuilt = store_from_spec(store.spec())
+        assert rebuilt.get(make_key()) == "payload"
+
+
+class TestLayeredStore:
+    def test_needs_a_tier(self):
+        with pytest.raises(ValueError):
+            LayeredStore([])
+
+    def test_rejects_duplicate_tier_names(self):
+        with pytest.raises(ValueError):
+            LayeredStore([MemoryStore(), MemoryStore()])
+
+    def test_read_through_promotion(self, tmp_path):
+        memory = MemoryStore()
+        disk = DiskStore(str(tmp_path / "cas"))
+        disk.put(make_key(), "cold")
+        layered = LayeredStore([memory, disk])
+        assert layered.get(make_key()) == "cold"
+        # Promoted: the next lookup is served by the memory tier.
+        assert memory.get(make_key()) == "cold"
+
+    def test_write_through(self, tmp_path):
+        memory = MemoryStore()
+        disk = DiskStore(str(tmp_path / "cas"))
+        LayeredStore([memory, disk]).put(make_key(), "v")
+        assert memory.get(make_key()) == "v"
+        assert disk.get(make_key()) == "v"
+
+    def test_counters_keyed_by_tier_name(self, tmp_path):
+        layered = LayeredStore(
+            [MemoryStore(), DiskStore(str(tmp_path / "cas"))]
+        )
+        assert set(layered.tier_stats()) == {"memory", "disk"}
+
+    def test_spec_ships_only_durable_tiers(self, tmp_path):
+        layered = LayeredStore(
+            [MemoryStore(), DiskStore(str(tmp_path / "cas"))]
+        )
+        assert layered.spec() == {
+            "type": "disk",
+            "root": str(tmp_path / "cas"),
+        }
+        assert LayeredStore([MemoryStore()]).spec() is None
+
+
+class TestResolveStore:
+    def test_none_passthrough(self):
+        assert resolve_store(None) is None
+
+    def test_instance_passthrough(self):
+        store = MemoryStore()
+        assert resolve_store(store) is store
+
+    def test_memory_spec(self):
+        assert isinstance(resolve_store("memory"), MemoryStore)
+
+    def test_disk_spec(self, tmp_path):
+        store = resolve_store(f"disk:{tmp_path}/cas")
+        assert isinstance(store, DiskStore)
+
+    def test_layered_spec(self, tmp_path):
+        store = resolve_store(f"layered:{tmp_path}/cas")
+        assert isinstance(store, LayeredStore)
+        assert [tier.name for tier in store.tiers] == ["memory", "disk"]
+
+    def test_unknown_spec_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_store("redis:localhost")
+
+    def test_worker_rebuild_adds_memory_front(self, tmp_path):
+        recipe = DiskStore(str(tmp_path / "cas")).spec()
+        rebuilt = store_from_spec(recipe)
+        assert [tier.name for tier in rebuilt.tiers] == ["memory", "disk"]

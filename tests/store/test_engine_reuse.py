@@ -1,0 +1,98 @@
+"""Engine-level result reuse through an artifact store.
+
+The engine consults its store before computing a job: a stored result
+comes back as ``from_cache`` through the ``reuse_hook`` (never the
+``result_hook``), and the per-tier breakdown lands in
+``cache_stats()["tiers"]``.
+"""
+
+import pytest
+
+from repro.core import ExecutionEngine, GraphEvaluator, TransformerEstimatorGraph
+from repro.datasets import make_regression
+from repro.ml.linear import LinearRegression, RidgeRegression
+from repro.ml.model_selection import KFold
+from repro.ml.preprocessing import MinMaxScaler, StandardScaler
+from repro.store import MemoryStore
+
+
+@pytest.fixture(scope="module")
+def data():
+    return make_regression(
+        n_samples=80, n_features=5, n_informative=3, noise=0.1,
+        random_state=0,
+    )
+
+
+def build_graph():
+    graph = TransformerEstimatorGraph()
+    graph.add_feature_scalers([StandardScaler(), MinMaxScaler()])
+    graph.add_regression_models([LinearRegression(), RidgeRegression()])
+    return graph
+
+
+def run_sweep(engine, X, y, **hooks):
+    evaluator = GraphEvaluator(
+        build_graph(), cv=KFold(2, random_state=0), engine=engine
+    )
+    jobs = list(evaluator.iter_jobs(X, y))
+    results = engine.execute(
+        jobs, X, y, cv=evaluator.cv, metric=evaluator.metric, **hooks
+    )
+    return jobs, results
+
+
+class TestResultReuse:
+    def test_no_store_means_no_reuse(self, data):
+        """Without an explicit store the fold cache still works but
+        completed results are never served from it."""
+        X, y = data
+        engine = ExecutionEngine()
+        _, results = run_sweep(engine, X, y)
+        _, again = run_sweep(engine, X, y)
+        assert engine.cache_stats()["results_reused"] == 0
+        assert not any(r.from_cache for r in results + again)
+
+    def test_second_engine_reuses_from_shared_store(self, data):
+        X, y = data
+        store = MemoryStore()
+        _, first = run_sweep(ExecutionEngine(store=store), X, y)
+        engine = ExecutionEngine(store=store)
+        _, second = run_sweep(engine, X, y)
+        assert engine.cache_stats()["results_reused"] == len(second)
+        assert all(r.from_cache for r in second)
+        assert {r.key: r.score for r in second} == {
+            r.key: r.score for r in first
+        }
+
+    def test_reuse_hook_fires_instead_of_result_hook(self, data):
+        X, y = data
+        store = MemoryStore()
+        run_sweep(ExecutionEngine(store=store), X, y)
+        fresh, reused = [], []
+        run_sweep(
+            ExecutionEngine(store=store), X, y,
+            result_hook=lambda r: fresh.append(r.key),
+            reuse_hook=lambda r: reused.append(r.key),
+        )
+        assert fresh == []
+        assert len(reused) == 4
+
+    def test_tier_breakdown_in_cache_stats(self, data):
+        X, y = data
+        store = MemoryStore()
+        run_sweep(ExecutionEngine(store=store), X, y)
+        engine = ExecutionEngine(store=store)
+        run_sweep(engine, X, y)
+        tiers = engine.cache_stats()["tiers"]
+        assert tiers["memory"]["hits"] >= 4
+        assert 0.0 < tiers["memory"]["hit_rate"] <= 1.0
+
+    def test_clear_cache_clears_the_store(self, data):
+        X, y = data
+        store = MemoryStore()
+        engine = ExecutionEngine(store=store)
+        run_sweep(engine, X, y)
+        assert len(store) > 0
+        engine.clear_cache()
+        assert len(store) == 0

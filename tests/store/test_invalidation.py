@@ -1,0 +1,131 @@
+"""Version-bump invalidation: data updates evict derived artifacts.
+
+Covers the acceptance criterion: bumping a versioned object past the
+change-policy threshold invalidates the artifacts computed on older
+versions — at the store level and end-to-end through the engine.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import ExecutionEngine, GraphEvaluator, TransformerEstimatorGraph
+from repro.datasets import make_regression
+from repro.distributed.change_monitor import UpdateCountPolicy
+from repro.distributed.datastore import HomeDataStore
+from repro.ml.linear import LinearRegression, RidgeRegression
+from repro.ml.model_selection import KFold
+from repro.ml.preprocessing import StandardScaler
+from repro.store import KIND_RESULT, ArtifactKey, MemoryStore, StoreInvalidator
+
+
+def artifact(spec, version):
+    return ArtifactKey(
+        kind=KIND_RESULT, spec_key=spec, dataset="ds",
+        data_object="sensor", data_version=version,
+    )
+
+
+class TestStoreLevel:
+    def test_version_bump_evicts_older_artifacts(self):
+        store = MemoryStore()
+        home = HomeDataStore()
+        invalidator = StoreInvalidator(store)  # threshold 1: every bump
+        invalidator.attach(home)
+        home.put("sensor", [1.0, 2.0])  # version 1
+        store.put(artifact("a", 1), "derived@v1")
+        store.put(artifact("b", 1), "derived@v1")
+        home.put("sensor", [1.0, 2.5])  # version 2 -> fire
+        assert store.get(artifact("a", 1)) is None
+        assert store.get(artifact("b", 1)) is None
+        assert invalidator.stats == {"updates": 2, "fires": 2, "invalidated": 2}
+
+    def test_threshold_absorbs_small_updates(self):
+        store = MemoryStore()
+        home = HomeDataStore()
+        invalidator = StoreInvalidator(
+            store, policy_factory=lambda: UpdateCountPolicy(threshold=2)
+        )
+        invalidator.attach(home)
+        home.put("sensor", [1.0])  # update 1 of 2: absorbed
+        store.put(artifact("a", 1), "derived@v1")
+        assert invalidator.stats["fires"] == 0
+        assert store.get(artifact("a", 1)) == "derived@v1"  # still served
+        home.put("sensor", [2.0])  # update 2 of 2: fires
+        assert invalidator.stats["fires"] == 1
+        assert store.get(artifact("a", 1)) is None
+
+    def test_other_objects_unaffected(self):
+        store = MemoryStore()
+        home = HomeDataStore()
+        StoreInvalidator(store).attach(home)
+        home.put("sensor", [1.0])
+        store.put(artifact("a", 1), "sensor-derived")
+        other = ArtifactKey(
+            kind=KIND_RESULT, spec_key="b", dataset="ds",
+            data_object="weather", data_version=1,
+        )
+        store.put(other, "weather-derived")
+        home.put("sensor", [2.0])
+        assert store.get(artifact("a", 1)) is None
+        assert store.get(other) == "weather-derived"
+
+    def test_detach_stops_invalidation(self):
+        store = MemoryStore()
+        home = HomeDataStore()
+        invalidator = StoreInvalidator(store)
+        invalidator.attach(home)
+        home.put("sensor", [1.0])
+        invalidator.detach(home)
+        store.put(artifact("a", 1), "derived@v1")
+        home.put("sensor", [2.0])
+        assert store.get(artifact("a", 1)) == "derived@v1"
+
+
+class TestEndToEnd:
+    """HomeDataStore version bump -> engine artifacts recomputed."""
+
+    @pytest.fixture
+    def data(self):
+        return make_regression(
+            n_samples=80, n_features=5, n_informative=3, noise=0.1,
+            random_state=0,
+        )
+
+    def build_graph(self):
+        graph = TransformerEstimatorGraph()
+        graph.add_feature_scalers([StandardScaler()])
+        graph.add_regression_models([LinearRegression(), RidgeRegression()])
+        return graph
+
+    def run_sweep(self, store, data_ref, X, y):
+        engine = ExecutionEngine(store=store, data_ref=data_ref)
+        evaluator = GraphEvaluator(
+            self.build_graph(), cv=KFold(2, random_state=0), engine=engine
+        )
+        report = evaluator.evaluate(X, y, refit_best=False)
+        return report, engine
+
+    def test_bump_invalidates_then_recomputes(self, data):
+        X, y = data
+        store = MemoryStore()
+        home = HomeDataStore()
+        StoreInvalidator(store).attach(home)
+        home.put("sensor", np.column_stack([X, y]))  # version 1
+
+        report1, engine1 = self.run_sweep(store, home.data_ref("sensor"), X, y)
+        assert engine1.cache_stats()["results_reused"] == 0
+        stored = len(store)
+        assert stored > 0
+
+        # Same data version: a fresh engine reuses every completed result.
+        report2, engine2 = self.run_sweep(store, home.data_ref("sensor"), X, y)
+        assert engine2.cache_stats()["results_reused"] == len(report2.results)
+        assert all(r.from_cache for r in report2.results)
+        assert report2.best_path == report1.best_path
+
+        # Version bump: derived artifacts evicted, next sweep recomputes.
+        home.put("sensor", np.column_stack([X * 1.1, y]))  # version 2
+        assert len(store) == 0
+        report3, engine3 = self.run_sweep(store, home.data_ref("sensor"), X, y)
+        assert engine3.cache_stats()["results_reused"] == 0
+        assert not any(r.from_cache for r in report3.results)

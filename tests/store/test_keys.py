@@ -1,0 +1,85 @@
+"""Tests for the canonical content-addressed artifact identity."""
+
+import dataclasses
+
+import pytest
+
+from repro.store import (
+    ARTIFACT_KEY_FIELDS,
+    KIND_FOLD_TRANSFORM,
+    KIND_RESULT,
+    ArtifactKey,
+)
+
+
+def make_key(**overrides):
+    base = dict(
+        kind=KIND_RESULT,
+        spec_key="spec-abc",
+        dataset="ds-1",
+        data_object="sensor",
+        data_version=3,
+        fold="fold-7",
+    )
+    base.update(overrides)
+    return ArtifactKey(**base)
+
+
+class TestValidation:
+    def test_empty_kind_rejected(self):
+        with pytest.raises(ValueError):
+            make_key(kind="")
+
+    def test_empty_spec_key_rejected(self):
+        with pytest.raises(ValueError):
+            make_key(spec_key="")
+
+    def test_negative_version_rejected(self):
+        with pytest.raises(ValueError):
+            make_key(data_version=-1)
+
+    def test_defaults(self):
+        key = ArtifactKey(kind=KIND_FOLD_TRANSFORM, spec_key="s")
+        assert key.dataset == ""
+        assert key.data_object == ""
+        assert key.data_version == 0
+        assert key.fold == ""
+
+
+class TestDigest:
+    def test_digest_stable(self):
+        assert make_key().digest == make_key().digest
+
+    def test_digest_is_hex_40(self):
+        digest = make_key().digest
+        assert len(digest) == 40
+        int(digest, 16)  # parses as hex
+
+    @pytest.mark.parametrize("field", ARTIFACT_KEY_FIELDS)
+    def test_every_field_feeds_the_digest(self, field):
+        """The content-address property the integrity lint also guards:
+        varying ANY single field must change the digest."""
+        base = make_key()
+        current = getattr(base, field)
+        varied = current + 1 if isinstance(current, int) else current + "-x"
+        assert (
+            dataclasses.replace(base, **{field: varied}).digest != base.digest
+        )
+
+    def test_field_tuple_matches_dataclass(self):
+        assert ARTIFACT_KEY_FIELDS == tuple(
+            f.name for f in dataclasses.fields(ArtifactKey)
+        )
+
+
+class TestRoundTrip:
+    def test_as_dict_from_dict(self):
+        key = make_key()
+        assert ArtifactKey.from_dict(key.as_dict()) == key
+
+    def test_as_dict_covers_every_field(self):
+        assert set(make_key().as_dict()) == set(ARTIFACT_KEY_FIELDS)
+
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            make_key().spec_key = "other"

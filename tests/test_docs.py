@@ -10,6 +10,7 @@ REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 sys.path.insert(0, os.path.join(REPO_ROOT, "tools"))
 
 import check_docs  # noqa: E402
+import check_store_integrity  # noqa: E402
 
 
 def test_docs_directory_exists():
@@ -17,6 +18,7 @@ def test_docs_directory_exists():
     names = sorted(os.listdir(check_docs.DOCS_DIR))
     for expected in (
         "architecture.md",
+        "artifact-store.md",
         "cooperative-protocol.md",
         "observability.md",
         "teg-guide.md",
@@ -32,6 +34,12 @@ def test_pycon_examples_pass():
     problems, examples = check_docs.run_doctests()
     assert problems == []
     assert examples > 0, "docs should carry runnable pycon examples"
+
+
+def test_store_integrity_lint_clean():
+    """Every ArtifactKey field feeds the digest and the hash scheme is
+    stable (the content-address contract of the artifact store)."""
+    assert check_store_integrity.check_store_integrity() == []
 
 
 def test_every_doc_page_reachable_from_readme():

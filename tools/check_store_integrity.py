@@ -1,0 +1,105 @@
+"""Artifact-store integrity lint: the digest must cover every key field.
+
+The store is content-addressed: two `ArtifactKey`s may share a digest
+only when *every* field agrees.  A refactor that drops a field from
+`ArtifactKey.as_dict()` (or adds a field without feeding it to the
+hash) would silently alias distinct computations — version 3 artifacts
+served for version 4 data, fold A's transforms served for fold B.
+This lint fails fast instead:
+
+1. **Coverage** — varying any single `ARTIFACT_KEY_FIELDS` field must
+   change the digest.
+2. **Declaration sync** — `ARTIFACT_KEY_FIELDS` must match the
+   dataclass's actual fields (the contract tests and disk headers rely
+   on it).
+3. **Stability** — the digest of a fixed reference key must never
+   change across refactors; a changed digest would orphan every
+   existing on-disk store.
+
+Importable (``tests`` may reuse :func:`check_store_integrity`) and
+runnable as a CLI: ``python tools/check_store_integrity.py`` exits 0
+when clean, 1 with a per-problem report.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import sys
+from typing import List
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: Reference key + expected digest guarding hash-scheme stability.
+_REFERENCE_FIELDS = {
+    "kind": "result",
+    "spec_key": "integrity-reference",
+    "dataset": "ds-reference",
+    "data_object": "obj-reference",
+    "data_version": 7,
+    "fold": "fold-reference",
+}
+_REFERENCE_DIGEST = "489cf8a26766d0c55d62f0533b458163572e6628"
+
+
+def check_store_integrity() -> List[str]:
+    """Run every integrity check.
+
+    Returns
+    -------
+    Problem strings (empty when the content-address contract holds).
+    """
+    from repro.store import ARTIFACT_KEY_FIELDS, ArtifactKey
+
+    problems: List[str] = []
+
+    declared = tuple(f.name for f in dataclasses.fields(ArtifactKey))
+    if ARTIFACT_KEY_FIELDS != declared:
+        problems.append(
+            "ARTIFACT_KEY_FIELDS out of sync with the dataclass: "
+            f"{ARTIFACT_KEY_FIELDS} != {declared}"
+        )
+
+    base = ArtifactKey(**_REFERENCE_FIELDS)
+    for field in declared:
+        current = getattr(base, field)
+        varied = current + 1 if isinstance(current, int) else current + "-x"
+        if dataclasses.replace(base, **{field: varied}).digest == base.digest:
+            problems.append(
+                f"field {field!r} does not feed ArtifactKey.digest: "
+                "distinct keys would alias one stored artifact"
+            )
+
+    if base.digest != _REFERENCE_DIGEST:
+        problems.append(
+            "digest scheme changed: reference key now hashes to "
+            f"{base.digest}, expected {_REFERENCE_DIGEST}.  This orphans "
+            "every existing on-disk store; if intentional, bump the "
+            "DiskStore magic and update _REFERENCE_DIGEST here."
+        )
+
+    if ArtifactKey.from_dict(base.as_dict()) != base:
+        problems.append("as_dict/from_dict round-trip lost information")
+
+    return problems
+
+
+def main() -> int:
+    """CLI entry point (0 clean, 1 with problems on stderr)."""
+    sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+    problems = check_store_integrity()
+    if problems:
+        for problem in problems:
+            print(f"FAIL {problem}", file=sys.stderr)
+        return 1
+    from repro.store import ARTIFACT_KEY_FIELDS
+
+    print(
+        f"store integrity OK: digest covers all "
+        f"{len(ARTIFACT_KEY_FIELDS)} key fields, reference digest stable"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
