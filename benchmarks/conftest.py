@@ -39,6 +39,17 @@ SUMMARY_DIR = os.environ.get(
 # per-module accumulators feeding pytest_sessionfinish
 _module_records = {}
 _module_extras = {}
+_module_engines = {}
+
+#: Compile counters aggregated into every summary (see
+#: ``report.stats["compile"]`` and docs/observability.md).
+_COMPILE_COUNTERS = (
+    "kernels_fused",
+    "jobs_batched",
+    "stages_interpreted",
+    "folds_shared",
+    "estimator_fused_fits",
+)
 
 
 def _module_key(nodeid: str) -> str:
@@ -61,13 +72,42 @@ def bench_extras(module: str, **payload) -> None:
     _module_extras.setdefault(module, {}).update(payload)
 
 
+def engine_spec(engine) -> dict:
+    """JSON-able description of an ``ExecutionEngine``'s configuration.
+
+    Captures the knobs that shape benchmark numbers — executor kind,
+    pool width, plan compilation, prefix cache — so a ``BENCH_*.json``
+    records *what* was measured, not only how long it took.
+    """
+    executor = getattr(engine, "executor", None)
+    return {
+        "executor": getattr(executor, "name", type(executor).__name__),
+        "max_workers": getattr(executor, "max_workers", None),
+        "compile": getattr(engine, "compile_spec", None),
+        "cache": getattr(engine, "cache", None) is not None,
+    }
+
+
+def record_engine(module: str, label: str, engine) -> None:
+    """Record the engine configuration behind one benchmark cell.
+
+    The specs land under the ``engines`` key of the module's
+    ``BENCH_<module>.json``, keyed by ``label`` (e.g. the executor
+    column name).  Re-recording a label overwrites it, so per-round
+    calls are harmless.
+    """
+    _module_engines.setdefault(module, {})[label] = engine_spec(engine)
+
+
 def pytest_sessionfinish(session, exitstatus):
     """Write one ``BENCH_<module>.json`` per bench module that ran.
 
     Each summary carries the module's median/total wall time, its
-    prefix-cache hit rate (from the engine telemetry counters) and the
-    per-test timings — a machine-readable perf trajectory for future
-    PRs to compare against.
+    prefix-cache hit rate and plan-compiler totals (both from the
+    engine telemetry counters), the engine specs benchmarks registered
+    via :func:`record_engine`, and the per-test timings — a
+    machine-readable perf trajectory for future PRs to compare
+    against.
     """
     for module, records in sorted(_module_records.items()):
         hits = sum(r["counters"].get("engine.cache_hits", 0) for r in records)
@@ -88,11 +128,19 @@ def pytest_sessionfinish(session, exitstatus):
                 if hits + misses
                 else None,
             },
+            "compile": {
+                name: sum(
+                    r["counters"].get(f"engine.{name}", 0) for r in records
+                )
+                for name in _COMPILE_COUNTERS
+            },
             "tests": [
                 {"test": r["test"], "seconds": round(r["seconds"], 6)}
                 for r in records
             ],
         }
+        if module in _module_engines:
+            summary["engines"] = _module_engines[module]
         summary.update(_module_extras.get(module, {}))
         path = os.path.join(SUMMARY_DIR, f"BENCH_{module}.json")
         with open(path, "w") as fh:

@@ -15,8 +15,15 @@ from repro.core.declarative import (
     resolve_option,
     run_structured_task,
 )
+from repro.core.compile import (
+    CompiledChain,
+    CompiledGroup,
+    CompiledPlan,
+    compile_chain,
+)
 from repro.core.engine import (
     AllJobsFailed,
+    AutoExecutor,
     DistributedExecutor,
     ExecutionEngine,
     ExecutionPlan,
@@ -96,7 +103,12 @@ __all__ = [
     "SerialExecutor",
     "ParallelExecutor",
     "ProcessExecutor",
+    "AutoExecutor",
     "DistributedExecutor",
+    "CompiledChain",
+    "CompiledGroup",
+    "CompiledPlan",
+    "compile_chain",
     "SharedArraySpec",
     "ShmDataPlane",
     "WorkerJobError",

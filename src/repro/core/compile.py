@@ -1,0 +1,304 @@
+"""Plan compilation: fused transform chains and batched sibling jobs.
+
+The interpreted execution path (:meth:`ExecutionEngine._run_inner`)
+re-enacts every pipeline per fold: clone each transformer, call
+``fit_transform``, keep the fitted node around for the test-side
+transform, then clone and fit the estimator.  For the stateless
+transformers that dominate the paper's graphs (scalers, windowing,
+selection, projection) that bookkeeping costs more than the arithmetic.
+
+This module inserts a compilation stage between the
+:class:`~repro.core.engine.ExecutionPlan` and the executor:
+
+* :class:`CompiledChain` — the transformer prefix of a pipeline with
+  every stage that offers a :class:`~repro.ml.base.FusedStepKernel`
+  replaced by its ``(fit, transform)`` function pair.  One
+  :meth:`~CompiledChain.fit_transform_fold` call runs the whole chain as
+  plain array functions; stages without a kernel still run interpreted
+  *in place*, so mixed chains keep exact semantics.
+* :class:`CompiledGroup` — the jobs of one prefix group (the groups
+  :meth:`ExecutionPlan.groups` already identifies) sharing one compiled
+  chain and a per-fold memo, so one transformed matrix serves every
+  sibling job at compute time even when the
+  :class:`~repro.core.engine.PrefixCache` is disabled or evicted.
+* :class:`CompiledPlan` — all groups of one engine call plus the
+  compile counters (``kernels_fused``, ``stages_interpreted``,
+  ``jobs_batched``, ``folds_shared``, ``estimator_fused_fits``)
+  surfaced through ``report.stats["compile"]`` and telemetry.
+
+Compilation never changes *what* is computed — only how.  Kernels are
+bound by the strict parity contract on
+:class:`~repro.ml.base.FusedStepKernel` (bit-identical outputs and
+errors), group members share a configured-prefix spec key (so sharing a
+fold's transform is exactly the prefix-cache correctness argument), and
+artifact keys are built from the same spec/fold fingerprints either
+way — a compiled run reads and writes the very same store entries as an
+interpreted one.  Any error while building a chain simply leaves that
+group interpreted.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.ml.base import clone, kernel_is_trustworthy
+
+__all__ = [
+    "CompiledChain",
+    "CompiledGroup",
+    "CompiledPlan",
+    "compile_chain",
+    "estimator_fused_fit",
+]
+
+#: Step markers: a stage either runs as a fused kernel or interpreted.
+_KERNEL = "kernel"
+_COMPONENT = "component"
+
+
+class CompiledChain:
+    """A transformer prefix lowered to a per-fold array routine.
+
+    Parameters
+    ----------
+    steps:
+        ``(kind, name, payload)`` triples in pipeline order; ``kind`` is
+        ``"kernel"`` (payload: a :class:`~repro.ml.base.FusedStepKernel`)
+        or ``"component"`` (payload: the configured component template,
+        cloned per fold exactly as the interpreted path does).
+    """
+
+    __slots__ = ("steps", "n_fused", "n_interpreted")
+
+    def __init__(self, steps: List[Tuple[str, str, Any]]):
+        self.steps = steps
+        self.n_fused = sum(1 for kind, _, _ in steps if kind == _KERNEL)
+        self.n_interpreted = len(steps) - self.n_fused
+
+    def fit_transform_fold(
+        self, X_train: Any, y_train: Any, X_test: Any
+    ) -> Tuple[Any, Any]:
+        """Fit the chain on the training split and transform both splits.
+
+        Replays the interpreted fold loop stage for stage — kernel
+        stages run ``fit`` then ``transform`` (the same double
+        validation ``fit_transform`` performs), interpreted stages clone
+        and ``fit_transform`` their component — so outputs and raised
+        errors are identical to the uncompiled path.
+        """
+        data = X_train
+        fitted: List[Tuple[str, Any, Any]] = []
+        for kind, _, payload in self.steps:
+            if kind == _KERNEL:
+                state = payload.fit(data, y_train)
+                data = payload.transform(data, state)
+                fitted.append((kind, payload, state))
+            else:
+                node = clone(payload)
+                data = node.fit_transform(data, y_train)
+                fitted.append((kind, node, None))
+        X_train_out = data
+        data = X_test
+        for kind, payload, state in fitted:
+            if kind == _KERNEL:
+                data = payload.transform(data, state)
+            else:
+                data = payload.transform(data)
+        return X_train_out, data
+
+
+def estimator_fused_fit(estimator: Any) -> Optional[Any]:
+    """The estimator's batched ``fused_fit``, if it can be trusted.
+
+    Mirrors :func:`~repro.ml.base.kernel_is_trustworthy` for
+    estimators: a subclass
+    overriding ``fit`` below the class providing ``fused_fit`` must be
+    fitted through its own ``fit``, so ``None`` is returned and the
+    caller falls back to the interpreted fit.
+    """
+    fused = getattr(estimator, "fused_fit", None)
+    if not callable(fused):
+        return None
+    mro = type(estimator).__mro__
+
+    def definer_index(name: str) -> Optional[int]:
+        for index, klass in enumerate(mro):
+            if name in vars(klass):
+                return index
+        return None
+
+    fused_index = definer_index("fused_fit")
+    fit_index = definer_index("fit")
+    if fused_index is None:
+        return None
+    if fit_index is not None and fit_index < fused_index:
+        return None
+    return fused
+
+
+def compile_chain(pipeline: Any) -> Optional[CompiledChain]:
+    """Compile a pipeline's transformer prefix, or ``None``.
+
+    Every transformer advertising a usable ``fused_kernel()`` becomes a
+    kernel stage; the rest stay interpreted components.  A stage whose
+    ``fused_kernel()`` itself raises is treated as kernel-less rather
+    than failing the batch — configuration errors must surface inside
+    job execution (where the failure policy sees them), not at compile
+    time.  Kernels inherited past an overridden ``fit``/``transform``
+    are rejected (see :func:`~repro.ml.base.kernel_is_trustworthy`).
+
+    Parameters
+    ----------
+    pipeline:
+        A *configured* pipeline (parameters already applied) — kernels
+        close over parameter values at compile time.
+
+    Returns
+    -------
+    The compiled chain, or ``None`` for estimator-only pipelines.
+    """
+    transformers = pipeline.transformer_steps
+    if not transformers:
+        return None
+    steps: List[Tuple[str, str, Any]] = []
+    for name, component in transformers:
+        kernel = None
+        maker = getattr(component, "fused_kernel", None)
+        if callable(maker) and kernel_is_trustworthy(component):
+            try:
+                kernel = maker()
+            except Exception:
+                kernel = None
+        if kernel is not None:
+            steps.append((_KERNEL, name, kernel))
+        else:
+            steps.append((_COMPONENT, name, component))
+    return CompiledChain(steps)
+
+
+class CompiledGroup:
+    """One prefix group's jobs sharing a compiled chain and fold memo.
+
+    The memo holds each fold's transformed ``(X_train, X_test)`` while
+    sibling jobs of the group remain unexecuted, so the chain is fitted
+    once per fold per group regardless of cache configuration.  Entries
+    are dropped as soon as the last job finishes (:meth:`job_done`), so
+    at most one group's folds are live under serial execution.
+
+    Parameters
+    ----------
+    plan:
+        Owning :class:`CompiledPlan` (receives the shared counters).
+    prefix_key:
+        The group's configured-prefix key (``None`` for estimator-only
+        pipelines).
+    chain:
+        The group's :class:`CompiledChain` (``None`` when there is
+        nothing to compile).
+    n_jobs:
+        Number of jobs in the group.
+    """
+
+    __slots__ = ("plan", "prefix_key", "chain", "remaining", "_memo", "_lock")
+
+    def __init__(
+        self,
+        plan: "CompiledPlan",
+        prefix_key: Optional[str],
+        chain: Optional[CompiledChain],
+        n_jobs: int,
+    ):
+        self.plan = plan
+        self.prefix_key = prefix_key
+        self.chain = chain
+        self.remaining = n_jobs
+        self._memo: Dict[str, Tuple[Any, Any]] = {}
+        self._lock = threading.Lock()
+
+    @property
+    def shares_folds(self) -> bool:
+        """Whether fold memoization can pay off: a real transformer
+        prefix with more than one sibling still outstanding."""
+        return self.prefix_key is not None and self.remaining > 1
+
+    def memo_get(self, fold: str) -> Optional[Tuple[Any, Any]]:
+        """The fold's transformed splits, if a sibling computed them."""
+        with self._lock:
+            value = self._memo.get(fold)
+        if value is not None:
+            self.plan.count("folds_shared")
+        return value
+
+    def memo_put(self, fold: str, value: Tuple[Any, Any]) -> None:
+        """Retain a fold's transformed splits for the remaining siblings
+        (dropped when no sibling is left to read them)."""
+        with self._lock:
+            if self.remaining > 1:
+                self._memo[fold] = value
+
+    def job_done(self) -> None:
+        """Mark one job finished; the last one drops the memo."""
+        with self._lock:
+            self.remaining -= 1
+            if self.remaining <= 0:
+                self._memo.clear()
+
+
+class CompiledPlan:
+    """Compiled form of one engine call's prefix-grouped job stream.
+
+    Parameters
+    ----------
+    groups:
+        The ``prefix_key -> [job, ...]`` mapping from
+        :meth:`~repro.core.engine.ExecutionPlan.groups`.  Each group's
+        chain is compiled from its first job's configured pipeline —
+        sharing the prefix key guarantees every sibling's configured
+        transformer chain is identical.
+    """
+
+    def __init__(self, groups: Any):
+        self._lock = threading.Lock()
+        self.counters: Dict[str, int] = {
+            "kernels_fused": 0,
+            "stages_interpreted": 0,
+            "jobs_batched": 0,
+            "folds_shared": 0,
+            "estimator_fused_fits": 0,
+        }
+        self._by_job: Dict[str, CompiledGroup] = {}
+        self.groups: List[CompiledGroup] = []
+        for prefix_key, jobs in groups.items():
+            if not jobs:
+                continue
+            chain = None
+            if prefix_key is not None:
+                try:
+                    chain = compile_chain(jobs[0].configured_pipeline())
+                except Exception:
+                    chain = None  # misconfigured jobs fail interpreted
+            group = CompiledGroup(self, prefix_key, chain, len(jobs))
+            self.groups.append(group)
+            for job in jobs:
+                self._by_job[job.key] = group
+            if chain is not None:
+                self.counters["kernels_fused"] += chain.n_fused
+                self.counters["stages_interpreted"] += chain.n_interpreted
+            if len(jobs) > 1 and prefix_key is not None:
+                self.counters["jobs_batched"] += len(jobs)
+
+    def group_for(self, job_key: str) -> Optional[CompiledGroup]:
+        """The compiled group owning ``job_key`` (``None`` if unknown)."""
+        return self._by_job.get(job_key)
+
+    def count(self, name: str, value: int = 1) -> None:
+        """Thread-safe counter bump (runtime events: memo hits, fused
+        estimator fits)."""
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0) + value
+
+    def snapshot(self) -> Dict[str, int]:
+        """Point-in-time copy of the compile counters."""
+        with self._lock:
+            return dict(self.counters)

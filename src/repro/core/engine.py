@@ -57,11 +57,17 @@ from typing import (
 
 import numpy as np
 
+from repro.core.compile import (
+    CompiledGroup,
+    CompiledPlan,
+    estimator_fused_fit,
+)
 from repro.core.pipeline import Pipeline
 from repro.core.spec import (
     component_spec,
     dataset_fingerprint,
     fold_fingerprint,
+    pipeline_prefix_key,
     spec_key,
 )
 from repro.ml.base import as_1d_array, clone
@@ -85,6 +91,7 @@ __all__ = [
     "Executor",
     "SerialExecutor",
     "ParallelExecutor",
+    "AutoExecutor",
     "DistributedExecutor",
     "ExecutionEngine",
     "FailurePolicy",
@@ -224,35 +231,11 @@ class FailurePolicy:
 # Prefix identity
 # ---------------------------------------------------------------------------
 
-def pipeline_prefix_key(pipeline: Pipeline) -> Optional[str]:
-    """Canonical key of a pipeline's *configured* transformer prefix.
-
-    Two pipelines share a key exactly when their transformer chains are
-    the same classes with the same parameters in the same order — the
-    condition under which fitting the chain on the same fold yields the
-    same transformed data.  Step names are deliberately excluded: they
-    carry no numeric meaning.
-
-    Parameters
-    ----------
-    pipeline:
-        The pipeline whose transformer prefix identifies the cache slot.
-
-    Returns
-    -------
-    A stable spec-key string, or ``None`` for estimator-only pipelines
-    (nothing to cache).
-    """
-    transformers = pipeline.steps[:-1]
-    if not transformers:
-        return None
-    spec = {"prefix": [component_spec(c) for _, c in transformers]}
-    return spec_key(spec)
-
-
-# Kept as a private alias: the canonical definition moved to
-# repro.core.spec so artifact keys and the engine agree on fold identity.
+# Kept as private aliases: the canonical definitions moved to
+# repro.core.spec so artifact keys, the engine and the plan compiler
+# agree on fold and prefix identity.
 _fold_fingerprint = fold_fingerprint
+_pipeline_prefix_key = pipeline_prefix_key
 
 
 # ---------------------------------------------------------------------------
@@ -522,6 +505,23 @@ class Executor:
         """Execute ``run_one`` over ``jobs``; results in job order."""
         raise NotImplementedError
 
+    def select(self, n_jobs: int) -> "Executor":
+        """The executor to actually use for a batch of ``n_jobs`` jobs.
+
+        Fixed executors return themselves; :class:`AutoExecutor`
+        overrides this with a cost model.  The engine routes every batch
+        through the selected executor's capabilities (``run`` vs
+        ``run_call``).
+        """
+        return self
+
+    def observe(self, n_jobs: int, elapsed: float) -> None:
+        """Feedback after a batch: ``n_jobs`` took ``elapsed`` seconds.
+
+        No-op for fixed executors; adaptive executors update their cost
+        model here.
+        """
+
 
 class SerialExecutor(Executor):
     """Run jobs one after another in the calling thread."""
@@ -567,6 +567,108 @@ class ParallelExecutor(Executor):
         workers = max(1, min(workers, len(jobs)))
         with ThreadPoolExecutor(max_workers=workers) as pool:
             return list(pool.map(run_one, jobs))
+
+
+class AutoExecutor(Executor):
+    """Cost-aware executor selection: parallelize only when it can pay.
+
+    Process fan-out carries real fixed costs — pool spin-up, pickling,
+    shared-memory setup — that dwarf the work of a small or cheap batch;
+    the executor-scaling benchmark shows parallel executors *losing* to
+    serial on boxes with few cores.  ``AutoExecutor`` keeps an
+    exponentially-weighted estimate of per-job cost from observed
+    batches and degrades to serial (fused) execution unless **all** of
+    the following hold:
+
+    * the machine has at least ``min_cores`` CPU cores,
+    * the batch has at least ``min_jobs`` jobs, and
+    * the measured per-job cost predicts at least
+      ``min_parallel_seconds`` of serial work in the batch.
+
+    The first batch of a fresh instance therefore always runs serially —
+    that run measures per-job cost for later selections.  Whatever is
+    chosen, results are identical: every executor honours the engine's
+    determinism contract.
+
+    Parameters
+    ----------
+    max_workers:
+        Worker count for the process pool when one is selected.
+    min_jobs:
+        Smallest batch worth fanning out (default 4).
+    min_cores:
+        Smallest core count worth fanning out on (default 4).
+    min_parallel_seconds:
+        Predicted serial batch seconds below which serial wins
+        (default 2.0 — roughly pool spin-up plus dispatch overhead).
+    """
+
+    name = "auto"
+
+    def __init__(
+        self,
+        max_workers: Optional[int] = None,
+        min_jobs: int = 4,
+        min_cores: int = 4,
+        min_parallel_seconds: float = 2.0,
+    ):
+        if min_jobs < 1 or min_cores < 1:
+            raise ValueError("min_jobs and min_cores must be >= 1")
+        if min_parallel_seconds < 0:
+            raise ValueError("min_parallel_seconds must be >= 0")
+        self.max_workers = max_workers
+        self.min_jobs = min_jobs
+        self.min_cores = min_cores
+        self.min_parallel_seconds = min_parallel_seconds
+        #: EWMA of observed seconds per job (``None`` until measured).
+        self.per_job_seconds: Optional[float] = None
+        #: Name of the executor the last ``select`` chose.
+        self.last_choice = "serial"
+        self._serial = SerialExecutor()
+        self._pool: Optional[Executor] = None
+
+    def select(self, n_jobs: int) -> Executor:
+        """Serial unless cores, batch size and measured cost all say the
+        process pool can amortize its overhead."""
+        import os
+
+        cores = os.cpu_count() or 1
+        if (
+            cores >= self.min_cores
+            and n_jobs >= self.min_jobs
+            and self.per_job_seconds is not None
+            and n_jobs * self.per_job_seconds >= self.min_parallel_seconds
+        ):
+            if self._pool is None:
+                from repro.core.procpool import ProcessExecutor
+
+                self._pool = ProcessExecutor(max_workers=self.max_workers)
+            self.last_choice = self._pool.name
+            return self._pool
+        self.last_choice = "serial"
+        return self._serial
+
+    def observe(self, n_jobs: int, elapsed: float) -> None:
+        """Fold one finished batch into the per-job cost estimate."""
+        if n_jobs <= 0:
+            return
+        per_job = elapsed / n_jobs
+        if self.per_job_seconds is None:
+            self.per_job_seconds = per_job
+        else:
+            self.per_job_seconds = (
+                0.5 * self.per_job_seconds + 0.5 * per_job
+            )
+
+    def run(self, jobs, run_one):
+        """Direct use without the engine's selection step: run serially
+        (the conservative choice the cost model starts from)."""
+        return self._serial.run(jobs, run_one)
+
+    def shutdown(self) -> None:
+        """Stop the process pool, if one was ever started."""
+        if self._pool is not None and hasattr(self._pool, "shutdown"):
+            self._pool.shutdown()
 
 
 class _EngineJobRunner:
@@ -625,6 +727,9 @@ def resolve_executor(
     ----------
     spec:
         ``None``/``"serial"`` → :class:`SerialExecutor`;
+        ``"auto"`` → :class:`AutoExecutor` (cost-aware: serial unless
+        core count, batch size and measured per-job cost predict the
+        process pool pays for itself);
         ``"parallel"``/``"threads"`` → :class:`ParallelExecutor`;
         ``"processes"``/``"process"`` →
         :class:`~repro.core.procpool.ProcessExecutor`;
@@ -643,6 +748,8 @@ def resolve_executor(
         return spec
     if spec is None or spec == "serial":
         return SerialExecutor()
+    if spec == "auto":
+        return AutoExecutor(max_workers=max_workers)
     if spec in ("parallel", "threads"):
         return ParallelExecutor(max_workers=max_workers)
     if spec in ("processes", "process"):
@@ -653,8 +760,9 @@ def resolve_executor(
         return DistributedExecutor(spec)
     raise ValueError(
         f"cannot interpret {spec!r} as an executor; expected None, "
-        "'serial', 'parallel' (alias 'threads'), 'processes' (alias "
-        "'process'), an Executor instance, or a DistributedScheduler"
+        "'serial', 'auto', 'parallel' (alias 'threads'), 'processes' "
+        "(alias 'process'), an Executor instance, or a "
+        "DistributedScheduler"
     )
 
 
@@ -736,6 +844,17 @@ class ExecutionEngine:
         came from; stamped into every artifact key so a version bump
         can invalidate exactly the artifacts computed on older data
         (see :class:`~repro.store.invalidation.StoreInvalidator`).
+    compile:
+        ``"auto"`` (default) — lower each batch through
+        :class:`~repro.core.compile.CompiledPlan` before execution:
+        transformer stages offering a
+        :class:`~repro.ml.base.FusedStepKernel` run as fused array
+        kernels, sibling jobs of a prefix group share each fold's
+        transformed matrix at compute time, and estimators exposing
+        ``fused_fit`` use their batched fit path.  ``False``/``None``
+        runs every stage interpreted (the historical path).  Either way
+        the computed results, artifact keys and cache counters are
+        identical — compilation changes *how*, never *what*.
     """
 
     def __init__(
@@ -748,6 +867,7 @@ class ExecutionEngine:
         failure_policy: Any = None,
         store: Any = None,
         data_ref: Optional[Tuple[str, int]] = None,
+        compile: Any = "auto",
     ):
         self.executor = resolve_executor(executor, max_workers=max_workers)
         self.store = resolve_store(store, cache_size=cache_size)
@@ -760,6 +880,15 @@ class ExecutionEngine:
         else:
             self.cache = None
         self.data_ref = data_ref
+        self.compile_spec = compile
+        self._compile_enabled = compile not in (False, None, "off")
+        self._compile_totals: Dict[str, int] = {
+            "kernels_fused": 0,
+            "stages_interpreted": 0,
+            "jobs_batched": 0,
+            "folds_shared": 0,
+            "estimator_fused_fits": 0,
+        }
         self._results_reused = 0
         #: Per-tier counter totals shipped back by process workers
         #: (worker-side tiers are rebuilt per call; their deltas fold in
@@ -838,28 +967,52 @@ class ExecutionEngine:
         ctx = self._context(
             X, y, cv, metric, result_hook, error_hook, reuse_hook
         )
+        groups = plan.groups()
         ordered: List[Any] = []
         prefixes: Dict[str, Optional[str]] = {}
-        for prefix, group in plan.groups().items():
+        for prefix, group in groups.items():
             for job in group:
                 ordered.append(job)
                 prefixes[job.key] = prefix
         tel = self._telemetry
         cache_before = self._cache_snapshot() if tel.enabled else {}
+        active = self.executor.select(len(ordered))
+        runs_engine_calls = getattr(active, "runs_engine_calls", False)
+        # Process executors compile worker-side (their batches ship the
+        # counter deltas back); compiling here too would double-count.
+        compiled = (
+            CompiledPlan(groups)
+            if self._compile_enabled and not runs_engine_calls
+            else None
+        )
+
+        def run_one(job: Any) -> Any:
+            group = (
+                compiled.group_for(job.key) if compiled is not None else None
+            )
+            try:
+                return self._run(
+                    job, ctx, prefixes.get(job.key, _UNSET), group
+                )
+            finally:
+                if group is not None:
+                    group.job_done()
+
+        exec_started = time.perf_counter()
         with tel.span(
             "engine.execute",
-            executor=self.executor.name,
+            executor=active.name,
             n_jobs=len(ordered),
         ):
-            if getattr(self.executor, "runs_engine_calls", False):
-                results = self._run_process_call(ordered, ctx, metric)
+            if runs_engine_calls:
+                results = self._run_process_call(ordered, ctx, metric, active)
             else:
-                results = self.executor.run(
-                    ordered,
-                    lambda job: self._run(
-                        job, ctx, prefixes.get(job.key, _UNSET)
-                    ),
-                )
+                results = active.run(ordered, run_one)
+        self.executor.observe(
+            len(ordered), time.perf_counter() - exec_started
+        )
+        if compiled is not None:
+            self._absorb_compile_counters(compiled.snapshot())
         results = [result for result in results if result is not None]
         # Failures append in completion order (thread-dependent under the
         # parallel executor); report them in plan order.
@@ -929,6 +1082,34 @@ class ExecutionEngine:
         if tiers:
             stats["tiers"] = tiers
         return stats
+
+    def compile_stats(self) -> Dict[str, Any]:
+        """Cumulative plan-compilation counters.
+
+        ``kernels_fused`` / ``stages_interpreted`` count transformer
+        stages per compiled prefix group; ``jobs_batched`` counts jobs
+        that shared a multi-job prefix group; ``folds_shared`` counts
+        fold transforms served from a sibling's in-flight computation;
+        ``estimator_fused_fits`` counts estimator fits routed through a
+        batched ``fused_fit`` kernel.  All zero when compilation is
+        disabled.  Process workers compile their own batches and ship
+        their counter deltas back, so the totals span every executor.
+        """
+        return {"enabled": self._compile_enabled, **self._compile_totals}
+
+    #: Compile counters always emitted as telemetry per execute (the
+    #: remaining counters are emitted only when they moved).
+    _COMPILE_HEADLINE = ("kernels_fused", "jobs_batched", "stages_interpreted")
+
+    def _absorb_compile_counters(self, counters: Mapping[str, int]) -> None:
+        """Fold one execute's compile counters (local snapshot or worker
+        delta) into the engine totals and telemetry."""
+        tel = self._telemetry
+        for name in self._compile_totals:
+            value = int(counters.get(name, 0))
+            self._compile_totals[name] += value
+            if tel.enabled and (value or name in self._COMPILE_HEADLINE):
+                tel.count(f"engine.{name}", value)
 
     def _local_store(self) -> Optional[Any]:
         """The store backing this engine's artifacts (the explicit
@@ -1107,7 +1288,13 @@ class ExecutionEngine:
             from_cache=True,
         )
 
-    def _run(self, job: Any, ctx: _ExecutionContext, prefix_key: Any) -> Any:
+    def _run(
+        self,
+        job: Any,
+        ctx: _ExecutionContext,
+        prefix_key: Any,
+        group: Optional[CompiledGroup] = None,
+    ) -> Any:
         """Run one job under the failure policy.
 
         Retries transient failures per the policy; on final failure
@@ -1121,7 +1308,7 @@ class ExecutionEngine:
         while True:
             attempts += 1
             try:
-                return self._run_inner(job, ctx, prefix_key)
+                return self._run_inner(job, ctx, prefix_key, group)
             except Exception as exc:
                 if attempts <= policy.max_retries:
                     tel.count("engine.job_retries")
@@ -1146,7 +1333,11 @@ class ExecutionEngine:
                 return None
 
     def _run_process_call(
-        self, ordered: List[Any], ctx: _ExecutionContext, metric: Any
+        self,
+        ordered: List[Any],
+        ctx: _ExecutionContext,
+        metric: Any,
+        executor: Optional[Executor] = None,
     ) -> List[Any]:
         """Run a batch through a process executor's shared-memory call.
 
@@ -1180,8 +1371,11 @@ class ExecutionEngine:
             ),
             "store": self.store.spec() if self.store is not None else None,
             "data_ref": self.data_ref,
+            "compile": self.compile_spec if self._compile_enabled else False,
         }
-        records, run_stats = self.executor.run_call(ordered, call)
+        if executor is None:
+            executor = self.executor
+        records, run_stats = executor.run_call(ordered, call)
         from repro.core.evaluation import PipelineResult
         from repro.core.procpool import WorkerJobError
 
@@ -1267,10 +1461,18 @@ class ExecutionEngine:
                 tel.count("engine.worker_restarts", restarts)
             for worker, busy in run_stats.get("worker_busy", {}).items():
                 tel.count("engine.worker_busy_seconds", busy, key=worker)
+        if self._compile_enabled:
+            # Workers compile their own batches; their counter deltas
+            # fold into the same totals local execution feeds.
+            self._absorb_compile_counters(run_stats.get("compile") or {})
         return results
 
     def _run_inner(
-        self, job: Any, ctx: _ExecutionContext, prefix_key: Any
+        self,
+        job: Any,
+        ctx: _ExecutionContext,
+        prefix_key: Any,
+        group: Optional[CompiledGroup] = None,
     ) -> Any:
         if self.fault_injector is not None:
             self.fault_injector.check("engine.run_job", key=job.key)
@@ -1293,7 +1495,7 @@ class ExecutionEngine:
                     ctx.reuse_hook(result)
                 return result
         pipeline = job.configured_pipeline()
-        transformers = pipeline.steps[:-1]
+        transformers = pipeline.transformer_steps
         if prefix_key is _UNSET:
             prefix_key = (
                 pipeline_prefix_key(pipeline)
@@ -1306,6 +1508,14 @@ class ExecutionEngine:
             and prefix_key is not None
         )
         dataset_key = self._dataset_key(ctx, job) if use_cache else None
+        # Batching pays only while siblings are still outstanding and the
+        # group has a real transformer prefix to share.
+        memo_active = (
+            group is not None
+            and group.prefix_key is not None
+            and bool(transformers)
+        )
+        chain = group.chain if group is not None else None
         tel = self._telemetry
         timing = tel.enabled
         started = time.perf_counter()
@@ -1318,29 +1528,50 @@ class ExecutionEngine:
                 y_train = ctx.y[train_idx]
                 transformed = None
                 cache_key = None
+                fold_id = None
+                if use_cache or memo_active:
+                    fold_id = fold_fingerprint(train_idx, test_idx)
                 if use_cache:
+                    # The cache is consulted first even when the group
+                    # memo would also hit, so hit/miss counters (and
+                    # therefore report.stats["cache"]) match the
+                    # interpreted path exactly.
                     cache_key = self._artifact_key(
                         KIND_FOLD_TRANSFORM,
                         prefix_key,
                         dataset=dataset_key,
-                        fold=fold_fingerprint(train_idx, test_idx),
+                        fold=fold_id,
                     )
                     transformed = self.cache.get(cache_key)
                 if transformed is not None:
                     X_train, X_test = transformed
                 else:
-                    data = ctx.X[train_idx]
-                    fitted: List[Any] = []
-                    for _, component in transformers:
-                        node = clone(component)
-                        data = node.fit_transform(data, y_train)
-                        fitted.append(node)
-                    X_train = data
-                    data = ctx.X[test_idx]
-                    for node in fitted:
-                        data = node.transform(data)
-                    X_test = data
+                    shared = (
+                        group.memo_get(fold_id) if memo_active else None
+                    )
+                    if shared is not None:
+                        X_train, X_test = shared
+                    elif chain is not None and transformers:
+                        X_train, X_test = chain.fit_transform_fold(
+                            ctx.X[train_idx], y_train, ctx.X[test_idx]
+                        )
+                    else:
+                        data = ctx.X[train_idx]
+                        fitted: List[Any] = []
+                        for _, component in transformers:
+                            node = clone(component)
+                            data = node.fit_transform(data, y_train)
+                            fitted.append(node)
+                        X_train = data
+                        data = ctx.X[test_idx]
+                        for node in fitted:
+                            data = node.transform(data)
+                        X_test = data
+                    if memo_active and shared is None:
+                        group.memo_put(fold_id, (X_train, X_test))
                     if use_cache:
+                        # Stored even on a memo hit: the interpreted path
+                        # would have recomputed and stored here too.
                         self.cache.put(
                             cache_key,
                             (X_train, X_test),
@@ -1348,7 +1579,16 @@ class ExecutionEngine:
                         )
                 transform_done = time.perf_counter() if timing else 0.0
                 estimator = clone(pipeline.steps[-1][1])
-                estimator.fit(X_train, y_train)
+                fused_fit = (
+                    estimator_fused_fit(estimator)
+                    if group is not None
+                    else None
+                )
+                if fused_fit is not None:
+                    fused_fit(X_train, y_train)
+                    group.plan.count("estimator_fused_fits")
+                else:
+                    estimator.fit(X_train, y_train)
                 predictions = estimator.predict(X_test)
                 scores.append(
                     float(ctx.metric_fn(ctx.y[test_idx], predictions))

@@ -134,7 +134,9 @@ class EvaluationReport:
     """All results of a graph evaluation plus the selected winner.
 
     ``stats`` carries the run's execution accounting — the engine's
-    prefix-cache counters under ``stats["cache"]`` plus per-strategy
+    prefix-cache counters under ``stats["cache"]``, the
+    plan-compilation counters under ``stats["compile"]`` (fused
+    kernels, batched jobs, interpreted stages), plus per-strategy
     extras (job counts, halving budgets, cooperative reuse) — so callers
     read ``report.stats`` instead of reaching into ``engine.cache``.
     """
@@ -205,13 +207,16 @@ class GraphEvaluator:
         Optional callback invoked with each fresh
         :class:`PipelineResult` — e.g. to publish into a DARR.
     engine:
-        How jobs execute: ``None`` for the default serial
-        :class:`~repro.core.engine.ExecutionEngine` (prefix caching on),
-        ``"parallel"`` for thread-pool fan-out, an
+        How jobs execute: ``"auto"`` (default) for an
+        :class:`~repro.core.engine.ExecutionEngine` with cost-aware
+        executor selection (prefix caching on; serial/fused execution
+        unless core count, batch size and measured per-job cost predict
+        the process pool pays for itself), ``None``/``"serial"`` to pin
+        serial execution, ``"parallel"`` for thread-pool fan-out, an
         :class:`~repro.core.engine.Executor`, a
         :class:`~repro.distributed.scheduler.DistributedScheduler`, or a
         fully configured engine instance (e.g. to share one prefix cache
-        across evaluators).
+        across evaluators).  Every choice computes identical results.
     telemetry:
         ``None`` (default, no-op) or a :class:`~repro.obs.Telemetry`
         handle / sink(s).  One handle attached here observes the whole
@@ -237,7 +242,7 @@ class GraphEvaluator:
         metric: Any = "rmse",
         job_filter: Optional[Callable[[EvaluationJob], bool]] = None,
         result_hook: Optional[Callable[[PipelineResult], None]] = None,
-        engine: Any = None,
+        engine: Any = "auto",
         telemetry: Any = None,
         failure_policy: Any = None,
     ):
@@ -345,6 +350,7 @@ class GraphEvaluator:
             eval_span.annotate(n_jobs=plan.n_jobs, n_filtered=plan.n_filtered)
         report.stats = {
             "cache": self.engine.cache_stats(),
+            "compile": self.engine.compile_stats(),
             "jobs": {
                 "executed": plan.n_jobs,
                 "filtered": plan.n_filtered,

@@ -63,6 +63,13 @@ class Pipeline:
         return [name for name, _ in self.steps]
 
     @property
+    def transformer_steps(self) -> List[Tuple[str, Any]]:
+        """The ``(name, component)`` transformer prefix (all steps but
+        the final estimator) — the unit the prefix cache keys on and the
+        plan compiler fuses."""
+        return self.steps[:-1]
+
+    @property
     def estimator(self) -> Any:
         """The final (unfitted template) estimator."""
         return self.steps[-1][1]

@@ -318,6 +318,7 @@ class _WorkerCallState:
             failure_policy=FailurePolicy(**policy),
             store=store,
             data_ref=payload.get("data_ref"),
+            compile=payload.get("compile", False),
         )
         plan = payload.get("fault_plan")
         self.injector = plan.injector() if plan is not None else None
@@ -339,6 +340,10 @@ class _WorkerCallState:
             stats.evictions,
             stats.transformer_fits_saved,
         )
+
+    def compile_counters(self) -> Dict[str, int]:
+        """Cumulative plan-compilation counters of the worker engine."""
+        return dict(self.engine._compile_totals)
 
     def store_counters(self) -> Dict[str, Dict[str, int]]:
         """Cumulative per-tier store counters (raw ints only)."""
@@ -463,6 +468,7 @@ def _worker_main(
                     calls[token] = state
                 before = state.cache_counters()
                 tiers_before = state.store_counters()
+                compile_before = state.compile_counters()
                 reused_before = state.engine._results_reused
                 records = _run_worker_batch(
                     state, worker_name, batch_index, jobs
@@ -488,6 +494,10 @@ def _worker_main(
                         "transformer_fits_saved": after[4] - before[4],
                     },
                     "tiers": tiers_delta,
+                    "compile": {
+                        name: value - compile_before.get(name, 0)
+                        for name, value in state.compile_counters().items()
+                    },
                     "results_reused": (
                         state.engine._results_reused - reused_before
                     ),
@@ -677,9 +687,10 @@ class ProcessExecutor(Executor):
         call:
             Engine payload: ``X``/``y`` arrays, ``splitter``, ``metric``,
             ``policy`` (FailurePolicy kwargs), optional ``fault_plan``,
-            the per-worker ``cache_size``, and the optional shared
+            the per-worker ``cache_size``, the optional shared
             ``store`` recipe plus ``data_ref`` so workers attach to the
-            parent's disk tiers.
+            parent's disk tiers, and the ``compile`` spec each worker
+            engine applies to its own batches.
 
         Returns
         -------
@@ -687,7 +698,8 @@ class ProcessExecutor(Executor):
         order** (``{"ok": True, fold scores, timings}`` or ``{"ok":
         False, attempts, error}``), plus pool accounting
         (``shm_bytes``, ``batches_dispatched``, ``worker_restarts``,
-        ``worker_busy`` seconds per worker, merged ``cache`` deltas).
+        ``worker_busy`` seconds per worker, merged ``cache`` and
+        ``compile`` deltas).
         """
         jobs = list(jobs)
         stats: Dict[str, Any] = {
@@ -704,6 +716,13 @@ class ProcessExecutor(Executor):
                 "transformer_fits_saved": 0,
             },
             "tiers": {},
+            "compile": {
+                "kernels_fused": 0,
+                "stages_interpreted": 0,
+                "jobs_batched": 0,
+                "folds_shared": 0,
+                "estimator_fused_fits": 0,
+            },
             "results_reused": 0,
         }
         self.last_stats = stats
@@ -726,6 +745,7 @@ class ProcessExecutor(Executor):
                 "cache_size": call.get("cache_size", 0),
                 "store": call.get("store"),
                 "data_ref": call.get("data_ref"),
+                "compile": call.get("compile", False),
             }
             stats["shm_bytes"] = plane.nbytes
             completed = self._dispatch(token, batches, payload, stats)
@@ -807,6 +827,12 @@ class ProcessExecutor(Executor):
                         totals = stats["tiers"].setdefault(tier, {})
                         for counter, value in delta.items():
                             totals[counter] = totals.get(counter, 0) + value
+                    for counter, value in batch_stats.get(
+                        "compile", {}
+                    ).items():
+                        stats["compile"][counter] = (
+                            stats["compile"].get(counter, 0) + value
+                        )
                     stats["results_reused"] += batch_stats.get(
                         "results_reused", 0
                     )

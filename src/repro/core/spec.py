@@ -23,6 +23,7 @@ from repro.core.pipeline import Pipeline
 __all__ = [
     "component_spec",
     "pipeline_spec",
+    "pipeline_prefix_key",
     "cv_spec",
     "computation_spec",
     "spec_key",
@@ -92,6 +93,35 @@ def pipeline_spec(pipeline: Pipeline) -> Dict[str, Any]:
             for name, component in pipeline.steps
         ]
     }
+
+
+def pipeline_prefix_key(pipeline: Pipeline) -> Optional[str]:
+    """Canonical key of a pipeline's *configured* transformer prefix.
+
+    Two pipelines share a key exactly when their transformer chains are
+    the same classes with the same parameters in the same order — the
+    condition under which fitting the chain on the same fold yields the
+    same transformed data.  Step names are deliberately excluded: they
+    carry no numeric meaning.  This key is both the prefix-cache slot
+    (``spec_key`` of ``fold-transform`` artifact keys) and the unit the
+    plan compiler batches sibling jobs under, so compiled and
+    interpreted execution address identical artifacts.
+
+    Parameters
+    ----------
+    pipeline:
+        The pipeline whose transformer prefix identifies the cache slot.
+
+    Returns
+    -------
+    A stable spec-key string, or ``None`` for estimator-only pipelines
+    (nothing to cache).
+    """
+    transformers = pipeline.transformer_steps
+    if not transformers:
+        return None
+    spec = {"prefix": [component_spec(c) for _, c in transformers]}
+    return spec_key(spec)
 
 
 def dataset_fingerprint(X: Any, y: Any = None) -> str:

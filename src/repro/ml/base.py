@@ -30,6 +30,8 @@ __all__ = [
     "ClassifierMixin",
     "RegressorMixin",
     "ClusterMixin",
+    "FusedStepKernel",
+    "kernel_is_trustworthy",
     "NotFittedError",
     "clone",
     "check_is_fitted",
@@ -175,6 +177,67 @@ def clone(component: BaseComponent) -> BaseComponent:
     return type(component)(**params)
 
 
+class FusedStepKernel:
+    """One transformer stage compiled to a pair of pure array functions.
+
+    The plan compiler (:mod:`repro.core.compile`) fuses chains of these
+    into a single per-fold routine that skips component cloning and
+    attribute bookkeeping entirely.  The contract is strict numerical
+    parity with the component that produced the kernel:
+
+    * ``fit(X, y) -> state`` must perform exactly the computation (and
+      input validation) of ``component.fit`` and return the learned
+      statistics as a plain value instead of setting attributes.
+    * ``transform(X, state) -> ndarray`` must reproduce
+      ``component.transform`` bit-for-bit, including its validation and
+      error behaviour.
+
+    Under that contract the compiled and interpreted execution paths
+    produce byte-identical transformed folds — which is what lets the
+    engine reuse the *same* :class:`~repro.store.keys.ArtifactKey` for
+    both.
+    """
+
+    __slots__ = ("fit", "transform")
+
+    def __init__(
+        self,
+        fit: "Any",
+        transform: "Any",
+    ):
+        self.fit = fit
+        self.transform = transform
+
+
+def kernel_is_trustworthy(component: Any) -> bool:
+    """Whether ``component``'s ``fused_kernel`` may stand in for its
+    ``fit``/``transform``.
+
+    A subclass that overrides ``fit``, ``transform`` or
+    ``fit_transform`` *below* the class providing ``fused_kernel``
+    (e.g. a user subclass of ``StandardScaler`` with custom fitting)
+    would silently lose its override if the inherited kernel ran
+    instead — so any such override disqualifies the kernel and the
+    stage must run interpreted.
+    """
+    mro = type(component).__mro__
+
+    def definer_index(name: str) -> "int | None":
+        for index, klass in enumerate(mro):
+            if name in vars(klass):
+                return index
+        return None
+
+    kernel_index = definer_index("fused_kernel")
+    if kernel_index is None:
+        return False
+    for name in ("fit", "transform", "fit_transform"):
+        method_index = definer_index(name)
+        if method_index is not None and method_index < kernel_index:
+            return False
+    return True
+
+
 class TransformerMixin:
     """Mixin for components implementing ``fit`` + ``transform``.
 
@@ -190,6 +253,19 @@ class TransformerMixin:
         """Fit to ``(X, y)`` then transform ``X`` — the "fit & transform"
         operation applied to internal pipeline nodes (paper Fig. 5)."""
         return self.fit(X, y).transform(X)
+
+    def fused_kernel(self) -> "FusedStepKernel | None":
+        """Optional compiled form of this transformer.
+
+        Stateless transformers (whose fitted state is a pure function of
+        the training fold) return a :class:`FusedStepKernel` that the
+        plan compiler chains into one vectorized per-fold routine;
+        transformers without a safe kernel return ``None`` and run
+        interpreted.  ``tools/check_fusion_coverage.py`` lints that every
+        stateless transformer either overrides this or is explicitly
+        exempted.
+        """
+        return None
 
 
 class EstimatorMixin:

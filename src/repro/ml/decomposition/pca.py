@@ -14,6 +14,7 @@ import numpy as np
 
 from repro.ml.base import (
     BaseComponent,
+    FusedStepKernel,
     TransformerMixin,
     as_1d_array,
     as_2d_array,
@@ -75,6 +76,30 @@ class PCA(TransformerMixin, BaseComponent):
         check_is_fitted(self, "components_")
         X = as_2d_array(X)
         return X @ self.components_ + self.mean_
+
+    def fused_kernel(self) -> FusedStepKernel:
+        """Bit-identical fused ``(fit, transform)`` kernel of this stage."""
+        n_components = self.n_components
+
+        def fit(X: Any, y: Any = None) -> tuple:
+            X = as_2d_array(X)
+            mean = X.mean(axis=0)
+            centered = X - mean
+            _, singular_values, vt = np.linalg.svd(
+                centered, full_matrices=False
+            )
+            max_components = vt.shape[0]
+            k = max_components if n_components is None else min(
+                n_components, max_components
+            )
+            return mean, vt[:k]
+
+        def transform(X: Any, state: tuple) -> np.ndarray:
+            mean, components = state
+            X = as_2d_array(X)
+            return (X - mean) @ components.T
+
+        return FusedStepKernel(fit, transform)
 
 
 class KernelPCA(TransformerMixin, BaseComponent):
@@ -226,3 +251,24 @@ class Covariance(TransformerMixin, BaseComponent):
         check_is_fitted(self, "whitener_")
         X = as_2d_array(X)
         return (X - self.mean_) @ self.whitener_
+
+    def fused_kernel(self) -> FusedStepKernel:
+        """Bit-identical fused ``(fit, transform)`` kernel of this stage."""
+        epsilon = self.epsilon
+
+        def fit(X: Any, y: Any = None) -> tuple:
+            X = as_2d_array(X)
+            mean = X.mean(axis=0)
+            centered = X - mean
+            cov = centered.T @ centered / max(len(X) - 1, 1)
+            eigenvalues, eigenvectors = np.linalg.eigh(cov)
+            inv_sqrt = 1.0 / np.sqrt(np.maximum(eigenvalues, epsilon))
+            whitener = eigenvectors @ np.diag(inv_sqrt) @ eigenvectors.T
+            return mean, whitener
+
+        def transform(X: Any, state: tuple) -> np.ndarray:
+            mean, whitener = state
+            X = as_2d_array(X)
+            return (X - mean) @ whitener
+
+        return FusedStepKernel(fit, transform)

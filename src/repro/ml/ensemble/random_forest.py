@@ -74,6 +74,33 @@ class _BaseForest(BaseComponent):
             importances / total if total > 0 else importances
         )
 
+    def _fit_forest_batched(self, X: np.ndarray, y: np.ndarray) -> None:
+        """Twin of :meth:`_fit_forest` fitting each tree through its
+        batched split-search path.  Consumes the forest RNG in the same
+        order (seed, then bootstrap indices, per tree) so the ensemble is
+        bit-identical.  Each tree sorts its own materialized bootstrap
+        matrix — sort orders cannot be shared across bootstraps because
+        duplicated rows break the stable-order restriction argument."""
+        rng = np.random.default_rng(self.random_state)
+        n = len(X)
+        trees = []
+        importances = np.zeros(X.shape[1])
+        for _ in range(self.n_estimators):
+            seed = int(rng.integers(0, 2**31 - 1))
+            tree = self._make_tree(seed)
+            if self.bootstrap:
+                idx = rng.integers(0, n, size=n)
+                tree.fused_fit(X[idx], y[idx])
+            else:
+                tree.fused_fit(X, y)
+            importances += tree.feature_importances_
+            trees.append(tree)
+        self.trees_ = trees
+        total = importances.sum()
+        self.feature_importances_ = (
+            importances / total if total > 0 else importances
+        )
+
 
 class RandomForestRegressor(RegressorMixin, _BaseForest):
     """Bagged ensemble of CART regression trees; prediction is the mean of
@@ -92,6 +119,14 @@ class RandomForestRegressor(RegressorMixin, _BaseForest):
         y = as_1d_array(y).astype(float)
         check_consistent_length(X, y)
         self._fit_forest(X, y)
+        return self
+
+    def fused_fit(self, X: Any, y: Any) -> "RandomForestRegressor":
+        """Fit via batched tree kernels; bit-identical to :meth:`fit`."""
+        X = as_2d_array(X)
+        y = as_1d_array(y).astype(float)
+        check_consistent_length(X, y)
+        self._fit_forest_batched(X, y)
         return self
 
     def predict(self, X: Any) -> np.ndarray:
@@ -137,6 +172,15 @@ class RandomForestClassifier(ClassifierMixin, _BaseForest):
         check_consistent_length(X, y)
         self.classes_ = np.unique(y)
         self._fit_forest(X, y)
+        return self
+
+    def fused_fit(self, X: Any, y: Any) -> "RandomForestClassifier":
+        """Fit via batched tree kernels; bit-identical to :meth:`fit`."""
+        X = as_2d_array(X)
+        y = as_1d_array(y)
+        check_consistent_length(X, y)
+        self.classes_ = np.unique(y)
+        self._fit_forest_batched(X, y)
         return self
 
     def predict_proba(self, X: Any) -> np.ndarray:

@@ -8,6 +8,7 @@ import numpy as np
 
 from repro.ml.base import (
     BaseComponent,
+    FusedStepKernel,
     TransformerMixin,
     as_1d_array,
     as_2d_array,
@@ -89,6 +90,40 @@ class SelectKBest(TransformerMixin, BaseComponent):
         check_is_fitted(self, "support_")
         return self.support_.copy()
 
+    def fused_kernel(self) -> FusedStepKernel:
+        """Bit-identical fused ``(fit, transform)`` kernel of this stage."""
+        k_param = self.k
+        scorer = self._resolve_scorer()
+
+        def fit(X: Any, y: Any = None) -> np.ndarray:
+            X = as_2d_array(X)
+            if y is None:
+                scores = scorer(X, None)
+            else:
+                scores = scorer(X, as_1d_array(y))
+            scores = np.asarray(scores, dtype=float)
+            if scores.shape != (X.shape[1],):
+                raise ValueError(
+                    f"scorer returned shape {scores.shape}, expected "
+                    f"({X.shape[1]},)"
+                )
+            k = min(k_param, X.shape[1])
+            top = np.sort(np.argsort(scores)[-k:])
+            support = np.zeros(X.shape[1], dtype=bool)
+            support[top] = True
+            return support
+
+        def transform(X: Any, state: np.ndarray) -> np.ndarray:
+            X = as_2d_array(X)
+            if X.shape[1] != state.shape[0]:
+                raise ValueError(
+                    f"X has {X.shape[1]} features, selector was fitted with "
+                    f"{state.shape[0]}"
+                )
+            return X[:, state]
+
+        return FusedStepKernel(fit, transform)
+
 
 class VarianceThreshold(TransformerMixin, BaseComponent):
     """Drop features whose variance is at or below ``threshold``.
@@ -117,3 +152,21 @@ class VarianceThreshold(TransformerMixin, BaseComponent):
         check_is_fitted(self, "support_")
         X = as_2d_array(X)
         return X[:, self.support_]
+
+    def fused_kernel(self) -> FusedStepKernel:
+        """Bit-identical fused ``(fit, transform)`` kernel of this stage."""
+        threshold = self.threshold
+
+        def fit(X: Any, y: Any = None) -> np.ndarray:
+            X = as_2d_array(X)
+            variances = X.var(axis=0)
+            support = variances > threshold
+            if not support.any():
+                support[np.argmax(variances)] = True
+            return support
+
+        def transform(X: Any, state: np.ndarray) -> np.ndarray:
+            X = as_2d_array(X)
+            return X[:, state]
+
+        return FusedStepKernel(fit, transform)

@@ -14,6 +14,7 @@ import numpy as np
 
 from repro.ml.base import (
     BaseComponent,
+    FusedStepKernel,
     TransformerMixin,
     as_2d_array,
     check_is_fitted,
@@ -63,6 +64,32 @@ class StandardScaler(TransformerMixin, BaseComponent):
         X = as_2d_array(X)
         return X * self.scale_ + self.mean_
 
+    def fused_kernel(self) -> FusedStepKernel:
+        """Bit-identical fused ``(fit, transform)`` kernel of this stage."""
+        with_mean, with_std = self.with_mean, self.with_std
+
+        def fit(X: Any, y: Any = None) -> tuple:
+            X = as_2d_array(X)
+            mean = X.mean(axis=0) if with_mean else np.zeros(X.shape[1])
+            if with_std:
+                scale = X.std(axis=0)
+                scale[scale == 0.0] = 1.0
+            else:
+                scale = np.ones(X.shape[1])
+            return mean, scale
+
+        def transform(X: Any, state: tuple) -> np.ndarray:
+            mean, scale = state
+            X = as_2d_array(X)
+            if X.shape[1] != mean.shape[0]:
+                raise ValueError(
+                    f"X has {X.shape[1]} features, scaler was fitted with "
+                    f"{mean.shape[0]}"
+                )
+            return (X - mean) / scale
+
+        return FusedStepKernel(fit, transform)
+
 
 class MinMaxScaler(TransformerMixin, BaseComponent):
     """Scale features to a fixed range, by default [0, 1].
@@ -102,6 +129,24 @@ class MinMaxScaler(TransformerMixin, BaseComponent):
         span = np.where(span == 0.0, 1.0, span)
         return (X - lo) / (hi - lo) * span + self.data_min_
 
+    def fused_kernel(self) -> FusedStepKernel:
+        """Bit-identical fused ``(fit, transform)`` kernel of this stage."""
+        lo, hi = self.feature_range
+
+        def fit(X: Any, y: Any = None) -> tuple:
+            X = as_2d_array(X)
+            return X.min(axis=0), X.max(axis=0)
+
+        def transform(X: Any, state: tuple) -> np.ndarray:
+            data_min, data_max = state
+            X = as_2d_array(X)
+            span = data_max - data_min
+            span = np.where(span == 0.0, 1.0, span)
+            unit = (X - data_min) / span
+            return unit * (hi - lo) + lo
+
+        return FusedStepKernel(fit, transform)
+
 
 class RobustScaler(TransformerMixin, BaseComponent):
     """Scale features using statistics robust to outliers.
@@ -138,6 +183,24 @@ class RobustScaler(TransformerMixin, BaseComponent):
         X = as_2d_array(X)
         return X * self.scale_ + self.center_
 
+    def fused_kernel(self) -> FusedStepKernel:
+        """Bit-identical fused ``(fit, transform)`` kernel of this stage."""
+        lo, hi = self.quantile_range
+
+        def fit(X: Any, y: Any = None) -> tuple:
+            X = as_2d_array(X)
+            center = np.median(X, axis=0)
+            iqr = np.percentile(X, hi, axis=0) - np.percentile(X, lo, axis=0)
+            iqr[iqr == 0.0] = 1.0
+            return center, iqr
+
+        def transform(X: Any, state: tuple) -> np.ndarray:
+            center, scale = state
+            X = as_2d_array(X)
+            return (X - center) / scale
+
+        return FusedStepKernel(fit, transform)
+
 
 class NoOp(TransformerMixin, BaseComponent):
     """Identity transformer.
@@ -160,3 +223,13 @@ class NoOp(TransformerMixin, BaseComponent):
 
     def inverse_transform(self, X: Any) -> np.ndarray:
         return as_2d_array(X)
+
+    def fused_kernel(self) -> FusedStepKernel:
+        """Bit-identical fused ``(fit, transform)`` kernel of this stage."""
+        def fit(X: Any, y: Any = None) -> None:
+            return None
+
+        def transform(X: Any, state: None) -> np.ndarray:
+            return as_2d_array(X)
+
+        return FusedStepKernel(fit, transform)

@@ -93,6 +93,106 @@ def _best_split_mse(
     return best_feature, best_threshold, best_gain
 
 
+def _batched_split_mse(
+    X: np.ndarray,
+    y: np.ndarray,
+    rows: np.ndarray,
+    orders: np.ndarray,
+    feature_indices: np.ndarray,
+    min_samples_leaf: int,
+) -> Tuple[Optional[int], float, float]:
+    """Batched form of :func:`_best_split_mse` over maintained orders.
+
+    ``rows`` are the node's row ids into the tree-level ``X``/``y``;
+    ``orders`` holds, per feature column, those same row ids stably
+    sorted by the feature value.  All candidate features are evaluated
+    in one vectorized pass, but the winning feature is selected by
+    replaying the sequential ``> best_gain + 1e-12`` tie-break in
+    feature order so the result is bit-identical to the per-feature
+    loop.
+    """
+    m = len(rows)
+    y_node = y[rows]
+    total_sum = y_node.sum()
+    total_sq = (y_node**2).sum()
+    parent_sse = total_sq - total_sum**2 / m
+    sub = orders[:, feature_indices]
+    xs = X[sub, feature_indices]
+    ys = y[sub]
+    csum = ys.cumsum(axis=0)
+    csq = (ys**2).cumsum(axis=0)
+    idx = np.arange(1, m)
+    valid = xs[1:] > xs[:-1]
+    valid &= (
+        (idx >= min_samples_leaf) & (m - idx >= min_samples_leaf)
+    )[:, None]
+    left_sum = csum[:-1]
+    left_sq = csq[:-1]
+    right_sum = total_sum - left_sum
+    right_sq = total_sq - left_sq
+    left_sse = left_sq - left_sum**2 / idx[:, None]
+    right_sse = right_sq - right_sum**2 / (m - idx)[:, None]
+    gain = parent_sse - (left_sse + right_sse)
+    gain = np.where(valid, gain, -np.inf)
+    ks = gain.argmax(axis=0)
+    best_gain = -1e-9
+    best_feature: Optional[int] = None
+    best_threshold = 0.0
+    for col, j in enumerate(feature_indices):
+        k = int(ks[col])
+        g = gain[k, col]
+        if g > best_gain + 1e-12:
+            best_gain = float(g)
+            best_feature = int(j)
+            best_threshold = float((xs[k, col] + xs[k + 1, col]) / 2.0)
+    return best_feature, best_threshold, best_gain
+
+
+def _batched_split_gini(
+    X: np.ndarray,
+    Y: np.ndarray,
+    rows: np.ndarray,
+    orders: np.ndarray,
+    feature_indices: np.ndarray,
+    min_samples_leaf: int,
+) -> Tuple[Optional[int], float, float]:
+    """Batched form of :func:`_best_split_gini` over maintained orders."""
+    m = len(rows)
+    counts_node = Y[rows]
+    total_counts = counts_node.sum(axis=0)
+    parent_gini = 1.0 - ((total_counts / m) ** 2).sum()
+    sub = orders[:, feature_indices]
+    xs = X[sub, feature_indices]
+    counts = Y[sub].cumsum(axis=0)
+    idx = np.arange(1, m)
+    valid = xs[1:] > xs[:-1]
+    valid &= (
+        (idx >= min_samples_leaf) & (m - idx >= min_samples_leaf)
+    )[:, None]
+    left_counts = counts[:-1]
+    right_counts = total_counts - left_counts
+    left_n = idx[:, None, None]
+    right_n = (m - idx)[:, None, None]
+    gini_left = 1.0 - ((left_counts / left_n) ** 2).sum(axis=2)
+    gini_right = 1.0 - ((right_counts / right_n) ** 2).sum(axis=2)
+    weighted = (
+        idx[:, None] * gini_left + (m - idx)[:, None] * gini_right
+    ) / m
+    gain = np.where(valid, parent_gini - weighted, -np.inf)
+    ks = gain.argmax(axis=0)
+    best_gain = -1e-9
+    best_feature: Optional[int] = None
+    best_threshold = 0.0
+    for col, j in enumerate(feature_indices):
+        k = int(ks[col])
+        g = gain[k, col]
+        if g > best_gain + 1e-12:
+            best_gain = float(g)
+            best_feature = int(j)
+            best_threshold = float((xs[k, col] + xs[k + 1, col]) / 2.0)
+    return best_feature, best_threshold, best_gain
+
+
 def _best_split_gini(
     X: np.ndarray, Y: np.ndarray, feature_indices: np.ndarray,
     min_samples_leaf: int,
@@ -169,8 +269,28 @@ class _BaseDecisionTree(BaseComponent):
     def _find_split(self, X, targets, features):
         raise NotImplementedError
 
+    def _find_split_batched(self, X, targets, rows, orders, features):
+        raise NotImplementedError
+
     def _is_pure(self, targets: np.ndarray) -> bool:
         raise NotImplementedError
+
+    def _node_stats(
+        self, targets: np.ndarray
+    ) -> Tuple[np.ndarray, float, bool]:
+        """``(leaf value, impurity, is pure)`` for one node's targets.
+
+        Exactly the values of the three separate methods; criterion
+        subclasses override this to share the underlying reductions
+        instead of recomputing them per call — the batched grower
+        evaluates it at every node, where the per-call overhead of the
+        separate numpy reductions dominates the arithmetic.
+        """
+        return (
+            self._leaf_value(targets),
+            self._impurity(targets),
+            self._is_pure(targets),
+        )
 
     # --------------------------------------------------------------------
     def _resolve_max_features(self, n_features: int) -> int:
@@ -233,6 +353,91 @@ class _BaseDecisionTree(BaseComponent):
         rng = np.random.default_rng(self.random_state)
         importances = np.zeros(self.n_features_)
         self.root_ = self._grow(X, targets, 0, rng, importances)
+        total = importances.sum()
+        self.feature_importances_ = (
+            importances / total if total > 0 else importances
+        )
+
+    def _grow_batched(
+        self,
+        X: np.ndarray,
+        targets: np.ndarray,
+        rows: np.ndarray,
+        orders: np.ndarray,
+        depth: int,
+        rng: np.random.Generator,
+        importances: np.ndarray,
+        in_left: np.ndarray,
+    ) -> _Node:
+        """Grow a node from maintained per-feature sort orders.
+
+        Mirrors :meth:`_grow` exactly — same guards, same RNG call sites,
+        same reduction element order — but never re-sorts: each child's
+        orders are the parent's orders filtered by split membership, which
+        preserves stable sort order because retained rows keep their
+        relative positions.
+        """
+        node_targets = targets[rows]
+        value, impurity, is_pure = self._node_stats(node_targets)
+        node = _Node(
+            value=value,
+            n_samples=len(rows),
+            impurity=impurity,
+            depth=depth,
+        )
+        if (
+            len(rows) < self.min_samples_split
+            or (self.max_depth is not None and depth >= self.max_depth)
+            or is_pure
+        ):
+            return node
+        n_features = X.shape[1]
+        k = self._resolve_max_features(n_features)
+        if k < n_features:
+            features = rng.choice(n_features, size=k, replace=False)
+        else:
+            features = np.arange(n_features)
+        feature, threshold, gain = self._find_split_batched(
+            X, targets, rows, orders, features
+        )
+        if feature is None:
+            return node
+        node.feature = feature
+        node.threshold = threshold
+        importances[feature] += max(gain, 0.0)
+        left_mask = X[rows, feature] <= threshold
+        left_rows = rows[left_mask]
+        right_rows = rows[~left_mask]
+        in_left[left_rows] = True
+        keep = in_left[orders]
+        in_left[left_rows] = False
+        f = orders.shape[1]
+        left_orders = orders.T[keep.T].reshape(f, len(left_rows)).T
+        right_orders = orders.T[~keep.T].reshape(f, len(right_rows)).T
+        node.left = self._grow_batched(
+            X, targets, left_rows, left_orders, depth + 1, rng,
+            importances, in_left,
+        )
+        node.right = self._grow_batched(
+            X, targets, right_rows, right_orders, depth + 1, rng,
+            importances, in_left,
+        )
+        return node
+
+    def _fit_tree_batched(self, X: np.ndarray, targets: np.ndarray) -> None:
+        """Batched twin of :meth:`_fit_tree`: sort every feature once at
+        the root, then maintain the orders down the recursion.  Produces a
+        bit-identical tree (structure, thresholds, leaf values, feature
+        importances) to the interpreted path."""
+        self.n_features_ = X.shape[1]
+        rng = np.random.default_rng(self.random_state)
+        importances = np.zeros(self.n_features_)
+        orders = np.argsort(X, axis=0, kind="stable")
+        rows = np.arange(len(X))
+        in_left = np.zeros(len(X), dtype=bool)
+        self.root_ = self._grow_batched(
+            X, targets, rows, orders, 0, rng, importances, in_left
+        )
         total = importances.sum()
         self.feature_importances_ = (
             importances / total if total > 0 else importances
@@ -316,14 +521,43 @@ class DecisionTreeRegressor(RegressorMixin, _BaseDecisionTree):
     def _is_pure(self, targets: np.ndarray) -> bool:
         return bool(targets.var() < 1e-12)
 
+    def _node_stats(
+        self, targets: np.ndarray
+    ) -> Tuple[np.ndarray, float, bool]:
+        # one pass over the node's targets: mean and variance replay
+        # the exact ufunc sequence ndarray.mean()/ndarray.var() perform
+        # (sum / n, deviations squared in place, sum / n), so the
+        # values — and therefore the grown tree — are bit-identical to
+        # the per-method path while skipping its per-call machinery
+        n = targets.shape[0]
+        mean = targets.sum() / n
+        dev = targets - mean
+        dev *= dev
+        var = dev.sum() / n
+        return np.asarray(mean), float(var), bool(var < 1e-12)
+
     def _find_split(self, X, targets, features):
         return _best_split_mse(X, targets, features, self.min_samples_leaf)
+
+    def _find_split_batched(self, X, targets, rows, orders, features):
+        return _batched_split_mse(
+            X, targets, rows, orders, features, self.min_samples_leaf
+        )
 
     def fit(self, X: Any, y: Any) -> "DecisionTreeRegressor":
         X = as_2d_array(X)
         y = as_1d_array(y).astype(float)
         check_consistent_length(X, y)
         self._fit_tree(X, y)
+        return self
+
+    def fused_fit(self, X: Any, y: Any) -> "DecisionTreeRegressor":
+        """Fit via the batched split-search kernel; bit-identical to
+        :meth:`fit` (same validation, same RNG stream, same tree)."""
+        X = as_2d_array(X)
+        y = as_1d_array(y).astype(float)
+        check_consistent_length(X, y)
+        self._fit_tree_batched(X, y)
         return self
 
     def predict(self, X: Any) -> np.ndarray:
@@ -363,8 +597,28 @@ class DecisionTreeClassifier(ClassifierMixin, _BaseDecisionTree):
     def _is_pure(self, targets: np.ndarray) -> bool:
         return bool((targets.sum(axis=0) > 0).sum() <= 1)
 
+    def _node_stats(
+        self, targets: np.ndarray
+    ) -> Tuple[np.ndarray, float, bool]:
+        # the class-count reduction is shared across value, impurity
+        # and purity; counts / n replays ndarray.mean(axis=0)'s exact
+        # ufunc sequence, so every value is bit-identical to the
+        # per-method path
+        counts = targets.sum(axis=0)
+        p = counts / targets.shape[0]
+        return (
+            counts / counts.sum(),
+            float(1.0 - (p**2).sum()),
+            bool((counts > 0).sum() <= 1),
+        )
+
     def _find_split(self, X, targets, features):
         return _best_split_gini(X, targets, features, self.min_samples_leaf)
+
+    def _find_split_batched(self, X, targets, rows, orders, features):
+        return _batched_split_gini(
+            X, targets, rows, orders, features, self.min_samples_leaf
+        )
 
     def fit(self, X: Any, y: Any) -> "DecisionTreeClassifier":
         X = as_2d_array(X)
@@ -374,6 +628,18 @@ class DecisionTreeClassifier(ClassifierMixin, _BaseDecisionTree):
         onehot = np.zeros((len(y), len(self.classes_)))
         onehot[np.arange(len(y)), inverse] = 1.0
         self._fit_tree(X, onehot)
+        return self
+
+    def fused_fit(self, X: Any, y: Any) -> "DecisionTreeClassifier":
+        """Fit via the batched split-search kernel; bit-identical to
+        :meth:`fit` (same validation, same RNG stream, same tree)."""
+        X = as_2d_array(X)
+        y = as_1d_array(y)
+        check_consistent_length(X, y)
+        self.classes_, inverse = np.unique(y, return_inverse=True)
+        onehot = np.zeros((len(y), len(self.classes_)))
+        onehot[np.arange(len(y)), inverse] = 1.0
+        self._fit_tree_batched(X, onehot)
         return self
 
     def predict_proba(self, X: Any) -> np.ndarray:

@@ -14,6 +14,13 @@ so two artifacts collide exactly when they are the same kind of value,
 for the same computation, on the same dataset content, at the same data
 object version, for the same CV fold.  ``tools/check_store_integrity.py``
 guards the every-field property against silent regressions.
+
+Plan compilation (:mod:`repro.core.compile`) is invisible at this
+layer by design: keys are built from spec and content fingerprints
+that never mention *how* a value was computed, so a compiled run
+(fused kernels, batched siblings) reads and writes exactly the same
+artifact keys as an interpreted one — warm stores stay valid across
+both paths and ``tests/core/test_compile.py`` asserts the equality.
 """
 
 from __future__ import annotations

@@ -31,7 +31,13 @@ from typing import Any, Optional
 
 import numpy as np
 
-from repro.ml.base import BaseComponent, TransformerMixin, check_is_fitted
+from repro.ml.base import (
+    BaseComponent,
+    FusedStepKernel,
+    TransformerMixin,
+    check_is_fitted,
+    kernel_is_trustworthy,
+)
 
 __all__ = [
     "CascadedWindows",
@@ -90,6 +96,23 @@ class CascadedWindows(TransformerMixin, BaseComponent):
             )
         return X
 
+    def fused_kernel(self) -> FusedStepKernel:
+        """Bit-identical fused ``(fit, transform)`` kernel of this stage."""
+        def fit(X: Any, y: Any = None) -> tuple:
+            X = _as_windows(X, "CascadedWindows")
+            return X.shape[1], X.shape[2]
+
+        def transform(X: Any, state: tuple) -> np.ndarray:
+            X = _as_windows(X, "CascadedWindows")
+            if X.shape[1:] != state:
+                raise ValueError(
+                    f"window shape {X.shape[1:]} differs from fitted "
+                    f"{state}"
+                )
+            return X
+
+        return FusedStepKernel(fit, transform)
+
 
 class FlatWindowing(TransformerMixin, BaseComponent):
     """Flatten each window to one row (Fig. 8).
@@ -117,6 +140,18 @@ class FlatWindowing(TransformerMixin, BaseComponent):
         X = _as_windows(X, "FlatWindowing")
         return X.reshape(X.shape[0], -1)
 
+    def fused_kernel(self) -> FusedStepKernel:
+        """Bit-identical fused ``(fit, transform)`` kernel of this stage."""
+        def fit(X: Any, y: Any = None) -> None:
+            _as_windows(X, "FlatWindowing")
+            return None
+
+        def transform(X: Any, state: None) -> np.ndarray:
+            X = _as_windows(X, "FlatWindowing")
+            return X.reshape(X.shape[0], -1)
+
+        return FusedStepKernel(fit, transform)
+
 
 class TSAsIID(TransformerMixin, BaseComponent):
     """Keep only the latest timestamp of each window (Fig. 9).
@@ -141,6 +176,18 @@ class TSAsIID(TransformerMixin, BaseComponent):
         X = _as_windows(X, "TSAsIID")
         return X[:, -1, :]
 
+    def fused_kernel(self) -> FusedStepKernel:
+        """Bit-identical fused ``(fit, transform)`` kernel of this stage."""
+        def fit(X: Any, y: Any = None) -> None:
+            _as_windows(X, "TSAsIID")
+            return None
+
+        def transform(X: Any, state: None) -> np.ndarray:
+            X = _as_windows(X, "TSAsIID")
+            return X[:, -1, :]
+
+        return FusedStepKernel(fit, transform)
+
 
 class TSAsIs(TransformerMixin, BaseComponent):
     """Identity for models needing untouched series (Fig. 10).
@@ -161,6 +208,16 @@ class TSAsIs(TransformerMixin, BaseComponent):
     def transform(self, X: Any) -> np.ndarray:
         return _as_windows(X, "TSAsIs")
 
+    def fused_kernel(self) -> FusedStepKernel:
+        """Bit-identical fused ``(fit, transform)`` kernel of this stage."""
+        def fit(X: Any, y: Any = None) -> None:
+            return None
+
+        def transform(X: Any, state: None) -> np.ndarray:
+            return _as_windows(X, "TSAsIs")
+
+        return FusedStepKernel(fit, transform)
+
 
 class NoScaling(TransformerMixin, BaseComponent):
     """Identity option for the Data Scaling stage (Table II's
@@ -176,6 +233,16 @@ class NoScaling(TransformerMixin, BaseComponent):
 
     def transform(self, X: Any) -> np.ndarray:
         return _as_windows(X, "NoScaling")
+
+    def fused_kernel(self) -> FusedStepKernel:
+        """Bit-identical fused ``(fit, transform)`` kernel of this stage."""
+        def fit(X: Any, y: Any = None) -> None:
+            return None
+
+        def transform(X: Any, state: None) -> np.ndarray:
+            return _as_windows(X, "NoScaling")
+
+        return FusedStepKernel(fit, transform)
 
 
 class WindowScaler(TransformerMixin, BaseComponent):
@@ -214,3 +281,36 @@ class WindowScaler(TransformerMixin, BaseComponent):
             )
         flat = self.fitted_scaler_.transform(X.reshape(-1, X.shape[2]))
         return flat.reshape(X.shape)
+
+    def fused_kernel(self) -> "FusedStepKernel | None":
+        """Bit-identical fused ``(fit, transform)`` kernel of this stage."""
+        from repro.ml.preprocessing.scalers import StandardScaler
+
+        base = self.scaler if self.scaler is not None else StandardScaler()
+        inner = getattr(base, "fused_kernel", None)
+        inner = (
+            inner()
+            if callable(inner) and kernel_is_trustworthy(base)
+            else None
+        )
+        if inner is None:
+            # wrapped scaler has no kernel: the whole stage runs
+            # interpreted so its fit/transform semantics are preserved
+            return None
+
+        def fit(X: Any, y: Any = None) -> tuple:
+            X = _as_windows(X, "WindowScaler")
+            return X.shape[2], inner.fit(X.reshape(-1, X.shape[2]), None)
+
+        def transform(X: Any, state: tuple) -> np.ndarray:
+            n_variables, inner_state = state
+            X = _as_windows(X, "WindowScaler")
+            if X.shape[2] != n_variables:
+                raise ValueError(
+                    f"X has {X.shape[2]} variables, scaler was fitted with "
+                    f"{n_variables}"
+                )
+            flat = inner.transform(X.reshape(-1, X.shape[2]), inner_state)
+            return flat.reshape(X.shape)
+
+        return FusedStepKernel(fit, transform)

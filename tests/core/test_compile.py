@@ -1,0 +1,603 @@
+"""Plan-compilation suite: compiled execution must change nothing but speed.
+
+Two layers of guarantees are pinned here:
+
+* **Kernel parity** — every ``fused_kernel()`` in the library produces
+  byte-identical output (and identical errors) to its component's
+  ``fit_transform``/``transform`` on random inputs, and every
+  ``fused_fit`` estimator trains a byte-identical model.
+* **End-to-end parity** — a compiled sweep returns the identical
+  winner, exact per-fold scores, identical failure records (under
+  ``FAULT_SEED`` chaos) and identical cache statistics as the
+  interpreted path, on every executor, and reads/writes the very same
+  artifact-store entries (so warm starts cross the compiled/interpreted
+  boundary in both directions).
+
+``REPRO_EXECUTOR`` narrows the executor matrix exactly as in
+``tests/core/test_executor_parity.py`` so the CI matrix can isolate one
+leg per cell.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CompiledPlan,
+    AutoExecutor,
+    ExecutionEngine,
+    FailurePolicy,
+    GraphEvaluator,
+    ProcessExecutor,
+    SerialExecutor,
+    TransformerEstimatorGraph,
+    compile_chain,
+    make_pipeline,
+    resolve_executor,
+)
+from repro.core.compile import estimator_fused_fit
+from repro.datasets import make_regression
+from repro.faults import FaultPlan
+from repro.ml.decomposition import PCA, Covariance
+from repro.ml.feature_selection import SelectKBest, VarianceThreshold
+from repro.ml.linear import LinearRegression, RidgeRegression
+from repro.ml.model_selection import KFold
+from repro.ml.neighbors import KNeighborsRegressor
+from repro.ml.preprocessing import (
+    MinMaxScaler,
+    NoOp,
+    RobustScaler,
+    StandardScaler,
+)
+from repro.ml.ensemble import RandomForestClassifier, RandomForestRegressor
+from repro.ml.tree import DecisionTreeClassifier, DecisionTreeRegressor
+from repro.timeseries import (
+    CascadedWindows,
+    FlatWindowing,
+    NoScaling,
+    TSAsIID,
+    TSAsIs,
+    WindowScaler,
+)
+
+FAULT_SEED = int(os.environ.get("FAULT_SEED", "0"))
+_ENV_EXECUTOR = os.environ.get("REPRO_EXECUTOR")
+COMPARED = [_ENV_EXECUTOR] if _ENV_EXECUTOR else ["serial", "parallel", "processes"]
+
+
+def build_graph():
+    """The seeded 12-path graph (3 scalers x 4 deterministic models)."""
+    graph = TransformerEstimatorGraph()
+    graph.add_feature_scalers([StandardScaler(), MinMaxScaler(), NoOp()])
+    graph.add_regression_models(
+        [
+            LinearRegression(),
+            RidgeRegression(alpha=1.0),
+            DecisionTreeRegressor(max_depth=3, random_state=0),
+            KNeighborsRegressor(n_neighbors=5),
+        ]
+    )
+    return graph
+
+
+@pytest.fixture(scope="module")
+def data():
+    return make_regression(
+        n_samples=120, n_features=8, n_informative=5, noise=0.1,
+        random_state=0,
+    )
+
+
+@pytest.fixture(scope="module")
+def process_pool():
+    executor = ProcessExecutor(max_workers=2, batches_per_worker=2)
+    yield executor
+    executor.shutdown()
+
+
+def make_engine(executor_name, process_pool, **engine_kwargs):
+    if executor_name == "processes":
+        return ExecutionEngine(executor=process_pool, **engine_kwargs)
+    return ExecutionEngine(executor=executor_name, **engine_kwargs)
+
+
+def run_sweep(
+    executor_name,
+    process_pool,
+    X,
+    y,
+    compile="auto",
+    fault_rules=None,
+    policy=None,
+    **engine_kwargs,
+):
+    """One full evaluation of the 12-path graph."""
+    engine = make_engine(
+        executor_name,
+        process_pool,
+        failure_policy=policy,
+        compile=compile,
+        **engine_kwargs,
+    )
+    if fault_rules is not None:
+        engine.fault_injector = FaultPlan(
+            rules=fault_rules, seed=FAULT_SEED
+        ).injector()
+    evaluator = GraphEvaluator(
+        build_graph(), cv=KFold(2, random_state=0), engine=engine
+    )
+    return evaluator.evaluate(X, y, refit_best=False)
+
+
+def scores_by_key(report):
+    return {r.key: r.cv_result.fold_scores for r in report.results}
+
+
+@pytest.fixture(scope="module")
+def interpreted_baseline(data):
+    X, y = data
+    return run_sweep("serial", None, X, y, compile=False)
+
+
+# ---------------------------------------------------------------------------
+# Kernel-level parity: fused_kernel vs fit_transform on random inputs
+# ---------------------------------------------------------------------------
+
+TABULAR_KERNEL_CASES = [
+    StandardScaler(),
+    StandardScaler(with_mean=False),
+    StandardScaler(with_std=False),
+    StandardScaler(with_mean=False, with_std=False),
+    MinMaxScaler(),
+    MinMaxScaler(feature_range=(-1.0, 2.0)),
+    RobustScaler(),
+    NoOp(),
+    SelectKBest(k=3, score_func="f_score"),
+    SelectKBest(k=200),  # k > n_features: keep-everything branch
+    VarianceThreshold(threshold=0.05),
+    PCA(n_components=4),
+    PCA(n_components=100),  # clipped to min(n_samples, n_features)
+    Covariance(),
+]
+
+WINDOW_KERNEL_CASES = [
+    CascadedWindows(),
+    FlatWindowing(),
+    TSAsIID(),
+    TSAsIs(),
+    NoScaling(),
+    WindowScaler(),
+    WindowScaler(scaler=MinMaxScaler()),
+    WindowScaler(scaler=RobustScaler()),
+]
+
+
+def _random_tabular(seed):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(40, 6))
+    X[:, 4] = 1.5  # constant column: zero variance / zero IQR branches
+    X[:, 5] = np.round(X[:, 5])  # heavy ties
+    y = rng.normal(size=40)
+    X_test = rng.normal(size=(15, 6))
+    return X, y, X_test
+
+
+def _random_windows(seed):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(30, 5, 3))
+    y = rng.normal(size=30)
+    X_test = rng.normal(size=(12, 5, 3))
+    return X, y, X_test
+
+
+class TestKernelParity:
+    @pytest.mark.parametrize(
+        "component",
+        TABULAR_KERNEL_CASES,
+        ids=lambda c: f"{type(c).__name__}-{id(c) % 1000}",
+    )
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_tabular_kernels_bit_identical(self, component, seed):
+        X, y, X_test = _random_tabular(seed)
+        kernel = component.fused_kernel()
+        assert kernel is not None
+        state = kernel.fit(X, y)
+        from repro.ml.base import clone
+
+        node = clone(component)
+        expected_train = node.fit_transform(X, y)
+        got_train = kernel.transform(X, state)
+        assert np.array_equal(got_train, expected_train)
+        assert np.array_equal(kernel.transform(X_test, state), node.transform(X_test))
+
+    @pytest.mark.parametrize(
+        "component",
+        WINDOW_KERNEL_CASES,
+        ids=lambda c: f"{type(c).__name__}-{id(c) % 1000}",
+    )
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_window_kernels_bit_identical(self, component, seed):
+        X, y, X_test = _random_windows(seed)
+        kernel = component.fused_kernel()
+        assert kernel is not None
+        state = kernel.fit(X, y)
+        from repro.ml.base import clone
+
+        node = clone(component)
+        expected_train = node.fit_transform(X, y)
+        got_train = kernel.transform(X, state)
+        assert np.array_equal(got_train, expected_train)
+        assert np.array_equal(kernel.transform(X_test, state), node.transform(X_test))
+
+    def test_kernel_error_parity(self):
+        """Kernels must raise the same errors the component raises."""
+        X, y, _ = _random_tabular(0)
+        scaler = StandardScaler()
+        kernel = scaler.fused_kernel()
+        state = kernel.fit(X, y)
+        scaler.fit(X, y)
+        bad = np.ones((5, X.shape[1] + 1))
+        with pytest.raises(ValueError) as interpreted_err:
+            scaler.transform(bad)
+        with pytest.raises(ValueError) as kernel_err:
+            kernel.transform(bad, state)
+        assert str(kernel_err.value) == str(interpreted_err.value)
+
+
+class TestFusedFitParity:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_decision_tree_regressor(self, seed):
+        rng = np.random.default_rng(seed)
+        X = rng.choice([0.0, 1.0, 2.0, 3.0, 4.5], size=(80, 5))
+        y = rng.normal(size=80)
+        a = DecisionTreeRegressor(max_depth=4, random_state=seed).fit(X, y)
+        b = DecisionTreeRegressor(max_depth=4, random_state=seed).fused_fit(X, y)
+        assert np.array_equal(a.predict(X), b.predict(X))
+        assert np.array_equal(a.feature_importances_, b.feature_importances_)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_decision_tree_classifier(self, seed):
+        rng = np.random.default_rng(seed)
+        X = rng.choice([0.0, 1.0, 2.0, 3.0], size=(80, 5))
+        y = rng.integers(0, 3, size=80)
+        a = DecisionTreeClassifier(max_depth=4, random_state=seed).fit(X, y)
+        b = DecisionTreeClassifier(max_depth=4, random_state=seed).fused_fit(X, y)
+        assert np.array_equal(a.predict_proba(X), b.predict_proba(X))
+        assert np.array_equal(a.feature_importances_, b.feature_importances_)
+
+    def test_random_forest_bit_identical(self):
+        rng = np.random.default_rng(7)
+        X = rng.normal(size=(60, 6))
+        y = rng.normal(size=60)
+        a = RandomForestRegressor(n_estimators=5, random_state=0).fit(X, y)
+        b = RandomForestRegressor(n_estimators=5, random_state=0).fused_fit(X, y)
+        assert np.array_equal(a.predict(X), b.predict(X))
+        labels = rng.integers(0, 2, size=60)
+        c = RandomForestClassifier(n_estimators=5, random_state=0).fit(X, labels)
+        d = RandomForestClassifier(n_estimators=5, random_state=0).fused_fit(
+            X, labels
+        )
+        assert np.array_equal(c.predict_proba(X), d.predict_proba(X))
+
+
+# ---------------------------------------------------------------------------
+# Safety: inherited kernels must not shadow subclass overrides
+# ---------------------------------------------------------------------------
+
+class _CustomFitScaler(StandardScaler):
+    """Subclass with custom fitting: the inherited kernel is a lie."""
+
+    def fit(self, X, y=None):
+        result = super().fit(X, y)
+        self.mean_ = self.mean_ + 1.0  # deliberately different statistics
+        return result
+
+
+class _CustomFitTree(DecisionTreeRegressor):
+    def fit(self, X, y):
+        return super().fit(X, np.asarray(y) * 2.0)
+
+
+class TestSubclassSafety:
+    def test_overridden_fit_disables_inherited_kernel(self, data):
+        X, y = data
+        chain = compile_chain(
+            make_pipeline(_CustomFitScaler(), LinearRegression())
+        )
+        assert chain.n_fused == 0 and chain.n_interpreted == 1
+        # and the compiled fold output honours the override
+        X_train, X_test = chain.fit_transform_fold(X[:80], y[:80], X[80:])
+        node = _CustomFitScaler().fit(X[:80])
+        assert np.array_equal(X_train, node.transform(X[:80]))
+        assert np.array_equal(X_test, node.transform(X[80:]))
+
+    def test_overridden_fit_disables_inherited_fused_fit(self):
+        assert estimator_fused_fit(_CustomFitTree()) is None
+        assert estimator_fused_fit(DecisionTreeRegressor()) is not None
+
+    def test_plain_kernel_survives(self):
+        chain = compile_chain(make_pipeline(StandardScaler(), LinearRegression()))
+        assert chain.n_fused == 1 and chain.n_interpreted == 0
+
+
+# ---------------------------------------------------------------------------
+# End-to-end parity: compiled vs interpreted across executors
+# ---------------------------------------------------------------------------
+
+class TestCompiledParity:
+    @pytest.fixture(scope="class", params=COMPARED)
+    def report_pair(self, request, data, process_pool):
+        """(compiled, interpreted) sweeps on the same executor."""
+        X, y = data
+        compiled = run_sweep(request.param, process_pool, X, y, compile="auto")
+        interpreted = run_sweep(request.param, process_pool, X, y, compile=False)
+        return compiled, interpreted
+
+    def test_identical_winner(self, interpreted_baseline, report_pair):
+        compiled, _ = report_pair
+        assert compiled.best_path == interpreted_baseline.best_path
+        assert compiled.best_params == interpreted_baseline.best_params
+
+    def test_identical_scores_exact(self, interpreted_baseline, report_pair):
+        compiled, _ = report_pair
+        assert scores_by_key(compiled) == scores_by_key(interpreted_baseline)
+
+    def test_identical_result_order(self, interpreted_baseline, report_pair):
+        compiled, _ = report_pair
+        assert [r.key for r in compiled.results] == [
+            r.key for r in interpreted_baseline.results
+        ]
+
+    def test_identical_cache_counters(self, report_pair, request):
+        """Same-executor cache stats must not move under compilation
+        (the memo never shadows a cache access).
+
+        Worker-local caches make the hit/miss *split* depend on which
+        batches share a worker process — nondeterministic scheduling
+        that predates compilation — so the processes leg pins the
+        scheduling-invariant totals instead of the split.
+        """
+        compiled, interpreted = report_pair
+        baseline = interpreted.stats["cache"]
+        stats = compiled.stats["cache"]
+        if request.node.callspec.params["report_pair"] == "processes":
+            assert (
+                stats["hits"] + stats["misses"]
+                == baseline["hits"] + baseline["misses"]
+            )
+            assert stats["stores"] == stats["misses"]
+            assert baseline["stores"] == baseline["misses"]
+        else:
+            for counter in (
+                "hits", "misses", "stores", "transformer_fits_saved",
+            ):
+                assert stats[counter] == baseline[counter]
+
+    def test_compile_counters_reported(self, report_pair):
+        compiled, _ = report_pair
+        stats = compiled.stats["compile"]
+        assert stats["enabled"] is True
+        assert stats["kernels_fused"] > 0
+        # process workers compile per batch, so group sizes there may be
+        # smaller; the exact whole-plan count is pinned below.
+        assert 0 < stats["jobs_batched"] <= 12
+        assert stats["stages_interpreted"] == 0
+
+    def test_serial_counts_whole_plan(self, data):
+        X, y = data
+        report = run_sweep("serial", None, X, y, compile="auto")
+        stats = report.stats["compile"]
+        assert stats["jobs_batched"] == 12  # 3 prefix groups of 4 jobs
+        assert stats["kernels_fused"] == 3  # one scaler kernel per group
+
+    def test_interpreted_reports_disabled(self, interpreted_baseline):
+        stats = interpreted_baseline.stats["compile"]
+        assert stats["enabled"] is False
+        assert stats["kernels_fused"] == 0
+
+
+class TestCompiledChaosParity:
+    """Fault records must be identical with compilation on."""
+
+    @pytest.fixture(scope="class")
+    def fault_setup(self, data, interpreted_baseline):
+        X, y = data
+        keys = [
+            job.key
+            for job in GraphEvaluator(
+                build_graph(), cv=KFold(2, random_state=0)
+            ).iter_jobs(X, y)
+        ]
+        winner_key = interpreted_baseline.best_result().key
+        plan = FaultPlan(seed=FAULT_SEED)
+        transient_key, permanent_key = plan.sample(
+            [key for key in keys if key != winner_key], 2
+        )
+        plan.add("engine.run_job", "transient", match=transient_key, times=2)
+        plan.add("engine.run_job", "transient", match=permanent_key, times=None)
+        policy = FailurePolicy(
+            on_error="retry", max_retries=3, backoff_base=0.0, seed=FAULT_SEED
+        )
+        return plan.rules, policy
+
+    @pytest.fixture(scope="class")
+    def chaos_interpreted(self, data, fault_setup):
+        X, y = data
+        rules, policy = fault_setup
+        return run_sweep(
+            "serial", None, X, y,
+            compile=False, fault_rules=rules, policy=policy,
+        )
+
+    @pytest.fixture(scope="class", params=COMPARED)
+    def chaos_compiled(self, request, data, process_pool, fault_setup):
+        X, y = data
+        rules, policy = fault_setup
+        return run_sweep(
+            request.param, process_pool, X, y,
+            compile="auto", fault_rules=rules, policy=policy,
+        )
+
+    def test_identical_failure_records(self, chaos_interpreted, chaos_compiled):
+        assert chaos_interpreted.stats["failures"]  # chaos actually fired
+        assert (
+            chaos_compiled.stats["failures"]
+            == chaos_interpreted.stats["failures"]
+        )
+
+    def test_identical_winner_and_scores(
+        self, chaos_interpreted, chaos_compiled
+    ):
+        assert chaos_compiled.best_path == chaos_interpreted.best_path
+        assert scores_by_key(chaos_compiled) == scores_by_key(chaos_interpreted)
+
+
+class TestIdenticalArtifacts:
+    """Compiled and interpreted runs address the same store entries.
+
+    Each direction warms a disk store one way and re-runs the other
+    way: every result must be served from the store, which can only
+    happen when both paths build identical
+    :class:`~repro.store.keys.ArtifactKey` values.
+    """
+
+    @pytest.mark.parametrize("first,second", [(False, "auto"), ("auto", False)])
+    def test_warm_start_crosses_compile_boundary(
+        self, data, tmp_path, first, second
+    ):
+        X, y = data
+        root = str(tmp_path / f"cas-{first}-{second}")
+        warm = run_sweep("serial", None, X, y, compile=first, store=f"disk:{root}")
+        reread = run_sweep(
+            "serial", None, X, y, compile=second, store=f"disk:{root}"
+        )
+        assert all(r.from_cache for r in reread.results)
+        assert reread.best_path == warm.best_path
+        assert scores_by_key(reread) == scores_by_key(warm)
+
+    def test_fold_transform_artifacts_shared(self, data, tmp_path):
+        X, y = data
+        root = str(tmp_path / "cas-folds")
+        run_sweep("serial", None, X, y, compile="auto", store=f"disk:{root}")
+        engine = ExecutionEngine(
+            executor="serial", compile=False, store=f"disk:{root}"
+        )
+        evaluator = GraphEvaluator(
+            build_graph(), cv=KFold(2, random_state=0), engine=engine
+        )
+        # force fold recomputation visibility: fresh engine, same store
+        evaluator.evaluate(X, y, refit_best=False)
+        tiers = engine.cache_stats()["tiers"]
+        disk_hits = sum(
+            tier["hits"] for name, tier in tiers.items()
+            if name.startswith("disk")
+        )
+        assert disk_hits >= 12  # results (and any fold pulls) all hit
+
+
+class TestBatchedFoldSharing:
+    def test_memo_shares_folds_when_cache_disabled(self, data):
+        X, y = data
+        report = run_sweep("serial", None, X, y, compile="auto", cache=False)
+        stats = report.stats["compile"]
+        # 3 groups x 4 jobs x 2 folds: first job computes, 3 siblings share
+        assert stats["folds_shared"] == 3 * 3 * 2
+        assert scores_by_key(report)  # sanity: sweep completed
+
+    def test_memo_results_match_interpreted(self, data, interpreted_baseline):
+        X, y = data
+        report = run_sweep("serial", None, X, y, compile="auto", cache=False)
+        assert scores_by_key(report) == scores_by_key(interpreted_baseline)
+
+
+# ---------------------------------------------------------------------------
+# Cost-aware executor selection
+# ---------------------------------------------------------------------------
+
+class _NamedPool(SerialExecutor):
+    name = "processes"
+
+
+class TestAutoExecutor:
+    def test_resolve(self):
+        assert isinstance(resolve_executor("auto"), AutoExecutor)
+
+    def test_first_batch_is_serial(self):
+        auto = AutoExecutor()
+        chosen = auto.select(100)
+        assert chosen.name == "serial"
+        assert auto.last_choice == "serial"
+
+    def test_small_batches_stay_serial_even_when_measured(self, monkeypatch):
+        auto = AutoExecutor()
+        monkeypatch.setattr(os, "cpu_count", lambda: 16)
+        auto.observe(10, 100.0)  # 10 s per job: expensive
+        assert auto.select(2).name == "serial"  # below min_jobs
+
+    def test_cheap_jobs_stay_serial(self, monkeypatch):
+        auto = AutoExecutor()
+        monkeypatch.setattr(os, "cpu_count", lambda: 16)
+        auto.observe(1000, 0.5)  # 0.5 ms per job
+        assert auto.select(100).name == "serial"
+
+    def test_few_cores_stay_serial(self, monkeypatch):
+        auto = AutoExecutor()
+        monkeypatch.setattr(os, "cpu_count", lambda: 2)
+        auto.observe(10, 100.0)
+        assert auto.select(100).name == "serial"
+
+    def test_expensive_wide_batch_selects_pool(self, monkeypatch):
+        auto = AutoExecutor()
+        auto._pool = _NamedPool()  # avoid spawning a real pool in tests
+        monkeypatch.setattr(os, "cpu_count", lambda: 16)
+        auto.observe(10, 100.0)
+        assert auto.select(100).name == "processes"
+        assert auto.last_choice == "processes"
+
+    def test_engine_observes_cost(self, data):
+        X, y = data
+        engine = ExecutionEngine(executor="auto")
+        evaluator = GraphEvaluator(
+            build_graph(), cv=KFold(2, random_state=0), engine=engine
+        )
+        evaluator.evaluate(X, y, refit_best=False)
+        assert engine.executor.per_job_seconds is not None
+        assert engine.executor.per_job_seconds > 0
+
+    def test_default_evaluator_engine_is_auto(self, data):
+        evaluator = GraphEvaluator(build_graph(), cv=KFold(2, random_state=0))
+        assert isinstance(evaluator.engine.executor, AutoExecutor)
+
+    def test_auto_matches_serial_results(self, data, interpreted_baseline):
+        X, y = data
+        report = run_sweep("auto", None, X, y)
+        assert report.best_path == interpreted_baseline.best_path
+        assert scores_by_key(report) == scores_by_key(interpreted_baseline)
+
+
+class TestCompiledPlanUnit:
+    def test_groups_and_counters(self, data):
+        X, y = data
+        evaluator = GraphEvaluator(build_graph(), cv=KFold(2, random_state=0))
+        plan = evaluator.plan(X, y)
+        compiled = CompiledPlan(plan.groups())
+        assert len(compiled.groups) == 3
+        snapshot = compiled.snapshot()
+        assert snapshot["jobs_batched"] == 12
+        assert snapshot["kernels_fused"] == 3  # one scaler kernel per group
+        job = plan.jobs()[0]
+        group = compiled.group_for(job.key)
+        assert group is not None and group.remaining == 4
+
+    def test_memo_lifecycle(self, data):
+        X, y = data
+        evaluator = GraphEvaluator(build_graph(), cv=KFold(2, random_state=0))
+        compiled = CompiledPlan(evaluator.plan(X, y).groups())
+        group = compiled.groups[0]
+        group.memo_put("fold-a", ("train", "test"))
+        assert group.memo_get("fold-a") == ("train", "test")
+        assert compiled.snapshot()["folds_shared"] == 1
+        for _ in range(4):
+            group.job_done()
+        assert group.memo_get("fold-a") is None  # dropped with last job

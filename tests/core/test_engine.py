@@ -107,11 +107,16 @@ class TestPrefixCache:
             CountingScaler.fit_calls = 0
             return count
 
-        uncached_fits = sweep(ExecutionEngine(cache=False))
-        cached_fits = sweep(ExecutionEngine(cache=True))
+        # compile=False isolates the cache: with compilation on, the
+        # group fold memo already dedupes sibling fits even uncached.
+        uncached_fits = sweep(ExecutionEngine(cache=False, compile=False))
+        cached_fits = sweep(ExecutionEngine(cache=True, compile=False))
         assert uncached_fits == folds * estimators
         assert cached_fits == folds  # fitted once per fold, reused after
         assert cached_fits < uncached_fits
+        # With compilation on, the memo achieves the cached fit count
+        # even with the cache disabled (batched sibling jobs).
+        assert sweep(ExecutionEngine(cache=False)) == folds
 
     def test_lru_eviction_bounds_size_and_stays_correct(
         self, shared_prefix_graph, regression_data

@@ -10,6 +10,7 @@ REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 sys.path.insert(0, os.path.join(REPO_ROOT, "tools"))
 
 import check_docs  # noqa: E402
+import check_fusion_coverage  # noqa: E402
 import check_store_integrity  # noqa: E402
 
 
@@ -40,6 +41,12 @@ def test_store_integrity_lint_clean():
     """Every ArtifactKey field feeds the digest and the hash scheme is
     stable (the content-address contract of the artifact store)."""
     assert check_store_integrity.check_store_integrity() == []
+
+
+def test_fusion_coverage_lint_clean():
+    """Every transformer either declares a fused kernel or carries an
+    explicit exemption reason (the plan-compiler coverage contract)."""
+    assert check_fusion_coverage.check_fusion_coverage() == []
 
 
 def test_every_doc_page_reachable_from_readme():

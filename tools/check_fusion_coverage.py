@@ -1,0 +1,193 @@
+"""Fusion-coverage lint: every transformer must opt in or be exempted.
+
+The plan compiler (`repro.core.compile`) can only fuse a transformer
+stage when the class provides `fused_kernel()`.  A new stateless
+transformer added without a kernel silently drags every chain that
+contains it back to interpreted execution — correct, but quietly
+slower, and easy to miss in review.  This lint makes the choice
+explicit: a concrete `TransformerMixin` subclass must either
+
+1. provide `fused_kernel()` (declared on itself or an ancestor below
+   `TransformerMixin`), or
+2. appear in `FUSION_EXEMPT` with a one-line reason why a faithful
+   kernel is not worth it (iterative fits, randomized state, sample
+   interdependence, ...).
+
+The lint also rejects *stale* exemptions (class gained a kernel or no
+longer exists) so the table stays honest, and smoke-calls every
+declared kernel on a default-constructed instance to catch kernels
+that crash at build time.
+
+Importable (``tests`` may reuse :func:`check_fusion_coverage`) and
+runnable as a CLI: ``python tools/check_fusion_coverage.py`` exits 0
+when clean, 1 with a per-problem report.
+"""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+import os
+import pkgutil
+import sys
+from typing import Dict, List
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: Transformers deliberately left interpreted, with the reason.  Keyed
+#: by ``module.ClassName``; entries must stay in sync with the code (a
+#: stale entry fails the lint).
+FUSION_EXEMPT: Dict[str, str] = {
+    "repro.ml.decomposition.pca.KernelPCA": (
+        "kernel matrix couples every training sample; no closed-form "
+        "stateless kernel"
+    ),
+    "repro.ml.decomposition.pca.LDA": (
+        "class-conditional scatter solve; little arithmetic to fuse "
+        "over the per-class bookkeeping"
+    ),
+    "repro.ml.preprocessing.encoders.PolynomialFeatures": (
+        "combinatorial column expansion dominated by index generation, "
+        "not fusable arithmetic"
+    ),
+    "repro.ml.preprocessing.encoders.OneHotEncoder": (
+        "category vocabulary is per-column object state; ragged, not "
+        "vectorizable as one kernel"
+    ),
+    "repro.ml.preprocessing.encoders.KBinsDiscretizer": (
+        "per-column bin edges with strategy-dependent branching; "
+        "interpreted cost is already the quantile call"
+    ),
+    "repro.ml.preprocessing.imputers.SimpleImputer": (
+        "mask-dependent statistics with NaN bookkeeping; parity risk "
+        "outweighs the tiny fit cost"
+    ),
+    "repro.ml.preprocessing.imputers.KNNImputer": (
+        "pairwise-distance fit is iterative over incomplete rows"
+    ),
+    "repro.ml.preprocessing.imputers.IterativeImputer": (
+        "round-robin regression loop; inherently multi-pass"
+    ),
+    "repro.ml.preprocessing.imputers.MatrixFactorizationImputer": (
+        "gradient-descent factorization; inherently iterative"
+    ),
+    "repro.ml.preprocessing.outliers.OutlierClipper": (
+        "fitted state depends on clip-strategy branching per column; "
+        "left interpreted until profiled"
+    ),
+}
+
+
+def _transformer_classes():
+    """Yield every concrete TransformerMixin subclass defined in repro."""
+    import repro
+    from repro.ml.base import TransformerMixin
+
+    seen = set()
+    for module_info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        try:
+            module = importlib.import_module(module_info.name)
+        except Exception:  # optional deps may be absent; not this lint's job
+            continue
+        for _, obj in vars(module).items():
+            if (
+                inspect.isclass(obj)
+                and issubclass(obj, TransformerMixin)
+                and obj is not TransformerMixin
+                and obj.__module__ == module_info.name
+                and not obj.__name__.startswith("_")
+                and obj not in seen
+            ):
+                seen.add(obj)
+                yield obj
+
+
+def _declares_kernel(cls) -> bool:
+    """Whether ``cls`` provides a real kernel (not the mixin default)."""
+    from repro.ml.base import TransformerMixin
+
+    for klass in cls.__mro__:
+        if klass is TransformerMixin:
+            return False
+        if "fused_kernel" in vars(klass):
+            return True
+    return False
+
+
+def check_fusion_coverage() -> List[str]:
+    """Run the coverage lint.
+
+    Returns
+    -------
+    Problem strings (empty when every transformer is covered/exempted).
+    """
+    from repro.ml.base import FusedStepKernel
+
+    problems: List[str] = []
+    found: Dict[str, type] = {}
+    for cls in _transformer_classes():
+        found[f"{cls.__module__}.{cls.__name__}"] = cls
+
+    for qualname, cls in sorted(found.items()):
+        declares = _declares_kernel(cls)
+        exempt = qualname in FUSION_EXEMPT
+        if declares and exempt:
+            problems.append(
+                f"stale exemption: {qualname} now declares fused_kernel(); "
+                "drop it from FUSION_EXEMPT"
+            )
+        elif not declares and not exempt:
+            problems.append(
+                f"uncovered transformer: {qualname} has no fused_kernel() "
+                "and no FUSION_EXEMPT entry — add a kernel (see "
+                "repro.ml.base.FusedStepKernel for the parity contract) "
+                "or exempt it with a reason"
+            )
+        if declares:
+            try:
+                instance = cls()
+            except Exception:
+                continue  # no default construction; parity tests cover it
+            try:
+                kernel = instance.fused_kernel()
+            except Exception as exc:
+                problems.append(
+                    f"{qualname}.fused_kernel() raised on a default "
+                    f"instance: {exc!r}"
+                )
+                continue
+            if kernel is not None and not isinstance(kernel, FusedStepKernel):
+                problems.append(
+                    f"{qualname}.fused_kernel() returned "
+                    f"{type(kernel).__name__}, expected FusedStepKernel "
+                    "or None"
+                )
+
+    for qualname in sorted(FUSION_EXEMPT):
+        if qualname not in found:
+            problems.append(
+                f"stale exemption: {qualname} not found among repro "
+                "transformers; drop or fix the entry"
+            )
+
+    return problems
+
+
+def main() -> int:
+    """CLI entry point (0 clean, 1 with problems on stderr)."""
+    sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+    problems = check_fusion_coverage()
+    if problems:
+        for problem in problems:
+            print(f"FAIL {problem}", file=sys.stderr)
+        return 1
+    covered = sum(1 for cls in _transformer_classes() if _declares_kernel(cls))
+    print(
+        f"fusion coverage OK: {covered} transformers fused, "
+        f"{len(FUSION_EXEMPT)} exempt with reasons"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
