@@ -1,0 +1,158 @@
+"""SERVE — multi-tenant serving under concurrent load.
+
+Drives the :class:`repro.serve.AnalyticsService` front door with
+hundreds of concurrent simulated clients submitting a mixed pool of
+Fig. 3 (regression TEG) and Fig. 11 (time-series TEG) workloads, via
+the bundled :class:`repro.serve.LoadGenerator`.  The workload pool is
+deliberately small relative to the client count: a handful of sweeps
+compute cold and everything else lands on the shared artifact store,
+so the bench exercises exactly the serving-layer story — admission
+control shedding a burst, weighted-fair scheduling draining it, and
+cross-tenant result reuse making repeat jobs cheap.
+
+Summary lands in ``BENCH_serving.json`` at the repo root: p50/p99
+submit-to-terminal latency, sustained jobs/sec, admission-reject rate,
+reuse hit rate and the serve counter block.  Gates: admission control
+must demonstrably shed load under the burst (reject rate > 0) and no
+admitted job may be lost (every admitted job reaches a terminal
+state).
+
+Environment knobs (the CI smoke leg turns these down):
+
+* ``REPRO_SERVE_CLIENTS``     — concurrent clients (default 200).
+* ``REPRO_SERVE_QUEUE``       — admission queue depth (default 32).
+* ``REPRO_SERVE_CONCURRENCY`` — service worker tasks (default 2).
+* ``REPRO_SERVE_JOBS``        — jobs per client (default 1).
+"""
+
+import asyncio
+import os
+
+from conftest import bench_extras, print_table, record_engine
+from conftest import report as bench_report
+from repro.core import prepare_regression_graph
+from repro.ml.model_selection import KFold, TimeSeriesSlidingSplit
+from repro.serve import AnalyticsService, JobRequest, LoadGenerator
+from repro.timeseries.pipeline import build_time_series_graph
+
+CLIENTS = int(os.environ.get("REPRO_SERVE_CLIENTS", "200"))
+QUEUE_DEPTH = int(os.environ.get("REPRO_SERVE_QUEUE", "32"))
+CONCURRENCY = int(os.environ.get("REPRO_SERVE_CONCURRENCY", "2"))
+JOBS_PER_CLIENT = int(os.environ.get("REPRO_SERVE_JOBS", "1"))
+
+
+def build_workloads(regression_xy, sensor_frames):
+    """A small mixed pool of Fig. 3 / Fig. 11 request variants.
+
+    Two dataset slices per graph family = four distinct computations;
+    every client draws from this pool, so the first submission of each
+    variant computes cold and the rest reuse through the store.
+    """
+    Xr, yr = regression_xy
+    Xt, yt = sensor_frames
+    fig3 = prepare_regression_graph(fast=True, k_best=4)
+    fig11 = build_time_series_graph(fast=True, random_state=0)
+    variants = [
+        ("fig3_full", fig3, Xr, yr, KFold(2, random_state=0)),
+        ("fig3_half", fig3, Xr[:120], yr[:120], KFold(2, random_state=0)),
+        (
+            "fig11_full",
+            fig11,
+            Xt,
+            yt,
+            TimeSeriesSlidingSplit(n_splits=2, buffer_size=2),
+        ),
+        (
+            "fig11_half",
+            fig11,
+            Xt[: len(Xt) // 2],
+            yt[: len(yt) // 2],
+            TimeSeriesSlidingSplit(n_splits=2, buffer_size=2),
+        ),
+    ]
+    requests = [
+        JobRequest(graph=graph, X=X, y=y, cv=cv, metric="rmse", label=label)
+        for label, graph, X, y, cv in variants
+    ]
+    # callables returning shared read-only requests (no per-call build)
+    return [lambda req=req: req for req in requests]
+
+
+def test_serving_load(bench_telemetry, regression_xy, sensor_frames):
+    workloads = build_workloads(regression_xy, sensor_frames)
+    service = AnalyticsService(
+        max_queue=QUEUE_DEPTH,
+        concurrency=CONCURRENCY,
+        telemetry=bench_telemetry,
+    )
+
+    async def main():
+        await service.start()
+        generator = LoadGenerator(
+            service,
+            workloads=workloads,
+            n_clients=CLIENTS,
+            jobs_per_client=JOBS_PER_CLIENT,
+            n_tenants=8,
+            seed=0,
+            max_retries=100_000,
+            retry_cap=0.25,
+        )
+        load = await generator.run()
+        await service.stop()
+        return load
+
+    load = asyncio.run(main())
+
+    # -- acceptance gates ---------------------------------------------------
+    assert load.lost == 0, f"{load.lost} admitted job(s) never finished"
+    assert load.completed == load.admitted
+    if CLIENTS > QUEUE_DEPTH:
+        assert load.rejected > 0, (
+            "admission control shed nothing despite "
+            f"{CLIENTS} clients over a {QUEUE_DEPTH}-deep queue"
+        )
+
+    stats = service.stats()
+    counts = stats["counts"]
+    fresh = counts["results_fresh"]
+    reused = counts["results_reused"]
+    reuse_rate = reused / (fresh + reused) if fresh + reused else 0.0
+    summary = load.as_dict()
+
+    record_engine("serving", "service", service.engine)
+    bench_extras(
+        "serving",
+        clients=CLIENTS,
+        jobs_per_client=JOBS_PER_CLIENT,
+        queue_depth=QUEUE_DEPTH,
+        concurrency=CONCURRENCY,
+        workload_pool=len(workloads),
+        load=summary,
+        reuse_hit_rate=round(reuse_rate, 4),
+        serve_counts=counts,
+        queue=stats["queue"],
+    )
+    print_table(
+        f"Serving load ({CLIENTS} clients, queue {QUEUE_DEPTH}, "
+        f"{CONCURRENCY} workers)",
+        ["metric", "value"],
+        [
+            ["admitted / submitted", f"{load.admitted} / {load.submitted}"],
+            ["rejected (shed)", f"{load.rejected}"],
+            ["reject rate", f"{load.reject_rate:.1%}"],
+            ["completed", f"{load.completed}"],
+            ["lost", f"{load.lost}"],
+            ["p50 latency", f"{summary['p50_latency_seconds']:.3f}s"],
+            ["p99 latency", f"{summary['p99_latency_seconds']:.3f}s"],
+            ["sustained jobs/sec", f"{load.jobs_per_second:.2f}"],
+            ["reuse hit rate", f"{reuse_rate:.1%}"],
+        ],
+    )
+    bench_report(
+        f"   serving: {load.admitted} jobs over {CLIENTS} clients, "
+        f"p50 {summary['p50_latency_seconds']:.3f}s / "
+        f"p99 {summary['p99_latency_seconds']:.3f}s, "
+        f"{load.jobs_per_second:.2f} jobs/s, "
+        f"reject {load.reject_rate:.1%}, reuse {reuse_rate:.1%}"
+    )

@@ -1,0 +1,34 @@
+"""``repro.serve`` — the async multi-tenant serving front door.
+
+Everything below the serving layer is a library call; this package is
+what makes it a *service*: admission control with backpressure,
+per-tenant quotas and weighted-fair scheduling, an explicit job
+lifecycle with progress/streaming APIs, and a load generator for
+benchmarking.  See ``docs/serving.md`` for the tenant quickstart and
+the operator guide.
+"""
+
+from .jobs import InvalidTransition, JobRequest, JobState, JobStatus, percentile
+from .loadgen import LoadGenerator, LoadReport
+from .queue import (
+    AdmissionDecision,
+    AdmissionRejected,
+    FairAdmissionQueue,
+    TenantQuota,
+)
+from .service import AnalyticsService
+
+__all__ = [
+    "AnalyticsService",
+    "JobRequest",
+    "JobStatus",
+    "JobState",
+    "InvalidTransition",
+    "TenantQuota",
+    "AdmissionDecision",
+    "AdmissionRejected",
+    "FairAdmissionQueue",
+    "LoadGenerator",
+    "LoadReport",
+    "percentile",
+]

@@ -1,0 +1,342 @@
+"""Job lifecycle for the serving front door.
+
+A served analytics job moves through an explicit state machine:
+
+``submitted → claimed → running → published``, with ``failed`` and
+``cancelled`` as the other terminal states.  ``submitted`` means the
+job passed admission control and sits in the fair queue; ``claimed``
+means a worker took it (and, in cooperative mode, is about to claim
+its spec keys in the DARR); ``running`` means the
+:class:`~repro.core.engine.ExecutionEngine` is evaluating its plan;
+``published`` means every result landed in the
+:class:`~repro.store.base.ArtifactStore` and the best path was
+selected.  Transitions are validated — an illegal hop raises
+:class:`InvalidTransition` — so the progress API can never observe an
+impossible history.
+
+The module also carries the request/status value objects
+(:class:`JobRequest`, :class:`JobStatus`) and the small
+:func:`percentile` helper the service and the load generator share for
+latency reporting.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+__all__ = [
+    "JobState",
+    "JobRequest",
+    "JobStatus",
+    "InvalidTransition",
+    "percentile",
+]
+
+
+class JobState:
+    """The lifecycle states of a served analytics job.
+
+    The class is a namespace of string constants plus the transition
+    table; it is never instantiated.  States:
+
+    * :data:`SUBMITTED` — admitted, waiting in the fair queue.
+    * :data:`CLAIMED` — a worker took the job off the queue.
+    * :data:`RUNNING` — the execution engine is evaluating the plan.
+    * :data:`PUBLISHED` — terminal: all results stored, best selected.
+    * :data:`FAILED` — terminal: nothing completed (or the failure
+      policy aborted the job).
+    * :data:`CANCELLED` — terminal: cancelled while queued or running.
+    """
+
+    SUBMITTED = "submitted"
+    CLAIMED = "claimed"
+    RUNNING = "running"
+    PUBLISHED = "published"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+    #: Every valid state, in lifecycle order.
+    ALL = (SUBMITTED, CLAIMED, RUNNING, PUBLISHED, FAILED, CANCELLED)
+
+    #: States a job can never leave.
+    TERMINAL = frozenset({PUBLISHED, FAILED, CANCELLED})
+
+    #: Legal ``current → next`` hops of the state machine.
+    TRANSITIONS = {
+        SUBMITTED: frozenset({CLAIMED, CANCELLED}),
+        CLAIMED: frozenset({RUNNING, CANCELLED, FAILED}),
+        RUNNING: frozenset({PUBLISHED, FAILED, CANCELLED}),
+        PUBLISHED: frozenset(),
+        FAILED: frozenset(),
+        CANCELLED: frozenset(),
+    }
+
+    @classmethod
+    def can_transition(cls, current: str, new: str) -> bool:
+        """Whether ``current → new`` is a legal lifecycle hop.
+
+        Parameters
+        ----------
+        current:
+            The state the job is in now.
+        new:
+            The state being requested.
+
+        Returns
+        -------
+        True when the hop is in the transition table.
+        """
+        return new in cls.TRANSITIONS.get(current, frozenset())
+
+
+class InvalidTransition(RuntimeError):
+    """An illegal lifecycle hop was requested (e.g. ``published →
+    running``); the job is left in its current state."""
+
+
+@dataclass
+class JobRequest:
+    """One analytics request: evaluate a Transformer-Estimator Graph.
+
+    This is the unit tenants submit to
+    :class:`~repro.serve.service.AnalyticsService` — the serving-layer
+    twin of calling :class:`~repro.core.evaluation.GraphEvaluator`
+    directly.  The service enumerates the graph's evaluation jobs,
+    executes them through its shared engine (prefix group by prefix
+    group, so progress and cancellation have natural checkpoints), and
+    publishes the per-path results into the artifact store.
+    """
+
+    #: The :class:`~repro.core.graph.TransformerEstimatorGraph` to sweep.
+    graph: Any
+    #: Feature matrix (anything the engine accepts).
+    X: Any
+    #: Target vector.
+    y: Any
+    #: CV splitter instance, or ``None`` for the evaluator default.
+    cv: Any = None
+    #: Metric name or callable (see :mod:`repro.ml.metrics`).
+    metric: Any = "rmse"
+    #: Optional parameter grid mapping.
+    param_grid: Optional[Mapping[str, Any]] = None
+    #: Free-form label echoed on statuses (workload name, trace id...).
+    label: str = ""
+
+
+@dataclass
+class JobStatus:
+    """Immutable progress snapshot of one served job.
+
+    Returned by :meth:`~repro.serve.service.AnalyticsService.submit` /
+    ``status`` / ``result``; all timestamps are ``time.monotonic``
+    readings from the service's clock (``None`` until reached).
+    """
+
+    job_id: str
+    tenant: str
+    state: str
+    label: str = ""
+    #: ``{"groups_done", "groups_total", "jobs_done", "jobs_total"}``.
+    progress: Dict[str, int] = field(default_factory=dict)
+    #: Completed per-path results so far (fresh + reused).
+    n_results: int = 0
+    #: Results served from a store tier / the DARR instead of computed.
+    n_reused: int = 0
+    #: Summary of the winning path once published (path/params/score).
+    best: Optional[Dict[str, Any]] = None
+    #: Structured per-job failure records (key/path/attempts/error).
+    failures: List[Dict[str, Any]] = field(default_factory=list)
+    #: Terminal error description when the whole job failed.
+    error: Optional[str] = None
+    submitted_at: Optional[float] = None
+    claimed_at: Optional[float] = None
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+
+    @property
+    def done(self) -> bool:
+        """Whether the job reached a terminal state."""
+        return self.state in JobState.TERMINAL
+
+    @property
+    def queue_seconds(self) -> Optional[float]:
+        """Time spent waiting in the queue (``None`` until claimed)."""
+        if self.submitted_at is None or self.claimed_at is None:
+            return None
+        return self.claimed_at - self.submitted_at
+
+    @property
+    def latency_seconds(self) -> Optional[float]:
+        """Submit-to-terminal wall time (``None`` until finished)."""
+        if self.submitted_at is None or self.finished_at is None:
+            return None
+        return self.finished_at - self.submitted_at
+
+
+class ServeJob:
+    """Internal mutable record of one admitted job.
+
+    Owned by the service; tenants only ever see :class:`JobStatus`
+    snapshots.  All mutation happens under the record's lock because
+    the execution hooks fire from worker threads while the event loop
+    reads snapshots.
+
+    Parameters
+    ----------
+    job_id:
+        Unique id assigned at admission.
+    tenant:
+        Submitting tenant's name.
+    request:
+        The :class:`JobRequest` to evaluate.
+    clock:
+        Monotonic clock used for all timestamps (injectable in tests).
+    """
+
+    def __init__(
+        self,
+        job_id: str,
+        tenant: str,
+        request: JobRequest,
+        clock=time.monotonic,
+    ):
+        self.job_id = job_id
+        self.tenant = tenant
+        self.request = request
+        self._clock = clock
+        self._lock = threading.Lock()
+        self.state = JobState.SUBMITTED
+        #: Monotonically increasing change counter; waiters poll it.
+        self.version = 0
+        self.cancel_event = threading.Event()
+        self.progress: Dict[str, int] = {
+            "groups_done": 0,
+            "groups_total": 0,
+            "jobs_done": 0,
+            "jobs_total": 0,
+        }
+        #: ``(artifact_key_or_None, payload, reused)`` per result, in
+        #: completion order — the stream API reads these.
+        self.results: List[Any] = []
+        self.n_reused = 0
+        self.failures: List[Dict[str, Any]] = []
+        self.best: Optional[Dict[str, Any]] = None
+        self.error: Optional[str] = None
+        #: Spec keys this job holds live DARR claims on (cooperative
+        #: mode); released on cancellation/failure.
+        self.claimed_keys: set = set()
+        self.submitted_at = clock()
+        self.claimed_at: Optional[float] = None
+        self.started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+
+    def transition(self, new_state: str) -> None:
+        """Move to ``new_state``, validating against the lifecycle table.
+
+        Parameters
+        ----------
+        new_state:
+            Target state; must be a legal hop from the current state.
+
+        Raises
+        ------
+        InvalidTransition
+            When the hop is not in :data:`JobState.TRANSITIONS`.
+        """
+        with self._lock:
+            if not JobState.can_transition(self.state, new_state):
+                raise InvalidTransition(
+                    f"job {self.job_id}: illegal transition "
+                    f"{self.state!r} -> {new_state!r}"
+                )
+            self.state = new_state
+            now = self._clock()
+            if new_state == JobState.CLAIMED:
+                self.claimed_at = now
+            elif new_state == JobState.RUNNING:
+                self.started_at = now
+            elif new_state in JobState.TERMINAL:
+                self.finished_at = now
+            self.version += 1
+
+    def record_result(self, key, payload, reused: bool) -> None:
+        """Append one completed per-path result (hook-thread safe)."""
+        with self._lock:
+            self.results.append((key, payload, reused))
+            if reused:
+                self.n_reused += 1
+            self.progress["jobs_done"] += 1
+            self.version += 1
+
+    def record_failure(self, failure: Dict[str, Any]) -> None:
+        """Append one structured job-failure record."""
+        with self._lock:
+            self.failures.append(dict(failure))
+            self.progress["jobs_done"] += 1
+            self.version += 1
+
+    def update_progress(self, **fields: int) -> None:
+        """Merge progress counters (groups done, totals...)."""
+        with self._lock:
+            self.progress.update(fields)
+            self.version += 1
+
+    def results_snapshot(self) -> List[Any]:
+        """A consistent copy of the per-result records so far."""
+        with self._lock:
+            return list(self.results)
+
+    def status(self) -> JobStatus:
+        """A consistent :class:`JobStatus` snapshot of this record."""
+        with self._lock:
+            return JobStatus(
+                job_id=self.job_id,
+                tenant=self.tenant,
+                state=self.state,
+                label=self.request.label,
+                progress=dict(self.progress),
+                n_results=len(self.results),
+                n_reused=self.n_reused,
+                best=dict(self.best) if self.best else None,
+                failures=[dict(f) for f in self.failures],
+                error=self.error,
+                submitted_at=self.submitted_at,
+                claimed_at=self.claimed_at,
+                started_at=self.started_at,
+                finished_at=self.finished_at,
+            )
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile of a sample.
+
+    Parameters
+    ----------
+    values:
+        Sample values (need not be sorted; must be non-empty).
+    q:
+        Percentile in ``[0, 100]`` (e.g. ``50`` for the median,
+        ``99`` for the tail).
+
+    Returns
+    -------
+    The interpolated percentile value.
+    """
+    if not values:
+        raise ValueError("percentile of an empty sample is undefined")
+    if not 0 <= q <= 100:
+        raise ValueError("q must be in [0, 100]")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    rank = (q / 100) * (len(ordered) - 1)
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high:
+        return float(ordered[low])
+    weight = rank - low
+    return float(ordered[low] * (1 - weight) + ordered[high] * weight)

@@ -1,0 +1,255 @@
+"""Simulated multi-tenant load generator for the serving front door.
+
+Drives an :class:`~repro.serve.service.AnalyticsService` with many
+concurrent asyncio client tasks, each submitting analytics requests,
+honouring admission-control back-pressure (sleeping the suggested
+``retry_after`` before resubmitting) and awaiting terminal results.
+The benchmark (``benchmarks/test_bench_serving.py``) and the CI smoke
+leg both run through this module, and its :class:`LoadReport` is the
+source of the ``BENCH_serving.json`` numbers: p50/p99 latency,
+sustained jobs/sec, admission-reject rate and the lost-job invariant
+(every admitted job must reach a terminal state).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from .jobs import JobState, percentile
+from .queue import AdmissionRejected
+
+__all__ = ["LoadGenerator", "LoadReport"]
+
+
+@dataclass
+class LoadReport:
+    """Aggregate outcome of one load-generation run.
+
+    ``lost`` is the invariant the benchmark gates on: admitted jobs
+    that never reached a terminal state (must be zero — admission may
+    shed load, but it may never drop work it accepted).
+    """
+
+    n_clients: int = 0
+    submitted: int = 0
+    admitted: int = 0
+    rejected: int = 0
+    retries: int = 0
+    gave_up: int = 0
+    completed: int = 0
+    failed: int = 0
+    cancelled: int = 0
+    elapsed_seconds: float = 0.0
+    latencies: List[float] = field(default_factory=list)
+    queue_waits: List[float] = field(default_factory=list)
+
+    @property
+    def terminal(self) -> int:
+        """Admitted jobs that reached any terminal state."""
+        return self.completed + self.failed + self.cancelled
+
+    @property
+    def lost(self) -> int:
+        """Admitted jobs that never reached a terminal state (must be
+        zero)."""
+        return self.admitted - self.terminal
+
+    @property
+    def reject_rate(self) -> float:
+        """Rejected submissions over all submissions."""
+        if self.submitted == 0:
+            return 0.0
+        return self.rejected / self.submitted
+
+    @property
+    def jobs_per_second(self) -> float:
+        """Sustained terminal-job throughput over the run."""
+        if self.elapsed_seconds <= 0:
+            return 0.0
+        return self.terminal / self.elapsed_seconds
+
+    def p50_latency(self) -> Optional[float]:
+        """Median submit-to-terminal latency in seconds.
+
+        Returns
+        -------
+        The p50 latency, or ``None`` when no job finished.
+        """
+        return percentile(self.latencies, 50) if self.latencies else None
+
+    def p99_latency(self) -> Optional[float]:
+        """Tail (p99) submit-to-terminal latency in seconds.
+
+        Returns
+        -------
+        The p99 latency, or ``None`` when no job finished.
+        """
+        return percentile(self.latencies, 99) if self.latencies else None
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-ready summary (the ``BENCH_serving.json`` payload).
+
+        Returns
+        -------
+        Dict of counts, rates and rounded latency percentiles.
+        """
+        p50 = self.p50_latency()
+        p99 = self.p99_latency()
+        mean_wait = (
+            sum(self.queue_waits) / len(self.queue_waits)
+            if self.queue_waits
+            else None
+        )
+        return {
+            "n_clients": self.n_clients,
+            "submitted": self.submitted,
+            "admitted": self.admitted,
+            "rejected": self.rejected,
+            "retries": self.retries,
+            "gave_up": self.gave_up,
+            "completed": self.completed,
+            "failed": self.failed,
+            "cancelled": self.cancelled,
+            "lost": self.lost,
+            "reject_rate": round(self.reject_rate, 4),
+            "elapsed_seconds": round(self.elapsed_seconds, 6),
+            "jobs_per_second": round(self.jobs_per_second, 4),
+            "p50_latency_seconds": None if p50 is None else round(p50, 6),
+            "p99_latency_seconds": None if p99 is None else round(p99, 6),
+            "mean_queue_wait_seconds": (
+                None if mean_wait is None else round(mean_wait, 6)
+            ),
+        }
+
+
+class LoadGenerator:
+    """Spawn N concurrent simulated tenants against a service.
+
+    Each client task draws workloads from a seeded RNG, submits them
+    under its tenant name, backs off per the service's ``retry_after``
+    hints when rejected, and awaits every admitted job's terminal
+    state.
+
+    Parameters
+    ----------
+    service:
+        The running :class:`~repro.serve.service.AnalyticsService`.
+    workloads:
+        Non-empty sequence of zero-argument callables, each returning
+        a :class:`~repro.serve.jobs.JobRequest` (callables so heavy
+        requests can be built lazily / shared).
+    n_clients:
+        Number of concurrent client tasks.
+    jobs_per_client:
+        Jobs each client submits sequentially.
+    n_tenants:
+        Distinct tenant names to spread clients over (client *i* is
+        ``tenant-{i % n_tenants}``).
+    seed:
+        Base RNG seed; client *i* uses a deterministic derivation, so
+        a run's submission pattern replays exactly.
+    max_retries:
+        Resubmission budget per job after admission rejections; a job
+        that exhausts it counts as ``gave_up``.
+    retry_cap:
+        Upper bound in seconds applied to any single back-off sleep.
+    """
+
+    def __init__(
+        self,
+        service: Any,
+        workloads: Sequence[Any],
+        n_clients: int = 200,
+        jobs_per_client: int = 1,
+        n_tenants: int = 4,
+        seed: int = 0,
+        max_retries: int = 50,
+        retry_cap: float = 0.5,
+    ):
+        if not workloads:
+            raise ValueError("workloads must be a non-empty sequence")
+        if n_clients < 1:
+            raise ValueError(f"n_clients must be >= 1, got {n_clients}")
+        if n_tenants < 1:
+            raise ValueError(f"n_tenants must be >= 1, got {n_tenants}")
+        self.service = service
+        self.workloads = list(workloads)
+        self.n_clients = n_clients
+        self.jobs_per_client = jobs_per_client
+        self.n_tenants = n_tenants
+        self.seed = seed
+        self.max_retries = max_retries
+        self.retry_cap = retry_cap
+
+    async def run(self) -> LoadReport:
+        """Run every client to completion and aggregate the outcome.
+
+        Returns
+        -------
+        The populated :class:`LoadReport` (latencies, counts, rates).
+        """
+        report = LoadReport(n_clients=self.n_clients)
+        lock = asyncio.Lock()
+        started = time.perf_counter()
+        tasks = [
+            asyncio.ensure_future(self._client(i, report, lock))
+            for i in range(self.n_clients)
+        ]
+        await asyncio.gather(*tasks)
+        report.elapsed_seconds = time.perf_counter() - started
+        return report
+
+    async def _client(
+        self, index: int, report: LoadReport, lock: asyncio.Lock
+    ) -> None:
+        """One simulated tenant client: submit, back off, await."""
+        rng = random.Random(self.seed * 1_000_003 + index)
+        tenant = f"tenant-{index % self.n_tenants}"
+        for _ in range(self.jobs_per_client):
+            request = rng.choice(self.workloads)()
+            status = None
+            retries = 0
+            while True:
+                async with lock:
+                    report.submitted += 1
+                try:
+                    status = await self.service.submit(request, tenant=tenant)
+                    break
+                except AdmissionRejected as rejection:
+                    async with lock:
+                        report.rejected += 1
+                    if retries >= self.max_retries:
+                        async with lock:
+                            report.gave_up += 1
+                        status = None
+                        break
+                    retries += 1
+                    async with lock:
+                        report.retries += 1
+                    # jittered back-off around the service's hint so
+                    # rejected clients don't resubmit in lock-step
+                    delay = min(
+                        self.retry_cap,
+                        rejection.retry_after * (0.5 + rng.random()),
+                    )
+                    await asyncio.sleep(delay)
+            if status is None:
+                continue
+            async with lock:
+                report.admitted += 1
+            final = await self.service.result(status.job_id)
+            async with lock:
+                if final.state == JobState.PUBLISHED:
+                    report.completed += 1
+                elif final.state == JobState.FAILED:
+                    report.failed += 1
+                elif final.state == JobState.CANCELLED:
+                    report.cancelled += 1
+                if final.latency_seconds is not None:
+                    report.latencies.append(final.latency_seconds)
+                if final.queue_seconds is not None:
+                    report.queue_waits.append(final.queue_seconds)

@@ -1,0 +1,719 @@
+"""The asyncio serving front door: ``AnalyticsService``.
+
+This is the layer that turns the library (engine + store + DARR) into a
+*service*: many concurrent tenants submit
+:class:`~repro.serve.jobs.JobRequest` objects; admission control bounds
+the queue and sheds overload with ``retry_after`` hints; a weighted-fair
+scheduler decides whose job runs next; worker tasks execute each job
+through a shared :class:`~repro.core.engine.ExecutionEngine` (plan
+compilation, prefix caching and store-based result reuse all apply
+unchanged); and the lifecycle / progress / streaming APIs let tenants
+follow a job from ``submitted`` to ``published`` without polling the
+engine directly.
+
+Design notes:
+
+* The service owns **one** engine.  That is the point — reuse: two
+  tenants submitting the same computation share fold transforms through
+  the prefix cache and completed results through the artifact store, so
+  the second submission is nearly free (the paper's redundancy-avoidance
+  argument, applied at the serving layer).
+* Execution happens in worker threads (``asyncio.to_thread``) so the
+  event loop stays responsive for submissions, cancellations and
+  progress reads while NumPy crunches.
+* In cooperative mode (``darr=...``) the engine's store gains a
+  :class:`~repro.store.layered.DarrStore` outermost tier and the service
+  claims each job's spec keys before computing them — a served job
+  *becomes* a set of DARR claims, published on completion and released
+  on cancellation or failure (see ``docs/cooperative-protocol.md``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import threading
+import time
+from typing import Any, AsyncIterator, Dict, List, Mapping, Optional
+
+from repro.core.engine import AllJobsFailed, ExecutionEngine, FailurePolicy
+from repro.core.evaluation import GraphEvaluator
+from repro.obs import resolve_telemetry
+from repro.store import KIND_RESULT, LayeredStore, resolve_store
+from repro.store.layered import DarrStore
+
+from .jobs import JobRequest, JobState, JobStatus, ServeJob, percentile
+from .queue import AdmissionRejected, FairAdmissionQueue, TenantQuota
+
+__all__ = ["AnalyticsService"]
+
+
+class AnalyticsService:
+    """Async multi-tenant front door over the analytics engine.
+
+    Tenants :meth:`submit` requests, then :meth:`status`-poll,
+    :meth:`result`-await or :meth:`stream` them; operators size the
+    queue, set per-tenant quotas and read :meth:`stats`.  See
+    ``docs/serving.md`` for the operational guide.
+
+    Parameters
+    ----------
+    engine:
+        :class:`~repro.core.engine.ExecutionEngine` shared by all
+        served jobs, or ``None`` to build the serving default: the
+        cost-aware auto executor, plan compilation on, a memory-backed
+        artifact store for result reuse, and a skip failure policy so
+        one bad pipeline path degrades that path, not the whole job.
+    darr:
+        Optional
+        :class:`~repro.darr.repository.DataAnalyticsResultsRepository`.
+        When given, the engine's store gains a DARR tier and every
+        served job claims its spec keys before computing (cooperative
+        mode).
+    client:
+        Client name used for DARR claims/publishes and network
+        accounting.
+    max_queue:
+        Global admission bound: most jobs queued (not yet claimed) at
+        once; submissions beyond it raise
+        :class:`~repro.serve.queue.AdmissionRejected`.
+    concurrency:
+        Worker-task count — how many jobs execute at once.
+    default_quota:
+        :class:`~repro.serve.queue.TenantQuota` for tenants not listed
+        in ``quotas``.
+    quotas:
+        Mapping of tenant name to
+        :class:`~repro.serve.queue.TenantQuota`.
+    telemetry:
+        Telemetry spec (see :func:`repro.obs.resolve_telemetry`);
+        ``serve.*`` counters and the ``serve.job`` span flow through
+        it.
+    failure_policy:
+        Overrides the engine's failure policy when given
+        (``"skip"``/``"retry"``/``"raise"`` or a
+        :class:`~repro.core.engine.FailurePolicy`).
+    clock:
+        Monotonic clock for timestamps/latency (injectable in tests).
+    """
+
+    def __init__(
+        self,
+        engine: Optional[ExecutionEngine] = None,
+        darr: Any = None,
+        client: str = "serve",
+        max_queue: int = 64,
+        concurrency: int = 2,
+        default_quota: Optional[TenantQuota] = None,
+        quotas: Optional[Mapping[str, TenantQuota]] = None,
+        telemetry: Any = None,
+        failure_policy: Any = None,
+        clock=time.monotonic,
+    ):
+        if engine is None:
+            # cache_size sizes both the prefix cache and the memory
+            # store; the serving default must hold many tenants' sweep
+            # results, not one sweep's (32 entries would evict every
+            # result before the next tenant's identical job arrives)
+            engine = ExecutionEngine(
+                executor="auto",
+                compile="auto",
+                store="memory",
+                failure_policy="skip",
+                cache_size=4096,
+                telemetry=telemetry,
+            )
+        if failure_policy is not None:
+            engine.failure_policy = FailurePolicy.resolve(failure_policy)
+        self.engine = engine
+        self.darr = darr
+        self.client = client
+        if darr is not None:
+            self._stack_darr_tier()
+        self._clock = clock
+        self._tel = resolve_telemetry(telemetry)
+        self._queue = FairAdmissionQueue(
+            max_depth=max_queue,
+            default_quota=default_quota,
+            quotas=quotas,
+            concurrency_hint=concurrency,
+            clock=clock,
+        )
+        self.concurrency = concurrency
+        self._jobs: Dict[str, ServeJob] = {}
+        self._ids = itertools.count(1)
+        self._workers: List[asyncio.Task] = []
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        #: Monitor event, replaced on every state change; waiters grab
+        #: the current one and await it (classic monitor pattern, safe
+        #: because replacement happens on the loop thread only).
+        self._change: Optional[asyncio.Event] = None
+        self._stopping = False
+        self._started = False
+        self._latencies: List[float] = []
+        self._queue_waits: List[float] = []
+        self._counts = {
+            "submitted": 0,
+            "admitted": 0,
+            "rejected": 0,
+            "completed": 0,
+            "failed": 0,
+            "cancelled": 0,
+            "results_fresh": 0,
+            "results_reused": 0,
+            "claims_granted": 0,
+            "claims_released": 0,
+        }
+        self._tenant_jobs: Dict[str, int] = {}
+        self._lock = threading.Lock()
+
+    # -- construction helpers ----------------------------------------------
+    def _stack_darr_tier(self) -> None:
+        """Append a DarrStore tier to the engine's store stack (the
+        CooperativeEvaluator wiring, applied at the serving layer)."""
+        base = self.engine.store
+        if base is None:
+            base = resolve_store("memory")
+        darr_tier = DarrStore(self.darr, client=self.client)
+        if isinstance(base, LayeredStore):
+            tiers = list(base.tiers) + [darr_tier]
+        else:
+            tiers = [base, darr_tier]
+        self.engine.store = LayeredStore(tiers)
+
+    # -- lifecycle ----------------------------------------------------------
+    async def start(self) -> None:
+        """Start the worker tasks on the running event loop.
+
+        Safe to call once; submissions made before ``start`` stay
+        queued and are picked up as soon as workers exist.
+
+        Returns
+        -------
+        None.
+        """
+        if self._started:
+            return
+        self._loop = asyncio.get_running_loop()
+        self._change = asyncio.Event()
+        self._stopping = False
+        self._started = True
+        self._workers = [
+            asyncio.ensure_future(self._worker(i))
+            for i in range(self.concurrency)
+        ]
+
+    async def stop(self, drain: bool = True) -> None:
+        """Stop the service.
+
+        Parameters
+        ----------
+        drain:
+            When True (default), wait for queued and running jobs to
+            reach terminal states first; when False, cancel the
+            workers immediately (running jobs get their cancel flag
+            set and queued jobs are cancelled).
+
+        Returns
+        -------
+        None.
+        """
+        if not self._started:
+            return
+        if not drain:
+            for job in self._queue.remove(lambda item: True):
+                try:
+                    job.transition(JobState.CANCELLED)
+                except Exception:
+                    pass
+                self._on_terminal(job)
+            for job in self._jobs.values():
+                if job.state not in JobState.TERMINAL:
+                    job.cancel_event.set()
+        self._stopping = True
+        self._notify()
+        await asyncio.gather(*self._workers, return_exceptions=True)
+        self._workers = []
+        self._started = False
+
+    # -- tenant API ---------------------------------------------------------
+    async def submit(
+        self, request: JobRequest, tenant: str = "default"
+    ) -> JobStatus:
+        """Submit one analytics request through admission control.
+
+        Parameters
+        ----------
+        request:
+            The :class:`~repro.serve.jobs.JobRequest` to evaluate.
+        tenant:
+            Submitting tenant's name (drives quotas and fair
+            scheduling).
+
+        Returns
+        -------
+        The job's initial :class:`~repro.serve.jobs.JobStatus`
+        (state ``submitted``); use its ``job_id`` with
+        :meth:`status` / :meth:`result` / :meth:`stream` /
+        :meth:`cancel`.
+
+        Raises
+        ------
+        AdmissionRejected
+            When the global queue or the tenant's queued quota is
+            full; carries the ``retry_after`` back-off hint.
+        """
+        tel = self._tel
+        with self._lock:
+            self._counts["submitted"] += 1
+        tel.count("serve.jobs_submitted")
+        job_id = f"job-{next(self._ids):06d}"
+        job = ServeJob(job_id, tenant, request, clock=self._clock)
+        decision = self._queue.offer(tenant, job)
+        if not decision.admitted:
+            with self._lock:
+                self._counts["rejected"] += 1
+            tel.count("serve.jobs_rejected")
+            tel.count("serve.rejections", key=decision.reason)
+            raise AdmissionRejected(decision.reason, decision.retry_after)
+        self._jobs[job_id] = job
+        with self._lock:
+            self._counts["admitted"] += 1
+            self._tenant_jobs[tenant] = self._tenant_jobs.get(tenant, 0) + 1
+        tel.count("serve.jobs_admitted")
+        tel.count("serve.tenant_jobs", key=tenant)
+        if tel.enabled:
+            tel.record(
+                "serve.queue_depth",
+                depth=self._queue.depth(),
+                tenant=tenant,
+            )
+        self._notify()
+        return job.status()
+
+    def status(self, job_id: str) -> JobStatus:
+        """Current progress snapshot of one job.
+
+        Parameters
+        ----------
+        job_id:
+            Id returned by :meth:`submit`.
+
+        Returns
+        -------
+        The job's :class:`~repro.serve.jobs.JobStatus`.
+
+        Raises
+        ------
+        KeyError
+            For an unknown ``job_id``.
+        """
+        return self._jobs[job_id].status()
+
+    async def result(
+        self, job_id: str, timeout: Optional[float] = None
+    ) -> JobStatus:
+        """Wait until a job reaches a terminal state.
+
+        Parameters
+        ----------
+        job_id:
+            Id returned by :meth:`submit`.
+        timeout:
+            Optional overall wait bound in seconds.
+
+        Returns
+        -------
+        The terminal :class:`~repro.serve.jobs.JobStatus`
+        (``published``, ``failed`` or ``cancelled``).
+
+        Raises
+        ------
+        KeyError
+            For an unknown ``job_id``.
+        asyncio.TimeoutError
+            When ``timeout`` elapses first.
+        """
+        job = self._jobs[job_id]
+
+        async def _wait() -> JobStatus:
+            while job.state not in JobState.TERMINAL:
+                await self._wait_change()
+            return job.status()
+
+        if timeout is None:
+            return await _wait()
+        return await asyncio.wait_for(_wait(), timeout)
+
+    async def stream(self, job_id: str) -> AsyncIterator[Dict[str, Any]]:
+        """Follow one job as an async event stream.
+
+        Yields ``{"event": "state", "state": ...}`` on every lifecycle
+        hop, ``{"event": "result", "payload": ..., "reused": ...,
+        "key": ...}`` for each per-path result — the payload is read
+        back from the engine's :class:`~repro.store.base.ArtifactStore`
+        when the artifact is stored (falling back to the in-memory
+        copy) — and finally ``{"event": "done", "status": JobStatus}``.
+
+        Parameters
+        ----------
+        job_id:
+            Id returned by :meth:`submit`.
+
+        Returns
+        -------
+        An async iterator of event dicts, ending with the ``done``
+        event.
+
+        Raises
+        ------
+        KeyError
+            For an unknown ``job_id``.
+        """
+        job = self._jobs[job_id]
+        last_state = None
+        sent_results = 0
+        while True:
+            state = job.state
+            if state != last_state:
+                last_state = state
+                yield {"event": "state", "state": state}
+            results = job.results_snapshot()
+            while sent_results < len(results):
+                key, payload, reused = results[sent_results]
+                sent_results += 1
+                stored = None
+                if key is not None and self.engine.store is not None:
+                    stored = self.engine.store.get(key)
+                yield {
+                    "event": "result",
+                    "key": None if key is None else str(key),
+                    "payload": stored if stored is not None else payload,
+                    "reused": reused,
+                }
+            if state in JobState.TERMINAL:
+                yield {"event": "done", "status": job.status()}
+                return
+            await self._wait_change()
+
+    async def cancel(self, job_id: str) -> JobStatus:
+        """Cancel a job.
+
+        A still-queued job is removed and cancelled immediately; a
+        running job gets its cancel flag set and stops at the next
+        prefix-group boundary, releasing any DARR claims it still
+        holds.  Cancelling a terminal job is a no-op.
+
+        Parameters
+        ----------
+        job_id:
+            Id returned by :meth:`submit`.
+
+        Returns
+        -------
+        The job's :class:`~repro.serve.jobs.JobStatus` after the
+        cancellation request (may still be ``running`` briefly).
+
+        Raises
+        ------
+        KeyError
+            For an unknown ``job_id``.
+        """
+        job = self._jobs[job_id]
+        if job.state in JobState.TERMINAL:
+            return job.status()
+        removed = self._queue.remove(lambda item: item is job)
+        if removed:
+            job.transition(JobState.CANCELLED)
+            self._on_terminal(job)
+            self._notify()
+            return job.status()
+        job.cancel_event.set()
+        self._notify()
+        return job.status()
+
+    # -- operator API -------------------------------------------------------
+    def stats(self) -> Dict[str, Any]:
+        """Service-level accounting for operators.
+
+        Returns
+        -------
+        Dict with lifecycle ``counts`` (submitted/admitted/rejected/
+        completed/failed/cancelled, fresh vs reused results, claim
+        accounting), the admission ``queue`` snapshot (depth, peak,
+        per-tenant inflight/vtime), per-tenant admitted-job counts
+        under ``tenants``, and ``latency`` p50/p99 seconds over
+        terminal jobs plus mean queue wait.
+        """
+        with self._lock:
+            counts = dict(self._counts)
+            tenants = dict(self._tenant_jobs)
+            latencies = list(self._latencies)
+            waits = list(self._queue_waits)
+        latency: Dict[str, Any] = {"n": len(latencies)}
+        if latencies:
+            latency["p50_seconds"] = percentile(latencies, 50)
+            latency["p99_seconds"] = percentile(latencies, 99)
+        if waits:
+            latency["mean_queue_wait_seconds"] = sum(waits) / len(waits)
+        return {
+            "counts": counts,
+            "queue": self._queue.snapshot(),
+            "tenants": tenants,
+            "latency": latency,
+        }
+
+    @property
+    def queue(self) -> FairAdmissionQueue:
+        """The admission queue (operator introspection / tests)."""
+        return self._queue
+
+    # -- internals ----------------------------------------------------------
+    def _notify(self) -> None:
+        """Wake every waiter (loop-thread only): replace-and-set the
+        monitor event."""
+        if self._change is None:
+            return
+        event, self._change = self._change, asyncio.Event()
+        event.set()
+
+    def _notify_threadsafe(self) -> None:
+        """Wake waiters from a worker thread."""
+        loop = self._loop
+        if loop is None or loop.is_closed():
+            return
+        try:
+            loop.call_soon_threadsafe(self._notify)
+        except RuntimeError:
+            pass  # loop shut down mid-call
+
+    async def _wait_change(self) -> None:
+        """Await the next state-change notification (with a small
+        timeout safety net so shutdown can never strand a waiter)."""
+        if self._change is None:
+            await asyncio.sleep(0.01)
+            return
+        event = self._change
+        try:
+            await asyncio.wait_for(event.wait(), timeout=0.1)
+        except asyncio.TimeoutError:
+            pass
+
+    async def _worker(self, index: int) -> None:
+        """One worker task: claim fairly, execute, release."""
+        while True:
+            claimed = self._queue.claim()
+            if claimed is None:
+                if self._stopping:
+                    if self._queue.depth() == 0:
+                        return
+                await self._wait_change()
+                continue
+            tenant, job = claimed
+            if job.cancel_event.is_set():
+                job.transition(JobState.CANCELLED)
+                self._queue.release(tenant)
+                self._on_terminal(job)
+                self._notify()
+                continue
+            job.transition(JobState.CLAIMED)
+            wait = job.claimed_at - job.submitted_at
+            self._tel.count("serve.queue_wait_seconds", wait)
+            with self._lock:
+                self._queue_waits.append(wait)
+            job.transition(JobState.RUNNING)
+            self._notify()
+            started = self._clock()
+            try:
+                await asyncio.to_thread(self._execute, job)
+            except Exception as exc:  # defensive: _execute catches its own
+                job.error = repr(exc)
+                if job.state not in JobState.TERMINAL:
+                    job.transition(JobState.FAILED)
+            finally:
+                self._queue.release(tenant)
+                self._queue.observe(self._clock() - started)
+                self._on_terminal(job)
+                self._notify()
+
+    def _on_terminal(self, job: ServeJob) -> None:
+        """Book-keeping once a job reaches a terminal state."""
+        if job.state not in JobState.TERMINAL:
+            return
+        outcome = {
+            JobState.PUBLISHED: "completed",
+            JobState.FAILED: "failed",
+            JobState.CANCELLED: "cancelled",
+        }[job.state]
+        with self._lock:
+            self._counts[outcome] += 1
+            status = job.status()
+            if status.latency_seconds is not None:
+                self._latencies.append(status.latency_seconds)
+        self._tel.count(f"serve.jobs_{outcome}")
+
+    def _execute(self, job: ServeJob) -> None:
+        """Run one job to a terminal state (worker thread).
+
+        Executes the request's plan prefix-group by prefix-group so
+        cancellation and progress have natural checkpoints; each group
+        goes through the shared engine with per-job hooks feeding the
+        job record (results, reuse, structured failures).
+        """
+        request = job.request
+        tel = self._tel
+        try:
+            with tel.span("serve.job", tenant=job.tenant, job=job.job_id):
+                evaluator = GraphEvaluator(
+                    request.graph,
+                    cv=request.cv,
+                    metric=request.metric,
+                    engine=self.engine,
+                )
+                plan = evaluator.plan(request.X, request.y, request.param_grid)
+                groups = plan.groups()
+                jobs_total = sum(len(g) for g in groups.values())
+                job.update_progress(
+                    groups_total=len(groups), jobs_total=jobs_total
+                )
+                key_to_spec = {
+                    ejob.key: ejob.spec
+                    for group in groups.values()
+                    for ejob in group
+                }
+                results: List[Any] = []
+                cancelled = False
+
+                def artifact_key(result_key: str):
+                    spec = key_to_spec.get(result_key) or {}
+                    return self.engine._artifact_key(
+                        KIND_RESULT,
+                        result_key,
+                        dataset=spec.get("dataset", ""),
+                    )
+
+                def on_result(result: Any) -> None:
+                    results.append(result)
+                    payload = ExecutionEngine._result_artifact(result)
+                    job.record_result(
+                        artifact_key(result.key), payload, reused=False
+                    )
+                    with self._lock:
+                        self._counts["results_fresh"] += 1
+                    tel.count("serve.results_fresh")
+                    self._notify_threadsafe()
+
+                def on_reuse(result: Any) -> None:
+                    results.append(result)
+                    payload = ExecutionEngine._result_artifact(result)
+                    job.record_result(
+                        artifact_key(result.key), payload, reused=True
+                    )
+                    with self._lock:
+                        self._counts["results_reused"] += 1
+                    tel.count("serve.results_reused")
+                    self._notify_threadsafe()
+
+                def on_error(ejob: Any, exc: BaseException) -> None:
+                    job.record_failure(
+                        {
+                            "key": ejob.key,
+                            "path": ejob.path,
+                            "error": repr(exc),
+                        }
+                    )
+                    self._release_claim(job, ejob.key)
+                    self._notify_threadsafe()
+
+                self._claim_jobs(
+                    job,
+                    [ejob for group in groups.values() for ejob in group],
+                )
+                for prefix, group in groups.items():
+                    if job.cancel_event.is_set():
+                        cancelled = True
+                        break
+                    try:
+                        self.engine.execute(
+                            list(group),
+                            request.X,
+                            request.y,
+                            cv=evaluator.cv,
+                            metric=request.metric,
+                            result_hook=on_result,
+                            error_hook=on_error,
+                            reuse_hook=on_reuse,
+                        )
+                    except AllJobsFailed:
+                        pass  # failures already recorded via on_error
+                    job.update_progress(
+                        groups_done=job.progress["groups_done"] + 1
+                    )
+                    self._notify_threadsafe()
+                if job.cancel_event.is_set():
+                    cancelled = True
+                self._release_remaining_claims(job)
+                if cancelled:
+                    job.transition(JobState.CANCELLED)
+                elif not results and jobs_total > 0:
+                    job.error = (
+                        f"all {jobs_total} evaluation job(s) failed "
+                        f"({len(job.failures)} failure record(s))"
+                    )
+                    job.transition(JobState.FAILED)
+                else:
+                    best = None
+                    if results:
+                        if evaluator.greater_is_better:
+                            best = max(results, key=lambda r: r.score)
+                        else:
+                            best = min(results, key=lambda r: r.score)
+                    job.best = best.summary() if best is not None else None
+                    job.transition(JobState.PUBLISHED)
+        except Exception as exc:
+            self._release_remaining_claims(job)
+            job.error = repr(exc)
+            if job.state not in JobState.TERMINAL:
+                job.transition(JobState.FAILED)
+        finally:
+            self._notify_threadsafe()
+
+    # -- cooperative claims -------------------------------------------------
+    def _claim_jobs(self, job: ServeJob, ejobs: List[Any]) -> None:
+        """Claim every spec key of the job's plan in the DARR (no-op
+        without a repository) — a served job *becomes* a set of DARR
+        claims.  Denied claims are fine — the engine's DARR store tier
+        will reuse whatever the holder publishes."""
+        if self.darr is None:
+            return
+        for ejob in ejobs:
+            try:
+                outcome = self.darr.claim_job(ejob.key, self.client)
+            except Exception:
+                return  # repository outage: degrade to local compute
+            if outcome.granted:
+                job.claimed_keys.add(ejob.key)
+                with self._lock:
+                    self._counts["claims_granted"] += 1
+                self._tel.count("serve.claims_granted")
+
+    def _release_claim(self, job: ServeJob, key: str) -> None:
+        """Release one still-held claim (after a failed job)."""
+        if self.darr is None or key not in job.claimed_keys:
+            return
+        job.claimed_keys.discard(key)
+        try:
+            if self.darr.claim_holder(key) == self.client:
+                self.darr.release_claim(key, self.client)
+                with self._lock:
+                    self._counts["claims_released"] += 1
+                self._tel.count("serve.claims_released")
+        except Exception:
+            pass  # outage: TTL expiry will reclaim it
+
+    def _release_remaining_claims(self, job: ServeJob) -> None:
+        """Release every claim the job still holds whose result was
+        never published (cancellation / failure cleanup; published
+        keys already had their claims cleared by the repository)."""
+        for key in list(job.claimed_keys):
+            self._release_claim(job, key)

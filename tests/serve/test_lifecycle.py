@@ -1,0 +1,126 @@
+"""Unit tests for the job lifecycle state machine and value objects."""
+
+import pytest
+
+from repro.serve import InvalidTransition, JobRequest, JobState, percentile
+from repro.serve.jobs import ServeJob
+
+
+def make_job(clock=None):
+    request = JobRequest(graph=None, X=None, y=None, label="t")
+    if clock is None:
+        return ServeJob("job-1", "alice", request)
+    return ServeJob("job-1", "alice", request, clock=clock)
+
+
+class TestStateMachine:
+    def test_happy_path(self):
+        job = make_job()
+        for state in (
+            JobState.CLAIMED,
+            JobState.RUNNING,
+            JobState.PUBLISHED,
+        ):
+            job.transition(state)
+        assert job.state == JobState.PUBLISHED
+
+    @pytest.mark.parametrize(
+        "current,new",
+        [
+            (JobState.SUBMITTED, JobState.RUNNING),
+            (JobState.SUBMITTED, JobState.PUBLISHED),
+            (JobState.PUBLISHED, JobState.RUNNING),
+            (JobState.FAILED, JobState.SUBMITTED),
+            (JobState.CANCELLED, JobState.CLAIMED),
+        ],
+    )
+    def test_illegal_hops_rejected(self, current, new):
+        assert not JobState.can_transition(current, new)
+
+    def test_invalid_transition_raises_and_preserves_state(self):
+        job = make_job()
+        with pytest.raises(InvalidTransition):
+            job.transition(JobState.PUBLISHED)
+        assert job.state == JobState.SUBMITTED
+
+    def test_cancellable_from_every_non_terminal_state(self):
+        for prefix in (
+            [],
+            [JobState.CLAIMED],
+            [JobState.CLAIMED, JobState.RUNNING],
+        ):
+            job = make_job()
+            for state in prefix:
+                job.transition(state)
+            job.transition(JobState.CANCELLED)
+            assert job.state == JobState.CANCELLED
+
+    def test_terminal_states_are_absorbing(self):
+        for terminal in JobState.TERMINAL:
+            assert JobState.TRANSITIONS[terminal] == frozenset()
+
+
+class TestTimestampsAndStatus:
+    def test_timestamps_follow_transitions(self):
+        ticks = iter(range(100))
+        job = make_job(clock=lambda: next(ticks))
+        assert job.submitted_at == 0
+        job.transition(JobState.CLAIMED)
+        job.transition(JobState.RUNNING)
+        job.transition(JobState.PUBLISHED)
+        status = job.status()
+        assert status.claimed_at == 1
+        assert status.started_at == 2
+        assert status.finished_at == 3
+        assert status.queue_seconds == 1
+        assert status.latency_seconds == 3
+        assert status.done
+
+    def test_status_is_a_snapshot(self):
+        job = make_job()
+        job.record_result(None, {"score": 1.0}, reused=False)
+        status = job.status()
+        status.progress["jobs_done"] = 999
+        status.failures.append({"bogus": True})
+        assert job.progress["jobs_done"] == 1
+        assert job.failures == []
+
+    def test_version_bumps_on_every_mutation(self):
+        job = make_job()
+        v0 = job.version
+        job.transition(JobState.CLAIMED)
+        job.record_result(None, {}, reused=True)
+        job.record_failure({"key": "k", "error": "boom"})
+        job.update_progress(groups_done=1)
+        assert job.version == v0 + 4
+        assert job.n_reused == 1
+
+    def test_latency_none_until_finished(self):
+        job = make_job()
+        status = job.status()
+        assert status.queue_seconds is None
+        assert status.latency_seconds is None
+        assert not status.done
+
+
+class TestPercentile:
+    def test_median_interpolates(self):
+        assert percentile([1, 2, 3, 4], 50) == pytest.approx(2.5)
+
+    def test_extremes(self):
+        values = [5.0, 1.0, 3.0]
+        assert percentile(values, 0) == 1.0
+        assert percentile(values, 100) == 5.0
+
+    def test_singleton(self):
+        assert percentile([7.0], 99) == 7.0
+
+    def test_p99_near_max(self):
+        values = list(range(101))
+        assert percentile(values, 99) == pytest.approx(99.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)

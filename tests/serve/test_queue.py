@@ -1,0 +1,187 @@
+"""Unit tests for admission control and weighted-fair scheduling."""
+
+import pytest
+
+from repro.serve import AdmissionRejected, FairAdmissionQueue, TenantQuota
+
+
+class TestTenantQuota:
+    def test_defaults(self):
+        quota = TenantQuota()
+        assert quota.weight == 1.0
+        assert quota.max_inflight == 2
+        assert quota.max_queued == 8
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"weight": 0.0},
+            {"weight": -1.0},
+            {"max_inflight": 0},
+            {"max_queued": 0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            TenantQuota(**kwargs)
+
+
+class TestAdmission:
+    def test_offer_admits_until_global_bound(self):
+        queue = FairAdmissionQueue(max_depth=3)
+        for i in range(3):
+            assert queue.offer("a", i).admitted
+        decision = queue.offer("a", 99)
+        assert not decision.admitted
+        assert decision.reason == "queue_full"
+        assert decision.retry_after >= queue.min_retry_after
+        assert queue.depth() == 3
+        assert queue.total_rejected == 1
+
+    def test_per_tenant_queued_cap(self):
+        queue = FairAdmissionQueue(
+            max_depth=100,
+            quotas={"small": TenantQuota(max_queued=2)},
+        )
+        assert queue.offer("small", 1).admitted
+        assert queue.offer("small", 2).admitted
+        decision = queue.offer("small", 3)
+        assert not decision.admitted
+        assert decision.reason == "tenant_queue_full"
+        # other tenants unaffected by the per-tenant cap
+        assert queue.offer("big", 1).admitted
+
+    def test_claim_frees_global_slot(self):
+        queue = FairAdmissionQueue(max_depth=1)
+        assert queue.offer("a", 1).admitted
+        assert not queue.offer("a", 2).admitted
+        assert queue.claim() == ("a", 1)
+        assert queue.offer("a", 2).admitted
+
+    def test_rejection_exception_carries_hint(self):
+        exc = AdmissionRejected("queue_full", 0.25)
+        assert exc.reason == "queue_full"
+        assert exc.retry_after == 0.25
+        assert "queue_full" in str(exc)
+
+
+class TestFairScheduling:
+    def test_claim_empty_returns_none(self):
+        assert FairAdmissionQueue().claim() is None
+
+    def test_weighted_shares_under_contention(self):
+        queue = FairAdmissionQueue(
+            max_depth=100,
+            quotas={
+                "a": TenantQuota(weight=1.0, max_inflight=100),
+                "b": TenantQuota(weight=3.0, max_inflight=100),
+            },
+        )
+        for i in range(8):
+            queue.offer("a", f"a{i}")
+            queue.offer("b", f"b{i}")
+        claimed = [queue.claim()[0] for _ in range(8)]
+        assert claimed.count("b") == 6  # 3x the weight-1 tenant
+        assert claimed.count("a") == 2
+
+    def test_inflight_cap_defers_tenant(self):
+        queue = FairAdmissionQueue(
+            max_depth=10,
+            quotas={"a": TenantQuota(max_inflight=1)},
+        )
+        queue.offer("a", 1)
+        queue.offer("a", 2)
+        assert queue.claim() == ("a", 1)
+        assert queue.claim() is None  # at the inflight cap
+        queue.release("a")
+        assert queue.claim() == ("a", 2)
+
+    def test_late_joiner_cannot_monopolise(self):
+        """A new tenant starts at the virtual clock, not zero — it is
+        scheduled promptly but cannot burst to 'catch up'."""
+        queue = FairAdmissionQueue(
+            max_depth=100,
+            default_quota=TenantQuota(max_inflight=100, max_queued=100),
+        )
+        for i in range(20):
+            queue.offer("noisy", i)
+        for _ in range(5):
+            assert queue.claim()[0] == "noisy"
+        queue.offer("quiet", "only-job")
+        next_two = [queue.claim()[0] for _ in range(2)]
+        assert "quiet" in next_two  # scheduled within two claims
+        # and the flood continues afterwards
+        assert queue.claim()[0] == "noisy"
+
+    def test_starved_tenant_eventually_scheduled(self):
+        """Quota exhaustion fairness: a tenant at its inflight cap does
+        not starve others, and regains service after release."""
+        queue = FairAdmissionQueue(
+            max_depth=100,
+            quotas={
+                "flood": TenantQuota(weight=5.0, max_inflight=2),
+                "starved": TenantQuota(weight=1.0, max_inflight=1),
+            },
+        )
+        for i in range(10):
+            queue.offer("flood", i)
+        queue.offer("starved", "s0")
+        tenants = []
+        for _ in range(3):
+            tenant, _ = queue.claim()
+            tenants.append(tenant)
+        assert "starved" in tenants  # within flood's inflight cap + 1
+        assert queue.inflight("starved") == 1
+
+
+class TestBackpressure:
+    def test_retry_after_floor_without_observations(self):
+        queue = FairAdmissionQueue(max_depth=2, min_retry_after=0.07)
+        assert queue.retry_after() == 0.07
+
+    def test_retry_after_scales_with_depth_and_service_time(self):
+        queue = FairAdmissionQueue(max_depth=10, concurrency_hint=2)
+        queue.observe(1.0)
+        empty_hint = queue.retry_after()
+        assert empty_hint == pytest.approx(1.0)  # (0/2 + 1) * 1.0
+        for i in range(4):
+            queue.offer("a", i)
+        assert queue.retry_after() == pytest.approx(3.0)  # (4/2 + 1) * 1.0
+
+    def test_observe_is_an_ewma(self):
+        queue = FairAdmissionQueue(max_depth=10)
+        queue.observe(1.0)
+        queue.observe(0.0)
+        assert queue.retry_after() == pytest.approx(0.7)  # 0.7*1 + 0.3*0
+        queue.observe(-5.0)  # ignored
+        assert queue.retry_after() == pytest.approx(0.7)
+
+
+class TestMaintenance:
+    def test_remove_by_predicate(self):
+        queue = FairAdmissionQueue(max_depth=10)
+        for i in range(4):
+            queue.offer("a", i)
+        removed = queue.remove(lambda item: item % 2 == 0)
+        assert removed == [0, 2]
+        assert queue.depth() == 2
+
+    def test_snapshot_shape(self):
+        queue = FairAdmissionQueue(max_depth=10)
+        queue.offer("a", 1)
+        queue.offer("a", 2)
+        queue.claim()
+        snap = queue.snapshot()
+        assert snap["depth"] == 1
+        assert snap["peak_depth"] == 2
+        assert snap["admitted"] == 2
+        assert snap["rejected"] == 0
+        assert snap["tenants"]["a"]["inflight"] == 1
+        assert snap["tenants"]["a"]["queued"] == 1
+        assert snap["tenants"]["a"]["vtime"] == pytest.approx(1.0)
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            FairAdmissionQueue(max_depth=0)
+        with pytest.raises(ValueError):
+            FairAdmissionQueue(concurrency_hint=0)

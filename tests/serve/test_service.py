@@ -1,0 +1,397 @@
+"""Integration tests for the AnalyticsService front door.
+
+Covers the ISSUE's admission edge cases: queue-full rejection with a
+retry-after hint, quota-exhaustion fairness (a starved tenant is
+eventually scheduled), cancel-while-running releasing DARR claims, and
+deterministic behaviour under ``FAULT_SEED`` chaos.
+
+The tests drive the asyncio API through ``asyncio.run`` — no event
+loop plugin is required.
+"""
+
+import asyncio
+import os
+import threading
+
+import pytest
+
+from repro.core import (
+    ExecutionEngine,
+    FailurePolicy,
+    GraphEvaluator,
+    TransformerEstimatorGraph,
+)
+from repro.darr import DARR
+from repro.datasets import make_regression
+from repro.faults import FaultPlan
+from repro.ml.linear import LinearRegression
+from repro.ml.model_selection import KFold
+from repro.ml.preprocessing import NoOp, StandardScaler
+from repro.ml.tree import DecisionTreeRegressor
+from repro.serve import (
+    AdmissionRejected,
+    AnalyticsService,
+    JobRequest,
+    JobState,
+    LoadGenerator,
+    TenantQuota,
+)
+
+FAULT_SEED = int(os.environ.get("FAULT_SEED", "0"))
+
+
+@pytest.fixture(scope="module")
+def data():
+    return make_regression(
+        n_samples=30, n_features=4, n_informative=3, random_state=0
+    )
+
+
+def tiny_graph():
+    """2 scaler prefixes x 2 estimators = 4 evaluation jobs, 2 groups."""
+    g = TransformerEstimatorGraph("serve-tiny")
+    g.add_feature_scalers([NoOp(), StandardScaler()])
+    g.add_regression_models(
+        [LinearRegression(), DecisionTreeRegressor(max_depth=2, random_state=0)]
+    )
+    return g
+
+
+def make_request(data, label=""):
+    X, y = data
+    return JobRequest(
+        graph=tiny_graph(),
+        X=X,
+        y=y,
+        cv=KFold(2, random_state=0),
+        metric="rmse",
+        label=label,
+    )
+
+
+def make_engine(**kwargs):
+    kwargs.setdefault("executor", "serial")
+    kwargs.setdefault("store", "memory")
+    kwargs.setdefault("failure_policy", "skip")
+    return ExecutionEngine(**kwargs)
+
+
+class TestEndToEnd:
+    def test_submit_runs_to_published(self, data):
+        async def scenario():
+            service = AnalyticsService(engine=make_engine(), concurrency=1)
+            await service.start()
+            status = await service.submit(make_request(data, "e2e"), "alice")
+            assert status.state == JobState.SUBMITTED
+            final = await service.result(status.job_id, timeout=60)
+            await service.stop()
+            return service, final
+
+        service, final = asyncio.run(scenario())
+        assert final.state == JobState.PUBLISHED
+        assert final.n_results == 4
+        assert final.best is not None and final.best["score"] > 0
+        assert final.label == "e2e"
+        assert final.progress["jobs_done"] == final.progress["jobs_total"] == 4
+        assert final.progress["groups_done"] == final.progress["groups_total"]
+        assert final.latency_seconds is not None
+        counts = service.stats()["counts"]
+        assert counts["completed"] == 1
+        assert counts["results_fresh"] == 4
+
+    def test_unknown_job_id_raises(self, data):
+        async def scenario():
+            service = AnalyticsService(engine=make_engine())
+            with pytest.raises(KeyError):
+                service.status("job-999999")
+            with pytest.raises(KeyError):
+                await service.cancel("job-999999")
+
+        asyncio.run(scenario())
+
+    def test_stream_yields_lifecycle_and_store_payloads(self, data):
+        async def scenario():
+            service = AnalyticsService(engine=make_engine(), concurrency=1)
+            await service.start()
+            status = await service.submit(make_request(data), "alice")
+            events = []
+            async for event in service.stream(status.job_id):
+                events.append(event)
+            await service.stop()
+            return service, events
+
+        service, events = asyncio.run(scenario())
+        kinds = [e["event"] for e in events]
+        assert kinds[-1] == "done"
+        assert kinds.count("result") == 4
+        assert "state" in kinds
+        for event in events:
+            if event["event"] != "result":
+                continue
+            assert event["key"]  # stored artifact reference
+            assert set(event["payload"]) >= {"path", "fold_scores", "metric"}
+        done = events[-1]["status"]
+        assert done.state == JobState.PUBLISHED
+
+    def test_result_reuse_across_tenants(self, data):
+        """The second tenant submitting the same computation is served
+        from the shared artifact store, not recomputed."""
+
+        async def scenario():
+            service = AnalyticsService(engine=make_engine(), concurrency=1)
+            await service.start()
+            first = await service.submit(make_request(data), "alice")
+            await service.result(first.job_id, timeout=60)
+            second = await service.submit(make_request(data), "bob")
+            final = await service.result(second.job_id, timeout=60)
+            await service.stop()
+            return service, final
+
+        service, final = asyncio.run(scenario())
+        assert final.state == JobState.PUBLISHED
+        assert final.n_results == 4
+        assert final.n_reused == 4  # everything came from the store
+        counts = service.stats()["counts"]
+        assert counts["results_reused"] == 4
+        assert counts["results_fresh"] == 4
+
+
+class TestAdmissionControl:
+    def test_queue_full_rejected_with_retry_after(self, data):
+        async def scenario():
+            service = AnalyticsService(engine=make_engine(), max_queue=2)
+            await service.submit(make_request(data), "alice")
+            await service.submit(make_request(data), "alice")
+            with pytest.raises(AdmissionRejected) as excinfo:
+                await service.submit(make_request(data), "alice")
+            return service, excinfo.value
+
+        service, rejection = asyncio.run(scenario())
+        assert rejection.reason == "queue_full"
+        assert rejection.retry_after >= service.queue.min_retry_after
+        counts = service.stats()["counts"]
+        assert counts["submitted"] == 3
+        assert counts["admitted"] == 2
+        assert counts["rejected"] == 1
+
+    def test_tenant_quota_rejected_independently(self, data):
+        async def scenario():
+            service = AnalyticsService(
+                engine=make_engine(),
+                max_queue=10,
+                quotas={"limited": TenantQuota(max_queued=1)},
+            )
+            await service.submit(make_request(data), "limited")
+            with pytest.raises(AdmissionRejected) as excinfo:
+                await service.submit(make_request(data), "limited")
+            # other tenants are unaffected
+            await service.submit(make_request(data), "free")
+            return excinfo.value
+
+        rejection = asyncio.run(scenario())
+        assert rejection.reason == "tenant_queue_full"
+
+    def test_starved_tenant_scheduled_ahead_of_flood(self, data):
+        """Weighted-fair scheduling: a single-job tenant behind a flood
+        is claimed before the flood's backlog drains."""
+
+        async def scenario():
+            service = AnalyticsService(
+                engine=make_engine(),
+                concurrency=1,
+                max_queue=16,
+                quotas={"flood": TenantQuota(weight=1.0, max_inflight=1)},
+            )
+            flood = [
+                await service.submit(make_request(data), "flood")
+                for _ in range(3)
+            ]
+            quiet = await service.submit(make_request(data), "quiet")
+            await service.start()
+            statuses = [
+                await service.result(s.job_id, timeout=120)
+                for s in flood + [quiet]
+            ]
+            await service.stop()
+            return statuses
+
+        *flood_final, quiet_final = asyncio.run(scenario())
+        assert all(s.state == JobState.PUBLISHED for s in flood_final)
+        assert quiet_final.state == JobState.PUBLISHED
+        # quiet was claimed before the flood's second job
+        assert quiet_final.claimed_at < flood_final[1].claimed_at
+
+
+class TestCancellation:
+    def test_cancel_queued_job(self, data):
+        async def scenario():
+            service = AnalyticsService(engine=make_engine(), concurrency=1)
+            # not started: the job stays queued
+            status = await service.submit(make_request(data), "alice")
+            cancelled = await service.cancel(status.job_id)
+            assert cancelled.state == JobState.CANCELLED
+            assert service.queue.depth() == 0
+            # idempotent on terminal jobs
+            again = await service.cancel(status.job_id)
+            assert again.state == JobState.CANCELLED
+            return service
+
+        service = asyncio.run(scenario())
+        assert service.stats()["counts"]["cancelled"] == 1
+
+    def test_cancel_while_running_releases_claims(self, data):
+        """Cancelling mid-run stops at the next prefix-group boundary
+        and releases every DARR claim the job still holds."""
+        X, y = data
+
+        class GateScaler(NoOp):
+            entered = threading.Event()
+            release = threading.Event()
+
+            def fit(self, X, y=None):
+                type(self).entered.set()
+                assert type(self).release.wait(timeout=30)
+                return super().fit(X, y)
+
+        def gated_graph():
+            g = TransformerEstimatorGraph("serve-gated")
+            g.add_feature_scalers([GateScaler(), StandardScaler()])
+            g.add_regression_models(
+                [
+                    LinearRegression(),
+                    DecisionTreeRegressor(max_depth=2, random_state=0),
+                ]
+            )
+            return g
+
+        darr = DARR()
+        request = JobRequest(
+            graph=gated_graph(), X=X, y=y, cv=KFold(2, random_state=0)
+        )
+
+        async def scenario():
+            service = AnalyticsService(
+                engine=make_engine(),
+                darr=darr,
+                client="svc-a",
+                concurrency=1,
+            )
+            await service.start()
+            status = await service.submit(request, "alice")
+            while not GateScaler.entered.is_set():
+                await asyncio.sleep(0.005)
+            await service.cancel(status.job_id)
+            GateScaler.release.set()
+            final = await service.result(status.job_id, timeout=60)
+            await service.stop()
+            return service, final
+
+        service, final = asyncio.run(scenario())
+        assert final.state == JobState.CANCELLED
+        counts = service.stats()["counts"]
+        assert counts["claims_granted"] == 4
+        assert counts["claims_released"] >= 2  # the never-run group
+        # no claim leaks: every spec key is free again
+        evaluator = GraphEvaluator(
+            gated_graph(), cv=KFold(2, random_state=0), metric="rmse"
+        )
+        for job in evaluator.iter_jobs(X, y):
+            assert darr.claim_holder(job.key) is None
+
+
+class TestFailures:
+    def test_all_paths_failing_marks_job_failed(self, data):
+        plan = FaultPlan(seed=FAULT_SEED)
+        plan.add("engine.run_job", "transient", times=None)
+
+        async def scenario():
+            service = AnalyticsService(engine=make_engine(), concurrency=1)
+            plan.injector().attach(service.engine)
+            await service.start()
+            status = await service.submit(make_request(data), "alice")
+            final = await service.result(status.job_id, timeout=60)
+            await service.stop()
+            return service, final
+
+        service, final = asyncio.run(scenario())
+        assert final.state == JobState.FAILED
+        assert final.error is not None
+        assert len(final.failures) == 4
+        assert all("TransientJobError" in f["error"] for f in final.failures)
+        assert service.stats()["counts"]["failed"] == 1
+
+    def test_chaos_is_deterministic_under_fault_seed(self, data):
+        """Two identical runs under the same FaultPlan seed produce
+        identical lifecycle outcomes, result counts and failure
+        records."""
+
+        def run_once():
+            plan = FaultPlan(seed=FAULT_SEED)
+            plan.add("engine.run_job", "transient", times=3)
+            policy = FailurePolicy(
+                on_error="retry", max_retries=2, backoff_base=0.0
+            )
+
+            async def scenario():
+                service = AnalyticsService(
+                    engine=make_engine(failure_policy=policy), concurrency=1
+                )
+                plan.injector().attach(service.engine)
+                await service.start()
+                first = await service.submit(make_request(data), "alice")
+                second = await service.submit(make_request(data), "bob")
+                finals = [
+                    await service.result(s.job_id, timeout=120)
+                    for s in (first, second)
+                ]
+                await service.stop()
+                return [
+                    (
+                        s.state,
+                        s.n_results,
+                        s.n_reused,
+                        tuple(
+                            (f["key"], f["error"]) for f in s.failures
+                        ),
+                    )
+                    for s in finals
+                ]
+
+            return asyncio.run(scenario())
+
+        assert run_once() == run_once()
+
+
+class TestLoadGeneration:
+    def test_overload_sheds_but_never_loses_admitted_jobs(self, data):
+        """Admission control must reject under burst overload, and
+        every admitted job must reach a terminal state (lost == 0)."""
+
+        async def scenario():
+            service = AnalyticsService(
+                engine=make_engine(), max_queue=2, concurrency=1
+            )
+            await service.start()
+            generator = LoadGenerator(
+                service,
+                workloads=[lambda: make_request(data)],
+                n_clients=12,
+                jobs_per_client=1,
+                n_tenants=3,
+                seed=FAULT_SEED,
+                max_retries=200,
+                retry_cap=0.05,
+            )
+            report = await generator.run()
+            await service.stop()
+            return service, report
+
+        service, report = asyncio.run(scenario())
+        assert report.lost == 0
+        assert report.rejected > 0  # the burst overflowed max_queue=2
+        assert report.completed == report.admitted
+        assert report.p50_latency() is not None
+        assert report.jobs_per_second > 0
+        summary = report.as_dict()
+        assert summary["lost"] == 0
+        assert summary["reject_rate"] > 0

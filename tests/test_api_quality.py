@@ -29,6 +29,7 @@ PACKAGES = [
     "repro.darr",
     "repro.faults",
     "repro.obs",
+    "repro.serve",
     "repro.templates",
     "repro.datasets",
 ]
@@ -143,6 +144,7 @@ class TestDocumentation:
         "repro.darr",
         "repro.faults",
         "repro.obs",
+        "repro.serve",
     )
 
     @pytest.mark.parametrize("name", STRUCTURED_DOC_PACKAGES)

@@ -22,6 +22,7 @@ def test_docs_directory_exists():
         "artifact-store.md",
         "cooperative-protocol.md",
         "observability.md",
+        "serving.md",
         "teg-guide.md",
     ):
         assert expected in names
