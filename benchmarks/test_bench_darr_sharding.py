@@ -1,0 +1,229 @@
+"""DARR sharding at scale — rebalance traffic, failover, recovery.
+
+Drives the :class:`repro.darr.ShardedDarr` fabric through the full
+membership lifecycle at ~1M published artifacts over 8 shards with
+replication factor 2 (ISSUE 8 acceptance scale):
+
+1. **Ingest** — publish the corpus; every record lands on its primary
+   plus one follower (sync replication), so the fabric holds ~2M
+   copies.
+2. **Redundancy avoided** — a sample of checker clients re-fetches
+   published keys; every hit is a sweep some client did *not* recompute
+   (the paper's cooperation claim, measured at fabric scale).
+3. **Scale out** — a 9th shard joins; consistent hashing owes it only
+   ``~1/N`` of every range, so bytes moved on rebalance must be a small
+   fraction of the corpus, not a reshuffle of all of it.
+4. **Shard crash** — a shard fail-stops and crash-driven rebalancing
+   restores full replication from the surviving copies (recovery
+   time); claims then route around the still-dead shard (claim-routing
+   hops counted) and a key sample proves zero published-artifact loss.
+
+Records are synthetic (a slots dataclass exposing the ``key`` /
+``dataset`` / ``wire_size`` surface the fabric routes on) so the bench
+measures sharding mechanics, not 1M pickles.
+
+Summary lands in ``BENCH_darr_sharding.json`` at the repo root:
+ingest throughput, rebalance bytes/records moved (and the moved
+fraction), claim-routing hops around the dead shard, redundancy
+avoided, and crash-recovery seconds.
+
+Environment knobs (the CI smoke leg turns these down):
+
+* ``REPRO_BENCH_DARR_OBJECTS``     — corpus size (default 1_000_000).
+* ``REPRO_BENCH_DARR_SHARDS``      — initial shard count (default 8).
+* ``REPRO_BENCH_DARR_REPLICATION`` — replication factor (default 2).
+"""
+
+import os
+import time
+from dataclasses import dataclass
+
+from conftest import bench_extras, print_table, report
+from repro.darr import ShardedDarr
+
+N_OBJECTS = int(os.environ.get("REPRO_BENCH_DARR_OBJECTS", "1000000"))
+N_SHARDS = int(os.environ.get("REPRO_BENCH_DARR_SHARDS", "8"))
+REPLICATION = int(os.environ.get("REPRO_BENCH_DARR_REPLICATION", "2"))
+
+#: Fetch/claim/loss-probe sample sizes (capped by the corpus size).
+N_FETCH_SAMPLE = min(10_000, N_OBJECTS)
+N_CLAIM_SAMPLE = min(5_000, N_OBJECTS)
+N_LOSS_SAMPLE = min(20_000, N_OBJECTS)
+
+
+@dataclass(frozen=True)
+class SyntheticRecord:
+    """Minimal record the fabric can route, replicate and rebalance.
+
+    The sharded fabric only touches ``key`` (ring placement),
+    ``wire_size`` (byte accounting) and ``dataset`` (query filters);
+    a real :class:`~repro.darr.records.AnalyticsResult` would pickle
+    its payload per ``wire_size`` call, which at 1M objects would
+    benchmark pickling instead of sharding.
+    """
+
+    __slots__ = ("key", "dataset", "wire_size")
+    key: str
+    dataset: str
+    wire_size: int
+
+
+def make_record(i: int) -> SyntheticRecord:
+    # deterministic sizes spread 256..4351 bytes, like real artifacts
+    return SyntheticRecord(
+        key=f"artifact-{i:07d}",
+        dataset="bench",
+        wire_size=256 + (i * 37) % 4096,
+    )
+
+
+def sample_keys(n: int, stride_salt: int):
+    """A deterministic spread of ``n`` corpus keys."""
+    stride = max(1, N_OBJECTS // n)
+    return [
+        f"artifact-{(i * stride + stride_salt) % N_OBJECTS:07d}"
+        for i in range(n)
+    ]
+
+
+def live_copy_count(fabric, key: str) -> int:
+    return sum(
+        1
+        for name in fabric.live_shards()
+        if fabric.shards[name].holds(key)
+    )
+
+
+def test_sharding_lifecycle_at_scale():
+    fabric = ShardedDarr(
+        n_shards=N_SHARDS, replication_factor=REPLICATION
+    )
+
+    # -- 1. ingest ----------------------------------------------------------
+    started = time.perf_counter()
+    for i in range(N_OBJECTS):
+        fabric.publish(make_record(i), "loader")
+    ingest_seconds = time.perf_counter() - started
+    corpus_bytes = sum(make_record(i).wire_size for i in range(N_OBJECTS))
+    assert fabric.stats["publishes"] == N_OBJECTS
+    assert fabric.stats["replications"] == N_OBJECTS * (REPLICATION - 1)
+
+    # -- 2. redundancy avoided ----------------------------------------------
+    hits = 0
+    for j, key in enumerate(sample_keys(N_FETCH_SAMPLE, 1)):
+        if fabric.fetch(key, f"checker-{j % 32:02d}") is not None:
+            hits += 1
+    assert hits == N_FETCH_SAMPLE  # every published artifact is served
+    redundancy_rate = hits / N_FETCH_SAMPLE
+
+    # -- 3. scale out: join a shard -----------------------------------------
+    moved_before = fabric.stats["rebalance_records_moved"]
+    bytes_before = fabric.stats["rebalance_bytes_moved"]
+    started = time.perf_counter()
+    joined = fabric.add_shard()
+    join_seconds = time.perf_counter() - started
+    join_moved = fabric.stats["rebalance_records_moved"] - moved_before
+    join_bytes = fabric.stats["rebalance_bytes_moved"] - bytes_before
+    moved_fraction = join_moved / (N_OBJECTS * REPLICATION)
+    # consistent hashing: the joiner is owed ~R/(N+1) of the copies,
+    # not a full reshuffle — allow 2x slack over the ideal share
+    assert moved_fraction < 2.0 * REPLICATION / (N_SHARDS + 1)
+
+    # -- 4. crash-driven recovery, then claims around the corpse ------------
+    victim = fabric.shard_for(sample_keys(1, 3)[0])
+    started = time.perf_counter()
+    recovered = fabric.crash_shard(victim)
+    recovery_seconds = time.perf_counter() - started
+    assert recovered > 0
+
+    # the victim stays dead: claims on its ranges must hop to survivors
+    hops_before = fabric.stats["claim_routing_hops"]
+    granted = 0
+    for j, key in enumerate(
+        f"pending-{i:07d}" for i in range(N_CLAIM_SAMPLE)
+    ):
+        if fabric.claim(key, f"worker-{j % 16:02d}"):
+            granted += 1
+    claim_hops = fabric.stats["claim_routing_hops"] - hops_before
+    assert granted == N_CLAIM_SAMPLE  # failover never starves a claim
+    assert claim_hops > 0  # the dead primary really was routed around
+
+    # -- zero-loss probe: sampled keys fully replicated post-recovery -------
+    for key in sample_keys(N_LOSS_SAMPLE, 7):
+        assert live_copy_count(fabric, key) == REPLICATION, key
+
+    print_table(
+        f"DARR sharding lifecycle — {N_OBJECTS:,} artifacts, "
+        f"{N_SHARDS} shards, R={REPLICATION}",
+        ["phase", "seconds", "detail"],
+        [
+            [
+                "ingest",
+                f"{ingest_seconds:.2f}",
+                f"{N_OBJECTS / ingest_seconds:,.0f} publishes/s, "
+                f"{corpus_bytes:,} corpus bytes",
+            ],
+            [
+                "redundancy",
+                "-",
+                f"{hits:,}/{N_FETCH_SAMPLE:,} sampled fetches reused "
+                f"({redundancy_rate:.0%})",
+            ],
+            [
+                f"join {joined}",
+                f"{join_seconds:.2f}",
+                f"{join_moved:,} records / {join_bytes:,} bytes moved "
+                f"({moved_fraction:.1%} of copies)",
+            ],
+            [
+                f"crash {victim}",
+                f"{recovery_seconds:.2f}",
+                f"{recovered:,} records re-replicated",
+            ],
+            [
+                "claims (1 dead)",
+                "-",
+                f"{granted:,} claims granted, {claim_hops:,} "
+                f"claim-routing hops around the corpse",
+            ],
+        ],
+    )
+    report(
+        f"zero-loss probe: {N_LOSS_SAMPLE:,} sampled keys at "
+        f"{REPLICATION} live copies each"
+    )
+
+    bench_extras(
+        "darr_sharding",
+        objects=N_OBJECTS,
+        shards=N_SHARDS,
+        replication_factor=REPLICATION,
+        corpus_bytes=corpus_bytes,
+        ingest_seconds=round(ingest_seconds, 3),
+        ingest_publishes_per_second=round(N_OBJECTS / ingest_seconds, 1),
+        redundancy_avoided={
+            "sampled_fetches": N_FETCH_SAMPLE,
+            "reused": hits,
+            "rate": redundancy_rate,
+        },
+        rebalance_on_join={
+            "joined": joined,
+            "seconds": round(join_seconds, 3),
+            "records_moved": join_moved,
+            "bytes_moved": join_bytes,
+            "moved_fraction_of_copies": round(moved_fraction, 4),
+        },
+        crash_failover={
+            "victim": victim,
+            "claims_granted": granted,
+            "claim_routing_hops": claim_hops,
+            "claims_lost_to_crash": fabric.stats[
+                "claims_lost_to_crash"
+            ],
+            "recovery_seconds": round(recovery_seconds, 3),
+            "records_recovered": recovered,
+            "loss_probe_keys": N_LOSS_SAMPLE,
+            "loss_probe_missing": 0,
+        },
+        fabric_stats=dict(fabric.stats),
+    )

@@ -16,11 +16,15 @@ from repro.darr.repository import (
     load_repository,
     save_repository,
 )
+from repro.darr.sharded import CONSISTENCY_LEVELS, HashRing, ShardedDarr
 
 __all__ = [
     "DataAnalyticsResultsRepository",
     "DARR",
     "ClaimOutcome",
+    "ShardedDarr",
+    "HashRing",
+    "CONSISTENCY_LEVELS",
     "AnalyticsResult",
     "CooperativeEvaluator",
     "CooperativeStats",

@@ -64,6 +64,11 @@ class DataAnalyticsResultsRepository:
     claim_duration:
         Seconds before an unfinished claim expires and another client may
         take the job over.
+    clock:
+        Optional :class:`~repro.distributed.cluster.SimClock` driving
+        claim expiry when no ``network`` is attached (a
+        :class:`~repro.darr.sharded.ShardedDarr` shares one clock
+        across its shards).  With a network, the network's clock wins.
     telemetry:
         ``None`` (default) or a :class:`~repro.obs.Telemetry` handle.
         When enabled, every publish / lookup / claim increments the
@@ -78,12 +83,14 @@ class DataAnalyticsResultsRepository:
         name: str = "darr",
         network: Optional[SimulatedNetwork] = None,
         claim_duration: float = 300.0,
+        clock: object = None,
         telemetry: object = None,
     ):
         if claim_duration <= 0:
             raise ValueError("claim_duration must be positive")
         self.name = name
         self.network = network
+        self.clock = clock
         if network is not None:
             network.register(name, self)
         self.claim_duration = claim_duration
@@ -107,7 +114,11 @@ class DataAnalyticsResultsRepository:
 
     # -- internals --------------------------------------------------------
     def _now(self) -> float:
-        return self.network.clock.now if self.network is not None else 0.0
+        if self.network is not None:
+            return self.network.clock.now
+        if self.clock is not None:
+            return self.clock.now
+        return 0.0
 
     def _account(self, client: str, n_bytes: int, tag: str, inbound: bool) -> None:
         if self.network is None or client == self.name:
@@ -157,6 +168,133 @@ class DataAnalyticsResultsRepository:
         self.telemetry.count("darr.lookup_hit")
         self._account(client, result.wire_size, "darr-fetch", inbound=False)
         return result
+
+    # -- peer replication primitives --------------------------------------
+    def holds(self, key: str) -> bool:
+        """Whether this shard holds a completed record for ``key``.
+
+        Unlike :meth:`has` this is a local state probe — no network
+        accounting, no fault hook — used by the sharded fabric when
+        planning replication and rebalance moves.
+
+        Parameters
+        ----------
+        key:
+            Canonical spec key.
+
+        Returns
+        -------
+        True when a completed record for ``key`` is stored here.
+        """
+        return key in self._results
+
+    def ingest(self, result: AnalyticsResult) -> bool:
+        """Apply a record replicated or migrated from a peer shard.
+
+        First-write-wins like :meth:`publish`, but without client
+        network accounting or publish counters — the caller (the
+        :class:`~repro.darr.sharded.ShardedDarr` fabric) accounts the
+        shard-to-shard transfer itself.  Any claim on the key is
+        cleared: the work is done.
+
+        Parameters
+        ----------
+        result:
+            The replicated :class:`~repro.darr.records.AnalyticsResult`.
+
+        Returns
+        -------
+        True when the record was new here, False when this shard
+        already held it.
+        """
+        self._claims.pop(result.key, None)
+        if result.key in self._results:
+            return False
+        self._results[result.key] = result
+        return True
+
+    def drop(self, key: str) -> Optional[AnalyticsResult]:
+        """Remove a record this shard no longer owns after a rebalance.
+
+        Parameters
+        ----------
+        key:
+            Canonical spec key to drop.
+
+        Returns
+        -------
+        The removed record, or ``None`` when the shard did not hold it.
+        """
+        return self._results.pop(key, None)
+
+    def live_claims(self) -> Dict[str, Any]:
+        """Snapshot of unexpired claims for shard-handoff migration.
+
+        Returns
+        -------
+        Mapping of key to ``(client, expires_at)`` for every claim
+        whose TTL has not yet elapsed on the shard clock.
+        """
+        now = self._now()
+        return {
+            key: (claim.client, claim.expires_at)
+            for key, claim in self._claims.items()
+            if claim.expires_at > now
+        }
+
+    def adopt_claim(self, key: str, client: str, expires_at: float) -> None:
+        """Install a claim migrated from another shard at handoff.
+
+        The original expiry timestamp is preserved (all shards share
+        one clock), so migration never extends a claim's TTL.  A key
+        already completed or claimed here is left untouched — the
+        local state is newer than the migrated one.
+
+        Parameters
+        ----------
+        key:
+            Claimed spec key.
+        client:
+            Holder of the migrated claim.
+        expires_at:
+            Original absolute expiry time of the claim.
+        """
+        if key in self._results or key in self._claims:
+            return
+        self._claims[key] = _Claim(client, expires_at)
+
+    def claim_count(self) -> int:
+        """Number of claims currently recorded on this shard (live and
+        expired-but-unreclaimed alike).
+
+        Returns
+        -------
+        The claim-table size.
+        """
+        return len(self._claims)
+
+    def iter_records(self):
+        """Iterate over ``(key, record)`` pairs held on this shard.
+
+        A local, accounting-free view used by the sharded fabric for
+        rebalance planning and union queries; do not mutate the
+        repository while iterating.
+
+        Returns
+        -------
+        An iterator of ``(key, AnalyticsResult)`` pairs.
+        """
+        return iter(self._results.items())
+
+    def wipe(self) -> None:
+        """Discard all volatile state — results *and* claims.
+
+        Models a fail-stop crash of the shard process: everything held
+        in memory is gone, and survivors must re-replicate the ranges
+        it owned and reclaim the jobs it was arbitrating.
+        """
+        self._results.clear()
+        self._claims.clear()
 
     def claim_job(self, key: str, client: str) -> ClaimOutcome:
         """Try to claim in-flight work on ``key``, with full detail.
@@ -279,16 +417,17 @@ class DataAnalyticsResultsRepository:
 DARR = DataAnalyticsResultsRepository
 
 
-#: Current on-disk schema of :func:`save_repository` dumps.  Version 1
-#: (a bare pickled list of records) predates the header and is still
-#: accepted by :func:`load_repository`.
-REPOSITORY_SCHEMA_VERSION = 2
+#: Current on-disk schema of :func:`save_repository` dumps.  Version 3
+#: adds the ``sharding`` section (consistent-hash ring membership +
+#: replication metadata for :class:`~repro.darr.sharded.ShardedDarr`
+#: dumps; ``None`` for single-repository dumps).  Version 2 added the
+#: claims/stats header; version 1 (a bare pickled list of records)
+#: predates the header.  All three load.
+REPOSITORY_SCHEMA_VERSION = 3
 
 
-def save_repository(
-    repository: DataAnalyticsResultsRepository, path
-) -> int:
-    """Persist a repository's full state to ``path`` (schema v2).
+def save_repository(repository, path) -> int:
+    """Persist a repository's full state to ``path`` (schema v3).
 
     The DARR is cloud-resident in the paper; persistence gives it the
     durability a real deployment needs (and lets sessions resume without
@@ -297,59 +436,75 @@ def save_repository(
     re-claimable after a restart inside the claim TTL) and the
     repository's traffic accounting (:attr:`stats`).
 
+    Both repository shapes save: a single
+    :class:`DataAnalyticsResultsRepository` writes ``sharding: None``;
+    a :class:`~repro.darr.sharded.ShardedDarr` writes its ring
+    membership, replication factor, liveness map and per-shard claim
+    tables, so :func:`load_repository` can rebuild the sharded fabric
+    with records re-placed on their owning shards.
+
     Parameters
     ----------
     repository:
-        The repository whose state is saved.
+        The :class:`DataAnalyticsResultsRepository` or
+        :class:`~repro.darr.sharded.ShardedDarr` whose state is saved.
     path:
         Destination file path.
 
     Returns
     -------
-    The number of completed records written.
+    The number of distinct completed records written.
     """
     from repro.distributed.objects import encode_payload
 
-    records = [repository._results[k] for k in repository.completed_keys()]
-    document = {
-        "schema": REPOSITORY_SCHEMA_VERSION,
-        "claim_duration": repository.claim_duration,
-        "records": records,
-        "claims": {
-            key: (claim.client, claim.expires_at)
-            for key, claim in repository._claims.items()
-        },
-        "stats": dict(repository.stats),
-    }
+    if hasattr(repository, "shards"):  # ShardedDarr duck-check
+        document = repository._save_document()
+    else:
+        records = [
+            repository._results[k] for k in repository.completed_keys()
+        ]
+        document = {
+            "schema": REPOSITORY_SCHEMA_VERSION,
+            "claim_duration": repository.claim_duration,
+            "records": records,
+            "claims": {
+                key: (claim.client, claim.expires_at)
+                for key, claim in repository._claims.items()
+            },
+            "stats": dict(repository.stats),
+            "sharding": None,
+        }
     with open(path, "wb") as handle:
         handle.write(encode_payload(document))
-    return len(records)
+    return len(document["records"])
 
 
-def load_repository(
-    path,
-    name: str = "darr",
-    network=None,
-) -> DataAnalyticsResultsRepository:
+def load_repository(path, name: str = "darr", network=None):
     """Load a repository previously written by :func:`save_repository`.
 
-    Both schema versions load: a v2 dump restores records, claims (with
-    their original expiry timestamps) and traffic stats; a legacy v1
-    dump — a bare pickled record list — restores records only.
+    All schema versions load: a v3 dump with a ``sharding`` section
+    rebuilds a :class:`~repro.darr.sharded.ShardedDarr` (ring
+    membership, replication factor, shard liveness, per-shard claims,
+    records re-placed on their owning shards); a v3 dump without one —
+    or a v2 dump — restores a single repository with records, claims
+    (original expiry timestamps) and traffic stats; a legacy v1 dump —
+    a bare pickled record list — restores records only.
 
     Parameters
     ----------
     path:
         File written by :func:`save_repository`.
     name:
-        Name for the rebuilt repository.
+        Name for the rebuilt repository (ignored for sharded dumps,
+        which carry their own name).
     network:
         Optional network model attached to the new instance.
 
     Returns
     -------
-    A fresh :class:`DataAnalyticsResultsRepository` holding the saved
-    state.
+    A fresh :class:`DataAnalyticsResultsRepository` — or
+    :class:`~repro.darr.sharded.ShardedDarr` for sharded dumps —
+    holding the saved state.
     """
     from repro.distributed.objects import decode_payload
 
@@ -358,10 +513,14 @@ def load_repository(
     if isinstance(document, list):  # legacy schema 1: records only
         document = {"schema": 1, "records": document}
     schema = document.get("schema")
-    if schema not in (1, REPOSITORY_SCHEMA_VERSION):
+    if schema not in (1, 2, REPOSITORY_SCHEMA_VERSION):
         raise ValueError(
             f"unsupported repository dump schema {schema!r} in {path}"
         )
+    if document.get("sharding"):
+        from repro.darr.sharded import ShardedDarr
+
+        return ShardedDarr._from_document(document, network=network)
     repository = DataAnalyticsResultsRepository(
         name=name,
         network=network,
@@ -369,7 +528,8 @@ def load_repository(
     )
     for record in document["records"]:
         repository._results[record.key] = record
-    for key, (client, expires_at) in document.get("claims", {}).items():
+    for key, entry in document.get("claims", {}).items():
+        client, expires_at = entry[0], entry[1]
         repository._claims[key] = _Claim(client, expires_at)
     saved_stats = document.get("stats")
     if saved_stats:

@@ -1,0 +1,1263 @@
+"""Sharded, replicated DARR: the cooperation tier at scale.
+
+The paper promises the repository is "replicated across multiple
+geographic areas for high availability and disaster recovery" (Section
+III).  A single :class:`~repro.darr.repository.DataAnalyticsResultsRepository`
+is the cooperation bottleneck and a single point of failure; this module
+scales it out:
+
+* :class:`HashRing` — a consistent-hash ring with virtual nodes.  Keys
+  hash onto the ring; each key's *preference order* is the sequence of
+  distinct shards encountered walking clockwise from its point.  Adding
+  or removing one shard changes ownership only for the ranges that
+  shard gains or loses — the property that keeps rebalancing traffic
+  proportional to ``1/N`` of the data instead of all of it.
+* :class:`ShardedDarr` — fronts N independent repository shards.  A
+  publish lands on the key's primary (first live shard in preference
+  order) and propagates to ``replication_factor - 1`` followers,
+  synchronously or lazily (the
+  :class:`~repro.distributed.replication.ReplicatedDataStore` model
+  applied to the results plane).  Claims route shard-aware to the
+  primary, expire per shard on the shared clock, and migrate at
+  shard-handoff boundaries.  Reads fall back to followers when a
+  primary is down, under ``strong`` / ``monotonic`` / ``eventual``
+  consistency levels.
+* **Crash-driven rebalancing** — :meth:`ShardedDarr.crash_shard`
+  fail-stops a shard (its volatile results and claims are gone) and
+  re-replicates every under-replicated range from the surviving
+  copies; :meth:`ShardedDarr.add_shard` joins a shard and migrates only
+  its owed ranges (records *and* live claims); bytes moved and routing
+  hops are accounted throughout.
+
+The fabric is a drop-in for the single repository: it duck-types the
+full DARR surface (``publish`` / ``fetch`` / ``has`` / ``claim_job`` /
+``release_claim`` / ``query`` / ``best`` / ...), so
+:class:`~repro.darr.coordinator.CooperativeEvaluator`, the
+:class:`~repro.store.layered.DarrStore` tier and
+:class:`~repro.serve.service.AnalyticsService` work against it
+unchanged — and degrade exactly as before when a whole range is down
+(:class:`~repro.faults.ServiceUnavailable`).
+
+Chaos hooks (for :class:`~repro.faults.FaultInjector`): a ``crash``
+fault at ``sharded.route`` fail-stops the shard about to be contacted
+(mid-publish / mid-claim / mid-fetch); at ``sharded.replicate`` it
+fail-stops the follower receiving a replica; at ``sharded.rebalance``
+it fail-stops the shard receiving a migrated record (mid-rebalance).
+``unavailable`` faults at ``sharded.route`` make the whole fabric
+unreachable for that call; at ``sharded.replicate`` they defer the
+copy to the pending queue (drained by :meth:`ShardedDarr.propagate`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_right
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.darr.records import AnalyticsResult
+from repro.darr.repository import (
+    ClaimOutcome,
+    DataAnalyticsResultsRepository,
+)
+from repro.distributed.cluster import SimClock, SimulatedNetwork
+from repro.faults import NodeCrashed, ServiceUnavailable
+from repro.obs import resolve_telemetry
+
+__all__ = ["HashRing", "ShardedDarr", "CONSISTENCY_LEVELS"]
+
+#: Read consistency levels, mirroring
+#: :data:`repro.distributed.replication.CONSISTENCY_LEVELS`.
+CONSISTENCY_LEVELS = ("strong", "monotonic", "eventual")
+
+
+def _hash_point(data: str) -> int:
+    """64-bit ring position of ``data`` (stable across processes)."""
+    digest = hashlib.sha256(data.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class HashRing:
+    """Consistent-hash ring with virtual nodes.
+
+    Each member contributes ``virtual_nodes`` points on a 64-bit ring;
+    a key belongs to the first member clockwise from its own point.
+    With ``V`` virtual nodes per member the expected share of each
+    member is ``1/N`` with variance shrinking as ``V`` grows, and
+    adding or removing a member moves only the ranges between its
+    points and their predecessors.
+
+    Parameters
+    ----------
+    members:
+        Initial member names.
+    virtual_nodes:
+        Points per member on the ring (>= 1); more points give a
+        smoother key distribution at slightly larger ring size.
+    """
+
+    def __init__(self, members: Iterable[str] = (), virtual_nodes: int = 64):
+        if virtual_nodes < 1:
+            raise ValueError(
+                f"virtual_nodes must be >= 1, got {virtual_nodes}"
+            )
+        self.virtual_nodes = virtual_nodes
+        self._members: List[str] = []
+        self._points: List[int] = []
+        self._names: List[str] = []
+        for name in members:
+            self.add(name)
+
+    @property
+    def members(self) -> List[str]:
+        """Member names in insertion order."""
+        return list(self._members)
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._members
+
+    def add(self, name: str) -> None:
+        """Join one member (``virtual_nodes`` ring points).
+
+        Parameters
+        ----------
+        name:
+            Member name; must be new and non-empty.
+        """
+        if not name:
+            raise ValueError("member name must be non-empty")
+        if name in self._members:
+            raise ValueError(f"member {name!r} already on the ring")
+        self._members.append(name)
+        points = [
+            (_hash_point(f"{name}#{i}"), name)
+            for i in range(self.virtual_nodes)
+        ]
+        merged = sorted(zip(self._points, self._names))
+        merged.extend(points)
+        merged.sort()
+        self._points = [p for p, _ in merged]
+        self._names = [n for _, n in merged]
+
+    def remove(self, name: str) -> None:
+        """Leave the ring, freeing the member's ranges.
+
+        Parameters
+        ----------
+        name:
+            Member to remove; must be on the ring.
+        """
+        if name not in self._members:
+            raise KeyError(f"member {name!r} not on the ring")
+        self._members.remove(name)
+        kept = [
+            (p, n)
+            for p, n in zip(self._points, self._names)
+            if n != name
+        ]
+        self._points = [p for p, _ in kept]
+        self._names = [n for _, n in kept]
+
+    def iter_preference(self, key: str) -> Iterator[str]:
+        """Distinct members in preference order for ``key``.
+
+        Walks the ring clockwise from the key's point, yielding each
+        member the first time one of its virtual nodes is met.  The
+        first yielded member is the key's primary; the next ``R - 1``
+        are its replica set under replication factor ``R``; members
+        after that step in when earlier ones crash.
+
+        Parameters
+        ----------
+        key:
+            The key to place.
+
+        Returns
+        -------
+        A lazy iterator over distinct member names (all members are
+        eventually yielded).
+        """
+        n_points = len(self._points)
+        if n_points == 0:
+            return
+        start = bisect_right(self._points, _hash_point(key)) % n_points
+        yielded: set = set()
+        n_members = len(self._members)
+        for step in range(n_points):
+            name = self._names[(start + step) % n_points]
+            if name in yielded:
+                continue
+            yielded.add(name)
+            yield name
+            if len(yielded) == n_members:
+                return
+
+    def owners(self, key: str, n: int) -> List[str]:
+        """The first ``n`` members in ``key``'s preference order.
+
+        Parameters
+        ----------
+        key:
+            The key to place.
+        n:
+            How many distinct owners to return (capped at the member
+            count).
+
+        Returns
+        -------
+        Up to ``n`` member names, primary first.
+        """
+        out: List[str] = []
+        for name in self.iter_preference(key):
+            out.append(name)
+            if len(out) >= n:
+                break
+        return out
+
+
+class ShardedDarr:
+    """Consistent-hash sharded, replicated results repository.
+
+    A drop-in for
+    :class:`~repro.darr.repository.DataAnalyticsResultsRepository`
+    that spreads records over N shards with ``replication_factor``
+    copies each.  See the module docstring for the routing,
+    replication, failover and rebalancing semantics.
+
+    Parameters
+    ----------
+    n_shards:
+        How many shards to build when ``shards`` is not given.
+    replication_factor:
+        Copies kept of every record (1 = no replication; capped at the
+        shard count).  Publishes land on the primary and propagate to
+        ``replication_factor - 1`` followers.
+    shards:
+        Pre-built repository shards to adopt instead of building
+        ``n_shards`` fresh ones (names must be unique).
+    name:
+        Fabric name; also prefixes generated shard names.
+    network:
+        Optional :class:`~repro.distributed.cluster.SimulatedNetwork`;
+        when given, client traffic, replication and rebalance transfers
+        are accounted on it and its clock drives claim expiry.
+    claim_duration:
+        Per-shard claim TTL in seconds (see the single repository).
+    sync_replication:
+        When True (default) every publish propagates to its followers
+        before returning; when False follower copies queue until
+        :meth:`propagate` (lazy replication — followers lag, which the
+        ``strong`` read level refuses to hide).
+    virtual_nodes:
+        Ring points per shard (see :class:`HashRing`).
+    clock:
+        Optional :class:`~repro.distributed.cluster.SimClock` used for
+        claim expiry when no network is attached; a private clock is
+        created when both are absent.
+    telemetry:
+        ``None`` or a :class:`~repro.obs.Telemetry` handle; sharding
+        counters land under ``darr.shard_*`` / ``darr.rebalance_*``
+        and are pushed down to every shard.
+    """
+
+    def __init__(
+        self,
+        n_shards: int = 8,
+        replication_factor: int = 2,
+        shards: Optional[List[DataAnalyticsResultsRepository]] = None,
+        name: str = "darr",
+        network: Optional[SimulatedNetwork] = None,
+        claim_duration: float = 300.0,
+        sync_replication: bool = True,
+        virtual_nodes: int = 64,
+        clock: Optional[SimClock] = None,
+        telemetry: Any = None,
+    ):
+        self.name = name
+        self.network = network
+        self.claim_duration = claim_duration
+        self.sync_replication = sync_replication
+        self._clock = (
+            network.clock if network is not None else (clock or SimClock())
+        )
+        if shards is None:
+            if n_shards < 1:
+                raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+            shards = [
+                DataAnalyticsResultsRepository(
+                    f"{name}-s{i:02d}",
+                    network=network,
+                    claim_duration=claim_duration,
+                    clock=None if network is not None else self._clock,
+                )
+                for i in range(n_shards)
+            ]
+        if not shards:
+            raise ValueError("need at least one shard")
+        names = [shard.name for shard in shards]
+        if len(set(names)) != len(names):
+            raise ValueError(f"shard names must be unique, got {names}")
+        if not 1 <= replication_factor <= len(shards):
+            raise ValueError(
+                f"replication_factor must be in [1, {len(shards)}], got "
+                f"{replication_factor}"
+            )
+        self.replication_factor = replication_factor
+        self.shards: Dict[str, DataAnalyticsResultsRepository] = {
+            shard.name: shard for shard in shards
+        }
+        for shard in shards:
+            if shard.network is None and shard.clock is None:
+                shard.clock = self._clock
+        self.ring = HashRing(names, virtual_nodes=virtual_nodes)
+        self._alive: Dict[str, bool] = {n: True for n in names}
+        #: Per-shard queues of (source, record) copies awaiting lazy
+        #: propagation; a shard with a non-empty queue is not caught up
+        #: and cannot serve ``strong`` reads.
+        self._pending: Dict[str, List[Tuple[str, AnalyticsResult]]] = {}
+        #: Monotonic-read session state: client -> keys it has seen.
+        self._sessions: Dict[str, set] = {}
+        self._needs_repair: set = set()
+        self._repairing = False
+        self._fault_injector: Optional[Any] = None
+        self._tel = resolve_telemetry(telemetry)
+        self.stats = {
+            "publishes": 0,
+            "duplicate_publishes": 0,
+            "replications": 0,
+            "replication_bytes": 0,
+            "replications_deferred": 0,
+            "routing_hops": 0,
+            "claim_routing_hops": 0,
+            "failovers": 0,
+            "shard_crashes": 0,
+            "shards_added": 0,
+            "shard_recoveries": 0,
+            "rebalances": 0,
+            "rebalance_records_moved": 0,
+            "rebalance_bytes_moved": 0,
+            "rebalance_records_dropped": 0,
+            "claims_migrated": 0,
+            "claims_lost_to_crash": 0,
+        }
+
+    # -- attribute plumbing -------------------------------------------------
+    @property
+    def fault_injector(self) -> Optional[Any]:
+        """Attached :class:`~repro.faults.FaultInjector` (``None`` in
+        production).  Assigning one arms both the fabric-level hooks
+        (``sharded.route`` / ``sharded.replicate`` /
+        ``sharded.rebalance``) and every shard's single-repository
+        hooks (``darr.fetch`` / ``darr.claim`` / ``darr.publish``)."""
+        return self._fault_injector
+
+    @fault_injector.setter
+    def fault_injector(self, injector: Optional[Any]) -> None:
+        self._fault_injector = injector
+        for shard in self.shards.values():
+            shard.fault_injector = injector
+
+    @property
+    def telemetry(self):
+        """The fabric's :class:`~repro.obs.Telemetry` handle; assigning
+        one propagates it to every shard so per-shard ``darr.*``
+        counters and fabric ``darr.shard_*`` counters share a sink."""
+        return self._tel
+
+    @telemetry.setter
+    def telemetry(self, value: Any) -> None:
+        self._tel = resolve_telemetry(value)
+        for shard in self.shards.values():
+            shard.telemetry = self._tel
+
+    # -- internals ----------------------------------------------------------
+    def _now(self) -> float:
+        return self._clock.now
+
+    def _check(self, site: str, **attrs: Any) -> None:
+        injector = self._fault_injector
+        if injector is not None:
+            injector.check(site, **attrs)
+
+    def _mark_crashed(self, name: str) -> None:
+        """Fail-stop bookkeeping: wipe volatile state, queue repair."""
+        if not self._alive.get(name, False):
+            return
+        self._alive[name] = False
+        shard = self.shards[name]
+        lost = shard.claim_count()
+        shard.wipe()
+        self._pending.pop(name, None)
+        self._needs_repair.add(name)
+        self.stats["shard_crashes"] += 1
+        self.stats["claims_lost_to_crash"] += lost
+        self._tel.count("darr.shard_crashes")
+        if lost:
+            self._tel.count("darr.claims_lost_to_crash", lost)
+
+    def _route(self, key: str, op: str) -> List[str]:
+        """Live replica set for ``key`` in preference order.
+
+        Fires the ``sharded.route`` hook once per candidate shard; a
+        ``crash`` fault fail-stops that candidate and routing hops to
+        the next preference (every skipped shard — dead or crashing —
+        counts one routing hop).  Raises
+        :class:`~repro.faults.ServiceUnavailable` when no live shard
+        owns the key's range.
+        """
+        owners: List[str] = []
+        hops = 0
+        failover = False
+        for candidate in self.ring.iter_preference(key):
+            if len(owners) >= self.replication_factor:
+                break
+            if not self._alive[candidate]:
+                hops += 1
+                if not owners:
+                    failover = True
+                continue
+            try:
+                self._check(
+                    "sharded.route", key=key, shard=candidate, op=op
+                )
+            except NodeCrashed:
+                self._mark_crashed(candidate)
+                hops += 1
+                if not owners:
+                    failover = True
+                continue
+            owners.append(candidate)
+        if hops:
+            self.stats["routing_hops"] += hops
+            if op == "claim":
+                self.stats["claim_routing_hops"] += hops
+            self._tel.count("darr.shard_routing_hops", hops)
+        if not owners:
+            raise ServiceUnavailable(
+                f"no live shard owns the range of key {key!r} (op={op})"
+            )
+        if failover:
+            self.stats["failovers"] += 1
+            self._tel.count("darr.shard_failovers")
+        return owners
+
+    def _replicate(
+        self,
+        record: AnalyticsResult,
+        source: str,
+        target: str,
+        tag: str,
+    ) -> bool:
+        """Copy one record shard-to-shard with byte accounting."""
+        if not self.shards[target].ingest(record):
+            return False
+        self.stats["replications"] += 1
+        self.stats["replication_bytes"] += record.wire_size
+        self._tel.count("darr.shard_replications")
+        if self.network is not None:
+            self.network.transfer(
+                source, target, record.wire_size, tag=tag
+            )
+        return True
+
+    def _live_owner_names(self, key: str) -> List[str]:
+        """First ``replication_factor`` *live* shards for ``key`` (pure
+        ring lookup: no hooks, no accounting)."""
+        out: List[str] = []
+        for candidate in self.ring.iter_preference(key):
+            if self._alive[candidate]:
+                out.append(candidate)
+                if len(out) >= self.replication_factor:
+                    break
+        return out
+
+    def _live_shard_names(self) -> List[str]:
+        return [n for n in self.shards if self._alive[n]]
+
+    def _maybe_repair(self) -> None:
+        """Run crash-driven rebalancing if a crash was observed inside
+        the current operation (hook-triggered fail-stops)."""
+        if self._needs_repair and not self._repairing:
+            self._rebalance(tag="darr-rebalance")
+
+    # -- result lifecycle ---------------------------------------------------
+    def publish(self, result: AnalyticsResult, client: str) -> bool:
+        """Store a completed result on its replica set.
+
+        The record lands on the key's primary shard (first-write-wins,
+        exactly as the single repository) and propagates to
+        ``replication_factor - 1`` followers — immediately under
+        synchronous replication, else onto the pending queues drained
+        by :meth:`propagate`.  A primary that fail-stops mid-publish is
+        skipped and the next replica becomes the write target; a
+        follower that fail-stops is skipped and its ranges are repaired
+        by the crash-driven rebalance.
+
+        Parameters
+        ----------
+        result:
+            The completed :class:`~repro.darr.records.AnalyticsResult`.
+        client:
+            Publishing client (network accounting, provenance).
+
+        Returns
+        -------
+        False when the key already existed on the primary, True for a
+        first write.
+        """
+        owners = self._route(result.key, "publish")
+        fresh: Optional[bool] = None
+        primary_index = 0
+        for index, owner in enumerate(owners):
+            try:
+                fresh = self.shards[owner].publish(result, client)
+            except NodeCrashed:
+                self._mark_crashed(owner)
+                self.stats["routing_hops"] += 1
+                continue
+            primary_index = index
+            break
+        if fresh is None:
+            self._maybe_repair()
+            raise ServiceUnavailable(
+                f"no live shard accepted the publish of {result.key!r}"
+            )
+        primary = owners[primary_index]
+        self.stats["publishes"] += 1
+        if not fresh:
+            self.stats["duplicate_publishes"] += 1
+        self._tel.count("darr.shard_publishes")
+        for follower in owners[primary_index + 1 :]:
+            try:
+                self._check(
+                    "sharded.replicate",
+                    key=result.key,
+                    source=primary,
+                    target=follower,
+                )
+            except NodeCrashed:
+                self._mark_crashed(follower)
+                continue
+            except ServiceUnavailable:
+                self._pending.setdefault(follower, []).append(
+                    (primary, result)
+                )
+                self.stats["replications_deferred"] += 1
+                continue
+            if self.sync_replication:
+                self._replicate(
+                    result, primary, follower, tag="darr-replicate"
+                )
+            else:
+                self._pending.setdefault(follower, []).append(
+                    (primary, result)
+                )
+                self.stats["replications_deferred"] += 1
+        self._maybe_repair()
+        return fresh
+
+    def propagate(self) -> int:
+        """Drain the pending replication queues (lazy mode / deferred
+        copies), bringing every live follower up to date.
+
+        The queue is the fabric's replication log: each entry carries
+        the record itself, so a queued copy survives even its source
+        shard's crash — draining it restores the replica without any
+        live holder to copy from (no network transfer is accounted in
+        that case; the bytes moved when the copy was queued).
+
+        Returns
+        -------
+        The number of records applied to followers.
+        """
+        applied = 0
+        for target in list(self._pending):
+            if not self._alive.get(target, False):
+                continue
+            queue, self._pending[target] = self._pending[target], []
+            for source, record in queue:
+                src = source if self._alive.get(source, False) else None
+                if src is None:
+                    holders = [
+                        n
+                        for n in self._live_shard_names()
+                        if self.shards[n].holds(record.key)
+                    ]
+                    src = holders[0] if holders else None
+                if src is not None:
+                    if self._replicate(
+                        record, src, target, tag="darr-replicate"
+                    ):
+                        applied += 1
+                elif self.shards[target].ingest(record):
+                    # the queued copy was the last surviving replica
+                    self.stats["replications"] += 1
+                    self.stats["replication_bytes"] += record.wire_size
+                    self._tel.count("darr.shard_replications")
+                    applied += 1
+            if not self._pending[target]:
+                del self._pending[target]
+        return applied
+
+    def fetch(
+        self,
+        key: str,
+        client: str,
+        consistency: str = "strong",
+    ) -> Optional[AnalyticsResult]:
+        """Retrieve a result, falling back to followers on failover.
+
+        Consistency levels (records are immutable and first-write-wins,
+        so levels differ in *which replica may answer*, not in value):
+
+        * ``"strong"`` — only a live, fully caught-up replica (no
+          pending lazy copies queued for it; while a crash repair is
+          outstanding, only an owner actually holding the record) may
+          answer; raises :class:`~repro.faults.ServiceUnavailable`
+          when none exists.
+        * ``"monotonic"`` — session guarantee: once this client has
+          seen a key, only replicas holding it may answer (a client
+          never un-sees a result); first read may hit any live replica.
+        * ``"eventual"`` — any live replica answers; a lagging
+          follower's miss is an honest miss.
+
+        Parameters
+        ----------
+        key:
+            Spec key of the computation.
+        client:
+            Fetching client (network accounting, session identity).
+        consistency:
+            One of ``"strong"`` / ``"monotonic"`` / ``"eventual"``.
+
+        Returns
+        -------
+        The :class:`~repro.darr.records.AnalyticsResult`, or ``None``
+        on a miss.
+        """
+        if consistency not in CONSISTENCY_LEVELS:
+            raise ValueError(
+                f"consistency must be one of {CONSISTENCY_LEVELS}, got "
+                f"{consistency!r}"
+            )
+        owners = self._route(key, "fetch")
+        if consistency == "strong":
+            candidates = [n for n in owners if not self._pending.get(n)]
+            if self._needs_repair:
+                # a crash repair is outstanding: an owner that stepped
+                # into the set but was not caught up yet could serve a
+                # false miss -- only trust owners holding the record
+                candidates = [
+                    n for n in candidates if self.shards[n].holds(key)
+                ]
+            if not candidates:
+                raise ServiceUnavailable(
+                    f"no caught-up replica can serve a strong read of "
+                    f"{key!r}"
+                )
+        elif consistency == "monotonic":
+            if key in self._sessions.get(client, ()):
+                candidates = [
+                    n for n in owners if self.shards[n].holds(key)
+                ]
+                if not candidates:
+                    raise ServiceUnavailable(
+                        f"monotonic session floor for {key!r} cannot be "
+                        f"met by any live replica"
+                    )
+            else:
+                candidates = owners
+        else:
+            candidates = owners
+        record = self.shards[candidates[0]].fetch(key, client)
+        if record is not None and consistency == "monotonic":
+            self._sessions.setdefault(client, set()).add(key)
+        self._maybe_repair()
+        return record
+
+    def has(self, key: str, client: Optional[str] = None) -> bool:
+        """Check whether a calculation is stored on any live replica.
+
+        Parameters
+        ----------
+        key:
+            Spec key of the computation.
+        client:
+            Optional client name for network accounting on the primary.
+
+        Returns
+        -------
+        True when a live replica of the key's range holds the record.
+        """
+        owners = self._route(key, "fetch")
+        primary = self.shards[owners[0]]
+        found = primary.has(key, client)
+        if found:
+            return True
+        return any(self.shards[n].holds(key) for n in owners[1:])
+
+    # -- claims -------------------------------------------------------------
+    def claim_job(self, key: str, client: str) -> ClaimOutcome:
+        """Claim in-flight work on ``key`` at its primary shard.
+
+        Routing is shard-aware: the claim lands on the key's first
+        *live* owner.  Claims are per-shard volatile state — they are
+        **not** replicated; when a primary crashes its claims die with
+        it, and the next claimant on the surviving replica simply wins
+        (the survivors' reclaim path, complementing per-shard TTL
+        expiry on the shared clock).
+
+        Parameters
+        ----------
+        key:
+            Spec key of the computation.
+        client:
+            The claiming client's name.
+
+        Returns
+        -------
+        The primary shard's
+        :class:`~repro.darr.repository.ClaimOutcome`.
+        """
+        owners = self._route(key, "claim")
+        outcome = self.shards[owners[0]].claim_job(key, client)
+        self._maybe_repair()
+        return outcome
+
+    def claim(self, key: str, client: str) -> bool:
+        """Boolean shorthand for :meth:`claim_job`.
+
+        Parameters
+        ----------
+        key:
+            Spec key of the computation.
+        client:
+            The claiming client's name.
+
+        Returns
+        -------
+        True when the claim was granted.
+        """
+        return self.claim_job(key, client).granted
+
+    def release_claim(self, key: str, client: str) -> None:
+        """Drop a claim without publishing (failed/abandoned work).
+
+        Released on every live owner, so a claim that migrated at a
+        shard-handoff boundary is found wherever it lives now.
+
+        Parameters
+        ----------
+        key:
+            Claimed spec key.
+        client:
+            The claim holder.
+        """
+        try:
+            owners = self._route(key, "claim")
+        except ServiceUnavailable:
+            return
+        for owner in owners:
+            self.shards[owner].release_claim(key, client)
+        self._maybe_repair()
+
+    def claim_holder(self, key: str) -> Optional[str]:
+        """Client holding a live claim on ``key`` at its primary.
+
+        Parameters
+        ----------
+        key:
+            Spec key of the computation.
+
+        Returns
+        -------
+        The holder's name, or ``None`` when unclaimed, expired, or the
+        range is unreachable.
+        """
+        try:
+            owners = self._route(key, "claim")
+        except ServiceUnavailable:
+            return None
+        return self.shards[owners[0]].claim_holder(key)
+
+    # -- membership ---------------------------------------------------------
+    def alive(self, name: str) -> bool:
+        """Whether shard ``name`` is currently live.
+
+        Parameters
+        ----------
+        name:
+            Shard name.
+
+        Returns
+        -------
+        True while the shard serves traffic.
+        """
+        return self._alive.get(name, False)
+
+    def live_shards(self) -> List[str]:
+        """Names of all currently live shards, in membership order.
+
+        Returns
+        -------
+        The live shard names.
+        """
+        return self._live_shard_names()
+
+    def shard_for(self, key: str) -> str:
+        """The key's current primary shard (first live owner).
+
+        Parameters
+        ----------
+        key:
+            The key to place.
+
+        Returns
+        -------
+        The primary shard's name.
+        """
+        owners = self._live_owner_names(key)
+        if not owners:
+            raise ServiceUnavailable(
+                f"no live shard owns the range of key {key!r}"
+            )
+        return owners[0]
+
+    def add_shard(
+        self,
+        shard: Optional[DataAnalyticsResultsRepository] = None,
+        name: Optional[str] = None,
+    ) -> str:
+        """Join a shard and migrate only its owed key ranges onto it.
+
+        Ring insertion hands the new shard ``~1/N`` of every range;
+        the rebalance copies exactly the records whose owner set now
+        includes it, migrates live claims whose primary moved (claim
+        handoff preserves holder and original expiry), and drops
+        records from shards that are no longer among the owners —
+        bytes moved are accounted in ``stats`` and on the network.
+
+        Parameters
+        ----------
+        shard:
+            Pre-built repository to adopt; built fresh when ``None``.
+        name:
+            Name for a freshly built shard (auto-generated when
+            omitted).
+
+        Returns
+        -------
+        The joined shard's name.
+        """
+        if shard is None:
+            if name is None:
+                index = len(self.shards)
+                while f"{self.name}-s{index:02d}" in self.shards:
+                    index += 1
+                name = f"{self.name}-s{index:02d}"
+            shard = DataAnalyticsResultsRepository(
+                name,
+                network=self.network,
+                claim_duration=self.claim_duration,
+                clock=None if self.network is not None else self._clock,
+            )
+        name = shard.name
+        if name in self.shards:
+            raise ValueError(f"shard {name!r} already joined")
+        if shard.network is None and shard.clock is None:
+            shard.clock = self._clock
+        self.shards[name] = shard
+        self._alive[name] = True
+        self.ring.add(name)
+        shard.fault_injector = self._fault_injector
+        shard.telemetry = self._tel
+        self.stats["shards_added"] += 1
+        self._tel.count("darr.shards_added")
+        self._rebalance(tag="darr-rebalance")
+        return name
+
+    def crash_shard(self, name: str, repair: bool = True) -> int:
+        """Fail-stop one shard (volatile results and claims are lost).
+
+        With ``repair`` (default) the crash immediately drives a
+        rebalance: every range the dead shard owned is re-replicated
+        from its surviving copies onto the shards that step into the
+        owner set, restoring ``replication_factor`` live copies.  A
+        range loses data only when *all* of its replicas crash before
+        repair completes.
+
+        Parameters
+        ----------
+        name:
+            Shard to crash; must be a member.
+        repair:
+            Run crash-driven rebalancing now (pass False to model a
+            detection delay, then call :meth:`repair`).
+
+        Returns
+        -------
+        The number of records re-replicated by the repair (0 when
+        ``repair`` is False or nothing was under-replicated).
+        """
+        if name not in self.shards:
+            raise KeyError(f"unknown shard {name!r}")
+        self._mark_crashed(name)
+        if repair:
+            return self.repair()
+        return 0
+
+    def recover_shard(self, name: str) -> int:
+        """Bring a crashed shard back and catch it up from live peers.
+
+        The recovered shard rejoins the owner sets it is owed by ring
+        position; records for those ranges are copied back from the
+        current holders and the stand-in shards that covered for it
+        drop their now-excess copies.
+
+        Parameters
+        ----------
+        name:
+            Shard to recover; must be a member.
+
+        Returns
+        -------
+        The number of records copied during catch-up.
+        """
+        if name not in self.shards:
+            raise KeyError(f"unknown shard {name!r}")
+        if self._alive[name]:
+            return 0
+        self._alive[name] = True
+        self.stats["shard_recoveries"] += 1
+        self._tel.count("darr.shard_recoveries")
+        before = self.stats["rebalance_records_moved"]
+        self._rebalance(tag="darr-recovery")
+        return self.stats["rebalance_records_moved"] - before
+
+    def repair(self) -> int:
+        """Re-replicate every under-replicated range (crash cleanup).
+
+        Returns
+        -------
+        The number of records copied.
+        """
+        before = self.stats["rebalance_records_moved"]
+        self._rebalance(tag="darr-rebalance")
+        return self.stats["rebalance_records_moved"] - before
+
+    def _rebalance(self, tag: str) -> int:
+        """Stabilize placement: every record on exactly its live owner
+        set, live claims on their current primaries.  Loops until a
+        full pass completes without a new crash (a ``crash`` fault at
+        ``sharded.rebalance`` fail-stops the migration target and the
+        pass restarts over the shrunken membership)."""
+        if self._repairing:
+            return 0
+        self._repairing = True
+        moved = 0
+        try:
+            while True:
+                self._needs_repair.clear()
+                moved += self._rebalance_pass(tag)
+                self._migrate_claims()
+                if not self._needs_repair:
+                    break
+            self.stats["rebalances"] += 1
+            self._tel.count("darr.rebalances")
+        finally:
+            self._repairing = False
+        return moved
+
+    def _rebalance_pass(self, tag: str) -> int:
+        """One placement pass: plan every owed move over the live
+        shards, then execute most-endangered ranges first (fewest
+        surviving copies), so a crash mid-rebalance has the smallest
+        possible loss window.  Excess copies on non-owners are dropped
+        only after a pass with no new crash, and only once every live
+        owner of the key holds it."""
+        moved = 0
+        # Plan: key -> (record, live holders in membership order).
+        placements: Dict[str, Tuple[AnalyticsResult, List[str]]] = {}
+        for name in self._live_shard_names():
+            for key, record in self.shards[name].iter_records():
+                entry = placements.get(key)
+                if entry is None:
+                    placements[key] = (record, [name])
+                else:
+                    entry[1].append(name)
+        moves: List[Tuple[int, str, AnalyticsResult, str, str]] = []
+        drops: List[Tuple[str, str]] = []
+        for key, (record, holders) in placements.items():
+            owners = self._live_owner_names(key)
+            missing = [t for t in owners if t not in holders]
+            for target in missing:
+                moves.append(
+                    (len(holders), key, record, holders[0], target)
+                )
+            for extra in holders:
+                if extra not in owners:
+                    drops.append((key, extra))
+        moves.sort(key=lambda m: (m[0], m[1], m[4]))
+        for _, key, record, source, target in moves:
+            if not self._alive.get(target, False):
+                continue  # crashed since planning; outer loop replans
+            if not (
+                self._alive.get(source, False)
+                and self.shards[source].holds(key)
+            ):
+                continue  # source gone; outer loop replans
+            try:
+                self._check(
+                    "sharded.rebalance",
+                    key=key,
+                    source=source,
+                    target=target,
+                )
+            except NodeCrashed:
+                self._mark_crashed(target)
+                continue
+            if self._replicate(record, source, target, tag=tag):
+                moved += 1
+                self.stats["rebalance_records_moved"] += 1
+                self.stats["rebalance_bytes_moved"] += record.wire_size
+                self._tel.count("darr.rebalance_records_moved")
+                self._tel.count(
+                    "darr.rebalance_bytes_moved", record.wire_size
+                )
+        if not self._needs_repair:
+            for key, extra in drops:
+                if not self._alive.get(extra, False):
+                    continue
+                owners = self._live_owner_names(key)
+                if extra in owners:
+                    continue
+                if all(self.shards[t].holds(key) for t in owners):
+                    if self.shards[extra].drop(key) is not None:
+                        self.stats["rebalance_records_dropped"] += 1
+        return moved
+
+    def _migrate_claims(self) -> int:
+        """Move live claims to their current primary shards (the
+        shard-handoff boundary: a claim taken on the old primary stays
+        valid — same holder, same expiry — on the new one)."""
+        migrated = 0
+        for name in self._live_shard_names():
+            shard = self.shards[name]
+            for key, (client, expires_at) in list(
+                shard.live_claims().items()
+            ):
+                owners = self._live_owner_names(key)
+                if not owners or owners[0] == name:
+                    continue
+                self.shards[owners[0]].adopt_claim(
+                    key, client, expires_at
+                )
+                shard.release_claim(key, client)
+                migrated += 1
+                self.stats["claims_migrated"] += 1
+        if migrated:
+            self._tel.count("darr.claims_migrated", migrated)
+        return migrated
+
+    # -- queries ------------------------------------------------------------
+    def __len__(self) -> int:
+        seen: set = set()
+        for name in self._live_shard_names():
+            for key, _ in self.shards[name].iter_records():
+                seen.add(key)
+        return len(seen)
+
+    def completed_keys(self, dataset: Optional[str] = None) -> List[str]:
+        """Keys of completed calculations across all live shards.
+
+        Parameters
+        ----------
+        dataset:
+            Optional dataset fingerprint filter.
+
+        Returns
+        -------
+        Sorted distinct keys (replicas deduplicated).
+        """
+        seen: set = set()
+        for name in self._live_shard_names():
+            for key, record in self.shards[name].iter_records():
+                if dataset is None or record.dataset == dataset:
+                    seen.add(key)
+        return sorted(seen)
+
+    def query(
+        self,
+        dataset: Optional[str] = None,
+        metric: Optional[str] = None,
+        path_contains: Optional[str] = None,
+    ) -> List[AnalyticsResult]:
+        """Filter results across all live shards (deduplicated).
+
+        Parameters
+        ----------
+        dataset:
+            Optional dataset fingerprint filter.
+        metric:
+            Optional metric-name filter.
+        path_contains:
+            Optional path-substring filter.
+
+        Returns
+        -------
+        Matching records sorted by key, one per distinct key.
+        """
+        by_key: Dict[str, AnalyticsResult] = {}
+        for name in self._live_shard_names():
+            for record in self.shards[name].query(
+                dataset=dataset,
+                metric=metric,
+                path_contains=path_contains,
+            ):
+                by_key.setdefault(record.key, record)
+        return [by_key[key] for key in sorted(by_key)]
+
+    def best(
+        self, dataset: Optional[str] = None, metric: Optional[str] = None
+    ) -> Optional[AnalyticsResult]:
+        """Best stored result across shards, under its metric direction.
+
+        Parameters
+        ----------
+        dataset:
+            Optional dataset fingerprint filter.
+        metric:
+            Optional metric-name filter.
+
+        Returns
+        -------
+        The best record, or ``None`` when nothing matches.
+        """
+        candidates = self.query(dataset=dataset, metric=metric)
+        if not candidates:
+            return None
+        directions = {r.greater_is_better for r in candidates}
+        if len(directions) > 1:
+            raise ValueError(
+                "cannot rank results with mixed metric directions; "
+                "filter by metric first"
+            )
+        if directions.pop():
+            return max(candidates, key=lambda r: r.score)
+        return min(candidates, key=lambda r: r.score)
+
+    def aggregate_stats(self) -> Dict[str, Any]:
+        """Fabric and per-shard accounting in one document.
+
+        Returns
+        -------
+        Dict with the fabric ``sharded`` counters, per-shard ``shards``
+        counter dicts, a ``totals`` sum over shard counters, and the
+        current ``alive`` map.
+        """
+        totals: Dict[str, int] = {}
+        per_shard: Dict[str, Dict[str, int]] = {}
+        for name, shard in self.shards.items():
+            per_shard[name] = dict(shard.stats)
+            for counter, value in shard.stats.items():
+                totals[counter] = totals.get(counter, 0) + value
+        return {
+            "sharded": dict(self.stats),
+            "shards": per_shard,
+            "totals": totals,
+            "alive": dict(self._alive),
+        }
+
+    # -- persistence --------------------------------------------------------
+    def _save_document(self) -> Dict[str, Any]:
+        """Schema-v3 dump document (see
+        :func:`~repro.darr.repository.save_repository`)."""
+        from repro.darr.repository import REPOSITORY_SCHEMA_VERSION
+
+        by_key: Dict[str, AnalyticsResult] = {}
+        for name in self._live_shard_names():
+            for key, record in self.shards[name].iter_records():
+                by_key.setdefault(key, record)
+        return {
+            "schema": REPOSITORY_SCHEMA_VERSION,
+            "claim_duration": self.claim_duration,
+            "records": [by_key[key] for key in sorted(by_key)],
+            "claims": {},
+            "stats": dict(self.stats),
+            "sharding": {
+                "name": self.name,
+                "virtual_nodes": self.ring.virtual_nodes,
+                "replication_factor": self.replication_factor,
+                "sync_replication": self.sync_replication,
+                "shards": list(self.shards),
+                "alive": dict(self._alive),
+                "claims": {
+                    name: {
+                        key: list(entry)
+                        for key, entry in self.shards[name]
+                        .live_claims()
+                        .items()
+                    }
+                    for name in self._live_shard_names()
+                },
+                "shard_stats": {
+                    name: dict(shard.stats)
+                    for name, shard in self.shards.items()
+                },
+            },
+        }
+
+    @classmethod
+    def _from_document(
+        cls, document: Dict[str, Any], network=None
+    ) -> "ShardedDarr":
+        """Rebuild a fabric from a schema-v3 dump (see
+        :func:`~repro.darr.repository.load_repository`)."""
+        meta = document["sharding"]
+        claim_duration = document.get("claim_duration", 300.0)
+        shards = [
+            DataAnalyticsResultsRepository(
+                shard_name,
+                network=network,
+                claim_duration=claim_duration,
+            )
+            for shard_name in meta["shards"]
+        ]
+        fabric = cls(
+            shards=shards,
+            replication_factor=meta["replication_factor"],
+            name=meta.get("name", "darr"),
+            network=network,
+            claim_duration=claim_duration,
+            sync_replication=meta.get("sync_replication", True),
+            virtual_nodes=meta.get("virtual_nodes", 64),
+        )
+        for shard_name, live in meta.get("alive", {}).items():
+            if shard_name in fabric._alive:
+                fabric._alive[shard_name] = bool(live)
+        for record in document.get("records", []):
+            for owner in fabric._live_owner_names(record.key):
+                fabric.shards[owner].ingest(record)
+        for shard_name, claims in meta.get("claims", {}).items():
+            shard = fabric.shards.get(shard_name)
+            if shard is None:
+                continue
+            for key, entry in claims.items():
+                shard.adopt_claim(key, entry[0], float(entry[1]))
+        saved_stats = document.get("stats")
+        if saved_stats:
+            for counter in fabric.stats:
+                fabric.stats[counter] = saved_stats.get(
+                    counter, fabric.stats[counter]
+                )
+        for shard_name, stats in meta.get("shard_stats", {}).items():
+            shard = fabric.shards.get(shard_name)
+            if shard is None:
+                continue
+            for counter in shard.stats:
+                shard.stats[counter] = stats.get(
+                    counter, shard.stats[counter]
+                )
+        return fabric

@@ -65,7 +65,8 @@ class FaultRule:
     site:
         Hook-point name (``"engine.run_job"``, ``"node.execute_job"``,
         ``"datastore.get"``, ``"datastore.put"``, ``"darr.fetch"``,
-        ``"darr.claim"``, ``"darr.publish"``).
+        ``"darr.claim"``, ``"darr.publish"``, ``"sharded.route"``,
+        ``"sharded.replicate"``, ``"sharded.rebalance"``).
     fault:
         ``"transient"`` | ``"crash"`` | ``"slow"`` | ``"unavailable"``.
     match:

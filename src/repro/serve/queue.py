@@ -94,7 +94,8 @@ class AdmissionDecision:
 class AdmissionRejected(RuntimeError):
     """Raised by the service when admission control sheds a request.
 
-    Carries ``reason`` (``"queue_full"`` / ``"tenant_queue_full"``)
+    Carries ``reason`` (``"queue_full"`` / ``"tenant_queue_full"`` /
+    ``"darr_unavailable"`` during a cooperative-repository outage)
     and ``retry_after`` — the backpressure hint in seconds that
     well-behaved clients (e.g. the bundled
     :class:`~repro.serve.loadgen.LoadGenerator`) sleep before

@@ -95,6 +95,14 @@ class AnalyticsService:
         :class:`~repro.core.engine.FailurePolicy`).
     clock:
         Monotonic clock for timestamps/latency (injectable in tests).
+    darr_retry_after:
+        Seconds of admission backpressure after the repository reports
+        :class:`~repro.faults.ServiceUnavailable`.  Inside that window
+        new submissions are rejected with reason ``darr_unavailable``
+        and a ``retry_after`` hint instead of silently degrading every
+        tenant's job to an uncooperative local sweep; the window
+        re-opens on its own (the next claim attempt probes the
+        repository again).
     """
 
     def __init__(
@@ -109,6 +117,7 @@ class AnalyticsService:
         telemetry: Any = None,
         failure_policy: Any = None,
         clock=time.monotonic,
+        darr_retry_after: float = 5.0,
     ):
         if engine is None:
             # cache_size sizes both the prefix cache and the memory
@@ -163,7 +172,10 @@ class AnalyticsService:
             "results_reused": 0,
             "claims_granted": 0,
             "claims_released": 0,
+            "darr_unavailable": 0,
         }
+        self.darr_retry_after = darr_retry_after
+        self._darr_outage_until = 0.0
         self._tenant_jobs: Dict[str, int] = {}
         self._lock = threading.Lock()
 
@@ -261,12 +273,22 @@ class AnalyticsService:
         ------
         AdmissionRejected
             When the global queue or the tenant's queued quota is
-            full; carries the ``retry_after`` back-off hint.
+            full — or the cooperative repository is inside a
+            ``darr_unavailable`` backpressure window; either way the
+            exception carries the ``retry_after`` back-off hint.
         """
         tel = self._tel
         with self._lock:
             self._counts["submitted"] += 1
         tel.count("serve.jobs_submitted")
+        with self._lock:
+            outage_left = self._darr_outage_until - self._clock()
+        if outage_left > 0:
+            with self._lock:
+                self._counts["rejected"] += 1
+            tel.count("serve.jobs_rejected")
+            tel.count("serve.rejections", key="darr_unavailable")
+            raise AdmissionRejected("darr_unavailable", outage_left)
         job_id = f"job-{next(self._ids):06d}"
         job = ServeJob(job_id, tenant, request, clock=self._clock)
         decision = self._queue.offer(tenant, job)
@@ -689,13 +711,29 @@ class AnalyticsService:
         for ejob in ejobs:
             try:
                 outcome = self.darr.claim_job(ejob.key, self.client)
-            except Exception:
-                return  # repository outage: degrade to local compute
+            except Exception as exc:
+                # Repository outage: this job degrades to a local
+                # sweep, but new submissions get backpressure (an
+                # AdmissionRejected with a retry_after hint) until the
+                # outage window elapses, instead of silently losing
+                # cooperation.  Duck-typed so the faults package stays
+                # optional here (same pattern as DarrStore).
+                if type(exc).__name__ == "ServiceUnavailable":
+                    self._note_darr_outage()
+                return
             if outcome.granted:
                 job.claimed_keys.add(ejob.key)
                 with self._lock:
                     self._counts["claims_granted"] += 1
                 self._tel.count("serve.claims_granted")
+
+    def _note_darr_outage(self) -> None:
+        """Open (or extend) the darr_unavailable backpressure window
+        after the repository raised ServiceUnavailable."""
+        with self._lock:
+            self._counts["darr_unavailable"] += 1
+            self._darr_outage_until = self._clock() + self.darr_retry_after
+        self._tel.count("serve.darr_unavailable")
 
     def _release_claim(self, job: ServeJob, key: str) -> None:
         """Release one still-held claim (after a failed job)."""

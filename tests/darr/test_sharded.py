@@ -1,0 +1,552 @@
+"""Tests for the sharded, replicated DARR fabric (ShardedDarr)."""
+
+import pytest
+
+from repro.core import GraphEvaluator, TransformerEstimatorGraph
+from repro.darr import (
+    DARR,
+    AnalyticsResult,
+    CooperativeEvaluator,
+    HashRing,
+    ShardedDarr,
+    load_repository,
+    save_repository,
+)
+from repro.distributed import SimulatedNetwork
+from repro.distributed.cluster import SimClock
+from repro.faults import ServiceUnavailable
+from repro.ml.linear import LinearRegression
+from repro.ml.model_selection import KFold
+from repro.ml.preprocessing import NoOp, StandardScaler
+
+
+def make_record(key, score=1.0, dataset="ds", metric="rmse", greater=False):
+    return AnalyticsResult(
+        key=key,
+        dataset=dataset,
+        path=f"Input -> {key}",
+        params={},
+        metric=metric,
+        score=score,
+        std=0.1,
+        fold_scores=[score],
+        greater_is_better=greater,
+        client="c1",
+        explanation="test record",
+    )
+
+
+def live_copies(fabric, key):
+    return [
+        name
+        for name in fabric.live_shards()
+        if fabric.shards[name].holds(key)
+    ]
+
+
+class TestHashRing:
+    def test_preference_is_deterministic(self):
+        a = HashRing([f"s{i}" for i in range(8)])
+        b = HashRing([f"s{i}" for i in range(8)])
+        for i in range(50):
+            key = f"key-{i}"
+            assert list(a.iter_preference(key)) == list(
+                b.iter_preference(key)
+            )
+
+    def test_preference_covers_all_members_once(self):
+        ring = HashRing(["a", "b", "c", "d"])
+        pref = list(ring.iter_preference("some-key"))
+        assert sorted(pref) == ["a", "b", "c", "d"]
+
+    def test_distribution_roughly_balanced(self):
+        ring = HashRing([f"s{i}" for i in range(8)], virtual_nodes=64)
+        counts = {}
+        for i in range(8000):
+            primary = next(ring.iter_preference(f"key-{i}"))
+            counts[primary] = counts.get(primary, 0) + 1
+        # every shard gets a material share (ideal = 1000)
+        assert min(counts.values()) > 300
+        assert max(counts.values()) < 2500
+
+    def test_adding_member_moves_only_owed_ranges(self):
+        ring = HashRing([f"s{i}" for i in range(8)])
+        before = {
+            f"key-{i}": next(ring.iter_preference(f"key-{i}"))
+            for i in range(2000)
+        }
+        ring.add("s8")
+        moved = sum(
+            1
+            for key, owner in before.items()
+            if next(ring.iter_preference(key)) != owner
+        )
+        # only keys now owned by s8 changed primaries (~1/9 of keys)
+        assert 0 < moved < 600
+        for key, owner in before.items():
+            new = next(ring.iter_preference(key))
+            assert new == owner or new == "s8"
+
+    def test_remove_restores_prior_owners(self):
+        ring = HashRing(["a", "b", "c"])
+        before = {
+            f"k{i}": next(ring.iter_preference(f"k{i}")) for i in range(200)
+        }
+        ring.add("d")
+        ring.remove("d")
+        after = {
+            f"k{i}": next(ring.iter_preference(f"k{i}")) for i in range(200)
+        }
+        assert before == after
+
+    def test_membership_errors(self):
+        ring = HashRing(["a"])
+        with pytest.raises(ValueError):
+            ring.add("a")
+        with pytest.raises(KeyError):
+            ring.remove("zz")
+        with pytest.raises(ValueError):
+            HashRing(virtual_nodes=0)
+
+
+@pytest.fixture
+def fabric():
+    net = SimulatedNetwork()
+    for client in ("c1", "c2", "c3"):
+        net.register(client)
+    return ShardedDarr(n_shards=4, replication_factor=2, network=net)
+
+
+class TestReplicatedPublish:
+    def test_publish_lands_on_replica_set(self, fabric):
+        assert fabric.publish(make_record("k1"), "c1")
+        copies = live_copies(fabric, "k1")
+        assert len(copies) == 2
+        assert copies[0] != copies[1]
+
+    def test_first_write_wins_across_clients(self, fabric):
+        fabric.publish(make_record("k1", score=1.0), "c1")
+        assert not fabric.publish(make_record("k1", score=2.0), "c2")
+        assert fabric.fetch("k1", "c2").score == 1.0
+        assert fabric.stats["duplicate_publishes"] == 1
+
+    def test_replication_bytes_accounted(self, fabric):
+        fabric.publish(make_record("k1"), "c1")
+        assert fabric.stats["replications"] == 1
+        assert fabric.stats["replication_bytes"] > 0
+        assert fabric.network.total_bytes("darr-replicate") > 0
+
+    def test_replication_factor_one_keeps_single_copy(self):
+        fabric = ShardedDarr(n_shards=4, replication_factor=1)
+        fabric.publish(make_record("k1"), "c1")
+        assert len(live_copies(fabric, "k1")) == 1
+        assert fabric.stats["replications"] == 0
+
+    def test_lazy_replication_defers_until_propagate(self):
+        fabric = ShardedDarr(
+            n_shards=4, replication_factor=2, sync_replication=False
+        )
+        fabric.publish(make_record("k1"), "c1")
+        assert len(live_copies(fabric, "k1")) == 1
+        assert fabric.stats["replications_deferred"] == 1
+        assert fabric.propagate() == 1
+        assert len(live_copies(fabric, "k1")) == 2
+
+    def test_invalid_replication_factor(self):
+        with pytest.raises(ValueError):
+            ShardedDarr(n_shards=2, replication_factor=3)
+        with pytest.raises(ValueError):
+            ShardedDarr(n_shards=2, replication_factor=0)
+
+
+class TestFailover:
+    def test_fetch_falls_back_to_follower(self, fabric):
+        fabric.publish(make_record("k1"), "c1")
+        primary = fabric.shard_for("k1")
+        fabric.crash_shard(primary, repair=False)
+        assert fabric.fetch("k1", "c2").key == "k1"
+        assert fabric.stats["failovers"] >= 1
+        assert fabric.stats["routing_hops"] >= 1
+
+    def test_whole_range_down_raises_service_unavailable(self):
+        fabric = ShardedDarr(n_shards=2, replication_factor=2)
+        fabric.publish(make_record("k1"), "c1")
+        for name in list(fabric.shards):
+            fabric.crash_shard(name, repair=False)
+        with pytest.raises(ServiceUnavailable):
+            fabric.fetch("k1", "c1")
+        with pytest.raises(ServiceUnavailable):
+            fabric.claim_job("k1", "c1")
+
+    def test_claim_routing_hops_counted_separately(self, fabric):
+        fabric.publish(make_record("k1"), "c1")
+        primary = fabric.shard_for("k1")
+        fabric.crash_shard(primary, repair=False)
+        assert fabric.claim_job("k2", "c1").granted or True
+        before = fabric.stats["claim_routing_hops"]
+        # route a claim for a key whose old primary is dead
+        fabric.claim_job("k1", "c1")
+        assert fabric.stats["claim_routing_hops"] >= before
+
+    def test_crashed_primary_claims_reclaimed_by_survivors(self, fabric):
+        assert fabric.claim_job("k1", "c1").granted
+        primary = fabric.shard_for("k1")
+        fabric.crash_shard(primary, repair=False)
+        # the claim died with the shard: a survivor grants it afresh
+        outcome = fabric.claim_job("k1", "c2")
+        assert outcome.granted
+        assert fabric.claim_holder("k1") == "c2"
+        assert fabric.stats["claims_lost_to_crash"] == 1
+
+
+class TestConsistencyLevels:
+    def test_strong_refuses_lagging_replicas(self):
+        fabric = ShardedDarr(
+            n_shards=4, replication_factor=2, sync_replication=False
+        )
+        fabric.publish(make_record("k1"), "c1")
+        primary = fabric.shard_for("k1")
+        # primary holds the record and has no pending queue: strong ok
+        assert fabric.fetch("k1", "c1", consistency="strong") is not None
+        fabric.crash_shard(primary, repair=False)
+        # only the lagging follower remains; its queued copy is pending
+        with pytest.raises(ServiceUnavailable):
+            fabric.fetch("k1", "c1", consistency="strong")
+        fabric.propagate()
+        assert fabric.fetch("k1", "c1", consistency="strong") is not None
+
+    def test_eventual_serves_lagging_replica_miss(self):
+        fabric = ShardedDarr(
+            n_shards=4, replication_factor=2, sync_replication=False
+        )
+        fabric.publish(make_record("k1"), "c1")
+        primary = fabric.shard_for("k1")
+        fabric.crash_shard(primary, repair=False)
+        # honest miss: the follower has not applied its copy yet
+        assert fabric.fetch("k1", "c1", consistency="eventual") is None
+        fabric.propagate()
+        assert fabric.fetch("k1", "c1", consistency="eventual") is not None
+
+    def test_monotonic_session_never_unsees(self, fabric):
+        fabric.publish(make_record("k1"), "c1")
+        assert (
+            fabric.fetch("k1", "c2", consistency="monotonic") is not None
+        )
+        # kill every holder: the session floor cannot be met any more
+        for name in live_copies(fabric, "k1"):
+            fabric.crash_shard(name, repair=False)
+        with pytest.raises(ServiceUnavailable):
+            fabric.fetch("k1", "c2", consistency="monotonic")
+
+    def test_invalid_level_rejected(self, fabric):
+        with pytest.raises(ValueError):
+            fabric.fetch("k1", "c1", consistency="linearizable")
+
+
+class TestClaims:
+    def test_claim_granted_once_across_shards(self, fabric):
+        assert fabric.claim_job("k1", "c1").granted
+        denied = fabric.claim_job("k1", "c2")
+        assert not denied.granted
+        assert denied.holder == "c1"
+
+    def test_claim_expiry_on_shared_clock(self):
+        clock = SimClock()
+        fabric = ShardedDarr(
+            n_shards=4,
+            replication_factor=2,
+            claim_duration=50.0,
+            clock=clock,
+        )
+        assert fabric.claim_job("k1", "c1").granted
+        assert not fabric.claim_job("k1", "c2").granted
+        clock.advance(51.0)
+        outcome = fabric.claim_job("k1", "c2")
+        assert outcome.granted and outcome.reclaimed
+        assert outcome.holder == "c1"
+
+    def test_publish_clears_claim(self, fabric):
+        fabric.claim_job("k1", "c1")
+        fabric.publish(make_record("k1"), "c1")
+        assert fabric.claim_holder("k1") is None
+        assert not fabric.claim_job("k1", "c2").granted  # result exists
+
+    def test_release_claim(self, fabric):
+        fabric.claim_job("k1", "c1")
+        fabric.release_claim("k1", "c1")
+        assert fabric.claim_holder("k1") is None
+        assert fabric.claim_job("k1", "c2").granted
+
+
+class TestMembership:
+    def seed(self, fabric, n=120):
+        for i in range(n):
+            fabric.publish(make_record(f"key-{i:04d}", score=float(i)), "c1")
+
+    def test_add_shard_migrates_only_owed_ranges(self, fabric):
+        self.seed(fabric)
+        total_before = sum(
+            len(list(s.iter_records())) for s in fabric.shards.values()
+        )
+        name = fabric.add_shard()
+        assert name in fabric.shards and fabric.alive(name)
+        moved = fabric.stats["rebalance_records_moved"]
+        gained = len(list(fabric.shards[name].iter_records()))
+        # the new shard received exactly what was migrated for it, a
+        # fraction of the data -- not a full re-shuffle
+        assert 0 < gained <= moved < total_before
+        # every key still has exactly R live copies on its owner set
+        for i in range(120):
+            key = f"key-{i:04d}"
+            assert sorted(live_copies(fabric, key)) == sorted(
+                fabric._live_owner_names(key)
+            )
+        assert fabric.stats["rebalance_bytes_moved"] > 0
+        assert fabric.network.total_bytes("darr-rebalance") > 0
+
+    def test_crash_shard_repairs_to_full_replication(self, fabric):
+        self.seed(fabric)
+        victim = fabric.shard_for("key-0000")
+        moved = fabric.crash_shard(victim)
+        assert moved > 0
+        assert not fabric.alive(victim)
+        assert len(fabric) == 120
+        for i in range(120):
+            assert len(live_copies(fabric, f"key-{i:04d}")) == 2
+
+    def test_recover_shard_catches_up(self, fabric):
+        self.seed(fabric)
+        victim = fabric.shard_for("key-0000")
+        fabric.crash_shard(victim)
+        self.seed(fabric)  # duplicate publishes while it is down
+        fabric.publish(make_record("fresh-key"), "c2")
+        caught_up = fabric.recover_shard(victim)
+        assert fabric.alive(victim)
+        assert caught_up > 0
+        assert len(fabric) == 121
+        for i in range(120):
+            key = f"key-{i:04d}"
+            assert sorted(live_copies(fabric, key)) == sorted(
+                fabric._live_owner_names(key)
+            )
+
+    def test_recover_alive_shard_is_noop(self, fabric):
+        assert fabric.recover_shard(list(fabric.shards)[0]) == 0
+
+    def test_unknown_shard_errors(self, fabric):
+        with pytest.raises(KeyError):
+            fabric.crash_shard("nope")
+        with pytest.raises(KeyError):
+            fabric.recover_shard("nope")
+        with pytest.raises(ValueError):
+            fabric.add_shard(shard=fabric.shards[list(fabric.shards)[0]])
+
+    def test_data_lost_only_when_all_replicas_die(self):
+        fabric = ShardedDarr(n_shards=3, replication_factor=2)
+        fabric.publish(make_record("k1"), "c1")
+        holders = live_copies(fabric, "k1")
+        fabric.crash_shard(holders[0], repair=False)
+        fabric.crash_shard(holders[1], repair=False)
+        fabric.repair()
+        survivor = [n for n in fabric.live_shards()][0]
+        assert not fabric.shards[survivor].holds("k1")
+        assert fabric.fetch("k1", "c1") is None
+
+
+class TestClaimHandoffRaces:
+    """Claim expiry/reclaim races at shard-handoff boundaries."""
+
+    def fabric_with_clock(self):
+        clock = SimClock()
+        fabric = ShardedDarr(
+            n_shards=4,
+            replication_factor=2,
+            claim_duration=100.0,
+            clock=clock,
+        )
+        return fabric, clock
+
+    def migrate_primary(self, fabric, key):
+        """Add shards until the key's primary changes; returns old/new."""
+        old = fabric.shard_for(key)
+        for _ in range(16):
+            fabric.add_shard()
+            new = fabric.shard_for(key)
+            if new != old:
+                return old, new
+        pytest.skip("ring never re-homed the key (vanishingly unlikely)")
+
+    def test_claim_survives_migration_with_original_expiry(self):
+        fabric, clock = self.fabric_with_clock()
+        assert fabric.claim_job("k1", "c1").granted
+        old, new = self.migrate_primary(fabric, "k1")
+        assert fabric.stats["claims_migrated"] >= 1
+        # still held by c1 at the *new* primary, original TTL intact
+        assert fabric.claim_holder("k1") == "c1"
+        assert not fabric.claim_job("k1", "c2").granted
+        clock.advance(101.0)  # original expiry, not extended by the move
+        assert fabric.claim_job("k1", "c2").reclaimed
+
+    def test_publish_after_migration_clears_migrated_claim(self):
+        fabric, _ = self.fabric_with_clock()
+        assert fabric.claim_job("k1", "c1").granted
+        self.migrate_primary(fabric, "k1")
+        # the holder finishes the job after the handoff: publish routes
+        # to the new primary and still clears the migrated claim
+        fabric.publish(make_record("k1"), "c1")
+        assert fabric.claim_holder("k1") is None
+        assert fabric.fetch("k1", "c2") is not None
+        assert not fabric.claim_job("k1", "c2").granted  # completed
+
+    def test_expired_claim_not_migrated(self):
+        fabric, clock = self.fabric_with_clock()
+        assert fabric.claim_job("k1", "c1").granted
+        clock.advance(101.0)
+        before = fabric.stats["claims_migrated"]
+        fabric.add_shard()
+        assert fabric.stats["claims_migrated"] == before
+        assert fabric.claim_holder("k1") is None
+
+    def test_release_after_migration_finds_the_claim(self):
+        fabric, _ = self.fabric_with_clock()
+        assert fabric.claim_job("k1", "c1").granted
+        self.migrate_primary(fabric, "k1")
+        fabric.release_claim("k1", "c1")
+        assert fabric.claim_holder("k1") is None
+        assert fabric.claim_job("k1", "c2").granted
+
+
+class TestQueries:
+    def test_union_queries_deduplicate_replicas(self, fabric):
+        for i in range(30):
+            fabric.publish(
+                make_record(f"q-{i:02d}", score=float(i)), "c1"
+            )
+        assert len(fabric) == 30
+        assert len(fabric.completed_keys()) == 30
+        assert len(fabric.query(metric="rmse")) == 30
+        assert fabric.best(metric="rmse").key == "q-00"  # lower is better
+        assert fabric.has("q-00", "c1")
+        assert not fabric.has("missing", "c1")
+
+    def test_completed_keys_by_dataset(self, fabric):
+        fabric.publish(make_record("a", dataset="ds1"), "c1")
+        fabric.publish(make_record("b", dataset="ds2"), "c1")
+        assert fabric.completed_keys("ds1") == ["a"]
+
+    def test_aggregate_stats_shape(self, fabric):
+        fabric.publish(make_record("k1"), "c1")
+        agg = fabric.aggregate_stats()
+        assert agg["sharded"]["publishes"] == 1
+        assert agg["totals"]["publishes"] == 1
+        assert set(agg["shards"]) == set(fabric.shards)
+        assert all(agg["alive"].values())
+
+
+class TestDropInParity:
+    """A cooperative session behaves identically over the fabric."""
+
+    def build_coop(self, darr, client):
+        g = TransformerEstimatorGraph()
+        g.add_feature_scalers([StandardScaler(), NoOp()])
+        g.add_regression_models([LinearRegression()])
+        return CooperativeEvaluator(
+            GraphEvaluator(g, cv=KFold(3, random_state=0)), darr, client
+        )
+
+    def test_session_matches_single_repository(self, regression_data):
+        X, y = regression_data
+        plain = self.build_coop(DARR("darr"), "alice").evaluate(X, y)
+
+        fabric = ShardedDarr(n_shards=4, replication_factor=2)
+        first = self.build_coop(fabric, "alice")
+        report1 = first.evaluate(X, y)
+        assert first.stats.computed == 2 and first.stats.reused == 0
+        assert report1.best_path == plain.best_path
+        assert report1.best_score == pytest.approx(plain.best_score)
+
+        second = self.build_coop(fabric, "bob")
+        report2 = second.evaluate(X, y)
+        assert second.stats.computed == 0 and second.stats.reused == 2
+        assert report2.best_path == plain.best_path
+
+    def test_session_survives_mid_run_shard_crash(self, regression_data):
+        X, y = regression_data
+        fabric = ShardedDarr(n_shards=4, replication_factor=2)
+        self.build_coop(fabric, "alice").evaluate(X, y)
+        victim = list(fabric.shards)[0]
+        fabric.crash_shard(victim)
+        follower = self.build_coop(fabric, "bob")
+        report = follower.evaluate(X, y)
+        assert follower.stats.reused == 2  # nothing lost, all reused
+        assert report.best_model is not None
+
+
+class TestPersistence:
+    def test_sharded_v3_roundtrip(self, fabric, tmp_path):
+        for i in range(40):
+            fabric.publish(
+                make_record(f"p-{i:02d}", score=float(i)), "c1"
+            )
+        assert fabric.claim_job("inflight", "c1").granted
+        fabric.crash_shard(list(fabric.shards)[0])
+        path = tmp_path / "sharded.bin"
+
+        assert save_repository(fabric, path) == 40
+        restored = load_repository(path)
+
+        assert isinstance(restored, ShardedDarr)
+        assert restored.replication_factor == 2
+        assert list(restored.shards) == list(fabric.shards)
+        assert restored.alive(list(fabric.shards)[0]) is False
+        assert len(restored) == 40
+        assert restored.best(metric="rmse").key == "p-00"
+        # claim state survives with its holder
+        assert restored.claim_holder("inflight") == "c1"
+        assert not restored.claim_job("inflight", "c2").granted
+        # fabric accounting survives
+        assert restored.stats["publishes"] == 40
+        assert restored.stats["shard_crashes"] == 1
+        # records are re-placed on their owning shards
+        for i in range(40):
+            key = f"p-{i:02d}"
+            assert sorted(live_copies(restored, key)) == sorted(
+                restored._live_owner_names(key)
+            )
+
+    def test_plain_repository_still_roundtrips_v3(self, tmp_path):
+        darr = DARR("darr")
+        darr.publish(make_record("k1"), "c1")
+        path = tmp_path / "plain.bin"
+        assert save_repository(darr, path) == 1
+        restored = load_repository(path)
+        assert isinstance(restored, DARR)
+        assert not isinstance(restored, ShardedDarr)
+        assert restored.completed_keys() == ["k1"]
+
+    def test_legacy_v2_dump_loads(self, tmp_path):
+        from repro.distributed.objects import encode_payload
+
+        # a v2 dump has no "sharding" key at all
+        document = {
+            "schema": 2,
+            "claim_duration": 300.0,
+            "records": [make_record("k1")],
+            "claims": {"k2": ("c9", 250.0)},
+            "stats": {"publishes": 1},
+        }
+        path = tmp_path / "v2.bin"
+        path.write_bytes(encode_payload(document))
+        restored = load_repository(path)
+        assert restored.completed_keys() == ["k1"]
+        assert restored.stats["publishes"] == 1
+
+    def test_legacy_v1_dump_loads(self, tmp_path):
+        import pickle
+
+        path = tmp_path / "v1.bin"
+        path.write_bytes(
+            pickle.dumps([make_record("k1"), make_record("k2")], protocol=4)
+        )
+        restored = load_repository(path)
+        assert restored.completed_keys() == ["k1", "k2"]

@@ -1,0 +1,215 @@
+"""Seed-matrixed chaos acceptance for the sharded DARR (ISSUE 8).
+
+Three scenarios run the same two-client cooperative session over a
+4-shard, replication-factor-2 fabric:
+
+* ``no-fault`` — the control run.
+* ``shard-crash`` — a seed-chosen shard fail-stops mid-session (a
+  ``crash`` fault at ``sharded.route``, i.e. mid-publish / mid-claim /
+  mid-fetch); crash-driven rebalancing re-replicates its ranges from
+  the survivors.
+* ``mid-rebalance-crash`` — a shard joins between the two clients and
+  the joining shard fail-stops mid-migration (a ``crash`` fault at
+  ``sharded.rebalance``); the rebalance restarts over the shrunken
+  membership.
+
+Acceptance (ISSUE 8): **zero published-artifact loss** while at least
+one replica of each range survives — every scenario here crashes at
+most one replica of any range, so *nothing* may be lost — and
+**byte-identical winner selection** across all scenarios and across
+repeated runs with the same ``FAULT_SEED``.  CI runs this module over
+a seed matrix.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.core import GraphEvaluator, TransformerEstimatorGraph
+from repro.darr import AnalyticsResult, CooperativeEvaluator, ShardedDarr
+from repro.faults import FaultPlan
+from repro.ml.linear import LinearRegression, RidgeRegression
+from repro.ml.model_selection import KFold
+from repro.ml.preprocessing import MinMaxScaler, NoOp, StandardScaler
+
+FAULT_SEED = int(os.environ.get("FAULT_SEED", "0"))
+SCENARIOS = ("no-fault", "shard-crash", "mid-rebalance-crash")
+N_BALLAST = 40
+
+
+def build_graph():
+    """3 scalers x 2 estimators = 6 pipeline paths."""
+    g = TransformerEstimatorGraph()
+    g.add_feature_scalers([StandardScaler(), MinMaxScaler(), NoOp()])
+    g.add_regression_models(
+        [LinearRegression(), RidgeRegression(alpha=1.0)]
+    )
+    return g
+
+
+def build_coop(fabric, client):
+    return CooperativeEvaluator(
+        GraphEvaluator(build_graph(), cv=KFold(3, random_state=0)),
+        fabric,
+        client,
+    )
+
+
+def ballast_record(i):
+    """Deterministic filler records so rebalances move real volume."""
+    return AnalyticsResult(
+        key=f"ballast-{i:03d}",
+        dataset="ballast",
+        path=f"Input -> ballast-{i:03d}",
+        params={},
+        metric="rmse",
+        score=float(i),
+        std=0.0,
+        fold_scores=[float(i)],
+        greater_is_better=False,
+        client="loader",
+        explanation="ballast",
+    )
+
+
+def placement(fabric):
+    """Canonical {key: sorted live holders} map for byte-comparisons."""
+    return {
+        key: sorted(
+            name
+            for name in fabric.live_shards()
+            if fabric.shards[name].holds(key)
+        )
+        for key in fabric.completed_keys()
+    }
+
+
+def run_scenario(scenario, X, y):
+    """One full chaos run; returns its canonical outcome payload."""
+    fabric = ShardedDarr(n_shards=4, replication_factor=2)
+    plan = FaultPlan(seed=FAULT_SEED)
+    victim = plan.choice(list(fabric.shards))
+    migration_hit = 1 + plan.choice(range(3))
+    if scenario == "shard-crash":
+        plan.add("sharded.route", "crash", match=victim, after=3, times=1)
+    injector = plan.injector()
+    fabric.fault_injector = injector
+
+    for i in range(N_BALLAST):
+        fabric.publish(ballast_record(i), "loader")
+
+    alice = build_coop(fabric, "alice")
+    report_alice = alice.evaluate(X, y)
+    published = fabric.completed_keys()
+
+    joined = None
+    if scenario == "mid-rebalance-crash":
+        plan.add("sharded.rebalance", "crash", after=migration_hit, times=1)
+        joined = fabric.add_shard()
+
+    bob = build_coop(fabric, "bob")
+    report_bob = bob.evaluate(X, y)
+
+    return {
+        "scenario": scenario,
+        "victim": victim,
+        "joined": joined,
+        "fired": injector.summary(),
+        "published_after_alice": published,
+        "final_keys": fabric.completed_keys(),
+        "placement": placement(fabric),
+        "live_shards": fabric.live_shards(),
+        "best_path_alice": report_alice.best_path,
+        "best_path_bob": report_bob.best_path,
+        "best_score_bob": repr(report_bob.best_score),
+        "bob_computed": bob.stats.computed,
+        "bob_reused": bob.stats.reused,
+        "fabric_stats": dict(fabric.stats),
+        "fully_replicated": all(
+            holders == sorted(fabric._live_owner_names(key))
+            for key, holders in placement(fabric).items()
+        ),
+    }
+
+
+@pytest.fixture(scope="module")
+def data():
+    from repro.datasets import make_regression
+
+    return make_regression(
+        n_samples=120, n_features=6, n_informative=4, noise=0.1,
+        random_state=0,
+    )
+
+
+@pytest.fixture(scope="module")
+def outcomes(data):
+    X, y = data
+    return {s: run_scenario(s, X, y) for s in SCENARIOS}
+
+
+class TestZeroArtifactLoss:
+    def test_no_published_artifact_lost_in_any_scenario(self, outcomes):
+        for scenario, outcome in outcomes.items():
+            missing = set(outcome["published_after_alice"]) - set(
+                outcome["final_keys"]
+            )
+            assert not missing, (scenario, sorted(missing))
+
+    def test_every_surviving_range_fully_replicated(self, outcomes):
+        for scenario, outcome in outcomes.items():
+            assert outcome["fully_replicated"], scenario
+            for key, holders in outcome["placement"].items():
+                assert len(holders) == 2, (scenario, key, holders)
+
+    def test_second_client_reuses_everything(self, outcomes):
+        # bob recomputes nothing: every artifact alice published is
+        # still served, whatever crashed in between
+        for scenario, outcome in outcomes.items():
+            assert outcome["bob_computed"] == 0, scenario
+            assert outcome["bob_reused"] == 6, scenario
+
+
+class TestFaultsActuallyFired:
+    def test_shard_crash_scenario_killed_the_victim(self, outcomes):
+        outcome = outcomes["shard-crash"]
+        assert outcome["fired"].get("sharded.route:crash") == 1
+        assert outcome["victim"] not in outcome["live_shards"]
+        assert outcome["fabric_stats"]["shard_crashes"] == 1
+        assert outcome["fabric_stats"]["rebalance_records_moved"] > 0
+
+    def test_mid_rebalance_crash_killed_the_joiner(self, outcomes):
+        outcome = outcomes["mid-rebalance-crash"]
+        assert outcome["fired"].get("sharded.rebalance:crash") == 1
+        assert outcome["joined"] not in outcome["live_shards"]
+        assert outcome["fabric_stats"]["shard_crashes"] == 1
+
+    def test_no_fault_control_run_is_clean(self, outcomes):
+        outcome = outcomes["no-fault"]
+        assert outcome["fired"] == {}
+        assert outcome["fabric_stats"]["shard_crashes"] == 0
+        assert len(outcome["live_shards"]) == 4
+
+
+class TestWinnerSelection:
+    def test_same_winner_across_all_scenarios(self, outcomes):
+        control = outcomes["no-fault"]
+        for scenario, outcome in outcomes.items():
+            assert (
+                outcome["best_path_bob"] == control["best_path_bob"]
+            ), scenario
+            assert (
+                outcome["best_path_alice"] == control["best_path_alice"]
+            ), scenario
+            assert (
+                outcome["best_score_bob"] == control["best_score_bob"]
+            ), scenario
+
+    def test_byte_identical_across_repeated_runs(self, outcomes, data):
+        X, y = data
+        for scenario, first in outcomes.items():
+            second = run_scenario(scenario, X, y)
+            assert json.dumps(first, sort_keys=True) == json.dumps(
+                second, sort_keys=True
+            ), scenario

@@ -1,0 +1,176 @@
+"""DARR-outage backpressure through serving admission (ISSUE 8).
+
+When the cooperative repository raises ``ServiceUnavailable``, the job
+that hit the outage still degrades gracefully to a local sweep — but
+*new* submissions are rejected with an ``AdmissionRejected`` carrying
+reason ``darr_unavailable`` and a ``retry_after`` hint, instead of
+every tenant silently losing cooperation.  The window re-opens on its
+own once ``darr_retry_after`` elapses.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.core import ExecutionEngine, TransformerEstimatorGraph
+from repro.darr import DARR, ShardedDarr
+from repro.datasets import make_regression
+from repro.faults import FaultPlan
+from repro.ml.linear import LinearRegression
+from repro.ml.model_selection import KFold
+from repro.ml.preprocessing import NoOp, StandardScaler
+from repro.serve import (
+    AdmissionRejected,
+    AnalyticsService,
+    JobRequest,
+    JobState,
+)
+
+
+class FakeClock:
+    """Deterministic monotonic clock for admission-window tests."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+@pytest.fixture(scope="module")
+def data():
+    return make_regression(
+        n_samples=30, n_features=4, n_informative=3, random_state=0
+    )
+
+
+def make_request(data):
+    X, y = data
+    g = TransformerEstimatorGraph("serve-bp")
+    g.add_feature_scalers([NoOp(), StandardScaler()])
+    g.add_regression_models([LinearRegression()])
+    return JobRequest(
+        graph=g, X=data[0], y=data[1], cv=KFold(2, random_state=0),
+        metric="rmse",
+    )
+
+
+def make_engine():
+    return ExecutionEngine(
+        executor="serial", store="memory", failure_policy="skip"
+    )
+
+
+def dead_fabric():
+    """A sharded DARR whose every shard has crashed (total outage)."""
+    fabric = ShardedDarr(n_shards=2, replication_factor=2)
+    for name in list(fabric.shards):
+        fabric.crash_shard(name, repair=False)
+    return fabric
+
+
+class TestDarrBackpressure:
+    def test_outage_job_degrades_but_next_submit_gets_retry_after(
+        self, data
+    ):
+        async def scenario():
+            service = AnalyticsService(
+                engine=make_engine(),
+                darr=dead_fabric(),
+                concurrency=1,
+                darr_retry_after=30.0,
+            )
+            await service.start()
+            first = await service.submit(make_request(data), "alice")
+            final = await service.result(first.job_id, timeout=60)
+            with pytest.raises(AdmissionRejected) as excinfo:
+                await service.submit(make_request(data), "bob")
+            await service.stop()
+            return service, final, excinfo.value
+
+        service, final, rejection = asyncio.run(scenario())
+        # the job that hit the outage still completed as a local sweep
+        assert final.state == JobState.PUBLISHED
+        assert final.n_results == 2
+        # ...but the next tenant got honest backpressure
+        assert rejection.reason == "darr_unavailable"
+        assert 0.0 < rejection.retry_after <= 30.0
+        counts = service.stats()["counts"]
+        assert counts["darr_unavailable"] >= 1
+        assert counts["rejected"] == 1
+        assert counts["completed"] == 1
+
+    def test_window_expires_and_admission_reopens(self, data):
+        clock = FakeClock()
+
+        async def scenario():
+            service = AnalyticsService(
+                engine=make_engine(),
+                darr=dead_fabric(),
+                concurrency=1,
+                darr_retry_after=30.0,
+                clock=clock,
+            )
+            await service.start()
+            first = await service.submit(make_request(data), "alice")
+            await service.result(first.job_id, timeout=60)
+            with pytest.raises(AdmissionRejected):
+                await service.submit(make_request(data), "bob")
+            clock.advance(31.0)
+            reopened = await service.submit(make_request(data), "bob")
+            final = await service.result(reopened.job_id, timeout=60)
+            await service.stop()
+            return final
+
+        final = asyncio.run(scenario())
+        assert final.state == JobState.PUBLISHED
+
+    def test_healthy_darr_never_opens_the_window(self, data):
+        async def scenario():
+            service = AnalyticsService(
+                engine=make_engine(),
+                darr=DARR("darr"),
+                concurrency=1,
+            )
+            await service.start()
+            for tenant in ("alice", "bob"):
+                status = await service.submit(make_request(data), tenant)
+                final = await service.result(status.job_id, timeout=60)
+                assert final.state == JobState.PUBLISHED
+            await service.stop()
+            return service
+
+        service = asyncio.run(scenario())
+        counts = service.stats()["counts"]
+        assert counts["darr_unavailable"] == 0
+        assert counts["rejected"] == 0
+
+    def test_injected_unavailable_fault_triggers_backpressure(self, data):
+        """The deterministic chaos path: an ``unavailable`` fault at
+        ``darr.claim`` opens the window just like a dead fabric."""
+
+        async def scenario():
+            darr = DARR("darr")
+            plan = FaultPlan(seed=0)
+            plan.add("darr.claim", "unavailable", times=None)
+            darr.fault_injector = plan.injector()
+            service = AnalyticsService(
+                engine=make_engine(),
+                darr=darr,
+                concurrency=1,
+                darr_retry_after=10.0,
+            )
+            await service.start()
+            first = await service.submit(make_request(data), "alice")
+            final = await service.result(first.job_id, timeout=60)
+            with pytest.raises(AdmissionRejected) as excinfo:
+                await service.submit(make_request(data), "bob")
+            await service.stop()
+            return final, excinfo.value
+
+        final, rejection = asyncio.run(scenario())
+        assert final.state == JobState.PUBLISHED
+        assert rejection.reason == "darr_unavailable"
