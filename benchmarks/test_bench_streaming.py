@@ -1,0 +1,251 @@
+"""E-streaming — Incremental recompute vs cold sweep on a growing stream.
+
+The paper's change-triggered recomputation (Section III) is only cheap
+if a small data delta does not force the whole sweep to rerun.  This
+bench pairs the two recompute strategies on identical data and the SAME
+serial executor (so the gate is core-count independent): a cold sweep
+re-evaluates every (spec, fold) after a <=1% append, while the
+streaming evaluator reuses every fold score whose artifact the append
+did not invalidate.  The acceptance bar: incremental recompute at least
+10x faster than the paired cold sweep.  The summary also records the
+delta-chain compaction trade-off (retained chain bytes vs catch-up
+wire bytes) in ``BENCH_streaming.json``.
+
+Environment knobs (for CI smoke runs):
+
+- ``REPRO_BENCH_STREAM_ROWS`` — seed rows (default 2000)
+- ``REPRO_BENCH_STREAM_ROUNDS`` — timing rounds per side (default 3)
+"""
+
+import os
+import statistics
+import time
+
+import numpy as np
+from conftest import bench_extras, print_table, record_engine
+
+from repro.core import ExecutionEngine
+from repro.core.graph import TransformerEstimatorGraph
+from repro.distributed.datastore import HomeDataStore
+from repro.ml.linear import LinearRegression, RidgeRegression
+from repro.ml.model_selection import AnchoredSlidingSplit
+from repro.ml.preprocessing import MinMaxScaler, NoOp, StandardScaler
+from repro.streaming import StreamingEvaluator
+
+ROWS = int(os.environ.get("REPRO_BENCH_STREAM_ROWS", "2000"))
+ROUNDS = int(os.environ.get("REPRO_BENCH_STREAM_ROUNDS", "3"))
+
+
+def make_stream(n, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, 8))
+    w = rng.normal(size=8)
+    y = X @ w + 0.1 * rng.normal(size=n)
+    return X, y
+
+
+def make_graph():
+    graph = TransformerEstimatorGraph()
+    graph.add_feature_scalers([StandardScaler(), MinMaxScaler(), NoOp()])
+    graph.add_regression_models(
+        [RidgeRegression(alpha=0.1), LinearRegression()]
+    )
+    return graph
+
+
+def make_cv():
+    return AnchoredSlidingSplit(
+        val_size=max(ROWS // 20, 10),
+        initial_train_size=ROWS // 2,
+    )
+
+
+def make_evaluator(incremental, bench_telemetry):
+    return StreamingEvaluator(
+        make_graph(),
+        make_cv(),
+        metric="rmse",
+        engine=ExecutionEngine(executor="serial"),
+        telemetry=bench_telemetry,
+        incremental=incremental,
+    )
+
+
+def test_incremental_vs_cold_sweep(benchmark, bench_telemetry):
+    X, y = make_stream(ROWS)
+    delta_rows = max(1, ROWS // 100)  # the <=1% append
+    X_new, y_new = make_stream(delta_rows, seed=1)
+
+    incremental = make_evaluator(True, bench_telemetry)
+    incremental.seed(X, y)
+    incremental.evaluate()  # populate fold-score artifacts
+
+    cold = make_evaluator(False, bench_telemetry)
+    cold.seed(X, y)
+    cold.evaluate()
+
+    incremental.append(X_new, y_new)
+    cold.append(X_new, y_new)
+
+    cold_times, cold_report = [], None
+    for _ in range(ROUNDS):
+        started = time.perf_counter()
+        cold_report = cold.evaluate()
+        cold_times.append(time.perf_counter() - started)
+
+    inc_times, inc_report = [], None
+    for _ in range(ROUNDS - 1):
+        started = time.perf_counter()
+        inc_report = incremental.evaluate()
+        inc_times.append(time.perf_counter() - started)
+    started = time.perf_counter()
+    inc_report = benchmark.pedantic(
+        incremental.evaluate, rounds=1, iterations=1
+    )
+    inc_times.append(time.perf_counter() - started)
+
+    cold_seconds = statistics.median(cold_times)
+    inc_seconds = statistics.median(inc_times)
+    speedup = cold_seconds / inc_seconds if inc_seconds else float("inf")
+
+    inc_streaming = inc_report.stats["streaming"]
+    cold_streaming = cold_report.stats["streaming"]
+    # the <=1% append invalidated nothing: every fold is served from
+    # its artifact, no job reaches the engine
+    assert inc_streaming["folds_reused"] == inc_streaming["folds_total"]
+    assert inc_streaming["folds_cold"] == 0
+    assert cold_streaming["folds_cold"] == cold_streaming["folds_total"]
+    # scores agree: reused artifacts hold exactly the cold fold scores
+    cold_by_key = {r.key: r for r in cold_report.results}
+    for result in inc_report.results:
+        assert (
+            result.cv_result.fold_scores
+            == cold_by_key[result.key].cv_result.fold_scores
+        )
+    # the acceptance bar (both sides timed on the same serial executor,
+    # so the gate does not depend on the machine's core count)
+    assert speedup >= 10.0
+
+    record_engine("streaming", "serial", incremental.engine)
+    print_table(
+        "Incremental vs cold recompute after a <=1% append",
+        ["strategy", "seconds", "folds computed", "folds reused"],
+        [
+            [
+                "cold sweep",
+                f"{cold_seconds:.4f}",
+                cold_streaming["folds_cold"],
+                0,
+            ],
+            [
+                "incremental",
+                f"{inc_seconds:.4f}",
+                0,
+                inc_streaming["folds_reused"],
+            ],
+        ],
+    )
+    bench_extras(
+        "streaming",
+        cpu_count=os.cpu_count(),
+        streaming={
+            "rows": ROWS,
+            "append_rows": delta_rows,
+            "append_fraction": round(delta_rows / ROWS, 4),
+            "specs": inc_streaming["specs"],
+            "folds_total": inc_streaming["folds_total"],
+            "folds_reused": inc_streaming["folds_reused"],
+            "folds_warm_started": inc_streaming["folds_warm_started"],
+            "folds_cold": inc_streaming["folds_cold"],
+            "cold_seconds": round(cold_seconds, 6),
+            "incremental_seconds": round(inc_seconds, 6),
+            "speedup": round(speedup, 2),
+            "gate": "incremental >= 10x cold on <=1% new rows "
+            "(paired, same serial executor)",
+        },
+    )
+
+
+def test_warm_start_advances_new_folds(bench_telemetry):
+    X, y = make_stream(ROWS)
+    evaluator = make_evaluator(True, bench_telemetry)
+    evaluator.seed(X, y)
+    evaluator.evaluate()
+    # enough rows for one new anchored fold
+    stride = make_cv().val_size
+    X_new, y_new = make_stream(stride, seed=2)
+    evaluator.append(X_new, y_new)
+
+    started = time.perf_counter()
+    report = evaluator.evaluate()
+    seconds = time.perf_counter() - started
+
+    streaming = report.stats["streaming"]
+    assert streaming["folds_warm_started"] > 0
+    assert streaming["folds_cold"] == 0
+    bench_extras(
+        "streaming",
+        warm_advance={
+            "new_rows": stride,
+            "folds_warm_started": streaming["folds_warm_started"],
+            "folds_reused": streaming["folds_reused"],
+            "seconds": round(seconds, 6),
+        },
+    )
+
+
+def test_compaction_storage_recovery_tradeoff(bench_telemetry):
+    """Delta-chain compaction: retained bytes vs catch-up wire bytes."""
+    appends = 8
+    payload = np.zeros((ROWS, 8))
+
+    def run(compact_after):
+        store = HomeDataStore(
+            history_depth=appends,
+            compact_after_versions=compact_after,
+        )
+        data = payload
+        store.put("stream", data)
+        for i in range(appends):
+            data = np.vstack([data, np.full((ROWS // 100, 8), float(i))])
+            store.put("stream", data)
+        chain = store.chain_bytes("stream")
+        # a reader several versions behind catches up: still within the
+        # kept chain, but past what the compacted store retained
+        response = store.get("stream", client_version=2)
+        return {
+            "chain_bytes": chain,
+            "catchup_wire_bytes": response.wire_size,
+            "catchup_kind": type(response).__name__,
+            "compactions": store.stats["compactions"],
+        }
+
+    kept = run(compact_after=None)
+    compacted = run(compact_after=2)
+    # compaction trades retained chain bytes for full-copy catch-up
+    assert compacted["chain_bytes"] < kept["chain_bytes"]
+    assert compacted["catchup_wire_bytes"] >= kept["catchup_wire_bytes"]
+    assert compacted["catchup_kind"] == "FullResponse"
+    assert kept["catchup_kind"] == "DeltaResponse"
+    print_table(
+        "Delta-chain compaction trade-off",
+        ["policy", "chain bytes", "catch-up wire bytes", "served as"],
+        [
+            [
+                "keep chain",
+                kept["chain_bytes"],
+                kept["catchup_wire_bytes"],
+                kept["catchup_kind"],
+            ],
+            [
+                "compact after 2",
+                compacted["chain_bytes"],
+                compacted["catchup_wire_bytes"],
+                compacted["catchup_kind"],
+            ],
+        ],
+    )
+    bench_extras(
+        "streaming",
+        compaction={"kept_chain": kept, "compacted": compacted},
+    )

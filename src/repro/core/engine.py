@@ -1520,10 +1520,14 @@ class ExecutionEngine:
         timing = tel.enabled
         started = time.perf_counter()
         scores: List[float] = []
+        # A job may carry its own splitter (set as a ``cv_override``
+        # attribute, e.g. by repro.streaming to pin a specific fold
+        # subset); it replaces the context splitter for this job only.
+        splitter = getattr(job, "cv_override", None) or ctx.splitter
         with tel.span(
             "engine.job", job_id=job.key, path=job.path, prefix=prefix_key
         ) as job_span:
-            for train_idx, test_idx in ctx.splitter.split(len(ctx.X)):
+            for train_idx, test_idx in splitter.split(len(ctx.X)):
                 fold_started = time.perf_counter() if timing else 0.0
                 y_train = ctx.y[train_idx]
                 transformed = None

@@ -165,6 +165,68 @@ class Pipeline:
         self.fitted_steps_ = fitted
         return self
 
+    #: Whole-chain incremental updates are tolerance-class even when
+    #: every step is exact (later stages see data transformed by
+    #: partially-updated upstream statistics) — see :meth:`partial_fit`.
+    partial_fit_parity = "tolerance"
+
+    def supports_partial_fit(self) -> bool:
+        """Whether every step can be incrementally updated.
+
+        Returns
+        -------
+        ``True`` when each component passes
+        :func:`repro.ml.base.supports_partial_fit` (declared parity class,
+        trustworthy inheritance, instance readiness), so the whole chain
+        can advance via :meth:`partial_fit`.
+        """
+        from repro.ml.base import supports_partial_fit
+
+        return all(
+            supports_partial_fit(component) for _, component in self.steps
+        )
+
+    def partial_fit(self, X: Any, y: Any = None) -> "Pipeline":
+        """Incrementally absorb a batch stage by stage.
+
+        Each fitted transformer first ``partial_fit``s on the raw batch,
+        then transforms it for the next stage; the final estimator
+        ``partial_fit``s on the fully transformed batch.  On the first
+        call the fitted chain is seeded from cloned (unfitted) templates.
+        Whole-chain parity with a cold :meth:`fit` on the concatenated
+        batches is *tolerance-class* even when every step declares exact
+        parity, because later stages see data transformed by
+        partially-updated upstream statistics.
+
+        Parameters
+        ----------
+        X, y:
+            The new batch of observations.
+
+        Returns
+        -------
+        ``self``, with ``fitted_steps_`` advanced in place.
+        """
+        if not self.supports_partial_fit():
+            blockers = [
+                name
+                for name, component in self.steps
+                if not _step_supports_partial_fit(component)
+            ]
+            raise TypeError(
+                f"pipeline steps {blockers} do not support partial_fit"
+            )
+        if self.fitted_steps_ is None:
+            self.fitted_steps_ = [
+                (name, clone(component)) for name, component in self.steps
+            ]
+        data = X
+        for _, node in self.fitted_steps_[:-1]:
+            node.partial_fit(data, y)
+            data = node.transform(data)
+        self.fitted_steps_[-1][1].partial_fit(data, y)
+        return self
+
     def _transform_through(self, X: Any) -> Any:
         if self.fitted_steps_ is None:
             raise NotFittedError("pipeline is not fitted yet; call fit()")
@@ -198,6 +260,12 @@ class Pipeline:
         """Delegate to the final estimator's default score."""
         data = self._transform_through(X)
         return self.fitted_steps_[-1][1].score(data, y)
+
+
+def _step_supports_partial_fit(component: Any) -> bool:
+    from repro.ml.base import supports_partial_fit
+
+    return supports_partial_fit(component)
 
 
 def _auto_name(component: Any, taken: set) -> str:

@@ -215,6 +215,25 @@ class ChangeMonitor:
             return True
         return False
 
+    def notify_recomputed(self) -> None:
+        """Record that analytics were recomputed *outside* the monitor's
+        own ``recompute`` callback — e.g. an incremental recompute driven
+        by :class:`repro.streaming.StreamingEvaluator`, or a scheduled
+        cold sweep.
+
+        Without this, only monitor-triggered recomputes would call
+        ``policy.reset()``: the policy would keep accumulating change
+        that the external recompute already absorbed and fire spuriously
+        on the next update.  Bookkeeping matches a fired
+        :meth:`record_update` — the recompute counts, the staleness log
+        records the updates the recompute absorbed, and the policy
+        resets.
+        """
+        self.recomputations += 1
+        self.staleness_log.append(self.updates_since_recompute)
+        self.updates_since_recompute = 0
+        self.policy.reset()
+
     @property
     def mean_staleness(self) -> float:
         """Mean number of updates absorbed per recomputation."""

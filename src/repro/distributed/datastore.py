@@ -83,6 +83,17 @@ class HomeDataStore:
         A delta is served only when
         ``delta.size <= delta_threshold * full_size`` ("considerably
         smaller"); above that the full object goes out.
+    compact_after_versions:
+        Auto-compact an object's version chain once it retains more than
+        this many *previous* versions (``None`` disables; the
+        ``history_depth`` cap still applies).  Compaction collapses the
+        chain to a fresh base snapshot — just the current version, no
+        deltas — trading delta-serving ability for storage: lagging
+        readers fall back to :class:`FullResponse` catch-up, so
+        ``recover_site`` keeps working, only costing full-copy bytes.
+    compact_bytes_budget:
+        Auto-compact when the chain's retained bytes (previous versions
+        plus cached deltas) exceed this budget (``None`` disables).
     """
 
     def __init__(
@@ -91,14 +102,22 @@ class HomeDataStore:
         history_depth: int = 4,
         delta_threshold: float = 0.5,
         clock: Optional[Any] = None,
+        compact_after_versions: Optional[int] = None,
+        compact_bytes_budget: Optional[int] = None,
     ):
         if history_depth < 1:
             raise ValueError("history_depth must be >= 1")
         if not 0.0 < delta_threshold <= 1.0:
             raise ValueError("delta_threshold must be in (0, 1]")
+        if compact_after_versions is not None and compact_after_versions < 1:
+            raise ValueError("compact_after_versions must be >= 1")
+        if compact_bytes_budget is not None and compact_bytes_budget < 1:
+            raise ValueError("compact_bytes_budget must be >= 1")
         self.name = name
         self.history_depth = history_depth
         self.delta_threshold = delta_threshold
+        self.compact_after_versions = compact_after_versions
+        self.compact_bytes_budget = compact_bytes_budget
         self.clock = clock
         #: Hook point for :class:`repro.faults.FaultInjector` (sites
         #: ``datastore.get`` / ``datastore.put``); ``None`` in
@@ -117,6 +136,8 @@ class HomeDataStore:
             "bytes_full": 0,
             "bytes_delta": 0,
             "bytes_saved": 0,
+            "compactions": 0,
+            "versions_compacted": 0,
         }
 
     # -- write path ------------------------------------------------------
@@ -140,6 +161,7 @@ class HomeDataStore:
         if len(history) > self.history_depth + 1:
             del history[: len(history) - (self.history_depth + 1)]
         self._refresh_deltas(name)
+        self._maybe_compact(name)
         self.stats["puts"] += 1
         for listener in self._listeners:
             listener(self, previous, obj)
@@ -154,6 +176,82 @@ class HomeDataStore:
                 name, base.version, current.version, base.data, current.data
             )
         self._deltas[name] = deltas
+
+    # -- compaction -------------------------------------------------------
+    def chain_bytes(self, name: str) -> int:
+        """Retained bytes of ``name``'s version chain: previous versions
+        plus their cached deltas (the current version itself is excluded
+        — it must be kept regardless).
+
+        Parameters
+        ----------
+        name:
+            Object whose chain to measure.
+
+        Returns
+        -------
+        Total retained chain bytes.
+        """
+        history = self._history.get(name, [])
+        retained = sum(obj.size for obj in history[:-1])
+        retained += sum(d.size for d in self._deltas.get(name, {}).values())
+        return retained
+
+    def _chain_over_budget(self, name: str) -> bool:
+        history = self._history.get(name, [])
+        if len(history) <= 1:
+            return False
+        if (
+            self.compact_after_versions is not None
+            and len(history) - 1 > self.compact_after_versions
+        ):
+            return True
+        if (
+            self.compact_bytes_budget is not None
+            and self.chain_bytes(name) > self.compact_bytes_budget
+        ):
+            return True
+        return False
+
+    def _maybe_compact(self, name: str) -> None:
+        if self._chain_over_budget(name):
+            self.compact(name)
+
+    def compact(self, name: Optional[str] = None) -> int:
+        """Collapse version chains into a fresh base snapshot.
+
+        Drops every retained previous version and cached delta of
+        ``name`` (or of *all* objects when ``name`` is ``None``), keeping
+        only the current :class:`~repro.distributed.objects
+        .VersionedObject`.  Version numbers stay monotonic — the current
+        version is untouched — so replica catch-up
+        (``ReplicatedDataStore.recover_site``) still works; lagging
+        readers simply receive a :class:`FullResponse` instead of a
+        delta.
+
+        Parameters
+        ----------
+        name:
+            Object to compact, or ``None`` for every stored object.
+
+        Returns
+        -------
+        The number of previous versions dropped.
+        """
+        names = [name] if name is not None else list(self._history)
+        dropped = 0
+        for key in names:
+            history = self._history.get(key)
+            if not history:
+                raise KeyError(f"unknown object {key!r}")
+            if len(history) > 1:
+                dropped += len(history) - 1
+                self._history[key] = [history[-1]]
+                self._deltas[key] = {}
+        if dropped:
+            self.stats["compactions"] += 1
+            self.stats["versions_compacted"] += dropped
+        return dropped
 
     # -- read path --------------------------------------------------------
     def current(self, name: str) -> VersionedObject:

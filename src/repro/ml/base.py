@@ -32,6 +32,11 @@ __all__ = [
     "ClusterMixin",
     "FusedStepKernel",
     "kernel_is_trustworthy",
+    "PARITY_EXACT",
+    "PARITY_TOLERANCE",
+    "partial_fit_parity",
+    "partial_fit_is_trustworthy",
+    "supports_partial_fit",
     "NotFittedError",
     "clone",
     "check_is_fitted",
@@ -235,6 +240,108 @@ def kernel_is_trustworthy(component: Any) -> bool:
         method_index = definer_index(name)
         if method_index is not None and method_index < kernel_index:
             return False
+    return True
+
+
+#: Parity classes a ``partial_fit``-capable component must declare via its
+#: ``partial_fit_parity`` class attribute.  ``PARITY_EXACT`` promises that a
+#: sequence of ``partial_fit`` calls covering rows ``[0, n)`` yields *byte
+#: identical* fitted state to one cold ``fit`` on those rows.  For
+#: ``PARITY_TOLERANCE`` the states agree only up to floating-point
+#: accumulation order (e.g. streaming mean/variance merges, warm-started
+#: gradient descent) and downstream consumers must compare scores with a
+#: documented tolerance instead of asserting equality.
+PARITY_EXACT = "exact"
+PARITY_TOLERANCE = "tolerance"
+
+
+def partial_fit_parity(component: Any) -> "str | None":
+    """The declared incremental-vs-cold parity class of ``component``.
+
+    Parameters
+    ----------
+    component:
+        Any transformer or estimator (instance or class).
+
+    Returns
+    -------
+    ``"exact"``, ``"tolerance"``, or ``None`` when the component does not
+    implement ``partial_fit`` at all.  A component that implements
+    ``partial_fit`` without declaring a valid parity class raises
+    ``TypeError`` — the declaration is mandatory so that reuse layers
+    (:mod:`repro.streaming`) know whether warm-started results may be
+    byte-compared against cold recomputes.
+    """
+    if not callable(getattr(component, "partial_fit", None)):
+        return None
+    parity = getattr(component, "partial_fit_parity", None)
+    if parity not in (PARITY_EXACT, PARITY_TOLERANCE):
+        cls = component if inspect.isclass(component) else type(component)
+        raise TypeError(
+            f"{cls.__name__} implements partial_fit but declares "
+            f"partial_fit_parity={parity!r}; expected "
+            f"{PARITY_EXACT!r} or {PARITY_TOLERANCE!r}"
+        )
+    return parity
+
+
+def partial_fit_is_trustworthy(component: Any) -> bool:
+    """Whether ``component``'s inherited ``partial_fit`` may stand in for
+    its ``fit``.
+
+    Mirrors :func:`kernel_is_trustworthy`: a subclass that overrides
+    ``fit``, ``transform`` or ``fit_transform`` *below* the class providing
+    ``partial_fit`` (e.g. a user subclass of ``StandardScaler`` with a
+    custom ``fit``) would silently diverge from its override if the
+    inherited incremental path ran instead — so any such override
+    disqualifies ``partial_fit`` and the component must be refitted cold.
+    """
+    mro = type(component).__mro__
+
+    def definer_index(name: str) -> "int | None":
+        for index, klass in enumerate(mro):
+            if name in vars(klass):
+                return index
+        return None
+
+    pf_index = definer_index("partial_fit")
+    if pf_index is None:
+        return False
+    for name in ("fit", "transform", "fit_transform"):
+        method_index = definer_index(name)
+        if method_index is not None and method_index < pf_index:
+            return False
+    return True
+
+
+def supports_partial_fit(component: Any) -> bool:
+    """Whether ``component`` can be incrementally updated right now.
+
+    Parameters
+    ----------
+    component:
+        A transformer or estimator instance.
+
+    Returns
+    -------
+    ``True`` only when the component implements ``partial_fit``, declares
+    a valid parity class, passes the :func:`partial_fit_is_trustworthy`
+    subclass guard, and — if it exposes a ``_partial_fit_ready()``
+    instance hook — that hook returns ``True`` (components such as
+    ``WindowScaler`` use the hook to opt out when their *configured inner
+    component* cannot be updated incrementally).
+    """
+    if not callable(getattr(component, "partial_fit", None)):
+        return False
+    try:
+        partial_fit_parity(component)
+    except TypeError:
+        return False
+    if not partial_fit_is_trustworthy(component):
+        return False
+    ready = getattr(component, "_partial_fit_ready", None)
+    if callable(ready) and not ready():
+        return False
     return True
 
 

@@ -25,12 +25,25 @@ __all__ = ["LinearRegression", "RidgeRegression"]
 
 
 class LinearRegression(RegressorMixin, BaseComponent):
-    """Ordinary least squares regression."""
+    """Ordinary least squares regression.
+
+    Supports incremental updates through ``partial_fit``: the normal
+    equations are accumulated as sufficient statistics (design Gram matrix
+    and moment vector), so each call costs O(batch × d²) regardless of how
+    many rows were seen before.  The accumulated solve differs from the
+    cold ``fit`` lstsq path only by floating-point accumulation order,
+    hence ``partial_fit_parity = "tolerance"``.
+    """
+
+    partial_fit_parity = "tolerance"
 
     def __init__(self, fit_intercept: bool = True):
         self.fit_intercept = fit_intercept
         self.coef_: Optional[np.ndarray] = None
         self.intercept_: Optional[float] = None
+        self._gram: Optional[np.ndarray] = None
+        self._moment: Optional[np.ndarray] = None
+        self._n_seen = 0
 
     def fit(self, X: Any, y: Any) -> "LinearRegression":
         X = as_2d_array(X)
@@ -41,6 +54,40 @@ class LinearRegression(RegressorMixin, BaseComponent):
         else:
             design = X
         solution, *_ = np.linalg.lstsq(design, y, rcond=None)
+        if self.fit_intercept:
+            self.intercept_ = float(solution[0])
+            self.coef_ = solution[1:]
+        else:
+            self.intercept_ = 0.0
+            self.coef_ = solution
+        self._gram = None
+        self._moment = None
+        self._n_seen = len(X)
+        return self
+
+    def partial_fit(self, X: Any, y: Any) -> "LinearRegression":
+        """Incrementally absorb ``(X, y)`` into the normal equations."""
+        X = as_2d_array(X)
+        y = as_1d_array(y).astype(float)
+        check_consistent_length(X, y)
+        if self.fit_intercept:
+            design = np.hstack([np.ones((len(X), 1)), X])
+        else:
+            design = X
+        if self._gram is None:
+            d = design.shape[1]
+            self._gram = np.zeros((d, d))
+            self._moment = np.zeros(d)
+            self._n_seen = 0
+        elif self._gram.shape[0] != design.shape[1]:
+            raise ValueError(
+                f"X has {X.shape[1]} features, model was started with "
+                f"{self._gram.shape[0] - int(self.fit_intercept)}"
+            )
+        self._gram += design.T @ design
+        self._moment += design.T @ y
+        self._n_seen += len(X)
+        solution, *_ = np.linalg.lstsq(self._gram, self._moment, rcond=None)
         if self.fit_intercept:
             self.intercept_ = float(solution[0])
             self.coef_ = solution[1:]
@@ -65,7 +112,14 @@ class RidgeRegression(RegressorMixin, BaseComponent):
 
     The intercept is never penalized: data is centered before solving and
     the intercept recovered from the means.
+
+    ``partial_fit`` accumulates raw moments (``ΣX``, ``Σy``, ``XᵀX``,
+    ``Xᵀy``) and re-centers them at solve time, matching the cold path up
+    to floating-point accumulation order
+    (``partial_fit_parity = "tolerance"``).
     """
+
+    partial_fit_parity = "tolerance"
 
     def __init__(self, alpha: float = 1.0):
         if alpha < 0:
@@ -73,6 +127,11 @@ class RidgeRegression(RegressorMixin, BaseComponent):
         self.alpha = alpha
         self.coef_: Optional[np.ndarray] = None
         self.intercept_: Optional[float] = None
+        self._sxx: Optional[np.ndarray] = None
+        self._sxy: Optional[np.ndarray] = None
+        self._sx: Optional[np.ndarray] = None
+        self._sy = 0.0
+        self._n_seen = 0
 
     def fit(self, X: Any, y: Any) -> "RidgeRegression":
         X = as_2d_array(X)
@@ -85,6 +144,43 @@ class RidgeRegression(RegressorMixin, BaseComponent):
         n_features = X.shape[1]
         gram = Xc.T @ Xc + self.alpha * np.eye(n_features)
         self.coef_ = np.linalg.solve(gram, Xc.T @ yc)
+        self.intercept_ = float(y_mean - x_mean @ self.coef_)
+        self._sxx = None
+        self._sxy = None
+        self._sx = None
+        self._sy = 0.0
+        self._n_seen = len(X)
+        return self
+
+    def partial_fit(self, X: Any, y: Any) -> "RidgeRegression":
+        """Incrementally absorb ``(X, y)`` into the centered ridge solve."""
+        X = as_2d_array(X)
+        y = as_1d_array(y).astype(float)
+        check_consistent_length(X, y)
+        if self._sxx is None:
+            d = X.shape[1]
+            self._sxx = np.zeros((d, d))
+            self._sxy = np.zeros(d)
+            self._sx = np.zeros(d)
+            self._sy = 0.0
+            self._n_seen = 0
+        elif self._sxx.shape[0] != X.shape[1]:
+            raise ValueError(
+                f"X has {X.shape[1]} features, model was started with "
+                f"{self._sxx.shape[0]}"
+            )
+        self._sxx += X.T @ X
+        self._sxy += X.T @ y
+        self._sx += X.sum(axis=0)
+        self._sy += float(y.sum())
+        self._n_seen += len(X)
+        n = self._n_seen
+        x_mean = self._sx / n
+        y_mean = self._sy / n
+        centered_gram = self._sxx - n * np.outer(x_mean, x_mean)
+        centered_moment = self._sxy - n * x_mean * y_mean
+        gram = centered_gram + self.alpha * np.eye(X.shape[1])
+        self.coef_ = np.linalg.solve(gram, centered_moment)
         self.intercept_ = float(y_mean - x_mean @ self.coef_)
         return self
 

@@ -43,7 +43,15 @@ class LogisticRegression(ClassifierMixin, BaseComponent):
         below which training stops.
     class_weight:
         ``None`` or ``"balanced"`` (inverse class frequency weights).
+
+    ``partial_fit(X, y, classes=...)`` warm-starts the gradient-descent
+    loop from the current weights on the given batch — an online
+    approximation whose fitted state tracks (but does not bit-match) a
+    cold refit on the full history, hence
+    ``partial_fit_parity = "tolerance"``.
     """
+
+    partial_fit_parity = "tolerance"
 
     def __init__(
         self,
@@ -76,11 +84,14 @@ class LogisticRegression(ClassifierMixin, BaseComponent):
         return weights
 
     def _fit_binary(
-        self, X: np.ndarray, y01: np.ndarray
+        self,
+        X: np.ndarray,
+        y01: np.ndarray,
+        w: "np.ndarray | None" = None,
+        b: float = 0.0,
     ) -> tuple:
         n, d = X.shape
-        w = np.zeros(d)
-        b = 0.0
+        w = np.zeros(d) if w is None else w.astype(float).copy()
         sample_w = self._sample_weights(y01)
         for _ in range(self.max_iter):
             p = _sigmoid(X @ w + b)
@@ -112,6 +123,57 @@ class LogisticRegression(ClassifierMixin, BaseComponent):
                 w, b = self._fit_binary(X, y01)
                 coefs.append(w)
                 intercepts.append(b)
+        self.coef_ = np.vstack(coefs)
+        self.intercept_ = np.asarray(intercepts)
+        return self
+
+    def partial_fit(
+        self, X: Any, y: Any, classes: Any = None
+    ) -> "LogisticRegression":
+        """Warm-start gradient descent on a new batch of ``(X, y)``.
+
+        Parameters
+        ----------
+        X, y:
+            The new batch of observations.
+        classes:
+            The full label set; required on the first call (later batches
+            may not contain every class) and ignored afterwards.
+
+        Returns
+        -------
+        ``self``, with weights advanced from their current values.
+        """
+        X = as_2d_array(X)
+        y = as_1d_array(y)
+        check_consistent_length(X, y)
+        if self.classes_ is None:
+            if classes is None:
+                classes = np.unique(y)
+            self.classes_ = np.unique(np.asarray(classes))
+            if len(self.classes_) < 2:
+                raise ValueError("need at least two classes")
+        unknown = np.setdiff1d(np.unique(y), self.classes_)
+        if len(unknown):
+            raise ValueError(
+                f"y contains labels unseen at the first partial_fit call: "
+                f"{unknown.tolist()}"
+            )
+        n_binary = 1 if len(self.classes_) == 2 else len(self.classes_)
+        if self.coef_ is None:
+            self.coef_ = np.zeros((n_binary, X.shape[1]))
+            self.intercept_ = np.zeros(n_binary)
+        coefs, intercepts = [], []
+        targets = (
+            [self.classes_[1]] if n_binary == 1 else list(self.classes_)
+        )
+        for index, c in enumerate(targets):
+            y01 = (y == c).astype(float)
+            w, b = self._fit_binary(
+                X, y01, w=self.coef_[index], b=float(self.intercept_[index])
+            )
+            coefs.append(w)
+            intercepts.append(b)
         self.coef_ = np.vstack(coefs)
         self.intercept_ = np.asarray(intercepts)
         return self

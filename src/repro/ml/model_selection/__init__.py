@@ -7,6 +7,7 @@ from repro.ml.model_selection.cross_validate import (
 )
 from repro.ml.model_selection.nested import NestedCVResult, nested_cross_validate
 from repro.ml.model_selection.splits import (
+    AnchoredSlidingSplit,
     KFold,
     MonteCarloSplit,
     StratifiedKFold,
@@ -21,6 +22,7 @@ __all__ = [
     "MonteCarloSplit",
     "TrainTestSplit",
     "TimeSeriesSlidingSplit",
+    "AnchoredSlidingSplit",
     "resolve_splitter",
     "cross_validate",
     "CrossValidationResult",

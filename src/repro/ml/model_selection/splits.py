@@ -19,6 +19,7 @@ __all__ = [
     "MonteCarloSplit",
     "TrainTestSplit",
     "TimeSeriesSlidingSplit",
+    "AnchoredSlidingSplit",
     "resolve_splitter",
 ]
 
@@ -251,12 +252,165 @@ class TimeSeriesSlidingSplit:
             yield train_idx, val_idx
 
 
+class AnchoredSlidingSplit:
+    """Sliding/expanding windows anchored at absolute series positions.
+
+    :class:`TimeSeriesSlidingSplit` derives its fold starts from
+    ``n_samples``, so every fold *moves* when the series grows — appending
+    one row changes every train/validation window and defeats incremental
+    reuse.  This splitter anchors folds at fixed absolute positions
+    instead: the folds produced at series length ``n1`` are a strict
+    prefix of the folds produced at any length ``n2 > n1``, which is what
+    lets :class:`repro.streaming.StreamingEvaluator` keep earlier fold
+    scores and only compute the folds that newly fit.
+
+    Two modes:
+
+    * **expanding** (``train_size=None``): fold ``k`` trains on
+      ``[0, initial_train_size + k*stride)`` and validates on the
+      ``val_size`` rows after the buffer.  Each fold's train window
+      extends the previous one from the same origin — the shape that
+      ``partial_fit`` warm-starts exploit.
+    * **sliding** (``train_size`` given): fold ``k`` trains on
+      ``[k*stride, k*stride + train_size)``.  Train windows move, so new
+      folds are cold, but old folds stay byte-stable.
+
+    Train strictly precedes the buffer, which strictly precedes
+    validation — no leakage, as in Fig. 12.
+    """
+
+    def __init__(
+        self,
+        val_size: int = 1,
+        train_size: Optional[int] = None,
+        initial_train_size: Optional[int] = None,
+        buffer_size: int = 0,
+        stride: Optional[int] = None,
+    ):
+        if val_size < 1:
+            raise ValueError("val_size must be >= 1")
+        if buffer_size < 0:
+            raise ValueError("buffer_size must be >= 0")
+        if stride is not None and stride < 1:
+            raise ValueError("stride must be >= 1")
+        if train_size is None and initial_train_size is None:
+            raise ValueError(
+                "expanding mode needs initial_train_size; sliding mode "
+                "needs train_size"
+            )
+        if train_size is not None and train_size < 1:
+            raise ValueError("train_size must be >= 1")
+        if initial_train_size is not None and initial_train_size < 1:
+            raise ValueError("initial_train_size must be >= 1")
+        self.val_size = val_size
+        self.train_size = train_size
+        self.initial_train_size = initial_train_size
+        self.buffer_size = buffer_size
+        self.stride = stride
+
+    @classmethod
+    def from_sliding(
+        cls, sliding: TimeSeriesSlidingSplit, n_samples: int
+    ) -> "AnchoredSlidingSplit":
+        """Freeze a :class:`TimeSeriesSlidingSplit`'s window sizes as
+        derived at ``n_samples`` into an anchored splitter.
+
+        Parameters
+        ----------
+        sliding:
+            The splitter whose (possibly length-derived) train/val/buffer
+            sizes to adopt.
+        n_samples:
+            The series length at which to evaluate the derived sizes.
+
+        Returns
+        -------
+        A sliding-mode :class:`AnchoredSlidingSplit` with those frozen
+        sizes and ``stride=val_size``, whose folds no longer move as the
+        series grows.
+        """
+        val = sliding.val_size
+        if val is None:
+            val = max(1, n_samples // (2 * (sliding.n_splits + 1)))
+        train = sliding.train_size
+        if train is None:
+            train = max(
+                1,
+                n_samples
+                - sliding.buffer_size
+                - val
+                - (sliding.n_splits - 1) * val,
+            )
+        return cls(
+            val_size=val,
+            train_size=train,
+            buffer_size=sliding.buffer_size,
+            stride=val,
+        )
+
+    def _stride(self) -> int:
+        return self.stride if self.stride is not None else self.val_size
+
+    def fold_bounds(self, n_samples: int):
+        """Absolute ``(train_start, train_end, val_start, val_end)`` of
+        every fold that fits within ``n_samples``.
+
+        Parameters
+        ----------
+        n_samples:
+            Current series length.
+
+        Returns
+        -------
+        A list of 4-tuples, oldest fold first — a prefix-stable function
+        of ``n_samples``.
+        """
+        stride = self._stride()
+        bounds = []
+        k = 0
+        while True:
+            if self.train_size is None:
+                train_start = 0
+                train_end = self.initial_train_size + k * stride
+            else:
+                train_start = k * stride
+                train_end = train_start + self.train_size
+            val_start = train_end + self.buffer_size
+            val_end = val_start + self.val_size
+            if val_end > n_samples:
+                break
+            bounds.append((train_start, train_end, val_start, val_end))
+            k += 1
+        return bounds
+
+    def get_n_splits(self, n_samples: Optional[int] = None) -> int:
+        if n_samples is None:
+            raise ValueError(
+                "AnchoredSlidingSplit derives its fold count from the "
+                "series length; pass n_samples"
+            )
+        return len(self.fold_bounds(n_samples))
+
+    def split(self, n_samples: int) -> Iterator[Split]:
+        bounds = self.fold_bounds(n_samples)
+        if not bounds:
+            raise ValueError(
+                f"no anchored fold fits in n_samples={n_samples}"
+            )
+        for train_start, train_end, val_start, val_end in bounds:
+            yield (
+                np.arange(train_start, train_end),
+                np.arange(val_start, val_end),
+            )
+
+
 _SPLITTERS = {
     "kfold": KFold,
     "stratified_kfold": StratifiedKFold,
     "monte_carlo": MonteCarloSplit,
     "train_test": TrainTestSplit,
     "time_series_sliding": TimeSeriesSlidingSplit,
+    "anchored_sliding": AnchoredSlidingSplit,
 }
 
 

@@ -30,13 +30,23 @@ class StandardScaler(TransformerMixin, BaseComponent):
     time series to 0 and the standard deviation to 1" (paper Section
     IV-C4).  Constant columns are left at zero after centering (their scale
     divisor is forced to 1 to avoid division by zero).
+
+    ``partial_fit`` maintains streaming count/mean/M2 statistics (Chan et
+    al. parallel merge), which agree with the cold single-pass ``fit`` up
+    to floating-point accumulation order
+    (``partial_fit_parity = "tolerance"``).
     """
+
+    partial_fit_parity = "tolerance"
 
     def __init__(self, with_mean: bool = True, with_std: bool = True):
         self.with_mean = with_mean
         self.with_std = with_std
         self.mean_: Optional[np.ndarray] = None
         self.scale_: Optional[np.ndarray] = None
+        self._n_seen = 0
+        self._run_mean: Optional[np.ndarray] = None
+        self._run_m2: Optional[np.ndarray] = None
 
     def fit(self, X: Any, y: Any = None) -> "StandardScaler":
         X = as_2d_array(X)
@@ -47,6 +57,47 @@ class StandardScaler(TransformerMixin, BaseComponent):
             self.scale_ = std
         else:
             self.scale_ = np.ones(X.shape[1])
+        self._n_seen = len(X)
+        self._run_mean = X.mean(axis=0)
+        self._run_m2 = X.var(axis=0) * len(X)
+        return self
+
+    def partial_fit(self, X: Any, y: Any = None) -> "StandardScaler":
+        """Merge a new batch into the streaming mean/variance."""
+        X = as_2d_array(X)
+        batch_n = len(X)
+        batch_mean = X.mean(axis=0)
+        batch_m2 = X.var(axis=0) * batch_n
+        if self._n_seen == 0 or self._run_mean is None:
+            self._n_seen = batch_n
+            self._run_mean = batch_mean
+            self._run_m2 = batch_m2
+        else:
+            if X.shape[1] != self._run_mean.shape[0]:
+                raise ValueError(
+                    f"X has {X.shape[1]} features, scaler was started with "
+                    f"{self._run_mean.shape[0]}"
+                )
+            total = self._n_seen + batch_n
+            delta = batch_mean - self._run_mean
+            self._run_m2 = (
+                self._run_m2
+                + batch_m2
+                + delta**2 * self._n_seen * batch_n / total
+            )
+            self._run_mean = self._run_mean + delta * batch_n / total
+            self._n_seen = total
+        self.mean_ = (
+            self._run_mean.copy()
+            if self.with_mean
+            else np.zeros(self._run_mean.shape[0])
+        )
+        if self.with_std:
+            std = np.sqrt(np.maximum(self._run_m2 / self._n_seen, 0.0))
+            std[std == 0.0] = 1.0
+            self.scale_ = std
+        else:
+            self.scale_ = np.ones(self._run_mean.shape[0])
         return self
 
     def transform(self, X: Any) -> np.ndarray:
@@ -96,7 +147,13 @@ class MinMaxScaler(TransformerMixin, BaseComponent):
 
     Implements the "0-1 normalization" option from the paper's
     introduction.  Constant columns map to ``feature_range[0]``.
+
+    ``partial_fit`` merges per-batch minima/maxima, which is byte-identical
+    to a cold ``fit`` on the concatenated batches
+    (``partial_fit_parity = "exact"``).
     """
+
+    partial_fit_parity = "exact"
 
     def __init__(self, feature_range: tuple = (0.0, 1.0)):
         lo, hi = feature_range
@@ -110,6 +167,22 @@ class MinMaxScaler(TransformerMixin, BaseComponent):
         X = as_2d_array(X)
         self.data_min_ = X.min(axis=0)
         self.data_max_ = X.max(axis=0)
+        return self
+
+    def partial_fit(self, X: Any, y: Any = None) -> "MinMaxScaler":
+        """Merge a new batch's minima/maxima into the fitted range."""
+        X = as_2d_array(X)
+        if self.data_min_ is None:
+            self.data_min_ = X.min(axis=0)
+            self.data_max_ = X.max(axis=0)
+            return self
+        if X.shape[1] != self.data_min_.shape[0]:
+            raise ValueError(
+                f"X has {X.shape[1]} features, scaler was started with "
+                f"{self.data_min_.shape[0]}"
+            )
+        self.data_min_ = np.minimum(self.data_min_, X.min(axis=0))
+        self.data_max_ = np.maximum(self.data_max_, X.max(axis=0))
         return self
 
     def transform(self, X: Any) -> np.ndarray:
@@ -154,7 +227,14 @@ class RobustScaler(TransformerMixin, BaseComponent):
     The "outlier-aware robust scaler" from the paper's introduction:
     centers on the median and scales by the inter-quantile range
     (25th–75th percentile by default).
+
+    Quantiles are not mergeable from summaries, so ``partial_fit`` retains
+    the rows seen so far and recomputes — byte-identical to a cold ``fit``
+    on the concatenation (``partial_fit_parity = "exact"``) at the cost of
+    O(rows-seen) memory.
     """
+
+    partial_fit_parity = "exact"
 
     def __init__(self, quantile_range: tuple = (25.0, 75.0)):
         lo, hi = quantile_range
@@ -163,12 +243,34 @@ class RobustScaler(TransformerMixin, BaseComponent):
         self.quantile_range = (float(lo), float(hi))
         self.center_: Optional[np.ndarray] = None
         self.scale_: Optional[np.ndarray] = None
+        self._rows: Optional[np.ndarray] = None
 
     def fit(self, X: Any, y: Any = None) -> "RobustScaler":
         X = as_2d_array(X)
         lo, hi = self.quantile_range
         self.center_ = np.median(X, axis=0)
         iqr = np.percentile(X, hi, axis=0) - np.percentile(X, lo, axis=0)
+        iqr[iqr == 0.0] = 1.0
+        self.scale_ = iqr
+        self._rows = X.copy()
+        return self
+
+    def partial_fit(self, X: Any, y: Any = None) -> "RobustScaler":
+        """Append the batch to the retained rows and refit the quantiles."""
+        X = as_2d_array(X)
+        if self._rows is None:
+            self._rows = X.copy()
+        else:
+            if X.shape[1] != self._rows.shape[1]:
+                raise ValueError(
+                    f"X has {X.shape[1]} features, scaler was started with "
+                    f"{self._rows.shape[1]}"
+                )
+            self._rows = np.vstack([self._rows, X])
+        lo, hi = self.quantile_range
+        rows = self._rows
+        self.center_ = np.median(rows, axis=0)
+        iqr = np.percentile(rows, hi, axis=0) - np.percentile(rows, lo, axis=0)
         iqr[iqr == 0.0] = 1.0
         self.scale_ = iqr
         return self
@@ -208,13 +310,22 @@ class NoOp(TransformerMixin, BaseComponent):
     "The NoOp operation allows users to skip the operation in that stage"
     (paper Section IV-A).  Including a ``NoOp`` option in a stage adds the
     stage-skipping paths to the graph without special-casing the pipeline
-    executor.
+    executor.  The identity has no state, so incremental updates are
+    trivially exact (``partial_fit_parity = "exact"``).
     """
+
+    partial_fit_parity = "exact"
 
     def __init__(self):
         self.fitted_ = None
 
     def fit(self, X: Any, y: Any = None) -> "NoOp":
+        self.fitted_ = True
+        return self
+
+    def partial_fit(self, X: Any, y: Any = None) -> "NoOp":
+        """Identity update: validates input and marks the stage fitted."""
+        as_2d_array(X)
         self.fitted_ = True
         return self
 

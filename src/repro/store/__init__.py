@@ -16,6 +16,8 @@ from repro.store.disk import DiskStore
 from repro.store.invalidation import StoreInvalidator
 from repro.store.keys import (
     ARTIFACT_KEY_FIELDS,
+    KIND_FITTED,
+    KIND_FOLD_SCORE,
     KIND_FOLD_TRANSFORM,
     KIND_RESULT,
     ArtifactKey,
@@ -28,6 +30,8 @@ __all__ = [
     "ARTIFACT_KEY_FIELDS",
     "KIND_FOLD_TRANSFORM",
     "KIND_RESULT",
+    "KIND_FOLD_SCORE",
+    "KIND_FITTED",
     "ArtifactStore",
     "TierStats",
     "MemoryStore",

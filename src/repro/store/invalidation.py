@@ -106,6 +106,33 @@ class StoreInvalidator:
             old=previous, new=obj, size=obj.size
         )
 
+    def invalidate_object(self, name: str, before_version: int) -> int:
+        """Evict every artifact derived from ``name`` below a version.
+
+        The manual entry point for callers that decide *themselves* that
+        accumulated artifacts are no longer trustworthy — e.g.
+        :class:`repro.streaming.StreamingEvaluator` escalating a fired
+        ``DriftPolicy`` to a cold sweep.
+
+        Parameters
+        ----------
+        name:
+            Data-object name whose derived artifacts to evict.
+        before_version:
+            Artifacts with ``data_version`` strictly below this are
+            evicted.
+
+        Returns
+        -------
+        The number of artifacts evicted.
+        """
+        evicted = self.store.invalidate(
+            data_object=name, before_version=before_version
+        )
+        self.stats["fires"] += 1
+        self.stats["invalidated"] += evicted
+        return evicted
+
     def _fire(self, name: str) -> None:
         monitor = self.monitors[name]
         event = monitor.last_event
@@ -113,8 +140,4 @@ class StoreInvalidator:
         before_version = getattr(new, "version", None)
         if before_version is None:
             return
-        evicted = self.store.invalidate(
-            data_object=name, before_version=before_version
-        )
-        self.stats["fires"] += 1
-        self.stats["invalidated"] += evicted
+        self.invalidate_object(name, before_version)

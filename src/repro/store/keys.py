@@ -35,6 +35,8 @@ __all__ = [
     "ARTIFACT_KEY_FIELDS",
     "KIND_FOLD_TRANSFORM",
     "KIND_RESULT",
+    "KIND_FOLD_SCORE",
+    "KIND_FITTED",
 ]
 
 #: Artifact kinds.  ``fold-transform`` values are the
@@ -42,8 +44,14 @@ __all__ = [
 #: transformer prefix on one CV fold; ``result`` values are completed
 #: evaluation records (fold scores + timings) — the same thing a DARR
 #: :class:`~repro.darr.records.AnalyticsResult` carries.
+#: ``fold-score`` values are single-fold scores kept by the streaming
+#: evaluator (one per (spec, fold), so partial invalidation can evict a
+#: fold without losing its siblings); ``fitted-model`` values are
+#: warm-startable fitted pipelines plus their training-row coverage.
 KIND_FOLD_TRANSFORM = "fold-transform"
 KIND_RESULT = "result"
+KIND_FOLD_SCORE = "fold-score"
+KIND_FITTED = "fitted-model"
 
 
 @dataclass(frozen=True)

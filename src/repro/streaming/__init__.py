@@ -1,0 +1,16 @@
+"""Incremental recompute over growing datasets.
+
+The paper's change monitoring (Section III) answers *when* to recompute
+analytics; this package answers *what*: after a small data delta, only
+the invalidated frontier of the ``(spec, fold)`` matrix is re-executed.
+:class:`StreamingEvaluator` appends observations to a home data store,
+advances anchored cross-validation folds as data arrives, classifies
+each fold as reusable / advance-only (``partial_fit`` warm start) /
+cold, and routes only the cold work through the ordinary execution
+engine.  A fired drift policy escalates to a full cold sweep.
+"""
+
+from repro.streaming.evaluator import StreamingEvaluator
+from repro.streaming.folds import FixedFolds, FoldWindow
+
+__all__ = ["StreamingEvaluator", "FixedFolds", "FoldWindow"]

@@ -1,0 +1,790 @@
+"""Streaming evaluation: recompute only the invalidated frontier.
+
+The paper's change-threshold policies (Section III) decide *when* to
+recompute analytics; before this module the answer to *what* was always
+"everything".  :class:`StreamingEvaluator` closes that gap for
+append-only data: observations accumulate in a
+:class:`~repro.distributed.datastore.HomeDataStore` object, an
+:class:`~repro.ml.model_selection.splits.AnchoredSlidingSplit` keeps the
+cross-validation folds at fixed absolute positions as the series grows,
+and each ``(spec, fold)`` pair is classified independently on every
+recompute:
+
+* **reusable** — the fold's score artifact is still in the
+  :class:`~repro.store.ArtifactStore` (nothing invalidated it); the
+  stored score is reused without touching the data.
+* **advance-only** — the fold's train window extends a previously
+  fitted model's coverage from the same origin; the model is
+  warm-started via ``partial_fit`` on just the delta rows and scored on
+  the new validation window.
+* **cold** — everything else; routed through the ordinary
+  :class:`~repro.core.engine.ExecutionEngine` (compiled plans,
+  cost-aware executor selection and failure policies all apply), with a
+  :class:`~repro.streaming.folds.FixedFolds` override pinning exactly
+  the folds that need computing.
+
+Drift escalation: when the configured
+:class:`~repro.distributed.change_monitor.DriftPolicy` fires, the
+evaluator calls
+:meth:`~repro.store.StoreInvalidator.invalidate_object` so every
+artifact below the current data version is evicted — the next recompute
+is a full cold sweep and incremental shortcuts never mask a regime
+shift.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.core.engine import ExecutionEngine
+from repro.core.evaluation import (
+    EvaluationJob,
+    EvaluationReport,
+    PipelineResult,
+)
+from repro.core.params import ParamGrid
+from repro.core.spec import computation_spec, cv_spec, fold_fingerprint, spec_key
+from repro.distributed.change_monitor import (
+    ChangeMonitor,
+    ChangePolicy,
+    UpdateCountPolicy,
+)
+from repro.distributed.datastore import HomeDataStore
+from repro.ml.base import as_1d_array, as_2d_array
+from repro.ml.model_selection.cross_validate import (
+    CrossValidationResult,
+    resolve_metric,
+)
+from repro.ml.model_selection.splits import (
+    AnchoredSlidingSplit,
+    TimeSeriesSlidingSplit,
+)
+from repro.obs import resolve_telemetry
+from repro.store import (
+    KIND_FITTED,
+    KIND_FOLD_SCORE,
+    ArtifactKey,
+    ArtifactStore,
+    MemoryStore,
+    StoreInvalidator,
+)
+from repro.streaming.folds import FixedFolds
+
+__all__ = ["StreamingEvaluator"]
+
+#: Classification labels, also used as stats keys.
+REUSED = "reused"
+WARM = "warm_started"
+COLD = "cold"
+
+
+class _SpecEntry:
+    """One (pipeline, params) candidate with its stream-stable identity."""
+
+    __slots__ = ("pipeline", "params", "key", "spec", "supports_warm")
+
+    def __init__(self, pipeline, params, key, spec, supports_warm):
+        self.pipeline = pipeline
+        self.params = params
+        self.key = key
+        self.spec = spec
+        self.supports_warm = supports_warm
+
+
+class StreamingEvaluator:
+    """Evaluate a Transformer-Estimator Graph over a growing series.
+
+    Parameters
+    ----------
+    graph:
+        The :class:`~repro.core.graph.TransformerEstimatorGraph` to keep
+        evaluated.
+    cv:
+        An :class:`~repro.ml.model_selection.splits.AnchoredSlidingSplit`
+        — or a :class:`~repro.ml.model_selection.splits
+        .TimeSeriesSlidingSplit`, whose length-derived window sizes are
+        frozen (via ``AnchoredSlidingSplit.from_sliding``) at the seed
+        length so its folds advance instead of moving.
+    metric:
+        Metric name or callable, as for
+        :class:`~repro.core.evaluation.GraphEvaluator`.
+    param_grid:
+        Optional ``name__param`` grid swept per pipeline.
+    engine:
+        Engine spec (``None``/``"auto"``/executor/engine instance); cold
+        jobs run through it unchanged, preserving compiled plans,
+        cost-aware executor selection and failure policies.
+    telemetry:
+        Optional :class:`~repro.obs.Telemetry` handle/sinks; streaming
+        emits ``streaming.*`` counters and propagates the handle to the
+        engine.
+    store:
+        :class:`~repro.store.ArtifactStore` holding per-fold score
+        artifacts (``fold-score``) and warm-startable fitted models
+        (``fitted-model``).  Default: a fresh
+        :class:`~repro.store.MemoryStore`.
+    datastore:
+        :class:`~repro.distributed.datastore.HomeDataStore` that
+        accumulates the stream (and may compact its version chains).
+        Default: a fresh store.
+    object_name:
+        Name of the data object inside ``datastore``.
+    change_policy:
+        :class:`~repro.distributed.change_monitor.ChangePolicy` deciding
+        when enough change has accumulated to *warrant* a recompute
+        (surfaced via :meth:`needs_recompute`).  Default:
+        ``UpdateCountPolicy(threshold=1)``.  A
+        :class:`~repro.distributed.change_monitor.CostAwarePolicy` gets
+        observed recompute costs fed back automatically.
+    drift_policy:
+        Optional :class:`~repro.distributed.change_monitor.DriftPolicy`
+        (or any :class:`ChangePolicy` observing raw row batches).  When
+        it fires, the next :meth:`evaluate` escalates to a cold sweep by
+        invalidating every stored artifact of the data object.
+    incremental:
+        ``False`` disables all reuse: every fold of every spec is
+        recomputed cold each time — the baseline whose winner the
+        incremental path must match.
+    warm_start:
+        ``False`` disables the advance-only classification (folds are
+        either reusable or cold), guaranteeing byte-identical scores at
+        the cost of refitting grown train windows from scratch.
+    """
+
+    def __init__(
+        self,
+        graph: Any,
+        cv: Any,
+        metric: Any = "rmse",
+        param_grid: Optional[Mapping[str, Any]] = None,
+        engine: Any = None,
+        telemetry: Any = None,
+        store: Optional[ArtifactStore] = None,
+        datastore: Optional[HomeDataStore] = None,
+        object_name: str = "stream",
+        change_policy: Optional[ChangePolicy] = None,
+        drift_policy: Optional[ChangePolicy] = None,
+        incremental: bool = True,
+        warm_start: bool = True,
+    ):
+        self.graph = graph
+        self._cv_input = cv
+        self._anchored: Optional[AnchoredSlidingSplit] = None
+        if isinstance(cv, AnchoredSlidingSplit):
+            self._anchored = cv
+        elif not isinstance(cv, TimeSeriesSlidingSplit):
+            raise TypeError(
+                "cv must be an AnchoredSlidingSplit or a "
+                f"TimeSeriesSlidingSplit, got {type(cv).__name__}"
+            )
+        metric_name, metric_fn, greater = resolve_metric(metric)
+        self.metric = metric
+        self.metric_name = metric_name
+        self._metric_fn = metric_fn
+        self.greater_is_better = greater
+        self.param_grid = dict(param_grid or {})
+        self.engine = ExecutionEngine.resolve(engine)
+        self.telemetry = resolve_telemetry(telemetry)
+        if self.telemetry.enabled and not self.engine.telemetry.enabled:
+            self.engine.telemetry = self.telemetry
+        self.store = store if store is not None else MemoryStore()
+        self.invalidator = StoreInvalidator(self.store)
+        self.datastore = (
+            datastore if datastore is not None else HomeDataStore()
+        )
+        self.object_name = object_name
+        self.change_policy = (
+            change_policy
+            if change_policy is not None
+            else UpdateCountPolicy(threshold=1)
+        )
+        self._change_monitor = ChangeMonitor(
+            self.change_policy, recompute=self._on_change_fired
+        )
+        self.drift_policy = drift_policy
+        self._drift_monitor = (
+            ChangeMonitor(drift_policy, recompute=self._on_drift_fired)
+            if drift_policy is not None
+            else None
+        )
+        self.incremental = incremental
+        self.warm_start = warm_start
+        self._X: Optional[np.ndarray] = None
+        self._y: Optional[np.ndarray] = None
+        self._specs: Optional[List[_SpecEntry]] = None
+        #: (spec key, fold fingerprint) -> data version the score artifact
+        #: was stored at (exact-key probe; a miss means it was evicted).
+        self._fold_index: Dict[Tuple[str, str], int] = {}
+        #: spec key -> {"version", "start", "end"} of the fitted artifact.
+        self._warm_index: Dict[str, Dict[str, int]] = {}
+        self._recompute_pending = False
+        self._drift_pending = False
+        self._seen_compactions = 0
+        self.stats = {
+            "appends": 0,
+            "rows_ingested": 0,
+            "recomputes": 0,
+            "folds_reused": 0,
+            "folds_warm_started": 0,
+            "folds_cold": 0,
+            "drift_escalations": 0,
+        }
+
+    # -- change wiring --------------------------------------------------
+    def _on_change_fired(self) -> None:
+        self._recompute_pending = True
+
+    def _on_drift_fired(self) -> None:
+        self._drift_pending = True
+
+    def needs_recompute(self) -> bool:
+        """Whether accumulated change (or drift) warrants a recompute.
+
+        Returns
+        -------
+        ``True`` when the change policy fired since the last
+        :meth:`evaluate`, or a drift escalation is pending.
+        """
+        return self._recompute_pending or self._drift_pending
+
+    # -- data ingestion -------------------------------------------------
+    def seed(self, X: Any, y: Any) -> int:
+        """Load the initial observations (version 1 of the data object).
+
+        Also seeds the drift policy's reference distribution from this
+        baseline.
+
+        Parameters
+        ----------
+        X, y:
+            The initial feature/target history.
+
+        Returns
+        -------
+        The stored data version (1).
+        """
+        if self._X is not None:
+            raise RuntimeError(
+                "already seeded; use append() for new observations"
+            )
+        X = np.asarray(X, dtype=float)
+        y = as_1d_array(y)
+        if len(X) != len(y):
+            raise ValueError("X and y have inconsistent lengths")
+        self._X = X
+        self._y = np.asarray(y)
+        obj = self.datastore.put(self.object_name, (X, self._y))
+        self._seen_compactions = self.datastore.stats["compactions"]
+        if self.drift_policy is not None:
+            self.drift_policy.seed(self._drift_view(X))
+        return obj.version
+
+    @staticmethod
+    def _drift_view(X: np.ndarray) -> np.ndarray:
+        # DriftPolicy wants 2-D rows; flatten windowed (n, p, v) input to
+        # per-row feature vectors so column statistics stay well-defined.
+        if X.ndim > 2:
+            return X.reshape(len(X), -1)
+        return as_2d_array(X)
+
+    def append(self, X_new: Any, y_new: Any) -> int:
+        """Append new observations to the stream.
+
+        Bumps the data object's version in the home data store, feeds
+        the change and drift monitors, and — when the home store
+        compacted its version chain on this put — re-seeds the drift
+        policy's reference distribution from the post-compaction
+        baseline (the full current data), so drift is never measured
+        against a collapsed chain's stale snapshot.
+
+        Parameters
+        ----------
+        X_new, y_new:
+            The delta rows (same feature shape as the seed data).
+
+        Returns
+        -------
+        The new data version.
+        """
+        if self._X is None:
+            return self.seed(X_new, y_new)
+        X_new = np.asarray(X_new, dtype=float)
+        y_new = as_1d_array(y_new)
+        if len(X_new) != len(y_new):
+            raise ValueError("X_new and y_new have inconsistent lengths")
+        if X_new.shape[1:] != self._X.shape[1:]:
+            raise ValueError(
+                f"appended rows have shape {X_new.shape[1:]}, stream has "
+                f"{self._X.shape[1:]}"
+            )
+        self._X = np.concatenate([self._X, X_new])
+        self._y = np.concatenate([self._y, np.asarray(y_new)])
+        obj = self.datastore.put(self.object_name, (self._X, self._y))
+        size = int(X_new.nbytes + np.asarray(y_new).nbytes)
+        self._change_monitor.record_update(
+            old=None, new=X_new, size=size
+        )
+        if self._drift_monitor is not None:
+            self._drift_monitor.record_update(
+                old=None, new=self._drift_view(X_new), size=size
+            )
+        compactions = self.datastore.stats["compactions"]
+        if (
+            compactions > self._seen_compactions
+            and self.drift_policy is not None
+            and not self._drift_pending
+        ):
+            self.drift_policy.seed(self._drift_view(self._X))
+        self._seen_compactions = compactions
+        self.stats["appends"] += 1
+        self.stats["rows_ingested"] += len(X_new)
+        if self.telemetry.enabled:
+            self.telemetry.count("streaming.appends")
+            self.telemetry.count("streaming.rows_ingested", len(X_new))
+        return obj.version
+
+    # -- spec enumeration -----------------------------------------------
+    def _resolve_anchored(self) -> AnchoredSlidingSplit:
+        if self._anchored is None:
+            self._anchored = AnchoredSlidingSplit.from_sliding(
+                self._cv_input, len(self._X)
+            )
+        return self._anchored
+
+    def _spec_entries(self) -> List[_SpecEntry]:
+        if self._specs is None:
+            anchored = self._resolve_anchored()
+            grid = ParamGrid(self.param_grid)
+            entries: List[_SpecEntry] = []
+            for pipeline in self.graph.pipelines():
+                applicable = grid.for_pipeline(pipeline)
+                for params in applicable.combinations():
+                    spec = computation_spec(
+                        pipeline,
+                        params=params,
+                        cv=anchored,
+                        metric=self.metric_name,
+                        dataset=self.object_name,
+                    )
+                    configured = pipeline.clone()
+                    if params:
+                        configured.set_params(**params)
+                    entries.append(
+                        _SpecEntry(
+                            pipeline=pipeline,
+                            params=params,
+                            key=spec_key(spec),
+                            spec=spec,
+                            supports_warm=configured.supports_partial_fit(),
+                        )
+                    )
+            self._specs = entries
+        return self._specs
+
+    # -- artifact keys --------------------------------------------------
+    def _fold_key(
+        self, spec_key_str: str, fold_id: str, version: int
+    ) -> ArtifactKey:
+        return ArtifactKey(
+            kind=KIND_FOLD_SCORE,
+            spec_key=spec_key_str,
+            dataset=self.object_name,
+            data_object=self.object_name,
+            data_version=version,
+            fold=fold_id,
+        )
+
+    def _fitted_key(self, spec_key_str: str, version: int) -> ArtifactKey:
+        return ArtifactKey(
+            kind=KIND_FITTED,
+            spec_key=spec_key_str,
+            dataset=self.object_name,
+            data_object=self.object_name,
+            data_version=version,
+            fold="",
+        )
+
+    def _store_fold_score(
+        self, spec_key_str: str, fold_id: str, version: int, score: float
+    ) -> None:
+        self.store.put(
+            self._fold_key(spec_key_str, fold_id, version), float(score)
+        )
+        self._fold_index[(spec_key_str, fold_id)] = version
+
+    def _store_fitted(
+        self,
+        spec_key_str: str,
+        version: int,
+        model: Any,
+        train_start: int,
+        train_end: int,
+    ) -> None:
+        self.store.put(
+            self._fitted_key(spec_key_str, version),
+            {
+                "pipeline": model,
+                "train_start": int(train_start),
+                "train_end": int(train_end),
+            },
+        )
+        self._warm_index[spec_key_str] = {
+            "version": version,
+            "start": int(train_start),
+            "end": int(train_end),
+        }
+
+    def _load_fitted(self, spec_key_str: str) -> Optional[Dict[str, Any]]:
+        record = self._warm_index.get(spec_key_str)
+        if record is None:
+            return None
+        artifact = self.store.get(
+            self._fitted_key(spec_key_str, record["version"])
+        )
+        if artifact is None:
+            # evicted (drift escalation / LRU): forget the pointer
+            self._warm_index.pop(spec_key_str, None)
+            return None
+        return artifact
+
+    # -- evaluation -----------------------------------------------------
+    def evaluate(self, refit_best: bool = False) -> EvaluationReport:
+        """Recompute the sweep, re-executing only the invalidated frontier.
+
+        Classifies every ``(spec, fold)`` as reusable, advance-only or
+        cold (see the module docstring), routes cold work through the
+        engine in one batch, aggregates per-spec fold scores into an
+        :class:`~repro.core.evaluation.EvaluationReport`, resets the
+        change policy (the recompute absorbed the accumulated change —
+        incremental recomputes count too), and feeds the observed cost
+        back to a cost-aware policy.
+
+        ``report.stats["streaming"]`` carries the classification
+        accounting: folds and jobs reused / warm-started / cold, the
+        data version, and whether drift escalated this round.
+        """
+        if self._X is None:
+            raise RuntimeError("no data yet; call seed() first")
+        started = time.perf_counter()
+        n = len(self._X)
+        version = self.datastore.current_version(self.object_name)
+        anchored = self._resolve_anchored()
+        bounds = anchored.fold_bounds(n)
+        if not bounds:
+            raise ValueError(f"no anchored fold fits in {n} samples")
+        folds = []
+        for window in bounds:
+            train_start, train_end, val_start, val_end = window
+            fold_id = fold_fingerprint(
+                np.arange(train_start, train_end),
+                np.arange(val_start, val_end),
+            )
+            folds.append((window, fold_id))
+
+        drift_escalated = False
+        if self._drift_pending:
+            self.invalidator.invalidate_object(
+                self.object_name, before_version=version + 1
+            )
+            self._warm_index.clear()
+            self._fold_index.clear()
+            drift_escalated = True
+            self._drift_pending = False
+            self.stats["drift_escalations"] += 1
+            if self.telemetry.enabled:
+                self.telemetry.count("streaming.drift_escalations")
+
+        classification: Dict[str, Dict[str, Any]] = {}
+        for entry in self._spec_entries():
+            classification[entry.key] = self._classify_spec(entry, folds)
+
+        # Warm advancement runs in-process: partial_fit on the delta rows
+        # only, fold by fold in train-window order.  A failed advance
+        # (evicted artifact, shape mismatch, unseen class label) demotes
+        # the spec's warm folds to cold before jobs are built.
+        warm_scores: Dict[Tuple[str, str], float] = {}
+        for entry in self._spec_entries():
+            plan = classification[entry.key]
+            if not plan["warm"]:
+                continue
+            advanced = self._advance_warm(entry, plan["warm"], version)
+            if advanced is None:
+                demoted = sorted(
+                    plan["cold"] + plan["warm"],
+                    key=lambda fold: fold[0],
+                )
+                plan["cold"] = demoted
+                plan["warm"] = []
+            else:
+                warm_scores.update(advanced)
+
+        cold_jobs: List[EvaluationJob] = []
+        job_to_spec: Dict[str, str] = {}
+        fold_counts = {REUSED: 0, WARM: 0, COLD: 0}
+        for entry in self._spec_entries():
+            plan = classification[entry.key]
+            fold_counts[REUSED] += len(plan["reused"])
+            fold_counts[WARM] += len(plan["warm"])
+            fold_counts[COLD] += len(plan["cold"])
+            if plan["cold"]:
+                job = self._cold_job(entry, [f[0] for f in plan["cold"]])
+                plan["job_key"] = job.key
+                cold_jobs.append(job)
+                job_to_spec[job.key] = entry.key
+
+        cold_results: Dict[str, PipelineResult] = {}
+        if cold_jobs:
+            executed = self.engine.execute(
+                cold_jobs,
+                self._X,
+                self._y,
+                cv=anchored,
+                metric=self.metric,
+            )
+            cold_results = {result.key: result for result in executed}
+
+        report = EvaluationReport(
+            metric=self.metric_name,
+            greater_is_better=self.greater_is_better,
+        )
+        job_counts = {REUSED: 0, WARM: 0, COLD: 0}
+        for entry in self._spec_entries():
+            plan = classification[entry.key]
+            scores: Dict[str, float] = dict(plan["reused"])
+            for _, fold_id in plan["warm"]:
+                key = (entry.key, fold_id)
+                if key in warm_scores:
+                    scores[fold_id] = warm_scores[key]
+            if plan["cold"]:
+                result = cold_results.get(plan["job_key"])
+                if result is not None:
+                    for (window, fold_id), score in zip(
+                        plan["cold"], result.cv_result.fold_scores
+                    ):
+                        scores[fold_id] = float(score)
+                        self._store_fold_score(
+                            entry.key, fold_id, version, float(score)
+                        )
+                    self._maybe_seed_warm(entry, bounds, version)
+            if len(scores) != len(folds):
+                continue  # engine failure policy skipped this spec
+            ordered_scores = [scores[fold_id] for _, fold_id in folds]
+            cv_result = CrossValidationResult(
+                metric=self.metric_name,
+                fold_scores=ordered_scores,
+                greater_is_better=self.greater_is_better,
+            )
+            from_cache = not plan["cold"] and not plan["warm"]
+            report.results.append(
+                PipelineResult(
+                    path=entry.pipeline.path_string(),
+                    params=dict(entry.params),
+                    cv_result=cv_result,
+                    key=entry.key,
+                    from_cache=from_cache,
+                )
+            )
+            if plan["cold"]:
+                job_counts[COLD] += 1
+            elif plan["warm"]:
+                job_counts[WARM] += 1
+            else:
+                job_counts[REUSED] += 1
+
+        best = report.best_result()
+        if best is not None:
+            report.best_path = best.path
+            report.best_params = dict(best.params)
+            if refit_best:
+                for entry in self._spec_entries():
+                    if entry.key == best.key:
+                        model = entry.pipeline.clone()
+                        if entry.params:
+                            model.set_params(**entry.params)
+                        model.fit(self._X, self._y)
+                        report.best_model = model
+                        break
+        elapsed = time.perf_counter() - started
+        report.elapsed_seconds = elapsed
+        report.stats = {
+            "cache": self.engine.cache_stats(),
+            "compile": self.engine.compile_stats(),
+            "jobs": {
+                "executed": len(cold_jobs),
+                "reused": job_counts[REUSED],
+                "warm_started": job_counts[WARM],
+                "cold": job_counts[COLD],
+            },
+            "failures": [
+                failure.as_dict() for failure in self.engine.last_failures
+            ],
+            "streaming": {
+                "n_rows": n,
+                "data_version": version,
+                "specs": len(self._spec_entries()),
+                "folds_total": len(folds) * len(self._spec_entries()),
+                "folds_reused": fold_counts[REUSED],
+                "folds_warm_started": fold_counts[WARM],
+                "folds_cold": fold_counts[COLD],
+                "jobs_reused": job_counts[REUSED],
+                "jobs_warm_started": job_counts[WARM],
+                "jobs_cold": job_counts[COLD],
+                "drift_escalated": drift_escalated,
+                "invalidated": self.invalidator.stats["invalidated"],
+            },
+        }
+        self.stats["recomputes"] += 1
+        self.stats["folds_reused"] += fold_counts[REUSED]
+        self.stats["folds_warm_started"] += fold_counts[WARM]
+        self.stats["folds_cold"] += fold_counts[COLD]
+        if self.telemetry.enabled:
+            self.telemetry.count("streaming.recomputes")
+            for label, value in (
+                ("streaming.folds_reused", fold_counts[REUSED]),
+                ("streaming.folds_warm_started", fold_counts[WARM]),
+                ("streaming.folds_cold", fold_counts[COLD]),
+                ("streaming.jobs_cold", job_counts[COLD]),
+            ):
+                if value:
+                    self.telemetry.count(label, value)
+        # The recompute absorbed whatever change accumulated — reset the
+        # change policy even though *we* recomputed, not the monitor
+        # (the PR 9 ergonomics fix: incremental recomputes reset too).
+        if self._recompute_pending:
+            self._recompute_pending = False
+        else:
+            self._change_monitor.notify_recomputed()
+        record_cost = getattr(self.change_policy, "record_cost", None)
+        if callable(record_cost):
+            record_cost(elapsed)
+        return report
+
+    # -- classification helpers -----------------------------------------
+    def _classify_spec(
+        self, entry: _SpecEntry, folds: List[Tuple[Any, str]]
+    ) -> Dict[str, Any]:
+        """Split ``folds`` into reused scores, warm candidates and cold
+        windows for one spec."""
+        reused: Dict[str, float] = {}
+        warm: List[Tuple[Any, str]] = []
+        cold: List[Tuple[Any, str]] = []
+        warm_record = (
+            self._warm_index.get(entry.key)
+            if self.incremental and self.warm_start and entry.supports_warm
+            else None
+        )
+        coverage_end = warm_record["end"] if warm_record else None
+        coverage_start = warm_record["start"] if warm_record else None
+        for window, fold_id in folds:
+            if self.incremental:
+                stored_version = self._fold_index.get((entry.key, fold_id))
+                if stored_version is not None:
+                    artifact = self.store.get(
+                        self._fold_key(entry.key, fold_id, stored_version)
+                    )
+                    if artifact is not None:
+                        reused[fold_id] = float(artifact)
+                        continue
+                    self._fold_index.pop((entry.key, fold_id), None)
+            train_start, train_end = window[0], window[1]
+            if (
+                coverage_end is not None
+                and train_start == coverage_start
+                and train_end >= coverage_end
+            ):
+                warm.append((window, fold_id))
+                coverage_end = train_end
+                continue
+            cold.append((window, fold_id))
+        return {"reused": reused, "warm": warm, "cold": cold}
+
+    def _advance_warm(
+        self,
+        entry: _SpecEntry,
+        warm_folds: List[Tuple[Any, str]],
+        version: int,
+    ) -> Optional[Dict[Tuple[str, str], float]]:
+        """Warm-start the spec's fitted model across ``warm_folds``.
+
+        Returns the scored folds, or ``None`` when the fitted artifact is
+        gone or any ``partial_fit`` step fails (callers then demote the
+        folds to cold)."""
+        artifact = self._load_fitted(entry.key)
+        if artifact is None:
+            return None
+        model = artifact["pipeline"]
+        coverage_end = artifact["train_end"]
+        train_start = artifact["train_start"]
+        scores: Dict[Tuple[str, str], float] = {}
+        try:
+            for window, fold_id in warm_folds:
+                fold_train_start, train_end, val_start, val_end = window
+                if fold_train_start != train_start or train_end < coverage_end:
+                    return None
+                if train_end > coverage_end:
+                    model.partial_fit(
+                        self._X[coverage_end:train_end],
+                        self._y[coverage_end:train_end],
+                    )
+                    coverage_end = train_end
+                predictions = model.predict(self._X[val_start:val_end])
+                score = float(
+                    self._metric_fn(self._y[val_start:val_end], predictions)
+                )
+                scores[(entry.key, fold_id)] = score
+                self._store_fold_score(entry.key, fold_id, version, score)
+        except Exception:
+            return None
+        self._store_fitted(
+            entry.key, version, model, train_start, coverage_end
+        )
+        return scores
+
+    def _maybe_seed_warm(
+        self, entry: _SpecEntry, bounds: List[Any], version: int
+    ) -> None:
+        """After a cold round, (re)build the spec's warm-startable model
+        on the latest fold's train window via ``partial_fit``, so future
+        folds can advance it on delta rows only."""
+        if not (
+            self.incremental and self.warm_start and entry.supports_warm
+        ):
+            return
+        train_start, train_end = bounds[-1][0], bounds[-1][1]
+        current = self._warm_index.get(entry.key)
+        if (
+            current is not None
+            and current["start"] == train_start
+            and current["end"] >= train_end
+        ):
+            return
+        model = entry.pipeline.clone()
+        if entry.params:
+            model.set_params(**entry.params)
+        try:
+            model.partial_fit(
+                self._X[train_start:train_end],
+                self._y[train_start:train_end],
+            )
+        except Exception:
+            return
+        self._store_fitted(entry.key, version, model, train_start, train_end)
+
+    # -- cold job construction ------------------------------------------
+    def _cold_job(
+        self, entry: _SpecEntry, windows: List[Any]
+    ) -> EvaluationJob:
+        fixed = FixedFolds(windows)
+        spec = dict(entry.spec)
+        spec["cv"] = cv_spec(fixed)
+        job = EvaluationJob(
+            pipeline=entry.pipeline,
+            params=entry.params,
+            key=spec_key(spec),
+            spec=spec,
+        )
+        job.cv_override = fixed
+        return job

@@ -1,0 +1,73 @@
+"""Fold bookkeeping for incremental recompute.
+
+The streaming evaluator classifies every ``(spec, fold)`` pair
+independently, so it needs to pin an arbitrary *subset* of a splitter's
+folds onto an engine job.  :class:`FixedFolds` is that pin: a picklable
+splitter that yields exactly the fold windows it was given, regardless of
+the series length — attached to a job as its ``cv_override`` it rides
+through every executor (serial, threads, processes) unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["FixedFolds", "FoldWindow"]
+
+#: Absolute fold bounds ``(train_start, train_end, val_start, val_end)``.
+FoldWindow = Tuple[int, int, int, int]
+
+
+class FixedFolds:
+    """A splitter that replays an explicit list of fold windows.
+
+    Parameters
+    ----------
+    bounds:
+        Sequence of ``(train_start, train_end, val_start, val_end)``
+        absolute index bounds, one per fold, replayed in order.
+
+    Storing bounds (four ints per fold) instead of index arrays keeps
+    the object tiny: it pickles cheaply to process-pool workers and its
+    :func:`~repro.core.spec.cv_spec` stays small enough to embed in job
+    specs, where it makes each cold job's identity include exactly the
+    folds it computes.
+    """
+
+    def __init__(self, bounds: Sequence[FoldWindow]):
+        cleaned: List[FoldWindow] = []
+        for window in bounds:
+            train_start, train_end, val_start, val_end = (
+                int(value) for value in window
+            )
+            if not 0 <= train_start < train_end <= val_start < val_end:
+                raise ValueError(
+                    f"invalid fold window {window}: need "
+                    "0 <= train_start < train_end <= val_start < val_end"
+                )
+            cleaned.append((train_start, train_end, val_start, val_end))
+        if not cleaned:
+            raise ValueError("FixedFolds needs at least one fold window")
+        self.bounds = cleaned
+
+    def get_n_splits(self, n_samples: Optional[int] = None) -> int:
+        return len(self.bounds)
+
+    def split(
+        self, n_samples: int
+    ) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        for train_start, train_end, val_start, val_end in self.bounds:
+            if val_end > n_samples:
+                raise ValueError(
+                    f"fold window ends at {val_end} but only "
+                    f"{n_samples} samples are available"
+                )
+            yield (
+                np.arange(train_start, train_end),
+                np.arange(val_start, val_end),
+            )
+
+    def __repr__(self) -> str:
+        return f"FixedFolds({self.bounds!r})"

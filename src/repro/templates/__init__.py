@@ -8,6 +8,7 @@ from repro.templates.cohort import (
     summarize_asset_series,
 )
 from repro.templates.failure_prediction import FailurePredictionTemplate
+from repro.templates.live import LiveSensorTemplate
 from repro.templates.root_cause import RootCauseTemplate
 
 __all__ = [
@@ -17,6 +18,7 @@ __all__ = [
     "RootCauseTemplate",
     "AnomalyAnalysisTemplate",
     "CohortAnalysisTemplate",
+    "LiveSensorTemplate",
     "silhouette_score",
     "summarize_asset_series",
 ]

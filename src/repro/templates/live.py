@@ -1,0 +1,205 @@
+"""Live sensor-feed solution template.
+
+The paper's industrial applications are *ongoing*: "The data are
+monitored for changes.  When the amount of change in the data exceeds a
+threshold, then analytics calculations are recalculated on the data"
+(Section III), with the model-lifecycle caveat that "there may be
+concept drifts".  This template packages that loop for a live sensor
+feed (:func:`repro.datasets.industrial.make_sensor_series`): it frames
+the stream as a lagged one-step-ahead forecasting problem, keeps a small
+Transformer-Estimator Graph evaluated through a
+:class:`~repro.streaming.StreamingEvaluator` (so each batch of new
+readings recomputes only the invalidated frontier), and escalates to a
+full cold sweep when the configured drift policy detects a regime
+shift.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.core.graph import TransformerEstimatorGraph
+from repro.distributed.change_monitor import DriftPolicy, UpdateCountPolicy
+from repro.ml.linear import LinearRegression, RidgeRegression
+from repro.ml.model_selection import AnchoredSlidingSplit
+from repro.ml.preprocessing import NoOp, StandardScaler
+from repro.streaming import StreamingEvaluator
+from repro.templates.base import SolutionTemplate, TemplateReport
+
+__all__ = ["LiveSensorTemplate"]
+
+
+class LiveSensorTemplate(SolutionTemplate):
+    """Keep a forecasting sweep fresh over a live sensor feed.
+
+    Frames a multivariate sensor series as one-step-ahead forecasting of
+    the primary variable from the last ``lag`` readings of every
+    variable, sweeps scaling x {ridge, least squares} over anchored
+    sliding folds, and reuses/warm-starts everything the newest readings
+    did not invalidate.
+
+    Parameters
+    ----------
+    lag:
+        How many trailing readings (of every variable) form one feature
+        row.
+    initial_train_size:
+        Training rows of the first anchored fold; later folds extend it.
+    val_size:
+        Validation rows per anchored fold (also the fold stride).
+    drift_threshold:
+        Column-mean shift (in baseline standard deviations) beyond which
+        the drift policy fires and the next recompute goes cold.
+        ``None`` disables drift escalation.
+    ridge_alpha:
+        Regularization strength of the ridge candidate.
+    engine:
+        Engine spec forwarded to the streaming evaluator.
+    """
+
+    name = "Live Sensor Feed"
+
+    def __init__(
+        self,
+        lag: int = 8,
+        initial_train_size: int = 120,
+        val_size: int = 40,
+        drift_threshold: Optional[float] = 1.0,
+        ridge_alpha: float = 0.5,
+        engine: Any = None,
+    ):
+        super().__init__()
+        if lag < 1:
+            raise ValueError("lag must be >= 1")
+        self.lag = lag
+        self.initial_train_size = initial_train_size
+        self.val_size = val_size
+        self.drift_threshold = drift_threshold
+        self.ridge_alpha = ridge_alpha
+        self.engine = engine
+        self._series: Optional[np.ndarray] = None
+        self.evaluator: Optional[StreamingEvaluator] = None
+
+    # -- framing ---------------------------------------------------------
+    def _frame(self, series: np.ndarray, start: int):
+        """Lagged supervised pairs for targets ``start, ..., len - 1``:
+        row t predicts ``series[t, 0]`` from ``series[t - lag:t]``."""
+        X, y = [], []
+        for t in range(max(start, self.lag), len(series)):
+            X.append(series[t - self.lag : t].ravel())
+            y.append(series[t, 0])
+        if not X:
+            n_features = self.lag * series.shape[1]
+            return np.empty((0, n_features)), np.empty(0)
+        return np.asarray(X), np.asarray(y)
+
+    def _build_evaluator(self) -> StreamingEvaluator:
+        graph = TransformerEstimatorGraph()
+        graph.add_feature_scalers([StandardScaler(), NoOp()])
+        graph.add_regression_models(
+            [RidgeRegression(alpha=self.ridge_alpha), LinearRegression()]
+        )
+        cv = AnchoredSlidingSplit(
+            val_size=self.val_size,
+            initial_train_size=self.initial_train_size,
+        )
+        drift = (
+            DriftPolicy(threshold=self.drift_threshold)
+            if self.drift_threshold is not None
+            else None
+        )
+        return StreamingEvaluator(
+            graph,
+            cv,
+            metric="rmse",
+            engine=self.engine,
+            change_policy=UpdateCountPolicy(threshold=1),
+            drift_policy=drift,
+            object_name="sensor-feed",
+        )
+
+    # -- live loop -------------------------------------------------------
+    def fit(self, series: Any) -> "LiveSensorTemplate":
+        """Seed the template with the sensor history so far.
+
+        ``series`` is a ``(length, n_variables)`` array as produced by
+        :func:`repro.datasets.industrial.make_sensor_series`; it must be
+        long enough for at least one anchored fold after lag framing.
+        """
+        series = np.asarray(series, dtype=float)
+        if series.ndim != 2:
+            raise ValueError("series must be 2-D (length, n_variables)")
+        self._series = series.copy()
+        self.evaluator = self._build_evaluator()
+        X, y = self._frame(series, start=0)
+        self.evaluator.seed(X, y)
+        report = self.evaluator.evaluate()
+        self._summarize(report)
+        return self
+
+    def ingest(self, new_rows: Any) -> TemplateReport:
+        """Feed newly arrived sensor readings and refresh the sweep.
+
+        Appends the lagged pairs the new readings complete, lets the
+        streaming evaluator recompute only the invalidated frontier
+        (cold-sweeping if drift fired), and returns the updated
+        :class:`~repro.templates.base.TemplateReport`.
+        """
+        if self._series is None or self.evaluator is None:
+            raise RuntimeError("template is not fitted yet; call fit() first")
+        new_rows = np.asarray(new_rows, dtype=float)
+        if new_rows.ndim != 2 or new_rows.shape[1] != self._series.shape[1]:
+            raise ValueError(
+                "new_rows must be 2-D with the same variable count as "
+                "the fitted series"
+            )
+        previous_length = len(self._series)
+        self._series = np.vstack([self._series, new_rows])
+        X_new, y_new = self._frame(self._series, start=previous_length)
+        if len(X_new):
+            self.evaluator.append(X_new, y_new)
+        report = self.evaluator.evaluate()
+        self._summarize(report)
+        return self._report
+
+    def _summarize(self, report) -> None:
+        streaming = report.stats["streaming"]
+        drifted = streaming["drift_escalated"]
+        recommendations = [
+            "Keep feeding new readings through ingest(); only changed "
+            "folds are recomputed.",
+        ]
+        if drifted:
+            recommendations.insert(
+                0,
+                "Drift detected: the sweep was recomputed from scratch — "
+                "inspect the process for a regime change.",
+            )
+        self._report = TemplateReport(
+            template=self.name,
+            headline=(
+                f"Best forecaster: {report.best_path} "
+                f"(rmse {report.best_score:.4f}); "
+                f"{streaming['folds_reused']} fold(s) reused, "
+                f"{streaming['folds_warm_started']} warm-started, "
+                f"{streaming['folds_cold']} cold"
+                + (" after drift escalation" if drifted else "")
+                + "."
+            ),
+            metrics={
+                "rmse": float(report.best_score),
+                "folds_reused": float(streaming["folds_reused"]),
+                "folds_warm_started": float(streaming["folds_warm_started"]),
+                "folds_cold": float(streaming["folds_cold"]),
+            },
+            details={
+                "best_path": report.best_path,
+                "best_params": report.best_params,
+                "n_rows": streaming["n_rows"],
+                "data_version": streaming["data_version"],
+                "drift_escalated": drifted,
+            },
+            recommendations=recommendations,
+        )

@@ -75,6 +75,7 @@ class CascadedWindows(TransformerMixin, BaseComponent):
     """
 
     output_kind = "temporal"
+    partial_fit_parity = "exact"
 
     def __init__(self):
         self.history_: Optional[int] = None
@@ -82,6 +83,21 @@ class CascadedWindows(TransformerMixin, BaseComponent):
 
     def fit(self, X: Any, y: Any = None) -> "CascadedWindows":
         X = _as_windows(X, "CascadedWindows")
+        self.history_ = X.shape[1]
+        self.n_variables_ = X.shape[2]
+        return self
+
+    def partial_fit(self, X: Any, y: Any = None) -> "CascadedWindows":
+        """Incrementally (re)learn the window shape; exact by nature."""
+        X = _as_windows(X, "CascadedWindows")
+        if self.history_ is not None and X.shape[1:] != (
+            self.history_,
+            self.n_variables_,
+        ):
+            raise ValueError(
+                f"window shape {X.shape[1:]} differs from fitted "
+                f"({self.history_}, {self.n_variables_})"
+            )
         self.history_ = X.shape[1]
         self.n_variables_ = X.shape[2]
         return self
@@ -124,12 +140,20 @@ class FlatWindowing(TransformerMixin, BaseComponent):
     """
 
     output_kind = "iid"
+    partial_fit_parity = "exact"
 
     def __init__(self):
         self.history_: Optional[int] = None
         self.n_variables_: Optional[int] = None
 
     def fit(self, X: Any, y: Any = None) -> "FlatWindowing":
+        X = _as_windows(X, "FlatWindowing")
+        self.history_ = X.shape[1]
+        self.n_variables_ = X.shape[2]
+        return self
+
+    def partial_fit(self, X: Any, y: Any = None) -> "FlatWindowing":
+        """Incrementally (re)learn the window shape; exact by nature."""
         X = _as_windows(X, "FlatWindowing")
         self.history_ = X.shape[1]
         self.n_variables_ = X.shape[2]
@@ -162,11 +186,18 @@ class TSAsIID(TransformerMixin, BaseComponent):
     """
 
     output_kind = "iid"
+    partial_fit_parity = "exact"
 
     def __init__(self):
         self.n_variables_: Optional[int] = None
 
     def fit(self, X: Any, y: Any = None) -> "TSAsIID":
+        X = _as_windows(X, "TSAsIID")
+        self.n_variables_ = X.shape[2]
+        return self
+
+    def partial_fit(self, X: Any, y: Any = None) -> "TSAsIID":
+        """Incrementally (re)learn the variable count; exact by nature."""
         X = _as_windows(X, "TSAsIID")
         self.n_variables_ = X.shape[2]
         return self
@@ -197,11 +228,17 @@ class TSAsIs(TransformerMixin, BaseComponent):
     """
 
     output_kind = "statistical"
+    partial_fit_parity = "exact"
 
     def __init__(self):
         self.fitted_ = None
 
     def fit(self, X: Any, y: Any = None) -> "TSAsIs":
+        self.fitted_ = True
+        return self
+
+    def partial_fit(self, X: Any, y: Any = None) -> "TSAsIs":
+        """Stateless identity update; exact by nature."""
         self.fitted_ = True
         return self
 
@@ -224,10 +261,17 @@ class NoScaling(TransformerMixin, BaseComponent):
     "No Scaling"); unlike :class:`repro.ml.preprocessing.NoOp` it accepts
     the 3-D window representation."""
 
+    partial_fit_parity = "exact"
+
     def __init__(self):
         self.fitted_ = None
 
     def fit(self, X: Any, y: Any = None) -> "NoScaling":
+        self.fitted_ = True
+        return self
+
+    def partial_fit(self, X: Any, y: Any = None) -> "NoScaling":
+        """Stateless identity update; exact by nature."""
         self.fitted_ = True
         return self
 
@@ -253,22 +297,62 @@ class WindowScaler(TransformerMixin, BaseComponent):
     3-D data, this adapter folds windows into rows ``(n*p, v)``, lets the
     wrapped scaler learn per-variable statistics, and restores the window
     shape.
+
+    ``partial_fit`` delegates to the wrapped scaler's ``partial_fit``
+    (available only when the inner scaler supports incremental updates —
+    checked by the ``_partial_fit_ready`` hook).  Since the adapter only
+    reshapes, its parity is whatever the inner scaler provides; it is
+    declared ``"tolerance"`` to cover the weakest case
+    (``StandardScaler``'s streaming merge).
     """
+
+    partial_fit_parity = "tolerance"
 
     def __init__(self, scaler: Optional[BaseComponent] = None):
         self.scaler = scaler
         self.fitted_scaler_: Optional[BaseComponent] = None
         self.n_variables_: Optional[int] = None
 
+    def _base_scaler(self) -> BaseComponent:
+        from repro.ml.preprocessing.scalers import StandardScaler
+
+        return self.scaler if self.scaler is not None else StandardScaler()
+
+    def _partial_fit_ready(self) -> bool:
+        from repro.ml.base import supports_partial_fit
+
+        return supports_partial_fit(self._base_scaler())
+
     def fit(self, X: Any, y: Any = None) -> "WindowScaler":
         from repro.ml.base import clone
-        from repro.ml.preprocessing.scalers import StandardScaler
 
         X = _as_windows(X, "WindowScaler")
         self.n_variables_ = X.shape[2]
-        base = self.scaler if self.scaler is not None else StandardScaler()
-        self.fitted_scaler_ = clone(base)
+        self.fitted_scaler_ = clone(self._base_scaler())
         self.fitted_scaler_.fit(X.reshape(-1, X.shape[2]))
+        return self
+
+    def partial_fit(self, X: Any, y: Any = None) -> "WindowScaler":
+        """Route the batch (reshaped to rows) to the inner scaler's
+        ``partial_fit``."""
+        from repro.ml.base import clone, supports_partial_fit
+
+        X = _as_windows(X, "WindowScaler")
+        if self.fitted_scaler_ is None:
+            base = self._base_scaler()
+            if not supports_partial_fit(base):
+                raise TypeError(
+                    f"wrapped scaler {type(base).__name__} does not support "
+                    "partial_fit"
+                )
+            self.n_variables_ = X.shape[2]
+            self.fitted_scaler_ = clone(base)
+        elif X.shape[2] != self.n_variables_:
+            raise ValueError(
+                f"X has {X.shape[2]} variables, scaler was fitted with "
+                f"{self.n_variables_}"
+            )
+        self.fitted_scaler_.partial_fit(X.reshape(-1, X.shape[2]))
         return self
 
     def transform(self, X: Any) -> np.ndarray:

@@ -1,0 +1,142 @@
+"""Change-policy edge cases surfaced by the streaming loop."""
+
+import numpy as np
+import pytest
+
+from repro.distributed.change_monitor import (
+    ChangeMonitor,
+    CostAwarePolicy,
+    DriftPolicy,
+    UpdateCountPolicy,
+    UpdateSizePolicy,
+)
+
+
+class TestUpdateCountPolicy:
+    def test_threshold_boundary_equality_fires(self):
+        policy = UpdateCountPolicy(threshold=3)
+        policy.observe(None, None, 0)
+        policy.observe(None, None, 0)
+        assert not policy.should_recompute()
+        policy.observe(None, None, 0)  # exactly at the threshold
+        assert policy.should_recompute()
+
+    def test_reset_restarts_counting(self):
+        policy = UpdateCountPolicy(threshold=2)
+        policy.observe(None, None, 0)
+        policy.observe(None, None, 0)
+        policy.reset()
+        assert not policy.should_recompute()
+
+
+class TestUpdateSizePolicy:
+    def test_zero_size_updates_never_fire(self):
+        policy = UpdateSizePolicy(threshold_bytes=100)
+        for _ in range(1000):
+            policy.observe(None, None, 0)
+        assert not policy.should_recompute()
+
+    def test_threshold_boundary_equality_fires(self):
+        policy = UpdateSizePolicy(threshold_bytes=100)
+        policy.observe(None, None, 60)
+        assert not policy.should_recompute()
+        policy.observe(None, None, 40)  # lands exactly on the threshold
+        assert policy.should_recompute()
+
+    def test_negative_size_rejected(self):
+        policy = UpdateSizePolicy(threshold_bytes=10)
+        with pytest.raises(ValueError):
+            policy.observe(None, None, -1)
+
+
+class TestDriftPolicy:
+    def test_seed_sets_baseline(self, rng):
+        policy = DriftPolicy(threshold=0.5)
+        baseline = rng.normal(size=(200, 3))
+        policy.seed(baseline)
+        policy.observe(None, baseline[:50] , baseline[:50].nbytes)
+        assert not policy.should_recompute()
+        shifted = baseline[:50] + 5.0
+        policy.observe(None, shifted, shifted.nbytes)
+        assert policy.should_recompute()
+
+    def test_reset_rebaselines_on_latest(self, rng):
+        policy = DriftPolicy(threshold=0.5)
+        policy.seed(rng.normal(size=(100, 2)))
+        shifted = rng.normal(loc=10.0, size=(50, 2))
+        policy.observe(None, shifted, shifted.nbytes)
+        assert policy.should_recompute()
+        policy.reset()  # new normal = the shifted regime
+        again = rng.normal(loc=10.0, size=(50, 2))
+        policy.observe(None, again, again.nbytes)
+        assert not policy.should_recompute()
+
+    def test_reseed_after_compaction_baseline(self, rng):
+        # seed() may be called again (e.g. after home-store compaction)
+        policy = DriftPolicy(threshold=0.5)
+        policy.seed(rng.normal(size=(100, 2)))
+        policy.seed(rng.normal(loc=10.0, size=(100, 2)))
+        close = rng.normal(loc=10.0, size=(40, 2))
+        policy.observe(None, close, close.nbytes)
+        assert not policy.should_recompute()
+
+
+class TestMonitorNotifyRecomputed:
+    def test_external_recompute_resets_policy(self):
+        monitor = ChangeMonitor(UpdateCountPolicy(threshold=3))
+        monitor.record_update(size=1)
+        monitor.record_update(size=1)
+        monitor.notify_recomputed()  # e.g. StreamingEvaluator.evaluate()
+        assert monitor.recomputations == 1
+        assert monitor.staleness_log == [2]
+        assert monitor.updates_since_recompute == 0
+        # the two absorbed updates no longer count toward the threshold
+        assert not monitor.record_update(size=1)
+        assert not monitor.record_update(size=1)
+        assert monitor.record_update(size=1)
+
+    def test_without_notification_policy_would_fire_early(self):
+        monitor = ChangeMonitor(UpdateCountPolicy(threshold=3))
+        monitor.record_update(size=1)
+        monitor.record_update(size=1)
+        # no notify_recomputed: the next update fires immediately
+        assert monitor.record_update(size=1)
+
+
+class TestCostAwarePolicy:
+    def test_defers_when_over_budget(self):
+        policy = CostAwarePolicy(
+            UpdateCountPolicy(threshold=1),
+            budget_seconds=5.0,
+            initial_cost_estimate=10.0,
+        )
+        policy.observe(None, None, 0)
+        assert not policy.should_recompute()
+        assert policy.deferrals == 1
+
+    def test_record_cost_replaces_prior(self):
+        policy = CostAwarePolicy(
+            UpdateCountPolicy(threshold=1),
+            budget_seconds=5.0,
+            initial_cost_estimate=10.0,
+        )
+        policy.record_cost(1.0)
+        assert policy.projected_cost == pytest.approx(1.0)
+        policy.observe(None, None, 0)
+        assert policy.should_recompute()
+
+    def test_reset_charges_budget_and_replenish_restores(self):
+        policy = CostAwarePolicy(
+            UpdateCountPolicy(threshold=1),
+            budget_seconds=4.0,
+            initial_cost_estimate=3.0,
+        )
+        policy.observe(None, None, 0)
+        assert policy.should_recompute()
+        policy.reset()
+        assert policy.remaining_seconds == pytest.approx(1.0)
+        policy.observe(None, None, 0)
+        assert not policy.should_recompute()  # 3.0 > 1.0 remaining
+        policy.replenish()
+        assert policy.remaining_seconds == pytest.approx(4.0)
+        assert policy.should_recompute()

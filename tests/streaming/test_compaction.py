@@ -1,0 +1,110 @@
+"""HomeDataStore delta-chain compaction and recovery catch-up."""
+
+import numpy as np
+import pytest
+
+from repro.distributed import (
+    HomeDataStore,
+    ReplicatedDataStore,
+    SimulatedNetwork,
+)
+from repro.distributed.datastore import FullResponse
+
+
+def put_versions(store, name, count, shape=(200, 4)):
+    data = np.zeros(shape)
+    for i in range(count):
+        data = data.copy()
+        data[i % shape[0], 0] = float(i + 1)
+        store.put(name, data)
+    return data
+
+
+class TestManualCompaction:
+    def test_compact_drops_chain_keeps_current(self):
+        store = HomeDataStore(history_depth=4)
+        put_versions(store, "o", 5)
+        assert store.chain_bytes("o") > 0
+        dropped = store.compact("o")
+        assert dropped == 4
+        assert store.chain_bytes("o") == 0
+        assert store.current_version("o") == 5
+        assert store.stats["compactions"] == 1
+        assert store.stats["versions_compacted"] == 4
+
+    def test_compact_all_objects(self):
+        store = HomeDataStore(history_depth=3)
+        put_versions(store, "a", 3)
+        put_versions(store, "b", 3)
+        assert store.compact() == 4  # 2 previous versions per object
+        assert store.chain_bytes("a") == 0
+        assert store.chain_bytes("b") == 0
+
+    def test_compact_unknown_object_raises(self):
+        store = HomeDataStore()
+        with pytest.raises(KeyError):
+            store.compact("missing")
+
+    def test_compact_single_version_is_noop(self):
+        store = HomeDataStore()
+        store.put("o", [1.0, 2.0])
+        assert store.compact("o") == 0
+        assert store.stats["compactions"] == 0
+
+
+class TestAutoCompaction:
+    def test_version_budget_triggers(self):
+        store = HomeDataStore(history_depth=8, compact_after_versions=2)
+        put_versions(store, "o", 5)
+        # never more than 2 previous versions retained
+        assert len(store._history["o"]) - 1 <= 2
+        assert store.stats["compactions"] >= 1
+
+    def test_bytes_budget_triggers(self):
+        store = HomeDataStore(history_depth=8, compact_bytes_budget=1)
+        put_versions(store, "o", 4)
+        # every put blows the 1-byte budget: chain is always collapsed
+        assert store.chain_bytes("o") == 0
+        assert store.stats["compactions"] >= 1
+
+    def test_no_budget_no_compaction(self):
+        store = HomeDataStore(history_depth=4)
+        put_versions(store, "o", 5)
+        assert store.stats["compactions"] == 0
+
+    def test_invalid_budgets_rejected(self):
+        with pytest.raises(ValueError):
+            HomeDataStore(compact_after_versions=0)
+        with pytest.raises(ValueError):
+            HomeDataStore(compact_bytes_budget=0)
+
+
+class TestCompactionTradeoff:
+    def test_lagging_reader_falls_back_to_full_copy(self):
+        store = HomeDataStore(history_depth=4)
+        put_versions(store, "o", 3)
+        # pre-compaction a lagging reader gets a delta
+        assert not isinstance(store.get("o", client_version=2), FullResponse)
+        store.compact("o")
+        # post-compaction the same request costs a full copy — the
+        # storage/recovery trade-off of collapsing the chain
+        assert isinstance(store.get("o", client_version=2), FullResponse)
+
+    def test_recover_site_catches_up_after_compaction(self):
+        net = SimulatedNetwork()
+        primary = HomeDataStore("p", clock=net.clock, history_depth=4)
+        replica = HomeDataStore("r", clock=net.clock, history_depth=4)
+        net.register("p", primary)
+        net.register("r", replica)
+        replicated = ReplicatedDataStore(
+            primary, [replica], net, sync_replication=True
+        )
+        put_versions(replicated, "o", 2)
+        replicated.fail_site("r")
+        put_versions(replicated, "o", 3)
+        primary.compact("o")
+        replicated.recover_site("r")
+        assert replica.current_version("o") == primary.current_version("o")
+        np.testing.assert_array_equal(
+            replica.current("o").payload(), primary.current("o").payload()
+        )

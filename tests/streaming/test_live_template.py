@@ -1,0 +1,53 @@
+"""LiveSensorTemplate: streaming analytics over industrial feeds."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import make_sensor_series
+from repro.templates import LiveSensorTemplate
+
+
+@pytest.fixture(scope="module")
+def feed():
+    return make_sensor_series(
+        length=1200, n_variables=3, regime_shift_at=900, random_state=7
+    )
+
+
+class TestLiveSensorTemplate:
+    def test_fit_produces_report(self, feed):
+        template = LiveSensorTemplate(lag=6, initial_train_size=200, val_size=60)
+        template.fit(feed[:600])
+        report = template.report()
+        assert "Best forecaster" in report.headline
+        assert report.metrics["rmse"] > 0
+        assert report.metrics["folds_cold"] > 0
+
+    def test_ingest_reuses_frontier(self, feed):
+        template = LiveSensorTemplate(lag=6, initial_train_size=200, val_size=60)
+        template.fit(feed[:600])
+        report = template.ingest(feed[600:640])
+        assert report.metrics["folds_reused"] > 0
+        assert report.metrics["folds_cold"] == 0
+        assert not report.details["drift_escalated"]
+
+    def test_regime_shift_escalates_to_cold_sweep(self, feed):
+        template = LiveSensorTemplate(lag=6, initial_train_size=200, val_size=60)
+        template.fit(feed[:600])
+        template.ingest(feed[600:800])
+        report = template.ingest(feed[800:1000])  # crosses the shift at 900
+        assert report.details["drift_escalated"]
+        assert report.metrics["folds_reused"] == 0
+        assert report.metrics["folds_cold"] > 0
+        assert any("Drift detected" in r for r in report.recommendations)
+
+    def test_unfitted_ingest_rejected(self, feed):
+        template = LiveSensorTemplate()
+        with pytest.raises(RuntimeError):
+            template.ingest(feed[:10])
+
+    def test_variable_count_mismatch_rejected(self, feed):
+        template = LiveSensorTemplate(lag=6, initial_train_size=200, val_size=60)
+        template.fit(feed[:600])
+        with pytest.raises(ValueError):
+            template.ingest(np.zeros((10, 5)))

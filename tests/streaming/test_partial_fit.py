@@ -1,0 +1,209 @@
+"""partial_fit parity: incremental updates vs a cold fit on all rows."""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import Pipeline
+from repro.ml.base import (
+    PARITY_EXACT,
+    PARITY_TOLERANCE,
+    BaseComponent,
+    RegressorMixin,
+    partial_fit_is_trustworthy,
+    partial_fit_parity,
+    supports_partial_fit,
+)
+from repro.ml.linear import LinearRegression, LogisticRegression, RidgeRegression
+from repro.ml.preprocessing import MinMaxScaler, NoOp, RobustScaler, StandardScaler
+from repro.timeseries.windows import (
+    CascadedWindows,
+    FlatWindowing,
+    NoScaling,
+    TSAsIID,
+    TSAsIs,
+    WindowScaler,
+)
+
+
+@pytest.fixture
+def batches(rng):
+    X = rng.normal(size=(120, 5))
+    w = rng.normal(size=5)
+    y = X @ w + 0.05 * rng.normal(size=120)
+    return (X[:70], y[:70]), (X[70:], y[70:]), (X, y)
+
+
+def incremental(component, parts):
+    for X, y in parts:
+        component.partial_fit(X, y)
+    return component
+
+
+class TestProtocol:
+    def test_parity_declarations(self):
+        assert partial_fit_parity(StandardScaler()) == PARITY_TOLERANCE
+        assert partial_fit_parity(MinMaxScaler()) == PARITY_EXACT
+        assert partial_fit_parity(LinearRegression()) == PARITY_TOLERANCE
+
+    def test_no_partial_fit_returns_none(self):
+        from repro.ml.tree import DecisionTreeRegressor
+
+        assert partial_fit_parity(DecisionTreeRegressor()) is None
+        assert not supports_partial_fit(DecisionTreeRegressor())
+
+    def test_undeclared_parity_raises(self):
+        class Sneaky(BaseComponent, RegressorMixin):
+            def fit(self, X, y):
+                return self
+
+            def partial_fit(self, X, y):
+                return self
+
+        with pytest.raises(TypeError, match="parity"):
+            partial_fit_parity(Sneaky())
+        assert not supports_partial_fit(Sneaky())
+
+    def test_fit_override_below_definer_distrusts(self):
+        class Retrained(LinearRegression):
+            def fit(self, X, y):  # full retrain; partial_fit state stale
+                return super().fit(X, y)
+
+        assert not partial_fit_is_trustworthy(Retrained())
+        assert not supports_partial_fit(Retrained())
+
+    def test_instance_readiness_hook(self):
+        from repro.ml.tree import DecisionTreeRegressor
+
+        ready = WindowScaler(scaler=StandardScaler())
+        assert supports_partial_fit(ready)
+        # readiness hook consults the *configured* inner scaler
+        not_ready = WindowScaler(scaler=DecisionTreeRegressor())
+        assert not supports_partial_fit(not_ready)
+
+
+class TestExactComponents:
+    """Exact-parity classes must be byte-identical to the cold fit."""
+
+    def test_minmax_scaler(self, batches):
+        (X1, _), (X2, _), (X, _) = batches
+        cold = MinMaxScaler().fit(X)
+        inc = incremental(MinMaxScaler(), [(X1, None), (X2, None)])
+        assert np.array_equal(cold.data_min_, inc.data_min_)
+        assert np.array_equal(cold.data_max_, inc.data_max_)
+        assert np.array_equal(cold.transform(X), inc.transform(X))
+
+    def test_robust_scaler(self, batches):
+        (X1, _), (X2, _), (X, _) = batches
+        cold = RobustScaler().fit(X)
+        inc = incremental(RobustScaler(), [(X1, None), (X2, None)])
+        assert np.array_equal(cold.transform(X), inc.transform(X))
+
+    def test_noop(self, batches):
+        (X1, _), (X2, _), (X, _) = batches
+        inc = incremental(NoOp(), [(X1, None), (X2, None)])
+        assert np.array_equal(inc.transform(X), np.asarray(X, dtype=float))
+
+    @pytest.mark.parametrize(
+        "transform_cls", [FlatWindowing, TSAsIID, TSAsIs, NoScaling]
+    )
+    def test_window_transforms(self, rng, transform_cls):
+        windows = rng.normal(size=(40, 6, 2))
+        cold = transform_cls().fit(windows)
+        inc = transform_cls()
+        inc.partial_fit(windows[:25])
+        inc.partial_fit(windows[25:])
+        assert np.array_equal(cold.transform(windows), inc.transform(windows))
+
+    def test_cascaded_windows_shape_mismatch(self, rng):
+        windows = rng.normal(size=(30, 8, 2))
+        cascade = CascadedWindows().fit(windows)
+        cascade.partial_fit(rng.normal(size=(5, 8, 2)))  # same shape: fine
+        with pytest.raises(ValueError):
+            cascade.partial_fit(rng.normal(size=(5, 8, 3)))
+
+
+class TestToleranceComponents:
+    """Tolerance-parity classes must agree within tight numerics."""
+
+    def test_standard_scaler(self, batches):
+        (X1, _), (X2, _), (X, _) = batches
+        cold = StandardScaler().fit(X)
+        inc = incremental(StandardScaler(), [(X1, None), (X2, None)])
+        np.testing.assert_allclose(cold.mean_, inc.mean_, rtol=1e-10)
+        np.testing.assert_allclose(cold.scale_, inc.scale_, rtol=1e-10)
+
+    def test_linear_regression(self, batches):
+        (X1, y1), (X2, y2), (X, y) = batches
+        cold = LinearRegression().fit(X, y)
+        inc = incremental(LinearRegression(), [(X1, y1), (X2, y2)])
+        np.testing.assert_allclose(cold.coef_, inc.coef_, atol=1e-8)
+        np.testing.assert_allclose(cold.intercept_, inc.intercept_, atol=1e-8)
+
+    def test_ridge_regression(self, batches):
+        (X1, y1), (X2, y2), (X, y) = batches
+        cold = RidgeRegression(alpha=0.3).fit(X, y)
+        inc = incremental(RidgeRegression(alpha=0.3), [(X1, y1), (X2, y2)])
+        np.testing.assert_allclose(cold.coef_, inc.coef_, atol=1e-8)
+
+    def test_linear_regression_feature_mismatch(self, batches):
+        (X1, y1), _, _ = batches
+        model = LinearRegression().partial_fit(X1, y1)
+        with pytest.raises(ValueError, match="features"):
+            model.partial_fit(X1[:, :3], y1)
+
+    def test_logistic_regression(self, rng):
+        X = rng.normal(size=(200, 4))
+        y = (X[:, 0] + X[:, 1] > 0).astype(int)
+        cold = LogisticRegression().fit(X, y)
+        inc = LogisticRegression()
+        inc.partial_fit(X[:120], y[:120], classes=[0, 1])
+        inc.partial_fit(X[120:], y[120:])
+        agreement = (cold.predict(X) == inc.predict(X)).mean()
+        assert agreement >= 0.95
+
+    def test_logistic_rejects_unseen_labels(self, rng):
+        X = rng.normal(size=(40, 3))
+        y = np.array([0, 1] * 20)
+        model = LogisticRegression().partial_fit(X, y, classes=[0, 1])
+        with pytest.raises(ValueError, match="unseen"):
+            model.partial_fit(X[:3], np.array([0, 1, 2]))
+
+    def test_window_scaler(self, rng):
+        windows = rng.normal(size=(50, 6, 2))
+        cold = WindowScaler().fit(windows)
+        inc = WindowScaler()
+        inc.partial_fit(windows[:30])
+        inc.partial_fit(windows[30:])
+        np.testing.assert_allclose(
+            cold.transform(windows), inc.transform(windows), rtol=1e-8
+        )
+
+
+class TestPipelinePartialFit:
+    def test_whole_chain_close_to_cold(self, batches):
+        (X1, y1), (X2, y2), (X, y) = batches
+        steps = [("scale", StandardScaler()), ("model", RidgeRegression())]
+        from repro.ml.base import clone
+
+        cold = Pipeline(steps).fit(X, y)
+        inc = Pipeline([(n, clone(c)) for n, c in steps])
+        inc.partial_fit(X1, y1)
+        inc.partial_fit(X2, y2)
+        # whole-chain parity is tolerance-class: predictions agree to a
+        # small fraction of the target's spread, not bit-for-bit
+        disagreement = np.sqrt(np.mean((cold.predict(X) - inc.predict(X)) ** 2))
+        assert disagreement < 0.1 * np.std(y)
+
+    def test_supports_partial_fit(self):
+        from repro.ml.tree import DecisionTreeRegressor
+
+        good = Pipeline(
+            [("scale", StandardScaler()), ("model", LinearRegression())]
+        )
+        assert good.supports_partial_fit()
+        bad = Pipeline(
+            [("scale", StandardScaler()), ("model", DecisionTreeRegressor())]
+        )
+        assert not bad.supports_partial_fit()
+        with pytest.raises(TypeError, match="model"):
+            bad.partial_fit(np.zeros((4, 2)), np.zeros(4))

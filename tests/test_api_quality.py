@@ -26,6 +26,7 @@ PACKAGES = [
     "repro.nn",
     "repro.timeseries",
     "repro.distributed",
+    "repro.streaming",
     "repro.darr",
     "repro.faults",
     "repro.obs",

@@ -18,6 +18,13 @@ longer exists) so the table stays honest, and smoke-calls every
 declared kernel on a default-constructed instance to catch kernels
 that crash at build time.
 
+A second check (:func:`check_partial_fit_parity`) applies the same
+make-the-choice-explicit rule to incremental updates: every repro class
+that defines ``partial_fit`` must declare ``partial_fit_parity`` as
+``"exact"`` or ``"tolerance"`` (see ``repro.ml.base``), so the
+streaming evaluator never warm-starts through a component whose parity
+contract nobody stated.
+
 Importable (``tests`` may reuse :func:`check_fusion_coverage`) and
 runnable as a CLI: ``python tools/check_fusion_coverage.py`` exits 0
 when clean, 1 with a per-problem report.
@@ -173,18 +180,74 @@ def check_fusion_coverage() -> List[str]:
     return problems
 
 
+def _partial_fit_classes():
+    """Yield every repro class that defines ``partial_fit`` itself."""
+    import repro
+
+    seen = set()
+    for module_info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        try:
+            module = importlib.import_module(module_info.name)
+        except Exception:  # optional deps may be absent; not this lint's job
+            continue
+        for _, obj in vars(module).items():
+            if (
+                inspect.isclass(obj)
+                and "partial_fit" in vars(obj)
+                and obj.__module__ == module_info.name
+                and not obj.__name__.startswith("_")
+                and obj not in seen
+            ):
+                seen.add(obj)
+                yield obj
+
+
+def check_partial_fit_parity() -> List[str]:
+    """Lint partial_fit parity declarations.
+
+    Every class defining ``partial_fit`` must carry a valid
+    ``partial_fit_parity`` declaration ("exact" or "tolerance"), and the
+    declaration must be inherited *with* the method (a subclass
+    overriding ``partial_fit`` without restating or inheriting a parity
+    makes no claim and fails).
+
+    Returns
+    -------
+    Problem strings (empty when every implementation declares parity).
+    """
+    from repro.ml.base import PARITY_EXACT, PARITY_TOLERANCE
+
+    problems: List[str] = []
+    for cls in sorted(
+        _partial_fit_classes(), key=lambda c: (c.__module__, c.__name__)
+    ):
+        qualname = f"{cls.__module__}.{cls.__name__}"
+        parity = getattr(cls, "partial_fit_parity", None)
+        if parity not in (PARITY_EXACT, PARITY_TOLERANCE):
+            problems.append(
+                f"undeclared parity: {qualname} defines partial_fit but "
+                f"partial_fit_parity is {parity!r}; declare "
+                '"exact" (bit-identical to a cold fit on the concatenated '
+                'batches) or "tolerance" (agrees within documented '
+                "numerical tolerance)"
+            )
+    return problems
+
+
 def main() -> int:
     """CLI entry point (0 clean, 1 with problems on stderr)."""
     sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
-    problems = check_fusion_coverage()
+    problems = check_fusion_coverage() + check_partial_fit_parity()
     if problems:
         for problem in problems:
             print(f"FAIL {problem}", file=sys.stderr)
         return 1
     covered = sum(1 for cls in _transformer_classes() if _declares_kernel(cls))
+    incremental = sum(1 for _ in _partial_fit_classes())
     print(
         f"fusion coverage OK: {covered} transformers fused, "
-        f"{len(FUSION_EXEMPT)} exempt with reasons"
+        f"{len(FUSION_EXEMPT)} exempt with reasons; "
+        f"{incremental} partial_fit implementations declare parity"
     )
     return 0
 
