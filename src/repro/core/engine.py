@@ -72,6 +72,12 @@ from repro.core.spec import (
 )
 from repro.ml.base import as_1d_array, clone
 from repro.obs import NULL_TELEMETRY, Telemetry, resolve_telemetry
+from repro.provenance import (
+    ContributionLedger,
+    ProvenanceRecord,
+    ProvenanceRegistry,
+    as_client,
+)
 from repro.store import (
     KIND_FOLD_TRANSFORM,
     KIND_RESULT,
@@ -338,11 +344,16 @@ class PrefixCache:
         key: ArtifactKey,
         value: Tuple[Any, Any],
         n_transformers: int = 1,
+        provenance: Any = None,
     ) -> None:
         """Store one fold's transformed data (idempotent per key)."""
         with self._lock:
             before = self._tier_totals()
-            self.store.put(key, (value[0], value[1], n_transformers))
+            self.store.put(
+                key,
+                (value[0], value[1], n_transformers),
+                provenance=provenance,
+            )
             after = self._tier_totals()
             if after[0] > before[0]:
                 self.stats.stores += 1
@@ -783,6 +794,10 @@ class _ExecutionContext:
     result_hook: Optional[Callable[[Any], None]] = None
     error_hook: Optional[Callable[[Any, BaseException], None]] = None
     reuse_hook: Optional[Callable[[Any], None]] = None
+    #: Producer identity stamped into this call's provenance records
+    #: (the serving layer passes the tenant; defaults to the engine's
+    #: own client).
+    producer: Any = None
     failure_policy: "FailurePolicy" = field(default_factory=FailurePolicy)
     failures: List[JobFailure] = field(default_factory=list)
     fallback_dataset_key: Optional[str] = None
@@ -855,6 +870,22 @@ class ExecutionEngine:
         runs every stage interpreted (the historical path).  Either way
         the computed results, artifact keys and cache counters are
         identical — compilation changes *how*, never *what*.
+    client:
+        This engine's producer identity (any string;
+        ``None`` → ``anonymous``), coerced to a
+        :class:`~repro.provenance.ClientId` and stamped into the
+        provenance record of every artifact the engine writes.  A
+        per-call identity (e.g. a serving tenant) can override it via
+        ``execute(..., producer=...)``.
+    provenance:
+        ``True`` (default) — keep a
+        :class:`~repro.provenance.ProvenanceRegistry` (attached to the
+        engine's store) recording who/from-what produced every written
+        artifact, plus a :class:`~repro.provenance.ContributionLedger`
+        crediting reuse savings to the producers whose artifacts
+        enabled them; an existing registry to share one across engines;
+        ``False``/``None`` to disable tracking entirely (zero
+        overhead, :attr:`provenance` and :attr:`ledger` are ``None``).
     """
 
     def __init__(
@@ -868,6 +899,8 @@ class ExecutionEngine:
         store: Any = None,
         data_ref: Optional[Tuple[str, int]] = None,
         compile: Any = "auto",
+        client: Any = None,
+        provenance: Any = True,
     ):
         self.executor = resolve_executor(executor, max_workers=max_workers)
         self.store = resolve_store(store, cache_size=cache_size)
@@ -879,6 +912,33 @@ class ExecutionEngine:
             )
         else:
             self.cache = None
+        #: This engine's producer identity, stamped into provenance
+        #: records (overridable per call via ``execute(producer=...)``).
+        self.client = as_client(client)
+        # Explicit identity check: an *empty* shared registry must still
+        # enable tracking (ProvenanceRegistry is falsy at len 0).
+        if provenance is not None and provenance is not False:
+            attached = self._local_store()
+            existing = (
+                getattr(attached, "registry", None)
+                if attached is not None
+                else None
+            )
+            if isinstance(provenance, ProvenanceRegistry):
+                self.provenance: Optional[ProvenanceRegistry] = provenance
+            elif isinstance(existing, ProvenanceRegistry):
+                # A shared store with a registry already attached (e.g.
+                # another engine's) keeps it: engines sharing artifacts
+                # share lineage, so reuse credits the real producer.
+                self.provenance = existing
+            else:
+                self.provenance = ProvenanceRegistry()
+            self.ledger: Optional[ContributionLedger] = ContributionLedger()
+            if attached is not None:
+                attached.attach_registry(self.provenance)
+        else:
+            self.provenance = None
+            self.ledger = None
         self.data_ref = data_ref
         self.compile_spec = compile
         self._compile_enabled = compile not in (False, None, "off")
@@ -911,8 +971,13 @@ class ExecutionEngine:
     @telemetry.setter
     def telemetry(self, value: Any) -> None:
         """Attach a telemetry handle; an enabled handle is also pushed
-        down to the wrapped scheduler (if the executor has one)."""
+        down to the wrapped scheduler (if the executor has one) and to
+        the provenance registry (``provenance.*`` counters)."""
         self._telemetry = resolve_telemetry(value)
+        if getattr(self, "provenance", None) is not None:
+            self.provenance.telemetry = (
+                self._telemetry if self._telemetry.enabled else None
+            )
         scheduler = getattr(self.executor, "scheduler", None)
         if (
             self._telemetry.enabled
@@ -945,6 +1010,7 @@ class ExecutionEngine:
         result_hook: Optional[Callable[[Any], None]] = None,
         error_hook: Optional[Callable[[Any, BaseException], None]] = None,
         reuse_hook: Optional[Callable[[Any], None]] = None,
+        producer: Any = None,
     ) -> List[Any]:
         """Run a batch of jobs (an iterable or an :class:`ExecutionPlan`)
         and return their :class:`~repro.core.evaluation.PipelineResult`
@@ -958,6 +1024,10 @@ class ExecutionEngine:
         When the engine has a :attr:`store`, a job whose completed
         result is already stored is *reused*: it comes back flagged
         ``from_cache`` and fires ``reuse_hook`` (not ``result_hook``).
+
+        ``producer`` overrides the engine's :attr:`client` as the
+        identity stamped into this batch's provenance records (the
+        serving layer passes the requesting tenant here).
         """
         plan = (
             jobs
@@ -965,7 +1035,7 @@ class ExecutionEngine:
             else ExecutionPlan(jobs, job_filter=job_filter)
         )
         ctx = self._context(
-            X, y, cv, metric, result_hook, error_hook, reuse_hook
+            X, y, cv, metric, result_hook, error_hook, reuse_hook, producer
         )
         groups = plan.groups()
         ordered: List[Any] = []
@@ -1044,6 +1114,7 @@ class ExecutionEngine:
         result_hook: Optional[Callable[[Any], None]] = None,
         error_hook: Optional[Callable[[Any, BaseException], None]] = None,
         reuse_hook: Optional[Callable[[Any], None]] = None,
+        producer: Any = None,
     ) -> Any:
         """Run one job in the calling thread (still cache-aware).
 
@@ -1052,7 +1123,7 @@ class ExecutionEngine:
         lands on :attr:`last_failures`).
         """
         ctx = self._context(
-            X, y, cv, metric, result_hook, error_hook, reuse_hook
+            X, y, cv, metric, result_hook, error_hook, reuse_hook, producer
         )
         result = self._run(job, ctx, _UNSET)
         self.last_failures = list(ctx.failures)
@@ -1078,6 +1149,8 @@ class ExecutionEngine:
                 **self.cache.stats.as_dict(),
             }
         stats["results_reused"] = self._results_reused
+        if self.provenance is not None:
+            stats["provenance_records"] = len(self.provenance)
         tiers = self._merged_tier_stats()
         if tiers:
             stats["tiers"] = tiers
@@ -1202,7 +1275,15 @@ class ExecutionEngine:
 
     # -- internals ----------------------------------------------------------
     def _context(
-        self, X, y, cv, metric, result_hook, error_hook, reuse_hook=None
+        self,
+        X,
+        y,
+        cv,
+        metric,
+        result_hook,
+        error_hook,
+        reuse_hook=None,
+        producer=None,
     ) -> _ExecutionContext:
         X = np.asarray(X, dtype=float)
         if X.ndim == 1:
@@ -1226,6 +1307,9 @@ class ExecutionEngine:
             result_hook=result_hook,
             error_hook=error_hook,
             reuse_hook=reuse_hook,
+            producer=(
+                as_client(producer) if producer is not None else self.client
+            ),
             failure_policy=self.failure_policy,
         )
 
@@ -1251,6 +1335,42 @@ class ExecutionEngine:
             data_object=name,
             data_version=version,
             fold=fold,
+        )
+
+    def _provenance_for(
+        self,
+        key: ArtifactKey,
+        ctx: _ExecutionContext,
+        parents: Tuple[str, ...] = (),
+        executor: str = "interpreted",
+    ) -> Optional[ProvenanceRecord]:
+        """The provenance record for an artifact this call produced
+        (``None`` when tracking is off — put sites stay zero-cost)."""
+        if self.provenance is None:
+            return None
+        return ProvenanceRecord.for_key(
+            key,
+            producer=ctx.producer,
+            parents=parents,
+            executor=executor,
+            tick=self.provenance.tick(),
+        )
+
+    def _credit_reuse(
+        self, result_key: Any, fits_saved: int, bytes_saved: int = 0
+    ) -> None:
+        """Credit one result-reuse event to the producers whose
+        artifacts enabled it (the reused result's recorded lineage;
+        ``anonymous`` when no provenance is known)."""
+        if self.ledger is None:
+            return
+        producers: List[Any] = []
+        if self.provenance is not None:
+            producers = [
+                rec.producer for _, rec in self.provenance.lineage(result_key)
+            ]
+        self.ledger.credit(
+            producers, fits_saved=fits_saved, bytes_saved=bytes_saved
         )
 
     @staticmethod
@@ -1372,6 +1492,7 @@ class ExecutionEngine:
             "store": self.store.spec() if self.store is not None else None,
             "data_ref": self.data_ref,
             "compile": self.compile_spec if self._compile_enabled else False,
+            "client": str(ctx.producer) if ctx.producer is not None else None,
         }
         if executor is None:
             executor = self.executor
@@ -1397,12 +1518,41 @@ class ExecutionEngine:
                     key=record["key"],
                     from_cache=reused,
                 )
+                result_key = (
+                    self._artifact_key(
+                        KIND_RESULT,
+                        job.key,
+                        dataset=self._dataset_key(ctx, job),
+                    )
+                    if self.store is not None
+                    else None
+                )
                 if reused:
                     self._results_reused += 1
+                    if result_key is not None:
+                        self._credit_reuse(
+                            result_key, len(cv_result.fold_scores)
+                        )
                     if ctx.reuse_hook is not None:
                         ctx.reuse_hook(result)
-                elif ctx.result_hook is not None:
-                    ctx.result_hook(result)
+                else:
+                    # Workers rebuild their own engine (and registry)
+                    # per call; record the result's provenance parent-
+                    # side too so lineage works without re-reading the
+                    # shared tier.  First-write-wins keeps this from
+                    # clobbering anything already learned.
+                    if result_key is not None and self.provenance is not None:
+                        self.provenance.record(
+                            result_key,
+                            ProvenanceRecord.for_key(
+                                result_key,
+                                producer=ctx.producer,
+                                executor="processes",
+                                tick=self.provenance.tick(),
+                            ),
+                        )
+                    if ctx.result_hook is not None:
+                        ctx.result_hook(result)
                 results.append(result)
                 continue
             exc = WorkerJobError(
@@ -1486,6 +1636,9 @@ class ExecutionEngine:
                 result = self._result_from_artifact(job, stored)
                 with ctx.lock:
                     self._results_reused += 1
+                self._credit_reuse(
+                    result_key, len(result.cv_result.fold_scores)
+                )
                 if self._telemetry.enabled:
                     self._telemetry.count(
                         "engine.folds_skipped",
@@ -1516,10 +1669,15 @@ class ExecutionEngine:
             and bool(transformers)
         )
         chain = group.chain if group is not None else None
+        executor_label = "compiled" if chain is not None else "interpreted"
         tel = self._telemetry
         timing = tel.enabled
         started = time.perf_counter()
         scores: List[float] = []
+        # Fold-transform digests this job touched, in fold order: they
+        # become the result artifact's provenance parents, linking the
+        # final number back to the transformed data it was fit on.
+        fold_digests: List[str] = []
         # A job may carry its own splitter (set as a ``cv_override``
         # attribute, e.g. by repro.streaming to pin a specific fold
         # subset); it replaces the context splitter for this job only.
@@ -1546,6 +1704,7 @@ class ExecutionEngine:
                         dataset=dataset_key,
                         fold=fold_id,
                     )
+                    fold_digests.append(cache_key.digest)
                     transformed = self.cache.get(cache_key)
                 if transformed is not None:
                     X_train, X_test = transformed
@@ -1580,6 +1739,9 @@ class ExecutionEngine:
                             cache_key,
                             (X_train, X_test),
                             n_transformers=len(transformers),
+                            provenance=self._provenance_for(
+                                cache_key, ctx, executor=executor_label
+                            ),
                         )
                 transform_done = time.perf_counter() if timing else 0.0
                 estimator = clone(pipeline.steps[-1][1])
@@ -1628,7 +1790,16 @@ class ExecutionEngine:
             key=job.key,
         )
         if result_key is not None:
-            self.store.put(result_key, self._result_artifact(result))
+            self.store.put(
+                result_key,
+                self._result_artifact(result),
+                provenance=self._provenance_for(
+                    result_key,
+                    ctx,
+                    parents=tuple(fold_digests),
+                    executor=executor_label,
+                ),
+            )
         if ctx.result_hook is not None:
             ctx.result_hook(result)
         return result

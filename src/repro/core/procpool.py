@@ -319,6 +319,7 @@ class _WorkerCallState:
             store=store,
             data_ref=payload.get("data_ref"),
             compile=payload.get("compile", False),
+            client=payload.get("client"),
         )
         plan = payload.get("fault_plan")
         self.injector = plan.injector() if plan is not None else None
@@ -746,6 +747,7 @@ class ProcessExecutor(Executor):
                 "store": call.get("store"),
                 "data_ref": call.get("data_ref"),
                 "compile": call.get("compile", False),
+                "client": call.get("client"),
             }
             stats["shm_bytes"] = plane.nbytes
             completed = self._dispatch(token, batches, payload, stats)

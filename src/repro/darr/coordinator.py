@@ -29,6 +29,7 @@ from repro.core.evaluation import (
 from repro.darr.records import AnalyticsResult
 from repro.darr.repository import DataAnalyticsResultsRepository
 from repro.faults import ServiceUnavailable
+from repro.provenance import ANONYMOUS, ContributionLedger, as_client
 
 __all__ = ["CooperativeStats", "CooperativeEvaluator", "run_cooperative_session"]
 
@@ -51,6 +52,16 @@ class CooperativeStats:
     claims_expired: int = 0
     claims_reclaimed: int = 0
     darr_unavailable: int = 0
+    #: The client's :class:`~repro.provenance.ContributionLedger`
+    #: (shared with the engine), attributing each reuse/skip event's
+    #: saved work to the clients whose published artifacts enabled it.
+    ledger: Optional[ContributionLedger] = None
+
+    @property
+    def leaderboard(self) -> List[Dict[str, Any]]:
+        """Per-client cooperative contributions, most valuable first
+        (empty when no ledger is attached)."""
+        return self.ledger.leaderboard() if self.ledger is not None else []
 
     @property
     def total_jobs(self) -> int:
@@ -98,19 +109,34 @@ class CooperativeEvaluator:
     ):
         self.evaluator = evaluator
         self.darr = darr
-        self.client = client
+        self.client = as_client(client)
+        engine = evaluator.engine
+        # The engine stamps provenance with its own identity; an engine
+        # that was never given one inherits this client's name so every
+        # artifact the cooperative run writes names its real producer.
+        if getattr(engine, "client", ANONYMOUS) == ANONYMOUS:
+            engine.client = self.client
         if store is not None:
             from repro.store import DarrStore, LayeredStore, resolve_store
 
             base = resolve_store(store)
-            darr_tier = DarrStore(darr, client=client)
+            darr_tier = DarrStore(darr, client=self.client)
             tiers = (
                 list(base.tiers) + [darr_tier]
                 if isinstance(base, LayeredStore)
                 else [base, darr_tier]
             )
-            evaluator.engine.store = LayeredStore(tiers)
-        self.stats = CooperativeStats()
+            engine.store = LayeredStore(tiers)
+            # The rewired stack must keep feeding the engine's registry
+            # (the DARR tier teaches it fetched records' lineage too).
+            if getattr(engine, "provenance", None) is not None:
+                engine.store.attach_registry(engine.provenance)
+        #: Shared with the engine so store-tier reuse and DARR-protocol
+        #: reuse/skips land in one attribution ledger.
+        self.ledger: Optional[ContributionLedger] = getattr(
+            engine, "ledger", None
+        )
+        self.stats = CooperativeStats(ledger=self.ledger)
         self.telemetry = evaluator.telemetry
         # One handle on the evaluator observes the whole cooperative
         # loop: push it down to the repository so DARR publish / claim /
@@ -134,12 +160,14 @@ class CooperativeEvaluator:
             self._observe_unavailable()
             return None
 
-    def _claim(self, key: str) -> Optional[bool]:
+    def _claim(self, key: str):
         """Claim ``key``; accounts reclaims of expired foreign claims.
 
-        Returns True (granted), False (denied — someone else holds a
-        live claim) or ``None`` when the repository was unreachable, in
-        which case the caller computes locally without coordination.
+        Returns the :class:`~repro.darr.repository.ClaimOutcome`
+        (``granted`` False means someone else holds a live claim, with
+        ``holder`` naming them) or ``None`` when the repository was
+        unreachable, in which case the caller computes locally without
+        coordination.
         """
         try:
             outcome = self.darr.claim_job(key, self.client)
@@ -151,7 +179,63 @@ class CooperativeEvaluator:
             self.stats.claims_reclaimed += 1
             if self.telemetry.enabled:
                 self.telemetry.count("darr.claims_reclaimed")
-        return outcome.granted
+        return outcome
+
+    # -- contribution accounting -----------------------------------------
+    def _credit_record(self, record: AnalyticsResult) -> None:
+        """Credit one DARR-fetch reuse to the clients that enabled it:
+        the record's provenance producer when known, else its
+        publisher.  Value = the fold fits not run + the record's wire
+        size not recomputed."""
+        if self.ledger is None:
+            return
+        producers: List[Any] = []
+        doc = getattr(record, "provenance", None)
+        if doc and doc.get("producer"):
+            producers.append(doc["producer"])
+        if getattr(record, "client", None):
+            producers.append(record.client)
+        self.ledger.credit(
+            producers,
+            fits_saved=len(record.fold_scores),
+            bytes_saved=record.wire_size,
+        )
+
+    def _credit_skip(self, holder: Optional[str], job: EvaluationJob) -> None:
+        """Credit one skip-while-claimed event to the claim holder —
+        their in-flight computation is what spares this client the
+        job's fold fits."""
+        if self.ledger is None:
+            return
+        spec = job.spec if isinstance(job.spec, Mapping) else {}
+        cv = spec.get("cv")
+        params = cv.get("params", {}) if isinstance(cv, Mapping) else {}
+        fits = int(params.get("n_splits") or params.get("k") or 0)
+        self.ledger.credit(
+            [holder] if holder else [], fits_saved=fits
+        )
+
+    def _provenance_doc(
+        self, result: PipelineResult, spec: Dict[str, Any]
+    ) -> Optional[Dict[str, Any]]:
+        """The provenance document to publish with ``result`` — what
+        the engine's registry recorded when the result artifact was
+        written (``None`` when tracking is off or nothing is known)."""
+        engine = self.evaluator.engine
+        registry = getattr(engine, "provenance", None)
+        if registry is None:
+            return None
+        from repro.store import KIND_RESULT
+
+        key = engine._artifact_key(
+            KIND_RESULT, result.key, dataset=spec.get("dataset") or ""
+        )
+        rec = registry.get(key.digest)
+        if rec is None:
+            return None
+        doc = dict(rec.as_dict())
+        doc["digest"] = key.digest
+        return doc
 
     def _publish_record(self, result: PipelineResult, spec: Dict[str, Any]) -> bool:
         """Best-effort publish; on an unreachable repository the claim
@@ -161,6 +245,7 @@ class CooperativeEvaluator:
             client=self.client,
             spec=spec,
             timestamp=self.darr._now(),
+            provenance=self._provenance_doc(result, spec),
         )
         try:
             self.darr.publish(record, self.client)
@@ -182,16 +267,19 @@ class CooperativeEvaluator:
         cached = self._fetch(job.key)
         if cached is not None:
             self._observe_reused()
+            self._credit_record(cached)
             return cached.to_pipeline_result()
         claim = self._claim(job.key)
-        if claim is False:
+        if claim is not None and not claim.granted:
             # Either someone published between fetch and claim (rare in
             # the simulation) or another client is computing it.
             cached = self._fetch(job.key)
             if cached is not None:
                 self._observe_reused()
+                self._credit_record(cached)
                 return cached.to_pipeline_result()
             self.stats.skipped_claimed += 1
+            self._credit_skip(claim.holder, job)
             if self.telemetry.enabled:
                 self.telemetry.count("darr.jobs_skipped_claimed")
                 self.telemetry.count("darr.redundant_computations_avoided")
@@ -257,16 +345,19 @@ class CooperativeEvaluator:
             cached = self._fetch(job.key)
             if cached is not None:
                 self._observe_reused()
+                self._credit_record(cached)
                 report.results.append(cached.to_pipeline_result())
                 continue
             claim = self._claim(job.key)
-            if claim is False:
+            if claim is not None and not claim.granted:
                 cached = self._fetch(job.key)
                 if cached is not None:
                     self._observe_reused()
+                    self._credit_record(cached)
                     report.results.append(cached.to_pipeline_result())
                 else:
                     self.stats.skipped_claimed += 1
+                    self._credit_skip(claim.holder, job)
                     if self.telemetry.enabled:
                         self.telemetry.count("darr.jobs_skipped_claimed")
                         self.telemetry.count(
@@ -364,6 +455,7 @@ class CooperativeEvaluator:
                 "claims_expired": self.stats.claims_expired,
                 "claims_reclaimed": self.stats.claims_reclaimed,
                 "darr_unavailable": self.stats.darr_unavailable,
+                "leaderboard": self.stats.leaderboard,
             },
             "failures": [
                 failure.as_dict()

@@ -12,7 +12,7 @@ or reproduce the calculation.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields, MISSING
 from typing import Any, Dict, List, Optional
 
 from repro.core.evaluation import PipelineResult
@@ -44,6 +44,25 @@ class AnalyticsResult:
     explanation: str
     timestamp: float = 0.0
     spec: Dict[str, Any] = field(default_factory=dict)
+    #: Provenance sidecar (a
+    #: :meth:`repro.provenance.ProvenanceRecord.as_dict` document plus
+    #: the producing artifact's ``digest``); rides inside the record,
+    #: so repository dumps, shard replication and crash rebalancing
+    #: preserve lineage for free.  ``None`` for legacy records.
+    provenance: Optional[Dict[str, Any]] = None
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        # Records pickled by older schema versions (v1–v3 repository
+        # dumps) predate newer fields; restore declared defaults for
+        # whatever the pickle lacks so legacy dumps keep loading.
+        for f in fields(self):
+            if f.name in state:
+                continue
+            if f.default is not MISSING:
+                state[f.name] = f.default
+            elif f.default_factory is not MISSING:  # type: ignore[misc]
+                state[f.name] = f.default_factory()  # type: ignore[misc]
+        object.__setattr__(self, "__dict__", state)
 
     @classmethod
     def from_pipeline_result(
@@ -52,6 +71,7 @@ class AnalyticsResult:
         client: str,
         spec: Optional[Dict[str, Any]] = None,
         timestamp: float = 0.0,
+        provenance: Optional[Dict[str, Any]] = None,
     ) -> "AnalyticsResult":
         """Package a local :class:`PipelineResult` for publication."""
         spec = spec or {}
@@ -76,6 +96,7 @@ class AnalyticsResult:
             explanation=explanation,
             timestamp=timestamp,
             spec=spec,
+            provenance=provenance,
         )
 
     @classmethod
@@ -85,6 +106,7 @@ class AnalyticsResult:
         value: Dict[str, Any],
         client: str = "store",
         timestamp: float = 0.0,
+        provenance: Optional[Dict[str, Any]] = None,
     ) -> "AnalyticsResult":
         """Build a record from a store artifact payload (the inverse of
         :meth:`artifact_value`) — how a locally cached result becomes a
@@ -105,7 +127,7 @@ class AnalyticsResult:
             key=key,
         )
         return cls.from_pipeline_result(
-            result, client=client, timestamp=timestamp
+            result, client=client, timestamp=timestamp, provenance=provenance
         )
 
     def artifact_value(self) -> Dict[str, Any]:

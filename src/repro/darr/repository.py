@@ -417,17 +417,21 @@ class DataAnalyticsResultsRepository:
 DARR = DataAnalyticsResultsRepository
 
 
-#: Current on-disk schema of :func:`save_repository` dumps.  Version 3
-#: adds the ``sharding`` section (consistent-hash ring membership +
-#: replication metadata for :class:`~repro.darr.sharded.ShardedDarr`
-#: dumps; ``None`` for single-repository dumps).  Version 2 added the
-#: claims/stats header; version 1 (a bare pickled list of records)
-#: predates the header.  All three load.
-REPOSITORY_SCHEMA_VERSION = 3
+#: Current on-disk schema of :func:`save_repository` dumps.  Version 4
+#: records carry the provenance sidecar
+#: (:attr:`~repro.darr.records.AnalyticsResult.provenance`); the dump
+#: layout is otherwise that of version 3, which added the ``sharding``
+#: section (consistent-hash ring membership + replication metadata for
+#: :class:`~repro.darr.sharded.ShardedDarr` dumps; ``None`` for
+#: single-repository dumps).  Version 2 added the claims/stats header;
+#: version 1 (a bare pickled list of records) predates the header.  All
+#: four load (legacy records rehydrate with ``provenance=None`` via
+#: ``AnalyticsResult.__setstate__``).
+REPOSITORY_SCHEMA_VERSION = 4
 
 
 def save_repository(repository, path) -> int:
-    """Persist a repository's full state to ``path`` (schema v3).
+    """Persist a repository's full state to ``path`` (schema v4).
 
     The DARR is cloud-resident in the paper; persistence gives it the
     durability a real deployment needs (and lets sessions resume without
@@ -482,7 +486,7 @@ def save_repository(repository, path) -> int:
 def load_repository(path, name: str = "darr", network=None):
     """Load a repository previously written by :func:`save_repository`.
 
-    All schema versions load: a v3 dump with a ``sharding`` section
+    All schema versions load: a v3/v4 dump with a ``sharding`` section
     rebuilds a :class:`~repro.darr.sharded.ShardedDarr` (ring
     membership, replication factor, shard liveness, per-shard claims,
     records re-placed on their owning shards); a v3 dump without one —
@@ -513,7 +517,7 @@ def load_repository(path, name: str = "darr", network=None):
     if isinstance(document, list):  # legacy schema 1: records only
         document = {"schema": 1, "records": document}
     schema = document.get("schema")
-    if schema not in (1, 2, REPOSITORY_SCHEMA_VERSION):
+    if schema not in (1, 2, 3, REPOSITORY_SCHEMA_VERSION):
         raise ValueError(
             f"unsupported repository dump schema {schema!r} in {path}"
         )

@@ -1,0 +1,32 @@
+"""Provenance: producer identity, artifact lineage and contribution credit.
+
+The paper promises "results with provenance/explanations"; this package
+is that promise made structural.  One
+:class:`ClientId` identity is shared by DARR clients, serve tenants and
+fault-injection labels; every
+:class:`~repro.store.base.ArtifactStore` write attaches a
+:class:`ProvenanceRecord`; the :class:`ProvenanceRegistry` answers
+``lineage(digest)`` (back to raw data versions) and
+``descendants(data_object, version)`` (invalidation audits); and the
+:class:`ContributionLedger` attributes every reuse/skip event's saved
+fits and bytes to the clients whose published artifacts enabled it
+(Shapley-style equal split over the enabling chain).
+
+Dependency-wise this package sits *below* ``repro.store``: it imports
+nothing from the rest of repro, so store tiers, the engine, the DARR,
+serve and streaming can all build on it.  See ``docs/provenance.md``.
+"""
+
+from repro.provenance.identity import ANONYMOUS, ClientId, as_client
+from repro.provenance.ledger import ContributionLedger
+from repro.provenance.record import ProvenanceRecord
+from repro.provenance.registry import ProvenanceRegistry
+
+__all__ = [
+    "ANONYMOUS",
+    "ClientId",
+    "as_client",
+    "ProvenanceRecord",
+    "ProvenanceRegistry",
+    "ContributionLedger",
+]

@@ -1,0 +1,84 @@
+"""One producer identity for the whole stack: :class:`ClientId`.
+
+Before this module, "who did this" was a different ad-hoc string in
+every subsystem: DARR records carried a free-form ``client`` field,
+serve keyed :class:`~repro.serve.queue.TenantQuota` maps by tenant
+name, fault-injection sites labelled checks with whatever the caller
+passed.  :class:`ClientId` unifies them — it *is* a ``str`` (so every
+existing call site, dict key and pickle keeps working unchanged — the
+compat shim for the deprecated ad-hoc strings) but validates its shape
+once at construction, so a producer identity can never be empty,
+padded, or contain control characters that would corrupt provenance
+records, telemetry labels or persisted repository dumps.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = ["ClientId", "ANONYMOUS", "as_client"]
+
+
+class ClientId(str):
+    """A validated producer identity (client, tenant or service name).
+
+    A ``str`` subclass: equal to, hashable as, and substitutable for
+    the plain strings it replaces.  Construction normalizes
+    surrounding whitespace and rejects identities that are empty or
+    contain newlines/control characters.
+
+    >>> ClientId(" alice ") == "alice"
+    True
+    >>> {ClientId("home-1"): 1}["home-1"]
+    1
+    """
+
+    __slots__ = ()
+
+    def __new__(cls, value: Any) -> "ClientId":
+        if isinstance(value, ClientId):
+            return value
+        text = str(value).strip()
+        if not text:
+            raise ValueError("client identity must be non-empty")
+        if any(ord(ch) < 32 or ch == "\x7f" for ch in text):
+            raise ValueError(
+                f"client identity {text!r} contains control characters"
+            )
+        return super().__new__(cls, text)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ClientId({str.__repr__(self)})"
+
+
+#: Identity stamped when a write path has no better answer (legacy
+#: callers that never named their client).
+ANONYMOUS = ClientId("anonymous")
+
+
+def as_client(value: Any, default: ClientId = ANONYMOUS) -> ClientId:
+    """Coerce ``value`` into a :class:`ClientId` (the compat shim).
+
+    Accepts an existing :class:`ClientId`, any non-empty string (the
+    deprecated ad-hoc form — normalized in place), or ``None`` /
+    empty, which falls back to ``default``.
+
+    Parameters
+    ----------
+    value:
+        The identity-ish value to coerce.
+    default:
+        Identity used when ``value`` is ``None`` or blank.
+
+    Returns
+    -------
+    A validated :class:`ClientId`.
+    """
+    if value is None:
+        return default
+    if isinstance(value, ClientId):
+        return value
+    text = str(value).strip()
+    if not text:
+        return default
+    return ClientId(text)

@@ -1,0 +1,191 @@
+"""Shapley-style cooperative contribution accounting.
+
+Every reuse or skip event in the cooperative protocol has a measurable
+value — the fold fits the consumer did not run and the bytes it did not
+recompute — and a set of clients whose published artifacts *enabled*
+it.  The :class:`ContributionLedger` attributes that value to those
+clients.
+
+The game-theoretic framing (see "A Comprehensive Study of Shapley
+Value in Data Analytics"): for one event, the players are the
+producers of the artifacts in the reused result's lineage, and the
+characteristic function is all-or-nothing — the savings exist only
+when the *whole* chain is present (a result without its parents is
+not reusable, a fold score without the fitted model it advanced from
+would not exist).  For such a symmetric unanimity game the Shapley
+value is the equal split among the distinct enabling producers, which
+is exactly what :meth:`ContributionLedger.credit` applies.
+
+Credits are kept as exact :class:`fractions.Fraction` values, so the
+ledger's defining invariant — per-client attributions sum *exactly* to
+the run's recorded totals, no float drift — holds by construction and
+is property-tested in ``tests/provenance/test_ledger.py``.
+"""
+
+from __future__ import annotations
+
+import threading
+from fractions import Fraction
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.provenance.identity import ANONYMOUS, as_client
+
+__all__ = ["ContributionLedger"]
+
+
+class _Account:
+    """Per-client running credit totals (exact arithmetic)."""
+
+    __slots__ = ("events", "fits_saved", "bytes_saved")
+
+    def __init__(self):
+        self.events = Fraction(0)
+        self.fits_saved = Fraction(0)
+        self.bytes_saved = Fraction(0)
+
+
+class ContributionLedger:
+    """Attributes cooperative savings to the clients that enabled them.
+
+    Thread-safe; shared by the execution engine (store reuse), the
+    cooperative coordinator (DARR fetch reuse and claim skips) and the
+    serving layer (one ledger per service).
+    """
+
+    def __init__(self):
+        self._accounts: Dict[str, _Account] = {}
+        self._lock = threading.Lock()
+        self.total_events = 0
+
+    def credit(
+        self,
+        producers: Iterable[Any],
+        fits_saved: int = 0,
+        bytes_saved: int = 0,
+    ) -> None:
+        """Record one reuse/skip event worth ``fits_saved`` fold fits
+        and ``bytes_saved`` bytes, split equally (the Shapley value of
+        the all-or-nothing enabling game) among the *distinct*
+        ``producers``.
+
+        Parameters
+        ----------
+        producers:
+            The clients whose artifacts enabled the event (duplicates
+            and blanks collapse; empty falls back to ``anonymous`` so
+            no recorded savings ever leak out of the accounting).
+        fits_saved:
+            Fold fits the consumer did not run.
+        bytes_saved:
+            Bytes the consumer did not recompute (typically the
+            record's wire size).
+        """
+        names = sorted({str(as_client(p)) for p in producers if p is not None})
+        if not names:
+            names = [str(ANONYMOUS)]
+        share = Fraction(1, len(names))
+        with self._lock:
+            self.total_events += 1
+            for name in names:
+                account = self._accounts.setdefault(name, _Account())
+                account.events += share
+                account.fits_saved += share * fits_saved
+                account.bytes_saved += share * bytes_saved
+
+    # -- totals (exact) ---------------------------------------------------
+    def _totals(self) -> Dict[str, Fraction]:
+        return {
+            "events": sum(
+                (a.events for a in self._accounts.values()), Fraction(0)
+            ),
+            "fits_saved": sum(
+                (a.fits_saved for a in self._accounts.values()), Fraction(0)
+            ),
+            "bytes_saved": sum(
+                (a.bytes_saved for a in self._accounts.values()), Fraction(0)
+            ),
+        }
+
+    @property
+    def total_fits_saved(self) -> Fraction:
+        """Exact sum of every client's attributed fold fits."""
+        with self._lock:
+            return self._totals()["fits_saved"]
+
+    @property
+    def total_bytes_saved(self) -> Fraction:
+        """Exact sum of every client's attributed bytes."""
+        with self._lock:
+            return self._totals()["bytes_saved"]
+
+    def attributions(self) -> Dict[str, Dict[str, Fraction]]:
+        """Exact per-client credit (client → counter → Fraction)."""
+        with self._lock:
+            return {
+                name: {
+                    "events": account.events,
+                    "fits_saved": account.fits_saved,
+                    "bytes_saved": account.bytes_saved,
+                }
+                for name, account in self._accounts.items()
+            }
+
+    # -- reporting --------------------------------------------------------
+    def leaderboard(self, limit: Optional[int] = None) -> List[Dict[str, Any]]:
+        """Per-client contributions, most valuable first.
+
+        Sorted by attributed fold fits, then bytes, then name (a
+        stable, deterministic order for reports and docs).  Fractions
+        are rendered as floats; the ``share`` column is each client's
+        fraction of the total attributed fits (0.0 when no fits were
+        saved anywhere).
+
+        Parameters
+        ----------
+        limit:
+            Keep only the top ``limit`` rows (``None``: all).
+
+        Returns
+        -------
+        List of ``{"client", "events", "fits_saved", "bytes_saved",
+        "share"}`` rows.
+        """
+        with self._lock:
+            totals = self._totals()
+            rows = sorted(
+                self._accounts.items(),
+                key=lambda item: (
+                    -item[1].fits_saved,
+                    -item[1].bytes_saved,
+                    item[0],
+                ),
+            )
+        total_fits = totals["fits_saved"]
+        board = [
+            {
+                "client": name,
+                "events": float(account.events),
+                "fits_saved": float(account.fits_saved),
+                "bytes_saved": float(account.bytes_saved),
+                "share": float(account.fits_saved / total_fits)
+                if total_fits
+                else 0.0,
+            }
+            for name, account in rows
+        ]
+        return board[:limit] if limit is not None else board
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Report-ready summary: float totals plus the leaderboard."""
+        with self._lock:
+            totals = self._totals()
+        return {
+            "events": self.total_events,
+            "fits_saved": float(totals["fits_saved"]),
+            "bytes_saved": float(totals["bytes_saved"]),
+            "leaderboard": self.leaderboard(),
+        }
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._accounts)

@@ -1,0 +1,132 @@
+"""The provenance sidecar attached to every stored artifact.
+
+An :class:`~repro.store.keys.ArtifactKey` names *what* was computed;
+a :class:`ProvenanceRecord` names *who* computed it, *from which* data
+version, *via which* execution path, and *from what* parent artifacts.
+It is deliberately a sidecar, not part of the key: adding producer
+identity to the content address would make the same computation by two
+clients two different artifacts and destroy the cooperative
+deduplication the whole system is built on (and invalidate every warm
+store).  Records are plain data — JSON-stable dicts round-trip through
+disk entries, DARR repository dumps and shard replication.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Any, Dict, Optional, Tuple
+
+from repro.provenance.identity import ANONYMOUS, ClientId, as_client
+
+__all__ = ["ProvenanceRecord"]
+
+
+@dataclass(frozen=True)
+class ProvenanceRecord:
+    """Who/when/from-what of one stored artifact.
+
+    Parameters
+    ----------
+    producer:
+        The :class:`~repro.provenance.identity.ClientId` that computed
+        the artifact — a cooperative client, a serve *tenant*, or a
+        subsystem default (``"engine"``, ``"stream"``).
+    kind:
+        The artifact kind (mirrors the key, so a record is
+        self-describing without the key at hand).
+    spec_key:
+        Canonical computation identity the artifact was produced for.
+    data_object:
+        Named versioned data object the artifact derives from (``""``
+        for anonymous in-memory data).
+    data_version:
+        Version of that object when the artifact was computed — the
+        "raw data version" every lineage walk bottoms out at.
+    parents:
+        Digests of the artifacts this one was derived *from* (a result
+        lists the fold-transform artifacts it consumed; a warm-advanced
+        fold score lists the fitted model it advanced).  Empty for
+        artifacts computed directly from the raw data.
+    executor:
+        Execution-path label (``"interpreted"``, ``"compiled"``,
+        ``"warm-advance"``, ...), for auditing *how* a value was made.
+    tick:
+        Logical timestamp from the recording
+        :class:`~repro.provenance.registry.ProvenanceRegistry` — a
+        total order over one registry's writes even when the wall
+        clock is frozen or simulated.
+    timestamp:
+        Wall/simulated-clock time of production when a clock was
+        available (0.0 otherwise); orders records *across* registries.
+    """
+
+    producer: ClientId = ANONYMOUS
+    kind: str = ""
+    spec_key: str = ""
+    data_object: str = ""
+    data_version: int = 0
+    parents: Tuple[str, ...] = ()
+    executor: str = ""
+    tick: int = 0
+    timestamp: float = 0.0
+
+    def __post_init__(self):
+        object.__setattr__(self, "producer", as_client(self.producer))
+        object.__setattr__(self, "parents", tuple(self.parents))
+
+    @classmethod
+    def for_key(
+        cls,
+        key: Any,
+        producer: Any,
+        parents: Tuple[str, ...] = (),
+        executor: str = "",
+        tick: int = 0,
+        timestamp: float = 0.0,
+    ) -> "ProvenanceRecord":
+        """Build a record for an :class:`~repro.store.keys.ArtifactKey`
+        (duck-typed: any object with ``kind`` / ``spec_key`` /
+        ``data_object`` / ``data_version`` attributes works)."""
+        return cls(
+            producer=as_client(producer),
+            kind=key.kind,
+            spec_key=key.spec_key,
+            data_object=key.data_object,
+            data_version=key.data_version,
+            parents=tuple(parents),
+            executor=executor,
+            tick=tick,
+            timestamp=timestamp,
+        )
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-stable plain-dict form (disk headers, DARR records)."""
+        return {
+            "producer": str(self.producer),
+            "kind": self.kind,
+            "spec_key": self.spec_key,
+            "data_object": self.data_object,
+            "data_version": self.data_version,
+            "parents": list(self.parents),
+            "executor": self.executor,
+            "tick": self.tick,
+            "timestamp": self.timestamp,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Optional[Dict[str, Any]]) -> Optional["ProvenanceRecord"]:
+        """Rebuild from :meth:`as_dict` output; tolerant of missing
+        fields (older dumps) and of ``None`` (no provenance recorded).
+        """
+        if doc is None:
+            return None
+        known = {f.name for f in fields(cls)}
+        kwargs = {name: doc[name] for name in doc if name in known}
+        if "parents" in kwargs:
+            kwargs["parents"] = tuple(kwargs["parents"])
+        return cls(**kwargs)
+
+    @property
+    def data_ref(self) -> Tuple[str, int]:
+        """The raw data version this artifact (transitively) rests on."""
+        return (self.data_object, self.data_version)

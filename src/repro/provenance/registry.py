@@ -1,0 +1,259 @@
+"""Digest-indexed provenance registry with lineage queries.
+
+The registry is the paper's missing "results with provenance /
+explanations" piece made queryable: every
+:class:`~repro.store.base.ArtifactStore` write records a
+:class:`~repro.provenance.record.ProvenanceRecord` here under the
+artifact's content digest, and two walks answer the audit questions:
+
+* :meth:`ProvenanceRegistry.lineage` — from an artifact digest back
+  through its parents to the raw data versions it rests on ("where did
+  this number come from?").
+* :meth:`ProvenanceRegistry.descendants` — from a data object (and
+  optionally one version) forward through children ("what would a
+  version bump invalidate?") — the audit counterpart of
+  :class:`~repro.store.invalidation.StoreInvalidator`.
+
+Records are first-write-wins, mirroring artifact immutability: the
+first producer of a digest keeps the credit even when a replica or a
+read-through promotion re-puts the same payload later.  Thread-safe.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.provenance.record import ProvenanceRecord
+
+__all__ = ["ProvenanceRegistry"]
+
+
+class ProvenanceRegistry:
+    """Maps artifact digests to provenance, with lineage walks.
+
+    Parameters
+    ----------
+    telemetry:
+        Optional :class:`~repro.obs.Telemetry` handle (or anything with
+        a ``count`` method); when given, ``provenance.records`` /
+        ``provenance.lineage_queries`` / ``provenance.descendant_queries``
+        counters are emitted.
+    """
+
+    def __init__(self, telemetry: Any = None):
+        self._records: Dict[str, ProvenanceRecord] = {}
+        #: parent digest -> digests derived from it (forward edges).
+        self._children: Dict[str, Set[str]] = {}
+        #: data object name -> digests of artifacts computed on it.
+        self._by_object: Dict[str, Set[str]] = {}
+        self._lock = threading.Lock()
+        self._tick = 0
+        self.telemetry = telemetry
+
+    def _count(self, name: str) -> None:
+        if self.telemetry is not None and getattr(
+            self.telemetry, "enabled", True
+        ):
+            self.telemetry.count(name)
+
+    # -- writes -----------------------------------------------------------
+    def tick(self) -> int:
+        """Next logical timestamp (monotonic per registry)."""
+        with self._lock:
+            self._tick += 1
+            return self._tick
+
+    def record(self, key: Any, record: ProvenanceRecord) -> bool:
+        """Attach ``record`` to the artifact of ``key`` (its digest).
+
+        First write wins — artifacts are immutable, so re-puts of an
+        existing digest (write-back promotion, replication, duplicate
+        publishes) never overwrite the original producer's credit.
+
+        Parameters
+        ----------
+        key:
+            The :class:`~repro.store.keys.ArtifactKey` (or any object
+            with a ``digest`` attribute, or a bare digest string).
+        record:
+            The provenance to attach.
+
+        Returns
+        -------
+        True when the record was new, False when the digest already
+        had provenance.
+        """
+        digest = getattr(key, "digest", key)
+        with self._lock:
+            if digest in self._records:
+                return False
+            self._records[digest] = record
+            for parent in record.parents:
+                self._children.setdefault(parent, set()).add(digest)
+            if record.data_object:
+                self._by_object.setdefault(record.data_object, set()).add(
+                    digest
+                )
+        self._count("provenance.records")
+        return True
+
+    def record_dict(self, key: Any, doc: Optional[Dict[str, Any]]) -> bool:
+        """:meth:`record` from a plain provenance dict (disk headers,
+        DARR records); a ``None`` doc is a no-op."""
+        rec = ProvenanceRecord.from_dict(doc)
+        if rec is None:
+            return False
+        return self.record(key, rec)
+
+    def merge(self, other: "ProvenanceRegistry") -> int:
+        """Fold another registry's records in (first-write-wins).
+
+        Returns the number of newly learned digests.
+        """
+        learned = 0
+        for digest, rec in other.snapshot().items():
+            if self.record(digest, rec):
+                learned += 1
+        return learned
+
+    # -- reads ------------------------------------------------------------
+    def get(self, digest: str) -> Optional[ProvenanceRecord]:
+        """The record for ``digest`` (or an object with one), if known."""
+        digest = getattr(digest, "digest", digest)
+        with self._lock:
+            return self._records.get(digest)
+
+    def snapshot(self) -> Dict[str, ProvenanceRecord]:
+        """Copy of the digest → record map (persistence/replication)."""
+        with self._lock:
+            return dict(self._records)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    def lineage(self, digest: str) -> List[Tuple[str, ProvenanceRecord]]:
+        """Walk from an artifact back to the raw data versions.
+
+        Breadth-first over ``parents`` edges, starting at ``digest``:
+        the artifact's own record first, then its parents, their
+        parents, and so on.  Each reached record names its
+        ``(data_object, data_version)``, so the walk reconstructs the
+        full chain down to the raw data version(s) the artifact rests
+        on.  Digests with no recorded provenance are skipped (a parent
+        produced before provenance tracking, or on another node).
+
+        Parameters
+        ----------
+        digest:
+            Artifact digest (or an :class:`~repro.store.keys.ArtifactKey`).
+
+        Returns
+        -------
+        ``(digest, record)`` pairs in BFS order, deduplicated; empty
+        when the digest is unknown.
+        """
+        digest = getattr(digest, "digest", digest)
+        self._count("provenance.lineage_queries")
+        with self._lock:
+            chain: List[Tuple[str, ProvenanceRecord]] = []
+            seen: Set[str] = set()
+            frontier = [digest]
+            while frontier:
+                nxt: List[str] = []
+                for d in frontier:
+                    if d in seen:
+                        continue
+                    seen.add(d)
+                    rec = self._records.get(d)
+                    if rec is None:
+                        continue
+                    chain.append((d, rec))
+                    nxt.extend(rec.parents)
+                frontier = nxt
+            return chain
+
+    def roots(self, digest: str) -> List[Tuple[str, int]]:
+        """The distinct raw ``(data_object, data_version)`` pairs an
+        artifact's lineage bottoms out at (sorted)."""
+        refs = {rec.data_ref for _, rec in self.lineage(digest)}
+        return sorted(ref for ref in refs if ref[0])
+
+    def descendants(
+        self, data_object: str, version: Optional[int] = None
+    ) -> List[Tuple[str, ProvenanceRecord]]:
+        """Everything derived from a data object — the invalidation audit.
+
+        Seeds with every artifact recorded directly against
+        ``data_object`` (restricted to one ``version`` when given),
+        then follows child edges transitively, so artifacts built *on
+        top of* those artifacts are reached even when their own
+        ``data_object`` field differs.
+
+        Parameters
+        ----------
+        data_object:
+            Name of the versioned data object.
+        version:
+            Only seed from artifacts computed at this exact version
+            (``None``: all versions).
+
+        Returns
+        -------
+        ``(digest, record)`` pairs in BFS order, deduplicated.
+        """
+        self._count("provenance.descendant_queries")
+        with self._lock:
+            seeds = [
+                d
+                for d in sorted(self._by_object.get(data_object, ()))
+                if version is None
+                or self._records[d].data_version == version
+            ]
+            out: List[Tuple[str, ProvenanceRecord]] = []
+            seen: Set[str] = set()
+            frontier = seeds
+            while frontier:
+                nxt: List[str] = []
+                for d in frontier:
+                    if d in seen:
+                        continue
+                    seen.add(d)
+                    rec = self._records.get(d)
+                    if rec is not None:
+                        out.append((d, rec))
+                    nxt.extend(sorted(self._children.get(d, ())))
+                frontier = nxt
+            return out
+
+    def clear(self) -> None:
+        """Drop every record (counters on the telemetry side are kept)."""
+        with self._lock:
+            self._records.clear()
+            self._children.clear()
+            self._by_object.clear()
+
+    # -- rebuilds ---------------------------------------------------------
+    @classmethod
+    def from_darr(cls, repository: Any, telemetry: Any = None) -> "ProvenanceRegistry":
+        """Rebuild a registry from a repository's stored records.
+
+        Works for a single
+        :class:`~repro.darr.repository.DataAnalyticsResultsRepository`
+        and a :class:`~repro.darr.sharded.ShardedDarr` alike (both
+        expose ``query()``); records without provenance (legacy dumps)
+        are skipped.  Because provenance rides *inside* each
+        :class:`~repro.darr.records.AnalyticsResult`, the rebuilt
+        registry is identical before and after shard crashes,
+        rebalances and schema-v4 save/load round-trips.
+        """
+        registry = cls(telemetry=telemetry)
+        for result in repository.query():
+            doc = getattr(result, "provenance", None)
+            if not doc:
+                continue
+            digest = doc.get("digest")
+            if digest:
+                registry.record_dict(digest, doc)
+        return registry

@@ -39,6 +39,7 @@ from typing import Any, AsyncIterator, Dict, List, Mapping, Optional
 from repro.core.engine import AllJobsFailed, ExecutionEngine, FailurePolicy
 from repro.core.evaluation import GraphEvaluator
 from repro.obs import resolve_telemetry
+from repro.provenance import ANONYMOUS, as_client
 from repro.store import KIND_RESULT, LayeredStore, resolve_store
 from repro.store.layered import DarrStore
 
@@ -136,9 +137,16 @@ class AnalyticsService:
             engine.failure_policy = FailurePolicy.resolve(failure_policy)
         self.engine = engine
         self.darr = darr
-        self.client = client
+        self.client = as_client(client)
+        # An engine without its own identity publishes under the
+        # service's name; per-request provenance still carries the
+        # submitting tenant (see ``_execute``).
+        if getattr(engine, "client", ANONYMOUS) == ANONYMOUS:
+            engine.client = self.client
         if darr is not None:
             self._stack_darr_tier()
+        if quotas:
+            quotas = {str(as_client(k)): v for k, v in quotas.items()}
         self._clock = clock
         self._tel = resolve_telemetry(telemetry)
         self._queue = FairAdmissionQueue(
@@ -192,6 +200,10 @@ class AnalyticsService:
         else:
             tiers = [base, darr_tier]
         self.engine.store = LayeredStore(tiers)
+        # The rewired stack must keep feeding the engine's provenance
+        # registry (and the DARR tier teaches it fetched lineage).
+        if getattr(self.engine, "provenance", None) is not None:
+            self.engine.store.attach_registry(self.engine.provenance)
 
     # -- lifecycle ----------------------------------------------------------
     async def start(self) -> None:
@@ -277,6 +289,7 @@ class AnalyticsService:
             ``darr_unavailable`` backpressure window; either way the
             exception carries the ``retry_after`` back-off hint.
         """
+        tenant = str(as_client(tenant))
         tel = self._tel
         with self._lock:
             self._counts["submitted"] += 1
@@ -464,8 +477,9 @@ class AnalyticsService:
         completed/failed/cancelled, fresh vs reused results, claim
         accounting), the admission ``queue`` snapshot (depth, peak,
         per-tenant inflight/vtime), per-tenant admitted-job counts
-        under ``tenants``, and ``latency`` p50/p99 seconds over
-        terminal jobs plus mean queue wait.
+        under ``tenants``, ``latency`` p50/p99 seconds over terminal
+        jobs plus mean queue wait, and ``provenance`` (registry record
+        count plus the per-client contribution ``leaderboard``).
         """
         with self._lock:
             counts = dict(self._counts)
@@ -478,11 +492,19 @@ class AnalyticsService:
             latency["p99_seconds"] = percentile(latencies, 99)
         if waits:
             latency["mean_queue_wait_seconds"] = sum(waits) / len(waits)
+        registry = getattr(self.engine, "provenance", None)
+        ledger = getattr(self.engine, "ledger", None)
+        provenance: Dict[str, Any] = {
+            "records": len(registry) if registry is not None else 0,
+        }
+        if ledger is not None:
+            provenance["leaderboard"] = ledger.leaderboard()
         return {
             "counts": counts,
             "queue": self._queue.snapshot(),
             "tenants": tenants,
             "latency": latency,
+            "provenance": provenance,
         }
 
     @property
@@ -665,6 +687,7 @@ class AnalyticsService:
                             result_hook=on_result,
                             error_hook=on_error,
                             reuse_hook=on_reuse,
+                            producer=as_client(job.tenant),
                         )
                     except AllJobsFailed:
                         pass  # failures already recorded via on_error

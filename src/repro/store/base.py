@@ -84,10 +84,33 @@ class ArtifactStore:
     arbitrary picklable payloads.  Implementations must be safe for
     concurrent use from threads of one process (the thread-pool
     executor shares a store across workers).
+
+    Every store is also a provenance-tracking model registry: a
+    :class:`~repro.provenance.registry.ProvenanceRegistry` attached via
+    :meth:`attach_registry` receives the
+    :class:`~repro.provenance.record.ProvenanceRecord` passed to each
+    :meth:`put` (``tools/check_provenance_coverage.py`` lints that
+    write paths pass one), so lineage queries work over whatever the
+    store holds.
     """
 
     #: Tier name used in per-tier stats and telemetry labels.
     name = "store"
+
+    #: Optional :class:`~repro.provenance.registry.ProvenanceRegistry`
+    #: recording who/from-what produced each stored artifact.
+    registry: Optional[Any] = None
+
+    def attach_registry(self, registry: Any) -> None:
+        """Attach a provenance registry to this store (and, for
+        layered stores, to every tier — overridden there)."""
+        self.registry = registry
+
+    def _note_provenance(self, key: ArtifactKey, provenance: Any) -> None:
+        """Record ``provenance`` for ``key`` in the attached registry
+        (no-op when either is absent; first write per digest wins)."""
+        if provenance is not None and self.registry is not None:
+            self.registry.record(key, provenance)
 
     def accepts(self, key: ArtifactKey) -> bool:
         """Whether this tier stores artifacts of ``key``'s kind (the
@@ -98,8 +121,16 @@ class ArtifactStore:
         """The stored payload for ``key``, or ``None`` on a miss."""
         raise NotImplementedError
 
-    def put(self, key: ArtifactKey, value: Any) -> None:
-        """Store ``value`` under ``key`` (idempotent per digest)."""
+    def put(
+        self, key: ArtifactKey, value: Any, provenance: Any = None
+    ) -> None:
+        """Store ``value`` under ``key`` (idempotent per digest).
+
+        ``provenance`` — the producing
+        :class:`~repro.provenance.record.ProvenanceRecord` — is
+        recorded in the attached registry and, where the tier supports
+        it, persisted/published alongside the payload.
+        """
         raise NotImplementedError
 
     def invalidate(

@@ -29,9 +29,13 @@ from repro.store.keys import ArtifactKey
 __all__ = ["DiskStore"]
 
 #: Entry header magic; bump the trailing digit on layout changes.
-_MAGIC = b"REPROCAS1"
-#: ``>I`` key-JSON length, ``>Q`` payload length.
+#: Version 2 adds a provenance-JSON section between the key and the
+#: payload; version-1 entries (no provenance) still read.
+_MAGIC = b"REPROCAS2"
+_MAGIC_V1 = b"REPROCAS1"
+#: ``>I`` key-JSON / provenance-JSON length, ``>Q`` payload length.
 _KEY_LEN = struct.Struct(">I")
+_PROV_LEN = struct.Struct(">I")
 _PAYLOAD_LEN = struct.Struct(">Q")
 
 
@@ -76,7 +80,9 @@ class DiskStore(ArtifactStore):
     # -- entry codec ----------------------------------------------------
 
     @staticmethod
-    def _encode_entry(key: ArtifactKey, value: Any) -> bytes:
+    def _encode_entry(
+        key: ArtifactKey, value: Any, provenance: Any = None
+    ) -> bytes:
         # Local import: repro.distributed.objects must stay importable
         # without repro.store and vice versa.
         from repro.distributed.objects import encode_payload
@@ -84,43 +90,76 @@ class DiskStore(ArtifactStore):
         key_json = json.dumps(
             key.as_dict(), sort_keys=True, separators=(",", ":")
         ).encode()
+        prov_json = b""
+        if provenance is not None:
+            doc = (
+                provenance.as_dict()
+                if hasattr(provenance, "as_dict")
+                else provenance
+            )
+            prov_json = json.dumps(
+                doc, sort_keys=True, separators=(",", ":")
+            ).encode()
         payload = encode_payload(value)
         return b"".join(
             [
                 _MAGIC,
                 _KEY_LEN.pack(len(key_json)),
                 key_json,
+                _PROV_LEN.pack(len(prov_json)),
+                prov_json,
                 _PAYLOAD_LEN.pack(len(payload)),
                 payload,
             ]
         )
 
     @staticmethod
-    def _decode_header(blob: bytes) -> Tuple[ArtifactKey, bytes]:
-        """Parse ``(key, payload_bytes)`` or raise :class:`_CorruptEntry`."""
+    def _decode_header(
+        blob: bytes,
+    ) -> Tuple[ArtifactKey, bytes, Optional[Dict[str, Any]]]:
+        """Parse ``(key, payload_bytes, provenance_doc)`` or raise
+        :class:`_CorruptEntry`.  Both entry layouts parse: v2 carries a
+        provenance section, legacy v1 entries yield ``None`` for it."""
         try:
-            if not blob.startswith(_MAGIC):
+            if blob.startswith(_MAGIC):
+                has_provenance = True
+                offset = len(_MAGIC)
+            elif blob.startswith(_MAGIC_V1):
+                has_provenance = False
+                offset = len(_MAGIC_V1)
+            else:
                 raise _CorruptEntry("bad magic")
-            offset = len(_MAGIC)
             (key_len,) = _KEY_LEN.unpack_from(blob, offset)
             offset += _KEY_LEN.size
             key_json = blob[offset : offset + key_len]
             if len(key_json) != key_len:
                 raise _CorruptEntry("truncated key")
             offset += key_len
+            provenance: Optional[Dict[str, Any]] = None
+            if has_provenance:
+                (prov_len,) = _PROV_LEN.unpack_from(blob, offset)
+                offset += _PROV_LEN.size
+                prov_json = blob[offset : offset + prov_len]
+                if len(prov_json) != prov_len:
+                    raise _CorruptEntry("truncated provenance")
+                offset += prov_len
+                if prov_json:
+                    provenance = json.loads(prov_json.decode())
             (payload_len,) = _PAYLOAD_LEN.unpack_from(blob, offset)
             offset += _PAYLOAD_LEN.size
             payload = blob[offset : offset + payload_len]
             if len(payload) != payload_len:
                 raise _CorruptEntry("truncated payload")
             key = ArtifactKey.from_dict(json.loads(key_json.decode()))
-            return key, payload
+            return key, payload, provenance
         except _CorruptEntry:
             raise
         except Exception as exc:
             raise _CorruptEntry(str(exc)) from exc
 
-    def _read_entry(self, path: str) -> Tuple[ArtifactKey, bytes]:
+    def _read_entry(
+        self, path: str
+    ) -> Tuple[ArtifactKey, bytes, Optional[Dict[str, Any]]]:
         """Read and parse one entry or raise :class:`_CorruptEntry`."""
         try:
             with open(path, "rb") as handle:
@@ -149,7 +188,7 @@ class DiskStore(ArtifactStore):
                 self.stats.misses += 1
                 return None
             try:
-                stored_key, payload = self._read_entry(path)
+                stored_key, payload, provenance = self._read_entry(path)
                 if stored_key != key:
                     # Digest collision or tampering: never serve a
                     # payload whose recorded identity disagrees.
@@ -165,15 +204,27 @@ class DiskStore(ArtifactStore):
                 return None
             self.stats.hits += 1
             self.stats.bytes_read += len(payload)
-            return value
+        # Provenance persisted in the entry survives process restarts:
+        # a warm-start read re-teaches the attached registry, so
+        # lineage queries work even for artifacts produced by an
+        # earlier run or another process.
+        if provenance is not None and self.registry is not None:
+            self.registry.record_dict(key, provenance)
+        return value
 
-    def put(self, key: ArtifactKey, value: Any) -> None:
-        """Atomically persist ``value`` (no-op if the digest exists)."""
+    def put(
+        self, key: ArtifactKey, value: Any, provenance: Any = None
+    ) -> None:
+        """Atomically persist ``value`` (no-op if the digest exists).
+
+        The provenance record is serialized into the entry header, so
+        who/from-what survives alongside the payload."""
         path = self._path(key.digest)
+        self._note_provenance(key, provenance)
         with self._lock:
             if os.path.exists(path):
                 return
-            blob = self._encode_entry(key, value)
+            blob = self._encode_entry(key, value, provenance)
             os.makedirs(os.path.dirname(path), exist_ok=True)
             fd, tmp_path = tempfile.mkstemp(
                 dir=os.path.dirname(path), suffix=".tmp"
@@ -206,7 +257,7 @@ class DiskStore(ArtifactStore):
         with self._lock:
             for path in list(self._iter_entries()):
                 try:
-                    key, _ = self._read_entry(path)
+                    key, _, _ = self._read_entry(path)
                 except _CorruptEntry:
                     self._drop_corrupt(path)
                     continue

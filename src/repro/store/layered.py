@@ -47,26 +47,43 @@ class LayeredStore(ArtifactStore):
         """Whether any tier accepts ``key``."""
         return any(tier.accepts(key) for tier in self.tiers)
 
+    def attach_registry(self, registry: Any) -> None:
+        """Attach a provenance registry to the stack and every tier
+        (a single registry observes all of them; recording is
+        idempotent per digest, so multi-tier writes count once)."""
+        self.registry = registry
+        for tier in self.tiers:
+            tier.attach_registry(registry)
+
     def get(self, key: ArtifactKey) -> Optional[Any]:
         """Probe tiers in order; a hit is written back into every
-        faster accepting tier (read-through promotion)."""
+        faster accepting tier (read-through promotion), carrying any
+        provenance the registry already knows for the digest."""
         for index, tier in enumerate(self.tiers):
             if not tier.accepts(key):
                 continue
             value = tier.get(key)
             if value is None:
                 continue
+            known = (
+                self.registry.get(key.digest)
+                if self.registry is not None
+                else None
+            )
             for faster in self.tiers[:index]:
                 if faster.accepts(key):
-                    faster.put(key, value)
+                    faster.put(key, value, provenance=known)
             return value
         return None
 
-    def put(self, key: ArtifactKey, value: Any) -> None:
+    def put(
+        self, key: ArtifactKey, value: Any, provenance: Any = None
+    ) -> None:
         """Write through to every accepting tier."""
+        self._note_provenance(key, provenance)
         for tier in self.tiers:
             if tier.accepts(key):
-                tier.put(key, value)
+                tier.put(key, value, provenance=provenance)
 
     def invalidate(
         self,
@@ -139,9 +156,22 @@ class DarrStore(ArtifactStore):
     name = "darr"
 
     def __init__(self, repository: Any, client: str = "store"):
+        from repro.provenance import as_client
+
         self.repository = repository
-        self.client = client
+        self.client = as_client(client)
         self.stats = TierStats()
+
+    def _repository_now(self) -> float:
+        """The repository's (simulated) clock — the publish timestamp.
+
+        Duck-typed ``_now`` probe so any DARR shape works; 0.0 when
+        the repository keeps no clock."""
+        now = getattr(self.repository, "_now", None)
+        try:
+            return float(now()) if callable(now) else 0.0
+        except Exception:
+            return 0.0
 
     def accepts(self, key: ArtifactKey) -> bool:
         """Only completed results live in the DARR."""
@@ -163,16 +193,39 @@ class DarrStore(ArtifactStore):
             return None
         self.stats.hits += 1
         self.stats.bytes_read += record.wire_size
+        # A fetched record carries its producer's provenance; teach the
+        # attached registry so lineage works on reused network results.
+        doc = getattr(record, "provenance", None)
+        if doc and self.registry is not None:
+            self.registry.record_dict(key, doc)
         return record.artifact_value()
 
-    def put(self, key: ArtifactKey, value: Any) -> None:
-        """Publish ``value`` (a result payload) under ``key.spec_key``."""
+    def put(
+        self, key: ArtifactKey, value: Any, provenance: Any = None
+    ) -> None:
+        """Publish ``value`` (a result payload) under ``key.spec_key``.
+
+        The published record is stamped with the repository clock (so
+        provenance ordering is meaningful across clients) and carries
+        the provenance record — replicas and repository dumps keep the
+        lineage."""
         from repro.darr.records import AnalyticsResult
 
         if not self.accepts(key):
             return
+        self._note_provenance(key, provenance)
+        doc = None
+        if provenance is not None:
+            # The digest rides along so ProvenanceRegistry.from_darr can
+            # re-index fetched/loaded records without the original key.
+            doc = dict(provenance.as_dict())
+            doc["digest"] = key.digest
         record = AnalyticsResult.from_artifact_value(
-            key.spec_key, value, client=self.client
+            key.spec_key,
+            value,
+            client=self.client,
+            timestamp=self._repository_now(),
+            provenance=doc,
         )
         try:
             if self.repository.publish(record, self.client):

@@ -52,12 +52,15 @@ class MemoryStore(ArtifactStore):
             self.stats.hits += 1
             return entry[1]
 
-    def put(self, key: ArtifactKey, value: Any) -> None:
+    def put(
+        self, key: ArtifactKey, value: Any, provenance: Any = None
+    ) -> None:
         """Store ``value``, evicting LRU entries past the size bound.
 
         A digest already present is refreshed (moved to the LRU tail)
         without rewriting — artifacts are immutable per key."""
         digest = key.digest
+        self._note_provenance(key, provenance)
         with self._lock:
             if digest in self._entries:
                 self._entries.move_to_end(digest)

@@ -63,9 +63,11 @@ from repro.ml.model_selection.splits import (
     TimeSeriesSlidingSplit,
 )
 from repro.obs import resolve_telemetry
+from repro.provenance import ProvenanceRecord, ProvenanceRegistry, as_client
 from repro.store import (
     KIND_FITTED,
     KIND_FOLD_SCORE,
+    KIND_RESULT,
     ArtifactKey,
     ArtifactStore,
     MemoryStore,
@@ -152,6 +154,10 @@ class StreamingEvaluator:
         ``False`` disables the advance-only classification (folds are
         either reusable or cold), guaranteeing byte-identical scores at
         the cost of refitting grown train windows from scratch.
+    client:
+        Producer identity (a :class:`~repro.provenance.ClientId` or any
+        string) stamped into the provenance records of every fold-score
+        and fitted-model artifact this evaluator writes.
     """
 
     def __init__(
@@ -169,6 +175,7 @@ class StreamingEvaluator:
         drift_policy: Optional[ChangePolicy] = None,
         incremental: bool = True,
         warm_start: bool = True,
+        client: Any = "stream",
     ):
         self.graph = graph
         self._cv_input = cv
@@ -191,6 +198,17 @@ class StreamingEvaluator:
         if self.telemetry.enabled and not self.engine.telemetry.enabled:
             self.engine.telemetry = self.telemetry
         self.store = store if store is not None else MemoryStore()
+        self.client = as_client(client)
+        # Share the engine's registry when it has one so streaming
+        # artifacts and the engine's cold-run results form one lineage
+        # graph; otherwise keep a private registry for this store.
+        engine_registry = getattr(self.engine, "provenance", None)
+        self.provenance: Optional[ProvenanceRegistry] = (
+            engine_registry
+            if isinstance(engine_registry, ProvenanceRegistry)
+            else ProvenanceRegistry()
+        )
+        self.store.attach_registry(self.provenance)
         self.invalidator = StoreInvalidator(self.store)
         self.datastore = (
             datastore if datastore is not None else HomeDataStore()
@@ -407,13 +425,33 @@ class StreamingEvaluator:
             fold="",
         )
 
+    def _provenance_for(
+        self, key: ArtifactKey, parents: Tuple[str, ...] = ()
+    ) -> Optional[ProvenanceRecord]:
+        if self.provenance is None:
+            return None
+        return ProvenanceRecord.for_key(
+            key,
+            producer=self.client,
+            parents=parents,
+            executor="streaming",
+            tick=self.provenance.tick(),
+        )
+
     def _store_fold_score(
-        self, spec_key_str: str, fold_id: str, version: int, score: float
-    ) -> None:
+        self,
+        spec_key_str: str,
+        fold_id: str,
+        version: int,
+        score: float,
+        parents: Tuple[str, ...] = (),
+    ) -> str:
+        key = self._fold_key(spec_key_str, fold_id, version)
         self.store.put(
-            self._fold_key(spec_key_str, fold_id, version), float(score)
+            key, float(score), provenance=self._provenance_for(key, parents)
         )
         self._fold_index[(spec_key_str, fold_id)] = version
+        return key.digest
 
     def _store_fitted(
         self,
@@ -422,14 +460,17 @@ class StreamingEvaluator:
         model: Any,
         train_start: int,
         train_end: int,
+        parents: Tuple[str, ...] = (),
     ) -> None:
+        key = self._fitted_key(spec_key_str, version)
         self.store.put(
-            self._fitted_key(spec_key_str, version),
+            key,
             {
                 "pipeline": model,
                 "train_start": int(train_start),
                 "train_end": int(train_end),
             },
+            provenance=self._provenance_for(key, parents),
         )
         self._warm_index[spec_key_str] = {
             "version": version,
@@ -561,14 +602,26 @@ class StreamingEvaluator:
             if plan["cold"]:
                 result = cold_results.get(plan["job_key"])
                 if result is not None:
+                    cold_parents = self._engine_result_parents(
+                        plan["job_key"]
+                    )
+                    cold_digests: List[str] = []
                     for (window, fold_id), score in zip(
                         plan["cold"], result.cv_result.fold_scores
                     ):
                         scores[fold_id] = float(score)
-                        self._store_fold_score(
-                            entry.key, fold_id, version, float(score)
+                        cold_digests.append(
+                            self._store_fold_score(
+                                entry.key,
+                                fold_id,
+                                version,
+                                float(score),
+                                parents=cold_parents,
+                            )
                         )
-                    self._maybe_seed_warm(entry, bounds, version)
+                    self._maybe_seed_warm(
+                        entry, bounds, version, parents=tuple(cold_digests)
+                    )
             if len(scores) != len(folds):
                 continue  # engine failure policy skipped this spec
             ordered_scores = [scores[fold_id] for _, fold_id in folds]
@@ -712,6 +765,12 @@ class StreamingEvaluator:
         Returns the scored folds, or ``None`` when the fitted artifact is
         gone or any ``partial_fit`` step fails (callers then demote the
         folds to cold)."""
+        prev = self._warm_index.get(entry.key)
+        prev_parents: Tuple[str, ...] = (
+            (self._fitted_key(entry.key, prev["version"]).digest,)
+            if prev is not None
+            else ()
+        )
         artifact = self._load_fitted(entry.key)
         if artifact is None:
             return None
@@ -719,6 +778,7 @@ class StreamingEvaluator:
         coverage_end = artifact["train_end"]
         train_start = artifact["train_start"]
         scores: Dict[Tuple[str, str], float] = {}
+        fold_digests: List[str] = []
         try:
             for window, fold_id in warm_folds:
                 fold_train_start, train_end, val_start, val_end = window
@@ -735,16 +795,49 @@ class StreamingEvaluator:
                     self._metric_fn(self._y[val_start:val_end], predictions)
                 )
                 scores[(entry.key, fold_id)] = score
-                self._store_fold_score(entry.key, fold_id, version, score)
+                fold_digests.append(
+                    self._store_fold_score(
+                        entry.key,
+                        fold_id,
+                        version,
+                        score,
+                        parents=prev_parents,
+                    )
+                )
         except Exception:
             return None
         self._store_fitted(
-            entry.key, version, model, train_start, coverage_end
+            entry.key,
+            version,
+            model,
+            train_start,
+            coverage_end,
+            parents=prev_parents + tuple(fold_digests),
         )
         return scores
 
+    def _engine_result_parents(self, job_key: str) -> Tuple[str, ...]:
+        """Digest of the engine's result artifact for a cold job, when
+        the shared registry recorded it — links streaming fold scores
+        back to the engine-side lineage (and through it, raw data)."""
+        if self.provenance is None:
+            return ()
+        # Cold-job specs carry dataset=self.object_name, so the engine
+        # keys their results by it (see _dataset_key) — not by the
+        # (X, y) fingerprint it falls back to for anonymous datasets.
+        digest = self.engine._artifact_key(
+            KIND_RESULT, job_key, dataset=self.object_name
+        ).digest
+        if self.provenance.get(digest) is None:
+            return ()
+        return (digest,)
+
     def _maybe_seed_warm(
-        self, entry: _SpecEntry, bounds: List[Any], version: int
+        self,
+        entry: _SpecEntry,
+        bounds: List[Any],
+        version: int,
+        parents: Tuple[str, ...] = (),
     ) -> None:
         """After a cold round, (re)build the spec's warm-startable model
         on the latest fold's train window via ``partial_fit``, so future
@@ -771,7 +864,9 @@ class StreamingEvaluator:
             )
         except Exception:
             return
-        self._store_fitted(entry.key, version, model, train_start, train_end)
+        self._store_fitted(
+            entry.key, version, model, train_start, train_end, parents=parents
+        )
 
     # -- cold job construction ------------------------------------------
     def _cold_job(

@@ -1,0 +1,146 @@
+"""Provenance durability across DARR persistence, crashes, rebalances."""
+
+import pickle
+
+import pytest
+
+from repro.darr import DARR, AnalyticsResult, ShardedDarr
+from repro.darr.repository import (
+    REPOSITORY_SCHEMA_VERSION,
+    load_repository,
+    save_repository,
+)
+from repro.distributed.objects import encode_payload
+from repro.provenance import ProvenanceRegistry
+
+
+def make_record(key, producer="alice", parents=(), data_version=3):
+    doc = {
+        "digest": f"digest-{key}",
+        "producer": producer,
+        "kind": "result",
+        "spec_key": key,
+        "data_object": "sensor",
+        "data_version": data_version,
+        "parents": list(parents),
+        "executor": "test",
+        "tick": 0,
+    }
+    return AnalyticsResult(
+        key=key,
+        dataset="ds",
+        path="Input -> m",
+        params={},
+        metric="rmse",
+        score=1.0,
+        std=0.0,
+        fold_scores=[1.0],
+        greater_is_better=False,
+        client=producer,
+        explanation="test",
+        provenance=doc,
+    )
+
+
+def registry_digests(repository):
+    return set(ProvenanceRegistry.from_darr(repository).snapshot())
+
+
+class TestSchemaV4RoundTrip:
+    def test_version_is_4(self):
+        assert REPOSITORY_SCHEMA_VERSION == 4
+
+    def test_single_repository_preserves_provenance(self, tmp_path):
+        darr = DARR()
+        for i in range(3):
+            darr.publish(make_record(f"spec-{i}"), "alice")
+        path = tmp_path / "darr.bin"
+        assert save_repository(darr, path) == 3
+        loaded = load_repository(path)
+        rec = loaded.fetch("spec-1", "bob")
+        assert rec.provenance["digest"] == "digest-spec-1"
+        assert registry_digests(loaded) == registry_digests(darr)
+        reg = ProvenanceRegistry.from_darr(loaded)
+        assert reg.roots("digest-spec-1") == [("sensor", 3)]
+
+    def test_sharded_dump_preserves_provenance(self, tmp_path):
+        fabric = ShardedDarr(n_shards=4, replication_factor=2)
+        for i in range(8):
+            fabric.publish(make_record(f"spec-{i}"), "alice")
+        path = tmp_path / "fabric.bin"
+        save_repository(fabric, path)
+        loaded = load_repository(path)
+        assert isinstance(loaded, ShardedDarr)
+        assert registry_digests(loaded) == registry_digests(fabric)
+
+
+class TestCrashAndRebalance:
+    def test_lineage_survives_shard_crash(self):
+        fabric = ShardedDarr(n_shards=4, replication_factor=2)
+        for i in range(12):
+            fabric.publish(make_record(f"spec-{i}", producer=f"c{i % 3}"), "x")
+        before = registry_digests(fabric)
+        assert len(before) == 12
+        fabric.crash_shard(fabric.shard_for("spec-0"))
+        assert registry_digests(fabric) == before
+
+    def test_lineage_survives_crash_then_recovery(self):
+        fabric = ShardedDarr(n_shards=4, replication_factor=2)
+        for i in range(12):
+            fabric.publish(make_record(f"spec-{i}"), "alice")
+        before = registry_digests(fabric)
+        victim = fabric.shard_for("spec-3")
+        fabric.crash_shard(victim)
+        fabric.recover_shard(victim)
+        assert registry_digests(fabric) == before
+        reg = ProvenanceRegistry.from_darr(fabric)
+        assert reg.get("digest-spec-3").producer == "alice"
+
+
+def strip_provenance(record):
+    """Simulate a record pickled before the provenance field existed."""
+    state = dict(record.__dict__)
+    del state["provenance"]
+    clone = AnalyticsResult.__new__(AnalyticsResult)
+    object.__setattr__(clone, "__dict__", state)
+    return clone
+
+
+class TestLegacySchemas:
+    def test_setstate_fills_missing_provenance(self):
+        legacy = strip_provenance(make_record("spec-0"))
+        assert "provenance" not in legacy.__dict__
+        back = pickle.loads(pickle.dumps(legacy))
+        assert back.provenance is None
+        assert back.key == "spec-0"
+
+    def test_v1_bare_record_list_loads(self, tmp_path):
+        records = [strip_provenance(make_record(f"spec-{i}")) for i in range(2)]
+        path = tmp_path / "v1.bin"
+        path.write_bytes(encode_payload(records))
+        loaded = load_repository(path)
+        rec = loaded.fetch("spec-0", "bob")
+        assert rec.provenance is None
+        assert len(ProvenanceRegistry.from_darr(loaded)) == 0
+
+    @pytest.mark.parametrize("schema", [2, 3])
+    def test_v2_v3_documents_load_with_none_provenance(self, tmp_path, schema):
+        document = {
+            "schema": schema,
+            "claim_duration": 300.0,
+            "records": [strip_provenance(make_record("spec-0"))],
+            "claims": {},
+            "stats": {},
+        }
+        if schema == 3:
+            document["sharding"] = None
+        path = tmp_path / f"v{schema}.bin"
+        path.write_bytes(encode_payload(document))
+        loaded = load_repository(path)
+        assert loaded.fetch("spec-0", "bob").provenance is None
+
+    def test_unsupported_schema_rejected(self, tmp_path):
+        path = tmp_path / "future.bin"
+        path.write_bytes(encode_payload({"schema": 99, "records": []}))
+        with pytest.raises(ValueError, match="schema"):
+            load_repository(path)

@@ -1,0 +1,147 @@
+"""Engine-level provenance: records, lineage, adoption, crediting."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core import (
+    ExecutionEngine,
+    GraphEvaluator,
+    TransformerEstimatorGraph,
+)
+from repro.datasets import make_regression
+from repro.ml.linear import LinearRegression, RidgeRegression
+from repro.ml.model_selection import KFold
+from repro.ml.preprocessing import StandardScaler
+from repro.provenance import ProvenanceRegistry
+from repro.store import MemoryStore
+
+
+def build_graph():
+    g = TransformerEstimatorGraph()
+    g.add_feature_scalers([StandardScaler()])
+    g.add_regression_models([LinearRegression(), RidgeRegression()])
+    return g
+
+
+@pytest.fixture(scope="module")
+def data():
+    return make_regression(
+        n_samples=60, n_features=4, n_informative=3, random_state=0
+    )
+
+
+def run_sweep(engine, data):
+    X, y = data
+    return GraphEvaluator(
+        build_graph(), cv=KFold(2, random_state=0), engine=engine
+    ).evaluate(X, y, refit_best=False)
+
+
+class TestEngineRecords:
+    @pytest.fixture(scope="class")
+    def alice(self, data):
+        engine = ExecutionEngine(
+            store=MemoryStore(), client="alice", data_ref=("sensor", 3)
+        )
+        run_sweep(engine, data)
+        return engine
+
+    def test_result_records_have_fold_parents(self, alice):
+        results = [
+            (d, r)
+            for d, r in alice.provenance.snapshot().items()
+            if r.kind == "result"
+        ]
+        assert len(results) == 2
+        for digest, rec in results:
+            assert rec.producer == "alice"
+            assert rec.parents, "result must link its fold transforms"
+            kinds = [r.kind for _, r in alice.provenance.lineage(digest)]
+            assert kinds[0] == "result"
+            assert set(kinds[1:]) == {"fold-transform"}
+
+    def test_roots_reach_the_raw_data_version(self, alice):
+        for digest in alice.provenance.snapshot():
+            assert alice.provenance.roots(digest) == [("sensor", 3)]
+
+    def test_descendants_cover_the_sweep(self, alice):
+        assert len(alice.provenance.descendants("sensor", version=3)) >= 4
+
+    def test_cache_stats_report_registry_size(self, alice):
+        assert alice.cache_stats()["provenance_records"] == len(
+            alice.provenance
+        )
+
+
+class TestRegistryAdoption:
+    def test_second_engine_on_shared_store_adopts_registry(self, data):
+        store = MemoryStore()
+        alice = ExecutionEngine(
+            store=store, client="alice", data_ref=("sensor", 3)
+        )
+        bob = ExecutionEngine(
+            store=store, client="bob", data_ref=("sensor", 3)
+        )
+        assert bob.provenance is alice.provenance
+
+    def test_explicit_registry_is_used_as_is(self, data):
+        reg = ProvenanceRegistry()
+        engine = ExecutionEngine(
+            store=MemoryStore(), client="alice", provenance=reg
+        )
+        assert engine.provenance is reg
+
+    def test_reuse_credits_the_original_producer(self, data):
+        store = MemoryStore()
+        alice = ExecutionEngine(
+            store=store, client="alice", data_ref=("sensor", 3)
+        )
+        run_sweep(alice, data)
+        bob = ExecutionEngine(
+            store=store, client="bob", data_ref=("sensor", 3)
+        )
+        run_sweep(bob, data)
+        assert bob.cache_stats()["results_reused"] == 2
+        attrs = bob.ledger.attributions()
+        assert set(attrs) == {"alice"}
+        # Exact Fractions: both reused results trace only to alice, so
+        # the whole 4-fit saving lands on her with no split.
+        assert attrs["alice"]["fits_saved"] == Fraction(4)
+        board = bob.ledger.leaderboard()
+        assert [(r["client"], r["share"]) for r in board] == [("alice", 1.0)]
+
+
+class TestProducerOverride:
+    def test_execute_producer_overrides_engine_client(self, data):
+        X, y = data
+        engine = ExecutionEngine(
+            store=MemoryStore(), client="engine", data_ref=("sensor", 3)
+        )
+        evaluator = GraphEvaluator(
+            build_graph(), cv=KFold(2, random_state=0), engine=engine
+        )
+        jobs = list(evaluator.iter_jobs(X, y))
+        engine.execute(
+            jobs,
+            X,
+            y,
+            cv=evaluator.cv,
+            metric=evaluator.metric,
+            producer="tenant-7",
+        )
+        producers = {
+            r.producer for r in engine.provenance.snapshot().values()
+        }
+        assert producers == {"tenant-7"}
+
+
+class TestDisabled:
+    def test_provenance_false_disables_tracking(self, data):
+        engine = ExecutionEngine(
+            store=MemoryStore(), client="alice", provenance=False
+        )
+        run_sweep(engine, data)
+        assert engine.provenance is None
+        assert engine.ledger is None
+        assert "provenance_records" not in engine.cache_stats()

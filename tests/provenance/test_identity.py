@@ -1,0 +1,71 @@
+"""ClientId: one validated producer identity, str-compatible."""
+
+import pickle
+
+import pytest
+
+from repro.provenance import ANONYMOUS, ClientId, as_client
+
+
+class TestClientId:
+    def test_is_a_str(self):
+        cid = ClientId("home-1")
+        assert isinstance(cid, str)
+        assert cid == "home-1"
+        assert hash(cid) == hash("home-1")
+
+    def test_normalizes_whitespace(self):
+        assert ClientId("  alice \t") == "alice"
+
+    def test_dict_key_interop(self):
+        """The compat contract: existing string-keyed maps (tenant
+        quotas, DARR client fields) keep working unchanged."""
+        quotas = {ClientId("home-1"): 3}
+        assert quotas["home-1"] == 3
+        assert ClientId("home-1") in {"home-1": 1}
+
+    def test_idempotent_construction(self):
+        cid = ClientId("alice")
+        assert ClientId(cid) is cid
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            ClientId("")
+        with pytest.raises(ValueError, match="non-empty"):
+            ClientId("   ")
+
+    def test_rejects_control_characters(self):
+        with pytest.raises(ValueError, match="control"):
+            ClientId("a\nb")
+        with pytest.raises(ValueError, match="control"):
+            ClientId("a\x00b")
+
+    def test_pickle_round_trip(self):
+        cid = ClientId("home-1")
+        back = pickle.loads(pickle.dumps(cid))
+        assert back == cid
+        assert isinstance(back, ClientId)
+
+
+class TestAsClient:
+    def test_none_falls_back_to_anonymous(self):
+        assert as_client(None) is ANONYMOUS
+
+    def test_blank_falls_back(self):
+        assert as_client("   ") is ANONYMOUS
+
+    def test_custom_default(self):
+        engine = ClientId("engine")
+        assert as_client(None, default=engine) is engine
+
+    def test_passthrough_identity(self):
+        cid = ClientId("alice")
+        assert as_client(cid) is cid
+
+    def test_coerces_plain_strings(self):
+        out = as_client(" alice ")
+        assert out == "alice"
+        assert isinstance(out, ClientId)
+
+    def test_coerces_non_strings(self):
+        assert as_client(42) == "42"

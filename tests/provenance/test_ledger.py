@@ -1,0 +1,135 @@
+"""ContributionLedger: Shapley equal-split credit, exact arithmetic."""
+
+from fractions import Fraction
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.provenance import ContributionLedger
+
+
+class TestCredit:
+    def test_equal_split_among_distinct_producers(self):
+        ledger = ContributionLedger()
+        ledger.credit(["alice", "bob"], fits_saved=5, bytes_saved=100)
+        attrs = ledger.attributions()
+        assert attrs["alice"]["fits_saved"] == Fraction(5, 2)
+        assert attrs["bob"]["bytes_saved"] == Fraction(100, 2)
+        assert attrs["alice"]["events"] == Fraction(1, 2)
+
+    def test_duplicates_and_blanks_collapse(self):
+        ledger = ContributionLedger()
+        ledger.credit(["alice", " alice ", None], fits_saved=4)
+        attrs = ledger.attributions()
+        assert set(attrs) == {"alice"}
+        assert attrs["alice"]["fits_saved"] == Fraction(4)
+
+    def test_empty_producers_credit_anonymous(self):
+        """Savings never leak out of the accounting."""
+        ledger = ContributionLedger()
+        ledger.credit([], fits_saved=3)
+        assert ledger.attributions()["anonymous"]["fits_saved"] == Fraction(3)
+
+    def test_totals_accumulate(self):
+        ledger = ContributionLedger()
+        ledger.credit(["a"], fits_saved=2)
+        ledger.credit(["a", "b", "c"], fits_saved=1)
+        assert ledger.total_fits_saved == Fraction(3)
+        assert ledger.total_events == 2
+        assert len(ledger) == 3
+
+
+class TestLeaderboard:
+    def test_sorted_by_fits_then_bytes_then_name(self):
+        ledger = ContributionLedger()
+        ledger.credit(["low"], fits_saved=1)
+        ledger.credit(["high"], fits_saved=10)
+        ledger.credit(["mid-a"], fits_saved=5)
+        ledger.credit(["mid-b"], fits_saved=5)
+        board = ledger.leaderboard()
+        assert [row["client"] for row in board] == [
+            "high",
+            "mid-a",
+            "mid-b",
+            "low",
+        ]
+        assert board[0]["share"] == 10 / 21
+
+    def test_limit(self):
+        ledger = ContributionLedger()
+        for name in ("a", "b", "c"):
+            ledger.credit([name], fits_saved=1)
+        assert len(ledger.leaderboard(limit=2)) == 2
+
+    def test_share_zero_when_no_fits_anywhere(self):
+        ledger = ContributionLedger()
+        ledger.credit(["a"], bytes_saved=10)
+        assert ledger.leaderboard()[0]["share"] == 0.0
+
+    def test_as_dict_is_report_ready(self):
+        ledger = ContributionLedger()
+        ledger.credit(["a", "b"], fits_saved=3, bytes_saved=9)
+        doc = ledger.as_dict()
+        assert doc["events"] == 1
+        assert doc["fits_saved"] == 3.0
+        assert doc["bytes_saved"] == 9.0
+        assert len(doc["leaderboard"]) == 2
+
+
+#: One credit event: producers (possibly empty/duplicated), fits, bytes.
+events = st.lists(
+    st.tuples(
+        st.lists(
+            st.sampled_from(["alice", "bob", "carol", "dave", "erin"]),
+            max_size=4,
+        ),
+        st.integers(min_value=0, max_value=50),
+        st.integers(min_value=0, max_value=10_000),
+    ),
+    min_size=1,
+    max_size=30,
+)
+
+
+class TestExactSumInvariant:
+    """The ledger's defining invariant: per-client attributions sum
+    *exactly* to the recorded totals — no float drift, ever."""
+
+    @settings(max_examples=200, deadline=None)
+    @given(events)
+    def test_attributions_sum_exactly_to_totals(self, evts):
+        ledger = ContributionLedger()
+        total_fits = 0
+        total_bytes = 0
+        for producers, fits, nbytes in evts:
+            ledger.credit(producers, fits_saved=fits, bytes_saved=nbytes)
+            total_fits += fits
+            total_bytes += nbytes
+        attrs = ledger.attributions()
+        assert (
+            sum((a["fits_saved"] for a in attrs.values()), Fraction(0))
+            == total_fits
+        )
+        assert (
+            sum((a["bytes_saved"] for a in attrs.values()), Fraction(0))
+            == total_bytes
+        )
+        assert (
+            sum((a["events"] for a in attrs.values()), Fraction(0))
+            == len(evts)
+        )
+        assert ledger.total_events == len(evts)
+        assert ledger.total_fits_saved == total_fits
+        assert ledger.total_bytes_saved == total_bytes
+
+    @settings(max_examples=50, deadline=None)
+    @given(events)
+    def test_leaderboard_shares_sum_to_one(self, evts):
+        ledger = ContributionLedger()
+        for producers, fits, nbytes in evts:
+            ledger.credit(producers, fits_saved=fits, bytes_saved=nbytes)
+        board = ledger.leaderboard()
+        if ledger.total_fits_saved:
+            assert abs(sum(row["share"] for row in board) - 1.0) < 1e-9
+        else:
+            assert all(row["share"] == 0.0 for row in board)

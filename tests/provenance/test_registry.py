@@ -1,0 +1,244 @@
+"""ProvenanceRecord + ProvenanceRegistry: records, lineage, rebuilds."""
+
+import pytest
+
+from repro.obs import Telemetry
+from repro.provenance import ProvenanceRecord, ProvenanceRegistry
+from repro.store import KIND_FOLD_TRANSFORM, KIND_RESULT, ArtifactKey
+
+
+def key_for(spec="s1", obj="sensor", version=3, kind=KIND_RESULT, fold=""):
+    return ArtifactKey(
+        kind=kind,
+        spec_key=spec,
+        dataset="ds",
+        data_object=obj,
+        data_version=version,
+        fold=fold,
+    )
+
+
+def record_for(key, producer="alice", parents=(), tick=0):
+    return ProvenanceRecord.for_key(
+        key, producer=producer, parents=parents, executor="test", tick=tick
+    )
+
+
+class TestRecord:
+    def test_for_key_copies_identity_fields(self):
+        key = key_for()
+        rec = record_for(key)
+        assert rec.kind == KIND_RESULT
+        assert rec.spec_key == "s1"
+        assert rec.data_ref == ("sensor", 3)
+        assert rec.producer == "alice"
+
+    def test_dict_round_trip(self):
+        rec = record_for(key_for(), parents=("p1", "p2"), tick=7)
+        back = ProvenanceRecord.from_dict(rec.as_dict())
+        assert back == rec
+        assert back.parents == ("p1", "p2")
+
+    def test_from_dict_tolerates_missing_and_unknown_fields(self):
+        back = ProvenanceRecord.from_dict(
+            {"producer": "bob", "kind": "result", "not_a_field": 1}
+        )
+        assert back.producer == "bob"
+        assert back.parents == ()
+
+    def test_from_dict_none_is_none(self):
+        assert ProvenanceRecord.from_dict(None) is None
+
+
+class TestRegistry:
+    def test_first_write_wins(self):
+        reg = ProvenanceRegistry()
+        key = key_for()
+        assert reg.record(key, record_for(key, producer="alice"))
+        assert not reg.record(key, record_for(key, producer="bob"))
+        assert reg.get(key.digest).producer == "alice"
+
+    def test_record_accepts_key_or_digest(self):
+        reg = ProvenanceRegistry()
+        key = key_for()
+        reg.record(key.digest, record_for(key))
+        assert reg.get(key) is not None
+
+    def test_record_dict_none_is_noop(self):
+        reg = ProvenanceRegistry()
+        assert not reg.record_dict("d1", None)
+        assert len(reg) == 0
+
+    def test_tick_is_monotonic(self):
+        reg = ProvenanceRegistry()
+        ticks = [reg.tick() for _ in range(5)]
+        assert ticks == sorted(ticks)
+        assert len(set(ticks)) == 5
+
+    def test_lineage_walks_parents_bfs(self):
+        reg = ProvenanceRegistry()
+        fold_a = key_for(spec="p", kind=KIND_FOLD_TRANSFORM, fold="f0")
+        fold_b = key_for(spec="p", kind=KIND_FOLD_TRANSFORM, fold="f1")
+        result = key_for(spec="s1")
+        reg.record(fold_a, record_for(fold_a))
+        reg.record(fold_b, record_for(fold_b))
+        reg.record(
+            result,
+            record_for(result, parents=(fold_a.digest, fold_b.digest)),
+        )
+        chain = reg.lineage(result)
+        assert [d for d, _ in chain] == [
+            result.digest,
+            fold_a.digest,
+            fold_b.digest,
+        ]
+
+    def test_lineage_skips_unknown_parents(self):
+        reg = ProvenanceRegistry()
+        result = key_for()
+        reg.record(result, record_for(result, parents=("never-recorded",)))
+        chain = reg.lineage(result)
+        assert len(chain) == 1
+
+    def test_lineage_unknown_digest_is_empty(self):
+        assert ProvenanceRegistry().lineage("nope") == []
+
+    def test_lineage_deduplicates_diamonds(self):
+        reg = ProvenanceRegistry()
+        base = key_for(spec="base")
+        mid_a = key_for(spec="mid-a")
+        mid_b = key_for(spec="mid-b")
+        top = key_for(spec="top")
+        reg.record(base, record_for(base))
+        reg.record(mid_a, record_for(mid_a, parents=(base.digest,)))
+        reg.record(mid_b, record_for(mid_b, parents=(base.digest,)))
+        reg.record(
+            top, record_for(top, parents=(mid_a.digest, mid_b.digest))
+        )
+        chain = reg.lineage(top)
+        assert len(chain) == 4
+        assert len({d for d, _ in chain}) == 4
+
+    def test_roots_collapse_to_data_refs(self):
+        reg = ProvenanceRegistry()
+        parent = key_for(spec="p", obj="sensor", version=2)
+        child = key_for(spec="c", obj="sensor", version=3)
+        anon = key_for(spec="a", obj="", version=0)
+        reg.record(parent, record_for(parent))
+        reg.record(anon, record_for(anon, parents=(parent.digest,)))
+        reg.record(
+            child, record_for(child, parents=(anon.digest,))
+        )
+        # Anonymous (empty data_object) records never count as roots.
+        assert reg.roots(child) == [("sensor", 2), ("sensor", 3)]
+
+    def test_descendants_follow_children_transitively(self):
+        reg = ProvenanceRegistry()
+        base = key_for(spec="base", obj="sensor", version=1)
+        derived = key_for(spec="derived", obj="", version=0)
+        reg.record(base, record_for(base))
+        reg.record(derived, record_for(derived, parents=(base.digest,)))
+        out = reg.descendants("sensor")
+        assert [d for d, _ in out] == [base.digest, derived.digest]
+
+    def test_descendants_version_filter(self):
+        reg = ProvenanceRegistry()
+        v1 = key_for(spec="a", version=1)
+        v2 = key_for(spec="b", version=2)
+        reg.record(v1, record_for(v1))
+        reg.record(v2, record_for(v2))
+        assert [d for d, _ in reg.descendants("sensor", version=2)] == [
+            v2.digest
+        ]
+
+    def test_merge_learns_only_new(self):
+        a, b = ProvenanceRegistry(), ProvenanceRegistry()
+        key1, key2 = key_for(spec="s1"), key_for(spec="s2")
+        a.record(key1, record_for(key1, producer="alice"))
+        b.record(key1, record_for(key1, producer="bob"))
+        b.record(key2, record_for(key2, producer="bob"))
+        assert a.merge(b) == 1
+        assert a.get(key1).producer == "alice"  # first write kept
+        assert a.get(key2).producer == "bob"
+
+    def test_snapshot_is_a_copy(self):
+        reg = ProvenanceRegistry()
+        key = key_for()
+        reg.record(key, record_for(key))
+        snap = reg.snapshot()
+        snap.clear()
+        assert len(reg) == 1
+
+    def test_clear(self):
+        reg = ProvenanceRegistry()
+        key = key_for()
+        reg.record(key, record_for(key))
+        reg.clear()
+        assert len(reg) == 0
+        assert reg.descendants("sensor") == []
+
+    def test_telemetry_counters(self):
+        tel = Telemetry()
+        reg = ProvenanceRegistry(telemetry=tel)
+        key = key_for()
+        reg.record(key, record_for(key))
+        reg.record(key, record_for(key))  # duplicate: not counted
+        reg.lineage(key)
+        reg.descendants("sensor")
+        counters = tel.counters()
+        assert counters["provenance.records"] == 1
+        assert counters["provenance.lineage_queries"] == 1
+        assert counters["provenance.descendant_queries"] == 1
+
+
+class TestFromDarr:
+    def test_rebuild_from_repository(self):
+        from repro.darr import DARR, AnalyticsResult
+
+        darr = DARR()
+        key = key_for()
+        doc = record_for(key, parents=("p1",)).as_dict()
+        doc["digest"] = key.digest
+        darr.publish(
+            AnalyticsResult(
+                key="s1",
+                dataset="ds",
+                path="Input -> m",
+                params={},
+                metric="rmse",
+                score=1.0,
+                std=0.0,
+                fold_scores=[1.0],
+                greater_is_better=False,
+                client="alice",
+                explanation="test",
+                provenance=doc,
+            ),
+            "alice",
+        )
+        rebuilt = ProvenanceRegistry.from_darr(darr)
+        assert len(rebuilt) == 1
+        assert rebuilt.get(key.digest).producer == "alice"
+        assert rebuilt.roots(key.digest) == [("sensor", 3)]
+
+    def test_records_without_provenance_are_skipped(self):
+        from repro.darr import DARR, AnalyticsResult
+
+        darr = DARR()
+        darr.publish(
+            AnalyticsResult(
+                key="s1",
+                dataset="ds",
+                path="Input -> m",
+                params={},
+                metric="rmse",
+                score=1.0,
+                std=0.0,
+                fold_scores=[1.0],
+                greater_is_better=False,
+                client="alice",
+                explanation="test",
+            ),
+            "alice",
+        )
+        assert len(ProvenanceRegistry.from_darr(darr)) == 0

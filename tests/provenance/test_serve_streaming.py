@@ -1,0 +1,165 @@
+"""Producers at the edges: serving tenants and streaming evaluators."""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.core import ExecutionEngine, TransformerEstimatorGraph
+from repro.datasets import make_regression
+from repro.ml.linear import LinearRegression, RidgeRegression
+from repro.ml.model_selection import AnchoredSlidingSplit, KFold
+from repro.ml.preprocessing import NoOp, StandardScaler
+from repro.serve import AnalyticsService, JobRequest, JobState
+from repro.store import MemoryStore
+from repro.streaming import StreamingEvaluator
+
+
+def tiny_graph():
+    g = TransformerEstimatorGraph("prov-tiny")
+    g.add_feature_scalers([NoOp(), StandardScaler()])
+    g.add_regression_models([LinearRegression(), RidgeRegression()])
+    return g
+
+
+@pytest.fixture(scope="module")
+def data():
+    return make_regression(
+        n_samples=30, n_features=4, n_informative=3, random_state=0
+    )
+
+
+def make_request(data):
+    X, y = data
+    return JobRequest(
+        graph=tiny_graph(), X=X, y=y, cv=KFold(2, random_state=0),
+        metric="rmse",
+    )
+
+
+def serve_engine():
+    return ExecutionEngine(
+        executor="serial", store=MemoryStore(), failure_policy="skip"
+    )
+
+
+class TestServeTenantsAreProducers:
+    def test_submit_stamps_the_tenant(self, data):
+        async def scenario():
+            service = AnalyticsService(engine=serve_engine(), concurrency=1)
+            await service.start()
+            status = await service.submit(make_request(data), "alice")
+            final = await service.result(status.job_id, timeout=60)
+            await service.stop()
+            return service, final
+
+        service, final = asyncio.run(scenario())
+        assert final.state == JobState.PUBLISHED
+        registry = service.engine.provenance
+        producers = {r.producer for r in registry.snapshot().values()}
+        assert producers == {"alice"}
+
+    def test_stats_expose_registry_and_leaderboard(self, data):
+        async def scenario():
+            service = AnalyticsService(engine=serve_engine(), concurrency=1)
+            await service.start()
+            first = await service.submit(make_request(data), "alice")
+            await service.result(first.job_id, timeout=60)
+            second = await service.submit(make_request(data), "bob")
+            await service.result(second.job_id, timeout=60)
+            stats = service.stats()
+            await service.stop()
+            return stats
+
+        stats = asyncio.run(scenario())
+        provenance = stats["provenance"]
+        assert provenance["records"] > 0
+        # bob's identical job rode on alice's published artifacts.
+        leaders = [row["client"] for row in provenance["leaderboard"]]
+        assert leaders == ["alice"]
+        assert provenance["leaderboard"][0]["fits_saved"] > 0
+
+
+def make_stream(n=400, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, 4))
+    w = np.array([1.0, -2.0, 0.5, 3.0])
+    y = X @ w + 0.1 * rng.normal(size=n)
+    return X, y
+
+
+def make_evaluator(**kwargs):
+    graph = tiny_graph()
+    cv = AnchoredSlidingSplit(val_size=40, initial_train_size=200)
+    return StreamingEvaluator(graph, cv, client="streamer", **kwargs)
+
+
+def records_of_kind(registry, kind):
+    return [
+        (d, r) for d, r in registry.snapshot().items() if r.kind == kind
+    ]
+
+
+class TestStreamingProducers:
+    def test_cold_round_records_streaming_artifacts(self):
+        X, y = make_stream()
+        ev = make_evaluator()
+        ev.seed(X, y)
+        ev.evaluate()
+        scores = records_of_kind(ev.provenance, "fold-score")
+        fitted = records_of_kind(ev.provenance, "fitted-model")
+        assert scores and fitted
+        for _, rec in scores + fitted:
+            assert rec.producer == "streamer"
+            assert rec.executor == "streaming"
+
+    def test_warm_advance_links_to_the_predecessor_model(self):
+        X, y = make_stream()
+        ev = make_evaluator()
+        ev.seed(X, y)
+        ev.evaluate()
+        fitted_before = {d for d, _ in records_of_kind(ev.provenance, "fitted-model")}
+        Xa, ya = make_stream(80, seed=2)
+        ev.append(Xa, ya)
+        streaming = ev.evaluate().stats["streaming"]
+        assert streaming["folds_warm_started"] > 0
+        fresh_fitted = [
+            (d, r)
+            for d, r in records_of_kind(ev.provenance, "fitted-model")
+            if d not in fitted_before
+        ]
+        assert fresh_fitted
+        for digest, rec in fresh_fitted:
+            assert rec.parents, "refreshed model must cite its inputs"
+            parent_kinds = {
+                ev.provenance.get(p).kind
+                for p in rec.parents
+                if ev.provenance.get(p) is not None
+            }
+            # Predecessor model + this round's warm fold scores.
+            assert "fitted-model" in parent_kinds
+            assert "fold-score" in parent_kinds
+
+    def test_cold_scores_link_to_the_engine_result(self):
+        engine = ExecutionEngine(store=MemoryStore(), client="alice")
+        X, y = make_stream()
+        ev = make_evaluator(engine=engine)
+        ev.seed(X, y)
+        ev.evaluate()
+        # One shared registry: the engine's was adopted.
+        assert ev.provenance is engine.provenance
+        scores = records_of_kind(ev.provenance, "fold-score")
+        linked = [
+            rec
+            for _, rec in scores
+            if any(
+                ev.provenance.get(p) is not None
+                and ev.provenance.get(p).kind == "result"
+                for p in rec.parents
+            )
+        ]
+        assert linked, "cold fold scores must cite the engine result"
+        # And the chain keeps walking into the engine's own artifacts.
+        digest, _ = records_of_kind(ev.provenance, "fold-score")[0]
+        producers = {r.producer for _, r in ev.provenance.lineage(digest)}
+        assert "streamer" in producers and "alice" in producers

@@ -1,0 +1,203 @@
+"""Provenance threading through every artifact-store tier.
+
+Each tier must (a) record the provenance passed to ``put`` in the
+attached registry, (b) re-teach a *fresh* registry on ``get`` where the
+tier is durable (disk entry header, DARR record field), and (c) keep
+reading artifacts written before provenance existed (legacy
+``REPROCAS1`` disk entries, provenance-less DARR records).
+"""
+
+import json
+import os
+import struct
+
+import pytest
+
+from repro.darr import DARR
+from repro.distributed.cluster import SimulatedNetwork
+from repro.distributed.objects import encode_payload
+from repro.provenance import ProvenanceRecord, ProvenanceRegistry
+from repro.store import (
+    KIND_FOLD_TRANSFORM,
+    KIND_RESULT,
+    ArtifactKey,
+    DiskStore,
+    LayeredStore,
+    MemoryStore,
+)
+from repro.store.layered import DarrStore
+
+
+def result_key(spec="spec-1", kind=KIND_RESULT, fold=""):
+    return ArtifactKey(
+        kind=kind,
+        spec_key=spec,
+        dataset="ds",
+        data_object="sensor",
+        data_version=3,
+        fold=fold,
+    )
+
+
+def record_for(key, producer="alice"):
+    return ProvenanceRecord.for_key(
+        key, producer=producer, parents=(), executor="test", tick=0
+    )
+
+
+RESULT_VALUE = {
+    "path": "Input -> m",
+    "params": {},
+    "metric": "rmse",
+    "fold_scores": [1.0, 2.0],
+    "greater": False,
+}
+
+
+class TestMemoryTier:
+    def test_put_records_provenance(self):
+        store, reg = MemoryStore(), ProvenanceRegistry()
+        store.attach_registry(reg)
+        key = result_key()
+        store.put(key, RESULT_VALUE, provenance=record_for(key))
+        assert reg.get(key.digest).producer == "alice"
+
+    def test_put_without_provenance_is_fine(self):
+        store, reg = MemoryStore(), ProvenanceRegistry()
+        store.attach_registry(reg)
+        key = result_key()
+        store.put(key, RESULT_VALUE)
+        assert store.get(key) == RESULT_VALUE
+        assert len(reg) == 0
+
+
+class TestDiskTier:
+    def test_entry_header_carries_provenance(self, tmp_path):
+        store = DiskStore(str(tmp_path))
+        key = result_key()
+        store.put(key, RESULT_VALUE, provenance=record_for(key))
+        path = os.path.join(
+            str(tmp_path), key.digest[:2], key.digest + ".bin"
+        )
+        blob = open(path, "rb").read()
+        assert blob.startswith(b"REPROCAS2")
+        assert b'"producer": "alice"' in blob or b'"producer":"alice"' in blob
+
+    def test_get_reteaches_a_fresh_registry(self, tmp_path):
+        key = result_key()
+        DiskStore(str(tmp_path)).put(
+            key, RESULT_VALUE, provenance=record_for(key)
+        )
+        # A new process: new store handle, empty registry.
+        store, reg = DiskStore(str(tmp_path)), ProvenanceRegistry()
+        store.attach_registry(reg)
+        assert store.get(key) == RESULT_VALUE
+        assert reg.get(key.digest).producer == "alice"
+        assert reg.roots(key.digest) == [("sensor", 3)]
+
+    def test_legacy_v1_entry_reads_without_provenance(self, tmp_path):
+        key = result_key()
+        key_json = json.dumps(
+            key.as_dict(), sort_keys=True, separators=(",", ":")
+        ).encode()
+        payload = encode_payload(RESULT_VALUE)
+        blob = b"".join(
+            [
+                b"REPROCAS1",
+                struct.pack(">I", len(key_json)),
+                key_json,
+                struct.pack(">Q", len(payload)),
+                payload,
+            ]
+        )
+        entry_dir = tmp_path / key.digest[:2]
+        entry_dir.mkdir()
+        (entry_dir / (key.digest + ".bin")).write_bytes(blob)
+        store, reg = DiskStore(str(tmp_path)), ProvenanceRegistry()
+        store.attach_registry(reg)
+        assert store.get(key) == RESULT_VALUE
+        assert len(reg) == 0  # nothing to teach, nothing invented
+
+
+class TestLayeredTier:
+    def test_attach_registry_reaches_every_tier(self, tmp_path):
+        memory, disk = MemoryStore(), DiskStore(str(tmp_path))
+        layered = LayeredStore([memory, disk])
+        reg = ProvenanceRegistry()
+        layered.attach_registry(reg)
+        assert memory.registry is reg
+        assert disk.registry is reg
+
+    def test_write_through_counts_once(self, tmp_path):
+        layered = LayeredStore(
+            [MemoryStore(), DiskStore(str(tmp_path))]
+        )
+        reg = ProvenanceRegistry()
+        layered.attach_registry(reg)
+        key = result_key()
+        layered.put(key, RESULT_VALUE, provenance=record_for(key))
+        assert len(reg) == 1  # recording is idempotent per digest
+
+    def test_promotion_carries_known_provenance(self, tmp_path):
+        memory, disk = MemoryStore(), DiskStore(str(tmp_path))
+        key = result_key()
+        disk.put(key, RESULT_VALUE, provenance=record_for(key))
+        layered = LayeredStore([memory, disk])
+        reg = ProvenanceRegistry()
+        layered.attach_registry(reg)
+        assert layered.get(key) == RESULT_VALUE  # disk hit, promoted
+        assert memory.get(key) == RESULT_VALUE
+        assert reg.get(key.digest).producer == "alice"
+
+
+class TestDarrTier:
+    def test_published_record_carries_provenance_and_digest(self):
+        store = DarrStore(DARR(), client="alice")
+        key = result_key()
+        store.put(key, RESULT_VALUE, provenance=record_for(key))
+        record = store.repository.fetch("spec-1", "bob")
+        assert record.provenance["producer"] == "alice"
+        assert record.provenance["digest"] == key.digest
+
+    def test_get_reteaches_registry_from_fetched_record(self):
+        darr = DARR()
+        DarrStore(darr, client="alice").put(
+            result_key(), RESULT_VALUE, provenance=record_for(result_key())
+        )
+        consumer = DarrStore(darr, client="bob")
+        reg = ProvenanceRegistry()
+        consumer.attach_registry(reg)
+        key = result_key()
+        assert consumer.get(key) is not None
+        assert reg.get(key.digest).producer == "alice"
+
+    def test_rejects_non_result_kinds(self):
+        store = DarrStore(DARR(), client="alice")
+        key = result_key(kind=KIND_FOLD_TRANSFORM, fold="f0")
+        store.put(key, {"x": 1}, provenance=record_for(key))
+        assert not store.accepts(key)
+        assert store.get(key) is None
+        assert len(store.repository.completed_keys()) == 0
+
+
+class TestPublishTimestamp:
+    """Regression: DarrStore.put used to publish ``timestamp=0.0``
+    regardless of the repository clock, so freshness policies saw every
+    store-published record as infinitely stale."""
+
+    def test_put_stamps_the_repository_clock(self):
+        net = SimulatedNetwork()
+        net.register("alice")
+        net.register("bob")
+        darr = DARR("darr", net)
+        net.clock.advance(42.5)
+        store = DarrStore(darr, client="alice")
+        key = result_key()
+        store.put(key, RESULT_VALUE, provenance=record_for(key))
+        assert darr.fetch("spec-1", "bob").timestamp == 42.5
+
+    def test_clockless_repository_stamps_zero(self):
+        store = DarrStore(DARR(), client="alice")
+        key = result_key()
+        store.put(key, RESULT_VALUE, provenance=record_for(key))
+        assert store.repository.fetch("spec-1", "bob").timestamp == 0.0

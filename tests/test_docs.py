@@ -11,6 +11,7 @@ sys.path.insert(0, os.path.join(REPO_ROOT, "tools"))
 
 import check_docs  # noqa: E402
 import check_fusion_coverage  # noqa: E402
+import check_provenance_coverage  # noqa: E402
 import check_store_integrity  # noqa: E402
 
 
@@ -48,6 +49,12 @@ def test_fusion_coverage_lint_clean():
     """Every transformer either declares a fused kernel or carries an
     explicit exemption reason (the plan-compiler coverage contract)."""
     assert check_fusion_coverage.check_fusion_coverage() == []
+
+
+def test_provenance_coverage_lint_clean():
+    """Every artifact-store put site threads a provenance= argument or
+    carries an explicit exemption reason (the lineage contract)."""
+    assert check_provenance_coverage.check_provenance_coverage() == []
 
 
 def test_every_doc_page_reachable_from_readme():

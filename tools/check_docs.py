@@ -137,7 +137,13 @@ def run_doctests(paths: List[str] = None) -> Tuple[List[str], int]:
             test = parser.get_doctest(
                 block, namespace, f"{rel}[{index}]", rel, 0
             )
-            results = runner.run(test, out=lambda text: None)
+            results = runner.run(
+                test, out=lambda text: None, clear_globs=False
+            )
+            # DocTest copies its globs (and run() would clear them);
+            # fold them back so later blocks really do see names the
+            # earlier ones defined.
+            namespace.update(test.globs)
             total += results.attempted
             if results.failed:
                 problems.append(

@@ -1,0 +1,147 @@
+"""Provenance-coverage lint: every artifact write must carry lineage.
+
+The provenance registry (`repro.provenance`) only knows what the put
+sites tell it.  An `ArtifactStore.put` call added without a
+``provenance=`` argument silently produces an orphan artifact — reads
+still work, but `lineage()` dead-ends there and the contribution
+ledger can no longer say who computed it.  This lint makes the choice
+explicit: every ``<receiver>.put(key, value, ...)`` call in
+``src/repro`` must either
+
+1. pass a ``provenance=`` keyword (a record, a registry-attached
+   ``None`` is fine — the parameter being threaded is what matters), or
+2. appear in `PROVENANCE_EXEMPT` with a one-line reason why the
+   receiver is not an artifact store (raw-data stores and IPC queues
+   have no artifact lineage to record).
+
+The rule keys on call *shape*, not receiver names: any ``.put`` call
+with two or more positional arguments looks like an artifact write
+(``queue.put(item)`` has one and is ignored).  Stale exemptions —
+entries whose call sites disappeared or started passing provenance —
+fail the lint so the table stays honest.
+
+Importable (``tests`` may reuse :func:`check_provenance_coverage`) and
+runnable as a CLI: ``python tools/check_provenance_coverage.py`` exits
+0 when clean, 1 with a per-problem report.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import sys
+from typing import Dict, List, Tuple
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC_ROOT = os.path.join(REPO_ROOT, "src", "repro")
+
+#: Put sites deliberately left without provenance, with the reason.
+#: Keyed by ``relative/path.py:receiver`` (the receiver expression as
+#: written); entries must stay in sync with the code (a stale entry
+#: fails the lint).
+PROVENANCE_EXEMPT: Dict[str, str] = {
+    "repro/streaming/evaluator.py:self.datastore": (
+        "HomeDataStore holds raw stream rows — it IS the lineage root, "
+        "artifact provenance starts above it"
+    ),
+    "repro/distributed/replication.py:target": (
+        "replication copies raw data objects between HomeDataStores; "
+        "versions carry over, there is no artifact to attribute"
+    ),
+    "repro/distributed/lifecycle.py:self.model_store": (
+        "HomeDataStore used as a deployment slot for the active model; "
+        "promotion history is the lifecycle log, not artifact lineage"
+    ),
+}
+
+
+def _put_sites(root: str = SRC_ROOT) -> List[Tuple[str, int, str, bool]]:
+    """Collect ``(relpath, lineno, receiver, has_provenance)`` for every
+    ``<receiver>.put(a, b, ...)`` call under ``root``."""
+    sites: List[Tuple[str, int, str, bool]] = []
+    for dirpath, _, filenames in os.walk(root):
+        for filename in sorted(filenames):
+            if not filename.endswith(".py"):
+                continue
+            path = os.path.join(dirpath, filename)
+            relpath = os.path.relpath(path, os.path.join(REPO_ROOT, "src"))
+            relpath = relpath.replace(os.sep, "/")
+            with open(path, "r", encoding="utf-8") as handle:
+                tree = ast.parse(handle.read(), filename=path)
+            for node in ast.walk(tree):
+                if not (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "put"
+                    and len(node.args) >= 2
+                ):
+                    continue
+                receiver = ast.unparse(node.func.value)
+                has_provenance = any(
+                    kw.arg == "provenance" for kw in node.keywords
+                )
+                sites.append(
+                    (relpath, node.lineno, receiver, has_provenance)
+                )
+    return sites
+
+
+def check_provenance_coverage() -> List[str]:
+    """Run the coverage lint.
+
+    Returns
+    -------
+    Problem strings (empty when every put site is covered/exempted).
+    """
+    problems: List[str] = []
+    sites = _put_sites()
+    matched: Dict[str, bool] = {key: False for key in PROVENANCE_EXEMPT}
+
+    for relpath, lineno, receiver, has_provenance in sites:
+        key = f"{relpath}:{receiver}"
+        exempt = key in PROVENANCE_EXEMPT
+        if exempt:
+            if has_provenance:
+                problems.append(
+                    f"stale exemption: {relpath}:{lineno} ({receiver}.put) "
+                    "now passes provenance=; drop it from PROVENANCE_EXEMPT"
+                )
+            else:
+                matched[key] = True
+            continue
+        if not has_provenance:
+            problems.append(
+                f"orphan artifact write: {relpath}:{lineno} "
+                f"({receiver}.put) passes no provenance= — thread a "
+                "ProvenanceRecord (see repro.provenance) or exempt the "
+                "receiver with a reason"
+            )
+
+    for key, seen in sorted(matched.items()):
+        if not seen:
+            problems.append(
+                f"stale exemption: {key} matches no put call site; "
+                "drop or fix the entry"
+            )
+
+    return problems
+
+
+def main() -> int:
+    """CLI entry point (0 clean, 1 with problems on stderr)."""
+    problems = check_provenance_coverage()
+    if problems:
+        for problem in problems:
+            print(f"FAIL {problem}", file=sys.stderr)
+        return 1
+    sites = _put_sites()
+    covered = sum(1 for site in sites if site[3])
+    print(
+        f"provenance coverage OK: {covered} put sites thread provenance, "
+        f"{len(PROVENANCE_EXEMPT)} exempt with reasons"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
